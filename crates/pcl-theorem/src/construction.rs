@@ -1,0 +1,467 @@
+//! The adversarial construction of Theorem 4.1, replayed against a concrete algorithm.
+//!
+//! The proof of the PCL theorem builds two executions
+//!
+//! ```text
+//! β  = α1 · α2 · s1 · α3 · α4 · s2 · α7        (Figure 3)
+//! β′ = α1 · α2 · s2 · α5 · α6 · s1 · α′7       (Figure 4)
+//! ```
+//!
+//! where `α1` is a prefix of T1's solo execution ending *just before* the critical
+//! step `s1` (the first step of T1 after which T3's solo read of `b1` flips from 0 to
+//! 1 — Figure 1), `α2`/`s2` are the analogous prefix and critical step of T2 with
+//! respect to T5's read of `b2` (Figure 2), and `α3…α7` are solo executions of
+//! T3…T7.
+//!
+//! For an *arbitrary* TM algorithm the construction may behave in one of three ways,
+//! all of which are informative and all of which are captured by
+//! [`ConstructionReport`]:
+//!
+//! 1. the critical steps exist and the executions assemble exactly as in the proof —
+//!    then the consistency and DAP checkers applied to β and β′ expose which property
+//!    the algorithm sacrifices (this is what happens for the OF-DAP candidate and for
+//!    the global-clock design);
+//! 2. some solo run fails to commit (a blocked or aborted victim) — a liveness
+//!    violation witnessed in the middle of the construction (this is what happens for
+//!    the lock-based design);
+//! 3. no critical step exists at all — T3's read of `b1` never changes no matter how
+//!    far T1 runs, i.e. writes are never propagated between processes (this is what
+//!    happens for the PRAM design, and it is itself the consistency give-away).
+
+use crate::transactions::{pcl_scenario, tx};
+use tm_model::prelude::*;
+use tm_model::step::MemStep;
+
+/// A critical step found by the search of Figure 1 / Figure 2.
+#[derive(Debug, Clone)]
+pub struct CriticalStep {
+    /// The transaction whose execution contains the critical step (T1 or T2).
+    pub writer: TxId,
+    /// The transaction whose solo read flips (T3 or T5).
+    pub observer: TxId,
+    /// The data item whose read value flips (`b1` or `b2`).
+    pub item: DataItem,
+    /// Number of solo steps of the writer *before* the critical step (the length of
+    /// α1, resp. the length of α2 counted from the end of α1).
+    pub prefix_steps: usize,
+    /// The value the observer reads when the writer stops just before the step.
+    pub value_before: i64,
+    /// The value the observer reads once the step has been taken.
+    pub value_after: i64,
+    /// The critical step itself (object name, primitive, response).
+    pub step: MemStep,
+}
+
+impl CriticalStep {
+    /// The name of the base object the critical step accesses (`o1` / `o2` in the
+    /// paper).
+    pub fn object(&self) -> &str {
+        &self.step.obj_name
+    }
+}
+
+/// Why the construction could not be completed for an algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructionObstacle {
+    /// A transaction that the construction runs solo failed to commit (aborted or ran
+    /// out of steps) — a liveness give-away.
+    SoloRunFailed {
+        /// The transaction that failed.
+        tx: TxId,
+        /// Its outcome.
+        outcome: TxOutcome,
+        /// Whether it hit the step budget (blocked) rather than aborting.
+        blocked: bool,
+    },
+    /// No critical step exists: the observer's read never changes no matter how far
+    /// the writer runs — writes are never propagated (the PRAM give-away).
+    NoCriticalStep {
+        /// The writer whose steps were searched.
+        writer: TxId,
+        /// The observer whose read never flipped.
+        observer: TxId,
+        /// The item that was being observed.
+        item: DataItem,
+    },
+}
+
+impl std::fmt::Display for ConstructionObstacle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructionObstacle::SoloRunFailed { tx, outcome, blocked } => write!(
+                f,
+                "solo run of {tx} did not commit (outcome: {outcome}{})",
+                if *blocked { ", blocked on the step budget" } else { "" }
+            ),
+            ConstructionObstacle::NoCriticalStep { writer, observer, item } => write!(
+                f,
+                "no critical step: {observer}'s solo read of {item} never changes, \
+                 no matter how many steps {writer} takes"
+            ),
+        }
+    }
+}
+
+/// The per-transaction read/write summary of one constructed execution — the data
+/// behind Figures 5 and 6.
+#[derive(Debug, Clone)]
+pub struct ReadTable {
+    /// Rows: (transaction, outcome, reads as (item, value), writes as (item, value)).
+    pub rows: Vec<(TxId, TxOutcome, Vec<(DataItem, i64)>, Vec<(DataItem, i64)>)>,
+}
+
+impl ReadTable {
+    fn from_outcome(out: &SimOutcome, scenario: &Scenario) -> ReadTable {
+        let history = out.execution.history();
+        let rows = scenario
+            .txs
+            .iter()
+            .filter(|t| history.transactions().contains(&t.id))
+            .map(|t| {
+                (t.id, out.outcome_of(t.id), history.reads_of(t.id), history.writes_of(t.id))
+            })
+            .collect();
+        ReadTable { rows }
+    }
+
+    /// The value a transaction read for an item, if it performed that read.
+    pub fn read(&self, tx: TxId, item: &str) -> Option<i64> {
+        let item = DataItem::new(item);
+        self.rows
+            .iter()
+            .find(|(t, _, _, _)| *t == tx)
+            .and_then(|(_, _, reads, _)| reads.iter().find(|(i, _)| *i == item).map(|(_, v)| *v))
+    }
+}
+
+/// Everything the construction produced for one algorithm.
+#[derive(Debug)]
+pub struct ConstructionReport {
+    /// The algorithm's name.
+    pub algorithm: String,
+    /// The scenario used (the seven paper transactions).
+    pub scenario: Scenario,
+    /// The critical step `s1`, if found.
+    pub s1: Option<CriticalStep>,
+    /// The critical step `s2`, if found.
+    pub s2: Option<CriticalStep>,
+    /// Obstacles encountered while building the construction (liveness give-aways,
+    /// missing critical steps).  Empty when the construction completed cleanly.
+    pub obstacles: Vec<ConstructionObstacle>,
+    /// The outcome of execution β (Figure 3), if it was assembled.
+    pub beta: Option<SimOutcome>,
+    /// The outcome of execution β′ (Figure 4), if it was assembled.
+    pub beta_prime: Option<SimOutcome>,
+    /// Whether p7's view of β and β′ is indistinguishable (the pivot of the proof).
+    pub p7_indistinguishable: Option<bool>,
+    /// Read/write table of β (Figure 5).
+    pub beta_table: Option<ReadTable>,
+    /// Read/write table of β′ (Figure 6).
+    pub beta_prime_table: Option<ReadTable>,
+}
+
+impl ConstructionReport {
+    /// `true` when both β and β′ were assembled.
+    pub fn completed(&self) -> bool {
+        self.beta.is_some() && self.beta_prime.is_some()
+    }
+}
+
+/// The construction driver.
+pub struct Construction<'a> {
+    algo: &'a dyn TmAlgorithm,
+    scenario: Scenario,
+    step_limit: usize,
+}
+
+impl<'a> Construction<'a> {
+    /// Create a construction driver for an algorithm, using the paper's seven
+    /// transactions.
+    pub fn new(algo: &'a dyn TmAlgorithm) -> Self {
+        Construction { algo, scenario: pcl_scenario(), step_limit: 5_000 }
+    }
+
+    /// Override the step budget used for every solo run.
+    pub fn with_step_limit(mut self, step_limit: usize) -> Self {
+        self.step_limit = step_limit;
+        self
+    }
+
+    fn sim(&self) -> Simulator<'_> {
+        Simulator::new(self.algo, &self.scenario).with_step_limit(self.step_limit)
+    }
+
+    fn run(&self, directives: Vec<Directive>) -> SimOutcome {
+        self.sim().run(&Schedule::from_directives(directives))
+    }
+
+    /// How many steps `proc` takes when run solo to completion after `prefix`.
+    fn solo_steps_after(&self, prefix: &[Directive], proc: ProcId) -> (usize, SimOutcome) {
+        let mut directives = prefix.to_vec();
+        directives.push(Directive::RunUntilTxDone(proc));
+        let out = self.run(directives);
+        let steps = out.reports.last().map(|r| r.steps_taken).unwrap_or(0);
+        (steps, out)
+    }
+
+    /// The Figure 1 / Figure 2 search: find the first step of `writer` (running solo
+    /// after `prefix`) whose execution changes the value `observer` reads for `item`
+    /// when `observer` subsequently runs solo.
+    pub fn find_critical_step(
+        &self,
+        prefix: &[Directive],
+        writer: TxId,
+        observer: TxId,
+        item: &str,
+        obstacles: &mut Vec<ConstructionObstacle>,
+    ) -> Option<CriticalStep> {
+        let item = DataItem::new(item);
+        let writer_proc = self.scenario.tx(writer).proc;
+        let observer_proc = self.scenario.tx(observer).proc;
+
+        // Total solo length of the writer (after the prefix).
+        let (writer_len, writer_out) = self.solo_steps_after(prefix, writer_proc);
+        if writer_out.outcome_of(writer) != TxOutcome::Committed {
+            obstacles.push(ConstructionObstacle::SoloRunFailed {
+                tx: writer,
+                outcome: writer_out.outcome_of(writer),
+                blocked: writer_out.any_limit_hit(),
+            });
+            return None;
+        }
+
+        // Baseline: what does the observer read if the writer takes no step at all?
+        let mut baseline = None;
+        let mut result: Option<CriticalStep> = None;
+        for k in 0..=writer_len {
+            let mut directives = prefix.to_vec();
+            if k > 0 {
+                directives.push(Directive::Steps(writer_proc, k));
+            }
+            directives.push(Directive::RunUntilTxDone(observer_proc));
+            let out = self.run(directives);
+            if out.outcome_of(observer) != TxOutcome::Committed {
+                // The observer could not finish (blocked or aborted) from this
+                // configuration; record it once and keep searching.
+                if !obstacles.iter().any(|o| matches!(o, ConstructionObstacle::SoloRunFailed { tx, .. } if *tx == observer)) {
+                    obstacles.push(ConstructionObstacle::SoloRunFailed {
+                        tx: observer,
+                        outcome: out.outcome_of(observer),
+                        blocked: out.any_limit_hit(),
+                    });
+                }
+                continue;
+            }
+            let value = match out.read_value(observer, &item) {
+                Some(v) => v,
+                None => continue,
+            };
+            match baseline {
+                None => baseline = Some(value),
+                Some(before) if value != before => {
+                    // The k-th step of the writer is the critical one.  Fetch it.
+                    let mut step_directives = prefix.to_vec();
+                    step_directives.push(Directive::Steps(writer_proc, k));
+                    let run = self.run(step_directives);
+                    let step = run
+                        .execution
+                        .steps_of_proc(writer_proc)
+                        .last()
+                        .cloned()
+                        .cloned()
+                        .expect("writer took at least one step");
+                    result = Some(CriticalStep {
+                        writer,
+                        observer,
+                        item: item.clone(),
+                        prefix_steps: k - 1,
+                        value_before: before,
+                        value_after: value,
+                        step,
+                    });
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if result.is_none() {
+            obstacles.push(ConstructionObstacle::NoCriticalStep { writer, observer, item });
+        }
+        result
+    }
+
+    /// Run the full construction and produce the report.
+    pub fn build(&self) -> ConstructionReport {
+        let mut obstacles = Vec::new();
+        let scenario = self.scenario.clone();
+        let p = |t: TxId| scenario.tx(t).proc;
+
+        // Figure 1: s1 — T1's critical step for T3's read of b1.
+        let s1 = self.find_critical_step(&[], tx::T1, tx::T3, "b1", &mut obstacles);
+        let Some(s1) = s1 else {
+            return ConstructionReport {
+                algorithm: self.algo.name().to_string(),
+                scenario,
+                s1: None,
+                s2: None,
+                obstacles,
+                beta: None,
+                beta_prime: None,
+                p7_indistinguishable: None,
+                beta_table: None,
+                beta_prime_table: None,
+            };
+        };
+        let alpha1 = vec![Directive::Steps(p(tx::T1), s1.prefix_steps)];
+
+        // Figure 2: s2 — T2's critical step (after α1) for T5's read of b2.
+        let s2 = self.find_critical_step(&alpha1, tx::T2, tx::T5, "b2", &mut obstacles);
+        let Some(s2) = s2 else {
+            return ConstructionReport {
+                algorithm: self.algo.name().to_string(),
+                scenario,
+                s1: Some(s1),
+                s2: None,
+                obstacles,
+                beta: None,
+                beta_prime: None,
+                p7_indistinguishable: None,
+                beta_table: None,
+                beta_prime_table: None,
+            };
+        };
+
+        // Figure 3: β = α1 · α2 · s1 · α3 · α4 · s2 · α7.
+        let beta_directives = vec![
+            Directive::Steps(p(tx::T1), s1.prefix_steps),
+            Directive::Steps(p(tx::T2), s2.prefix_steps),
+            Directive::Steps(p(tx::T1), 1), // s1
+            Directive::RunUntilTxDone(p(tx::T3)),
+            Directive::RunUntilTxDone(p(tx::T4)),
+            Directive::Steps(p(tx::T2), 1), // s2
+            Directive::RunUntilTxDone(p(tx::T7)),
+        ];
+        let beta = self.run(beta_directives);
+
+        // Figure 4: β′ = α1 · α2 · s2 · α5 · α6 · s1 · α′7.
+        let beta_prime_directives = vec![
+            Directive::Steps(p(tx::T1), s1.prefix_steps),
+            Directive::Steps(p(tx::T2), s2.prefix_steps),
+            Directive::Steps(p(tx::T2), 1), // s2
+            Directive::RunUntilTxDone(p(tx::T5)),
+            Directive::RunUntilTxDone(p(tx::T6)),
+            Directive::Steps(p(tx::T1), 1), // s1
+            Directive::RunUntilTxDone(p(tx::T7)),
+        ];
+        let beta_prime = self.run(beta_prime_directives);
+
+        for (label, out, solo_txs) in [
+            ("β", &beta, vec![tx::T3, tx::T4, tx::T7]),
+            ("β′", &beta_prime, vec![tx::T5, tx::T6, tx::T7]),
+        ] {
+            let _ = label;
+            for t in solo_txs {
+                if out.outcome_of(t) != TxOutcome::Committed {
+                    obstacles.push(ConstructionObstacle::SoloRunFailed {
+                        tx: t,
+                        outcome: out.outcome_of(t),
+                        blocked: out.any_limit_hit(),
+                    });
+                }
+            }
+        }
+
+        let p7_indistinguishable =
+            Some(beta.execution.indistinguishable_to(&beta_prime.execution, p(tx::T7)));
+        let beta_table = Some(ReadTable::from_outcome(&beta, &scenario));
+        let beta_prime_table = Some(ReadTable::from_outcome(&beta_prime, &scenario));
+
+        ConstructionReport {
+            algorithm: self.algo.name().to_string(),
+            scenario,
+            s1: Some(s1),
+            s2: Some(s2),
+            obstacles,
+            beta: Some(beta),
+            beta_prime: Some(beta_prime),
+            p7_indistinguishable,
+            beta_table,
+            beta_prime_table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{OfDapCandidate, PramTm, SiStm, TransactionalLocking};
+
+    #[test]
+    fn ofdap_candidate_completes_the_construction() {
+        let algo = OfDapCandidate::new();
+        let report = Construction::new(&algo).build();
+        assert!(report.completed(), "obstacles: {:?}", report.obstacles);
+        let s1 = report.s1.as_ref().unwrap();
+        let s2 = report.s2.as_ref().unwrap();
+        // Claim 2: the critical steps are non-trivial.
+        assert!(s1.step.is_nontrivial());
+        assert!(s2.step.is_nontrivial());
+        // Claim 3: they touch different base objects.
+        assert_ne!(s1.object(), s2.object());
+        // Claim 1: T1 is commit-pending at the end of α1 (it has invoked commit).
+        assert_eq!(s1.value_before, 0);
+        assert_eq!(s1.value_after, 1);
+        assert_eq!(s2.value_before, 0);
+        assert_eq!(s2.value_after, 2);
+        // The pivot of the proof: p7 cannot tell β and β′ apart.
+        assert_eq!(report.p7_indistinguishable, Some(true));
+    }
+
+    #[test]
+    fn ofdap_candidate_beta_reads_match_partial_write_back() {
+        let algo = OfDapCandidate::new();
+        let report = Construction::new(&algo).build();
+        let beta = report.beta_table.as_ref().unwrap();
+        // T3 observes T1's write of b1 (that is what made s1 critical) and b4 = 0.
+        assert_eq!(beta.read(tx::T3, "b1"), Some(1));
+        assert_eq!(beta.read(tx::T3, "b4"), Some(0));
+        // T4 reads d2 = 0 (T2 has not published d2 yet) and c3 = 1 (from T3).
+        assert_eq!(beta.read(tx::T4, "d2"), Some(0));
+        assert_eq!(beta.read(tx::T4, "c3"), Some(1));
+        // T7 reads a = 2 (T2's earlier publication of `a` overwrote T1's).
+        assert_eq!(beta.read(tx::T7, "a"), Some(2));
+    }
+
+    #[test]
+    fn tl_locking_hits_liveness_obstacles() {
+        let algo = TransactionalLocking::new();
+        let report = Construction::new(&algo).with_step_limit(300).build();
+        // The blocked solo runs show up as obstacles (T3 spinning on T1's lock).
+        assert!(report
+            .obstacles
+            .iter()
+            .any(|o| matches!(o, ConstructionObstacle::SoloRunFailed { blocked: true, .. })),
+            "obstacles: {:?}",
+            report.obstacles
+        );
+    }
+
+    #[test]
+    fn pram_tm_has_no_critical_step() {
+        let algo = PramTm::new();
+        let report = Construction::new(&algo).build();
+        assert!(!report.completed());
+        assert!(report
+            .obstacles
+            .iter()
+            .any(|o| matches!(o, ConstructionObstacle::NoCriticalStep { .. })));
+        assert!(report.obstacles.iter().all(|o| !o.to_string().is_empty()));
+    }
+
+    #[test]
+    fn si_stm_completes_the_construction_with_a_global_clock_footprint() {
+        let algo = SiStm::new();
+        let report = Construction::new(&algo).build();
+        assert!(report.completed(), "obstacles: {:?}", report.obstacles);
+    }
+}

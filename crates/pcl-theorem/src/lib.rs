@@ -1,0 +1,38 @@
+//! # pcl-theorem — the PCL theorem as an executable artifact
+//!
+//! The paper's Theorem 4.1 states that no TM implementation is simultaneously
+//!
+//! * **P** — strictly disjoint-access-parallel,
+//! * **C** — weakly adaptively consistent (Definition 3.3), and
+//! * **L** — obstruction-free (transactions running solo eventually commit).
+//!
+//! This crate mechanizes the constructive part of the proof and turns it into an
+//! experiment that can be pointed at *any* concrete TM algorithm written against the
+//! `tm-model` simulator:
+//!
+//! * [`transactions`] — the seven static transactions T1…T7 of Section 4, with the
+//!   exact read/write sets of the paper;
+//! * [`construction`] — the adversarial schedule construction: the search for the
+//!   critical steps `s1` and `s2` (Figures 1 and 2), the assembly of the executions
+//!   β and β′ (Figures 3 and 4), and the verification of Claims 1–3 along the way;
+//! * [`figures`] — renderers that regenerate the content of Figures 1–6 (execution
+//!   shapes and per-transaction read/write tables) from a construction run;
+//! * [`verdict`] — the P/C/L verdict: for each algorithm, run the
+//!   disjoint-access-parallelism analysis, the consistency matrix and the liveness
+//!   probes on the constructed executions and report which of the three properties
+//!   the algorithm sacrifices.  The theorem predicts every row of that table has at
+//!   least one ✗ — the integration tests assert exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construction;
+pub mod figures;
+pub mod transactions;
+pub mod verdict;
+
+pub use construction::{Construction, ConstructionReport, CriticalStep};
+pub use transactions::{
+    pcl_scenario, propagation_scenario, small_liveness_scenario, write_order_scenario,
+};
+pub use verdict::{evaluate_algorithm, theorem_table, PclVerdict, PropertyVerdict};

@@ -1,0 +1,318 @@
+//! The P/C/L verdict: which of Parallelism, Consistency, Liveness an algorithm
+//! sacrifices.
+//!
+//! For each algorithm the verdict machinery gathers evidence from three sources:
+//!
+//! * **P** — the strict disjoint-access-parallelism checker applied to every execution
+//!   the theorem construction produced (β, β′) plus the solo-sequence execution of the
+//!   paper scenario and a round-robin stress interleaving;
+//! * **C** — the weak adaptive consistency checker (Definition 3.3) applied to the same
+//!   executions, falling back on the cheaper sufficient conditions where applicable;
+//!   the write-order scenario is also checked so that designs which never propagate
+//!   writes (PRAM-TM) are exposed even though the paper construction cannot touch them;
+//! * **L** — the solo-commit liveness probes (obstruction-freedom) on a small
+//!   conflicting scenario, plus any liveness obstacle the construction itself hit.
+//!
+//! Theorem 4.1 predicts that **no row of the resulting table has three check marks**;
+//! `theorem_table` computes the rows and the integration tests assert exactly that.
+
+use crate::construction::{Construction, ConstructionObstacle, ConstructionReport};
+use crate::transactions::{small_liveness_scenario, write_order_scenario};
+use std::fmt;
+use tm_consistency::weak_adaptive::check_weak_adaptive;
+use tm_model::prelude::*;
+use tm_properties::dap::check_strict_dap;
+use tm_properties::liveness::{probe_obstruction_freedom, ProbeConfig};
+
+/// The verdict for one of the three properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyVerdict {
+    /// Whether the property held on every piece of evidence gathered.
+    pub holds: bool,
+    /// Human-readable evidence (the witness of the first violation, or a summary of
+    /// what was checked).
+    pub evidence: String,
+}
+
+impl PropertyVerdict {
+    fn holds(evidence: impl Into<String>) -> Self {
+        PropertyVerdict { holds: true, evidence: evidence.into() }
+    }
+    fn fails(evidence: impl Into<String>) -> Self {
+        PropertyVerdict { holds: false, evidence: evidence.into() }
+    }
+}
+
+impl fmt::Display for PropertyVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", if self.holds { "✓" } else { "✗" }, self.evidence)
+    }
+}
+
+/// The full P/C/L verdict for one algorithm.
+#[derive(Debug, Clone)]
+pub struct PclVerdict {
+    /// The algorithm's name.
+    pub algorithm: String,
+    /// The algorithm's self-declared profile (for the report).
+    pub profile: String,
+    /// Strict disjoint-access-parallelism.
+    pub parallelism: PropertyVerdict,
+    /// Weak adaptive consistency.
+    pub consistency: PropertyVerdict,
+    /// Solo-commit liveness (obstruction-freedom).
+    pub liveness: PropertyVerdict,
+}
+
+impl PclVerdict {
+    /// How many of the three properties hold.
+    pub fn properties_held(&self) -> usize {
+        [&self.parallelism, &self.consistency, &self.liveness]
+            .iter()
+            .filter(|p| p.holds)
+            .count()
+    }
+
+    /// The PCL theorem says this can never be 3 — exposed as a method so tests and
+    /// benches can assert it uniformly.
+    pub fn respects_pcl_theorem(&self) -> bool {
+        self.properties_held() < 3
+    }
+
+    /// A compact single-line rendering: `name: P ✓ | C ✗ | L ✓`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<18} P {} | C {} | L {}",
+            self.algorithm,
+            if self.parallelism.holds { "✓" } else { "✗" },
+            if self.consistency.holds { "✓" } else { "✗" },
+            if self.liveness.holds { "✓" } else { "✗" },
+        )
+    }
+}
+
+impl fmt::Display for PclVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({})", self.algorithm, self.profile)?;
+        writeln!(f, "  Parallelism (strict DAP):        {}", self.parallelism)?;
+        writeln!(f, "  Consistency (weak adaptive):     {}", self.consistency)?;
+        writeln!(f, "  Liveness (solo commit / OF):     {}", self.liveness)
+    }
+}
+
+/// One piece of evidence: a labeled execution, its scenario, and whether the (costly)
+/// consistency checker should be run on it in addition to the (cheap) DAP checker.
+struct Evidence {
+    label: String,
+    scenario: Scenario,
+    execution: Execution,
+    check_consistency: bool,
+}
+
+/// The executions on which P and C evidence is gathered for an algorithm.
+///
+/// The DAP checker is cheap and runs on everything, including large interleavings.
+/// The weak-adaptive-consistency checker searches an exponential witness space when
+/// it is violated, so it only runs on the paper's adversarial executions (β, β′) and
+/// on two small targeted scenarios: the δ1-style propagation scenario (catches
+/// designs that never propagate writes) and the write-order scenario (catches designs
+/// whose processes disagree on same-item write order).
+fn gather_evidence(algo: &dyn TmAlgorithm, report: &ConstructionReport) -> Vec<Evidence> {
+    let mut out = Vec::new();
+    let scenario = report.scenario.clone();
+    if let Some(beta) = &report.beta {
+        out.push(Evidence {
+            label: "β (Figure 3)".to_string(),
+            scenario: scenario.clone(),
+            execution: beta.execution.clone(),
+            check_consistency: true,
+        });
+    }
+    if let Some(bp) = &report.beta_prime {
+        out.push(Evidence {
+            label: "β′ (Figure 4)".to_string(),
+            scenario: scenario.clone(),
+            execution: bp.execution.clone(),
+            check_consistency: true,
+        });
+    }
+    // Solo sequence and a round-robin interleaving of the paper scenario (P evidence).
+    let solo = Simulator::new(algo, &scenario)
+        .with_step_limit(5_000)
+        .run(&Schedule::solo_sequence(&scenario));
+    out.push(Evidence {
+        label: "solo sequence of T1…T7".to_string(),
+        scenario: scenario.clone(),
+        execution: solo.execution,
+        check_consistency: false,
+    });
+    let rr = Simulator::new(algo, &scenario)
+        .with_step_limit(20_000)
+        .run(&Schedule::round_robin(20_000));
+    out.push(Evidence {
+        label: "round-robin interleaving of T1…T7".to_string(),
+        scenario,
+        execution: rr.execution,
+        check_consistency: false,
+    });
+    // The δ1-style propagation scenario (exposes designs that never propagate writes).
+    let prop = crate::transactions::propagation_scenario();
+    let prop_out =
+        Simulator::new(algo, &prop).with_step_limit(5_000).run(&Schedule::solo_sequence(&prop));
+    out.push(Evidence {
+        label: "δ1 propagation scenario (T1 solo, then T3 solo)".to_string(),
+        scenario: prop,
+        execution: prop_out.execution,
+        check_consistency: true,
+    });
+    // The write-order scenario (exposes per-process disagreement on write order).
+    let wo = write_order_scenario();
+    let wo_out = Simulator::new(algo, &wo).with_step_limit(5_000).run(&Schedule::from_directives(
+        vec![
+            Directive::RunUntilTxDone(ProcId(0)),
+            Directive::RunUntilTxDone(ProcId(1)),
+            Directive::RunUntilTxDone(ProcId(2)),
+            Directive::RunUntilTxDone(ProcId(3)),
+        ],
+    ));
+    out.push(Evidence {
+        label: "write-order scenario (W1, W2, R1, R2)".to_string(),
+        scenario: wo,
+        execution: wo_out.execution,
+        check_consistency: true,
+    });
+    out
+}
+
+/// Evaluate one algorithm: run the construction, gather evidence, return the verdict.
+pub fn evaluate_algorithm(algo: &dyn TmAlgorithm) -> PclVerdict {
+    let report = Construction::new(algo).with_step_limit(2_000).build();
+    let evidence = gather_evidence(algo, &report);
+
+    // Parallelism.
+    let mut parallelism = PropertyVerdict::holds(format!(
+        "strict DAP holds on all {} evidence executions",
+        evidence.len()
+    ));
+    for ev in &evidence {
+        let dap = check_strict_dap(&ev.execution, &ev.scenario);
+        if !dap.satisfied() {
+            let v = &dap.violations[0];
+            parallelism = PropertyVerdict::fails(format!("in {}: {v}", ev.label));
+            break;
+        }
+    }
+
+    // Consistency.
+    let checked = evidence.iter().filter(|e| e.check_consistency).count();
+    let mut consistency = PropertyVerdict::holds(format!(
+        "weak adaptive consistency holds on all {checked} checked executions"
+    ));
+    for ev in evidence.iter().filter(|e| e.check_consistency) {
+        let wac = check_weak_adaptive(&ev.execution);
+        if !wac.satisfied {
+            consistency = PropertyVerdict::fails(format!(
+                "in {}: {}",
+                ev.label,
+                wac.violation.unwrap_or_else(|| "violated".to_string())
+            ));
+            break;
+        }
+    }
+
+    // Liveness: construction obstacles + the dedicated probes.
+    let mut liveness = PropertyVerdict::holds("solo-commit probes all committed");
+    if let Some(obstacle) = report
+        .obstacles
+        .iter()
+        .find(|o| matches!(o, ConstructionObstacle::SoloRunFailed { .. }))
+    {
+        liveness = PropertyVerdict::fails(format!("during the construction: {obstacle}"));
+    } else {
+        let probe = probe_obstruction_freedom(
+            algo,
+            &small_liveness_scenario(),
+            ProbeConfig { step_limit: 1_000, max_prefix: 60 },
+        );
+        if !probe.satisfied() {
+            let v = &probe.violations[0];
+            liveness = PropertyVerdict::fails(format!("liveness probe: {v}"));
+        }
+    }
+
+    PclVerdict {
+        algorithm: algo.name().to_string(),
+        profile: algo.pcl_profile().to_string(),
+        parallelism,
+        consistency,
+        liveness,
+    }
+}
+
+/// Evaluate every registered algorithm and return the verdict table — the headline
+/// artifact of the reproduction.
+pub fn theorem_table() -> Vec<PclVerdict> {
+    tm_algorithms::all_algorithms().iter().map(|a| evaluate_algorithm(a.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{OfDapCandidate, PramTm, SiStm, TransactionalLocking};
+
+    #[test]
+    fn ofdap_candidate_keeps_p_and_l_but_loses_c() {
+        let v = evaluate_algorithm(&OfDapCandidate::new());
+        assert!(v.parallelism.holds, "{v}");
+        assert!(v.liveness.holds, "{v}");
+        assert!(!v.consistency.holds, "{v}");
+        assert!(v.respects_pcl_theorem());
+        assert!(v.summary().contains("of-dap-candidate"));
+    }
+
+    #[test]
+    fn tl_locking_loses_liveness() {
+        let v = evaluate_algorithm(&TransactionalLocking::new());
+        assert!(!v.liveness.holds, "{v}");
+        assert!(v.parallelism.holds, "{v}");
+        assert!(v.respects_pcl_theorem());
+    }
+
+    #[test]
+    fn si_stm_loses_strict_dap() {
+        let v = evaluate_algorithm(&SiStm::new());
+        assert!(!v.parallelism.holds, "{v}");
+        assert!(v.parallelism.evidence.contains("global-clock"), "{}", v.parallelism.evidence);
+        assert!(v.respects_pcl_theorem());
+    }
+
+    #[test]
+    fn pram_tm_loses_consistency() {
+        let v = evaluate_algorithm(&PramTm::new());
+        assert!(v.parallelism.holds, "{v}");
+        assert!(v.liveness.holds, "{v}");
+        assert!(!v.consistency.holds, "{v}");
+    }
+
+    #[test]
+    fn no_algorithm_holds_all_three_properties() {
+        for verdict in theorem_table() {
+            assert!(
+                verdict.respects_pcl_theorem(),
+                "{} appears to hold P, C and L simultaneously — impossible by Theorem 4.1:\n{}",
+                verdict.algorithm,
+                verdict
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_rendering_is_informative() {
+        let v = evaluate_algorithm(&OfDapCandidate::new());
+        let text = v.to_string();
+        assert!(text.contains("Parallelism"));
+        assert!(text.contains("Consistency"));
+        assert!(text.contains("Liveness"));
+        assert_eq!(v.properties_held(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! The backend interface shared by every STM implementation.
+
+use crate::txn::TxnData;
+use std::fmt;
+
+/// Identifier of a transactional variable within one [`crate::Stm`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// Numeric index of the variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Which backend a [`crate::Stm`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// TL2-style commit-time locking with a global version clock; commits **spin** on
+    /// busy locks (blocking liveness, serializable, per-var metadata only).
+    Tl2Blocking,
+    /// Obstruction-free variant: same versioned-lock layout, but instead of spinning
+    /// it aborts on any lock it cannot take immediately (never blocks).
+    ObstructionFree,
+    /// Thread-local replicas, no shared memory at all: wait-free, strict DAP
+    /// (vacuously) and only PRAM-consistent.
+    PramLocal,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Tl2Blocking => f.write_str("tl2-blocking"),
+            BackendKind::ObstructionFree => f.write_str("obstruction-free"),
+            BackendKind::PramLocal => f.write_str("pram-local"),
+        }
+    }
+}
+
+/// The operations a backend must provide.  `TxnData` carries the per-transaction
+/// bookkeeping (read set, write set, snapshot timestamp) that all backends share.
+pub trait Backend: Send + Sync {
+    /// Allocate a new variable with an initial value.
+    fn alloc(&self, initial: i64) -> VarId;
+    /// Initialize per-transaction state.
+    fn begin(&self, data: &mut TxnData);
+    /// Transactional read.
+    fn read(&self, data: &mut TxnData, var: VarId) -> Result<i64, crate::StmError>;
+    /// Transactional write (buffered until commit on most backends).
+    fn write(&self, data: &mut TxnData, var: VarId, value: i64) -> Result<(), crate::StmError>;
+    /// Attempt to commit.
+    fn commit(&self, data: &mut TxnData) -> Result<(), crate::StmError>;
+    /// Release any resources after an abort (locks, ownership records).
+    fn cleanup(&self, data: &mut TxnData);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_ids_are_ordered_and_displayable() {
+        assert!(VarId(0) < VarId(1));
+        assert_eq!(VarId(3).index(), 3);
+        assert_eq!(VarId(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn backend_kinds_have_distinct_names() {
+        let names: Vec<String> = [
+            BackendKind::Tl2Blocking,
+            BackendKind::ObstructionFree,
+            BackendKind::PramLocal,
+        ]
+        .iter()
+        .map(|k| k.to_string())
+        .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"tl2-blocking".to_string()));
+        assert_ne!(names[0], names[1]);
+        assert_ne!(names[1], names[2]);
+    }
+}

@@ -1,0 +1,265 @@
+//! # stm-runtime — a real, multi-threaded word STM with swappable backends
+//!
+//! While `tm-model` / `tm-algorithms` reproduce the paper's *formal* model inside a
+//! deterministic simulator, this crate is the artifact a downstream user would
+//! actually link against: a shared-memory software transactional memory for `i64`
+//! variables (`word STM`), runnable on real threads, with one backend per corner of
+//! the P/C/L triangle:
+//!
+//! | Backend | P (disjoint-access) | C | L | Simulator counterpart |
+//! |---|---|---|---|---|
+//! | [`BackendKind::Tl2Blocking`]   | per-var metadata only | serializable | blocking commit (spins on locks) | `tl-locking` |
+//! | [`BackendKind::ObstructionFree`] | per-var metadata only | serializable | never blocks, aborts under contention | `of-dap-candidate`/`dstm` family |
+//! | [`BackendKind::PramLocal`]     | no shared memory at all | PRAM only | wait-free | `pram-tm` |
+//!
+//! The API is deliberately small: allocate variables with [`Stm::alloc`], then run
+//! closures with [`Stm::run`] (retry-until-commit) or [`Stm::try_run`] (single
+//! attempt).  Per-backend statistics ([`Stm::stats`]) expose commits, aborts and
+//! retries so the benchmark harness can regenerate the liveness/contention trade-off
+//! experiments of EXPERIMENTS.md.
+//!
+//! ```
+//! use stm_runtime::{BackendKind, Stm, StmError};
+//!
+//! let stm = Stm::new(BackendKind::Tl2Blocking);
+//! let account_a = stm.alloc(100);
+//! let account_b = stm.alloc(0);
+//! let moved = stm.run(|tx| {
+//!     let a = tx.read(account_a)?;
+//!     let transfer = a.min(40);
+//!     tx.write(account_a, a - transfer)?;
+//!     let b = tx.read(account_b)?;
+//!     tx.write(account_b, b + transfer)?;
+//!     Ok(transfer)
+//! });
+//! assert_eq!(moved, 40);
+//! assert_eq!(stm.read_now(account_a) + stm.read_now(account_b), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod ofree;
+pub mod pramlocal;
+pub mod stats;
+pub mod tl2;
+pub mod txn;
+
+pub use backend::{Backend, BackendKind, VarId};
+pub use stats::StmStats;
+pub use txn::{StmError, Txn, TxnData};
+
+use std::sync::Arc;
+
+/// The front-end: a transactional memory instance with a chosen backend.
+pub struct Stm {
+    backend: Arc<dyn Backend>,
+    kind: BackendKind,
+    stats: Arc<StmStats>,
+}
+
+impl Stm {
+    /// Create an STM instance with the given backend.
+    pub fn new(kind: BackendKind) -> Self {
+        let backend: Arc<dyn Backend> = match kind {
+            BackendKind::Tl2Blocking => Arc::new(tl2::Tl2Backend::new()),
+            BackendKind::ObstructionFree => Arc::new(ofree::OFreeBackend::new()),
+            BackendKind::PramLocal => Arc::new(pramlocal::PramLocalBackend::new()),
+        };
+        Stm { backend, kind, stats: Arc::new(StmStats::default()) }
+    }
+
+    /// Which backend this instance uses.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Allocate a new transactional variable with the given initial value.
+    pub fn alloc(&self, initial: i64) -> VarId {
+        self.backend.alloc(initial)
+    }
+
+    /// Cumulative statistics (commits, aborts, retries).
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// Run a transaction once; `Err(StmError::Aborted)` means the attempt failed and
+    /// the caller may retry.
+    pub fn try_run<T>(
+        &self,
+        body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
+    ) -> Result<T, StmError> {
+        let mut data = TxnData::default();
+        self.backend.begin(&mut data);
+        let mut txn = Txn::new(self.backend.as_ref(), &mut data);
+        match body(&mut txn) {
+            Ok(value) => match self.backend.commit(&mut data) {
+                Ok(()) => {
+                    self.stats.record_commit();
+                    Ok(value)
+                }
+                Err(_) => {
+                    self.backend.cleanup(&mut data);
+                    self.stats.record_abort();
+                    Err(StmError::Aborted)
+                }
+            },
+            Err(e) => {
+                self.backend.cleanup(&mut data);
+                self.stats.record_abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Run a transaction until it commits (retrying on aborts) and return its result.
+    pub fn run<T>(&self, body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>) -> T {
+        loop {
+            match self.try_run(&body) {
+                Ok(v) => return v,
+                Err(_) => {
+                    self.stats.record_retry();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Read a variable outside of any transaction (a single-read transaction).
+    pub fn read_now(&self, var: VarId) -> i64 {
+        self.run(|tx| tx.read(var))
+    }
+
+    /// Write a variable outside of any transaction (a single-write transaction).
+    pub fn write_now(&self, var: VarId, value: i64) {
+        self.run(|tx| tx.write(var, value));
+    }
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm").field("kind", &self.kind).field("stats", &self.stats).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn all_kinds() -> [BackendKind; 3] {
+        [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+    }
+
+    #[test]
+    fn single_threaded_read_write_round_trip_on_every_backend() {
+        for kind in all_kinds() {
+            let stm = Stm::new(kind);
+            let x = stm.alloc(7);
+            assert_eq!(stm.read_now(x), 7, "{kind:?}");
+            stm.write_now(x, 42);
+            assert_eq!(stm.read_now(x), 42, "{kind:?}");
+            assert!(stm.stats().commits() >= 3);
+        }
+    }
+
+    #[test]
+    fn transactions_are_atomic_within_a_thread() {
+        for kind in all_kinds() {
+            let stm = Stm::new(kind);
+            let a = stm.alloc(10);
+            let b = stm.alloc(20);
+            let sum = stm.run(|tx| {
+                let va = tx.read(a)?;
+                let vb = tx.read(b)?;
+                tx.write(a, va + 1)?;
+                tx.write(b, vb - 1)?;
+                Ok(va + vb)
+            });
+            assert_eq!(sum, 30);
+            assert_eq!(stm.read_now(a), 11, "{kind:?}");
+            assert_eq!(stm.read_now(b), 19, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_user_aborts_leave_no_trace() {
+        for kind in all_kinds() {
+            let stm = Stm::new(kind);
+            let x = stm.alloc(1);
+            let result: Result<(), StmError> = stm.try_run(|tx| {
+                tx.write(x, 99)?;
+                Err(StmError::Aborted)
+            });
+            assert!(result.is_err());
+            assert_eq!(stm.read_now(x), 1, "{kind:?}");
+            assert!(stm.stats().aborts() >= 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_not_lost_on_consistent_backends() {
+        for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+            let stm = Arc::new(Stm::new(kind));
+            let counter = stm.alloc(0);
+            let threads = 4;
+            let per_thread = 200;
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        for _ in 0..per_thread {
+                            stm.run(|tx| {
+                                let v = tx.read(counter)?;
+                                tx.write(counter, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(stm.read_now(counter), threads * per_thread, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pram_backend_loses_cross_thread_updates_by_design() {
+        let stm = Arc::new(Stm::new(BackendKind::PramLocal));
+        let x = stm.alloc(0);
+        std::thread::scope(|s| {
+            let stm2 = Arc::clone(&stm);
+            s.spawn(move || {
+                stm2.write_now(x, 5);
+                assert_eq!(stm2.read_now(x), 5);
+            });
+        });
+        // The writer thread saw its own write, but this thread still sees the initial
+        // value: PRAM consistency, and nothing stronger.
+        assert_eq!(stm.read_now(x), 0);
+    }
+
+    #[test]
+    fn disjoint_threads_scale_without_aborts_on_dap_backends() {
+        for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+            let stm = Arc::new(Stm::new(kind));
+            let vars: Vec<VarId> = (0..4).map(|_| stm.alloc(0)).collect();
+            std::thread::scope(|s| {
+                for (i, var) in vars.iter().enumerate() {
+                    let stm = Arc::clone(&stm);
+                    let var = *var;
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            stm.run(|tx| {
+                                let v = tx.read(var)?;
+                                tx.write(var, v + i as i64 + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            // No conflicts → no aborts on either consistent backend.
+            assert_eq!(stm.stats().aborts(), 0, "{kind:?}");
+        }
+    }
+}

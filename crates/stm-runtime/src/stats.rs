@@ -1,0 +1,73 @@
+//! Lightweight, thread-safe statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Commit / abort / retry counters for one [`crate::Stm`] instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl StmStats {
+    /// Record a successful commit.
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an aborted attempt.
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a retry (an abort followed by another attempt).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of commits so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Number of aborted attempts so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Number of retries so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Abort ratio: aborts / (commits + aborts); 0.0 when nothing ran.
+    pub fn abort_ratio(&self) -> f64 {
+        let c = self.commits() as f64;
+        let a = self.aborts() as f64;
+        if c + a == 0.0 {
+            0.0
+        } else {
+            a / (c + a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_ratio_is_computed() {
+        let s = StmStats::default();
+        assert_eq!(s.abort_ratio(), 0.0);
+        s.record_commit();
+        s.record_commit();
+        s.record_abort();
+        s.record_retry();
+        assert_eq!(s.commits(), 2);
+        assert_eq!(s.aborts(), 1);
+        assert_eq!(s.retries(), 1);
+        assert!((s.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-transaction state and the handle user code sees inside a transaction.
+
+use crate::backend::{Backend, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a transaction attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmError {
+    /// The attempt must be abandoned (conflict, failed validation, busy lock on a
+    /// non-blocking backend, or an explicit user abort).  The caller may retry.
+    Aborted,
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("transaction aborted")
+    }
+}
+
+impl std::error::Error for StmError {}
+
+/// The bookkeeping every backend shares for one transaction attempt.
+#[derive(Debug, Default)]
+pub struct TxnData {
+    /// Snapshot timestamp (read of the global clock at begin), where applicable.
+    pub start_ts: u64,
+    /// Read set: variable → version observed at first read.
+    pub read_versions: BTreeMap<VarId, u64>,
+    /// Write set: variable → value to install at commit (also serves as the
+    /// read-your-own-writes cache).
+    pub write_set: BTreeMap<VarId, i64>,
+    /// Values read so far (cache, so repeated reads are stable within the attempt).
+    pub read_cache: BTreeMap<VarId, i64>,
+    /// Locks currently held (populated only during commit, used by `cleanup`).
+    pub held_locks: Vec<VarId>,
+}
+
+impl TxnData {
+    /// Reset the state for a fresh attempt.
+    pub fn reset(&mut self) {
+        self.start_ts = 0;
+        self.read_versions.clear();
+        self.write_set.clear();
+        self.read_cache.clear();
+        self.held_locks.clear();
+    }
+}
+
+/// The handle passed to transaction closures.
+pub struct Txn<'a> {
+    backend: &'a dyn Backend,
+    data: &'a mut TxnData,
+}
+
+impl<'a> Txn<'a> {
+    /// Create a transaction handle (used by [`crate::Stm`]).
+    pub fn new(backend: &'a dyn Backend, data: &'a mut TxnData) -> Self {
+        Txn { backend, data }
+    }
+
+    /// Read a transactional variable.
+    pub fn read(&mut self, var: VarId) -> Result<i64, StmError> {
+        self.backend.read(self.data, var)
+    }
+
+    /// Write a transactional variable.
+    pub fn write(&mut self, var: VarId, value: i64) -> Result<(), StmError> {
+        self.backend.write(self.data, var, value)
+    }
+
+    /// Read–modify–write helper.
+    pub fn update(&mut self, var: VarId, f: impl FnOnce(i64) -> i64) -> Result<i64, StmError> {
+        let old = self.read(var)?;
+        let new = f(old);
+        self.write(var, new)?;
+        Ok(new)
+    }
+
+    /// Abort the current attempt explicitly.
+    pub fn abort<T>(&mut self) -> Result<T, StmError> {
+        Err(StmError::Aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_data_reset_clears_everything() {
+        let mut d = TxnData::default();
+        d.start_ts = 9;
+        d.read_versions.insert(VarId(0), 1);
+        d.write_set.insert(VarId(0), 5);
+        d.read_cache.insert(VarId(1), 2);
+        d.held_locks.push(VarId(0));
+        d.reset();
+        assert_eq!(d.start_ts, 0);
+        assert!(d.read_versions.is_empty());
+        assert!(d.write_set.is_empty());
+        assert!(d.read_cache.is_empty());
+        assert!(d.held_locks.is_empty());
+    }
+
+    #[test]
+    fn stm_error_displays() {
+        assert_eq!(StmError::Aborted.to_string(), "transaction aborted");
+    }
+}

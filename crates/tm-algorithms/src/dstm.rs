@@ -1,0 +1,370 @@
+//! DSTM-style obstruction-free STM (Herlihy, Luchangco, Moir, Scherer \[25\]).
+//!
+//! The "give up strict parallelism" corner that keeps strong consistency and
+//! non-blocking liveness.  Every data item `x` is represented by a *locator*
+//! `loc:x` holding `{owner, old, new}`; every transaction `T` has a *status* word
+//! `status:T` (`Active` / `Committed` / `Aborted`).  Committing is a single CAS on the
+//! transaction's own status word, which atomically turns all its tentative (`new`)
+//! values into the current ones.
+//!
+//! * `write(x, v)` acquires ownership of `x`'s locator: the current committed value is
+//!   resolved through the previous owner's status, an `Active` previous owner is
+//!   aborted (CAS on *its* status word — the hallmark of obstruction-freedom: progress
+//!   by killing the competition), and a new locator `{owner: me, old: current, new: v}`
+//!   is installed by CAS.
+//! * `read(x)` resolves the current committed value through the owner's status and
+//!   **re-validates the entire read set** after adding each new item, aborting itself
+//!   if any previously read value has changed — this gives opaque-style snapshots.
+//! * `commit` validates the read set one last time and CASes `status: Active →
+//!   Committed`; if another transaction aborted us first, the CAS fails and we abort.
+//!
+//! A transaction running solo is never aborted (only other processes can CAS its
+//! status), so the algorithm is obstruction-free.  It is **not** strictly
+//! disjoint-access-parallel in general: resolving and validating reads makes a reader
+//! touch the *status word of whichever transaction happens to own the item*, and in
+//! executions with chained ownership two transactions with disjoint data sets can end
+//! up touching the same status word.
+
+use std::collections::BTreeMap;
+use tm_model::algorithm::{TmAlgorithm, TxCtx, TxLogic, TxResult};
+use tm_model::word::TxStatusWord;
+use tm_model::{AbortTx, DataItem, ObjId, ProcId, TxId, TxSpec, Word};
+
+/// DSTM-style obstruction-free STM.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dstm;
+
+impl Dstm {
+    /// Create the algorithm.
+    pub fn new() -> Self {
+        Dstm
+    }
+
+    /// Name of the locator object backing a data item.
+    pub fn locator_name(item: &DataItem) -> String {
+        format!("loc:{item}")
+    }
+
+    /// Name of the status word of a transaction.
+    pub fn status_name(tx: TxId) -> String {
+        format!("status:{tx}")
+    }
+}
+
+struct DstmTx {
+    me: TxId,
+    /// Items whose locator we own, with the tentative value we installed.
+    owned: BTreeMap<DataItem, i64>,
+    /// Read set: item → value observed (for incremental validation).
+    read_set: BTreeMap<DataItem, i64>,
+}
+
+impl DstmTx {
+    fn locator(&self, ctx: &mut dyn TxCtx, item: &DataItem) -> ObjId {
+        ctx.obj(&Dstm::locator_name(item), Word::locator0(DataItem::INITIAL_VALUE))
+    }
+
+    fn status_obj(&self, ctx: &mut dyn TxCtx, tx: TxId) -> ObjId {
+        ctx.obj(&Dstm::status_name(tx), Word::Status(TxStatusWord::Active))
+    }
+
+    /// Resolve the currently committed value of a locator, reading the owner's status
+    /// if necessary.  Does not modify anything.
+    fn resolve(&self, ctx: &mut dyn TxCtx, item: &DataItem) -> i64 {
+        let loc = self.locator(ctx, item);
+        let (owner, old, new) = ctx.read_obj(loc).expect_locator();
+        match owner {
+            None => new,
+            Some(owner_tx) if owner_tx == self.me => new,
+            Some(owner_tx) => {
+                let status = self.status_obj(ctx, owner_tx);
+                match ctx.read_obj(status).expect_status() {
+                    TxStatusWord::Committed => new,
+                    TxStatusWord::Aborted | TxStatusWord::Active => old,
+                }
+            }
+        }
+    }
+
+    /// Re-validate every previously read item; true iff all values are unchanged.
+    /// For items we have since acquired ownership of, the committed value we must
+    /// compare against is the locator's `old` field (our own tentative `new` value is
+    /// not a consistency violation).
+    fn validate(&self, ctx: &mut dyn TxCtx) -> bool {
+        for (item, value) in &self.read_set {
+            let current = if self.owned.contains_key(item) {
+                let loc = self.locator(ctx, item);
+                let (_, old, _) = ctx.read_obj(loc).expect_locator();
+                old
+            } else {
+                self.resolve(ctx, item)
+            };
+            if current != *value {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl TmAlgorithm for Dstm {
+    fn name(&self) -> &'static str {
+        "dstm"
+    }
+
+    fn pcl_profile(&self) -> &'static str {
+        "obstruction-free ✓, opaque-style consistency ✓ — strict DAP sacrificed \
+         (readers touch owners' status words)"
+    }
+
+    fn new_tx(&self, tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+        Box::new(DstmTx { me: tx, owned: BTreeMap::new(), read_set: BTreeMap::new() })
+    }
+}
+
+impl TxLogic for DstmTx {
+    fn begin(&mut self, ctx: &mut dyn TxCtx) {
+        // Publish our status word as Active (one step), so that conflicting
+        // transactions can abort us.
+        let status = self.status_obj(ctx, self.me);
+        ctx.write_obj(status, Word::Status(TxStatusWord::Active));
+    }
+
+    fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+        if let Some(v) = self.owned.get(item) {
+            return Ok(*v);
+        }
+        if let Some(v) = self.read_set.get(item) {
+            return Ok(*v);
+        }
+        let value = self.resolve(ctx, item);
+        self.read_set.insert(item.clone(), value);
+        // Incremental validation: the snapshot of everything read so far must still be
+        // current, otherwise abort ourselves.
+        if !self.validate(ctx) {
+            return Err(AbortTx);
+        }
+        Ok(value)
+    }
+
+    fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+        if self.owned.contains_key(item) {
+            // Already own the locator: just update the tentative value.
+            let loc = self.locator(ctx, item);
+            let (owner, old, _) = ctx.read_obj(loc).expect_locator();
+            debug_assert_eq!(owner, Some(self.me));
+            ctx.write_obj(loc, Word::Locator { owner: Some(self.me), old, new: value });
+            self.owned.insert(item.clone(), value);
+            return Ok(());
+        }
+        // Acquire ownership.
+        loop {
+            let loc = self.locator(ctx, item);
+            let current = ctx.read_obj(loc);
+            let (owner, old, new) = current.expect_locator();
+            let committed_value = match owner {
+                None => new,
+                Some(owner_tx) if owner_tx == self.me => new,
+                Some(owner_tx) => {
+                    let status = self.status_obj(ctx, owner_tx);
+                    match ctx.read_obj(status).expect_status() {
+                        TxStatusWord::Committed => new,
+                        TxStatusWord::Aborted => old,
+                        TxStatusWord::Active => {
+                            // Abort the competition (contention-manager: aggressive).
+                            ctx.cas_obj(
+                                status,
+                                Word::Status(TxStatusWord::Active),
+                                Word::Status(TxStatusWord::Aborted),
+                            );
+                            // Re-read its (now final) status to resolve the value.
+                            match ctx.read_obj(status).expect_status() {
+                                TxStatusWord::Committed => new,
+                                _ => old,
+                            }
+                        }
+                    }
+                }
+            };
+            let desired =
+                Word::Locator { owner: Some(self.me), old: committed_value, new: value };
+            if ctx.cas_obj(loc, current, desired) {
+                self.owned.insert(item.clone(), value);
+                return Ok(());
+            }
+            // Someone changed the locator under us; retry (only possible under
+            // contention, so obstruction-freedom is preserved).
+        }
+    }
+
+    fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()> {
+        if !self.validate(ctx) {
+            return Err(AbortTx);
+        }
+        let status = self.status_obj(ctx, self.me);
+        if ctx.cas_obj(
+            status,
+            Word::Status(TxStatusWord::Active),
+            Word::Status(TxStatusWord::Committed),
+        ) {
+            Ok(())
+        } else {
+            Err(AbortTx)
+        }
+    }
+
+    fn abort_cleanup(&mut self, ctx: &mut dyn TxCtx) {
+        // Make the abort explicit in shared memory so later resolvers see it.
+        let status = self.status_obj(ctx, self.me);
+        ctx.cas_obj(
+            status,
+            Word::Status(TxStatusWord::Active),
+            Word::Status(TxStatusWord::Aborted),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::prelude::*;
+
+    #[test]
+    fn solo_transactions_commit_and_values_flow() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 4).write("y", 5))
+            .tx(1, "T2", |t| t.read("x").read("y"))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(4));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(5));
+    }
+
+    #[test]
+    fn read_your_own_writes_and_rewrites() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1).read("x").write("x", 2).read("x"))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        let reads = out.execution.history().reads_of(TxId(0));
+        assert_eq!(reads, vec![(DataItem::new("x"), 1), (DataItem::new("x"), 2)]);
+    }
+
+    #[test]
+    fn writer_aborts_an_active_competitor_and_still_commits() {
+        // T1 acquires x (paused before committing); T2 then writes x: it aborts T1,
+        // takes ownership and commits.  T1's later commit CAS fails → aborted.
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("x", 2))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario);
+        // T1: begin status write (1), write: read loc (2), cas loc (3) — pause there.
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 3))
+                .then(Directive::RunUntilTxDone(ProcId(1)))
+                .then(Directive::RunUntilTxDone(ProcId(0))),
+        );
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Committed);
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Aborted);
+        // A later solo reader sees T2's value.
+        let scenario3 = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("x", 2))
+            .tx(2, "R", |t| t.read("x"))
+            .build();
+        let sim3 = Simulator::new(&Dstm, &scenario3);
+        let out3 = sim3.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 3))
+                .then(Directive::RunUntilTxDone(ProcId(1)))
+                .then(Directive::RunUntilTxDone(ProcId(0)))
+                .then(Directive::RunUntilTxDone(ProcId(2))),
+        );
+        assert_eq!(out3.read_value(TxId(2), &DataItem::new("x")), Some(2));
+    }
+
+    #[test]
+    fn paused_writer_does_not_block_a_reader() {
+        // Contrast with TL: a reader of an item owned by a paused, still-active writer
+        // resolves the old value and commits — no spinning.
+        let scenario = Scenario::builder()
+            .tx(0, "W", |t| t.write("x", 9))
+            .tx(1, "R", |t| t.read("x"))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario).with_step_limit(200);
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 3))
+                .then(Directive::RunUntilTxDone(ProcId(1))),
+        );
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Committed);
+        assert!(!out.any_limit_hit());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(0));
+    }
+
+    #[test]
+    fn torn_snapshots_are_prevented_by_incremental_validation() {
+        // T1 writes x and y; a reader that saw the old x must not later see the new y.
+        let scenario = Scenario::builder()
+            .tx(0, "W", |t| t.write("x", 1).write("y", 1))
+            .tx(1, "R", |t| t.read("x").read("y"))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario);
+        // R reads x first (before W does anything): x=0.
+        // Then W runs fully (commits x=1, y=1).  Then R reads y: validation of x fails
+        // → R aborts rather than returning the torn pair (0, 1).
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::RunUntilTxDone(ProcId(1)))
+                .then(Directive::RunUntilTxDone(ProcId(0))),
+        );
+        // Sequential solo order here: R first entirely, then W — both commit.
+        assert!(out.all_committed());
+
+        let sim2 = Simulator::new(&Dstm, &scenario);
+        // Interleaved: R begins and reads x (=0); W commits fully; R reads y.
+        let out2 = sim2.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(1), 3))
+                .then(Directive::RunUntilTxDone(ProcId(0)))
+                .then(Directive::RunUntilTxDone(ProcId(1))),
+        );
+        assert_eq!(out2.outcome_of(TxId(0)), TxOutcome::Committed);
+        // R either aborted (validation caught the change) or, if it had not yet
+        // performed its first read when W committed, read a consistent snapshot.
+        match out2.outcome_of(TxId(1)) {
+            TxOutcome::Aborted => {}
+            TxOutcome::Committed => {
+                let reads = out2.execution.history().reads_of(TxId(1));
+                let x = reads.iter().find(|(i, _)| i == &DataItem::new("x")).unwrap().1;
+                let y = reads.iter().find(|(i, _)| i == &DataItem::new("y")).unwrap().1;
+                assert!(!(x == 0 && y == 1), "torn snapshot observed: x={x}, y={y}");
+            }
+            TxOutcome::Unfinished => panic!("reader did not finish"),
+        }
+    }
+
+    #[test]
+    fn solo_runs_never_abort() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.read("a").write("b", 1).read("b").write("a", 2))
+            .build();
+        let sim = Simulator::new(&Dstm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+    }
+
+    #[test]
+    fn names_and_profile() {
+        assert_eq!(Dstm::new().name(), "dstm");
+        assert_eq!(Dstm::locator_name(&DataItem::new("a")), "loc:a");
+        assert_eq!(Dstm::status_name(TxId(2)), "status:T3");
+        assert!(Dstm.pcl_profile().contains("obstruction-free"));
+    }
+}

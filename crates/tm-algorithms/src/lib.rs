@@ -1,0 +1,42 @@
+//! # tm-algorithms — TM algorithms for the deterministic simulator
+//!
+//! Five algorithms, one per corner of the **P**arallelism / **C**onsistency /
+//! **L**iveness triangle the PCL theorem says cannot all be occupied at once:
+//!
+//! | Algorithm | Module | P (strict DAP) | C | L | Real-world analogue |
+//! |---|---|---|---|---|---|
+//! | Transactional Locking | [`tl`]      | ✓ | strict serializability | ✗ blocking | TL \[14\] |
+//! | OF-DAP candidate      | [`ofdap`]   | ✓ | **weak adaptive consistency fails** | ✓ obstruction-free | the "impossible" design |
+//! | DSTM-style            | [`dstm`]    | weaker DAP | opacity-like | ✓ obstruction-free | DSTM \[25\] |
+//! | SI-STM (global clock) | [`sistm`]   | ✗ global clock | snapshot isolation | ✓ | SI-STM \[33\] |
+//! | PRAM-TM (no sync)     | [`pram_tm`] | ✓ (trivially) | PRAM only | ✓ wait-free | Section 5's "weaken C" remark |
+//!
+//! Every algorithm is written against `tm-model`'s [`TmAlgorithm`]/[`TxLogic`] traits:
+//! all cross-transaction communication goes through named base objects, so the
+//! disjoint-access-parallelism and indistinguishability analyses see *everything* the
+//! algorithm does.
+//!
+//! The table's claims are not taken on faith: the theorem driver in `pcl-theorem` and
+//! the integration tests run the DAP, liveness and consistency checkers against the
+//! executions these algorithms actually produce, including the adversarial executions
+//! β and β′ of the proof.
+//!
+//! [`TmAlgorithm`]: tm_model::algorithm::TmAlgorithm
+//! [`TxLogic`]: tm_model::algorithm::TxLogic
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dstm;
+pub mod ofdap;
+pub mod pram_tm;
+pub mod registry;
+pub mod sistm;
+pub mod tl;
+
+pub use dstm::Dstm;
+pub use ofdap::OfDapCandidate;
+pub use pram_tm::PramTm;
+pub use registry::{all_algorithms, algorithm_by_name};
+pub use sistm::SiStm;
+pub use tl::TransactionalLocking;

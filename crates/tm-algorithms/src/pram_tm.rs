@@ -1,0 +1,145 @@
+//! PRAM-TM: the "weaken consistency until synchronization disappears" design.
+//!
+//! Section 5 of the paper observes that *"allowing writes to the same data item to be
+//! viewed differently, as in PRAM consistency, makes it possible to trivially ensure
+//! strict disjoint-access-parallelism and wait-freedom … without any synchronization
+//! between processes."*  PRAM-TM is exactly that design, made concrete:
+//!
+//! * every process keeps a **private replica** of every data item it touches
+//!   (`pram:p{i}:{x}`), and transactions read and write only their own process's
+//!   replicas;
+//! * nothing is ever shared, so no two transactions of different processes ever touch
+//!   the same base object — strict DAP holds vacuously, every operation finishes in a
+//!   bounded number of its own steps (wait-freedom), and transactions never abort;
+//! * the price is consistency: a process never observes any other process's writes,
+//!   which satisfies PRAM consistency (and in scenarios without cross-process
+//!   observation requirements even stronger conditions) but fails snapshot isolation /
+//!   processor consistency the moment two processes must agree on a read value.
+
+use tm_model::algorithm::{TmAlgorithm, TxCtx, TxLogic, TxResult};
+use tm_model::{DataItem, ObjId, ProcId, TxId, TxSpec, Word};
+
+/// The no-synchronization, per-process-replica TM.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PramTm;
+
+impl PramTm {
+    /// Create the algorithm.
+    pub fn new() -> Self {
+        PramTm
+    }
+
+    /// Name of the private replica of `item` owned by `proc`.
+    pub fn replica_name(proc: ProcId, item: &DataItem) -> String {
+        format!("pram:{proc}:{item}")
+    }
+}
+
+struct PramTx {
+    proc: ProcId,
+}
+
+impl PramTx {
+    fn replica(&self, ctx: &mut dyn TxCtx, item: &DataItem) -> ObjId {
+        ctx.obj(&PramTm::replica_name(self.proc, item), Word::Int(DataItem::INITIAL_VALUE))
+    }
+}
+
+impl TmAlgorithm for PramTm {
+    fn name(&self) -> &'static str {
+        "pram-tm"
+    }
+
+    fn pcl_profile(&self) -> &'static str {
+        "strict DAP ✓ (vacuously), wait-free ✓ — consistency reduced to PRAM"
+    }
+
+    fn new_tx(&self, _tx: TxId, proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+        Box::new(PramTx { proc })
+    }
+}
+
+impl TxLogic for PramTx {
+    fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+        let obj = self.replica(ctx, item);
+        Ok(ctx.read_obj(obj).expect_int())
+    }
+
+    fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+        let obj = self.replica(ctx, item);
+        ctx.write_obj(obj, Word::Int(value));
+        Ok(())
+    }
+
+    fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::prelude::*;
+
+    #[test]
+    fn everything_commits_and_own_writes_are_visible_within_a_process() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(0, "T2", |t| t.read("x"))
+            .tx(1, "T3", |t| t.read("x"))
+            .build();
+        let sim = Simulator::new(&PramTm, &scenario);
+        let out = sim.run(&Schedule::from_directives(vec![
+            Directive::RunUntilTxDone(ProcId(0)),
+            Directive::RunUntilTxDone(ProcId(0)),
+            Directive::RunUntilTxDone(ProcId(1)),
+        ]));
+        assert!(out.all_committed());
+        // Same-process later transaction sees the write …
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(1));
+        // … but another process never does.
+        assert_eq!(out.read_value(TxId(2), &DataItem::new("x")), Some(0));
+    }
+
+    #[test]
+    fn processes_never_share_base_objects() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1).read("y"))
+            .tx(1, "T2", |t| t.write("x", 2).read("y"))
+            .build();
+        let sim = Simulator::new(&PramTm, &scenario);
+        let out = sim.run(&Schedule::round_robin(1_000));
+        assert!(out.all_committed());
+        let f1 = out.execution.footprint_of_tx(TxId(0));
+        let f2 = out.execution.footprint_of_tx(TxId(1));
+        assert!(f1.all().is_disjoint(&f2.all()));
+        assert!(f1.contends_with(&f2).is_none());
+    }
+
+    #[test]
+    fn transactions_never_abort_under_any_interleaving() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1).read("x"))
+            .tx(1, "T2", |t| t.write("x", 2).read("x"))
+            .tx(2, "T3", |t| t.read("x").write("x", 3))
+            .build();
+        let sim = Simulator::new(&PramTm, &scenario);
+        let mut schedule = Schedule::new();
+        for _ in 0..4 {
+            for p in 0..3 {
+                schedule.push(Directive::Step(ProcId(p)));
+            }
+        }
+        schedule.push(Directive::RoundRobin { max_steps: 100 });
+        let out = sim.run(&schedule);
+        assert!(out.all_committed());
+    }
+
+    #[test]
+    fn replica_names_are_per_process() {
+        assert_eq!(PramTm::replica_name(ProcId(0), &DataItem::new("x")), "pram:p1:x");
+        assert_eq!(PramTm::replica_name(ProcId(3), &DataItem::new("x")), "pram:p4:x");
+        assert_eq!(PramTm::new().name(), "pram-tm");
+        assert!(PramTm.pcl_profile().contains("PRAM"));
+    }
+}

@@ -1,0 +1,48 @@
+//! A registry of every simulated TM algorithm, so experiments and examples can iterate
+//! over "all corners of the P/C/L triangle" without hard-coding the list everywhere.
+
+use crate::{Dstm, OfDapCandidate, PramTm, SiStm, TransactionalLocking};
+use tm_model::algorithm::TmAlgorithm;
+
+/// All simulated TM algorithms, in the order the experiments report them.
+pub fn all_algorithms() -> Vec<Box<dyn TmAlgorithm>> {
+    vec![
+        Box::new(OfDapCandidate::new()),
+        Box::new(TransactionalLocking::new()),
+        Box::new(Dstm::new()),
+        Box::new(SiStm::new()),
+        Box::new(PramTm::new()),
+    ]
+}
+
+/// Look an algorithm up by its `name()`.
+pub fn algorithm_by_name(name: &str) -> Option<Box<dyn TmAlgorithm>> {
+    all_algorithms().into_iter().find(|a| a.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_five_distinct_algorithms() {
+        let algos = all_algorithms();
+        assert_eq!(algos.len(), 5);
+        let mut names: Vec<&str> = algos.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        for a in &algos {
+            assert!(!a.pcl_profile().is_empty(), "{} has no P/C/L profile", a.name());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for a in all_algorithms() {
+            let found = algorithm_by_name(a.name()).expect("registered algorithm must be found");
+            assert_eq!(found.name(), a.name());
+        }
+        assert!(algorithm_by_name("does-not-exist").is_none());
+    }
+}

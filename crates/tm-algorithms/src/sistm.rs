@@ -1,0 +1,210 @@
+//! SI-STM-style global-clock STM (Riegel, Fetzer, Felber \[33\]).
+//!
+//! The "give up strict parallelism, keep snapshot isolation" design the paper cites:
+//! a **global clock** orders all committed writers, every transaction reads a
+//! consistent snapshot no newer than its start timestamp, and read-only transactions
+//! never abort.
+//!
+//! * `begin` reads the global clock (`clock`) into the start timestamp.
+//! * `read(x)` reads the per-item versioned register `sireg:x`; if the committed
+//!   version is newer than the start timestamp the snapshot can no longer be
+//!   reconstructed (this simplified single-version variant has no old copies), so the
+//!   transaction aborts — which obstruction-freedom permits, because a newer version
+//!   implies another process took steps during the transaction's interval.
+//! * `commit` of a writer increments the global clock with `fetch&add` and publishes
+//!   every write-set entry at the new timestamp.
+//!
+//! Because **every writer updates the same `clock` base object**, two transactions
+//! with completely disjoint data sets contend on it: strict disjoint-access-parallelism
+//! is violated by design, which is exactly how this algorithm escapes the PCL theorem
+//! while keeping snapshot isolation and obstruction-freedom.
+
+use tm_model::algorithm::{TmAlgorithm, TxCtx, TxLogic, TxResult};
+use tm_model::{AbortTx, DataItem, ObjId, ProcId, TxId, TxSpec, Word};
+
+/// Name of the single global clock object.
+pub const GLOBAL_CLOCK: &str = "global-clock";
+
+/// SI-STM-style global-clock snapshot-isolation STM.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SiStm;
+
+impl SiStm {
+    /// Create the algorithm.
+    pub fn new() -> Self {
+        SiStm
+    }
+
+    /// Name of the versioned register backing a data item.
+    pub fn register_name(item: &DataItem) -> String {
+        format!("sireg:{item}")
+    }
+}
+
+struct SiStmTx {
+    start_ts: i64,
+    write_log: Vec<(DataItem, i64)>,
+}
+
+impl SiStmTx {
+    fn register(&self, ctx: &mut dyn TxCtx, item: &DataItem) -> ObjId {
+        ctx.obj(&SiStm::register_name(item), Word::Pair(0, DataItem::INITIAL_VALUE))
+    }
+
+    fn clock(&self, ctx: &mut dyn TxCtx) -> ObjId {
+        ctx.obj(GLOBAL_CLOCK, Word::Int(0))
+    }
+}
+
+impl TmAlgorithm for SiStm {
+    fn name(&self) -> &'static str {
+        "si-stm"
+    }
+
+    fn pcl_profile(&self) -> &'static str {
+        "obstruction-free ✓ — strict DAP sacrificed (global clock); snapshot isolation \
+         holds in quiescent executions but a writer stalled mid-write-back exposes a \
+         torn commit (production SI-STMs close that hole with commit-time locking, \
+         i.e. by giving up non-blocking liveness instead)"
+    }
+
+    fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+        Box::new(SiStmTx { start_ts: 0, write_log: Vec::new() })
+    }
+}
+
+impl TxLogic for SiStmTx {
+    fn begin(&mut self, ctx: &mut dyn TxCtx) {
+        let clock = self.clock(ctx);
+        self.start_ts = ctx.read_obj(clock).expect_int();
+    }
+
+    fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+        if let Some((_, v)) = self.write_log.iter().rev().find(|(i, _)| i == item) {
+            return Ok(*v);
+        }
+        let reg = self.register(ctx, item);
+        let (version, value) = ctx.read_obj(reg).expect_pair();
+        if version > self.start_ts {
+            // The single-version register no longer holds the snapshot value.
+            return Err(AbortTx);
+        }
+        Ok(value)
+    }
+
+    fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+        let _ = ctx;
+        if let Some(entry) = self.write_log.iter_mut().find(|(i, _)| i == item) {
+            entry.1 = value;
+        } else {
+            self.write_log.push((item.clone(), value));
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()> {
+        if self.write_log.is_empty() {
+            // Read-only transactions commit without touching shared memory again.
+            return Ok(());
+        }
+        let clock = self.clock(ctx);
+        let commit_ts = ctx.fetch_add(clock, 1) + 1;
+        let log = std::mem::take(&mut self.write_log);
+        for (item, value) in &log {
+            let reg = self.register(ctx, item);
+            ctx.write_obj(reg, Word::Pair(commit_ts, *value));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::prelude::*;
+
+    #[test]
+    fn solo_sequence_commits_and_values_flow() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1).write("y", 2))
+            .tx(1, "T2", |t| t.read("x").read("y"))
+            .build();
+        let sim = Simulator::new(&SiStm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(1));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(2));
+    }
+
+    #[test]
+    fn disjoint_writers_contend_on_the_global_clock() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("y", 2))
+            .build();
+        let sim = Simulator::new(&SiStm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        let f1 = out.execution.footprint_of_tx(TxId(0));
+        let f2 = out.execution.footprint_of_tx(TxId(1));
+        assert_eq!(f1.contends_with(&f2), Some(GLOBAL_CLOCK.to_string()));
+    }
+
+    #[test]
+    fn reader_that_started_before_a_writer_aborts_instead_of_reading_new_data() {
+        // R begins (snapshot ts 0), W commits x at ts 1, then R reads x → abort.
+        let scenario = Scenario::builder()
+            .tx(0, "R", |t| t.read("x"))
+            .tx(1, "W", |t| t.write("x", 5))
+            .build();
+        let sim = Simulator::new(&SiStm, &scenario);
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 1)) // R reads the clock
+                .then(Directive::RunUntilTxDone(ProcId(1)))
+                .then(Directive::RunUntilTxDone(ProcId(0))),
+        );
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Committed);
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Aborted);
+    }
+
+    #[test]
+    fn write_skew_is_permitted() {
+        // Both transactions read the other's item from the initial snapshot and write
+        // their own — SI-STM commits both (snapshot isolation allows write skew).
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.read("x").write("y", 1))
+            .tx(1, "T2", |t| t.read("y").write("x", 1))
+            .build();
+        let sim = Simulator::new(&SiStm, &scenario);
+        // Interleave: both begin and read before either commits.
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 2)) // clock + read x
+                .then(Directive::Steps(ProcId(1), 2)) // clock + read y
+                .then(Directive::RunUntilTxDone(ProcId(0)))
+                .then(Directive::RunUntilTxDone(ProcId(1))),
+        );
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(0), &DataItem::new("x")), Some(0));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(0));
+    }
+
+    #[test]
+    fn read_only_transactions_never_abort_even_after_writers() {
+        let scenario = Scenario::builder()
+            .tx(0, "W", |t| t.write("x", 3))
+            .tx(1, "R", |t| t.read("x"))
+            .build();
+        let sim = Simulator::new(&SiStm, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(3));
+    }
+
+    #[test]
+    fn names_and_profile() {
+        assert_eq!(SiStm::new().name(), "si-stm");
+        assert_eq!(SiStm::register_name(&DataItem::new("q")), "sireg:q");
+        assert!(SiStm.pcl_profile().contains("global clock"));
+    }
+}

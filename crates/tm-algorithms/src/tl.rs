@@ -1,0 +1,271 @@
+//! Transactional Locking (TL-style): commit-time locking over per-item versioned
+//! write-locks.
+//!
+//! This is the reproduction of the paper's "give up Liveness" corner: TL \[14\] is
+//! **strictly disjoint-access-parallel** (every base object it touches is the
+//! versioned lock-word of a data item in `D(T)`) and **strictly serializable**
+//! (commit-time lock acquisition + read-set validation), but it is **blocking**: a
+//! transaction whose commit pauses while holding a write lock leaves every reader and
+//! writer of that item spinning, so the "transactions running solo eventually commit"
+//! liveness of the PCL theorem fails.
+//!
+//! Per data item `x` the algorithm keeps one base object `vlock:x` holding a
+//! [`Word::Ver`] `{version, value, locked}`:
+//!
+//! * `read(x)`  — spin until unlocked, record `(x, version)` in the read set, return
+//!   the value;
+//! * `write(x,v)` — buffer in the write set;
+//! * `commit` — acquire the write-set locks in a canonical (sorted) order by CAS,
+//!   validate that every read-set entry still has its recorded version and is not
+//!   locked by another transaction, then write back values, bump versions and release
+//!   the locks; on validation failure release everything and abort.
+
+use std::collections::BTreeMap;
+use tm_model::algorithm::{TmAlgorithm, TxCtx, TxLogic, TxResult};
+use tm_model::{AbortTx, DataItem, ObjId, ProcId, TxId, TxSpec, Word};
+
+/// TL-style commit-time-locking word STM.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TransactionalLocking;
+
+impl TransactionalLocking {
+    /// Create the algorithm.
+    pub fn new() -> Self {
+        TransactionalLocking
+    }
+
+    /// Name of the versioned lock-word backing a data item.
+    pub fn lock_name(item: &DataItem) -> String {
+        format!("vlock:{item}")
+    }
+}
+
+struct TlTx {
+    /// Read set: item → version observed.
+    read_set: BTreeMap<DataItem, u64>,
+    /// Write set: item → value to install (BTreeMap gives the canonical lock order).
+    write_set: BTreeMap<DataItem, i64>,
+    /// Locks currently held: item → (version, original value) at acquisition time.
+    held: BTreeMap<DataItem, (u64, i64)>,
+}
+
+impl TlTx {
+    fn lock_obj(&self, ctx: &mut dyn TxCtx, item: &DataItem) -> ObjId {
+        ctx.obj(&TransactionalLocking::lock_name(item), Word::ver0(DataItem::INITIAL_VALUE))
+    }
+
+    /// Release every held lock, restoring version/value (used on abort).
+    fn release_held(&mut self, ctx: &mut dyn TxCtx) {
+        let held = std::mem::take(&mut self.held);
+        for (item, (version, value)) in held {
+            let obj = self.lock_obj(ctx, &item);
+            ctx.write_obj(obj, Word::Ver { version, value, locked: false });
+        }
+    }
+}
+
+impl TmAlgorithm for TransactionalLocking {
+    fn name(&self) -> &'static str {
+        "tl-locking"
+    }
+
+    fn pcl_profile(&self) -> &'static str {
+        "strict DAP ✓, strict serializability ✓ — blocking, so solo-commit liveness fails"
+    }
+
+    fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+        Box::new(TlTx {
+            read_set: BTreeMap::new(),
+            write_set: BTreeMap::new(),
+            held: BTreeMap::new(),
+        })
+    }
+}
+
+impl TxLogic for TlTx {
+    fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+        if let Some(v) = self.write_set.get(item) {
+            return Ok(*v);
+        }
+        let obj = self.lock_obj(ctx, item);
+        // Spin until the item is unlocked (this is where the algorithm blocks).
+        loop {
+            let (version, value, locked) = ctx.read_obj(obj).expect_ver();
+            if !locked {
+                self.read_set.entry(item.clone()).or_insert(version);
+                return Ok(value);
+            }
+        }
+    }
+
+    fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+        let _ = ctx;
+        self.write_set.insert(item.clone(), value);
+        Ok(())
+    }
+
+    fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()> {
+        // Phase 1: acquire write locks in canonical order (spinning on each).
+        let targets: Vec<(DataItem, i64)> =
+            self.write_set.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        for (item, _) in &targets {
+            let obj = self.lock_obj(ctx, item);
+            loop {
+                let current = ctx.read_obj(obj);
+                let (version, value, locked) = current.expect_ver();
+                if locked {
+                    continue; // spin: blocking behaviour
+                }
+                let locked_word = Word::Ver { version, value, locked: true };
+                if ctx.cas_obj(obj, current, locked_word) {
+                    self.held.insert(item.clone(), (version, value));
+                    break;
+                }
+            }
+        }
+        // Phase 2: validate the read set.
+        for (item, recorded_version) in self.read_set.clone() {
+            if self.held.contains_key(&item) {
+                // We hold the lock ourselves; the version we recorded is still the
+                // committed one (we recorded it before locking).
+                if self.held[&item].0 != recorded_version {
+                    self.release_held(ctx);
+                    return Err(AbortTx);
+                }
+                continue;
+            }
+            let obj = self.lock_obj(ctx, &item);
+            let (version, _, locked) = ctx.read_obj(obj).expect_ver();
+            if locked || version != recorded_version {
+                self.release_held(ctx);
+                return Err(AbortTx);
+            }
+        }
+        // Phase 3: write back, bump versions, release locks.
+        for (item, value) in &targets {
+            let obj = self.lock_obj(ctx, item);
+            let (version, _) = self.held[item];
+            ctx.write_obj(obj, Word::Ver { version: version + 1, value: *value, locked: false });
+        }
+        self.held.clear();
+        Ok(())
+    }
+
+    fn abort_cleanup(&mut self, ctx: &mut dyn TxCtx) {
+        self.release_held(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::prelude::*;
+
+    #[test]
+    fn solo_transactions_commit_and_are_serializable_by_construction() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 5).write("y", 6))
+            .tx(1, "T2", |t| t.read("x").read("y").write("z", 1))
+            .build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(5));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(6));
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let scenario =
+            Scenario::builder().tx(0, "T1", |t| t.write("x", 3).read("x")).build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert_eq!(out.read_value(TxId(0), &DataItem::new("x")), Some(3));
+    }
+
+    #[test]
+    fn stale_read_set_forces_an_abort() {
+        // R reads x, then W rewrites x and commits, then R tries to commit a write to
+        // y: validation sees x's version changed → abort.
+        let scenario = Scenario::builder()
+            .tx(0, "R", |t| t.read("x").write("y", 1))
+            .tx(1, "W", |t| t.write("x", 9))
+            .build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario);
+        // R performs its read (1 step), then W runs to completion, then R finishes.
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 1))
+                .then(Directive::RunUntilTxDone(ProcId(1)))
+                .then(Directive::RunUntilTxDone(ProcId(0))),
+        );
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Committed);
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Aborted);
+        // The aborted transaction must have released its lock on y (not left locked).
+        let name = TransactionalLocking::lock_name(&DataItem::new("y"));
+        let obj = out.final_memory.lookup(&name).unwrap();
+        let (_, _, locked) = out.final_memory.state(obj).expect_ver();
+        assert!(!locked);
+    }
+
+    #[test]
+    fn paused_committer_blocks_a_conflicting_reader() {
+        // W pauses mid-commit holding x's lock; a reader of x then spins until the
+        // step budget runs out — the blocking witness.
+        let scenario = Scenario::builder()
+            .tx(0, "W", |t| t.write("x", 1))
+            .tx(1, "R", |t| t.read("x"))
+            .build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario).with_step_limit(100);
+        // W's commit: read vlock:x (1), CAS lock (2) — paused right after acquiring.
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::Steps(ProcId(0), 2))
+                .then(Directive::RunUntilTxDone(ProcId(1))),
+        );
+        assert!(out.any_limit_hit());
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Unfinished);
+    }
+
+    #[test]
+    fn disjoint_transactions_touch_disjoint_lock_words() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("y", 2))
+            .build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        let f1 = out.execution.footprint_of_tx(TxId(0));
+        let f2 = out.execution.footprint_of_tx(TxId(1));
+        assert!(f1.contends_with(&f2).is_none());
+        for step in out.execution.mem_steps().iter().map(|(_, s)| s) {
+            assert!(step.obj_name.starts_with("vlock:"));
+        }
+    }
+
+    #[test]
+    fn write_write_conflicts_serialize_via_the_lock() {
+        // Two increment-style writers to the same item, interleaved: both must
+        // eventually commit (one may spin briefly) and the final value is the last
+        // committer's.
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("x", 2))
+            .build();
+        let sim = Simulator::new(&TransactionalLocking, &scenario);
+        let out = sim.run(&Schedule::round_robin(5_000));
+        assert!(out.all_committed());
+        let name = TransactionalLocking::lock_name(&DataItem::new("x"));
+        let obj = out.final_memory.lookup(&name).unwrap();
+        let (version, value, locked) = out.final_memory.state(obj).expect_ver();
+        assert_eq!(version, 2);
+        assert!(!locked);
+        assert!(value == 1 || value == 2);
+    }
+
+    #[test]
+    fn profile_is_documented() {
+        assert!(TransactionalLocking::new().pcl_profile().contains("blocking"));
+        assert_eq!(TransactionalLocking.name(), "tl-locking");
+    }
+}

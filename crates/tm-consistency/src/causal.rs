@@ -1,0 +1,214 @@
+//! Causal serializability (Raynal, Thia-Kime & Ahamad \[32\]).
+//!
+//! Causal serializability strengthens processor consistency: every process's
+//! sequential view must respect the *causality relation* on transactions — the
+//! transitive closure of per-process program order and the *reads-from* relation
+//! (`T1 → T2` when `T2` reads a value written by `T1`).
+//!
+//! **Provenance approximation.**  The recorded history tells us which *value* a read
+//! returned, not which transaction produced it.  When exactly one transaction of
+//! `com(α)` wrote that value to that item we add the reads-from edge; when the writer
+//! is ambiguous (several transactions wrote the same value to the same item) we omit
+//! the edge, which can only make the checker more permissive — i.e. a reported
+//! violation is always a real violation.  The scenarios used in the experiments write
+//! distinct values, so the approximation is exact there.
+
+use crate::comset::{com_candidates, render_com};
+use crate::legality::Block;
+use crate::multiview::{solve_multiview, MultiViewProblem, View};
+use crate::placement::{PlacementProblem, Point};
+use crate::processor::{agreement_pairs, relevant_processes};
+use crate::report::CheckResult;
+use std::collections::{BTreeMap, BTreeSet};
+use tm_model::{Execution, History, ProcId, TxId};
+
+/// Name under which the result appears in a [`crate::ConditionMatrix`].
+pub const CAUSAL_SERIALIZABILITY: &str = "causal serializability";
+
+/// Compute the causality relation (as a set of ordered pairs, transitively closed)
+/// over the transactions of `com`.
+pub fn causal_order(history: &History, com: &[TxId]) -> BTreeSet<(TxId, TxId)> {
+    let mut edges: BTreeSet<(TxId, TxId)> = BTreeSet::new();
+    // Program order.
+    for a in com {
+        for b in com {
+            if a != b && history.proc_of(*a) == history.proc_of(*b) && history.precedes(*a, *b) {
+                edges.insert((*a, *b));
+            }
+        }
+    }
+    // Reads-from with unambiguous provenance.
+    for reader in com {
+        for (item, value) in history.global_reads_of(*reader) {
+            let writers: Vec<TxId> = com
+                .iter()
+                .copied()
+                .filter(|w| w != reader)
+                .filter(|w| history.final_writes_of(*w).get(&item) == Some(&value))
+                .collect();
+            if writers.len() == 1 {
+                edges.insert((writers[0], *reader));
+            }
+        }
+    }
+    // Transitive closure (Floyd–Warshall style over the small transaction set).
+    let txs: Vec<TxId> = com.to_vec();
+    loop {
+        let mut added = false;
+        for a in &txs {
+            for b in &txs {
+                for c in &txs {
+                    if edges.contains(&(*a, *b))
+                        && edges.contains(&(*b, *c))
+                        && a != c
+                        && edges.insert((*a, *c))
+                    {
+                        added = true;
+                    }
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    edges
+}
+
+fn build_view(
+    history: &History,
+    com: &[TxId],
+    proc: ProcId,
+    causal: &BTreeSet<(TxId, TxId)>,
+) -> View {
+    let mut problem = PlacementProblem::new();
+    let mut index_of = BTreeMap::new();
+    let mut write_point = BTreeMap::new();
+    for tx in com {
+        let check = history.proc_of(*tx) == proc;
+        let block = Block::full(tx.to_string(), history, *tx, check);
+        let has_writes = block.has_writes();
+        let idx = problem.add_point(Point { label: format!("∗{tx}"), window: None, block });
+        index_of.insert(*tx, idx);
+        if has_writes {
+            write_point.insert(*tx, idx);
+        }
+    }
+    for (a, b) in causal {
+        if let (Some(&ia), Some(&ib)) = (index_of.get(a), index_of.get(b)) {
+            problem.require_order(ia, ib);
+        }
+    }
+    View { proc, problem, write_point }
+}
+
+/// Check causal serializability of an execution.
+pub fn check_causal_serializability(execution: &Execution) -> CheckResult {
+    let history = execution.history();
+    if history.transactions().is_empty() {
+        return CheckResult::satisfied(CAUSAL_SERIALIZABILITY, "empty history");
+    }
+    for com in com_candidates(&history) {
+        // The causality relation must be acyclic for a causal view to exist at all.
+        let causal = causal_order(&history, &com);
+        if com.iter().any(|t| causal.contains(&(*t, *t))) {
+            continue;
+        }
+        let views: Vec<View> = relevant_processes(&history, &com)
+            .into_iter()
+            .map(|p| build_view(&history, &com, p, &causal))
+            .collect();
+        let mv = MultiViewProblem { views, agreement_pairs: agreement_pairs(&history, &com) };
+        if let Some(solution) = solve_multiview(&mv) {
+            let witness = solution
+                .iter()
+                .map(|(p, order)| {
+                    let view = mv.views.iter().find(|v| v.proc == *p).unwrap();
+                    format!("{p}: {}", view.problem.render_order(order))
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            return CheckResult::satisfied(
+                CAUSAL_SERIALIZABILITY,
+                format!("{}; {}", render_com(&com), witness),
+            );
+        }
+    }
+    CheckResult::violated(
+        CAUSAL_SERIALIZABILITY,
+        "no per-process views respect the causality relation, agree on same-item \
+         write order, and keep every process's own transactions legal",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::{ReadResult, TmEvent};
+    use tm_model::step::Event;
+    use tm_model::DataItem;
+
+    fn ev(p: usize, e: TmEvent) -> Event {
+        Event::Tm { proc: ProcId(p), event: e }
+    }
+
+    fn tx_events(p: usize, tx: usize, reads: &[(&str, i64)], writes: &[(&str, i64)]) -> Vec<Event> {
+        let t = TxId(tx);
+        let mut out = vec![ev(p, TmEvent::InvBegin { tx: t }), ev(p, TmEvent::RespBegin { tx: t })];
+        for (item, value) in reads {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
+            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+        }
+        for (item, value) in writes {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvWrite { tx: t, item: x.clone(), value: *value }));
+            out.push(ev(p, TmEvent::RespWrite { tx: t, item: x, ok: true }));
+        }
+        out.push(ev(p, TmEvent::InvCommit { tx: t }));
+        out.push(ev(p, TmEvent::RespCommit { tx: t, committed: true }));
+        out
+    }
+
+    #[test]
+    fn causal_order_includes_program_order_and_reads_from() {
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 1)], &[("y", 2)]));
+        events.extend(tx_events(1, 2, &[], &[("z", 3)]));
+        let h = Execution::from_events(events).history();
+        let com = vec![TxId(0), TxId(1), TxId(2)];
+        let causal = causal_order(&h, &com);
+        assert!(causal.contains(&(TxId(0), TxId(1)))); // reads-from
+        assert!(causal.contains(&(TxId(1), TxId(2)))); // program order
+        assert!(causal.contains(&(TxId(0), TxId(2)))); // transitivity
+    }
+
+    #[test]
+    fn causally_ordered_reads_must_be_observed() {
+        // T1 (p1) writes x=1.  T2 (p2) reads x=1 (so T1 → T2) and writes y=2.
+        // T3 (p3) reads y=2 (so T2 → T3) but reads x=0 — it observes the effect (y)
+        // without its cause (x).  Causal serializability must reject this; PRAM and
+        // processor consistency accept it (different items, no write-order issue).
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 1)], &[("y", 2)]));
+        events.extend(tx_events(2, 2, &[("y", 2), ("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        assert!(!check_causal_serializability(&e).satisfied);
+        assert!(crate::pram::check_pram(&e).satisfied);
+        assert!(crate::processor::check_processor_consistency(&e).satisfied);
+    }
+
+    #[test]
+    fn causally_consistent_history_is_accepted() {
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 1)], &[("y", 2)]));
+        events.extend(tx_events(2, 2, &[("y", 2), ("x", 1)], &[]));
+        let e = Execution::from_events(events);
+        assert!(check_causal_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn empty_execution_is_causally_serializable() {
+        assert!(check_causal_serializability(&Execution::new()).satisfied);
+    }
+}

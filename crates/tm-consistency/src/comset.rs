@@ -1,0 +1,91 @@
+//! Enumeration of the `com(α)` candidate sets.
+//!
+//! Every consistency condition of the paper starts by choosing a set `com(α)`
+//! *"consisting of all committed and some of the commit-pending transactions"*.
+//! Committed transactions are mandatory; each commit-pending transaction may or may
+//! not be completed with a commit and included.  Live transactions are never included
+//! and their reads are never constrained.
+
+use tm_model::{History, TxId};
+
+/// Enumerate all candidate `com(α)` sets of a history: the committed transactions plus
+/// every subset of the commit-pending ones.  The sets are ordered from largest to
+/// smallest so that checkers that succeed with more transactions included report the
+/// most informative witness first.
+pub fn com_candidates(history: &History) -> Vec<Vec<TxId>> {
+    let committed = history.committed();
+    let pending = history.commit_pending();
+    let mut out = Vec::with_capacity(1 << pending.len());
+    for mask in 0..(1usize << pending.len()) {
+        let mut set = committed.clone();
+        for (i, tx) in pending.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.push(*tx);
+            }
+        }
+        out.push(set);
+    }
+    // Largest first.
+    out.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    out
+}
+
+/// Render a `com(α)` choice for witnesses.
+pub fn render_com(com: &[TxId]) -> String {
+    let names: Vec<String> = com.iter().map(|t| t.to_string()).collect();
+    format!("com = {{{}}}", names.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::TmEvent;
+    use tm_model::{DataItem, ProcId};
+
+    fn history_with_pending() -> History {
+        let mut h = History::new();
+        // T1 committed.
+        h.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::InvCommit { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::RespCommit { tx: TxId(0), committed: true });
+        // T2 commit-pending.
+        h.push(ProcId(1), TmEvent::InvBegin { tx: TxId(1) });
+        h.push(ProcId(1), TmEvent::RespBegin { tx: TxId(1) });
+        h.push(ProcId(1), TmEvent::InvCommit { tx: TxId(1) });
+        // T3 live.
+        h.push(ProcId(2), TmEvent::InvBegin { tx: TxId(2) });
+        h.push(ProcId(2), TmEvent::RespBegin { tx: TxId(2) });
+        h.push(ProcId(2), TmEvent::InvRead { tx: TxId(2), item: DataItem::new("x") });
+        h
+    }
+
+    #[test]
+    fn committed_always_included_pending_optional_live_never() {
+        let h = history_with_pending();
+        let sets = com_candidates(&h);
+        assert_eq!(sets.len(), 2);
+        assert!(sets.iter().all(|s| s.contains(&TxId(0))));
+        assert!(sets.iter().any(|s| s.contains(&TxId(1))));
+        assert!(sets.iter().any(|s| !s.contains(&TxId(1))));
+        assert!(sets.iter().all(|s| !s.contains(&TxId(2))));
+        // Largest first.
+        assert!(sets[0].len() >= sets[1].len());
+    }
+
+    #[test]
+    fn two_pending_transactions_give_four_sets() {
+        let mut h = history_with_pending();
+        h.push(ProcId(3), TmEvent::InvBegin { tx: TxId(3) });
+        h.push(ProcId(3), TmEvent::RespBegin { tx: TxId(3) });
+        h.push(ProcId(3), TmEvent::InvCommit { tx: TxId(3) });
+        let sets = com_candidates(&h);
+        assert_eq!(sets.len(), 4);
+        assert_eq!(sets[0].len(), 3);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        assert_eq!(render_com(&[TxId(0), TxId(2)]), "com = {T1, T3}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Consistency groups and consistency partitions (preliminaries of Definition 3.3).
+//!
+//! A *consistency group* `G(Tl, Tr)` of an execution α is the set of transactions
+//! whose `begin` invocation falls between `begin_Tl` and `begin_Tr` (inclusive).  A
+//! *consistency partition* `P(α)` is a sequence of groups that covers every
+//! transaction of α, contiguously and in `begin` order.  Weak adaptive consistency
+//! then labels every group as either a *snapshot isolation* group or a *processor
+//! consistency* group.
+//!
+//! Because groups are contiguous blocks of the `begin`-ordered transaction list, a
+//! partition is exactly a *composition* of that list, and there are `2^(k-1)` of them
+//! for `k` transactions.  [`enumerate_partitions`] yields them all; the weak adaptive
+//! consistency checker iterates over partitions and labelings.
+
+use tm_model::execution::Interval;
+use tm_model::{Execution, TxId};
+
+/// How a consistency group is labeled in Definition 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// The group belongs to `SI(P(α))`: per-transaction interval constraints.
+    SnapshotIsolation,
+    /// The group belongs to `PC(P(α))`: adjacency constraints and a group-wide window.
+    ProcessorConsistency,
+}
+
+/// One consistency group: a contiguous run of transactions in `begin` order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// The transactions of the group, in `begin` order.
+    pub members: Vec<TxId>,
+    /// The group's *active execution interval*: from the first event of its first
+    /// member to the last event of any member.
+    pub interval: Interval,
+}
+
+impl Group {
+    /// Whether a transaction belongs to this group.
+    pub fn contains(&self, tx: TxId) -> bool {
+        self.members.contains(&tx)
+    }
+}
+
+/// A consistency partition: contiguous groups covering every transaction of α.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The groups, in order.
+    pub groups: Vec<Group>,
+}
+
+impl Partition {
+    /// The group index a transaction belongs to.
+    pub fn group_of(&self, tx: TxId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(tx))
+    }
+
+    /// Render the partition as `{T1 T2} {T3}` for witnesses.
+    pub fn render(&self) -> String {
+        self.groups
+            .iter()
+            .map(|g| {
+                let names: Vec<String> = g.members.iter().map(|t| t.to_string()).collect();
+                format!("{{{}}}", names.join(" "))
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Compute the active interval of a set of transactions: from the first event of the
+/// earliest-beginning member to the last event of any member.
+fn group_interval(execution: &Execution, members: &[TxId]) -> Interval {
+    let intervals = execution.active_intervals();
+    let mut start = usize::MAX;
+    let mut end = 0usize;
+    for tx in members {
+        if let Some(iv) = intervals.get(tx) {
+            start = start.min(iv.start);
+            end = end.max(iv.end);
+        }
+    }
+    if start == usize::MAX {
+        Interval { start: 0, end: 0 }
+    } else {
+        Interval { start, end }
+    }
+}
+
+/// Enumerate every consistency partition of the execution (every composition of the
+/// `begin`-ordered transaction list into contiguous non-empty groups).
+pub fn enumerate_partitions(execution: &Execution) -> Vec<Partition> {
+    let order = execution.history().begin_order();
+    let k = order.len();
+    if k == 0 {
+        return vec![Partition { groups: vec![] }];
+    }
+    let mut partitions = Vec::new();
+    // Each of the k-1 gaps between consecutive transactions is either a group boundary
+    // or not: iterate over all 2^(k-1) bitmasks.
+    let boundaries = 1usize << (k - 1);
+    for mask in 0..boundaries {
+        let mut groups = Vec::new();
+        let mut current = vec![order[0]];
+        for (gap, tx) in order.iter().enumerate().skip(1) {
+            if mask & (1 << (gap - 1)) != 0 {
+                groups.push(current);
+                current = vec![*tx];
+            } else {
+                current.push(*tx);
+            }
+        }
+        groups.push(current);
+        partitions.push(Partition {
+            groups: groups
+                .into_iter()
+                .map(|members| Group {
+                    interval: group_interval(execution, &members),
+                    members,
+                })
+                .collect(),
+        });
+    }
+    partitions
+}
+
+/// Enumerate every SI/PC labeling of a partition (`2^groups` of them).
+pub fn enumerate_labelings(partition: &Partition) -> Vec<Vec<GroupKind>> {
+    let k = partition.groups.len();
+    let mut out = Vec::with_capacity(1 << k);
+    for mask in 0..(1usize << k) {
+        out.push(
+            (0..k)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        GroupKind::ProcessorConsistency
+                    } else {
+                        GroupKind::SnapshotIsolation
+                    }
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Render a labeling alongside its partition for witnesses.
+pub fn render_labeling(partition: &Partition, labeling: &[GroupKind]) -> String {
+    partition
+        .groups
+        .iter()
+        .zip(labeling)
+        .map(|(g, kind)| {
+            let names: Vec<String> = g.members.iter().map(|t| t.to_string()).collect();
+            let tag = match kind {
+                GroupKind::SnapshotIsolation => "SI",
+                GroupKind::ProcessorConsistency => "PC",
+            };
+            format!("{tag}{{{}}}", names.join(" "))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::TmEvent;
+    use tm_model::step::Event;
+    use tm_model::ProcId;
+
+    /// Build an execution whose history begins three transactions in order T1, T2, T3,
+    /// each with a begin and a commit event (enough structure for interval tests).
+    fn three_tx_execution() -> Execution {
+        let mut e = Execution::new();
+        for (p, t) in [(0usize, 0usize), (1, 1), (2, 2)] {
+            e.push(Event::Tm { proc: ProcId(p), event: TmEvent::InvBegin { tx: TxId(t) } });
+            e.push(Event::Tm { proc: ProcId(p), event: TmEvent::RespBegin { tx: TxId(t) } });
+            e.push(Event::Tm { proc: ProcId(p), event: TmEvent::InvCommit { tx: TxId(t) } });
+            e.push(Event::Tm {
+                proc: ProcId(p),
+                event: TmEvent::RespCommit { tx: TxId(t), committed: true },
+            });
+        }
+        e
+    }
+
+    #[test]
+    fn partition_count_is_two_to_the_k_minus_one() {
+        let e = three_tx_execution();
+        let partitions = enumerate_partitions(&e);
+        assert_eq!(partitions.len(), 4); // 2^(3-1)
+        // The coarsest partition has one group containing all three transactions.
+        assert!(partitions.iter().any(|p| p.groups.len() == 1 && p.groups[0].members.len() == 3));
+        // The finest has three singleton groups.
+        assert!(partitions.iter().any(|p| p.groups.len() == 3));
+    }
+
+    #[test]
+    fn groups_are_contiguous_in_begin_order() {
+        let e = three_tx_execution();
+        for p in enumerate_partitions(&e) {
+            let flattened: Vec<TxId> = p.groups.iter().flat_map(|g| g.members.clone()).collect();
+            assert_eq!(flattened, vec![TxId(0), TxId(1), TxId(2)]);
+            for g in &p.groups {
+                assert!(!g.members.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn group_intervals_span_member_events() {
+        let e = three_tx_execution();
+        let partitions = enumerate_partitions(&e);
+        let coarse = partitions.iter().find(|p| p.groups.len() == 1).unwrap();
+        assert_eq!(coarse.groups[0].interval, Interval { start: 0, end: 11 });
+        let fine = partitions.iter().find(|p| p.groups.len() == 3).unwrap();
+        assert_eq!(fine.groups[0].interval, Interval { start: 0, end: 3 });
+        assert_eq!(fine.groups[2].interval, Interval { start: 8, end: 11 });
+    }
+
+    #[test]
+    fn group_lookup_and_render() {
+        let e = three_tx_execution();
+        let partitions = enumerate_partitions(&e);
+        let two = partitions.iter().find(|p| p.groups.len() == 2).unwrap();
+        assert!(two.group_of(TxId(0)).is_some());
+        assert!(two.group_of(TxId(9)).is_none());
+        let rendered = two.render();
+        assert!(rendered.contains("T1"));
+        assert!(rendered.starts_with('{'));
+    }
+
+    #[test]
+    fn labelings_cover_all_combinations() {
+        let e = three_tx_execution();
+        let partitions = enumerate_partitions(&e);
+        let fine = partitions.iter().find(|p| p.groups.len() == 3).unwrap();
+        let labelings = enumerate_labelings(fine);
+        assert_eq!(labelings.len(), 8);
+        assert!(labelings.iter().any(|l| l.iter().all(|k| *k == GroupKind::SnapshotIsolation)));
+        assert!(labelings
+            .iter()
+            .any(|l| l.iter().all(|k| *k == GroupKind::ProcessorConsistency)));
+        let rendered = render_labeling(fine, &labelings[1]);
+        assert!(rendered.contains("SI") || rendered.contains("PC"));
+    }
+
+    #[test]
+    fn empty_execution_has_one_trivial_partition() {
+        let e = Execution::new();
+        let partitions = enumerate_partitions(&e);
+        assert_eq!(partitions.len(), 1);
+        assert!(partitions[0].groups.is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Sequential legality: the ground truth every consistency condition reduces to.
+//!
+//! The paper (Section 3, "Histories"): a transaction `T` is *legal* in a sequential
+//! history `H` if every `x.read()` of `T` that returns `v` satisfies
+//!
+//! 1. if `T` wrote `x` before the read, `v` is the argument of `T`'s last such write;
+//! 2. otherwise, if a committed transaction preceding `T` in `H` wrote `x`, `v` is the
+//!    argument of the last such write;
+//! 3. otherwise `v` is the initial value of `x` (0).
+//!
+//! All searched conditions (serializability, snapshot isolation, processor
+//! consistency, weak adaptive consistency, …) construct candidate sequential histories
+//! made of *blocks* — a block being either a whole transaction `H|T`, its global-read
+//! part `Tgr`, or its write part `Tw` — and then ask whether the blocks are legal in
+//! the candidate order.  [`Block`] and [`MemoryState`] implement that evaluation with
+//! O(1) undo so the placement search in [`crate::placement`] can check legality
+//! incrementally while backtracking.
+
+use std::collections::HashMap;
+use tm_model::{DataItem, History, TxId};
+
+/// One operation inside a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockOp {
+    /// A read of `item` that returned `value` in the actual history; legality requires
+    /// the candidate sequential history to justify exactly this value.
+    Read {
+        /// The data item read.
+        item: DataItem,
+        /// The value the read returned in the recorded history.
+        value: i64,
+    },
+    /// A write of `value` to `item`.
+    Write {
+        /// The data item written.
+        item: DataItem,
+        /// The value written.
+        value: i64,
+    },
+}
+
+/// A block of a candidate sequential history: a (possibly partial) transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Human-readable label used in witnesses (`"T1.w"`, `"T3.gr"`, `"T2"`, …).
+    pub label: String,
+    /// The operations of the block, in order.
+    pub ops: Vec<BlockOp>,
+    /// Whether the reads of this block must be justified.  Per-process conditions
+    /// (processor consistency, weak adaptive consistency) only require the reads of
+    /// the transactions *executed by that process* to be legal in its view; blocks of
+    /// other processes participate with their writes but their reads are not checked.
+    pub check_reads: bool,
+}
+
+impl Block {
+    /// Build the `Tgr` block of a transaction: its *global* reads followed by commit.
+    pub fn global_reads(label: impl Into<String>, history: &History, tx: TxId, check: bool) -> Block {
+        Block {
+            label: label.into(),
+            ops: history
+                .global_reads_of(tx)
+                .into_iter()
+                .map(|(item, value)| BlockOp::Read { item, value })
+                .collect(),
+            check_reads: check,
+        }
+    }
+
+    /// Build the `Tw` block of a transaction: its writes followed by commit.
+    pub fn writes(label: impl Into<String>, history: &History, tx: TxId) -> Block {
+        Block {
+            label: label.into(),
+            ops: history
+                .writes_of(tx)
+                .into_iter()
+                .map(|(item, value)| BlockOp::Write { item, value })
+                .collect(),
+            check_reads: false,
+        }
+    }
+
+    /// Build the full `H|T` block of a transaction: all its successful reads and
+    /// writes, interleaved in program order.
+    pub fn full(label: impl Into<String>, history: &History, tx: TxId, check: bool) -> Block {
+        let mut ops = Vec::new();
+        let reads = history.reads_of(tx);
+        let writes = history.writes_of(tx);
+        // Reconstruct program order from the subhistory.
+        let mut r_iter = reads.into_iter().peekable();
+        let mut w_iter = writes.into_iter().peekable();
+        for ev in history.subhistory(tx) {
+            match ev {
+                tm_model::TmEvent::RespRead {
+                    result: tm_model::history::ReadResult::Value(_), ..
+                } => {
+                    if let Some((item, value)) = r_iter.next() {
+                        ops.push(BlockOp::Read { item, value });
+                    }
+                }
+                tm_model::TmEvent::RespWrite { ok: true, .. } => {
+                    if let Some((item, value)) = w_iter.next() {
+                        ops.push(BlockOp::Write { item, value });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Block { label: label.into(), ops, check_reads: check }
+    }
+
+    /// Whether the block contains any write.
+    pub fn has_writes(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, BlockOp::Write { .. }))
+    }
+
+    /// Whether the block contains any checked read.
+    pub fn has_checked_reads(&self) -> bool {
+        self.check_reads && self.ops.iter().any(|op| matches!(op, BlockOp::Read { .. }))
+    }
+}
+
+/// The evolving state of data items while evaluating a candidate sequential history,
+/// with an undo log so the placement search can backtrack cheaply.
+#[derive(Debug, Default)]
+pub struct MemoryState {
+    values: HashMap<DataItem, i64>,
+    undo: Vec<Vec<(DataItem, Option<i64>)>>,
+}
+
+impl MemoryState {
+    /// Fresh state: every data item holds its initial value (0).
+    pub fn new() -> Self {
+        MemoryState::default()
+    }
+
+    /// Current value of an item (0 if never written).
+    pub fn value(&self, item: &DataItem) -> i64 {
+        self.values.get(item).copied().unwrap_or(DataItem::INITIAL_VALUE)
+    }
+
+    /// Apply a block.  Returns `Err(reason)` — without applying anything — if a
+    /// checked read is not justified by the current state (plus the block's own
+    /// earlier writes).  On success pushes an undo frame; call [`MemoryState::undo`]
+    /// to revert.
+    pub fn apply_block(&mut self, block: &Block) -> Result<(), String> {
+        // First pass: validate reads against current state + own earlier writes.
+        let mut local: HashMap<&DataItem, i64> = HashMap::new();
+        for op in &block.ops {
+            match op {
+                BlockOp::Read { item, value } => {
+                    if block.check_reads {
+                        let expected =
+                            local.get(item).copied().unwrap_or_else(|| self.value(item));
+                        if expected != *value {
+                            return Err(format!(
+                                "{}: read of {} returned {} but the last write before it gives {}",
+                                block.label, item, value, expected
+                            ));
+                        }
+                    }
+                }
+                BlockOp::Write { item, value } => {
+                    local.insert(item, *value);
+                }
+            }
+        }
+        // Second pass: commit the writes, recording an undo frame.
+        let mut frame = Vec::new();
+        for op in &block.ops {
+            if let BlockOp::Write { item, value } = op {
+                let old = self.values.insert(item.clone(), *value);
+                frame.push((item.clone(), old));
+            }
+        }
+        self.undo.push(frame);
+        Ok(())
+    }
+
+    /// Revert the most recent successful [`MemoryState::apply_block`].
+    pub fn undo(&mut self) {
+        if let Some(frame) = self.undo.pop() {
+            // Undo in reverse order so repeated writes to the same item restore correctly.
+            for (item, old) in frame.into_iter().rev() {
+                match old {
+                    Some(v) => {
+                        self.values.insert(item, v);
+                    }
+                    None => {
+                        self.values.remove(&item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Depth of the undo stack (number of applied blocks).
+    pub fn depth(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+/// Check a complete candidate sequential history (an ordered list of blocks).
+/// Returns `Ok(())` if every checked read is legal, otherwise the first violation.
+pub fn check_block_sequence<'a>(blocks: impl IntoIterator<Item = &'a Block>) -> Result<(), String> {
+    let mut state = MemoryState::new();
+    for block in blocks {
+        state.apply_block(block)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(item: &str, value: i64) -> BlockOp {
+        BlockOp::Read { item: DataItem::new(item), value }
+    }
+    fn write(item: &str, value: i64) -> BlockOp {
+        BlockOp::Write { item: DataItem::new(item), value }
+    }
+    fn block(label: &str, ops: Vec<BlockOp>) -> Block {
+        Block { label: label.into(), ops, check_reads: true }
+    }
+
+    #[test]
+    fn initial_values_are_zero() {
+        let b = block("T1", vec![read("x", 0)]);
+        assert!(check_block_sequence([&b]).is_ok());
+        let bad = block("T1", vec![read("x", 5)]);
+        assert!(check_block_sequence([&bad]).is_err());
+    }
+
+    #[test]
+    fn reads_see_last_preceding_write() {
+        let w1 = block("T1.w", vec![write("x", 1)]);
+        let w2 = block("T2.w", vec![write("x", 2)]);
+        let r_ok = block("T3.gr", vec![read("x", 2)]);
+        let r_stale = block("T3.gr", vec![read("x", 1)]);
+        assert!(check_block_sequence([&w1, &w2, &r_ok]).is_ok());
+        assert!(check_block_sequence([&w1, &w2, &r_stale]).is_err());
+        assert!(check_block_sequence([&w2, &w1, &r_stale]).is_ok());
+    }
+
+    #[test]
+    fn own_writes_shadow_earlier_writers() {
+        let w1 = block("T1.w", vec![write("x", 1)]);
+        let t2 = block("T2", vec![write("x", 7), read("x", 7)]);
+        assert!(check_block_sequence([&w1, &t2]).is_ok());
+        let t2_bad = block("T2", vec![write("x", 7), read("x", 1)]);
+        assert!(check_block_sequence([&w1, &t2_bad]).is_err());
+    }
+
+    #[test]
+    fn unchecked_reads_never_fail() {
+        let mut b = block("other", vec![read("x", 99)]);
+        b.check_reads = false;
+        assert!(check_block_sequence([&b]).is_ok());
+        assert!(!b.has_checked_reads());
+        assert!(!b.has_writes());
+    }
+
+    #[test]
+    fn undo_restores_previous_values() {
+        let mut st = MemoryState::new();
+        let w1 = block("T1.w", vec![write("x", 1), write("y", 2)]);
+        let w2 = block("T2.w", vec![write("x", 3)]);
+        st.apply_block(&w1).unwrap();
+        st.apply_block(&w2).unwrap();
+        assert_eq!(st.value(&DataItem::new("x")), 3);
+        st.undo();
+        assert_eq!(st.value(&DataItem::new("x")), 1);
+        assert_eq!(st.value(&DataItem::new("y")), 2);
+        st.undo();
+        assert_eq!(st.value(&DataItem::new("x")), 0);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn failed_apply_does_not_change_state() {
+        let mut st = MemoryState::new();
+        let bad = block("T1", vec![read("x", 9), write("x", 1)]);
+        assert!(st.apply_block(&bad).is_err());
+        assert_eq!(st.value(&DataItem::new("x")), 0);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn repeated_writes_to_same_item_undo_correctly() {
+        let mut st = MemoryState::new();
+        let b = block("T1.w", vec![write("x", 1), write("x", 2)]);
+        st.apply_block(&b).unwrap();
+        assert_eq!(st.value(&DataItem::new("x")), 2);
+        st.undo();
+        assert_eq!(st.value(&DataItem::new("x")), 0);
+    }
+
+    #[test]
+    fn block_builders_extract_from_history() {
+        use tm_model::prelude::*;
+        use tm_model::history::ReadResult;
+        // T1 writes x=1 then reads x (local read) and reads y (global read).
+        let mut h = History::new();
+        let t = TxId(0);
+        let x = DataItem::new("x");
+        let y = DataItem::new("y");
+        h.push(ProcId(0), TmEvent::InvBegin { tx: t });
+        h.push(ProcId(0), TmEvent::RespBegin { tx: t });
+        h.push(ProcId(0), TmEvent::InvWrite { tx: t, item: x.clone(), value: 1 });
+        h.push(ProcId(0), TmEvent::RespWrite { tx: t, item: x.clone(), ok: true });
+        h.push(ProcId(0), TmEvent::InvRead { tx: t, item: x.clone() });
+        h.push(ProcId(0), TmEvent::RespRead { tx: t, item: x.clone(), result: ReadResult::Value(1) });
+        h.push(ProcId(0), TmEvent::InvRead { tx: t, item: y.clone() });
+        h.push(ProcId(0), TmEvent::RespRead { tx: t, item: y.clone(), result: ReadResult::Value(0) });
+        h.push(ProcId(0), TmEvent::InvCommit { tx: t });
+        h.push(ProcId(0), TmEvent::RespCommit { tx: t, committed: true });
+
+        let gr = Block::global_reads("T1.gr", &h, t, true);
+        assert_eq!(gr.ops, vec![read("y", 0)]);
+        let w = Block::writes("T1.w", &h, t);
+        assert_eq!(w.ops, vec![write("x", 1)]);
+        assert!(w.has_writes());
+        let full = Block::full("T1", &h, t, true);
+        assert_eq!(full.ops, vec![write("x", 1), read("x", 1), read("y", 0)]);
+        // The full block is legal on its own: the local read sees the own write.
+        assert!(check_block_sequence([&full]).is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! # tm-consistency — executable consistency conditions for transactional memory
+//!
+//! This crate turns the consistency conditions of the PCL paper (and the conditions it
+//! compares against) into decision procedures over recorded executions:
+//!
+//! | Condition | Module | Paper reference |
+//! |---|---|---|
+//! | sequential legality                  | [`legality`]           | Section 3, "Histories" |
+//! | serializability                      | [`serializability`]    | Papadimitriou \[30\] |
+//! | strict serializability               | [`serializability`]    | \[30\] |
+//! | (weak) snapshot isolation            | [`snapshot_isolation`] | Definition 3.1 |
+//! | processor consistency                | [`processor`]          | Definition 3.2 |
+//! | PRAM consistency                     | [`pram`]               | Lipton & Sandberg \[28\] |
+//! | causal serializability               | [`causal`]             | Raynal et al. \[32\] |
+//! | consistency groups / partitions      | [`groups`]             | Definition 3.3 preliminaries |
+//! | **weak adaptive consistency**        | [`weak_adaptive`]      | Definition 3.3 |
+//!
+//! All of the searched conditions are existentially quantified over serialization
+//! points, per-process views, consistency partitions and `com(α)` sets; the checkers
+//! perform a pruned exhaustive search over exactly those objects (see [`placement`]).
+//! The search is exponential in the worst case — that is inherent to the definitions —
+//! but the scenarios of the paper involve at most seven transactions and the checkers
+//! decide them in well under a millisecond.
+//!
+//! Every checker returns a [`report::CheckResult`] carrying either a human-readable
+//! *witness* (the serialization order / partition that satisfies the condition) or a
+//! *violation* explanation, so the theorem driver in `pcl-theorem` can print exactly
+//! why a candidate TM implementation loses Consistency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod comset;
+pub mod groups;
+pub mod legality;
+pub mod multiview;
+pub mod placement;
+pub mod pram;
+pub mod processor;
+pub mod report;
+pub mod serializability;
+pub mod snapshot_isolation;
+pub mod weak_adaptive;
+
+pub use report::{CheckResult, ConditionMatrix};
+
+use tm_model::Execution;
+
+/// Run every consistency checker on an execution and collect the results into a
+/// matrix row (used by the P/C/L verdict machinery and the examples).
+pub fn check_all(execution: &Execution) -> ConditionMatrix {
+    let mut matrix = ConditionMatrix::new();
+    matrix.push(serializability::check_serializability(execution));
+    matrix.push(serializability::check_strict_serializability(execution));
+    matrix.push(snapshot_isolation::check_snapshot_isolation(execution));
+    matrix.push(processor::check_processor_consistency(execution));
+    matrix.push(pram::check_pram(execution));
+    matrix.push(causal::check_causal_serializability(execution));
+    matrix.push(weak_adaptive::check_weak_adaptive(execution));
+    matrix
+}

@@ -1,0 +1,268 @@
+//! Multi-view search: per-process serialization orders that agree on the order of
+//! writes to the same data item.
+//!
+//! Processor consistency (Definition 3.2) and weak adaptive consistency
+//! (Definition 3.3) let **each process have its own sequential view** but require that
+//! *writes to the same data item appear in the same order in every view*.  This module
+//! solves that joint search: one [`PlacementProblem`] per process, plus a set of
+//! transaction pairs whose write points must be ordered identically everywhere.
+//!
+//! The search proceeds process by process.  Whenever a view is found for process `i`,
+//! the relative order it chose for every agreement pair is added as a hard ordering
+//! constraint for the remaining processes; if a later process cannot satisfy them the
+//! search backtracks into process `i`'s enumeration.
+
+use crate::placement::{enumerate_placements, PlacementProblem};
+use std::collections::BTreeMap;
+use tm_model::{ProcId, TxId};
+
+/// The per-process component of a multi-view problem.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The process whose view this is.
+    pub proc: ProcId,
+    /// The placement problem encoding this process's constraints (windows, adjacency,
+    /// precedence, legality of this process's own reads).
+    pub problem: PlacementProblem,
+    /// For each transaction, the index of its *write* serialization point in
+    /// `problem.points` (for single-point conditions this is the transaction's only
+    /// point).  Only transactions that write at least one item need appear.
+    pub write_point: BTreeMap<TxId, usize>,
+}
+
+/// A joint multi-view problem.
+#[derive(Debug, Clone, Default)]
+pub struct MultiViewProblem {
+    /// One view per process that needs one.
+    pub views: Vec<View>,
+    /// Pairs of transactions that write a common data item: their write points must be
+    /// ordered the same way in every view.
+    pub agreement_pairs: Vec<(TxId, TxId)>,
+}
+
+/// A solution: for every view, the chosen order of its points (indices into the
+/// view's `problem.points`).
+pub type MultiViewSolution = Vec<(ProcId, Vec<usize>)>;
+
+/// Solve the joint problem, returning the first solution found.
+pub fn solve_multiview(mv: &MultiViewProblem) -> Option<MultiViewSolution> {
+    // Fast necessary condition: every view must be satisfiable on its own (the joint
+    // problem only *adds* constraints).  This lets a single impossible view reject the
+    // whole problem without enumerating placements of the other views.
+    for view in &mv.views {
+        crate::placement::find_placement(&view.problem)?;
+    }
+    let mut solution: Vec<(ProcId, Vec<usize>)> = Vec::new();
+    let mut constraints: BTreeMap<(TxId, TxId), bool> = BTreeMap::new();
+    if solve_rec(mv, 0, &mut constraints, &mut solution) {
+        Some(solution)
+    } else {
+        None
+    }
+}
+
+/// Recursive helper: solve views `[index..]` under the accumulated agreement
+/// decisions (`(a, b) -> true` means "a's write point precedes b's").
+fn solve_rec(
+    mv: &MultiViewProblem,
+    index: usize,
+    constraints: &mut BTreeMap<(TxId, TxId), bool>,
+    solution: &mut Vec<(ProcId, Vec<usize>)>,
+) -> bool {
+    if index == mv.views.len() {
+        return true;
+    }
+    let view = &mv.views[index];
+
+    // Instantiate the accumulated agreement decisions as ordering constraints.
+    let mut problem = view.problem.clone();
+    for ((a, b), a_first) in constraints.iter() {
+        if let (Some(&pa), Some(&pb)) = (view.write_point.get(a), view.write_point.get(b)) {
+            if *a_first {
+                problem.require_order(pa, pb);
+            } else {
+                problem.require_order(pb, pa);
+            }
+        }
+    }
+
+    let mut success = false;
+    enumerate_placements(&problem, &mut |order| {
+        // Record the decisions this placement makes for still-undecided pairs.
+        let position: BTreeMap<usize, usize> =
+            order.iter().enumerate().map(|(pos, &pt)| (pt, pos)).collect();
+        let mut new_decisions = Vec::new();
+        let mut consistent = true;
+        for (a, b) in &mv.agreement_pairs {
+            let (pa, pb) = match (view.write_point.get(a), view.write_point.get(b)) {
+                (Some(&pa), Some(&pb)) => (pa, pb),
+                _ => continue,
+            };
+            let a_first = position[&pa] < position[&pb];
+            match constraints.get(&(*a, *b)) {
+                Some(prev) if *prev != a_first => {
+                    consistent = false;
+                    break;
+                }
+                Some(_) => {}
+                None => new_decisions.push(((*a, *b), a_first)),
+            }
+        }
+        if !consistent {
+            return false; // try another placement for this view
+        }
+        for (pair, decision) in &new_decisions {
+            constraints.insert(*pair, *decision);
+        }
+        solution.push((view.proc, order.to_vec()));
+
+        if solve_rec(mv, index + 1, constraints, solution) {
+            success = true;
+            return true; // stop enumeration, bubble success up
+        }
+
+        solution.pop();
+        for (pair, _) in &new_decisions {
+            constraints.remove(pair);
+        }
+        false
+    });
+    success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::{Block, BlockOp};
+    use crate::placement::Point;
+    use tm_model::DataItem;
+
+    fn write_block(label: &str, item: &str, v: i64) -> Block {
+        Block {
+            label: label.into(),
+            ops: vec![BlockOp::Write { item: DataItem::new(item), value: v }],
+            check_reads: false,
+        }
+    }
+    fn read_block(label: &str, reads: &[(&str, i64)]) -> Block {
+        Block {
+            label: label.into(),
+            ops: reads
+                .iter()
+                .map(|(i, v)| BlockOp::Read { item: DataItem::new(*i), value: *v })
+                .collect(),
+            check_reads: true,
+        }
+    }
+
+    /// Build a single-point-per-transaction view for a process.
+    fn simple_view(proc: usize, blocks: Vec<(TxId, Block)>) -> View {
+        let mut problem = PlacementProblem::new();
+        let mut write_point = BTreeMap::new();
+        for (tx, block) in blocks {
+            let has_writes = block.has_writes();
+            let idx = problem.add_point(Point { label: block.label.clone(), window: None, block });
+            if has_writes {
+                write_point.insert(tx, idx);
+            }
+        }
+        View { proc: ProcId(proc), problem, write_point }
+    }
+
+    #[test]
+    fn independent_views_solve_trivially() {
+        // Two writers to different items; no agreement needed.
+        let mv = MultiViewProblem {
+            views: vec![
+                simple_view(
+                    0,
+                    vec![(TxId(0), write_block("T1", "x", 1)), (TxId(1), write_block("T2", "y", 2))],
+                ),
+                simple_view(
+                    1,
+                    vec![(TxId(0), write_block("T1", "x", 1)), (TxId(1), write_block("T2", "y", 2))],
+                ),
+            ],
+            agreement_pairs: vec![],
+        };
+        let sol = solve_multiview(&mv).expect("solvable");
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn agreement_pair_forces_same_order_in_every_view() {
+        // T1 writes x=1 and y=1; T2 writes x=2 and z=2 (both write x).
+        // Reader R1 (process p1) sees x=2 and y=1  ⇒ its view needs T1 < T2 < R1.
+        // Reader R2 (process p2) sees x=1 and z=2  ⇒ its view needs T2 < T1 < R2.
+        // With write-order agreement on (T1, T2) the joint problem is unsolvable
+        // (this is the classic processor-consistency violation); without agreement —
+        // i.e. PRAM consistency — each view is independent and it is solvable.
+        let t1 = Block {
+            label: "T1".into(),
+            ops: vec![
+                BlockOp::Write { item: DataItem::new("x"), value: 1 },
+                BlockOp::Write { item: DataItem::new("y"), value: 1 },
+            ],
+            check_reads: false,
+        };
+        let t2 = Block {
+            label: "T2".into(),
+            ops: vec![
+                BlockOp::Write { item: DataItem::new("x"), value: 2 },
+                BlockOp::Write { item: DataItem::new("z"), value: 2 },
+            ],
+            check_reads: false,
+        };
+        let p1_views = vec![
+            (TxId(0), t1.clone()),
+            (TxId(1), t2.clone()),
+            (TxId(2), read_block("R1", &[("x", 2), ("y", 1)])),
+        ];
+        let p2_views = vec![
+            (TxId(0), t1),
+            (TxId(1), t2),
+            (TxId(3), read_block("R2", &[("x", 1), ("z", 2)])),
+        ];
+        let with_agreement = MultiViewProblem {
+            views: vec![simple_view(0, p1_views.clone()), simple_view(1, p2_views.clone())],
+            agreement_pairs: vec![(TxId(0), TxId(1))],
+        };
+        assert!(solve_multiview(&with_agreement).is_none());
+
+        let without_agreement = MultiViewProblem {
+            views: vec![simple_view(0, p1_views), simple_view(1, p2_views)],
+            agreement_pairs: vec![],
+        };
+        assert!(solve_multiview(&without_agreement).is_some());
+    }
+
+    #[test]
+    fn backtracking_across_views_finds_the_compatible_order() {
+        // In p1's view both orders of T1/T2 are legal; p2's view only works with
+        // T2 < T1.  The solver must backtrack p1's first choice.
+        let p1 = simple_view(
+            0,
+            vec![(TxId(0), write_block("T1", "x", 1)), (TxId(1), write_block("T2", "x", 2))],
+        );
+        let p2 = simple_view(
+            1,
+            vec![
+                (TxId(0), write_block("T1", "x", 1)),
+                (TxId(1), write_block("T2", "x", 2)),
+                (TxId(2), read_block("R", &[("x", 1)])),
+            ],
+        );
+        let mv = MultiViewProblem {
+            views: vec![p1, p2],
+            agreement_pairs: vec![(TxId(0), TxId(1))],
+        };
+        let sol = solve_multiview(&mv).expect("solvable with T2 before T1");
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_solved() {
+        let sol = solve_multiview(&MultiViewProblem::default()).unwrap();
+        assert!(sol.is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! The serialization-point placement search.
+//!
+//! Every searched consistency condition of the paper has the same shape: *does there
+//! exist a total order of serialization points* — subject to interval ("must lie
+//! within the active execution interval of …"), precedence ("`∗T,gr` precedes
+//! `∗T,w`"), and adjacency ("no other serialization point is inserted between …")
+//! constraints — *such that the induced sequential history is legal?*
+//!
+//! [`PlacementProblem`] expresses exactly that, and [`enumerate_placements`] performs
+//! a pruned depth-first search over point orders:
+//!
+//! * **interval realizability** is checked greedily (a point can be scheduled at
+//!   `max(current position, window start)`, and the branch dies as soon as any
+//!   unplaced point's window has been passed),
+//! * **legality** is checked incrementally block-by-block with undo (see
+//!   [`crate::legality::MemoryState`]), so illegal prefixes are cut immediately,
+//! * **precedence** and **adjacency** constraints restrict which point may be placed
+//!   next.
+//!
+//! The worst case is exponential — unavoidable, the conditions themselves are
+//! NP-hard to check in general — but the pruning keeps the paper-scale scenarios
+//! (≤ 7 transactions, ≤ 14 points) in the microsecond range.
+
+use crate::legality::{Block, MemoryState};
+
+/// One serialization point to be placed.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Label used in witnesses (e.g. `"∗T1,w"`).
+    pub label: String,
+    /// The window of execution-event indices the point must be placed in
+    /// (`None` = unconstrained).
+    pub window: Option<(usize, usize)>,
+    /// The block of operations the point stands for in the induced sequential history.
+    pub block: Block,
+}
+
+/// A placement problem: points plus ordering/adjacency constraints.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementProblem {
+    /// The points to order.
+    pub points: Vec<Point>,
+    /// Pairs `(a, b)`: point `a` must precede point `b`.
+    pub ordered: Vec<(usize, usize)>,
+    /// Pairs `(a, b)`: point `b` must be placed *immediately* after point `a`
+    /// (no other serialization point in between).  Implies `a` precedes `b`.
+    pub adjacent: Vec<(usize, usize)>,
+}
+
+impl PlacementProblem {
+    /// Create an empty problem.
+    pub fn new() -> Self {
+        PlacementProblem::default()
+    }
+
+    /// Add a point, returning its index.
+    pub fn add_point(&mut self, point: Point) -> usize {
+        self.points.push(point);
+        self.points.len() - 1
+    }
+
+    /// Require point `a` to precede point `b`.
+    pub fn require_order(&mut self, a: usize, b: usize) {
+        self.ordered.push((a, b));
+    }
+
+    /// Require point `b` to immediately follow point `a`.
+    pub fn require_adjacent(&mut self, a: usize, b: usize) {
+        self.adjacent.push((a, b));
+        self.ordered.push((a, b));
+    }
+
+    /// Render a placement (a sequence of point indices) as a witness string.
+    pub fn render_order(&self, order: &[usize]) -> String {
+        order.iter().map(|&i| self.points[i].label.clone()).collect::<Vec<_>>().join(" < ")
+    }
+}
+
+struct Search<'a> {
+    problem: &'a PlacementProblem,
+    preds: Vec<Vec<usize>>,
+    next_of: Vec<Option<usize>>,
+    placed: Vec<bool>,
+    order: Vec<usize>,
+    cursor: usize,
+    memory: MemoryState,
+}
+
+impl<'a> Search<'a> {
+    fn new(problem: &'a PlacementProblem) -> Self {
+        let n = problem.points.len();
+        let mut preds = vec![Vec::new(); n];
+        for &(a, b) in &problem.ordered {
+            preds[b].push(a);
+        }
+        let mut next_of = vec![None; n];
+        for &(a, b) in &problem.adjacent {
+            next_of[a] = Some(b);
+        }
+        Search {
+            problem,
+            preds,
+            next_of,
+            placed: vec![false; n],
+            order: Vec::with_capacity(n),
+            cursor: 0,
+            memory: MemoryState::new(),
+        }
+    }
+
+    /// Whether point `i` may be placed next.
+    fn eligible(&self, i: usize) -> bool {
+        if self.placed[i] {
+            return false;
+        }
+        // All predecessors placed.
+        if !self.preds[i].iter().all(|&p| self.placed[p]) {
+            return false;
+        }
+        // Adjacency: if the last placed point demands an immediate successor, only
+        // that successor is eligible.
+        if let Some(&last) = self.order.last() {
+            if let Some(succ) = self.next_of[last] {
+                if !self.placed[succ] && succ != i {
+                    return false;
+                }
+            }
+        }
+        // Window feasibility at the current cursor.
+        if let Some((start, end)) = self.problem.points[i].window {
+            let slot = self.cursor.max(start);
+            if slot > end {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the branch is already dead: some unplaced point's window has closed.
+    fn dead_branch(&self) -> bool {
+        self.problem.points.iter().enumerate().any(|(i, p)| {
+            !self.placed[i]
+                && matches!(p.window, Some((_, end)) if end < self.cursor)
+        })
+    }
+
+    /// A point is a *no-op* if placing it cannot affect any other point: its block
+    /// neither writes anything nor carries checked reads, it has no adjacency
+    /// successor, and placing it does not advance the cursor.  Placing an eligible
+    /// no-op immediately (without branching on alternatives) is always safe, and it
+    /// collapses the huge symmetric subtrees produced by "don't care" blocks.
+    fn is_noop(&self, i: usize) -> bool {
+        let p = &self.problem.points[i];
+        if p.block.has_writes() || p.block.has_checked_reads() || self.next_of[i].is_some() {
+            return false;
+        }
+        match p.window {
+            None => true,
+            Some((start, _)) => start <= self.cursor,
+        }
+    }
+
+    fn run(&mut self, visit: &mut dyn FnMut(&[usize]) -> bool) -> bool {
+        if self.order.len() == self.problem.points.len() {
+            return visit(&self.order);
+        }
+        if self.dead_branch() {
+            return false;
+        }
+        // Greedy rule: place an eligible no-op point immediately, without branching.
+        if let Some(i) = (0..self.problem.points.len()).find(|&i| self.eligible(i) && self.is_noop(i)) {
+            if self.memory.apply_block(&self.problem.points[i].block).is_ok() {
+                self.placed[i] = true;
+                self.order.push(i);
+                let done = self.run(visit);
+                if !done {
+                    self.order.pop();
+                    self.placed[i] = false;
+                    self.memory.undo();
+                }
+                return done;
+            }
+        }
+        for i in 0..self.problem.points.len() {
+            if !self.eligible(i) {
+                continue;
+            }
+            // Legality of the induced history so far.
+            if self.memory.apply_block(&self.problem.points[i].block).is_err() {
+                continue;
+            }
+            let saved_cursor = self.cursor;
+            if let Some((start, _)) = self.problem.points[i].window {
+                self.cursor = self.cursor.max(start);
+            }
+            self.placed[i] = true;
+            self.order.push(i);
+
+            if self.run(visit) {
+                return true;
+            }
+
+            self.order.pop();
+            self.placed[i] = false;
+            self.cursor = saved_cursor;
+            self.memory.undo();
+        }
+        false
+    }
+}
+
+/// Enumerate complete placements.  `visit` is called for every placement that
+/// satisfies all constraints and legality; returning `true` stops the search (and
+/// makes `enumerate_placements` return `true`).
+pub fn enumerate_placements(
+    problem: &PlacementProblem,
+    visit: &mut dyn FnMut(&[usize]) -> bool,
+) -> bool {
+    Search::new(problem).run(visit)
+}
+
+/// Find the first satisfying placement, if any.
+pub fn find_placement(problem: &PlacementProblem) -> Option<Vec<usize>> {
+    let mut found = None;
+    enumerate_placements(problem, &mut |order| {
+        found = Some(order.to_vec());
+        true
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::BlockOp;
+    use tm_model::DataItem;
+
+    fn block(label: &str, ops: Vec<BlockOp>, check: bool) -> Block {
+        Block { label: label.into(), ops, check_reads: check }
+    }
+    fn read(item: &str, v: i64) -> BlockOp {
+        BlockOp::Read { item: DataItem::new(item), value: v }
+    }
+    fn write(item: &str, v: i64) -> BlockOp {
+        BlockOp::Write { item: DataItem::new(item), value: v }
+    }
+    fn point(label: &str, window: Option<(usize, usize)>, blk: Block) -> Point {
+        Point { label: label.into(), window, block: blk }
+    }
+
+    #[test]
+    fn unconstrained_points_find_a_legal_order() {
+        // T2 reads x=1, T1 writes x=1: only the order T1.w < T2.gr is legal.
+        let mut p = PlacementProblem::new();
+        let w = p.add_point(point("∗T1,w", None, block("T1.w", vec![write("x", 1)], false)));
+        let r = p.add_point(point("∗T2,gr", None, block("T2.gr", vec![read("x", 1)], true)));
+        let order = find_placement(&p).expect("placement must exist");
+        assert_eq!(order, vec![w, r]);
+        assert_eq!(p.render_order(&order), "∗T1,w < ∗T2,gr");
+    }
+
+    #[test]
+    fn illegal_reads_make_the_problem_unsatisfiable() {
+        // T2 reads x=1 but nobody writes 1.
+        let mut p = PlacementProblem::new();
+        p.add_point(point("∗T1,w", None, block("T1.w", vec![write("x", 2)], false)));
+        p.add_point(point("∗T2,gr", None, block("T2.gr", vec![read("x", 1)], true)));
+        assert!(find_placement(&p).is_none());
+    }
+
+    #[test]
+    fn windows_constrain_the_order() {
+        // Both orders are legal for legality, but the windows force a < b.
+        let mut p = PlacementProblem::new();
+        let a = p.add_point(point("a", Some((0, 5)), block("a", vec![], false)));
+        let b = p.add_point(point("b", Some((10, 20)), block("b", vec![], false)));
+        let order = find_placement(&p).unwrap();
+        assert_eq!(order, vec![a, b]);
+
+        // Disjoint windows in the other direction make b-first impossible; combined
+        // with an ordering constraint b < a the problem is unsatisfiable.
+        let mut p2 = PlacementProblem::new();
+        let a2 = p2.add_point(point("a", Some((0, 5)), block("a", vec![], false)));
+        let b2 = p2.add_point(point("b", Some((10, 20)), block("b", vec![], false)));
+        p2.require_order(b2, a2);
+        assert!(find_placement(&p2).is_none());
+    }
+
+    #[test]
+    fn overlapping_windows_allow_both_orders() {
+        let mut count = 0;
+        let mut p = PlacementProblem::new();
+        p.add_point(point("a", Some((0, 10)), block("a", vec![write("pa", 1)], false)));
+        p.add_point(point("b", Some((5, 15)), block("b", vec![write("pb", 1)], false)));
+        enumerate_placements(&p, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn nested_window_placement_is_found() {
+        // a's window strictly contains b's; both orders realizable.
+        let mut count = 0;
+        let mut p = PlacementProblem::new();
+        p.add_point(point("a", Some((0, 100)), block("a", vec![write("pa", 1)], false)));
+        p.add_point(point("b", Some((40, 60)), block("b", vec![write("pb", 1)], false)));
+        enumerate_placements(&p, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn ordering_constraints_are_respected() {
+        let mut p = PlacementProblem::new();
+        let a = p.add_point(point("gr", None, block("gr", vec![], false)));
+        let b = p.add_point(point("w", None, block("w", vec![], false)));
+        p.require_order(a, b);
+        let mut orders = Vec::new();
+        enumerate_placements(&p, &mut |o| {
+            orders.push(o.to_vec());
+            false
+        });
+        assert_eq!(orders, vec![vec![a, b]]);
+    }
+
+    #[test]
+    fn adjacency_forbids_interleaving_points() {
+        // Three points: (a, b) adjacent; c must not slip between them.
+        let mut p = PlacementProblem::new();
+        let a = p.add_point(point("a", None, block("a", vec![write("pa", 1)], false)));
+        let b = p.add_point(point("b", None, block("b", vec![write("pb", 1)], false)));
+        let c = p.add_point(point("c", None, block("c", vec![write("pc", 1)], false)));
+        p.require_adjacent(a, b);
+        let mut orders = Vec::new();
+        enumerate_placements(&p, &mut |o| {
+            orders.push(o.to_vec());
+            false
+        });
+        assert!(orders.contains(&vec![a, b, c]));
+        assert!(orders.contains(&vec![c, a, b]));
+        assert!(!orders.iter().any(|o| *o == vec![a, c, b]));
+    }
+
+    #[test]
+    fn legality_prunes_with_windows_and_orders_combined() {
+        // Writer's window is late; a reader expecting the value must come after, but
+        // the reader's window closes before the writer's opens → unsatisfiable.
+        let mut p = PlacementProblem::new();
+        p.add_point(point("w", Some((10, 20)), block("w", vec![write("x", 1)], false)));
+        p.add_point(point("r", Some((0, 5)), block("r", vec![read("x", 1)], true)));
+        assert!(find_placement(&p).is_none());
+
+        // If instead the reader expects the initial value, placing it first works.
+        let mut p2 = PlacementProblem::new();
+        p2.add_point(point("w", Some((10, 20)), block("w", vec![write("x", 1)], false)));
+        p2.add_point(point("r", Some((0, 5)), block("r", vec![read("x", 0)], true)));
+        assert!(find_placement(&p2).is_some());
+    }
+
+    #[test]
+    fn three_transaction_chain_has_unique_serialization() {
+        // T1 writes x=1; T2 reads x=1 writes y=2; T3 reads y=2 — order forced.
+        let mut p = PlacementProblem::new();
+        let t1 = p.add_point(point("T1", None, block("T1", vec![write("x", 1)], true)));
+        let t2 =
+            p.add_point(point("T2", None, block("T2", vec![read("x", 1), write("y", 2)], true)));
+        let t3 = p.add_point(point("T3", None, block("T3", vec![read("y", 2)], true)));
+        let mut orders = Vec::new();
+        enumerate_placements(&p, &mut |o| {
+            orders.push(o.to_vec());
+            false
+        });
+        assert_eq!(orders, vec![vec![t1, t2, t3]]);
+    }
+}

@@ -1,0 +1,150 @@
+//! PRAM consistency (Lipton & Sandberg \[28\]).
+//!
+//! PRAM consistency is processor consistency *without* the requirement that writes to
+//! the same data item be observed in the same order by every process: each process's
+//! view must respect per-process program order and make that process's own
+//! transactions legal, and that is all.
+//!
+//! The paper's discussion (Section 5) points out that PRAM consistency is cheap:
+//! a TM that never synchronizes at all — each process keeps a private copy of every
+//! data item — is PRAM consistent, wait-free and trivially strict
+//! disjoint-access-parallel.  PRAM is therefore the "give up C" corner of the
+//! P/C/L triangle, and this checker is what certifies that corner in the experiments.
+
+use crate::comset::{com_candidates, render_com};
+use crate::multiview::{solve_multiview, MultiViewProblem, View};
+use crate::processor::relevant_processes;
+use crate::report::CheckResult;
+use crate::{legality::Block, placement::PlacementProblem, placement::Point};
+use std::collections::BTreeMap;
+use tm_model::{Execution, History, ProcId, TxId};
+
+/// Name under which the result appears in a [`crate::ConditionMatrix`].
+pub const PRAM: &str = "PRAM consistency";
+
+fn build_view(history: &History, com: &[TxId], proc: ProcId) -> View {
+    let mut problem = PlacementProblem::new();
+    let mut index_of = BTreeMap::new();
+    for tx in com {
+        let check = history.proc_of(*tx) == proc;
+        let block = Block::full(tx.to_string(), history, *tx, check);
+        let idx = problem.add_point(Point { label: format!("∗{tx}"), window: None, block });
+        index_of.insert(*tx, idx);
+    }
+    for a in com {
+        for b in com {
+            if a != b && history.proc_of(*a) == history.proc_of(*b) && history.precedes(*a, *b) {
+                problem.require_order(index_of[a], index_of[b]);
+            }
+        }
+    }
+    // PRAM never constrains cross-view write order, so `write_point` stays empty.
+    View { proc, problem, write_point: BTreeMap::new() }
+}
+
+/// Check PRAM consistency of an execution.
+pub fn check_pram(execution: &Execution) -> CheckResult {
+    let history = execution.history();
+    if history.transactions().is_empty() {
+        return CheckResult::satisfied(PRAM, "empty history");
+    }
+    for com in com_candidates(&history) {
+        let views: Vec<View> = relevant_processes(&history, &com)
+            .into_iter()
+            .map(|p| build_view(&history, &com, p))
+            .collect();
+        let mv = MultiViewProblem { views, agreement_pairs: vec![] };
+        if let Some(solution) = solve_multiview(&mv) {
+            let witness = solution
+                .iter()
+                .map(|(p, order)| {
+                    let view = mv.views.iter().find(|v| v.proc == *p).unwrap();
+                    format!("{p}: {}", view.problem.render_order(order))
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            return CheckResult::satisfied(PRAM, format!("{}; {}", render_com(&com), witness));
+        }
+    }
+    CheckResult::violated(
+        PRAM,
+        "some process cannot order the committed transactions so that its own reads \
+         are legal while respecting per-process program order",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::{ReadResult, TmEvent};
+    use tm_model::step::Event;
+    use tm_model::DataItem;
+
+    fn ev(p: usize, e: TmEvent) -> Event {
+        Event::Tm { proc: ProcId(p), event: e }
+    }
+
+    fn tx_events(p: usize, tx: usize, reads: &[(&str, i64)], writes: &[(&str, i64)]) -> Vec<Event> {
+        let t = TxId(tx);
+        let mut out = vec![ev(p, TmEvent::InvBegin { tx: t }), ev(p, TmEvent::RespBegin { tx: t })];
+        for (item, value) in reads {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
+            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+        }
+        for (item, value) in writes {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvWrite { tx: t, item: x.clone(), value: *value }));
+            out.push(ev(p, TmEvent::RespWrite { tx: t, item: x, ok: true }));
+        }
+        out.push(ev(p, TmEvent::InvCommit { tx: t }));
+        out.push(ev(p, TmEvent::RespCommit { tx: t, committed: true }));
+        out
+    }
+
+    #[test]
+    fn pram_is_weaker_than_processor_consistency() {
+        // The disagreeing-write-order scenario from the processor-consistency tests:
+        // PC rejects it, PRAM accepts it.
+        let mut events = tx_events(0, 0, &[], &[("x", 1), ("y", 1)]);
+        events.extend(tx_events(1, 1, &[], &[("x", 2), ("z", 2)]));
+        events.extend(tx_events(2, 2, &[("x", 2), ("y", 1)], &[]));
+        events.extend(tx_events(3, 3, &[("x", 1), ("z", 2)], &[]));
+        let e = Execution::from_events(events);
+        assert!(check_pram(&e).satisfied);
+        assert!(!crate::processor::check_processor_consistency(&e).satisfied);
+    }
+
+    #[test]
+    fn program_order_violations_still_fail_pram() {
+        // Same process writes x=1 (T1) then reads x=0 (T2): even PRAM rejects this.
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(0, 1, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        assert!(!check_pram(&e).satisfied);
+    }
+
+    #[test]
+    fn never_observing_remote_writes_is_pram_consistent() {
+        // A "no synchronization at all" TM: every process reads only its own writes.
+        // p1 commits x=1; p2 reads x=0; p3 reads x=0 — PRAM accepts.
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 0)], &[]));
+        events.extend(tx_events(2, 2, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        assert!(check_pram(&e).satisfied);
+    }
+
+    #[test]
+    fn impossible_values_still_fail_pram() {
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 99)], &[]));
+        let e = Execution::from_events(events);
+        assert!(!check_pram(&e).satisfied);
+    }
+
+    #[test]
+    fn empty_execution_is_pram_consistent() {
+        assert!(check_pram(&Execution::new()).satisfied);
+    }
+}

@@ -1,0 +1,214 @@
+//! Processor consistency — Definition 3.2 of the paper.
+//!
+//! Each process is allowed its own sequential view (one serialization point per
+//! transaction of `com(α)`, with **no** interval constraint), subject to:
+//!
+//! * **1(a)** transactions executed by the same process that are ordered in real time
+//!   keep that order in every view;
+//! * **1(b)** transactions writing the same data item are ordered the same way in
+//!   every view;
+//! * **2** every transaction executed by process `pi` is legal in `pi`'s view, where
+//!   each transaction is replaced by its full subhistory `H|T` (completed with a
+//!   commit if it was commit-pending).
+
+use crate::comset::{com_candidates, render_com};
+use crate::legality::Block;
+use crate::multiview::{solve_multiview, MultiViewProblem, View};
+use crate::placement::{PlacementProblem, Point};
+use crate::report::CheckResult;
+use std::collections::{BTreeMap, BTreeSet};
+use tm_model::{Execution, History, ProcId, TxId};
+
+/// Name under which the result appears in a [`crate::ConditionMatrix`].
+pub const PROCESSOR_CONSISTENCY: &str = "processor consistency (Def 3.2)";
+
+/// The transactions of `com` that write each data item — used to derive the pairs on
+/// which all views must agree (condition 1(b)).
+pub(crate) fn agreement_pairs(history: &History, com: &[TxId]) -> Vec<(TxId, TxId)> {
+    let mut pairs = Vec::new();
+    for (i, a) in com.iter().enumerate() {
+        let wa: BTreeSet<_> = history.final_writes_of(*a).keys().cloned().collect();
+        for b in com.iter().skip(i + 1) {
+            let wb: BTreeSet<_> = history.final_writes_of(*b).keys().cloned().collect();
+            if wa.intersection(&wb).next().is_some() {
+                pairs.push((*a, *b));
+            }
+        }
+    }
+    pairs
+}
+
+/// The processes that must be given a view: those executing at least one transaction
+/// of `com` (other processes' views are unconstrained and can copy any of these).
+pub(crate) fn relevant_processes(history: &History, com: &[TxId]) -> Vec<ProcId> {
+    let mut procs: Vec<ProcId> = com.iter().map(|tx| history.proc_of(*tx)).collect();
+    procs.sort();
+    procs.dedup();
+    procs
+}
+
+/// Build one process's view for processor consistency.
+fn build_view(history: &History, com: &[TxId], proc: ProcId) -> View {
+    let mut problem = PlacementProblem::new();
+    let mut index_of = BTreeMap::new();
+    let mut write_point = BTreeMap::new();
+    for tx in com {
+        let check = history.proc_of(*tx) == proc;
+        let block = Block::full(tx.to_string(), history, *tx, check);
+        let has_writes = block.has_writes();
+        let idx = problem.add_point(Point { label: format!("∗{tx}"), window: None, block });
+        index_of.insert(*tx, idx);
+        if has_writes {
+            write_point.insert(*tx, idx);
+        }
+    }
+    // Condition 1(a): same-process real-time order, in every view.
+    for a in com {
+        for b in com {
+            if a != b && history.proc_of(*a) == history.proc_of(*b) && history.precedes(*a, *b) {
+                problem.require_order(index_of[a], index_of[b]);
+            }
+        }
+    }
+    View { proc, problem, write_point }
+}
+
+/// Check processor consistency of an execution.
+pub fn check_processor_consistency(execution: &Execution) -> CheckResult {
+    let history = execution.history();
+    if history.transactions().is_empty() {
+        return CheckResult::satisfied(PROCESSOR_CONSISTENCY, "empty history");
+    }
+    for com in com_candidates(&history) {
+        let views: Vec<View> = relevant_processes(&history, &com)
+            .into_iter()
+            .map(|p| build_view(&history, &com, p))
+            .collect();
+        let mv = MultiViewProblem { views, agreement_pairs: agreement_pairs(&history, &com) };
+        if let Some(solution) = solve_multiview(&mv) {
+            let witness = solution
+                .iter()
+                .map(|(p, order)| {
+                    let view = mv.views.iter().find(|v| v.proc == *p).unwrap();
+                    format!("{p}: {}", view.problem.render_order(order))
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            return CheckResult::satisfied(
+                PROCESSOR_CONSISTENCY,
+                format!("{}; {}", render_com(&com), witness),
+            );
+        }
+    }
+    CheckResult::violated(
+        PROCESSOR_CONSISTENCY,
+        "no per-process serialization orders agree on same-item write order while \
+         keeping every process's own transactions legal",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::{ReadResult, TmEvent};
+    use tm_model::step::Event;
+    use tm_model::DataItem;
+
+    fn ev(p: usize, e: TmEvent) -> Event {
+        Event::Tm { proc: ProcId(p), event: e }
+    }
+
+    fn tx_events(
+        p: usize,
+        tx: usize,
+        reads: &[(&str, i64)],
+        writes: &[(&str, i64)],
+    ) -> Vec<Event> {
+        let t = TxId(tx);
+        let mut out = vec![ev(p, TmEvent::InvBegin { tx: t }), ev(p, TmEvent::RespBegin { tx: t })];
+        for (item, value) in reads {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
+            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+        }
+        for (item, value) in writes {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvWrite { tx: t, item: x.clone(), value: *value }));
+            out.push(ev(p, TmEvent::RespWrite { tx: t, item: x, ok: true }));
+        }
+        out.push(ev(p, TmEvent::InvCommit { tx: t }));
+        out.push(ev(p, TmEvent::RespCommit { tx: t, committed: true }));
+        out
+    }
+
+    #[test]
+    fn stale_reads_in_different_processes_are_processor_consistent() {
+        // T1 (p1) commits x=1; much later T2 (p2) reads x=0.  Not strictly
+        // serializable, but processor consistent: p2's view simply orders T2 first
+        // (views have no real-time constraint across processes).
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        assert!(check_processor_consistency(&e).satisfied);
+        assert!(!crate::serializability::check_strict_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn same_process_program_order_must_be_respected() {
+        // One process: T1 writes x=1, then T2 (same process) reads x=0.  Condition
+        // 1(a) forces T1 before T2 in that process's own view, so the read of 0 is
+        // illegal and processor consistency is violated.
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(0, 1, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        let res = check_processor_consistency(&e);
+        assert!(!res.satisfied, "{res}");
+    }
+
+    #[test]
+    fn disagreeing_write_orders_violate_processor_consistency() {
+        // Writers: T1 (p1) writes x=1,y=1;  T2 (p2) writes x=2,z=2.
+        // Reader R1 (p3) sees x=2,y=1 (requires T1 < T2).
+        // Reader R2 (p4) sees x=1,z=2 (requires T2 < T1).
+        // Both orders cannot agree on the x-writers ⇒ PC violated.
+        let mut events = tx_events(0, 0, &[], &[("x", 1), ("y", 1)]);
+        events.extend(tx_events(1, 1, &[], &[("x", 2), ("z", 2)]));
+        events.extend(tx_events(2, 2, &[("x", 2), ("y", 1)], &[]));
+        events.extend(tx_events(3, 3, &[("x", 1), ("z", 2)], &[]));
+        let e = Execution::from_events(events);
+        let res = check_processor_consistency(&e);
+        assert!(!res.satisfied, "{res}");
+        // …but PRAM consistency accepts it (no write-order agreement).
+        assert!(crate::pram::check_pram(&e).satisfied);
+    }
+
+    #[test]
+    fn agreeing_views_satisfy_processor_consistency() {
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[], &[("x", 2)]));
+        events.extend(tx_events(2, 2, &[("x", 2)], &[]));
+        events.extend(tx_events(3, 3, &[("x", 2)], &[]));
+        let e = Execution::from_events(events);
+        assert!(check_processor_consistency(&e).satisfied);
+    }
+
+    #[test]
+    fn helper_functions_extract_writers_and_processes() {
+        let mut events = tx_events(0, 0, &[], &[("x", 1)]);
+        events.extend(tx_events(1, 1, &[], &[("x", 2)]));
+        events.extend(tx_events(2, 2, &[("x", 2)], &[]));
+        let e = Execution::from_events(events);
+        let h = e.history();
+        let com = vec![TxId(0), TxId(1), TxId(2)];
+        assert_eq!(agreement_pairs(&h, &com), vec![(TxId(0), TxId(1))]);
+        assert_eq!(
+            relevant_processes(&h, &com),
+            vec![ProcId(0), ProcId(1), ProcId(2)]
+        );
+    }
+
+    #[test]
+    fn empty_execution_is_processor_consistent() {
+        assert!(check_processor_consistency(&Execution::new()).satisfied);
+    }
+}

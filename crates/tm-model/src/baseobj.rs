@@ -1,0 +1,189 @@
+//! Base objects and the shared memory that holds them.
+//!
+//! A TM algorithm represents each data item (and each piece of its own metadata) by
+//! one or more *base objects*.  In this model a base object is simply a named cell
+//! holding a [`Word`]; the set of all base objects allocated so far is a [`Memory`].
+//!
+//! Objects are allocated **lazily by name**: the first access to `"val:x"` creates the
+//! object with the initial state the algorithm supplies.  Names are the stable,
+//! cross-execution identity of objects (numeric [`ObjId`]s depend on allocation order
+//! and are only meaningful within one run) — the contention and indistinguishability
+//! analyses all compare object names.
+
+use crate::ids::ObjId;
+use crate::primitive::{apply, PrimResponse, Primitive};
+use crate::word::Word;
+use std::collections::HashMap;
+
+/// A single base object: a named atomic cell.
+#[derive(Debug, Clone)]
+pub struct BaseObject {
+    /// Identifier within this memory.
+    pub id: ObjId,
+    /// Stable name (identity across executions).
+    pub name: String,
+    /// Current state.
+    pub state: Word,
+    /// State the object was created with (used when rendering configurations).
+    pub initial: Word,
+}
+
+/// The shared memory of a simulation run: all base objects allocated so far.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    objects: Vec<BaseObject>,
+    by_name: HashMap<String, ObjId>,
+}
+
+impl Memory {
+    /// Create an empty memory (the paper's *initial configuration* has every base
+    /// object in its initial state; lazily-allocated objects are equivalent because an
+    /// object's first access always observes its initial state).
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Look up an object by name, allocating it with `init` as its state if it does
+    /// not exist yet.  Allocation itself is not a step: it models address computation,
+    /// not shared-memory communication.
+    pub fn get_or_alloc(&mut self, name: &str, init: Word) -> ObjId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = ObjId(self.objects.len());
+        self.objects.push(BaseObject {
+            id,
+            name: name.to_string(),
+            state: init.clone(),
+            initial: init,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an object by name without allocating.
+    pub fn lookup(&self, name: &str) -> Option<ObjId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Apply a primitive to an object atomically, returning the response.
+    ///
+    /// Panics if the object id is unknown (allocation always precedes access in the
+    /// simulator, so this indicates a bug in an algorithm or in the engine).
+    pub fn apply(&mut self, obj: ObjId, prim: &Primitive) -> PrimResponse {
+        let cell = self
+            .objects
+            .get_mut(obj.index())
+            .unwrap_or_else(|| panic!("access to unknown base object {obj}"));
+        let (new_state, resp) = apply(&cell.state, prim);
+        cell.state = new_state;
+        resp
+    }
+
+    /// Current state of an object.
+    pub fn state(&self, obj: ObjId) -> &Word {
+        &self.objects[obj.index()].state
+    }
+
+    /// Name of an object.
+    pub fn name(&self, obj: ObjId) -> &str {
+        &self.objects[obj.index()].name
+    }
+
+    /// Number of objects allocated so far.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if no object has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over all allocated objects.
+    pub fn iter(&self) -> impl Iterator<Item = &BaseObject> {
+        self.objects.iter()
+    }
+
+    /// Render the memory contents as `name = state` lines (sorted by name), used when
+    /// printing configurations in examples and figure generators.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<String> =
+            self.objects.iter().map(|o| format!("{} = {}", o.name, o.state)).collect();
+        rows.sort();
+        rows.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_lazy_and_idempotent() {
+        let mut mem = Memory::new();
+        assert!(mem.is_empty());
+        let a = mem.get_or_alloc("val:x", Word::Int(0));
+        let b = mem.get_or_alloc("val:x", Word::Int(99)); // init ignored on re-lookup
+        assert_eq!(a, b);
+        assert_eq!(mem.len(), 1);
+        assert_eq!(mem.state(a), &Word::Int(0));
+        assert_eq!(mem.name(a), "val:x");
+        assert_eq!(mem.lookup("val:x"), Some(a));
+        assert_eq!(mem.lookup("val:y"), None);
+    }
+
+    #[test]
+    fn apply_updates_state_atomically() {
+        let mut mem = Memory::new();
+        let x = mem.get_or_alloc("x", Word::Int(0));
+        assert_eq!(mem.apply(x, &Primitive::Read), PrimResponse::Value(Word::Int(0)));
+        assert_eq!(mem.apply(x, &Primitive::Write(Word::Int(3))), PrimResponse::Ack);
+        assert_eq!(mem.state(x), &Word::Int(3));
+        assert!(mem
+            .apply(x, &Primitive::Cas { expected: Word::Int(3), new: Word::Int(4) })
+            .expect_bool());
+        assert_eq!(mem.state(x), &Word::Int(4));
+        assert!(!mem
+            .apply(x, &Primitive::Cas { expected: Word::Int(3), new: Word::Int(5) })
+            .expect_bool());
+        assert_eq!(mem.state(x), &Word::Int(4));
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_objects() {
+        let mut mem = Memory::new();
+        let x = mem.get_or_alloc("x", Word::Int(0));
+        let y = mem.get_or_alloc("y", Word::Int(0));
+        assert_ne!(x, y);
+        assert_eq!(mem.len(), 2);
+        mem.apply(x, &Primitive::Write(Word::Int(7)));
+        assert_eq!(mem.state(y), &Word::Int(0));
+    }
+
+    #[test]
+    fn render_is_sorted_and_readable() {
+        let mut mem = Memory::new();
+        mem.get_or_alloc("val:b", Word::Int(2));
+        mem.get_or_alloc("val:a", Word::Int(1));
+        let rendered = mem.render();
+        assert_eq!(rendered, "val:a = 1\nval:b = 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown base object")]
+    fn applying_to_unknown_object_panics() {
+        let mut mem = Memory::new();
+        mem.apply(ObjId(0), &Primitive::Read);
+    }
+
+    #[test]
+    fn initial_state_is_remembered() {
+        let mut mem = Memory::new();
+        let x = mem.get_or_alloc("x", Word::Int(5));
+        mem.apply(x, &Primitive::Write(Word::Int(9)));
+        let obj = mem.iter().next().unwrap();
+        assert_eq!(obj.initial, Word::Int(5));
+        assert_eq!(obj.state, Word::Int(9));
+    }
+}

@@ -1,0 +1,415 @@
+//! Executions: ordered sequences of events, with the interval and
+//! indistinguishability machinery the PCL proof relies on.
+//!
+//! An execution is the full, step-level record of a simulation run.  From it we derive
+//!
+//! * the **history** (projection onto TM-interface events),
+//! * per-transaction **active execution intervals** (first to last event of the
+//!   transaction, in event-index space) — the windows into which Definition 3.1/3.3
+//!   serialization points must be inserted,
+//! * the **per-process step sequences** used for indistinguishability arguments
+//!   ("α7 is indistinguishable from α7′ to process p7"),
+//! * the **per-transaction base-object footprints** used by the
+//!   disjoint-access-parallelism analyses in `tm-properties`.
+
+use crate::history::History;
+use crate::ids::{ProcId, TxId};
+use crate::step::{Event, MemStep};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A (half-open) interval of event indices `[start, end]`, both inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Index of the first event of the interval.
+    pub start: usize,
+    /// Index of the last event of the interval.
+    pub end: usize,
+}
+
+impl Interval {
+    /// Whether two intervals overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether this interval ends before the other starts.
+    pub fn precedes(&self, other: &Interval) -> bool {
+        self.end < other.start
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// An execution: the ordered list of all events of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Execution {
+    events: Vec<Event>,
+}
+
+impl Execution {
+    /// Create an empty execution.
+    pub fn new() -> Self {
+        Execution::default()
+    }
+
+    /// Create an execution from an ordered event list.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        Execution { events }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events (memory steps *and* TM-interface events).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the execution contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The history of the execution: its TM-interface events, in order.
+    pub fn history(&self) -> History {
+        let mut h = History::new();
+        for ev in &self.events {
+            if let Event::Tm { proc, event } = ev {
+                h.push(*proc, event.clone());
+            }
+        }
+        h
+    }
+
+    /// All memory steps, in order, with their event indices.
+    pub fn mem_steps(&self) -> Vec<(usize, &MemStep)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| ev.as_mem().map(|s| (i, s)))
+            .collect()
+    }
+
+    /// The memory steps taken on behalf of a given transaction (the subsequence
+    /// `α|T` of the paper, restricted to base-object accesses).
+    pub fn steps_of_tx(&self, tx: TxId) -> Vec<&MemStep> {
+        self.events
+            .iter()
+            .filter_map(|ev| ev.as_mem())
+            .filter(|s| s.tx == tx)
+            .collect()
+    }
+
+    /// The memory steps taken by a given process, in order.
+    pub fn steps_of_proc(&self, proc: ProcId) -> Vec<&MemStep> {
+        self.events
+            .iter()
+            .filter_map(|ev| ev.as_mem())
+            .filter(|s| s.proc == proc)
+            .collect()
+    }
+
+    /// All events (memory and TM) belonging to a process, in order.
+    pub fn events_of_proc(&self, proc: ProcId) -> Vec<&Event> {
+        self.events.iter().filter(|ev| ev.proc() == proc).collect()
+    }
+
+    /// The *active execution interval* of a transaction: the indices of its first and
+    /// last events in this execution (the paper's definition, which — unlike the plain
+    /// execution interval — ends at the transaction's last step even if the
+    /// transaction never completes).
+    pub fn active_interval(&self, tx: TxId) -> Option<Interval> {
+        let mut first = None;
+        let mut last = None;
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.tx() == tx {
+                if first.is_none() {
+                    first = Some(i);
+                }
+                last = Some(i);
+            }
+        }
+        match (first, last) {
+            (Some(s), Some(e)) => Some(Interval { start: s, end: e }),
+            _ => None,
+        }
+    }
+
+    /// Active intervals of every transaction appearing in the execution.
+    pub fn active_intervals(&self) -> BTreeMap<TxId, Interval> {
+        let mut map = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let entry = map.entry(ev.tx()).or_insert(Interval { start: i, end: i });
+            entry.end = i;
+        }
+        map
+    }
+
+    /// The set of base-object names a transaction accessed, split by whether the
+    /// access was non-trivial.  Used by the DAP analyses.
+    pub fn footprint_of_tx(&self, tx: TxId) -> TxFootprint {
+        let mut fp = TxFootprint::default();
+        for step in self.steps_of_tx(tx) {
+            if step.is_nontrivial() {
+                fp.nontrivial.insert(step.obj_name.clone());
+            } else {
+                fp.trivial.insert(step.obj_name.clone());
+            }
+        }
+        fp
+    }
+
+    /// All transactions appearing in the execution, in order of first event.
+    pub fn transactions(&self) -> Vec<TxId> {
+        let mut seen = BTreeSet::new();
+        let mut order = Vec::new();
+        for ev in &self.events {
+            if seen.insert(ev.tx()) {
+                order.push(ev.tx());
+            }
+        }
+        order
+    }
+
+    /// Two executions are *indistinguishable to process p* if p performs the same
+    /// sequence of steps and receives the same responses in both.  Memory steps are
+    /// compared by their footprint (object name, primitive, response) and TM events
+    /// structurally.
+    pub fn indistinguishable_to(&self, other: &Execution, proc: ProcId) -> bool {
+        let mine = self.events_of_proc(proc);
+        let theirs = other.events_of_proc(proc);
+        if mine.len() != theirs.len() {
+            return false;
+        }
+        mine.iter().zip(theirs.iter()).all(|(a, b)| match (a, b) {
+            (Event::Mem(x), Event::Mem(y)) => x.footprint() == y.footprint(),
+            (Event::Tm { event: x, .. }, Event::Tm { event: y, .. }) => x == y,
+            _ => false,
+        })
+    }
+
+    /// Describe the first difference visible to `proc` between two executions, for
+    /// diagnostics (None if indistinguishable).
+    pub fn first_difference_for(&self, other: &Execution, proc: ProcId) -> Option<String> {
+        let mine = self.events_of_proc(proc);
+        let theirs = other.events_of_proc(proc);
+        for (i, (a, b)) in mine.iter().zip(theirs.iter()).enumerate() {
+            let same = match (a, b) {
+                (Event::Mem(x), Event::Mem(y)) => x.footprint() == y.footprint(),
+                (Event::Tm { event: x, .. }, Event::Tm { event: y, .. }) => x == y,
+                _ => false,
+            };
+            if !same {
+                return Some(format!("event #{i} of {proc} differs: `{a}` vs `{b}`"));
+            }
+        }
+        if mine.len() != theirs.len() {
+            return Some(format!(
+                "{proc} performs {} events in one execution and {} in the other",
+                mine.len(),
+                theirs.len()
+            ));
+        }
+        None
+    }
+
+    /// Concatenate two executions (α · β).
+    pub fn concat(&self, suffix: &Execution) -> Execution {
+        let mut events = self.events.clone();
+        events.extend(suffix.events.iter().cloned());
+        Execution { events }
+    }
+
+    /// The prefix of the execution containing the first `n` events.
+    pub fn prefix(&self, n: usize) -> Execution {
+        Execution { events: self.events.iter().take(n).cloned().collect() }
+    }
+
+    /// Render the execution, one event per line, with indices.
+    pub fn render(&self) -> String {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, ev)| format!("{i:4}  {ev}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The base-object footprint of a transaction in a given execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxFootprint {
+    /// Names of base objects accessed with trivial primitives only.
+    pub trivial: BTreeSet<String>,
+    /// Names of base objects accessed with at least one non-trivial primitive.
+    pub nontrivial: BTreeSet<String>,
+}
+
+impl TxFootprint {
+    /// All base objects touched, trivially or not.
+    pub fn all(&self) -> BTreeSet<String> {
+        self.trivial.union(&self.nontrivial).cloned().collect()
+    }
+
+    /// Whether this footprint contends with another: they share an object that at
+    /// least one of them accesses non-trivially.
+    pub fn contends_with(&self, other: &TxFootprint) -> Option<String> {
+        for obj in &self.nontrivial {
+            if other.trivial.contains(obj) || other.nontrivial.contains(obj) {
+                return Some(obj.clone());
+            }
+        }
+        for obj in &other.nontrivial {
+            if self.trivial.contains(obj) || self.nontrivial.contains(obj) {
+                return Some(obj.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::TmEvent;
+    use crate::ids::ObjId;
+    use crate::primitive::{PrimResponse, Primitive};
+    use crate::word::Word;
+
+    fn mem(proc: usize, tx: usize, obj: &str, write: bool) -> Event {
+        Event::Mem(MemStep {
+            proc: ProcId(proc),
+            tx: TxId(tx),
+            obj: ObjId(0),
+            obj_name: obj.to_string(),
+            prim: if write { Primitive::Write(Word::Int(1)) } else { Primitive::Read },
+            resp: if write { PrimResponse::Ack } else { PrimResponse::Value(Word::Int(0)) },
+        })
+    }
+
+    fn tm(proc: usize, ev: TmEvent) -> Event {
+        Event::Tm { proc: ProcId(proc), event: ev }
+    }
+
+    fn sample() -> Execution {
+        Execution::from_events(vec![
+            tm(0, TmEvent::InvBegin { tx: TxId(0) }),
+            tm(0, TmEvent::RespBegin { tx: TxId(0) }),
+            mem(0, 0, "val:x", false),
+            mem(0, 0, "val:x", true),
+            tm(0, TmEvent::InvCommit { tx: TxId(0) }),
+            tm(0, TmEvent::RespCommit { tx: TxId(0), committed: true }),
+            tm(1, TmEvent::InvBegin { tx: TxId(1) }),
+            tm(1, TmEvent::RespBegin { tx: TxId(1) }),
+            mem(1, 1, "val:y", false),
+            tm(1, TmEvent::InvCommit { tx: TxId(1) }),
+            tm(1, TmEvent::RespCommit { tx: TxId(1), committed: true }),
+        ])
+    }
+
+    #[test]
+    fn history_projection_keeps_only_tm_events() {
+        let e = sample();
+        let h = e.history();
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.committed().len(), 2);
+    }
+
+    #[test]
+    fn intervals_cover_first_to_last_event() {
+        let e = sample();
+        let i0 = e.active_interval(TxId(0)).unwrap();
+        let i1 = e.active_interval(TxId(1)).unwrap();
+        assert_eq!(i0, Interval { start: 0, end: 5 });
+        assert_eq!(i1, Interval { start: 6, end: 10 });
+        assert!(i0.precedes(&i1));
+        assert!(!i0.overlaps(&i1));
+        assert_eq!(i0.hull(&i1), Interval { start: 0, end: 10 });
+        assert!(e.active_interval(TxId(7)).is_none());
+        assert_eq!(e.active_intervals().len(), 2);
+    }
+
+    #[test]
+    fn footprints_and_contention() {
+        let e = sample();
+        let f0 = e.footprint_of_tx(TxId(0));
+        let f1 = e.footprint_of_tx(TxId(1));
+        assert!(f0.nontrivial.contains("val:x"));
+        assert!(f0.trivial.contains("val:x"));
+        assert_eq!(f1.all(), ["val:y".to_string()].into_iter().collect());
+        assert!(f0.contends_with(&f1).is_none());
+
+        // A reader of val:x contends with T0 (which writes it).
+        let e2 = Execution::from_events(vec![mem(2, 2, "val:x", false)]);
+        let f2 = e2.footprint_of_tx(TxId(2));
+        assert_eq!(f0.contends_with(&f2), Some("val:x".to_string()));
+        // Two readers do not contend.
+        assert!(f2.contends_with(&f2.clone()).is_none());
+    }
+
+    #[test]
+    fn indistinguishability_uses_footprints_not_object_ids() {
+        let e1 = Execution::from_events(vec![mem(0, 0, "val:x", false), mem(1, 1, "m", true)]);
+        let mut other_step = mem(0, 0, "val:x", false);
+        if let Event::Mem(s) = &mut other_step {
+            s.obj = ObjId(42); // different run-local id, same name
+        }
+        let e2 = Execution::from_events(vec![other_step, mem(1, 1, "n", true)]);
+        assert!(e1.indistinguishable_to(&e2, ProcId(0)));
+        assert!(!e1.indistinguishable_to(&e2, ProcId(1)));
+        assert!(e1.first_difference_for(&e2, ProcId(0)).is_none());
+        assert!(e1.first_difference_for(&e2, ProcId(1)).unwrap().contains("p2"));
+    }
+
+    #[test]
+    fn indistinguishability_detects_length_differences() {
+        let e1 = Execution::from_events(vec![mem(0, 0, "a", false), mem(0, 0, "b", false)]);
+        let e2 = Execution::from_events(vec![mem(0, 0, "a", false)]);
+        assert!(!e1.indistinguishable_to(&e2, ProcId(0)));
+        assert!(e1.first_difference_for(&e2, ProcId(0)).unwrap().contains("events"));
+    }
+
+    #[test]
+    fn concat_and_prefix() {
+        let e = sample();
+        let p = e.prefix(6);
+        assert_eq!(p.len(), 6);
+        let whole = p.concat(&Execution::from_events(e.events()[6..].to_vec()));
+        assert_eq!(whole, e);
+    }
+
+    #[test]
+    fn per_process_and_per_tx_views() {
+        let e = sample();
+        assert_eq!(e.steps_of_tx(TxId(0)).len(), 2);
+        assert_eq!(e.steps_of_proc(ProcId(1)).len(), 1);
+        assert_eq!(e.events_of_proc(ProcId(0)).len(), 6);
+        assert_eq!(e.transactions(), vec![TxId(0), TxId(1)]);
+        assert_eq!(e.mem_steps().len(), 3);
+    }
+
+    #[test]
+    fn render_includes_indices() {
+        let text = sample().render();
+        assert!(text.contains("   0  "));
+        assert!(text.contains("val:x"));
+    }
+}

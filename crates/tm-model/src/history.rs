@@ -1,0 +1,634 @@
+//! Histories: sequences of transactional invocations and responses.
+//!
+//! A history is the projection of an execution onto the TM interface.  All the
+//! consistency conditions of the paper (snapshot isolation, processor consistency,
+//! weak adaptive consistency, serializability, …) are predicates on histories —
+//! sometimes together with interval information taken from the underlying execution.
+//!
+//! This module provides the event vocabulary ([`TmEvent`]), the [`History`] container
+//! and the structural queries the paper defines: well-formedness, per-transaction
+//! subhistories `H|T`, transaction status (committed / aborted / commit-pending /
+//! live), the real-time precedence relation `T1 <α T2`, and the read/write summaries
+//! used to build the `Tgr` / `Tw` transactions of Definition 3.1.
+
+use crate::ids::{DataItem, ProcId, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Result of a transactional read as recorded in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadResult {
+    /// The read returned a value.
+    Value(i64),
+    /// The read forced the transaction to abort (`A_T` response).
+    Abort,
+}
+
+/// A transactional invocation or response event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TmEvent {
+    /// Invocation of `begin_T`.
+    InvBegin {
+        /// The transaction beginning.
+        tx: TxId,
+    },
+    /// Response `ok` to `begin_T`.
+    RespBegin {
+        /// The transaction that began.
+        tx: TxId,
+    },
+    /// Invocation of `x.read()` by `tx`.
+    InvRead {
+        /// The reading transaction.
+        tx: TxId,
+        /// The data item read.
+        item: DataItem,
+    },
+    /// Response to `x.read()`.
+    RespRead {
+        /// The reading transaction.
+        tx: TxId,
+        /// The data item read.
+        item: DataItem,
+        /// The value returned, or an abort response.
+        result: ReadResult,
+    },
+    /// Invocation of `x.write(v)` by `tx`.
+    InvWrite {
+        /// The writing transaction.
+        tx: TxId,
+        /// The data item written.
+        item: DataItem,
+        /// The value written.
+        value: i64,
+    },
+    /// Response to `x.write(v)`: `ok` on success, `A_T` if the transaction must abort.
+    RespWrite {
+        /// The writing transaction.
+        tx: TxId,
+        /// The data item written.
+        item: DataItem,
+        /// `true` iff the write succeeded (`ok`); `false` means the abort response.
+        ok: bool,
+    },
+    /// Invocation of `commit_T`.
+    InvCommit {
+        /// The committing transaction.
+        tx: TxId,
+    },
+    /// Response to `commit_T`: `C_T` (committed) or `A_T` (aborted).
+    RespCommit {
+        /// The transaction.
+        tx: TxId,
+        /// `true` for `C_T`, `false` for `A_T`.
+        committed: bool,
+    },
+    /// Invocation of `abort_T` (an explicit programmatic abort).
+    InvAbort {
+        /// The aborting transaction.
+        tx: TxId,
+    },
+    /// Response `A_T` to `abort_T`.
+    RespAbort {
+        /// The aborted transaction.
+        tx: TxId,
+    },
+}
+
+impl TmEvent {
+    /// The transaction the event belongs to.
+    pub fn tx(&self) -> TxId {
+        match self {
+            TmEvent::InvBegin { tx }
+            | TmEvent::RespBegin { tx }
+            | TmEvent::InvRead { tx, .. }
+            | TmEvent::RespRead { tx, .. }
+            | TmEvent::InvWrite { tx, .. }
+            | TmEvent::RespWrite { tx, .. }
+            | TmEvent::InvCommit { tx }
+            | TmEvent::RespCommit { tx, .. }
+            | TmEvent::InvAbort { tx }
+            | TmEvent::RespAbort { tx } => *tx,
+        }
+    }
+
+    /// Whether the event is an invocation (as opposed to a response).
+    pub fn is_invocation(&self) -> bool {
+        matches!(
+            self,
+            TmEvent::InvBegin { .. }
+                | TmEvent::InvRead { .. }
+                | TmEvent::InvWrite { .. }
+                | TmEvent::InvCommit { .. }
+                | TmEvent::InvAbort { .. }
+        )
+    }
+
+    /// Whether the event is a response.
+    pub fn is_response(&self) -> bool {
+        !self.is_invocation()
+    }
+
+    /// Whether the event is a terminal response (`C_T` or `A_T`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            TmEvent::RespCommit { .. }
+                | TmEvent::RespAbort { .. }
+                | TmEvent::RespRead { result: ReadResult::Abort, .. }
+                | TmEvent::RespWrite { ok: false, .. }
+        )
+    }
+}
+
+impl fmt::Display for TmEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmEvent::InvBegin { tx } => write!(f, "begin_{tx}"),
+            TmEvent::RespBegin { tx } => write!(f, "ok(begin_{tx})"),
+            TmEvent::InvRead { tx, item } => write!(f, "{tx}: {item}.read()"),
+            TmEvent::RespRead { tx, item, result } => match result {
+                ReadResult::Value(v) => write!(f, "{tx}: {item} -> {v}"),
+                ReadResult::Abort => write!(f, "{tx}: {item} -> A_{tx}"),
+            },
+            TmEvent::InvWrite { tx, item, value } => write!(f, "{tx}: {item}.write({value})"),
+            TmEvent::RespWrite { tx, item, ok } => {
+                if *ok {
+                    write!(f, "{tx}: {item}.write ok")
+                } else {
+                    write!(f, "{tx}: {item}.write -> A_{tx}")
+                }
+            }
+            TmEvent::InvCommit { tx } => write!(f, "commit_{tx}"),
+            TmEvent::RespCommit { tx, committed } => {
+                if *committed {
+                    write!(f, "C_{tx}")
+                } else {
+                    write!(f, "A_{tx}")
+                }
+            }
+            TmEvent::InvAbort { tx } => write!(f, "abort_{tx}"),
+            TmEvent::RespAbort { tx } => write!(f, "A_{tx}"),
+        }
+    }
+}
+
+/// Status of a transaction in a history (terminology of Section 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// `H|T` ends with `C_T`.
+    Committed,
+    /// `H|T` ends with `A_T`.
+    Aborted,
+    /// `H|T` ends with an invocation of `commit_T` (no response yet).
+    CommitPending,
+    /// The transaction neither committed nor aborted and is not commit-pending.
+    Live,
+}
+
+impl TxStatus {
+    /// Whether the transaction completed (committed or aborted).
+    pub fn is_complete(self) -> bool {
+        matches!(self, TxStatus::Committed | TxStatus::Aborted)
+    }
+}
+
+/// A history: the sequence of invocation / response events of an execution, each
+/// tagged with the process that performed it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<(ProcId, TmEvent)>,
+}
+
+impl History {
+    /// Create an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Create a history from an ordered list of `(process, event)` pairs.
+    pub fn from_events(events: Vec<(ProcId, TmEvent)>) -> Self {
+        History { events }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, proc: ProcId, event: TmEvent) {
+        self.events.push((proc, event));
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[(ProcId, TmEvent)] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All transactions appearing in the history, in order of first appearance.
+    pub fn transactions(&self) -> Vec<TxId> {
+        let mut seen = BTreeSet::new();
+        let mut order = Vec::new();
+        for (_, ev) in &self.events {
+            if seen.insert(ev.tx()) {
+                order.push(ev.tx());
+            }
+        }
+        order
+    }
+
+    /// The process executing a transaction (panics if the transaction is unknown).
+    pub fn proc_of(&self, tx: TxId) -> ProcId {
+        self.events
+            .iter()
+            .find(|(_, ev)| ev.tx() == tx)
+            .map(|(p, _)| *p)
+            .unwrap_or_else(|| panic!("history has no transaction {tx}"))
+    }
+
+    /// `H|T`: the subsequence of events belonging to `tx`.
+    pub fn subhistory(&self, tx: TxId) -> Vec<&TmEvent> {
+        self.events.iter().filter(|(_, ev)| ev.tx() == tx).map(|(_, ev)| ev).collect()
+    }
+
+    /// Status of a transaction (committed / aborted / commit-pending / live).
+    pub fn status(&self, tx: TxId) -> TxStatus {
+        let sub = self.subhistory(tx);
+        match sub.last() {
+            Some(TmEvent::RespCommit { committed: true, .. }) => TxStatus::Committed,
+            Some(TmEvent::RespCommit { committed: false, .. })
+            | Some(TmEvent::RespAbort { .. })
+            | Some(TmEvent::RespRead { result: ReadResult::Abort, .. })
+            | Some(TmEvent::RespWrite { ok: false, .. }) => TxStatus::Aborted,
+            Some(TmEvent::InvCommit { .. }) => TxStatus::CommitPending,
+            _ => TxStatus::Live,
+        }
+    }
+
+    /// All committed transactions, in order of first appearance.
+    pub fn committed(&self) -> Vec<TxId> {
+        self.transactions().into_iter().filter(|t| self.status(*t) == TxStatus::Committed).collect()
+    }
+
+    /// All commit-pending transactions, in order of first appearance.
+    pub fn commit_pending(&self) -> Vec<TxId> {
+        self.transactions()
+            .into_iter()
+            .filter(|t| self.status(*t) == TxStatus::CommitPending)
+            .collect()
+    }
+
+    /// All aborted transactions, in order of first appearance.
+    pub fn aborted(&self) -> Vec<TxId> {
+        self.transactions().into_iter().filter(|t| self.status(*t) == TxStatus::Aborted).collect()
+    }
+
+    /// The index of the `begin` invocation of `tx`, if any.
+    pub fn begin_index(&self, tx: TxId) -> Option<usize> {
+        self.events
+            .iter()
+            .position(|(_, ev)| matches!(ev, TmEvent::InvBegin { tx: t } if *t == tx))
+    }
+
+    /// The index of the terminal response (`C_T`/`A_T`) of `tx`, if it completed.
+    pub fn completion_index(&self, tx: TxId) -> Option<usize> {
+        self.events.iter().position(|(_, ev)| {
+            ev.tx() == tx
+                && matches!(
+                    ev,
+                    TmEvent::RespCommit { .. }
+                        | TmEvent::RespAbort { .. }
+                        | TmEvent::RespRead { result: ReadResult::Abort, .. }
+                        | TmEvent::RespWrite { ok: false, .. }
+                )
+        })
+    }
+
+    /// Real-time precedence: `T1 <α T2` iff `T1` completed before `begin_T2` was
+    /// invoked.
+    pub fn precedes(&self, t1: TxId, t2: TxId) -> bool {
+        match (self.completion_index(t1), self.begin_index(t2)) {
+            (Some(c1), Some(b2)) => c1 < b2,
+            _ => false,
+        }
+    }
+
+    /// `T1` and `T2` are concurrent iff neither precedes the other.
+    pub fn concurrent(&self, t1: TxId, t2: TxId) -> bool {
+        t1 != t2 && !self.precedes(t1, t2) && !self.precedes(t2, t1)
+    }
+
+    /// Transactions ordered by their `begin` invocation (the order used to build the
+    /// consistency groups of Definition 3.3).
+    pub fn begin_order(&self) -> Vec<TxId> {
+        let mut txs: Vec<(usize, TxId)> = self
+            .transactions()
+            .into_iter()
+            .filter_map(|t| self.begin_index(t).map(|i| (i, t)))
+            .collect();
+        txs.sort();
+        txs.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// A history is *sequential* if no two transactions are concurrent in it.
+    pub fn is_sequential(&self) -> bool {
+        let txs = self.transactions();
+        for (i, &a) in txs.iter().enumerate() {
+            for &b in txs.iter().skip(i + 1) {
+                if self.concurrent(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A history is *complete* if it contains no live transaction.  Note that a
+    /// commit-pending transaction has neither committed nor aborted, so (following the
+    /// paper's wording) it still counts as live for completeness purposes.
+    pub fn is_complete(&self) -> bool {
+        self.transactions().iter().all(|t| self.status(*t).is_complete())
+    }
+
+    /// Successful reads of a transaction, in order, with the item and the value read.
+    pub fn reads_of(&self, tx: TxId) -> Vec<(DataItem, i64)> {
+        self.subhistory(tx)
+            .iter()
+            .filter_map(|ev| match ev {
+                TmEvent::RespRead { item, result: ReadResult::Value(v), .. } => {
+                    Some((item.clone(), *v))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// *Global* reads of a transaction: successful reads of items the transaction has
+    /// not written earlier in its own subhistory (Definition of `T|read_g`).
+    pub fn global_reads_of(&self, tx: TxId) -> Vec<(DataItem, i64)> {
+        let mut written: BTreeSet<DataItem> = BTreeSet::new();
+        let mut out = Vec::new();
+        for ev in self.subhistory(tx) {
+            match ev {
+                TmEvent::InvWrite { item, .. } => {
+                    written.insert(item.clone());
+                }
+                TmEvent::RespRead { item, result: ReadResult::Value(v), .. } => {
+                    if !written.contains(item) {
+                        out.push((item.clone(), *v));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Successful writes of a transaction, in order (item, value).
+    pub fn writes_of(&self, tx: TxId) -> Vec<(DataItem, i64)> {
+        let sub = self.subhistory(tx);
+        let mut out = Vec::new();
+        for (i, ev) in sub.iter().enumerate() {
+            if let TmEvent::InvWrite { item, value, .. } = ev {
+                // A write is successful if its response is `ok` (the matching response
+                // is the next event of the same transaction about the same item).
+                let ok = sub.iter().skip(i + 1).find_map(|later| match later {
+                    TmEvent::RespWrite { item: it, ok, .. } if it == item => Some(*ok),
+                    _ => None,
+                });
+                if ok.unwrap_or(false) {
+                    out.push((item.clone(), *value));
+                }
+            }
+        }
+        out
+    }
+
+    /// The final value written by the transaction to each item (last write wins).
+    pub fn final_writes_of(&self, tx: TxId) -> BTreeMap<DataItem, i64> {
+        let mut map = BTreeMap::new();
+        for (item, value) in self.writes_of(tx) {
+            map.insert(item, value);
+        }
+        map
+    }
+
+    /// Check the well-formedness conditions of Section 3 for every transaction.
+    /// Returns the list of violations found (empty = well-formed).
+    pub fn well_formedness_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for tx in self.transactions() {
+            let sub = self.subhistory(tx);
+            // (i) alternating invocations and responses starting with begin · ok
+            if !matches!(sub.first(), Some(TmEvent::InvBegin { .. })) {
+                violations.push(format!("{tx}: does not start with begin"));
+            }
+            let mut expect_invocation = true;
+            for ev in &sub {
+                if ev.is_invocation() != expect_invocation {
+                    violations.push(format!("{tx}: invocations and responses do not alternate"));
+                    break;
+                }
+                expect_invocation = !expect_invocation;
+            }
+            // (vi) nothing follows a terminal response
+            if let Some(term) = sub.iter().position(|ev| {
+                matches!(ev, TmEvent::RespCommit { .. } | TmEvent::RespAbort { .. })
+                    || matches!(ev, TmEvent::RespRead { result: ReadResult::Abort, .. })
+                    || matches!(ev, TmEvent::RespWrite { ok: false, .. })
+            }) {
+                if term + 1 != sub.len() {
+                    violations.push(format!("{tx}: events follow a terminal response"));
+                }
+            }
+        }
+        violations
+    }
+
+    /// `true` iff the history satisfies all well-formedness conditions.
+    pub fn is_well_formed(&self) -> bool {
+        self.well_formedness_violations().is_empty()
+    }
+
+    /// Render the history, one event per line, for diagnostics and figures.
+    pub fn render(&self) -> String {
+        self.events
+            .iter()
+            .map(|(p, ev)| format!("{p}: {ev}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the canonical small history used across the tests:
+    /// T1 (p1) writes x=1 and commits; then T2 (p2) reads x -> 1 and commits;
+    /// T3 (p3) begins but never completes (live).
+    fn sample() -> History {
+        let mut h = History::new();
+        let p1 = ProcId(0);
+        let p2 = ProcId(1);
+        let p3 = ProcId(2);
+        let t1 = TxId(0);
+        let t2 = TxId(1);
+        let t3 = TxId(2);
+        let x = DataItem::new("x");
+        h.push(p1, TmEvent::InvBegin { tx: t1 });
+        h.push(p1, TmEvent::RespBegin { tx: t1 });
+        h.push(p1, TmEvent::InvWrite { tx: t1, item: x.clone(), value: 1 });
+        h.push(p1, TmEvent::RespWrite { tx: t1, item: x.clone(), ok: true });
+        h.push(p1, TmEvent::InvCommit { tx: t1 });
+        h.push(p1, TmEvent::RespCommit { tx: t1, committed: true });
+        h.push(p2, TmEvent::InvBegin { tx: t2 });
+        h.push(p2, TmEvent::RespBegin { tx: t2 });
+        h.push(p2, TmEvent::InvRead { tx: t2, item: x.clone() });
+        h.push(p2, TmEvent::RespRead { tx: t2, item: x.clone(), result: ReadResult::Value(1) });
+        h.push(p2, TmEvent::InvCommit { tx: t2 });
+        h.push(p2, TmEvent::RespCommit { tx: t2, committed: true });
+        h.push(p3, TmEvent::InvBegin { tx: t3 });
+        h.push(p3, TmEvent::RespBegin { tx: t3 });
+        h
+    }
+
+    #[test]
+    fn statuses_are_classified() {
+        let h = sample();
+        assert_eq!(h.status(TxId(0)), TxStatus::Committed);
+        assert_eq!(h.status(TxId(1)), TxStatus::Committed);
+        assert_eq!(h.status(TxId(2)), TxStatus::Live);
+        assert!(TxStatus::Committed.is_complete());
+        assert!(!TxStatus::Live.is_complete());
+        assert_eq!(h.committed(), vec![TxId(0), TxId(1)]);
+        assert!(h.aborted().is_empty());
+        assert!(h.commit_pending().is_empty());
+    }
+
+    #[test]
+    fn precedence_and_concurrency() {
+        let h = sample();
+        assert!(h.precedes(TxId(0), TxId(1)));
+        assert!(!h.precedes(TxId(1), TxId(0)));
+        assert!(h.precedes(TxId(0), TxId(2)));
+        assert!(!h.precedes(TxId(2), TxId(0)));
+        assert!(!h.concurrent(TxId(0), TxId(1)));
+        // T3 began after T2 completed so they are not concurrent either.
+        assert!(!h.concurrent(TxId(1), TxId(2)));
+        assert!(!h.concurrent(TxId(0), TxId(0)));
+    }
+
+    #[test]
+    fn commit_pending_status() {
+        let mut h = History::new();
+        h.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::InvCommit { tx: TxId(0) });
+        assert_eq!(h.status(TxId(0)), TxStatus::CommitPending);
+        assert_eq!(h.commit_pending(), vec![TxId(0)]);
+        assert!(!h.is_complete());
+    }
+
+    #[test]
+    fn aborted_by_read_response() {
+        let mut h = History::new();
+        h.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::InvRead { tx: TxId(0), item: DataItem::new("x") });
+        h.push(
+            ProcId(0),
+            TmEvent::RespRead { tx: TxId(0), item: DataItem::new("x"), result: ReadResult::Abort },
+        );
+        assert_eq!(h.status(TxId(0)), TxStatus::Aborted);
+    }
+
+    #[test]
+    fn sequential_and_complete_flags() {
+        let h = sample();
+        assert!(h.is_sequential());
+        assert!(!h.is_complete()); // T3 is live
+
+        // An interleaved history is not sequential.
+        let mut h2 = History::new();
+        h2.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        h2.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        h2.push(ProcId(1), TmEvent::InvBegin { tx: TxId(1) });
+        h2.push(ProcId(1), TmEvent::RespBegin { tx: TxId(1) });
+        h2.push(ProcId(0), TmEvent::InvCommit { tx: TxId(0) });
+        h2.push(ProcId(0), TmEvent::RespCommit { tx: TxId(0), committed: true });
+        h2.push(ProcId(1), TmEvent::InvCommit { tx: TxId(1) });
+        h2.push(ProcId(1), TmEvent::RespCommit { tx: TxId(1), committed: true });
+        assert!(!h2.is_sequential());
+        assert!(h2.is_complete());
+    }
+
+    #[test]
+    fn read_and_write_summaries() {
+        let h = sample();
+        assert_eq!(h.reads_of(TxId(1)), vec![(DataItem::new("x"), 1)]);
+        assert_eq!(h.global_reads_of(TxId(1)), vec![(DataItem::new("x"), 1)]);
+        assert_eq!(h.writes_of(TxId(0)), vec![(DataItem::new("x"), 1)]);
+        assert_eq!(h.final_writes_of(TxId(0)).get(&DataItem::new("x")), Some(&1));
+        assert!(h.writes_of(TxId(1)).is_empty());
+    }
+
+    #[test]
+    fn local_read_is_not_global() {
+        // T writes x then reads x: the read is local, not global.
+        let mut h = History::new();
+        let x = DataItem::new("x");
+        h.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        h.push(ProcId(0), TmEvent::InvWrite { tx: TxId(0), item: x.clone(), value: 5 });
+        h.push(ProcId(0), TmEvent::RespWrite { tx: TxId(0), item: x.clone(), ok: true });
+        h.push(ProcId(0), TmEvent::InvRead { tx: TxId(0), item: x.clone() });
+        h.push(
+            ProcId(0),
+            TmEvent::RespRead { tx: TxId(0), item: x.clone(), result: ReadResult::Value(5) },
+        );
+        assert_eq!(h.reads_of(TxId(0)).len(), 1);
+        assert!(h.global_reads_of(TxId(0)).is_empty());
+    }
+
+    #[test]
+    fn well_formedness_checks() {
+        assert!(sample().is_well_formed());
+
+        // An event after C_T is a violation.
+        let mut bad = History::new();
+        bad.push(ProcId(0), TmEvent::InvBegin { tx: TxId(0) });
+        bad.push(ProcId(0), TmEvent::RespBegin { tx: TxId(0) });
+        bad.push(ProcId(0), TmEvent::InvCommit { tx: TxId(0) });
+        bad.push(ProcId(0), TmEvent::RespCommit { tx: TxId(0), committed: true });
+        bad.push(ProcId(0), TmEvent::InvRead { tx: TxId(0), item: DataItem::new("x") });
+        assert!(!bad.is_well_formed());
+
+        // Missing begin is a violation.
+        let mut bad2 = History::new();
+        bad2.push(ProcId(0), TmEvent::InvCommit { tx: TxId(0) });
+        assert!(!bad2.is_well_formed());
+    }
+
+    #[test]
+    fn begin_order_follows_invocations() {
+        let h = sample();
+        assert_eq!(h.begin_order(), vec![TxId(0), TxId(1), TxId(2)]);
+        assert_eq!(h.proc_of(TxId(1)), ProcId(1));
+    }
+
+    #[test]
+    fn render_contains_every_transaction() {
+        let text = sample().render();
+        assert!(text.contains("T1"));
+        assert!(text.contains("T2"));
+        assert!(text.contains("C_T1"));
+    }
+}

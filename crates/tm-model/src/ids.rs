@@ -1,0 +1,167 @@
+//! Identifiers for processes, transactions, base objects and data items.
+//!
+//! The paper distinguishes three "levels" of naming:
+//!
+//! * **processes** `p1 … pn` executing transactions,
+//! * **data items** (the application-level objects a transaction reads and writes),
+//! * **base objects** (the low-level shared-memory words a TM *implementation* uses to
+//!   represent data items and its own metadata).
+//!
+//! Disjoint-access-parallelism is exactly the statement relating the last two levels:
+//! transactions that do not share *data items* must not contend on *base objects*.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a process (`p1 … pn` in the paper).
+///
+/// Processes are the units of asynchrony: a step is always performed by a single
+/// process, and the simulator's scheduler decides which process takes the next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// Numeric index of the process (zero-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper numbers processes starting at 1; keep the internal index zero-based
+        // but display in the paper's convention to make traces easy to compare.
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a transaction.
+///
+/// In the scenarios reproduced from the paper the identifier matches the paper's
+/// numbering (`TxId(0)` is `T1`, …); in generated scenarios it is simply a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId(pub usize);
+
+impl TxId {
+    /// Numeric index of the transaction (zero-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a base object *within one simulation run*.
+///
+/// Base objects are allocated lazily by name (see [`crate::baseobj::Memory`]); the
+/// numeric id is an artifact of allocation order and therefore **must not** be used to
+/// compare steps across different executions.  Cross-execution comparisons (e.g. the
+/// indistinguishability arguments of the proof) always go through the object's *name*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId(pub usize);
+
+impl ObjId {
+    /// Numeric index of the object in this run's memory.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A data item — an application-level object accessed through `x.read()` / `x.write(v)`.
+///
+/// Data items are identified purely by name ("a", "b1", "e1,3", …).  The initial value
+/// of every data item is `0`, as the proof of the PCL theorem assumes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataItem(String);
+
+impl DataItem {
+    /// Create a data item with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataItem(name.into())
+    }
+
+    /// The item's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// The initial value of every data item (the paper fixes it to 0).
+    pub const INITIAL_VALUE: i64 = 0;
+}
+
+impl fmt::Display for DataItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DataItem {
+    fn from(s: &str) -> Self {
+        DataItem::new(s)
+    }
+}
+
+impl From<String> for DataItem {
+    fn from(s: String) -> Self {
+        DataItem(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn proc_display_is_one_based() {
+        assert_eq!(ProcId(0).to_string(), "p1");
+        assert_eq!(ProcId(6).to_string(), "p7");
+        assert_eq!(ProcId(3).index(), 3);
+    }
+
+    #[test]
+    fn tx_display_is_one_based() {
+        assert_eq!(TxId(0).to_string(), "T1");
+        assert_eq!(TxId(6).to_string(), "T7");
+    }
+
+    #[test]
+    fn data_item_equality_is_by_name() {
+        let a = DataItem::new("a");
+        let a2: DataItem = "a".into();
+        let b = DataItem::new("b1");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "a");
+        assert_eq!(DataItem::INITIAL_VALUE, 0);
+    }
+
+    #[test]
+    fn data_items_hash_consistently() {
+        let mut set = HashSet::new();
+        set.insert(DataItem::new("x"));
+        set.insert(DataItem::new("x"));
+        set.insert(DataItem::new("y"));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&DataItem::new("x")));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcId(0) < ProcId(1));
+        assert!(TxId(2) > TxId(1));
+        assert!(ObjId(5) > ObjId(0));
+        assert_eq!(ObjId(5).index(), 5);
+        assert_eq!(ObjId(5).to_string(), "o5");
+    }
+}

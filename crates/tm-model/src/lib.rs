@@ -1,0 +1,96 @@
+//! # tm-model — the formal transactional-memory model of the PCL paper, executable
+//!
+//! This crate turns Section 3 of *"The PCL theorem: transactions cannot be parallel,
+//! consistent and live"* (Bushkov, Dziuma, Fatourou, Guerraoui — SPAA 2014) into an
+//! executable artifact:
+//!
+//! * **Base objects** ([`baseobj`]) — atomic shared objects supporting read/write,
+//!   compare-and-swap and fetch-and-add primitives, with the paper's trivial /
+//!   non-trivial classification ([`primitive`]).
+//! * **Transactions** ([`txspec`]) — *static, predefined* transactions exactly as the
+//!   impossibility proof assumes: the data set `D(T)` is derivable from the code.
+//! * **Executions, steps and configurations** ([`step`], [`execution`]) — an execution
+//!   is a sequence of steps, each step being a single primitive applied to a single
+//!   base object together with its response, interleaved with transactional
+//!   invocation/response events.
+//! * **Histories** ([`history`]) — the subsequence of invocations and responses, with
+//!   the well-formedness, precedence, and status queries of the paper.
+//! * **A deterministic simulator** ([`sim`]) — TM algorithms are written against the
+//!   [`algorithm::TmAlgorithm`] / [`algorithm::TxLogic`] traits and driven by explicit
+//!   [`sim::Schedule`]s.  Because the scheduler hands out one step at a time and the
+//!   simulation is fully deterministic, "running transaction T solo from
+//!   configuration C" is reproduced by replaying the prefix that leads to C and then
+//!   extending it — precisely the operation the PCL proof performs over and over
+//!   while hunting for the critical steps `s1` and `s2`.
+//!
+//! The crate deliberately contains **no policy**: consistency conditions live in
+//! `tm-consistency`, disjoint-access-parallelism and liveness analyses live in
+//! `tm-properties`, and concrete TM algorithms live in `tm-algorithms`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_model::prelude::*;
+//!
+//! // A trivial TM algorithm: a single register per data item, no synchronization.
+//! struct Naive;
+//! struct NaiveTx;
+//! impl TmAlgorithm for Naive {
+//!     fn name(&self) -> &'static str { "naive" }
+//!     fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+//!         Box::new(NaiveTx)
+//!     }
+//! }
+//! impl TxLogic for NaiveTx {
+//!     fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+//!         let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+//!         Ok(ctx.read_obj(obj).expect_int())
+//!     }
+//!     fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+//!         let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+//!         ctx.write_obj(obj, Word::Int(value));
+//!         Ok(())
+//!     }
+//!     fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> { Ok(()) }
+//! }
+//!
+//! let scenario = Scenario::builder()
+//!     .tx(0, "T1", |t| t.write("x", 7).read("y"))
+//!     .tx(1, "T2", |t| t.read("x"))
+//!     .build();
+//! let sim = Simulator::new(&Naive, &scenario);
+//! let out = sim.run(&Schedule::solo_sequence(&scenario));
+//! assert!(out.all_committed());
+//! let history = out.execution.history();
+//! assert_eq!(history.committed().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod baseobj;
+pub mod execution;
+pub mod history;
+pub mod ids;
+pub mod primitive;
+pub mod sim;
+pub mod step;
+pub mod txspec;
+pub mod word;
+
+/// Convenience re-exports of the types almost every consumer of the model needs.
+pub mod prelude {
+    pub use crate::algorithm::{AbortTx, TmAlgorithm, TxCtx, TxLogic, TxResult};
+    pub use crate::baseobj::Memory;
+    pub use crate::execution::Execution;
+    pub use crate::history::{History, TmEvent, TxStatus};
+    pub use crate::ids::{DataItem, ObjId, ProcId, TxId};
+    pub use crate::primitive::{PrimResponse, Primitive};
+    pub use crate::sim::{Directive, Schedule, SimOutcome, Simulator, TxOutcome};
+    pub use crate::step::{Event, MemStep};
+    pub use crate::txspec::{Scenario, TxOp, TxSpec};
+    pub use crate::word::Word;
+}
+
+pub use prelude::*;

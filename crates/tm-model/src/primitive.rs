@@ -1,0 +1,202 @@
+//! Atomic primitives on base objects and their trivial / non-trivial classification.
+//!
+//! The paper: *"A primitive that does not change the state of an object is called
+//! trivial (otherwise it is called non-trivial)"* and two executions *contend* on a
+//! base object if both contain a primitive operation on it and at least one of those
+//! primitives is non-trivial.  Following the standard convention in the
+//! disjoint-access-parallelism literature we classify primitives **by type**: `read`
+//! is trivial, while `write`, `compare-and-swap` and `fetch-and-add` are non-trivial
+//! (a CAS is non-trivial even if it fails, because it *may* change the state).
+
+use crate::word::Word;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An atomic primitive applied to a single base object in a single step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Primitive {
+    /// Read the object's current state.
+    Read,
+    /// Overwrite the object's state.
+    Write(Word),
+    /// Compare-and-swap: if the state equals `expected`, replace it with `new`.
+    Cas {
+        /// Value the object must currently hold for the swap to succeed.
+        expected: Word,
+        /// Value installed on success.
+        new: Word,
+    },
+    /// Add `delta` to an integer object and return the previous value.
+    FetchAdd(i64),
+}
+
+impl Primitive {
+    /// Whether the primitive is non-trivial, i.e. of a type that may update the state.
+    pub fn is_nontrivial(&self) -> bool {
+        !matches!(self, Primitive::Read)
+    }
+
+    /// Whether the primitive is trivial (never updates the state).
+    pub fn is_trivial(&self) -> bool {
+        !self.is_nontrivial()
+    }
+
+    /// A short mnemonic used in trace rendering.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Primitive::Read => "read",
+            Primitive::Write(_) => "write",
+            Primitive::Cas { .. } => "cas",
+            Primitive::FetchAdd(_) => "faa",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::Read => f.write_str("read()"),
+            Primitive::Write(w) => write!(f, "write({w})"),
+            Primitive::Cas { expected, new } => write!(f, "cas({expected} → {new})"),
+            Primitive::FetchAdd(d) => write!(f, "fetch&add({d})"),
+        }
+    }
+}
+
+/// The response returned by a primitive.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimResponse {
+    /// The value read (for `Read` and `FetchAdd`, which returns the previous value).
+    Value(Word),
+    /// Success flag of a `Cas`.
+    Bool(bool),
+    /// Acknowledgement of a `Write`.
+    Ack,
+}
+
+impl PrimResponse {
+    /// Extract the word carried by a `Value` response.
+    pub fn expect_value(&self) -> &Word {
+        match self {
+            PrimResponse::Value(w) => w,
+            other => panic!("primitive response expected to be a value, found {other:?}"),
+        }
+    }
+
+    /// Extract the success flag of a `Bool` response.
+    pub fn expect_bool(&self) -> bool {
+        match self {
+            PrimResponse::Bool(b) => *b,
+            other => panic!("primitive response expected to be a boolean, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for PrimResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimResponse::Value(w) => write!(f, "{w}"),
+            PrimResponse::Bool(b) => write!(f, "{b}"),
+            PrimResponse::Ack => f.write_str("ok"),
+        }
+    }
+}
+
+/// Apply a primitive to a word, returning the new state and the response.
+///
+/// This is the *specification* of each base-object type; [`crate::baseobj::Memory`]
+/// uses it to execute steps atomically.
+pub fn apply(state: &Word, prim: &Primitive) -> (Word, PrimResponse) {
+    match prim {
+        Primitive::Read => (state.clone(), PrimResponse::Value(state.clone())),
+        Primitive::Write(w) => (w.clone(), PrimResponse::Ack),
+        Primitive::Cas { expected, new } => {
+            if state == expected {
+                (new.clone(), PrimResponse::Bool(true))
+            } else {
+                (state.clone(), PrimResponse::Bool(false))
+            }
+        }
+        Primitive::FetchAdd(delta) => {
+            let old = state.expect_int();
+            (Word::Int(old + delta), PrimResponse::Value(Word::Int(old)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triviality_classification_matches_the_paper() {
+        assert!(Primitive::Read.is_trivial());
+        assert!(!Primitive::Read.is_nontrivial());
+        assert!(Primitive::Write(Word::Int(1)).is_nontrivial());
+        assert!(Primitive::Cas { expected: Word::Int(0), new: Word::Int(1) }.is_nontrivial());
+        assert!(Primitive::FetchAdd(1).is_nontrivial());
+    }
+
+    #[test]
+    fn read_returns_current_state_and_leaves_it_unchanged() {
+        let (new, resp) = apply(&Word::Int(42), &Primitive::Read);
+        assert_eq!(new, Word::Int(42));
+        assert_eq!(resp, PrimResponse::Value(Word::Int(42)));
+    }
+
+    #[test]
+    fn write_overwrites() {
+        let (new, resp) = apply(&Word::Int(1), &Primitive::Write(Word::Int(9)));
+        assert_eq!(new, Word::Int(9));
+        assert_eq!(resp, PrimResponse::Ack);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_expected_value() {
+        let prim = Primitive::Cas { expected: Word::Int(0), new: Word::Int(5) };
+        let (new, resp) = apply(&Word::Int(0), &prim);
+        assert_eq!(new, Word::Int(5));
+        assert!(resp.expect_bool());
+
+        let (unchanged, resp) = apply(&Word::Int(7), &prim);
+        assert_eq!(unchanged, Word::Int(7));
+        assert!(!resp.expect_bool());
+    }
+
+    #[test]
+    fn cas_compares_structured_words() {
+        let prim = Primitive::Cas {
+            expected: Word::Ver { version: 1, value: 3, locked: false },
+            new: Word::Ver { version: 2, value: 8, locked: false },
+        };
+        let (new, resp) = apply(&Word::Ver { version: 1, value: 3, locked: false }, &prim);
+        assert!(resp.expect_bool());
+        assert_eq!(new.expect_ver(), (2, 8, false));
+
+        let (same, resp) = apply(&Word::Ver { version: 1, value: 3, locked: true }, &prim);
+        assert!(!resp.expect_bool());
+        assert_eq!(same.expect_ver(), (1, 3, true));
+    }
+
+    #[test]
+    fn fetch_add_returns_previous_value() {
+        let (new, resp) = apply(&Word::Int(10), &Primitive::FetchAdd(5));
+        assert_eq!(new, Word::Int(15));
+        assert_eq!(resp.expect_value(), &Word::Int(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected to hold Word::Int")]
+    fn fetch_add_on_non_integer_panics() {
+        apply(&Word::Null, &Primitive::FetchAdd(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Primitive::Read.to_string(), "read()");
+        assert_eq!(Primitive::Write(Word::Int(2)).to_string(), "write(2)");
+        assert_eq!(PrimResponse::Ack.to_string(), "ok");
+        assert_eq!(Primitive::Read.mnemonic(), "read");
+        assert_eq!(Primitive::FetchAdd(1).mnemonic(), "faa");
+    }
+}

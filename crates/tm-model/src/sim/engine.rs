@@ -1,0 +1,738 @@
+//! The simulation engine: one OS thread per process, a single logical thread active
+//! at any time, and a scheduler that hands out steps according to a [`Schedule`].
+//!
+//! ### Handshake protocol
+//!
+//! Every process blocks at two kinds of *block points*:
+//!
+//! 1. **before beginning a transaction** (so that the order of `begin` invocations is
+//!    entirely under the scheduler's control — consistency groups in Definition 3.3
+//!    are keyed by `begin` order), and
+//! 2. **before every base-object access**.
+//!
+//! The scheduler grants one *credit* at a time.  A granted process performs at most
+//! one base-object primitive, keeps running its local code (recording TM-interface
+//! events, computing, …) until it reaches the next block point, and then returns
+//! control.  Consequently the interleaving of shared-memory accesses — and therefore
+//! the entire execution — is a deterministic function of (algorithm, scenario,
+//! schedule), which is what lets the theorem construction replay prefixes instead of
+//! snapshotting configurations.
+
+use super::outcome::{DirectiveReport, SimOutcome, TxOutcome};
+use super::schedule::{Directive, Schedule};
+use super::DEFAULT_STEP_LIMIT;
+use crate::algorithm::{TmAlgorithm, TxCtx};
+use crate::baseobj::Memory;
+use crate::execution::Execution;
+use crate::history::{ReadResult, TmEvent};
+use crate::ids::{ObjId, ProcId, TxId};
+use crate::primitive::{PrimResponse, Primitive};
+use crate::step::{Event, MemStep};
+use crate::txspec::{Scenario, TxOp, TxSpec};
+use crate::word::Word;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// Payload used to unwind a process thread during controlled teardown.
+struct ShutdownToken;
+
+/// State shared between the scheduler and the process threads.
+struct CoreState {
+    memory: Memory,
+    events: Vec<Event>,
+    mem_step_count: usize,
+    credits: Vec<usize>,
+    active: Option<ProcId>,
+    done: Vec<bool>,
+    txs_completed: Vec<usize>,
+    completions: Vec<(TxId, TxOutcome)>,
+    tx_outcomes: BTreeMap<TxId, TxOutcome>,
+    algorithm_errors: Vec<String>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<CoreState>,
+    proc_cv: Condvar,
+    sched_cv: Condvar,
+}
+
+impl Shared {
+    fn new(n_procs: usize) -> Self {
+        Shared {
+            state: Mutex::new(CoreState {
+                memory: Memory::new(),
+                events: Vec::new(),
+                mem_step_count: 0,
+                credits: vec![0; n_procs],
+                active: None,
+                done: vec![false; n_procs],
+                txs_completed: vec![0; n_procs],
+                completions: Vec::new(),
+                tx_outcomes: BTreeMap::new(),
+                algorithm_errors: Vec::new(),
+                shutdown: false,
+            }),
+            proc_cv: Condvar::new(),
+            sched_cv: Condvar::new(),
+        }
+    }
+}
+
+/// The [`TxCtx`] implementation handed to algorithm code running in the simulator.
+struct SimCtx<'a> {
+    shared: &'a Shared,
+    proc: ProcId,
+    tx: TxId,
+}
+
+impl SimCtx<'_> {
+    /// Perform one step: wait for a credit, apply the primitive, record the step.
+    fn step(&mut self, obj: ObjId, prim: Primitive) -> PrimResponse {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.shutdown {
+                drop(st);
+                resume_unwind(Box::new(ShutdownToken));
+            }
+            if st.credits[self.proc.index()] > 0 {
+                break;
+            }
+            if st.active == Some(self.proc) {
+                st.active = None;
+                self.shared.sched_cv.notify_all();
+            }
+            self.shared.proc_cv.wait(&mut st);
+        }
+        st.credits[self.proc.index()] -= 1;
+        let resp = st.memory.apply(obj, &prim);
+        let obj_name = st.memory.name(obj).to_string();
+        st.mem_step_count += 1;
+        st.events.push(Event::Mem(MemStep {
+            proc: self.proc,
+            tx: self.tx,
+            obj,
+            obj_name,
+            prim,
+            resp: resp.clone(),
+        }));
+        resp
+    }
+
+    fn push_tm(&self, event: TmEvent) {
+        let mut st = self.shared.state.lock();
+        let proc = self.proc;
+        st.events.push(Event::Tm { proc, event });
+    }
+}
+
+impl TxCtx for SimCtx<'_> {
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn tx(&self) -> TxId {
+        self.tx
+    }
+
+    fn obj(&mut self, name: &str, init: Word) -> ObjId {
+        let mut st = self.shared.state.lock();
+        st.memory.get_or_alloc(name, init)
+    }
+
+    fn read_obj(&mut self, obj: ObjId) -> Word {
+        match self.step(obj, Primitive::Read) {
+            PrimResponse::Value(w) => w,
+            other => panic!("read primitive returned {other:?}"),
+        }
+    }
+
+    fn write_obj(&mut self, obj: ObjId, value: Word) {
+        self.step(obj, Primitive::Write(value));
+    }
+
+    fn cas_obj(&mut self, obj: ObjId, expected: Word, new: Word) -> bool {
+        match self.step(obj, Primitive::Cas { expected, new }) {
+            PrimResponse::Bool(b) => b,
+            other => panic!("cas primitive returned {other:?}"),
+        }
+    }
+
+    fn fetch_add(&mut self, obj: ObjId, delta: i64) -> i64 {
+        match self.step(obj, Primitive::FetchAdd(delta)) {
+            PrimResponse::Value(w) => w.expect_int(),
+            other => panic!("fetch&add primitive returned {other:?}"),
+        }
+    }
+}
+
+/// Wait at the "before begin" block point until a credit is available (without
+/// consuming it) or the run is shutting down.  Returns `false` on shutdown.
+fn wait_for_go(shared: &Shared, me: ProcId) -> bool {
+    let mut st = shared.state.lock();
+    loop {
+        if st.shutdown {
+            return false;
+        }
+        if st.credits[me.index()] > 0 {
+            return true;
+        }
+        if st.active == Some(me) {
+            st.active = None;
+            shared.sched_cv.notify_all();
+        }
+        shared.proc_cv.wait(&mut st);
+    }
+}
+
+/// Drive one transaction through its TM routines, recording the TM-interface events.
+fn run_one_tx(
+    shared: &Shared,
+    algo: &dyn TmAlgorithm,
+    spec: &TxSpec,
+    me: ProcId,
+    is_last: bool,
+) {
+    let tx = spec.id;
+    let mut ctx = SimCtx { shared, proc: me, tx };
+    ctx.push_tm(TmEvent::InvBegin { tx });
+    ctx.push_tm(TmEvent::RespBegin { tx });
+    let mut logic = algo.new_tx(tx, me, spec);
+    logic.begin(&mut ctx);
+
+    let mut aborted = false;
+    for op in &spec.ops {
+        match op {
+            TxOp::Read(item) => {
+                ctx.push_tm(TmEvent::InvRead { tx, item: item.clone() });
+                match logic.read(&mut ctx, item) {
+                    Ok(v) => ctx.push_tm(TmEvent::RespRead {
+                        tx,
+                        item: item.clone(),
+                        result: ReadResult::Value(v),
+                    }),
+                    Err(_) => {
+                        ctx.push_tm(TmEvent::RespRead {
+                            tx,
+                            item: item.clone(),
+                            result: ReadResult::Abort,
+                        });
+                        aborted = true;
+                    }
+                }
+            }
+            TxOp::Write(item, value) => {
+                ctx.push_tm(TmEvent::InvWrite { tx, item: item.clone(), value: *value });
+                match logic.write(&mut ctx, item, *value) {
+                    Ok(()) => {
+                        ctx.push_tm(TmEvent::RespWrite { tx, item: item.clone(), ok: true })
+                    }
+                    Err(_) => {
+                        ctx.push_tm(TmEvent::RespWrite { tx, item: item.clone(), ok: false });
+                        aborted = true;
+                    }
+                }
+            }
+        }
+        if aborted {
+            break;
+        }
+    }
+
+    if !aborted {
+        ctx.push_tm(TmEvent::InvCommit { tx });
+        match logic.commit(&mut ctx) {
+            Ok(()) => ctx.push_tm(TmEvent::RespCommit { tx, committed: true }),
+            Err(_) => {
+                ctx.push_tm(TmEvent::RespCommit { tx, committed: false });
+                aborted = true;
+            }
+        }
+    }
+    if aborted {
+        logic.abort_cleanup(&mut ctx);
+    }
+
+    let outcome = if aborted { TxOutcome::Aborted } else { TxOutcome::Committed };
+    let mut st = shared.state.lock();
+    st.tx_outcomes.insert(tx, outcome);
+    st.completions.push((tx, outcome));
+    st.txs_completed[me.index()] += 1;
+    st.credits[me.index()] = 0;
+    if is_last {
+        st.done[me.index()] = true;
+    }
+    if st.active == Some(me) {
+        st.active = None;
+    }
+    shared.sched_cv.notify_all();
+}
+
+/// Entry point of a process thread.
+fn proc_main(shared: &Shared, algo: &dyn TmAlgorithm, my_txs: &[TxSpec], me: ProcId) {
+    for (i, spec) in my_txs.iter().enumerate() {
+        if !wait_for_go(shared, me) {
+            return;
+        }
+        let is_last = i + 1 == my_txs.len();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| run_one_tx(shared, algo, spec, me, is_last)));
+        if let Err(payload) = result {
+            if payload.downcast_ref::<ShutdownToken>().is_some() {
+                return;
+            }
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "algorithm panicked".to_string()
+            };
+            let mut st = shared.state.lock();
+            st.algorithm_errors.push(format!("{me}/{}: {msg}", spec.name));
+            st.tx_outcomes.insert(spec.id, TxOutcome::Unfinished);
+            st.completions.push((spec.id, TxOutcome::Unfinished));
+            st.txs_completed[me.index()] += 1;
+            st.credits[me.index()] = 0;
+            st.done[me.index()] = true;
+            if st.active == Some(me) {
+                st.active = None;
+            }
+            shared.sched_cv.notify_all();
+            return;
+        }
+    }
+    // A process with no transactions at all must still declare itself done.
+    if my_txs.is_empty() {
+        let mut st = shared.state.lock();
+        st.done[me.index()] = true;
+        shared.sched_cv.notify_all();
+    }
+}
+
+/// Result of granting a single credit.
+struct GrantResult {
+    steps: usize,
+    completions: usize,
+    no_work: bool,
+}
+
+/// The deterministic simulator: runs a [`Scenario`] against a [`TmAlgorithm`] under an
+/// explicit [`Schedule`] and records the resulting [`Execution`].
+pub struct Simulator<'a> {
+    algo: &'a dyn TmAlgorithm,
+    scenario: &'a Scenario,
+    step_limit: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for the given algorithm and scenario with the default step
+    /// limit ([`DEFAULT_STEP_LIMIT`]).
+    pub fn new(algo: &'a dyn TmAlgorithm, scenario: &'a Scenario) -> Self {
+        Simulator { algo, scenario, step_limit: DEFAULT_STEP_LIMIT }
+    }
+
+    /// Override the per-directive step limit (used to detect blocked transactions).
+    pub fn with_step_limit(self, step_limit: usize) -> Self {
+        Simulator { step_limit, ..self }
+    }
+
+    /// The scenario this simulator runs.
+    pub fn scenario(&self) -> &Scenario {
+        self.scenario
+    }
+
+    /// The algorithm under test.
+    pub fn algorithm(&self) -> &dyn TmAlgorithm {
+        self.algo
+    }
+
+    /// Run the schedule and return the recorded outcome.
+    pub fn run(&self, schedule: &Schedule) -> SimOutcome {
+        let n_procs = self.scenario.n_procs.max(1);
+        let shared = Shared::new(n_procs);
+        let mut reports: Vec<DirectiveReport> = Vec::with_capacity(schedule.len());
+
+        thread::scope(|scope| {
+            for p in 0..self.scenario.n_procs {
+                let my_txs: Vec<TxSpec> =
+                    self.scenario.txs_of(ProcId(p)).into_iter().cloned().collect();
+                let shared_ref = &shared;
+                let algo = self.algo;
+                scope.spawn(move || proc_main(shared_ref, algo, &my_txs, ProcId(p)));
+            }
+
+            for directive in schedule.directives() {
+                reports.push(self.exec_directive(&shared, directive));
+            }
+
+            let mut st = shared.state.lock();
+            st.shutdown = true;
+            drop(st);
+            shared.proc_cv.notify_all();
+        });
+
+        let core = shared.state.into_inner();
+        let mut tx_outcomes = core.tx_outcomes;
+        for spec in &self.scenario.txs {
+            tx_outcomes.entry(spec.id).or_insert(TxOutcome::Unfinished);
+        }
+        SimOutcome {
+            execution: Execution::from_events(core.events),
+            tx_outcomes,
+            reports,
+            final_memory: core.memory,
+            algorithm_errors: core.algorithm_errors,
+        }
+    }
+
+    /// Grant one credit to `p` and wait until the process yields control back.
+    fn grant_one(&self, shared: &Shared, p: ProcId) -> GrantResult {
+        let mut st = shared.state.lock();
+        if p.index() >= st.done.len() || st.done[p.index()] {
+            return GrantResult { steps: 0, completions: 0, no_work: true };
+        }
+        let steps_before = st.mem_step_count;
+        let completed_before = st.txs_completed[p.index()];
+        st.credits[p.index()] += 1;
+        st.active = Some(p);
+        shared.proc_cv.notify_all();
+        while st.active == Some(p) {
+            shared.sched_cv.wait(&mut st);
+        }
+        GrantResult {
+            steps: st.mem_step_count - steps_before,
+            completions: st.txs_completed[p.index()] - completed_before,
+            no_work: false,
+        }
+    }
+
+    fn completions_since(&self, shared: &Shared, mark: usize) -> Vec<(TxId, TxOutcome)> {
+        let st = shared.state.lock();
+        st.completions[mark..].to_vec()
+    }
+
+    fn completion_mark(&self, shared: &Shared) -> usize {
+        shared.state.lock().completions.len()
+    }
+
+    fn exec_directive(&self, shared: &Shared, directive: &Directive) -> DirectiveReport {
+        let mark = self.completion_mark(shared);
+        let mut steps_taken = 0usize;
+        let mut limit_hit = false;
+        let mut error = None;
+
+        match directive {
+            Directive::Step(p) => {
+                let g = self.grant_one(shared, *p);
+                steps_taken += g.steps;
+                if g.no_work {
+                    error = Some(format!("{p} has no remaining work"));
+                }
+            }
+            Directive::Steps(p, n) => {
+                for _ in 0..*n {
+                    let g = self.grant_one(shared, *p);
+                    if g.no_work {
+                        error = Some(format!("{p} has no remaining work"));
+                        break;
+                    }
+                    steps_taken += g.steps;
+                }
+            }
+            Directive::RunUntilTxDone(p) => {
+                let mut grants = 0usize;
+                loop {
+                    let g = self.grant_one(shared, *p);
+                    if g.no_work {
+                        error = Some(format!("{p} has no remaining work"));
+                        break;
+                    }
+                    steps_taken += g.steps;
+                    grants += 1;
+                    if g.completions > 0 {
+                        break;
+                    }
+                    if grants >= self.step_limit {
+                        limit_hit = true;
+                        break;
+                    }
+                }
+            }
+            Directive::RoundRobin { max_steps } => {
+                let mut budget = *max_steps;
+                loop {
+                    let mut progressed = false;
+                    for p in 0..self.scenario.n_procs {
+                        if budget == 0 {
+                            break;
+                        }
+                        let g = self.grant_one(shared, ProcId(p));
+                        if g.no_work {
+                            continue;
+                        }
+                        progressed = true;
+                        steps_taken += g.steps;
+                        budget = budget.saturating_sub(g.steps.max(1));
+                    }
+                    if budget == 0 {
+                        limit_hit = {
+                            let st = shared.state.lock();
+                            !st.done.iter().all(|d| *d)
+                        };
+                        break;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
+        }
+
+        DirectiveReport {
+            directive: directive.clone(),
+            steps_taken,
+            completed: self.completions_since(shared, mark),
+            limit_hit,
+            error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{TxLogic, TxResult};
+    use crate::ids::DataItem;
+    use crate::txspec::Scenario;
+
+    /// A single-register-per-item algorithm with no synchronization whatsoever.
+    struct Naive;
+    struct NaiveTx;
+
+    impl TmAlgorithm for Naive {
+        fn name(&self) -> &'static str {
+            "naive"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(NaiveTx)
+        }
+    }
+    impl TxLogic for NaiveTx {
+        fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            Ok(ctx.read_obj(obj).expect_int())
+        }
+        fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            ctx.write_obj(obj, Word::Int(value));
+            Ok(())
+        }
+        fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> {
+            Ok(())
+        }
+    }
+
+    /// An algorithm whose commit spins forever on a flag nobody ever sets: used to
+    /// exercise the step-limit machinery.
+    struct Spinner;
+    struct SpinnerTx;
+    impl TmAlgorithm for Spinner {
+        fn name(&self) -> &'static str {
+            "spinner"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(SpinnerTx)
+        }
+    }
+    impl TxLogic for SpinnerTx {
+        fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            Ok(ctx.read_obj(obj).expect_int())
+        }
+        fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            ctx.write_obj(obj, Word::Int(value));
+            Ok(())
+        }
+        fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()> {
+            let flag = ctx.obj("never-set", Word::Int(0));
+            loop {
+                if ctx.read_obj(flag).expect_int() == 1 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// An algorithm that panics on read: exercises the error-capture path.
+    struct Broken;
+    struct BrokenTx;
+    impl TmAlgorithm for Broken {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(BrokenTx)
+        }
+    }
+    impl TxLogic for BrokenTx {
+        fn read(&mut self, _ctx: &mut dyn TxCtx, _item: &DataItem) -> TxResult<i64> {
+            panic!("deliberately broken read");
+        }
+        fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            ctx.write_obj(obj, Word::Int(value));
+            Ok(())
+        }
+        fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> {
+            Ok(())
+        }
+    }
+
+    fn writer_reader_scenario() -> Scenario {
+        Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 7).write("y", 8))
+            .tx(1, "T2", |t| t.read("x").read("y"))
+            .build()
+    }
+
+    #[test]
+    fn solo_sequence_commits_everything_and_reads_flow() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(7));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(8));
+        assert!(!out.any_limit_hit());
+        assert!(!out.any_error());
+        assert!(out.total_steps() >= 4);
+        assert!(out.execution.history().is_well_formed());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        let schedule = Schedule::solo_sequence(&scenario);
+        let a = sim.run(&schedule);
+        let b = sim.run(&schedule);
+        assert_eq!(a.execution, b.execution);
+        assert_eq!(a.tx_outcomes, b.tx_outcomes);
+    }
+
+    #[test]
+    fn single_steps_interleave_processes() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        // T1 performs its first write; then T2 reads x (sees 7) before T1 writes y.
+        let schedule = Schedule::new()
+            .then(Directive::Step(ProcId(0)))
+            .then(Directive::RunUntilTxDone(ProcId(1)))
+            .then(Directive::RunUntilTxDone(ProcId(0)));
+        let out = sim.run(&schedule);
+        assert!(out.all_committed());
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("x")), Some(7));
+        assert_eq!(out.read_value(TxId(1), &DataItem::new("y")), Some(0));
+    }
+
+    #[test]
+    fn prefix_replay_is_consistent_with_longer_runs() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        // Run only the first step of T1 in one run, and the first two steps in another:
+        // the first run's execution must be a prefix of the second's.
+        let one = sim.run(&Schedule::new().then(Directive::Steps(ProcId(0), 1)));
+        let two = sim.run(&Schedule::new().then(Directive::Steps(ProcId(0), 2)));
+        let one_events = one.execution.events();
+        assert_eq!(&two.execution.events()[..one_events.len()], one_events);
+    }
+
+    #[test]
+    fn step_limit_detects_spinning_commit() {
+        let scenario = Scenario::builder().tx(0, "T1", |t| t.write("x", 1)).build();
+        let sim = Simulator::new(&Spinner, &scenario).with_step_limit(50);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.any_limit_hit());
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Unfinished);
+    }
+
+    #[test]
+    fn algorithm_panics_are_reported_not_propagated() {
+        let scenario = Scenario::builder().tx(0, "T1", |t| t.read("x")).build();
+        let sim = Simulator::new(&Broken, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.any_error());
+        assert_eq!(out.algorithm_errors.len(), 1);
+        assert!(out.algorithm_errors[0].contains("deliberately broken"));
+    }
+
+    #[test]
+    fn directing_a_finished_process_reports_an_error() {
+        let scenario = Scenario::builder().tx(0, "T1", |t| t.write("x", 1)).build();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(
+            &Schedule::new()
+                .then(Directive::RunUntilTxDone(ProcId(0)))
+                .then(Directive::Step(ProcId(0))),
+        );
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Committed);
+        assert!(out.reports[1].error.is_some());
+    }
+
+    #[test]
+    fn round_robin_completes_simple_workloads() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("y", 2))
+            .tx(2, "T3", |t| t.read("x").read("y"))
+            .build();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(&Schedule::round_robin(1000));
+        assert!(out.all_committed());
+        assert!(!out.any_limit_hit());
+    }
+
+    #[test]
+    fn unfinished_transactions_are_reported_as_such() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(&Schedule::new().then(Directive::Step(ProcId(0))));
+        assert_eq!(out.outcome_of(TxId(0)), TxOutcome::Unfinished);
+        assert_eq!(out.outcome_of(TxId(1)), TxOutcome::Unfinished);
+        assert!(!out.all_committed());
+    }
+
+    #[test]
+    fn per_process_program_order_is_respected() {
+        let scenario = Scenario::builder()
+            .tx(0, "A1", |t| t.write("x", 1))
+            .tx(0, "A2", |t| t.write("x", 2))
+            .tx(1, "B", |t| t.read("x"))
+            .build();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(&Schedule::from_directives(vec![
+            Directive::RunUntilTxDone(ProcId(0)),
+            Directive::RunUntilTxDone(ProcId(0)),
+            Directive::RunUntilTxDone(ProcId(1)),
+        ]));
+        assert!(out.all_committed());
+        // B reads the value written by A2, which ran after A1 on the same process.
+        assert_eq!(out.read_value(TxId(2), &DataItem::new("x")), Some(2));
+        let order = out.execution.history().begin_order();
+        assert_eq!(order, vec![TxId(0), TxId(1), TxId(2)]);
+    }
+
+    #[test]
+    fn summary_mentions_every_transaction() {
+        let scenario = writer_reader_scenario();
+        let sim = Simulator::new(&Naive, &scenario);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        let s = out.summary(&scenario);
+        assert!(s.contains("T1 committed"));
+        assert!(s.contains("T2 committed"));
+    }
+}

@@ -1,0 +1,190 @@
+//! What a simulation run returns.
+
+use super::schedule::Directive;
+use crate::baseobj::Memory;
+use crate::execution::Execution;
+use crate::ids::{DataItem, TxId};
+use crate::txspec::Scenario;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The final fate of a transaction in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxOutcome {
+    /// The transaction committed (`C_T`).
+    Committed,
+    /// The transaction aborted (`A_T`).
+    Aborted,
+    /// The transaction did not complete before the schedule ended (it is live or
+    /// commit-pending in the resulting history, or it was starved by a step limit).
+    Unfinished,
+}
+
+impl fmt::Display for TxOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxOutcome::Committed => f.write_str("committed"),
+            TxOutcome::Aborted => f.write_str("aborted"),
+            TxOutcome::Unfinished => f.write_str("unfinished"),
+        }
+    }
+}
+
+/// Per-directive report: what happened while the scheduler executed one directive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectiveReport {
+    /// The directive executed.
+    pub directive: Directive,
+    /// Memory steps taken while executing it.
+    pub steps_taken: usize,
+    /// Transactions that completed during the directive, with their outcome.
+    pub completed: Vec<(TxId, TxOutcome)>,
+    /// Whether the step limit was hit before the directive's goal was reached (the
+    /// signature of a blocked/spinning transaction).
+    pub limit_hit: bool,
+    /// Error encountered (e.g. directing a process that has no work left).
+    pub error: Option<String>,
+}
+
+/// The result of running a schedule.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The recorded execution (memory steps + TM-interface events, in order).
+    pub execution: Execution,
+    /// Outcome of every transaction of the scenario.
+    pub tx_outcomes: BTreeMap<TxId, TxOutcome>,
+    /// One report per directive of the schedule.
+    pub reports: Vec<DirectiveReport>,
+    /// The final shared-memory contents (the final *configuration*, restricted to
+    /// base objects — process states are not observable from outside).
+    pub final_memory: Memory,
+    /// Panic messages from algorithm code, if any (empty in healthy runs).
+    pub algorithm_errors: Vec<String>,
+}
+
+impl SimOutcome {
+    /// `true` iff every transaction of the scenario committed.
+    pub fn all_committed(&self) -> bool {
+        !self.tx_outcomes.is_empty()
+            && self.tx_outcomes.values().all(|o| *o == TxOutcome::Committed)
+    }
+
+    /// Outcome of one transaction.
+    pub fn outcome_of(&self, tx: TxId) -> TxOutcome {
+        self.tx_outcomes.get(&tx).copied().unwrap_or(TxOutcome::Unfinished)
+    }
+
+    /// The value a transaction's *first* successful read of `item` returned, if any.
+    /// (The scenarios of the paper read each item at most once per transaction.)
+    pub fn read_value(&self, tx: TxId, item: &DataItem) -> Option<i64> {
+        self.execution
+            .history()
+            .reads_of(tx)
+            .into_iter()
+            .find(|(it, _)| it == item)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether any directive hit its step limit (a blocked / starved process).
+    pub fn any_limit_hit(&self) -> bool {
+        self.reports.iter().any(|r| r.limit_hit)
+    }
+
+    /// Whether any directive reported an error.
+    pub fn any_error(&self) -> bool {
+        self.reports.iter().any(|r| r.error.is_some()) || !self.algorithm_errors.is_empty()
+    }
+
+    /// Total number of memory steps taken.
+    pub fn total_steps(&self) -> usize {
+        self.execution.mem_steps().len()
+    }
+
+    /// A one-line summary per transaction: `T1 committed, T2 aborted, …`, following
+    /// the scenario's transaction order.
+    pub fn summary(&self, scenario: &Scenario) -> String {
+        scenario
+            .txs
+            .iter()
+            .map(|t| format!("{} {}", t.name, self.outcome_of(t.id)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::TmEvent;
+    use crate::ids::ProcId;
+    use crate::step::Event;
+
+    fn outcome_with(txo: &[(usize, TxOutcome)]) -> SimOutcome {
+        SimOutcome {
+            execution: Execution::new(),
+            tx_outcomes: txo.iter().map(|(i, o)| (TxId(*i), *o)).collect(),
+            reports: vec![],
+            final_memory: Memory::new(),
+            algorithm_errors: vec![],
+        }
+    }
+
+    #[test]
+    fn all_committed_requires_every_transaction() {
+        assert!(outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Committed)])
+            .all_committed());
+        assert!(!outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Aborted)])
+            .all_committed());
+        assert!(!outcome_with(&[]).all_committed());
+        assert_eq!(outcome_with(&[]).outcome_of(TxId(3)), TxOutcome::Unfinished);
+    }
+
+    #[test]
+    fn read_value_finds_first_read() {
+        let mut exec = Execution::new();
+        let x = DataItem::new("x");
+        exec.push(Event::Tm {
+            proc: ProcId(0),
+            event: TmEvent::RespRead {
+                tx: TxId(0),
+                item: x.clone(),
+                result: crate::history::ReadResult::Value(7),
+            },
+        });
+        let out = SimOutcome {
+            execution: exec,
+            tx_outcomes: BTreeMap::new(),
+            reports: vec![],
+            final_memory: Memory::new(),
+            algorithm_errors: vec![],
+        };
+        assert_eq!(out.read_value(TxId(0), &x), Some(7));
+        assert_eq!(out.read_value(TxId(0), &DataItem::new("y")), None);
+        assert_eq!(out.total_steps(), 0);
+    }
+
+    #[test]
+    fn limit_and_error_flags() {
+        let mut out = outcome_with(&[(0, TxOutcome::Committed)]);
+        assert!(!out.any_limit_hit());
+        assert!(!out.any_error());
+        out.reports.push(DirectiveReport {
+            directive: Directive::Step(ProcId(0)),
+            steps_taken: 1,
+            completed: vec![],
+            limit_hit: true,
+            error: None,
+        });
+        assert!(out.any_limit_hit());
+        out.algorithm_errors.push("boom".into());
+        assert!(out.any_error());
+    }
+
+    #[test]
+    fn display_of_outcomes() {
+        assert_eq!(TxOutcome::Committed.to_string(), "committed");
+        assert_eq!(TxOutcome::Aborted.to_string(), "aborted");
+        assert_eq!(TxOutcome::Unfinished.to_string(), "unfinished");
+    }
+}

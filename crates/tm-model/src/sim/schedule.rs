@@ -1,0 +1,153 @@
+//! The schedule language: which process advances, and by how much.
+
+use crate::ids::ProcId;
+use crate::txspec::Scenario;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One instruction to the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Directive {
+    /// Let the process perform exactly one step (one base-object primitive).
+    ///
+    /// If the process instead completes its current transaction without needing
+    /// another step (e.g. a read-only commit that requires no memory access), the
+    /// directive completes with zero steps taken.
+    Step(ProcId),
+    /// Let the process perform up to `n` steps.
+    Steps(ProcId, usize),
+    /// Let the process run *solo* until its current (or next) transaction completes,
+    /// i.e. until `C_T` or `A_T` is returned.  Bounded by the simulator's step limit
+    /// so blocking algorithms surface as a `limit_hit` report instead of a hang.
+    RunUntilTxDone(ProcId),
+    /// Round-robin over all processes that still have work, one step each per round,
+    /// until everyone is done or the given total step budget is exhausted.  Used by
+    /// stress/liveness experiments rather than by the theorem construction.
+    RoundRobin {
+        /// Total step budget across all processes.
+        max_steps: usize,
+    },
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::Step(p) => write!(f, "step({p})"),
+            Directive::Steps(p, n) => write!(f, "steps({p}, {n})"),
+            Directive::RunUntilTxDone(p) => write!(f, "run-until-tx-done({p})"),
+            Directive::RoundRobin { max_steps } => write!(f, "round-robin(≤{max_steps})"),
+        }
+    }
+}
+
+/// A schedule: the ordered list of directives the scheduler executes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    directives: Vec<Directive>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// A schedule made of the given directives.
+    pub fn from_directives(directives: Vec<Directive>) -> Self {
+        Schedule { directives }
+    }
+
+    /// Append a directive (builder style).
+    pub fn then(mut self, d: Directive) -> Self {
+        self.directives.push(d);
+        self
+    }
+
+    /// Append a directive in place.
+    pub fn push(&mut self, d: Directive) {
+        self.directives.push(d);
+    }
+
+    /// The directives in order.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
+    /// Number of directives.
+    pub fn len(&self) -> usize {
+        self.directives.len()
+    }
+
+    /// `true` if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// The canonical *sequential solo* schedule of a scenario: each transaction runs
+    /// solo to completion, in the order the transactions appear in the scenario.
+    /// Because every transaction runs without any concurrency this schedule is the
+    /// baseline "everything must commit under obstruction-freedom" experiment.
+    pub fn solo_sequence(scenario: &Scenario) -> Schedule {
+        Schedule {
+            directives: scenario.txs.iter().map(|t| Directive::RunUntilTxDone(t.proc)).collect(),
+        }
+    }
+
+    /// A schedule that interleaves all processes round-robin with the given budget.
+    pub fn round_robin(max_steps: usize) -> Schedule {
+        Schedule { directives: vec![Directive::RoundRobin { max_steps }] }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.directives.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join(" · "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txspec::Scenario;
+
+    #[test]
+    fn builder_and_accessors() {
+        let s = Schedule::new()
+            .then(Directive::Step(ProcId(0)))
+            .then(Directive::RunUntilTxDone(ProcId(1)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.directives()[0], Directive::Step(ProcId(0)));
+        assert!(Schedule::new().is_empty());
+    }
+
+    #[test]
+    fn solo_sequence_covers_every_transaction_in_order() {
+        let scenario = Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(2, "T3", |t| t.read("x"))
+            .tx(1, "T2", |t| t.read("x"))
+            .build();
+        let s = Schedule::solo_sequence(&scenario);
+        assert_eq!(
+            s.directives(),
+            &[
+                Directive::RunUntilTxDone(ProcId(0)),
+                Directive::RunUntilTxDone(ProcId(2)),
+                Directive::RunUntilTxDone(ProcId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Schedule::from_directives(vec![
+            Directive::Steps(ProcId(0), 3),
+            Directive::RoundRobin { max_steps: 10 },
+        ]);
+        let text = s.to_string();
+        assert!(text.contains("steps(p1, 3)"));
+        assert!(text.contains("round-robin"));
+    }
+}

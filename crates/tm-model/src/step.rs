@@ -1,0 +1,177 @@
+//! Steps and events: the atoms of an execution.
+//!
+//! The paper's model: *"A step of a process consists of a single primitive on a single
+//! base object, the response to that primitive, and zero or more local operations …
+//! Invocations and responses performed by transactions are considered as steps."*
+//!
+//! Accordingly an [`Event`] is either a [`MemStep`] (a primitive applied to a base
+//! object) or a transactional invocation/response ([`crate::history::TmEvent`]).  The
+//! ordered list of events is an [`crate::execution::Execution`].
+
+use crate::history::TmEvent;
+use crate::ids::{ObjId, ProcId, TxId};
+use crate::primitive::{PrimResponse, Primitive};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory step: one atomic primitive applied by one process to one base object,
+/// together with the response it received.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStep {
+    /// The process that took the step.
+    pub proc: ProcId,
+    /// The transaction on whose behalf the step was taken.
+    pub tx: TxId,
+    /// The base object accessed (run-local id).
+    pub obj: ObjId,
+    /// The base object's stable name — the identity used across executions.
+    pub obj_name: String,
+    /// The primitive applied.
+    pub prim: Primitive,
+    /// The response received.
+    pub resp: PrimResponse,
+}
+
+impl MemStep {
+    /// Whether the step applies a non-trivial primitive (one that may change state).
+    pub fn is_nontrivial(&self) -> bool {
+        self.prim.is_nontrivial()
+    }
+
+    /// The observable footprint of the step for indistinguishability comparisons:
+    /// the object name, the primitive and the response (but *not* the run-local
+    /// object id, which may legitimately differ between executions).
+    pub fn footprint(&self) -> (&str, &Primitive, &PrimResponse) {
+        (&self.obj_name, &self.prim, &self.resp)
+    }
+}
+
+impl fmt::Display for MemStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {}.{} = {}",
+            self.proc, self.tx, self.obj_name, self.prim, self.resp
+        )
+    }
+}
+
+/// One event of an execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A primitive applied to a base object.
+    Mem(MemStep),
+    /// A transactional invocation or response (a "TM-interface" event).
+    Tm {
+        /// The process performing the invocation / receiving the response.
+        proc: ProcId,
+        /// The event itself.
+        event: TmEvent,
+    },
+}
+
+impl Event {
+    /// The process that performed the event.
+    pub fn proc(&self) -> ProcId {
+        match self {
+            Event::Mem(s) => s.proc,
+            Event::Tm { proc, .. } => *proc,
+        }
+    }
+
+    /// The transaction this event belongs to.
+    pub fn tx(&self) -> TxId {
+        match self {
+            Event::Mem(s) => s.tx,
+            Event::Tm { event, .. } => event.tx(),
+        }
+    }
+
+    /// The memory step, if this is a memory event.
+    pub fn as_mem(&self) -> Option<&MemStep> {
+        match self {
+            Event::Mem(s) => Some(s),
+            Event::Tm { .. } => None,
+        }
+    }
+
+    /// The TM-interface event, if this is one.
+    pub fn as_tm(&self) -> Option<&TmEvent> {
+        match self {
+            Event::Mem(_) => None,
+            Event::Tm { event, .. } => Some(event),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Mem(s) => write!(f, "{s}"),
+            Event::Tm { proc, event } => write!(f, "{proc}: {event}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DataItem;
+    use crate::word::Word;
+
+    fn step(nontrivial: bool) -> MemStep {
+        MemStep {
+            proc: ProcId(0),
+            tx: TxId(0),
+            obj: ObjId(3),
+            obj_name: "val:x".to_string(),
+            prim: if nontrivial { Primitive::Write(Word::Int(1)) } else { Primitive::Read },
+            resp: if nontrivial {
+                PrimResponse::Ack
+            } else {
+                PrimResponse::Value(Word::Int(0))
+            },
+        }
+    }
+
+    #[test]
+    fn footprint_excludes_object_id() {
+        let mut a = step(false);
+        let mut b = step(false);
+        a.obj = ObjId(1);
+        b.obj = ObjId(9);
+        assert_eq!(a.footprint(), b.footprint());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nontriviality_follows_the_primitive() {
+        assert!(!step(false).is_nontrivial());
+        assert!(step(true).is_nontrivial());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let m = Event::Mem(step(false));
+        assert_eq!(m.proc(), ProcId(0));
+        assert_eq!(m.tx(), TxId(0));
+        assert!(m.as_mem().is_some());
+        assert!(m.as_tm().is_none());
+
+        let t = Event::Tm {
+            proc: ProcId(2),
+            event: TmEvent::InvRead { tx: TxId(4), item: DataItem::new("a") },
+        };
+        assert_eq!(t.proc(), ProcId(2));
+        assert_eq!(t.tx(), TxId(4));
+        assert!(t.as_mem().is_none());
+        assert!(t.as_tm().is_some());
+    }
+
+    #[test]
+    fn display_contains_object_and_primitive() {
+        let rendered = step(true).to_string();
+        assert!(rendered.contains("val:x"));
+        assert!(rendered.contains("write"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Static transaction specifications and scenarios.
+//!
+//! The PCL proof considers *static, predefined* transactions: the sequence of data
+//! items a transaction reads and writes is fixed in its code, so the data set `D(T)`
+//! can be computed by inspection.  [`TxSpec`] captures exactly that: an ordered list
+//! of [`TxOp`]s followed by an implicit commit attempt.
+//!
+//! A [`Scenario`] is a collection of transaction specifications assigned to processes;
+//! each process executes its transactions in the order they appear.  The scenario is
+//! the static input of a simulation — the *schedule* (which process takes which step
+//! when) is supplied separately.
+
+use crate::ids::{DataItem, ProcId, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One transactional operation of a static transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxOp {
+    /// `x.read()` — returns the value of the data item (or forces an abort).
+    Read(DataItem),
+    /// `x.write(v)` — writes `v` to the data item (or forces an abort).
+    Write(DataItem, i64),
+}
+
+impl TxOp {
+    /// The data item this operation accesses.
+    pub fn item(&self) -> &DataItem {
+        match self {
+            TxOp::Read(x) | TxOp::Write(x, _) => x,
+        }
+    }
+
+    /// Whether the operation is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, TxOp::Write(_, _))
+    }
+}
+
+impl fmt::Display for TxOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxOp::Read(x) => write!(f, "{x}.read()"),
+            TxOp::Write(x, v) => write!(f, "{x}.write({v})"),
+        }
+    }
+}
+
+/// A static transaction: an identifier, the process that executes it, a human-readable
+/// name, and the ordered list of operations it performs before trying to commit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxSpec {
+    /// Unique identifier of the transaction within its scenario.
+    pub id: TxId,
+    /// The process executing this transaction.
+    pub proc: ProcId,
+    /// Human-readable name (e.g. `"T1"`), used in rendered figures.
+    pub name: String,
+    /// The transaction body.
+    pub ops: Vec<TxOp>,
+}
+
+impl TxSpec {
+    /// The data set `D(T)`: every data item the transaction's code accesses.
+    pub fn data_set(&self) -> BTreeSet<DataItem> {
+        self.ops.iter().map(|op| op.item().clone()).collect()
+    }
+
+    /// The set of data items the transaction reads.
+    pub fn read_set(&self) -> BTreeSet<DataItem> {
+        self.ops
+            .iter()
+            .filter(|op| !op.is_write())
+            .map(|op| op.item().clone())
+            .collect()
+    }
+
+    /// The set of data items the transaction writes.
+    pub fn write_set(&self) -> BTreeSet<DataItem> {
+        self.ops
+            .iter()
+            .filter(|op| op.is_write())
+            .map(|op| op.item().clone())
+            .collect()
+    }
+
+    /// Two transactions *conflict* iff their data sets intersect (`D(T1) ∩ D(T2) ≠ ∅`).
+    pub fn conflicts_with(&self, other: &TxSpec) -> bool {
+        let mine = self.data_set();
+        other.data_set().iter().any(|x| mine.contains(x))
+    }
+
+    /// `true` if the transaction performs no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|op| !op.is_write())
+    }
+
+    /// Render the transaction body as the paper renders it (reads, then writes).
+    pub fn describe(&self) -> String {
+        let ops: Vec<String> = self.ops.iter().map(|op| op.to_string()).collect();
+        format!("{}@{}: {}", self.name, self.proc, ops.join("; "))
+    }
+}
+
+/// A full scenario: the number of processes and all transactions, in begin-eligible
+/// order per process (each process runs its transactions in order of appearance).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of processes (processes are `ProcId(0) .. ProcId(n_procs-1)`).
+    pub n_procs: usize,
+    /// All transactions of the scenario.
+    pub txs: Vec<TxSpec>,
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The transactions assigned to a given process, in program order.
+    pub fn txs_of(&self, proc: ProcId) -> Vec<&TxSpec> {
+        self.txs.iter().filter(|t| t.proc == proc).collect()
+    }
+
+    /// Look up a transaction by id.
+    pub fn tx(&self, id: TxId) -> &TxSpec {
+        self.txs
+            .iter()
+            .find(|t| t.id == id)
+            .unwrap_or_else(|| panic!("scenario has no transaction {id}"))
+    }
+
+    /// Look up a transaction by its human-readable name.
+    pub fn tx_by_name(&self, name: &str) -> Option<&TxSpec> {
+        self.txs.iter().find(|t| t.name == name)
+    }
+
+    /// All data items mentioned anywhere in the scenario.
+    pub fn data_items(&self) -> BTreeSet<DataItem> {
+        self.txs.iter().flat_map(|t| t.data_set()).collect()
+    }
+
+    /// The conflict relation as a symmetric adjacency list over transaction ids.
+    pub fn conflict_pairs(&self) -> Vec<(TxId, TxId)> {
+        let mut pairs = Vec::new();
+        for (i, a) in self.txs.iter().enumerate() {
+            for b in self.txs.iter().skip(i + 1) {
+                if a.conflicts_with(b) {
+                    pairs.push((a.id, b.id));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Builder used to assemble scenarios fluently (see the crate-level example).
+#[derive(Debug, Default)]
+pub struct ScenarioBuilder {
+    txs: Vec<TxSpec>,
+    max_proc: usize,
+}
+
+impl ScenarioBuilder {
+    /// Add a transaction executed by process `proc` (zero-based) with the given name.
+    /// The closure receives a [`TxBodyBuilder`] used to list the operations in order.
+    pub fn tx(
+        mut self,
+        proc: usize,
+        name: impl Into<String>,
+        body: impl FnOnce(TxBodyBuilder) -> TxBodyBuilder,
+    ) -> Self {
+        let ops = body(TxBodyBuilder::default()).ops;
+        let id = TxId(self.txs.len());
+        self.max_proc = self.max_proc.max(proc);
+        self.txs.push(TxSpec { id, proc: ProcId(proc), name: name.into(), ops });
+        self
+    }
+
+    /// Finish building.  The number of processes is one more than the largest process
+    /// index used (so every referenced process exists).
+    pub fn build(self) -> Scenario {
+        let n_procs = if self.txs.is_empty() { 0 } else { self.max_proc + 1 };
+        Scenario { n_procs, txs: self.txs }
+    }
+}
+
+/// Builder for the body (operation list) of a single transaction.
+#[derive(Debug, Default)]
+pub struct TxBodyBuilder {
+    ops: Vec<TxOp>,
+}
+
+impl TxBodyBuilder {
+    /// Append `item.read()`.
+    pub fn read(mut self, item: impl Into<DataItem>) -> Self {
+        self.ops.push(TxOp::Read(item.into()));
+        self
+    }
+
+    /// Append `item.write(value)`.
+    pub fn write(mut self, item: impl Into<DataItem>, value: i64) -> Self {
+        self.ops.push(TxOp::Write(item.into(), value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario::builder()
+            .tx(0, "T1", |t| t.read("b3").read("b7").write("a", 1).write("b1", 1))
+            .tx(1, "T2", |t| t.read("b5").write("a", 2))
+            .tx(2, "T3", |t| t.read("b1").write("b3", 1))
+            .build()
+    }
+
+    #[test]
+    fn data_read_write_sets() {
+        let s = sample();
+        let t1 = s.tx(TxId(0));
+        assert_eq!(
+            t1.data_set(),
+            ["b3", "b7", "a", "b1"].iter().map(|x| DataItem::new(*x)).collect()
+        );
+        assert_eq!(t1.read_set(), ["b3", "b7"].iter().map(|x| DataItem::new(*x)).collect());
+        assert_eq!(t1.write_set(), ["a", "b1"].iter().map(|x| DataItem::new(*x)).collect());
+        assert!(!t1.is_read_only());
+    }
+
+    #[test]
+    fn conflict_is_data_set_intersection() {
+        let s = sample();
+        let (t1, t2, t3) = (s.tx(TxId(0)), s.tx(TxId(1)), s.tx(TxId(2)));
+        assert!(t1.conflicts_with(t2)); // both access a
+        assert!(t2.conflicts_with(t1));
+        assert!(t1.conflicts_with(t3)); // b1, b3
+        assert!(!t2.conflicts_with(t3)); // {b5, a} ∩ {b1, b3} = ∅
+        assert_eq!(s.conflict_pairs(), vec![(TxId(0), TxId(1)), (TxId(0), TxId(2))]);
+    }
+
+    #[test]
+    fn scenario_process_assignment() {
+        let s = sample();
+        assert_eq!(s.n_procs, 3);
+        assert_eq!(s.txs_of(ProcId(0)).len(), 1);
+        assert_eq!(s.tx_by_name("T2").unwrap().id, TxId(1));
+        assert!(s.tx_by_name("T9").is_none());
+        assert_eq!(s.data_items().len(), 5); // {a, b1, b3, b5, b7}
+    }
+
+    #[test]
+    fn multiple_transactions_per_process_keep_program_order() {
+        let s = Scenario::builder()
+            .tx(0, "A1", |t| t.write("x", 1))
+            .tx(1, "B1", |t| t.read("x"))
+            .tx(0, "A2", |t| t.write("x", 2))
+            .build();
+        let of0 = s.txs_of(ProcId(0));
+        assert_eq!(of0.len(), 2);
+        assert_eq!(of0[0].name, "A1");
+        assert_eq!(of0[1].name, "A2");
+    }
+
+    #[test]
+    fn describe_renders_ops_in_order() {
+        let s = sample();
+        let d = s.tx(TxId(2)).describe();
+        assert!(d.contains("T3"));
+        assert!(d.contains("b1.read()"));
+        assert!(d.contains("b3.write(1)"));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let s = Scenario::builder().tx(0, "R", |t| t.read("x").read("y")).build();
+        assert!(s.tx(TxId(0)).is_read_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "no transaction")]
+    fn unknown_tx_panics() {
+        sample().tx(TxId(99));
+    }
+}

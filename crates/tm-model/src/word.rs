@@ -1,0 +1,205 @@
+//! The contents of a base object: a `Word`.
+//!
+//! The system model only requires base objects to hold *some* state on which atomic
+//! primitives operate.  Real TM algorithms store different shapes of metadata in their
+//! base objects — plain values, versioned values, ownership records ("locators" in
+//! DSTM terminology), transaction status words, …  Rather than forcing every algorithm
+//! to encode its metadata into a single integer, [`Word`] is a small algebraic type
+//! covering the shapes used by the algorithms in `tm-algorithms`.  Compare-and-swap
+//! compares entire `Word`s structurally, which matches the "atomic register holding an
+//! abstract value" reading of the model.
+
+use crate::ids::TxId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Status of a transaction as recorded in a shared status base object.
+///
+/// Used by obstruction-free algorithms in the DSTM family, where committing or
+/// aborting a transaction is a single CAS on its status word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxStatusWord {
+    /// The transaction is still running.
+    Active,
+    /// The transaction committed; its tentative values are the current values.
+    Committed,
+    /// The transaction aborted; its tentative values must be discarded.
+    Aborted,
+}
+
+impl fmt::Display for TxStatusWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxStatusWord::Active => f.write_str("ACTIVE"),
+            TxStatusWord::Committed => f.write_str("COMMITTED"),
+            TxStatusWord::Aborted => f.write_str("ABORTED"),
+        }
+    }
+}
+
+/// The state held by a single base object.
+///
+/// All variants are plain data; equality is structural, which is what the simulated
+/// compare-and-swap primitive uses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Word {
+    /// An untyped machine word holding an integer (also used for locks: 0 = free).
+    Int(i64),
+    /// A versioned value: the workhorse of timestamp/lock-based STMs (TL/TL2 style).
+    Ver {
+        /// Version number, incremented by every committed writer.
+        version: u64,
+        /// Current committed value.
+        value: i64,
+        /// Whether a writer currently holds the write lock on this item.
+        locked: bool,
+    },
+    /// A DSTM-style locator: the owner transaction together with old and new values.
+    Locator {
+        /// Owning (last writing) transaction, if any.
+        owner: Option<TxId>,
+        /// Value before the owner's tentative write.
+        old: i64,
+        /// The owner's tentative value (equals `old` until the owner writes).
+        new: i64,
+    },
+    /// A transaction status word.
+    Status(TxStatusWord),
+    /// A pair of integers (generic two-field record, e.g. `(timestamp, value)`).
+    Pair(i64, i64),
+    /// An uninitialised / empty object.
+    Null,
+}
+
+impl Word {
+    /// Build an unlocked versioned value at version 0.
+    pub fn ver0(value: i64) -> Word {
+        Word::Ver { version: 0, value, locked: false }
+    }
+
+    /// Build an un-owned locator around the given committed value.
+    pub fn locator0(value: i64) -> Word {
+        Word::Locator { owner: None, old: value, new: value }
+    }
+
+    /// Interpret the word as an integer, panicking with a descriptive message if it
+    /// has a different shape.  Algorithms use this when they know the object layout.
+    pub fn expect_int(&self) -> i64 {
+        match self {
+            Word::Int(v) => *v,
+            other => panic!("base object expected to hold Word::Int, found {other:?}"),
+        }
+    }
+
+    /// Interpret the word as a versioned value.
+    pub fn expect_ver(&self) -> (u64, i64, bool) {
+        match self {
+            Word::Ver { version, value, locked } => (*version, *value, *locked),
+            other => panic!("base object expected to hold Word::Ver, found {other:?}"),
+        }
+    }
+
+    /// Interpret the word as a locator.
+    pub fn expect_locator(&self) -> (Option<TxId>, i64, i64) {
+        match self {
+            Word::Locator { owner, old, new } => (*owner, *old, *new),
+            other => panic!("base object expected to hold Word::Locator, found {other:?}"),
+        }
+    }
+
+    /// Interpret the word as a transaction status.
+    pub fn expect_status(&self) -> TxStatusWord {
+        match self {
+            Word::Status(s) => *s,
+            other => panic!("base object expected to hold Word::Status, found {other:?}"),
+        }
+    }
+
+    /// Interpret the word as a pair.
+    pub fn expect_pair(&self) -> (i64, i64) {
+        match self {
+            Word::Pair(a, b) => (*a, *b),
+            other => panic!("base object expected to hold Word::Pair, found {other:?}"),
+        }
+    }
+
+    /// `true` if this word is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Word::Null)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Word::Int(v) => write!(f, "{v}"),
+            Word::Ver { version, value, locked } => {
+                write!(f, "⟨v{version}:{value}{}⟩", if *locked { ":L" } else { "" })
+            }
+            Word::Locator { owner, old, new } => match owner {
+                Some(tx) => write!(f, "⟨owner={tx}, old={old}, new={new}⟩"),
+                None => write!(f, "⟨free, {old}⟩"),
+            },
+            Word::Status(s) => write!(f, "{s}"),
+            Word::Pair(a, b) => write!(f, "({a},{b})"),
+            Word::Null => f.write_str("⊥"),
+        }
+    }
+}
+
+impl From<i64> for Word {
+    fn from(v: i64) -> Self {
+        Word::Int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_shapes() {
+        assert_eq!(Word::ver0(5).expect_ver(), (0, 5, false));
+        assert_eq!(Word::locator0(3).expect_locator(), (None, 3, 3));
+        assert_eq!(Word::from(9).expect_int(), 9);
+        assert!(Word::Null.is_null());
+        assert!(!Word::Int(0).is_null());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Word::Int(1), Word::Int(1));
+        assert_ne!(Word::Int(1), Word::Int(2));
+        assert_ne!(Word::Int(0), Word::Null);
+        assert_eq!(
+            Word::Ver { version: 2, value: 7, locked: false },
+            Word::Ver { version: 2, value: 7, locked: false }
+        );
+        assert_ne!(
+            Word::Ver { version: 2, value: 7, locked: false },
+            Word::Ver { version: 2, value: 7, locked: true }
+        );
+        assert_eq!(
+            Word::Locator { owner: Some(TxId(1)), old: 0, new: 4 },
+            Word::Locator { owner: Some(TxId(1)), old: 0, new: 4 }
+        );
+        assert_ne!(
+            Word::Locator { owner: Some(TxId(1)), old: 0, new: 4 },
+            Word::Locator { owner: Some(TxId(2)), old: 0, new: 4 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected to hold Word::Int")]
+    fn expect_int_panics_on_wrong_shape() {
+        Word::Null.expect_int();
+    }
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(Word::Int(3).to_string(), "3");
+        assert_eq!(Word::Status(TxStatusWord::Active).to_string(), "ACTIVE");
+        assert_eq!(Word::Pair(1, 2).to_string(), "(1,2)");
+        assert_eq!(Word::Null.to_string(), "⊥");
+    }
+}

@@ -1,0 +1,208 @@
+//! The conflict relation and conflict graphs.
+//!
+//! Two (static) transactions *conflict* if their data sets intersect:
+//! `D(T1) ∩ D(T2) ≠ ∅`.  The weaker variants of disjoint-access-parallelism found in
+//! the literature (and discussed in the paper's related-work section) allow two
+//! transactions to contend on a base object when there is a *path* between them in the
+//! conflict graph of the minimal execution interval containing both — this module
+//! provides that graph and its path queries.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tm_model::execution::Interval;
+use tm_model::{DataItem, Execution, Scenario, TxId};
+
+/// The conflict graph over a set of transactions: nodes are transactions, edges join
+/// transactions whose data sets intersect.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    adjacency: BTreeMap<TxId, BTreeSet<TxId>>,
+}
+
+impl ConflictGraph {
+    /// Build the conflict graph over all transactions of a scenario.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        Self::from_scenario_subset(scenario, &scenario.txs.iter().map(|t| t.id).collect::<Vec<_>>())
+    }
+
+    /// Build the conflict graph over a subset of a scenario's transactions.
+    pub fn from_scenario_subset(scenario: &Scenario, txs: &[TxId]) -> Self {
+        let mut graph = ConflictGraph::default();
+        for tx in txs {
+            graph.adjacency.entry(*tx).or_default();
+        }
+        for (i, a) in txs.iter().enumerate() {
+            for b in txs.iter().skip(i + 1) {
+                if scenario.tx(*a).conflicts_with(scenario.tx(*b)) {
+                    graph.add_edge(*a, *b);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Add an (undirected) edge.
+    pub fn add_edge(&mut self, a: TxId, b: TxId) {
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Whether two transactions are directly connected (conflict).
+    pub fn conflict(&self, a: TxId, b: TxId) -> bool {
+        self.adjacency.get(&a).map(|s| s.contains(&b)).unwrap_or(false)
+    }
+
+    /// Whether there is a path between two transactions (every two consecutive
+    /// transactions on the path conflict).  A transaction is trivially connected to
+    /// itself.
+    pub fn connected(&self, a: TxId, b: TxId) -> bool {
+        self.path(a, b).is_some()
+    }
+
+    /// A shortest path between two transactions, if one exists.
+    pub fn path(&self, a: TxId, b: TxId) -> Option<Vec<TxId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        if !self.adjacency.contains_key(&a) || !self.adjacency.contains_key(&b) {
+            return None;
+        }
+        let mut prev: BTreeMap<TxId, TxId> = BTreeMap::new();
+        let mut queue = VecDeque::from([a]);
+        let mut seen = BTreeSet::from([a]);
+        while let Some(cur) = queue.pop_front() {
+            for next in self.adjacency.get(&cur).into_iter().flatten() {
+                if seen.insert(*next) {
+                    prev.insert(*next, cur);
+                    if *next == b {
+                        let mut path = vec![b];
+                        let mut at = b;
+                        while let Some(p) = prev.get(&at) {
+                            path.push(*p);
+                            at = *p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(*next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// The nodes of the graph.
+    pub fn nodes(&self) -> Vec<TxId> {
+        self.adjacency.keys().copied().collect()
+    }
+}
+
+/// The data items shared by two transactions' data sets (empty iff they do not
+/// conflict).
+pub fn shared_items(scenario: &Scenario, a: TxId, b: TxId) -> BTreeSet<DataItem> {
+    let da = scenario.tx(a).data_set();
+    let db = scenario.tx(b).data_set();
+    da.intersection(&db).cloned().collect()
+}
+
+/// The transactions of an execution whose active interval overlaps `interval` —
+/// the node set used by interval-scoped conflict graphs.
+pub fn transactions_overlapping(execution: &Execution, interval: Interval) -> Vec<TxId> {
+    execution
+        .active_intervals()
+        .into_iter()
+        .filter(|(_, iv)| iv.overlaps(&interval))
+        .map(|(tx, _)| tx)
+        .collect()
+}
+
+/// Build the conflict graph of the minimal execution interval containing the active
+/// intervals of both `a` and `b` (the graph used by the conflict-graph variant of
+/// disjoint-access-parallelism).
+pub fn interval_conflict_graph(
+    scenario: &Scenario,
+    execution: &Execution,
+    a: TxId,
+    b: TxId,
+) -> ConflictGraph {
+    let intervals = execution.active_intervals();
+    let (Some(ia), Some(ib)) = (intervals.get(&a), intervals.get(&b)) else {
+        return ConflictGraph::default();
+    };
+    let hull = ia.hull(ib);
+    let nodes = transactions_overlapping(execution, hull);
+    ConflictGraph::from_scenario_subset(scenario, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::Scenario;
+
+    fn chain_scenario() -> Scenario {
+        // T1–T2 share x, T2–T3 share y, T4 is isolated.
+        Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.read("x").write("y", 2))
+            .tx(2, "T3", |t| t.read("y"))
+            .tx(3, "T4", |t| t.write("z", 4))
+            .build()
+    }
+
+    #[test]
+    fn edges_follow_data_set_intersection() {
+        let s = chain_scenario();
+        let g = ConflictGraph::from_scenario(&s);
+        assert!(g.conflict(TxId(0), TxId(1)));
+        assert!(g.conflict(TxId(1), TxId(2)));
+        assert!(!g.conflict(TxId(0), TxId(2)));
+        assert!(!g.conflict(TxId(0), TxId(3)));
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.nodes().len(), 4);
+    }
+
+    #[test]
+    fn paths_capture_transitive_conflicts() {
+        let s = chain_scenario();
+        let g = ConflictGraph::from_scenario(&s);
+        assert!(g.connected(TxId(0), TxId(2)));
+        assert_eq!(g.path(TxId(0), TxId(2)).unwrap(), vec![TxId(0), TxId(1), TxId(2)]);
+        assert!(!g.connected(TxId(0), TxId(3)));
+        assert!(g.path(TxId(0), TxId(3)).is_none());
+        assert_eq!(g.path(TxId(1), TxId(1)).unwrap(), vec![TxId(1)]);
+    }
+
+    #[test]
+    fn shared_items_lists_the_intersection() {
+        let s = chain_scenario();
+        let xs = shared_items(&s, TxId(0), TxId(1));
+        assert_eq!(xs, BTreeSet::from([DataItem::new("x")]));
+        assert!(shared_items(&s, TxId(0), TxId(3)).is_empty());
+    }
+
+    #[test]
+    fn unknown_nodes_are_not_connected() {
+        let g = ConflictGraph::default();
+        assert!(!g.connected(TxId(0), TxId(1)));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn subset_graph_only_contains_requested_nodes() {
+        let s = chain_scenario();
+        let g = ConflictGraph::from_scenario_subset(&s, &[TxId(0), TxId(1)]);
+        assert_eq!(g.len(), 2);
+        assert!(g.conflict(TxId(0), TxId(1)));
+        assert!(!g.connected(TxId(0), TxId(2)));
+    }
+}

@@ -1,0 +1,312 @@
+//! Disjoint-access-parallelism checkers.
+//!
+//! * **Strict DAP** (the paper's definition, Section 3): in every execution, two
+//!   transactions may contend on a base object *only if* their data sets intersect.
+//!   This is the "P" of the PCL theorem.
+//! * **Conflict-graph DAP** (Attiya–Hillel–Milani \[8\], also \[2, 15\]): contention
+//!   is allowed whenever there is a *path* between the two transactions in the
+//!   conflict graph of the minimal execution interval containing both.
+//! * **Feeble DAP** (\[15\]): like conflict-graph DAP, but the path requirement is
+//!   dropped for transactions that are not concurrent — only concurrent,
+//!   unconnected transactions must not contend.
+//!
+//! The checkers are *per-execution*: they certify or refute the property on the
+//! executions actually produced.  A TM algorithm is (strictly) DAP only if every
+//! execution passes; the theorem driver therefore runs them on the adversarial
+//! executions of the proof plus randomized schedules.
+
+use crate::conflict::{interval_conflict_graph, shared_items};
+use crate::contention::all_contentions;
+use std::fmt;
+use tm_model::{Execution, Scenario, TxId};
+
+/// Which flavour of disjoint-access-parallelism was checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DapVariant {
+    /// The paper's strict DAP.
+    Strict,
+    /// The conflict-graph ("path") variant.
+    ConflictGraph,
+    /// The feeble variant (path required only for concurrent transactions).
+    Feeble,
+}
+
+impl fmt::Display for DapVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DapVariant::Strict => f.write_str("strict disjoint-access-parallelism"),
+            DapVariant::ConflictGraph => f.write_str("conflict-graph disjoint-access-parallelism"),
+            DapVariant::Feeble => f.write_str("feeble disjoint-access-parallelism"),
+        }
+    }
+}
+
+/// One violation: two transactions that contend although the variant forbids it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DapViolation {
+    /// First transaction of the offending pair.
+    pub tx1: TxId,
+    /// Second transaction of the offending pair.
+    pub tx2: TxId,
+    /// The base object they contend on.
+    pub object: String,
+    /// Why the contention is illegal under the checked variant.
+    pub reason: String,
+}
+
+impl fmt::Display for DapViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} and {} contend on `{}` although {}",
+            self.tx1, self.tx2, self.object, self.reason
+        )
+    }
+}
+
+/// The result of a DAP check on one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DapReport {
+    /// The variant that was checked.
+    pub variant: DapVariant,
+    /// All violations found (empty = the execution satisfies the variant).
+    pub violations: Vec<DapViolation>,
+    /// Total number of contending pairs observed (legal or not) — a useful measure of
+    /// how much low-level synchronization the algorithm introduces.
+    pub contending_pairs: usize,
+}
+
+impl DapReport {
+    /// `true` iff the execution satisfies the variant.
+    pub fn satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for DapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.satisfied() {
+            write!(f, "{}: satisfied ({} contending pairs)", self.variant, self.contending_pairs)
+        } else {
+            writeln!(f, "{}: VIOLATED", self.variant)?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check(execution: &Execution, scenario: &Scenario, variant: DapVariant) -> DapReport {
+    let contentions = all_contentions(execution);
+    let history = execution.history();
+    let mut violations = Vec::new();
+    for c in &contentions {
+        let conflict = scenario.tx(c.tx1).conflicts_with(scenario.tx(c.tx2));
+        let legal = match variant {
+            DapVariant::Strict => conflict,
+            DapVariant::ConflictGraph => {
+                conflict
+                    || interval_conflict_graph(scenario, execution, c.tx1, c.tx2)
+                        .connected(c.tx1, c.tx2)
+            }
+            DapVariant::Feeble => {
+                conflict
+                    || !history.concurrent(c.tx1, c.tx2)
+                    || interval_conflict_graph(scenario, execution, c.tx1, c.tx2)
+                        .connected(c.tx1, c.tx2)
+            }
+        };
+        if !legal {
+            let reason = match variant {
+                DapVariant::Strict => format!(
+                    "their data sets are disjoint (D({}) ∩ D({}) = ∅)",
+                    c.tx1, c.tx2
+                ),
+                DapVariant::ConflictGraph => {
+                    "no conflict path connects them in the surrounding interval".to_string()
+                }
+                DapVariant::Feeble => {
+                    "they are concurrent and no conflict path connects them".to_string()
+                }
+            };
+            violations.push(DapViolation {
+                tx1: c.tx1,
+                tx2: c.tx2,
+                object: c.object.clone(),
+                reason,
+            });
+        }
+    }
+    DapReport { variant, violations, contending_pairs: contentions.len() }
+}
+
+/// Check strict disjoint-access-parallelism of an execution.
+pub fn check_strict_dap(execution: &Execution, scenario: &Scenario) -> DapReport {
+    check(execution, scenario, DapVariant::Strict)
+}
+
+/// Check the conflict-graph variant of DAP.
+pub fn check_conflict_graph_dap(execution: &Execution, scenario: &Scenario) -> DapReport {
+    check(execution, scenario, DapVariant::ConflictGraph)
+}
+
+/// Check feeble DAP.
+pub fn check_feeble_dap(execution: &Execution, scenario: &Scenario) -> DapReport {
+    check(execution, scenario, DapVariant::Feeble)
+}
+
+/// Sanity helper used by tests and the theorem driver: the data-set conflict relation
+/// itself (true iff the pair is allowed to contend under strict DAP).
+pub fn may_contend_strict(scenario: &Scenario, a: TxId, b: TxId) -> bool {
+    !shared_items(scenario, a, b).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::history::TmEvent;
+    use tm_model::primitive::{PrimResponse, Primitive};
+    use tm_model::step::{Event, MemStep};
+    use tm_model::{ObjId, ProcId, Word};
+
+    fn mem(proc: usize, tx: usize, obj: &str, write: bool) -> Event {
+        Event::Mem(MemStep {
+            proc: ProcId(proc),
+            tx: TxId(tx),
+            obj: ObjId(0),
+            obj_name: obj.into(),
+            prim: if write { Primitive::Write(Word::Int(1)) } else { Primitive::Read },
+            resp: if write { PrimResponse::Ack } else { PrimResponse::Value(Word::Int(0)) },
+        })
+    }
+    fn begin(proc: usize, tx: usize) -> Vec<Event> {
+        vec![
+            Event::Tm { proc: ProcId(proc), event: TmEvent::InvBegin { tx: TxId(tx) } },
+            Event::Tm { proc: ProcId(proc), event: TmEvent::RespBegin { tx: TxId(tx) } },
+        ]
+    }
+    fn commit(proc: usize, tx: usize) -> Vec<Event> {
+        vec![
+            Event::Tm { proc: ProcId(proc), event: TmEvent::InvCommit { tx: TxId(tx) } },
+            Event::Tm {
+                proc: ProcId(proc),
+                event: TmEvent::RespCommit { tx: TxId(tx), committed: true },
+            },
+        ]
+    }
+
+    /// Scenario: T1 writes x; T2 writes y; T3 accesses both x and y.
+    fn scenario() -> Scenario {
+        Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("y", 2))
+            .tx(2, "T3", |t| t.read("x").read("y"))
+            .build()
+    }
+
+    #[test]
+    fn disjoint_transactions_contending_on_a_global_object_violate_strict_dap() {
+        // T1 and T2 have disjoint data sets but both CAS a global clock.
+        let s = scenario();
+        let mut events = begin(0, 0);
+        events.push(mem(0, 0, "global-clock", true));
+        events.push(mem(0, 0, "val:x", true));
+        events.extend(commit(0, 0));
+        events.extend(begin(1, 1));
+        events.push(mem(1, 1, "global-clock", true));
+        events.push(mem(1, 1, "val:y", true));
+        events.extend(commit(1, 1));
+        let e = Execution::from_events(events);
+        let report = check_strict_dap(&e, &s);
+        assert!(!report.satisfied());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].object, "global-clock");
+        assert!(report.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn per_item_metadata_only_satisfies_strict_dap() {
+        let s = scenario();
+        let mut events = begin(0, 0);
+        events.push(mem(0, 0, "val:x", true));
+        events.extend(commit(0, 0));
+        events.extend(begin(1, 1));
+        events.push(mem(1, 1, "val:y", true));
+        events.extend(commit(1, 1));
+        events.extend(begin(2, 2));
+        events.push(mem(2, 2, "val:x", false));
+        events.push(mem(2, 2, "val:y", false));
+        events.extend(commit(2, 2));
+        let e = Execution::from_events(events);
+        let report = check_strict_dap(&e, &s);
+        assert!(report.satisfied(), "{report}");
+        // T3 conflicts with both writers, so its (trivial-only) accesses are fine, and
+        // the contending pairs are exactly the conflicting ones.
+        assert_eq!(report.contending_pairs, 2);
+        assert!(report.to_string().contains("satisfied"));
+    }
+
+    #[test]
+    fn conflict_graph_variant_allows_contention_along_a_path() {
+        // T1 (writes x) and T2 (writes y) contend on an object, which strict DAP
+        // forbids; but T3 (accessing x and y) overlaps both, forming a path
+        // T1 – T3 – T2, so the conflict-graph variant allows it.
+        let s = scenario();
+        let mut events = begin(0, 0);
+        events.extend(begin(1, 1));
+        events.extend(begin(2, 2)); // T3 overlaps both
+        events.push(mem(0, 0, "shared-meta", true));
+        events.push(mem(1, 1, "shared-meta", true));
+        events.push(mem(2, 2, "val:x", false));
+        events.push(mem(2, 2, "val:y", false));
+        events.extend(commit(0, 0));
+        events.extend(commit(1, 1));
+        events.extend(commit(2, 2));
+        let e = Execution::from_events(events);
+        assert!(!check_strict_dap(&e, &s).satisfied());
+        assert!(check_conflict_graph_dap(&e, &s).satisfied());
+        assert!(check_feeble_dap(&e, &s).satisfied());
+    }
+
+    #[test]
+    fn feeble_variant_additionally_tolerates_non_concurrent_contention() {
+        // T1 completes entirely before T2 begins; they contend on a metadata object
+        // and there is no path (T3 never runs).  Conflict-graph DAP rejects it,
+        // feeble DAP accepts it because the transactions are not concurrent.
+        let s = scenario();
+        let mut events = begin(0, 0);
+        events.push(mem(0, 0, "meta", true));
+        events.extend(commit(0, 0));
+        events.extend(begin(1, 1));
+        events.push(mem(1, 1, "meta", true));
+        events.extend(commit(1, 1));
+        let e = Execution::from_events(events);
+        assert!(!check_strict_dap(&e, &s).satisfied());
+        assert!(!check_conflict_graph_dap(&e, &s).satisfied());
+        assert!(check_feeble_dap(&e, &s).satisfied());
+    }
+
+    #[test]
+    fn may_contend_strict_follows_data_sets() {
+        let s = scenario();
+        assert!(!may_contend_strict(&s, TxId(0), TxId(1)));
+        assert!(may_contend_strict(&s, TxId(0), TxId(2)));
+        assert!(may_contend_strict(&s, TxId(1), TxId(2)));
+    }
+
+    #[test]
+    fn empty_execution_satisfies_everything() {
+        let s = scenario();
+        let e = Execution::new();
+        assert!(check_strict_dap(&e, &s).satisfied());
+        assert!(check_conflict_graph_dap(&e, &s).satisfied());
+        assert!(check_feeble_dap(&e, &s).satisfied());
+    }
+
+    #[test]
+    fn variant_display_names_are_distinct() {
+        assert_ne!(DapVariant::Strict.to_string(), DapVariant::Feeble.to_string());
+        assert!(DapVariant::ConflictGraph.to_string().contains("conflict-graph"));
+    }
+}

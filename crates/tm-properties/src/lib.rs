@@ -1,0 +1,33 @@
+//! # tm-properties — parallelism and liveness analyses for TM executions
+//!
+//! The PCL theorem is a statement about three properties.  `tm-consistency` covers
+//! the **C**; this crate covers the other two:
+//!
+//! * **P — disjoint-access-parallelism** ([`conflict`], [`contention`], [`dap`]):
+//!   structural predicates on recorded executions.  Strict DAP (the paper's
+//!   definition) says two transactions may contend on a base object only if their
+//!   data sets intersect; the weaker conflict-graph and feeble variants from the
+//!   related-work section are provided as well, because the paper's positioning of
+//!   real systems (DSTM, OSTM, SI-STM) depends on them.
+//! * **L — liveness** ([`liveness`]): empirical probes built on the deterministic
+//!   simulator.  The liveness the theorem needs is deliberately weak — *"transactions
+//!   eventually commit if they run solo"* — and the probes test exactly that: every
+//!   transaction run solo from the initial configuration, and run solo after any
+//!   prefix of any other transaction has been paused mid-flight, must commit within a
+//!   bounded number of steps.  Blocking designs (TL) fail the paused-writer probe;
+//!   obstruction-free designs pass it.
+//!
+//! All analyses return structured reports with per-pair witnesses so the theorem
+//! driver can print exactly *which* base object two disjoint transactions contended
+//! on, or *which* paused transaction starves which victim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conflict;
+pub mod contention;
+pub mod dap;
+pub mod liveness;
+
+pub use dap::{check_strict_dap, DapReport, DapVariant, DapViolation};
+pub use liveness::{probe_obstruction_freedom, LivenessReport, LivenessViolation};

@@ -1,0 +1,336 @@
+//! Liveness probes: "transactions eventually commit if they run solo".
+//!
+//! The PCL theorem uses a deliberately weak liveness property — obstruction-freedom
+//! restricted to the guarantee that a transaction running **solo** (no other process
+//! takes steps during its execution interval) eventually commits.  Two situations
+//! exercise it:
+//!
+//! 1. a transaction running solo from the **initial configuration**, and
+//! 2. a transaction running solo from a configuration in which some *other*
+//!    transaction has been **paused mid-flight** after an arbitrary prefix of its
+//!    steps (this is where lock-based designs fail: the paused transaction may hold a
+//!    lock forever, and the solo victim spins).
+//!
+//! [`probe_obstruction_freedom`] replays exactly these situations with the
+//! deterministic simulator and reports every victim that aborts or fails to finish
+//! within the step budget.  The probes assume the scenario assigns one transaction per
+//! process (true for every scenario in this reproduction); for processes with several
+//! transactions only the first is probed.
+
+use std::fmt;
+use tm_model::prelude::*;
+
+/// Configuration of the liveness probes.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeConfig {
+    /// Step budget granted to a solo run before declaring it blocked.
+    pub step_limit: usize,
+    /// Upper bound on the number of prefix lengths probed per blocker (prefixes are
+    /// probed exhaustively up to the blocker's solo length, capped by this bound).
+    pub max_prefix: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig { step_limit: 2_000, max_prefix: 200 }
+    }
+}
+
+/// One liveness violation found by the probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessViolation {
+    /// The transaction that ran solo and failed to commit.
+    pub victim: TxId,
+    /// The transaction that was paused mid-flight beforehand (`None` for the
+    /// from-initial-configuration probe).
+    pub blocker: Option<TxId>,
+    /// How many steps of the blocker had been executed before it was paused.
+    pub prefix_steps: usize,
+    /// What happened to the victim.
+    pub outcome: TxOutcome,
+    /// Whether the victim hit the step budget (the signature of spinning on a lock).
+    pub limit_hit: bool,
+}
+
+impl fmt::Display for LivenessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.blocker {
+            Some(b) => write!(
+                f,
+                "{} run solo after {} was paused at step {} ended as `{}`{}",
+                self.victim,
+                b,
+                self.prefix_steps,
+                self.outcome,
+                if self.limit_hit { " (step budget exhausted — blocked)" } else { "" }
+            ),
+            None => write!(
+                f,
+                "{} run solo from the initial configuration ended as `{}`{}",
+                self.victim,
+                self.outcome,
+                if self.limit_hit { " (step budget exhausted — blocked)" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Result of the liveness probes for one algorithm on one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessReport {
+    /// Every violation found.
+    pub violations: Vec<LivenessViolation>,
+    /// Number of individual solo runs performed.
+    pub probes_run: usize,
+}
+
+impl LivenessReport {
+    /// `true` iff every probed solo run committed — the algorithm behaves
+    /// obstruction-free (for the probed scenario).
+    pub fn satisfied(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for LivenessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.satisfied() {
+            write!(f, "obstruction-freedom probe: satisfied ({} solo runs)", self.probes_run)
+        } else {
+            writeln!(
+                f,
+                "obstruction-freedom probe: VIOLATED ({} of {} solo runs failed)",
+                self.violations.len(),
+                self.probes_run
+            )?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The first transaction of each process (the probed transactions).
+fn first_tx_per_process(scenario: &Scenario) -> Vec<TxSpec> {
+    (0..scenario.n_procs)
+        .filter_map(|p| scenario.txs_of(ProcId(p)).first().map(|t| (*t).clone()))
+        .collect()
+}
+
+/// Count the steps a transaction takes when run solo to completion from the initial
+/// configuration (used to bound the prefix enumeration).
+fn solo_length(algo: &dyn TmAlgorithm, scenario: &Scenario, spec: &TxSpec, limit: usize) -> usize {
+    let sim = Simulator::new(algo, scenario).with_step_limit(limit);
+    let out = sim.run(&Schedule::from_directives(vec![Directive::RunUntilTxDone(spec.proc)]));
+    out.reports.first().map(|r| r.steps_taken).unwrap_or(0)
+}
+
+/// Run the obstruction-freedom probes for an algorithm on a scenario.
+pub fn probe_obstruction_freedom(
+    algo: &dyn TmAlgorithm,
+    scenario: &Scenario,
+    config: ProbeConfig,
+) -> LivenessReport {
+    let mut report = LivenessReport::default();
+    let probed = first_tx_per_process(scenario);
+
+    // Probe 1: every transaction solo from the initial configuration.
+    for victim in &probed {
+        let sim = Simulator::new(algo, scenario).with_step_limit(config.step_limit);
+        let out =
+            sim.run(&Schedule::from_directives(vec![Directive::RunUntilTxDone(victim.proc)]));
+        report.probes_run += 1;
+        let outcome = out.outcome_of(victim.id);
+        if outcome != TxOutcome::Committed {
+            report.violations.push(LivenessViolation {
+                victim: victim.id,
+                blocker: None,
+                prefix_steps: 0,
+                outcome,
+                limit_hit: out.any_limit_hit(),
+            });
+        }
+    }
+
+    // Probe 2: every transaction solo after every prefix of every other transaction.
+    for blocker in &probed {
+        let blocker_len =
+            solo_length(algo, scenario, blocker, config.step_limit).min(config.max_prefix);
+        for prefix in 1..=blocker_len {
+            for victim in &probed {
+                if victim.id == blocker.id {
+                    continue;
+                }
+                let sim = Simulator::new(algo, scenario).with_step_limit(config.step_limit);
+                let out = sim.run(&Schedule::from_directives(vec![
+                    Directive::Steps(blocker.proc, prefix),
+                    Directive::RunUntilTxDone(victim.proc),
+                ]));
+                report.probes_run += 1;
+                let outcome = out.outcome_of(victim.id);
+                let limit_hit = out.reports.get(1).map(|r| r.limit_hit).unwrap_or(false);
+                if outcome != TxOutcome::Committed {
+                    report.violations.push(LivenessViolation {
+                        victim: victim.id,
+                        blocker: Some(blocker.id),
+                        prefix_steps: prefix,
+                        outcome,
+                        limit_hit,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// A cruder global-progress probe: run every transaction under a round-robin schedule
+/// and report the transactions that did not complete within the step budget.  Useful
+/// for contrasting blocking and non-blocking designs under contention; it is *not* a
+/// lock-freedom decision procedure.
+pub fn probe_round_robin_progress(
+    algo: &dyn TmAlgorithm,
+    scenario: &Scenario,
+    max_steps: usize,
+) -> Vec<TxId> {
+    let sim = Simulator::new(algo, scenario).with_step_limit(max_steps);
+    let out = sim.run(&Schedule::round_robin(max_steps));
+    scenario
+        .txs
+        .iter()
+        .filter(|t| out.outcome_of(t.id) == TxOutcome::Unfinished)
+        .map(|t| t.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::algorithm::{TxLogic, TxResult};
+    use tm_model::{DataItem, Word};
+
+    /// Unsynchronized single-register algorithm: trivially obstruction-free.
+    struct Naive;
+    struct NaiveTx;
+    impl TmAlgorithm for Naive {
+        fn name(&self) -> &'static str {
+            "naive"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(NaiveTx)
+        }
+    }
+    impl TxLogic for NaiveTx {
+        fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            Ok(ctx.read_obj(obj).expect_int())
+        }
+        fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            ctx.write_obj(obj, Word::Int(value));
+            Ok(())
+        }
+        fn commit(&mut self, _ctx: &mut dyn TxCtx) -> TxResult<()> {
+            Ok(())
+        }
+    }
+
+    /// A single global lock acquired at begin and released at commit: blocking.
+    struct GlobalLock;
+    struct GlobalLockTx {
+        holding: bool,
+    }
+    impl TmAlgorithm for GlobalLock {
+        fn name(&self) -> &'static str {
+            "global-lock"
+        }
+        fn new_tx(&self, _tx: TxId, _proc: ProcId, _spec: &TxSpec) -> Box<dyn TxLogic> {
+            Box::new(GlobalLockTx { holding: false })
+        }
+    }
+    impl TxLogic for GlobalLockTx {
+        fn begin(&mut self, ctx: &mut dyn TxCtx) {
+            let lock = ctx.obj("global-lock", Word::Int(0));
+            while !ctx.cas_obj(lock, Word::Int(0), Word::Int(1)) {}
+            self.holding = true;
+        }
+        fn read(&mut self, ctx: &mut dyn TxCtx, item: &DataItem) -> TxResult<i64> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            Ok(ctx.read_obj(obj).expect_int())
+        }
+        fn write(&mut self, ctx: &mut dyn TxCtx, item: &DataItem, value: i64) -> TxResult<()> {
+            let obj = ctx.obj(&format!("val:{item}"), Word::Int(0));
+            ctx.write_obj(obj, Word::Int(value));
+            Ok(())
+        }
+        fn commit(&mut self, ctx: &mut dyn TxCtx) -> TxResult<()> {
+            let lock = ctx.obj("global-lock", Word::Int(0));
+            ctx.write_obj(lock, Word::Int(0));
+            self.holding = false;
+            Ok(())
+        }
+    }
+
+    fn two_disjoint_writers() -> Scenario {
+        Scenario::builder()
+            .tx(0, "T1", |t| t.write("x", 1))
+            .tx(1, "T2", |t| t.write("y", 2))
+            .build()
+    }
+
+    #[test]
+    fn unsynchronized_algorithm_passes_all_probes() {
+        let scenario = two_disjoint_writers();
+        let report =
+            probe_obstruction_freedom(&Naive, &scenario, ProbeConfig::default());
+        assert!(report.satisfied(), "{report}");
+        assert!(report.probes_run >= 2);
+        assert!(report.to_string().contains("satisfied"));
+    }
+
+    #[test]
+    fn global_lock_algorithm_fails_the_paused_writer_probe() {
+        let scenario = two_disjoint_writers();
+        let config = ProbeConfig { step_limit: 100, max_prefix: 10 };
+        let report = probe_obstruction_freedom(&GlobalLock, &scenario, config);
+        assert!(!report.satisfied(), "{report}");
+        // The violation must be a blocked victim (step budget exhausted), with the
+        // blocker identified.
+        assert!(report.violations.iter().any(|v| v.blocker.is_some() && v.limit_hit));
+        assert!(report.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn global_lock_algorithm_still_passes_the_solo_probe() {
+        // From the initial configuration the lock is free, so solo runs commit.
+        let scenario = two_disjoint_writers();
+        let config = ProbeConfig { step_limit: 100, max_prefix: 10 };
+        let report = probe_obstruction_freedom(&GlobalLock, &scenario, config);
+        assert!(report.violations.iter().all(|v| v.blocker.is_some()));
+    }
+
+    #[test]
+    fn round_robin_progress_distinguishes_blocking_from_nonblocking() {
+        let scenario = two_disjoint_writers();
+        assert!(probe_round_robin_progress(&Naive, &scenario, 1_000).is_empty());
+        // Even the blocking design eventually completes under round robin (the lock
+        // holder keeps getting scheduled), so this probe alone cannot condemn it.
+        assert!(probe_round_robin_progress(&GlobalLock, &scenario, 1_000).is_empty());
+    }
+
+    #[test]
+    fn violation_display_mentions_the_blocker() {
+        let v = LivenessViolation {
+            victim: TxId(1),
+            blocker: Some(TxId(0)),
+            prefix_steps: 3,
+            outcome: TxOutcome::Unfinished,
+            limit_hit: true,
+        };
+        let text = v.to_string();
+        assert!(text.contains("T2"));
+        assert!(text.contains("T1"));
+        assert!(text.contains("blocked"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # workloads — workload generators and a multi-threaded runner for the STM runtime
+//!
+//! The PCL paper has no performance evaluation (it is an impossibility result), but
+//! its discussion section is all about the *practical* trade-off the theorem
+//! formalizes: what do you buy by giving up strict disjoint-access-parallelism, or
+//! consistency, or non-blocking liveness?  This crate supplies the workloads the
+//! benchmark harness uses to put numbers on that trade-off:
+//!
+//! * [`bank`] — transfer transactions over an account array, with a configurable
+//!   fraction of cross-partition (conflicting) transfers and a total-balance
+//!   invariant that doubles as a consistency smoke test;
+//! * [`zipf`] — a Zipfian index sampler for hotspot contention experiments;
+//! * [`runner`] — a thread-pool runner that executes a fixed number of transactions
+//!   per thread against a chosen backend and reports throughput, abort counts and the
+//!   stalled-writer liveness experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod runner;
+pub mod zipf;
+
+pub use bank::{Bank, BankConfig};
+pub use runner::{run_threads, stalled_writer_experiment, RunConfig, RunReport};
+pub use zipf::Zipf;

@@ -1,0 +1,91 @@
+//! A small Zipfian sampler (no external distribution crate needed).
+//!
+//! Used by the contention benchmarks: with exponent `theta` close to 1 most accesses
+//! hit a handful of hot variables, which is the regime where the different STM
+//! backends separate most clearly.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler.  `theta = 0.0` is uniform; `theta ≈ 0.99` is heavily skewed.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Number of elements in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample an index in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range_and_cover_the_domain() {
+        let z = Zipf::new(16, 0.9);
+        assert_eq!(z.len(), 16);
+        assert!(!z.is_empty());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = vec![0usize; 16];
+        for _ in 0..5_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 16);
+            seen[i] += 1;
+        }
+        assert!(seen[0] > 0);
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let uniform = Zipf::new(64, 0.0);
+        let skewed = Zipf::new(64, 0.99);
+        let count_hot = |z: &Zipf, rng: &mut StdRng| {
+            (0..10_000).filter(|_| z.sample(rng) == 0).count()
+        };
+        let hot_uniform = count_hot(&uniform, &mut rng);
+        let hot_skewed = count_hot(&skewed, &mut rng);
+        assert!(hot_skewed > hot_uniform * 3, "{hot_skewed} vs {hot_uniform}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_is_rejected() {
+        Zipf::new(0, 0.5);
+    }
+}

@@ -1,0 +1,26 @@
+//! The headline table of the reproduction: for every simulated TM algorithm, which of
+//! Parallelism (strict disjoint-access-parallelism), Consistency (weak adaptive
+//! consistency) and Liveness (solo-commit / obstruction-freedom) does it sacrifice?
+//!
+//! Theorem 4.1 (the PCL theorem) says no row can have three check marks.
+//!
+//! Run with: `cargo run --example tradeoff_explorer`
+
+use pcl_theorem::theorem_table;
+
+fn main() {
+    println!("The PCL theorem, empirically: every TM design gives up at least one corner.\n");
+    let table = theorem_table();
+    for verdict in &table {
+        println!("{}", verdict.summary());
+    }
+    println!();
+    for verdict in &table {
+        println!("{verdict}");
+    }
+    assert!(
+        table.iter().all(|v| v.respects_pcl_theorem()),
+        "some algorithm appears to satisfy P, C and L simultaneously — impossible"
+    );
+    println!("As predicted, no algorithm holds all three properties simultaneously.");
+}

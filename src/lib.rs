@@ -1,0 +1,15 @@
+//! # pcl-tm — facade crate for the PCL theorem reproduction
+//!
+//! Re-exports every crate of the workspace under one roof so that examples,
+//! integration tests and downstream users can depend on a single package.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction index.
+
+pub use pcl_theorem as theorem;
+pub use stm_runtime as stm;
+pub use tm_algorithms as algorithms;
+pub use tm_consistency as consistency;
+pub use tm_model as model;
+pub use tm_properties as properties;
+pub use workloads;

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) for the core invariants of the model and of the
+//! consistency hierarchy, plus cross-crate sanity checks on randomized schedules.
+
+use proptest::prelude::*;
+use pcl_tm::algorithms::{all_algorithms, OfDapCandidate, TransactionalLocking};
+use pcl_tm::consistency::{
+    pram::check_pram, processor::check_processor_consistency,
+    serializability::check_serializability, serializability::check_strict_serializability,
+    snapshot_isolation::check_snapshot_isolation, weak_adaptive::check_weak_adaptive,
+};
+use pcl_tm::model::prelude::*;
+use pcl_tm::properties::dap::check_strict_dap;
+
+/// Build a small random scenario: `n_procs` processes, one transaction each, every
+/// transaction reading and writing a couple of items drawn from a tiny namespace.
+fn arb_scenario(n_procs: usize, n_items: usize) -> impl Strategy<Value = Scenario> {
+    let item = move || (0..n_items).prop_map(|i| format!("x{i}"));
+    let op = move || {
+        prop_oneof![
+            item().prop_map(|i| ("r".to_string(), i, 0i64)),
+            (item(), 1..100i64).prop_map(|(i, v)| ("w".to_string(), i, v)),
+        ]
+    };
+    proptest::collection::vec(proptest::collection::vec(op(), 1..4), n_procs..=n_procs).prop_map(
+        move |per_proc| {
+            let mut builder = Scenario::builder();
+            for (p, ops) in per_proc.into_iter().enumerate() {
+                builder = builder.tx(p, format!("T{}", p + 1), |mut t| {
+                    for (kind, item, value) in &ops {
+                        if kind == "r" {
+                            t = t.read(item.as_str());
+                        } else {
+                            t = t.write(item.as_str(), *value);
+                        }
+                    }
+                    t
+                });
+            }
+            builder.build()
+        },
+    )
+}
+
+/// A random schedule interleaving single steps of each process, ending with everyone
+/// running to completion.
+fn arb_schedule(n_procs: usize) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(0..n_procs, 0..30).prop_map(move |steps| {
+        let mut schedule = Schedule::new();
+        for p in steps {
+            schedule.push(Directive::Step(ProcId(p)));
+        }
+        for p in 0..n_procs {
+            schedule.push(Directive::RunUntilTxDone(ProcId(p)));
+        }
+        schedule
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The simulator is deterministic: the same (algorithm, scenario, schedule)
+    /// triple always produces the same execution.
+    #[test]
+    fn simulator_is_deterministic(scenario in arb_scenario(3, 4), schedule in arb_schedule(3)) {
+        let algo = OfDapCandidate::new();
+        let sim = Simulator::new(&algo, &scenario).with_step_limit(2_000);
+        let a = sim.run(&schedule);
+        let b = sim.run(&schedule);
+        prop_assert_eq!(a.execution, b.execution);
+    }
+
+    /// Histories recorded by the simulator are always well-formed, and the
+    /// consistency hierarchy is respected on every execution we can produce:
+    /// strict serializability ⇒ serializability, and
+    /// snapshot isolation ∨ processor consistency ⇒ weak adaptive consistency,
+    /// and processor consistency ⇒ PRAM.
+    #[test]
+    fn hierarchy_holds_on_random_executions(
+        scenario in arb_scenario(3, 3),
+        schedule in arb_schedule(3),
+    ) {
+        let algo = OfDapCandidate::new();
+        let sim = Simulator::new(&algo, &scenario).with_step_limit(2_000);
+        let out = sim.run(&schedule);
+        let exec = &out.execution;
+        prop_assert!(exec.history().is_well_formed());
+
+        let strict = check_strict_serializability(exec).satisfied;
+        let ser = check_serializability(exec).satisfied;
+        let si = check_snapshot_isolation(exec).satisfied;
+        let pc = check_processor_consistency(exec).satisfied;
+        let pram = check_pram(exec).satisfied;
+        let wac = check_weak_adaptive(exec).satisfied;
+
+        prop_assert!(!strict || ser, "strict serializability must imply serializability");
+        prop_assert!(!pc || pram, "processor consistency must imply PRAM");
+        prop_assert!(!(si || pc) || wac, "SI or PC must imply weak adaptive consistency");
+    }
+
+    /// The OF-DAP candidate never touches anything but per-item registers, so strict
+    /// DAP holds on every schedule; and every transaction eventually commits.
+    #[test]
+    fn ofdap_candidate_is_always_strictly_dap_and_commits(
+        scenario in arb_scenario(3, 4),
+        schedule in arb_schedule(3),
+    ) {
+        let algo = OfDapCandidate::new();
+        let sim = Simulator::new(&algo, &scenario).with_step_limit(2_000);
+        let out = sim.run(&schedule);
+        prop_assert!(out.all_committed());
+        prop_assert!(check_strict_dap(&out.execution, &scenario).satisfied());
+    }
+
+    /// The lock-based algorithm keeps strict DAP and strict serializability on every
+    /// schedule in which all transactions manage to complete.
+    #[test]
+    fn tl_is_strictly_serializable_whenever_it_completes(
+        scenario in arb_scenario(3, 3),
+        schedule in arb_schedule(3),
+    ) {
+        let algo = TransactionalLocking::new();
+        let sim = Simulator::new(&algo, &scenario).with_step_limit(4_000);
+        let out = sim.run(&schedule);
+        prop_assert!(check_strict_dap(&out.execution, &scenario).satisfied());
+        if out.all_committed() {
+            prop_assert!(check_strict_serializability(&out.execution).satisfied);
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_commits_the_paper_scenario_when_run_sequentially() {
+    let scenario = pcl_tm::theorem::pcl_scenario();
+    for algo in all_algorithms() {
+        let sim = Simulator::new(algo.as_ref(), &scenario).with_step_limit(5_000);
+        let out = sim.run(&Schedule::solo_sequence(&scenario));
+        assert!(out.all_committed(), "{} failed the sequential run", algo.name());
+        assert!(out.execution.history().is_well_formed());
+    }
+}
+
+#[test]
+fn real_stm_backends_agree_with_their_simulated_counterparts_on_the_bank_invariant() {
+    use pcl_tm::stm::{BackendKind, Stm};
+    for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+        let stm = Stm::new(kind);
+        let a = stm.alloc(50);
+        let b = stm.alloc(50);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..250 {
+                        stm.run(|tx| {
+                            let va = tx.read(a)?;
+                            if va > 0 {
+                                tx.write(a, va - 1)?;
+                                let vb = tx.read(b)?;
+                                tx.write(b, vb + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.read_now(a) + stm.read_now(b), 100, "{kind:?}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests: the claims of the PCL proof, checked end-to-end
+//! against the concrete algorithms (simulator → construction → checkers).
+
+use pcl_tm::algorithms::{all_algorithms, Dstm, OfDapCandidate, SiStm, TransactionalLocking};
+use pcl_tm::consistency::weak_adaptive::check_weak_adaptive;
+use pcl_tm::properties::dap::check_strict_dap;
+use pcl_tm::theorem::figures;
+use pcl_tm::theorem::transactions::tx;
+use pcl_tm::theorem::{theorem_table, Construction};
+
+#[test]
+fn claims_1_to_3_hold_for_the_ofdap_candidate() {
+    let algo = OfDapCandidate::new();
+    let report = Construction::new(&algo).build();
+    let s1 = report.s1.as_ref().expect("s1 exists");
+    let s2 = report.s2.as_ref().expect("s2 exists");
+
+    // Claim 2: s1 applies a non-trivial primitive on a base object the observer reads.
+    assert!(s1.step.is_nontrivial());
+    assert!(s2.step.is_nontrivial());
+
+    // Claim 3: o1 ≠ o2.
+    assert_ne!(s1.object(), s2.object());
+
+    // Claim 1 (T1 invokes commit in α1): T1 is commit-pending in β (it never receives
+    // a response because s1 is the only further step it takes).
+    let beta = report.beta.as_ref().unwrap();
+    let history = beta.execution.history();
+    let status = history.status(tx::T1);
+    assert!(
+        matches!(
+            status,
+            pcl_tm::model::TxStatus::CommitPending | pcl_tm::model::TxStatus::Committed
+        ),
+        "T1 must at least have invoked commit in β, found {status:?}"
+    );
+}
+
+#[test]
+fn beta_and_beta_prime_are_indistinguishable_to_p7_yet_inconsistent_for_the_candidate() {
+    let algo = OfDapCandidate::new();
+    let report = Construction::new(&algo).build();
+    assert_eq!(report.p7_indistinguishable, Some(true));
+
+    // The candidate keeps strict DAP on both executions …
+    let beta = report.beta.as_ref().unwrap();
+    let beta_prime = report.beta_prime.as_ref().unwrap();
+    assert!(check_strict_dap(&beta.execution, &report.scenario).satisfied());
+    assert!(check_strict_dap(&beta_prime.execution, &report.scenario).satisfied());
+
+    // … and therefore (PCL theorem) must violate weak adaptive consistency somewhere:
+    // β is the witness.
+    let wac_beta = check_weak_adaptive(&beta.execution);
+    assert!(!wac_beta.satisfied, "{wac_beta:?}");
+}
+
+#[test]
+fn t7_deviates_from_the_wac_forced_values_exactly_as_the_proof_predicts() {
+    let algo = OfDapCandidate::new();
+    let report = Construction::new(&algo).build();
+    let (beta_dev, _) = figures::t7_deviations(&report);
+    assert!(!beta_dev.is_empty());
+    // The paper forces T7 to read c1 = 1 and c2 = 2 in β under WAC; the candidate's
+    // item-by-item publication cannot deliver both.
+    assert!(beta_dev.iter().any(|d| d.contains("c1") || d.contains("c2")));
+}
+
+#[test]
+fn the_lock_based_design_is_the_liveness_counterexample() {
+    let algo = TransactionalLocking::new();
+    let report = Construction::new(&algo).with_step_limit(300).build();
+    assert!(report.obstacles.iter().any(|o| o.to_string().contains("blocked")));
+}
+
+#[test]
+fn the_global_clock_design_is_the_parallelism_counterexample() {
+    let algo = SiStm::new();
+    let report = Construction::new(&algo).build();
+    let beta = report.beta.as_ref().expect("β assembled");
+    let dap = check_strict_dap(&beta.execution, &report.scenario);
+    assert!(!dap.satisfied());
+    assert!(dap.violations.iter().any(|v| v.object.contains("clock")));
+}
+
+#[test]
+fn dstm_trades_strict_dap_for_consistency_and_liveness() {
+    let algo = Dstm::new();
+    let report = Construction::new(&algo).build();
+    let beta = report.beta.as_ref().expect("β assembled");
+    let dap = check_strict_dap(&beta.execution, &report.scenario);
+    // Readers resolve values through owners' status words, so two disjoint
+    // transactions end up contending on a status object somewhere in β.
+    assert!(!dap.satisfied(), "{dap}");
+    assert!(dap.violations.iter().any(|v| v.object.starts_with("status:")));
+}
+
+#[test]
+fn the_verdict_table_respects_the_theorem_for_every_algorithm() {
+    let table = theorem_table();
+    assert_eq!(table.len(), all_algorithms().len());
+    for verdict in &table {
+        assert!(verdict.respects_pcl_theorem(), "{verdict}");
+        assert!(verdict.properties_held() >= 1, "{verdict}");
+    }
+    // And the specific corners the paper names are occupied as expected.
+    let by_name = |name: &str| table.iter().find(|v| v.algorithm == name).unwrap();
+    assert!(!by_name("of-dap-candidate").consistency.holds);
+    assert!(!by_name("tl-locking").liveness.holds);
+    assert!(!by_name("si-stm").parallelism.holds);
+    assert!(!by_name("pram-tm").consistency.holds);
+}
