@@ -1,0 +1,64 @@
+//! Checker-throughput benchmarks for the `tm-audit` subsystem.
+//!
+//! Two questions matter for auditing production-scale runs:
+//!
+//! * **AUDIT1 — recording overhead**: commits/second of the register workload
+//!   with the recorder attached vs. detached, per backend.  The recorder is a
+//!   per-commit mutex push on an uncontended per-session buffer; the detached
+//!   hot path is a never-taken branch.
+//! * **AUDIT2 — checking throughput**: transactions/second each checker
+//!   level sustains on recorded histories (the polynomial saturation levels
+//!   and the SER search with its recording-order fast path).
+//!
+//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2.
+
+use bench::harness::{bench, bench_throughput, black_box};
+use stm_runtime::BackendKind;
+use tm_audit::linearization::{search_serializable, Search, DEFAULT_STATE_BUDGET};
+use tm_audit::po::TxnPartialOrder;
+use tm_audit::saturation::{check_causal, check_read_atomic, check_read_committed};
+use tm_audit::{record_run, run_unrecorded, AuditRunConfig};
+
+const SAMPLES: usize = 5;
+
+fn recording_overhead() {
+    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+    {
+        let config =
+            AuditRunConfig { backend, sessions: 4, txns_per_session: 2_000, vars: 64, seed: 7 };
+        bench(&format!("audit1-recording/{backend}/detached"), SAMPLES, || {
+            black_box(run_unrecorded(config))
+        });
+        bench(&format!("audit1-recording/{backend}/recorded"), SAMPLES, || {
+            black_box(record_run(config).txn_count())
+        });
+    }
+}
+
+fn checker_throughput() {
+    let config = AuditRunConfig {
+        backend: BackendKind::Tl2Blocking,
+        sessions: 4,
+        txns_per_session: 2_500,
+        vars: 64,
+        seed: 7,
+    };
+    let history = record_run(config);
+    let txns = history.txn_count() as u64;
+    let po = TxnPartialOrder::build(&history).expect("recorded run obeys the contract");
+    bench_throughput("audit2-checkers/read-committed", txns, || check_read_committed(&po).is_ok());
+    bench_throughput("audit2-checkers/read-atomic", txns, || check_read_atomic(&po).is_ok());
+    bench_throughput("audit2-checkers/causal-saturation", txns, || check_causal(&po).is_ok());
+    let sat = check_causal(&po).expect("TL2 histories are causal");
+    bench_throughput("audit2-checkers/serializability-search", txns, || {
+        matches!(
+            search_serializable(&po, &sat, history.n_vars, DEFAULT_STATE_BUDGET),
+            Search::Order(_)
+        )
+    });
+}
+
+fn main() {
+    recording_overhead();
+    checker_throughput();
+}

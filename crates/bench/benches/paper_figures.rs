@@ -2,112 +2,85 @@
 //!
 //! The PCL paper's "evaluation" is its adversarial construction: Figures 1/2 define
 //! the critical steps `s1`/`s2`, Figures 3/4 the executions β/β′, and Figures 5/6
-//! tabulate what every transaction reads there.  Each Criterion benchmark below
-//! rebuilds exactly one of those artifacts against the OF-DAP candidate (the
-//! algorithm the theorem is aimed at) and prints the regenerated figure once, so
-//! running `cargo bench --bench paper_figures` reproduces the paper's tables/figures
-//! and reports how long the mechanized construction takes.
+//! tabulate what every transaction reads there.  Each benchmark below rebuilds
+//! exactly one of those artifacts against the OF-DAP candidate (the algorithm the
+//! theorem is aimed at) and prints the regenerated figure once, so running
+//! `cargo bench --bench paper_figures` reproduces the paper's tables/figures and
+//! reports how long the mechanized construction takes.
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): FIG1–FIG6, THM.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{bench, black_box};
 use pcl_theorem::figures;
 use pcl_theorem::{theorem_table, Construction};
-use std::sync::Once;
-use std::time::Duration;
 use tm_algorithms::OfDapCandidate;
 
-static PRINT_ONCE: Once = Once::new();
+const SAMPLES: usize = 10;
 
-fn print_figures_once() {
-    PRINT_ONCE.call_once(|| {
-        let algo = OfDapCandidate::new();
-        let report = Construction::new(&algo).build();
-        println!("\n================ regenerated paper figures (of-dap-candidate) ================");
-        println!("{}", figures::all_figures(&report));
-        let (beta_dev, beta_prime_dev) = figures::t7_deviations(&report);
-        println!("\nWAC-forced vs observed T7 reads (β):  {beta_dev:?}");
-        println!("WAC-forced vs observed T7 reads (β′): {beta_prime_dev:?}");
-        println!("\n================ Theorem 4.1 verdict table ================");
-        for verdict in theorem_table() {
-            println!("{}", verdict.summary());
-        }
-        println!("==============================================================================\n");
-    });
-}
-
-fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut group = c.benchmark_group("paper-figures");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(200));
-    group.measurement_time(Duration::from_millis(800));
-    group
-}
-
-fn bench_fig1_fig2_critical_steps(c: &mut Criterion) {
-    print_figures_once();
-    let mut group = quick(c);
-    group.bench_function("fig1+fig2/critical-step-search/of-dap-candidate", |b| {
-        b.iter(|| {
-            let algo = OfDapCandidate::new();
-            let construction = Construction::new(&algo);
-            let mut obstacles = Vec::new();
-            let s1 = construction
-                .find_critical_step(&[], pcl_theorem::transactions::tx::T1,
-                    pcl_theorem::transactions::tx::T3, "b1", &mut obstacles)
-                .expect("s1 exists");
-            criterion::black_box(s1.prefix_steps)
-        })
-    });
-    group.finish();
-}
-
-fn bench_fig3_fig4_beta_assembly(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.bench_function("fig3+fig4/assemble-beta-and-beta-prime/of-dap-candidate", |b| {
-        b.iter(|| {
-            let algo = OfDapCandidate::new();
-            let report = Construction::new(&algo).build();
-            assert!(report.completed());
-            criterion::black_box(report.p7_indistinguishable)
-        })
-    });
-    group.finish();
-}
-
-fn bench_fig5_fig6_read_tables(c: &mut Criterion) {
+fn print_figures() {
     let algo = OfDapCandidate::new();
     let report = Construction::new(&algo).build();
-    let mut group = quick(c);
-    group.bench_function("fig5+fig6/render-read-tables", |b| {
-        b.iter(|| {
-            let five = figures::figure5(&report);
-            let six = figures::figure6(&report);
-            criterion::black_box((five.len(), six.len()))
-        })
-    });
-    group.finish();
+    println!("\n================ regenerated paper figures (of-dap-candidate) ================");
+    println!("{}", figures::all_figures(&report));
+    let (beta_dev, beta_prime_dev) = figures::t7_deviations(&report);
+    println!("\nWAC-forced vs observed T7 reads (β):  {beta_dev:?}");
+    println!("WAC-forced vs observed T7 reads (β′): {beta_prime_dev:?}");
+    println!("\n================ Theorem 4.1 verdict table ================");
+    for verdict in theorem_table() {
+        println!("{}", verdict.summary());
+    }
+    println!("==============================================================================\n");
 }
 
-fn bench_theorem_verdict(c: &mut Criterion) {
-    let mut group = quick(c);
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-    group.bench_function("thm/verdict/of-dap-candidate", |b| {
-        b.iter(|| {
-            let verdict = pcl_theorem::evaluate_algorithm(&OfDapCandidate::new());
-            assert!(verdict.respects_pcl_theorem());
-            criterion::black_box(verdict.properties_held())
-        })
+fn bench_fig1_fig2_critical_steps() {
+    bench("fig1+fig2/critical-step-search/of-dap-candidate", SAMPLES, || {
+        let algo = OfDapCandidate::new();
+        let construction = Construction::new(&algo);
+        let mut obstacles = Vec::new();
+        let s1 = construction
+            .find_critical_step(
+                &[],
+                pcl_theorem::transactions::tx::T1,
+                pcl_theorem::transactions::tx::T3,
+                "b1",
+                &mut obstacles,
+            )
+            .expect("s1 exists");
+        black_box(s1.prefix_steps)
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures_benches,
-    bench_fig1_fig2_critical_steps,
-    bench_fig3_fig4_beta_assembly,
-    bench_fig5_fig6_read_tables,
-    bench_theorem_verdict
-);
-criterion_main!(figures_benches);
+fn bench_fig3_fig4_beta_assembly() {
+    bench("fig3+fig4/assemble-beta-and-beta-prime/of-dap-candidate", SAMPLES, || {
+        let algo = OfDapCandidate::new();
+        let report = Construction::new(&algo).build();
+        assert!(report.completed());
+        black_box(report.p7_indistinguishable)
+    });
+}
+
+fn bench_fig5_fig6_read_tables() {
+    let algo = OfDapCandidate::new();
+    let report = Construction::new(&algo).build();
+    bench("fig5+fig6/render-read-tables", SAMPLES, || {
+        let five = figures::figure5(&report);
+        let six = figures::figure6(&report);
+        black_box((five.len(), six.len()))
+    });
+}
+
+fn bench_theorem_verdict() {
+    bench("thm/verdict/of-dap-candidate", SAMPLES, || {
+        let verdict = pcl_theorem::evaluate_algorithm(&OfDapCandidate::new());
+        assert!(verdict.respects_pcl_theorem());
+        black_box(verdict.properties_held())
+    });
+}
+
+fn main() {
+    print_figures();
+    bench_fig1_fig2_critical_steps();
+    bench_fig3_fig4_beta_assembly();
+    bench_fig5_fig6_read_tables();
+    bench_theorem_verdict();
+}

@@ -19,7 +19,7 @@
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3, DAPCOST.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{bench, black_box};
 use std::time::Duration;
 use stm_runtime::{BackendKind, Stm};
 use workloads::{run_threads, stalled_writer_experiment, BankConfig, RunConfig};
@@ -27,132 +27,86 @@ use workloads::{run_threads, stalled_writer_experiment, BankConfig, RunConfig};
 const BACKENDS: [BackendKind; 3] =
     [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal];
 
-fn quick<'a>(
-    c: &'a mut Criterion,
-    name: &str,
-) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
-    let mut group = c.benchmark_group(name);
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(200));
-    group.measurement_time(Duration::from_secs(1));
-    group
-}
+const SAMPLES: usize = 10;
 
 /// TRADE1: fully disjoint transfers, 1–4 threads.
-fn bench_disjoint_scaling(c: &mut Criterion) {
-    let mut group = quick(c, "trade1-disjoint-scaling");
+fn bench_disjoint_scaling() {
     for backend in BACKENDS {
         for threads in [1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(backend.to_string(), threads),
-                &threads,
-                |b, &threads| {
-                    b.iter(|| {
-                        let report = run_threads(RunConfig {
-                            backend,
-                            threads,
-                            tx_per_thread: 300,
-                            bank: BankConfig {
-                                accounts: 64,
-                                cross_fraction: 0.0,
-                                ..Default::default()
-                            },
-                        });
-                        criterion::black_box(report.throughput)
-                    })
-                },
-            );
+            bench(&format!("trade1-disjoint-scaling/{backend}/{threads}"), SAMPLES, || {
+                let report = run_threads(RunConfig {
+                    backend,
+                    threads,
+                    tx_per_thread: 300,
+                    bank: BankConfig { accounts: 64, cross_fraction: 0.0, ..Default::default() },
+                });
+                black_box(report.throughput)
+            });
         }
     }
-    group.finish();
 }
 
 /// TRADE2: Zipfian hotspot contention.
-fn bench_contention(c: &mut Criterion) {
-    let mut group = quick(c, "trade2-zipf-contention");
+fn bench_contention() {
     for backend in BACKENDS {
         for theta in [0.5f64, 0.99] {
-            group.bench_with_input(
-                BenchmarkId::new(backend.to_string(), format!("theta={theta}")),
-                &theta,
-                |b, &theta| {
-                    b.iter(|| {
-                        let report = run_threads(RunConfig {
-                            backend,
-                            threads: 4,
-                            tx_per_thread: 200,
-                            bank: BankConfig {
-                                accounts: 32,
-                                cross_fraction: 1.0,
-                                zipf_theta: Some(theta),
-                                ..Default::default()
-                            },
-                        });
-                        criterion::black_box((report.throughput, report.aborts))
-                    })
-                },
-            );
+            bench(&format!("trade2-zipf-contention/{backend}/theta={theta}"), SAMPLES, || {
+                let report = run_threads(RunConfig {
+                    backend,
+                    threads: 4,
+                    tx_per_thread: 200,
+                    bank: BankConfig {
+                        accounts: 32,
+                        cross_fraction: 1.0,
+                        zipf_theta: Some(theta),
+                        ..Default::default()
+                    },
+                });
+                black_box((report.throughput, report.aborts))
+            });
         }
     }
-    group.finish();
 }
 
 /// TRADE3: victim commits during a stalled writer's stall.
-fn bench_stalled_writer(c: &mut Criterion) {
-    let mut group = quick(c, "trade3-stalled-writer");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
+fn bench_stalled_writer() {
     for backend in BACKENDS {
-        group.bench_function(BenchmarkId::new(backend.to_string(), "stall=40ms"), |b| {
-            b.iter(|| {
-                let commits =
-                    stalled_writer_experiment(backend, 2, Duration::from_millis(40));
-                criterion::black_box(commits)
-            })
+        bench(&format!("trade3-stalled-writer/{backend}/stall=40ms"), SAMPLES, || {
+            let commits = stalled_writer_experiment(backend, 2, Duration::from_millis(40));
+            black_box(commits)
         });
     }
-    group.finish();
 }
 
 /// DAPCOST: read-mostly workload comparing the consistent backends' metadata cost.
-fn bench_read_mostly_ablation(c: &mut Criterion) {
-    let mut group = quick(c, "dapcost-read-mostly");
+fn bench_read_mostly_ablation() {
     for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
         for read_pct in [50usize, 90, 100] {
-            group.bench_with_input(
-                BenchmarkId::new(backend.to_string(), format!("{read_pct}%reads")),
-                &read_pct,
-                |b, &read_pct| {
-                    let stm = Stm::new(backend);
-                    let vars: Vec<_> = (0..16).map(|i| stm.alloc(i)).collect();
-                    b.iter(|| {
-                        let mut acc = 0i64;
-                        for (i, _) in vars.iter().enumerate() {
-                            acc += stm.run(|tx| {
-                                let mut sum = 0;
-                                for v in &vars {
-                                    sum += tx.read(*v)?;
-                                }
-                                if i * 100 / vars.len() >= read_pct {
-                                    tx.write(vars[i], sum)?;
-                                }
-                                Ok(sum)
-                            });
+            let stm = Stm::new(backend);
+            let vars: Vec<_> = (0..16).map(|i| stm.alloc(i)).collect();
+            bench(&format!("dapcost-read-mostly/{backend}/{read_pct}%reads"), SAMPLES, || {
+                let mut acc = 0i64;
+                for (i, _) in vars.iter().enumerate() {
+                    acc += stm.run(|tx| {
+                        let mut sum = 0;
+                        for v in &vars {
+                            sum += tx.read(*v)?;
                         }
-                        criterion::black_box(acc)
-                    })
-                },
-            );
+                        if i * 100 / vars.len() >= read_pct {
+                            tx.write(vars[i], sum)?;
+                        }
+                        Ok(sum)
+                    });
+                }
+                black_box(acc)
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(
-    tradeoff_benches,
-    bench_disjoint_scaling,
-    bench_contention,
-    bench_stalled_writer,
-    bench_read_mostly_ablation
-);
-criterion_main!(tradeoff_benches);
+fn main() {
+    bench_disjoint_scaling();
+    bench_contention();
+    bench_stalled_writer();
+    bench_read_mostly_ablation();
+}

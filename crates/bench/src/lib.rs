@@ -1,1 +1,111 @@
-//! Benchmark harness crate: Criterion benches live in benches/, one per paper figure.
+//! Benchmark harness crate: hand-rolled benches live in `benches/`, one per
+//! paper figure / experiment family.
+//!
+//! The build container has no registry access, so instead of Criterion the
+//! benches use the tiny measurement harness in [`harness`]: warm-up, a fixed
+//! sample count, and min/median/mean reporting.  The statistical machinery is
+//! deliberately simple — these benches exist to make the *shape* of the P/C/L
+//! trade-off visible (orders of magnitude, scaling direction), not to resolve
+//! single-digit-percent regressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness {
+    //! A minimal sample-based measurement harness.
+
+    use std::time::{Duration, Instant};
+
+    /// Prevent the optimizer from deleting a benchmark's result.
+    pub fn black_box<T>(value: T) -> T {
+        std::hint::black_box(value)
+    }
+
+    /// Measured timings of one benchmark, in sample order.
+    #[derive(Debug, Clone)]
+    pub struct Samples {
+        /// Name printed in the report line.
+        pub name: String,
+        /// Per-sample wall-clock durations.
+        pub durations: Vec<Duration>,
+    }
+
+    impl Samples {
+        /// Smallest sample.
+        pub fn min(&self) -> Duration {
+            self.durations.iter().copied().min().unwrap_or_default()
+        }
+
+        /// Median sample.
+        pub fn median(&self) -> Duration {
+            let mut sorted = self.durations.clone();
+            sorted.sort();
+            sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+        }
+
+        /// Mean sample.
+        pub fn mean(&self) -> Duration {
+            if self.durations.is_empty() {
+                return Duration::default();
+            }
+            self.durations.iter().sum::<Duration>() / self.durations.len() as u32
+        }
+
+        /// One-line human-readable report.
+        pub fn report(&self) -> String {
+            format!(
+                "{:<60} min {:>12?}  median {:>12?}  mean {:>12?}",
+                self.name,
+                self.min(),
+                self.median(),
+                self.mean()
+            )
+        }
+    }
+
+    /// Run `f` `samples` times (after one unmeasured warm-up call), print the
+    /// report line, and return the raw samples.
+    pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Samples {
+        black_box(f());
+        let durations = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        let s = Samples { name: name.to_string(), durations };
+        println!("{}", s.report());
+        s
+    }
+
+    /// Run `f` once and report items/second for `items` units of work.
+    pub fn bench_throughput<T>(name: &str, items: u64, mut f: impl FnMut() -> T) -> f64 {
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let rate = items as f64 / elapsed;
+        println!("{name:<60} {rate:>14.0} items/s  ({items} items in {elapsed:.3}s)");
+        rate
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn samples_statistics_are_ordered_sanely() {
+            let s = bench("unit-test-noop", 5, || 1 + 1);
+            assert_eq!(s.durations.len(), 5);
+            assert!(s.min() <= s.median());
+            assert!(s.report().contains("unit-test-noop"));
+        }
+
+        #[test]
+        fn throughput_is_positive() {
+            let rate = bench_throughput("unit-test-rate", 100, || black_box(42));
+            assert!(rate > 0.0);
+        }
+    }
+}

@@ -102,12 +102,15 @@ impl std::fmt::Display for ConstructionObstacle {
     }
 }
 
+/// `(item, value)` pairs of one transaction's reads or writes in a read table.
+pub type ItemValues = Vec<(DataItem, i64)>;
+
 /// The per-transaction read/write summary of one constructed execution — the data
 /// behind Figures 5 and 6.
 #[derive(Debug, Clone)]
 pub struct ReadTable {
     /// Rows: (transaction, outcome, reads as (item, value), writes as (item, value)).
-    pub rows: Vec<(TxId, TxOutcome, Vec<(DataItem, i64)>, Vec<(DataItem, i64)>)>,
+    pub rows: Vec<(TxId, TxOutcome, ItemValues, ItemValues)>,
 }
 
 impl ReadTable {
@@ -117,9 +120,7 @@ impl ReadTable {
             .txs
             .iter()
             .filter(|t| history.transactions().contains(&t.id))
-            .map(|t| {
-                (t.id, out.outcome_of(t.id), history.reads_of(t.id), history.writes_of(t.id))
-            })
+            .map(|t| (t.id, out.outcome_of(t.id), history.reads_of(t.id), history.writes_of(t.id)))
             .collect();
         ReadTable { rows }
     }
@@ -437,10 +438,11 @@ mod tests {
         let algo = TransactionalLocking::new();
         let report = Construction::new(&algo).with_step_limit(300).build();
         // The blocked solo runs show up as obstacles (T3 spinning on T1's lock).
-        assert!(report
-            .obstacles
-            .iter()
-            .any(|o| matches!(o, ConstructionObstacle::SoloRunFailed { blocked: true, .. })),
+        assert!(
+            report
+                .obstacles
+                .iter()
+                .any(|o| matches!(o, ConstructionObstacle::SoloRunFailed { blocked: true, .. })),
             "obstacles: {:?}",
             report.obstacles
         );

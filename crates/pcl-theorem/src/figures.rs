@@ -38,12 +38,7 @@ pub fn figure1(report: &ConstructionReport) -> String {
         None => format!(
             "Figure 1 (s1): no critical step exists for algorithm `{}` — {}",
             report.algorithm,
-            report
-                .obstacles
-                .iter()
-                .map(|o| o.to_string())
-                .collect::<Vec<_>>()
-                .join("; ")
+            report.obstacles.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("; ")
         ),
     }
 }
@@ -55,12 +50,7 @@ pub fn figure2(report: &ConstructionReport) -> String {
         None => format!(
             "Figure 2 (s2): not reached for algorithm `{}` (s1 missing or obstacles: {})",
             report.algorithm,
-            report
-                .obstacles
-                .iter()
-                .map(|o| o.to_string())
-                .collect::<Vec<_>>()
-                .join("; ")
+            report.obstacles.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("; ")
         ),
     }
 }
@@ -99,10 +89,7 @@ pub fn figure4(report: &ConstructionReport) -> String {
             s1.object(),
             bp.execution.len(),
             bp.summary(&report.scenario),
-            report
-                .p7_indistinguishable
-                .map(|b| b.to_string())
-                .unwrap_or_else(|| "n/a".to_string()),
+            report.p7_indistinguishable.map(|b| b.to_string()).unwrap_or_else(|| "n/a".to_string()),
         ),
         _ => format!("Figure 4 (β′): not assembled for algorithm `{}`", report.algorithm),
     }
@@ -116,16 +103,9 @@ fn render_table(title: &str, table: &ReadTable, scenario: &Scenario) -> String {
     ));
     for (tx, outcome, reads, writes) in &table.rows {
         let name = &scenario.tx(*tx).name;
-        let reads_s = reads
-            .iter()
-            .map(|(i, v)| format!("{i}: {v}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let writes_s = writes
-            .iter()
-            .map(|(i, v)| format!("{i} := {v}"))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let reads_s = reads.iter().map(|(i, v)| format!("{i}: {v}")).collect::<Vec<_>>().join(", ");
+        let writes_s =
+            writes.iter().map(|(i, v)| format!("{i} := {v}")).collect::<Vec<_>>().join(", ");
         out.push_str(&format!("{name:<4} {:<11} {reads_s:<28} {writes_s}\n", outcome.to_string()));
     }
     out
@@ -150,9 +130,12 @@ pub fn figure6(report: &ConstructionReport) -> String {
 /// The values the *paper* says T7 must read in β and β′ under weak adaptive
 /// consistency (Figures 5 and 6): used by EXPERIMENTS.md to contrast "what WAC would
 /// force" against "what the candidate algorithm actually returned".
-pub fn paper_expected_t7_reads() -> (Vec<(&'static str, i64)>, Vec<(&'static str, i64)>) {
+pub fn paper_expected_t7_reads() -> (ExpectedReads, ExpectedReads) {
     (vec![("a", 2), ("c1", 1), ("c2", 2)], vec![("a", 1), ("c1", 1), ("c2", 2)])
 }
+
+/// `(item, value)` pairs the paper forces T7 to read in one execution.
+pub type ExpectedReads = Vec<(&'static str, i64)>;
 
 /// Compare a construction's T7 reads against the paper's WAC-forced values; returns
 /// the mismatches for β and β′ (a non-empty list is exactly the consistency

@@ -42,12 +42,23 @@ pub mod tx {
 pub fn pcl_scenario() -> Scenario {
     Scenario::builder()
         .tx(0, "T1", |t| {
-            t.read("b3").read("b7").write("a", 1).write("b1", 1).write("c1", 1).write("d1", 1)
+            t.read("b3")
+                .read("b7")
+                .write("a", 1)
+                .write("b1", 1)
+                .write("c1", 1)
+                .write("d1", 1)
                 .write("e13", 1)
         })
         .tx(1, "T2", |t| {
-            t.read("b5").read("b7").write("a", 2).write("b2", 2).write("c2", 2).write("d2", 2)
-                .write("e25", 2).write("e27", 2)
+            t.read("b5")
+                .read("b7")
+                .write("a", 2)
+                .write("b2", 2)
+                .write("c2", 2)
+                .write("d2", 2)
+                .write("e25", 2)
+                .write("e27", 2)
         })
         .tx(2, "T3", |t| {
             t.read("b1").read("b4").write("b3", 1).write("c3", 1).write("e13", 1).write("e34", 1)
@@ -165,7 +176,17 @@ mod tests {
 
         // The disjointness facts the proof leans on explicitly:
         use tx::*;
-        for (a, b) in [(T2, T3), (T3, T5), (T3, T6), (T4, T5), (T1, T5), (T5, T7), (T3, T7), (T4, T7), (T6, T7)] {
+        for (a, b) in [
+            (T2, T3),
+            (T3, T5),
+            (T3, T6),
+            (T4, T5),
+            (T1, T5),
+            (T5, T7),
+            (T3, T7),
+            (T4, T7),
+            (T6, T7),
+        ] {
             assert!(
                 !s.tx(a).conflicts_with(s.tx(b)),
                 "{} and {} must not conflict for the construction to go through",

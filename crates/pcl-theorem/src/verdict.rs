@@ -67,10 +67,7 @@ pub struct PclVerdict {
 impl PclVerdict {
     /// How many of the three properties hold.
     pub fn properties_held(&self) -> usize {
-        [&self.parallelism, &self.consistency, &self.liveness]
-            .iter()
-            .filter(|p| p.holds)
-            .count()
+        [&self.parallelism, &self.consistency, &self.liveness].iter().filter(|p| p.holds).count()
     }
 
     /// The PCL theorem says this can never be 3 — exposed as a method so tests and
@@ -146,9 +143,8 @@ fn gather_evidence(algo: &dyn TmAlgorithm, report: &ConstructionReport) -> Vec<E
         execution: solo.execution,
         check_consistency: false,
     });
-    let rr = Simulator::new(algo, &scenario)
-        .with_step_limit(20_000)
-        .run(&Schedule::round_robin(20_000));
+    let rr =
+        Simulator::new(algo, &scenario).with_step_limit(20_000).run(&Schedule::round_robin(20_000));
     out.push(Evidence {
         label: "round-robin interleaving of T1…T7".to_string(),
         scenario,
@@ -167,14 +163,13 @@ fn gather_evidence(algo: &dyn TmAlgorithm, report: &ConstructionReport) -> Vec<E
     });
     // The write-order scenario (exposes per-process disagreement on write order).
     let wo = write_order_scenario();
-    let wo_out = Simulator::new(algo, &wo).with_step_limit(5_000).run(&Schedule::from_directives(
-        vec![
+    let wo_out =
+        Simulator::new(algo, &wo).with_step_limit(5_000).run(&Schedule::from_directives(vec![
             Directive::RunUntilTxDone(ProcId(0)),
             Directive::RunUntilTxDone(ProcId(1)),
             Directive::RunUntilTxDone(ProcId(2)),
             Directive::RunUntilTxDone(ProcId(3)),
-        ],
-    ));
+        ]));
     out.push(Evidence {
         label: "write-order scenario (W1, W2, R1, R2)".to_string(),
         scenario: wo,
@@ -222,10 +217,8 @@ pub fn evaluate_algorithm(algo: &dyn TmAlgorithm) -> PclVerdict {
 
     // Liveness: construction obstacles + the dedicated probes.
     let mut liveness = PropertyVerdict::holds("solo-commit probes all committed");
-    if let Some(obstacle) = report
-        .obstacles
-        .iter()
-        .find(|o| matches!(o, ConstructionObstacle::SoloRunFailed { .. }))
+    if let Some(obstacle) =
+        report.obstacles.iter().find(|o| matches!(o, ConstructionObstacle::SoloRunFailed { .. }))
     {
         liveness = PropertyVerdict::fails(format!("during the construction: {obstacle}"));
     } else {

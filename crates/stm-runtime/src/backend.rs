@@ -74,14 +74,11 @@ mod tests {
 
     #[test]
     fn backend_kinds_have_distinct_names() {
-        let names: Vec<String> = [
-            BackendKind::Tl2Blocking,
-            BackendKind::ObstructionFree,
-            BackendKind::PramLocal,
-        ]
-        .iter()
-        .map(|k| k.to_string())
-        .collect();
+        let names: Vec<String> =
+            [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+                .iter()
+                .map(|k| k.to_string())
+                .collect();
         assert_eq!(names.len(), 3);
         assert!(names.contains(&"tl2-blocking".to_string()));
         assert_ne!(names[0], names[1]);

@@ -42,11 +42,13 @@
 pub mod backend;
 pub mod ofree;
 pub mod pramlocal;
+pub mod recorder;
 pub mod stats;
 pub mod tl2;
 pub mod txn;
 
 pub use backend::{Backend, BackendKind, VarId};
+pub use recorder::{CommitRecord, Recorder};
 pub use stats::StmStats;
 pub use txn::{StmError, Txn, TxnData};
 
@@ -57,6 +59,7 @@ pub struct Stm {
     backend: Arc<dyn Backend>,
     kind: BackendKind,
     stats: Arc<StmStats>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Stm {
@@ -67,7 +70,15 @@ impl Stm {
             BackendKind::ObstructionFree => Arc::new(ofree::OFreeBackend::new()),
             BackendKind::PramLocal => Arc::new(pramlocal::PramLocalBackend::new()),
         };
-        Stm { backend, kind, stats: Arc::new(StmStats::default()) }
+        Stm { backend, kind, stats: Arc::new(StmStats::default()), recorder: None }
+    }
+
+    /// Create an instrumented STM instance whose successful commits are
+    /// reported to `recorder` (see [`recorder`] for what is captured).
+    pub fn with_recorder(kind: BackendKind, recorder: Arc<dyn Recorder>) -> Self {
+        let mut stm = Stm::new(kind);
+        stm.recorder = Some(recorder);
+        stm
     }
 
     /// Which backend this instance uses.
@@ -98,6 +109,13 @@ impl Stm {
             Ok(value) => match self.backend.commit(&mut data) {
                 Ok(()) => {
                     self.stats.record_commit();
+                    if let Some(rec) = &self.recorder {
+                        rec.on_commit(CommitRecord {
+                            session: recorder::current_session(),
+                            reads: &data.read_cache,
+                            writes: &data.write_set,
+                        });
+                    }
                     Ok(value)
                 }
                 Err(_) => {
@@ -220,6 +238,56 @@ mod tests {
                 }
             });
             assert_eq!(stm.read_now(counter), threads * per_thread, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn recorder_sees_external_reads_and_writes_of_successful_commits_only() {
+        use parking_lot::Mutex;
+
+        type VarValues = Vec<(VarId, i64)>;
+        #[derive(Default)]
+        struct Capture {
+            records: Mutex<Vec<(Option<usize>, VarValues, VarValues)>>,
+        }
+        impl Recorder for Capture {
+            fn on_commit(&self, record: CommitRecord<'_>) {
+                self.records.lock().push((
+                    record.session,
+                    record.reads.iter().map(|(v, x)| (*v, *x)).collect(),
+                    record.writes.iter().map(|(v, x)| (*v, *x)).collect(),
+                ));
+            }
+        }
+
+        for kind in all_kinds() {
+            let capture = Arc::new(Capture::default());
+            let stm = Stm::with_recorder(kind, Arc::clone(&capture) as Arc<dyn Recorder>);
+            recorder::set_session(5);
+            let x = stm.alloc(10);
+            let y = stm.alloc(0);
+            // Read-modify-write: x is an external read then a write; y is
+            // write-then-read, so it must NOT appear in the read set.
+            stm.run(|tx| {
+                let vx = tx.read(x)?;
+                tx.write(y, vx + 1)?;
+                let vy = tx.read(y)?;
+                tx.write(x, vy)?;
+                Ok(())
+            });
+            // An aborted attempt must record nothing.
+            let _ = stm.try_run(|tx| {
+                tx.write(x, 99)?;
+                tx.abort::<()>()
+            });
+            recorder::clear_session();
+
+            let records = capture.records.lock();
+            assert_eq!(records.len(), 1, "{kind:?}");
+            let (session, reads, writes) = &records[0];
+            assert_eq!(*session, Some(5), "{kind:?}");
+            assert_eq!(reads.as_slice(), &[(x, 10)], "{kind:?}");
+            assert_eq!(writes.as_slice(), &[(x, 11), (y, 11)], "{kind:?}");
         }
     }
 

@@ -73,7 +73,15 @@ impl Backend for PramLocalBackend {
         if let Some(v) = data.write_set.get(&var) {
             return Ok(*v);
         }
-        Ok(self.local_read(var))
+        if let Some(v) = data.read_cache.get(&var) {
+            return Ok(*v);
+        }
+        let value = self.local_read(var);
+        // Cache the first external read so (a) repeated reads are stable within
+        // the attempt, matching the other backends, and (b) the commit-time
+        // recorder hook sees this transaction's external read set.
+        data.read_cache.insert(var, value);
+        Ok(value)
     }
 
     fn write(&self, data: &mut TxnData, var: VarId, value: i64) -> Result<(), StmError> {

@@ -1,0 +1,91 @@
+//! The history-recording hook: how an auditor observes what the runtime does.
+//!
+//! A [`Recorder`] receives one [`CommitRecord`] per *successful* commit, on the
+//! committing thread, after the backend has made the transaction's effects
+//! durable.  The record exposes exactly the information a dbcop-style
+//! consistency audit needs to reconstruct the `(T, so, wr)` structure of the
+//! run:
+//!
+//! * the transaction's **external read set** — for every variable the
+//!   transaction read *before* writing it, the value observed by the first such
+//!   read (reads satisfied from the transaction's own write set are internal
+//!   and deliberately excluded);
+//! * the transaction's **write set** — the values installed at commit;
+//! * the calling thread's **session id**, if the thread registered one with
+//!   [`set_session`] (the auditor falls back to per-thread identity otherwise).
+//!
+//! Session order then falls out of per-thread sequence numbers (each thread's
+//! records arrive in its program order), and write-read edges are recovered
+//! from unique write values — the recorded analogue of unique write versions.
+//!
+//! # Cost when disabled
+//!
+//! `Stm` stores the recorder as `Option<Arc<dyn Recorder>>`.  An instance built
+//! with [`crate::Stm::new`] carries `None`, so the only cost on the
+//! uninstrumented hot path is one never-taken branch per commit — no
+//! allocation, no atomics, no extra cache traffic.
+
+use crate::backend::VarId;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// Everything a recorder learns about one committed transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitRecord<'a> {
+    /// The session id the committing thread registered via [`set_session`],
+    /// if any.
+    pub session: Option<usize>,
+    /// Externally-read variables and the value the first read observed.
+    pub reads: &'a BTreeMap<VarId, i64>,
+    /// Variables written and the values installed at commit.
+    pub writes: &'a BTreeMap<VarId, i64>,
+}
+
+/// A sink for commit records (implemented by `tm-audit`'s history recorder).
+pub trait Recorder: Send + Sync {
+    /// Called once per successful commit, on the committing thread, after the
+    /// backend's commit completed.
+    fn on_commit(&self, record: CommitRecord<'_>);
+}
+
+thread_local! {
+    static SESSION: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Register the calling thread's audit session id (its index in the recorded
+/// history).  Worker threads of an audited run call this once at startup.
+pub fn set_session(id: usize) {
+    SESSION.with(|s| s.set(Some(id)));
+}
+
+/// Clear the calling thread's audit session id.
+pub fn clear_session() {
+    SESSION.with(|s| s.set(None));
+}
+
+/// The session id the calling thread registered, if any.
+pub fn current_session() -> Option<usize> {
+    SESSION.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_registration_is_per_thread() {
+        assert_eq!(current_session(), None);
+        set_session(3);
+        assert_eq!(current_session(), Some(3));
+        std::thread::spawn(|| {
+            assert_eq!(current_session(), None);
+            set_session(9);
+            assert_eq!(current_session(), Some(9));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_session(), Some(3));
+        clear_session();
+        assert_eq!(current_session(), None);
+    }
+}

@@ -61,9 +61,7 @@ impl Cell {
     }
 
     fn try_lock(&self) -> bool {
-        self.locked
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.locked.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     fn unlock(&self) {

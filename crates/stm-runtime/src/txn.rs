@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn txn_data_reset_clears_everything() {
-        let mut d = TxnData::default();
-        d.start_ts = 9;
+        let mut d = TxnData { start_ts: 9, ..TxnData::default() };
         d.read_versions.insert(VarId(0), 1);
         d.write_set.insert(VarId(0), 5);
         d.read_cache.insert(VarId(1), 2);

@@ -186,8 +186,7 @@ impl TxLogic for DstmTx {
                     }
                 }
             };
-            let desired =
-                Word::Locator { owner: Some(self.me), old: committed_value, new: value };
+            let desired = Word::Locator { owner: Some(self.me), old: committed_value, new: value };
             if ctx.cas_obj(loc, current, desired) {
                 self.owned.insert(item.clone(), value);
                 return Ok(());
@@ -293,10 +292,8 @@ mod tests {
     fn paused_writer_does_not_block_a_reader() {
         // Contrast with TL: a reader of an item owned by a paused, still-active writer
         // resolves the old value and commits — no spinning.
-        let scenario = Scenario::builder()
-            .tx(0, "W", |t| t.write("x", 9))
-            .tx(1, "R", |t| t.read("x"))
-            .build();
+        let scenario =
+            Scenario::builder().tx(0, "W", |t| t.write("x", 9)).tx(1, "R", |t| t.read("x")).build();
         let sim = Simulator::new(&Dstm, &scenario).with_step_limit(200);
         let out = sim.run(
             &Schedule::new()

@@ -37,6 +37,6 @@ pub mod tl;
 pub use dstm::Dstm;
 pub use ofdap::OfDapCandidate;
 pub use pram_tm::PramTm;
-pub use registry::{all_algorithms, algorithm_by_name};
+pub use registry::{algorithm_by_name, all_algorithms};
 pub use sistm::SiStm;
 pub use tl::TransactionalLocking;

@@ -152,10 +152,8 @@ mod tests {
     #[test]
     fn reader_that_started_before_a_writer_aborts_instead_of_reading_new_data() {
         // R begins (snapshot ts 0), W commits x at ts 1, then R reads x → abort.
-        let scenario = Scenario::builder()
-            .tx(0, "R", |t| t.read("x"))
-            .tx(1, "W", |t| t.write("x", 5))
-            .build();
+        let scenario =
+            Scenario::builder().tx(0, "R", |t| t.read("x")).tx(1, "W", |t| t.write("x", 5)).build();
         let sim = Simulator::new(&SiStm, &scenario);
         let out = sim.run(
             &Schedule::new()
@@ -191,10 +189,8 @@ mod tests {
 
     #[test]
     fn read_only_transactions_never_abort_even_after_writers() {
-        let scenario = Scenario::builder()
-            .tx(0, "W", |t| t.write("x", 3))
-            .tx(1, "R", |t| t.read("x"))
-            .build();
+        let scenario =
+            Scenario::builder().tx(0, "W", |t| t.write("x", 3)).tx(1, "R", |t| t.read("x")).build();
         let sim = Simulator::new(&SiStm, &scenario);
         let out = sim.run(&Schedule::solo_sequence(&scenario));
         assert!(out.all_committed());

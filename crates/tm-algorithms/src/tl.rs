@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn read_your_own_writes() {
-        let scenario =
-            Scenario::builder().tx(0, "T1", |t| t.write("x", 3).read("x")).build();
+        let scenario = Scenario::builder().tx(0, "T1", |t| t.write("x", 3).read("x")).build();
         let sim = Simulator::new(&TransactionalLocking, &scenario);
         let out = sim.run(&Schedule::solo_sequence(&scenario));
         assert_eq!(out.read_value(TxId(0), &DataItem::new("x")), Some(3));
@@ -212,10 +211,8 @@ mod tests {
     fn paused_committer_blocks_a_conflicting_reader() {
         // W pauses mid-commit holding x's lock; a reader of x then spins until the
         // step budget runs out — the blocking witness.
-        let scenario = Scenario::builder()
-            .tx(0, "W", |t| t.write("x", 1))
-            .tx(1, "R", |t| t.read("x"))
-            .build();
+        let scenario =
+            Scenario::builder().tx(0, "W", |t| t.write("x", 1)).tx(1, "R", |t| t.read("x")).build();
         let sim = Simulator::new(&TransactionalLocking, &scenario).with_step_limit(100);
         // W's commit: read vlock:x (1), CAS lock (2) — paused right after acquiring.
         let out = sim.run(

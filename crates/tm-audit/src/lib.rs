@@ -1,0 +1,285 @@
+//! # tm-audit — live history capture + consistency auditing for the STM runtime
+//!
+//! The PCL theorem is a statement about *recorded histories*, but until this
+//! crate existed the repo could only check consistency on executions produced
+//! by the deterministic simulator (`tm-model`), never on what the real
+//! multi-threaded `stm-runtime` does under load.  `tm-audit` closes that gap,
+//! following the dbcop framework of Biswas & Enea, *"On the Complexity of
+//! Checking Transactional Consistency"* (OOPSLA 2019):
+//!
+//! 1. **Record** ([`recorder`], [`workload`]) — a [`HistoryRecorder`] plugs
+//!    into [`stm_runtime::Stm::with_recorder`] and captures the `(T, so, wr)`
+//!    structure of a live run: session order from per-thread sequence numbers,
+//!    write-read edges from unique write values.  The uninstrumented hot path
+//!    stays a single never-taken branch.
+//! 2. **Check** ([`saturation`], [`linearization`]) — Read Committed / Read
+//!    Atomic / Causal by polynomial saturation on a transaction digraph;
+//!    Snapshot Isolation / Serializability by constrained-linearization DFS
+//!    with a polynomial lost-update refutation and a recording-order fast
+//!    path.  Every verdict carries a witness (a commit order) or a concrete
+//!    violation (a cycle or a transaction pair).
+//! 3. **Cross-validate** ([`adapter`]) — simulator executions convert into the
+//!    same [`AuditHistory`] type, so `tm-consistency`'s checkers and these
+//!    checkers can be compared verdict-for-verdict on identical runs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_audit::{audit, record_run, AuditRunConfig, Level};
+//! use stm_runtime::BackendKind;
+//!
+//! // Record 2 threads × 200 transactions on the blocking backend…
+//! let history = record_run(AuditRunConfig {
+//!     backend: BackendKind::Tl2Blocking,
+//!     sessions: 2,
+//!     txns_per_session: 200,
+//!     vars: 16,
+//!     seed: 1,
+//! });
+//! // …and prove which consistency levels the run satisfied.
+//! let report = audit(&history);
+//! assert!(report.passes(Level::Serializable));
+//!
+//! // The PRAM backend trades consistency away — the auditor catches it.
+//! let pram = record_run(AuditRunConfig {
+//!     backend: BackendKind::PramLocal,
+//!     sessions: 2,
+//!     txns_per_session: 200,
+//!     vars: 16,
+//!     seed: 1,
+//! });
+//! let report = audit(&pram);
+//! assert!(report.passes(Level::Causal));
+//! assert!(report.fails(Level::Serializable));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod digraph;
+pub mod history;
+pub mod linearization;
+pub mod po;
+pub mod recorder;
+pub mod report;
+pub mod saturation;
+pub mod workload;
+
+pub use adapter::from_execution;
+pub use history::{AuditHistory, AuditTxn, HistoryError, TxnId};
+pub use recorder::HistoryRecorder;
+pub use report::{AuditReport, Level, LevelReport, Outcome};
+pub use workload::{record_run, run_unrecorded, AuditRunConfig};
+
+use linearization::{
+    find_lost_update, search_serializable, search_snapshot_isolation, Search, DEFAULT_STATE_BUDGET,
+};
+use po::TxnPartialOrder;
+use report::CommitOrderWitness;
+use saturation::{check_causal, check_read_atomic, check_read_committed};
+
+fn order_witness(po: &TxnPartialOrder, order: &[u32]) -> String {
+    CommitOrderWitness::new(order.iter().map(|&t| po.name(t)).collect()).to_string()
+}
+
+/// Audit a history against the whole hierarchy with the default search
+/// budget.
+pub fn audit(history: &AuditHistory) -> AuditReport {
+    audit_with_budget(history, DEFAULT_STATE_BUDGET)
+}
+
+/// Audit a history, bounding each NP-hard search at `budget` DFS states.
+///
+/// The hierarchy is exploited in both directions: a causal violation implies
+/// SI and SER violations (their searches never run), and a serializability
+/// witness doubles as the SI witness.  An exhausted budget yields
+/// [`Outcome::Unknown`], never a verdict.
+pub fn audit_with_budget(history: &AuditHistory, budget: u64) -> AuditReport {
+    let shape = history.shape();
+    let po = match TxnPartialOrder::build(history) {
+        Ok(po) => po,
+        Err(err) => {
+            // A broken recording contract (duplicate values) or a thin-air
+            // read fails every level, with the defect as the violation.
+            let violation = err.to_string();
+            return AuditReport {
+                shape,
+                levels: Level::ALL
+                    .iter()
+                    .map(|&level| LevelReport {
+                        level,
+                        outcome: Outcome::Fail { violation: violation.clone() },
+                    })
+                    .collect(),
+            };
+        }
+    };
+
+    let mut levels = Vec::with_capacity(Level::ALL.len());
+
+    levels.push(LevelReport {
+        level: Level::ReadCommitted,
+        outcome: match check_read_committed(&po) {
+            Ok(order) => Outcome::Pass { witness: order_witness(&po, &order) },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+        },
+    });
+
+    levels.push(LevelReport {
+        level: Level::ReadAtomic,
+        outcome: match check_read_atomic(&po) {
+            Ok(order) => Outcome::Pass { witness: order_witness(&po, &order) },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+        },
+    });
+
+    let causal = check_causal(&po);
+    levels.push(LevelReport {
+        level: Level::Causal,
+        outcome: match &causal {
+            Ok(sat) => Outcome::Pass {
+                witness: format!(
+                    "saturated in {} round(s); {}",
+                    sat.rounds,
+                    order_witness(&po, &sat.topo)
+                ),
+            },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+        },
+    });
+
+    let (si, ser) = match &causal {
+        Err(cycle) => {
+            let implied = format!("implied by the causal violation: {}", cycle.render(&po));
+            (Outcome::Fail { violation: implied.clone() }, Outcome::Fail { violation: implied })
+        }
+        Ok(sat) => match find_lost_update(&po) {
+            Some(lu) => {
+                let violation = lu.render(&po);
+                (Outcome::Fail { violation: violation.clone() }, Outcome::Fail { violation })
+            }
+            None => {
+                let ser = match search_serializable(&po, sat, history.n_vars, budget) {
+                    Search::Order(order) => Outcome::Pass { witness: order_witness(&po, &order) },
+                    Search::NoOrder => Outcome::Fail {
+                        violation: "no commit order explains every read \
+                                    (exhaustive constrained-linearization search)"
+                            .into(),
+                    },
+                    Search::Exhausted { states } => Outcome::Unknown {
+                        reason: format!("search budget exhausted after {states} states"),
+                    },
+                };
+                let si = match &ser {
+                    // Serializable implies snapshot-isolated; reuse the witness.
+                    Outcome::Pass { witness } => Outcome::Pass { witness: witness.clone() },
+                    _ => match search_snapshot_isolation(&po, sat, history.n_vars, budget) {
+                        Search::Order(order) => {
+                            Outcome::Pass { witness: order_witness(&po, &order) }
+                        }
+                        Search::NoOrder => Outcome::Fail {
+                            violation: "no snapshot-ordered commit order exists \
+                                        (exhaustive constrained-linearization search)"
+                                .into(),
+                        },
+                        Search::Exhausted { states } => Outcome::Unknown {
+                            reason: format!("search budget exhausted after {states} states"),
+                        },
+                    },
+                };
+                (si, ser)
+            }
+        },
+    };
+    levels.push(LevelReport { level: Level::SnapshotIsolation, outcome: si });
+    levels.push(LevelReport { level: Level::Serializable, outcome: ser });
+
+    AuditReport { shape, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histories_pass_everything() {
+        let report = audit(&AuditHistory::new(4, 0, 2));
+        for level in Level::ALL {
+            assert!(report.passes(level), "{level}: {report}");
+        }
+    }
+
+    #[test]
+    fn a_broken_recording_contract_fails_every_level() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [], [(0, 7)]);
+        h.push_txn(1, [], [(0, 7)]);
+        let report = audit(&h);
+        for level in Level::ALL {
+            assert!(report.fails(level), "{level}");
+        }
+        assert!(report.to_string().contains("ambiguous write"));
+    }
+
+    #[test]
+    fn write_skew_lands_exactly_between_si_and_ser() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0)], [(1, 10)]);
+        h.push_txn(1, [(1, 0)], [(0, 20)]);
+        let report = audit(&h);
+        assert!(report.passes(Level::ReadCommitted));
+        assert!(report.passes(Level::ReadAtomic));
+        assert!(report.passes(Level::Causal));
+        assert!(report.passes(Level::SnapshotIsolation));
+        assert!(report.fails(Level::Serializable));
+        assert_eq!(report.summary(), "RC ✓ | RA ✓ | Causal ✓ | SI ✓ | SER ✗");
+    }
+
+    #[test]
+    fn lost_update_fails_si_and_ser_with_a_named_pair() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        let report = audit(&h);
+        assert!(report.passes(Level::Causal));
+        assert!(report.fails(Level::SnapshotIsolation));
+        assert!(report.fails(Level::Serializable));
+        let Outcome::Fail { violation } = report.outcome(Level::Serializable).unwrap() else {
+            panic!("expected failure");
+        };
+        assert!(violation.contains("lost update on v0"), "{violation}");
+        assert!(violation.contains("s0:0"), "{violation}");
+        assert!(violation.contains("s1:0"), "{violation}");
+    }
+
+    #[test]
+    fn causal_violations_propagate_to_the_searches() {
+        // Fractured read: causal fails, so SI/SER must fail as implied.
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [], [(0, 1), (1, 2)]);
+        h.push_txn(1, [(0, 1), (1, 0)], []);
+        let report = audit(&h);
+        assert!(report.passes(Level::ReadCommitted));
+        assert!(report.fails(Level::ReadAtomic));
+        assert!(report.fails(Level::Causal));
+        assert!(report.fails(Level::SnapshotIsolation));
+        assert!(report.fails(Level::Serializable));
+        let Outcome::Fail { violation } = report.outcome(Level::Serializable).unwrap() else {
+            panic!("expected failure");
+        };
+        assert!(violation.contains("implied by the causal violation"), "{violation}");
+    }
+
+    #[test]
+    fn serializable_histories_get_one_witness_for_si_and_ser() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 1)], [(0, 2)]);
+        let report = audit(&h);
+        assert_eq!(report.summary(), "RC ✓ | RA ✓ | Causal ✓ | SI ✓ | SER ✓");
+        let si = report.outcome(Level::SnapshotIsolation).unwrap();
+        let ser = report.outcome(Level::Serializable).unwrap();
+        assert_eq!(si, ser, "SI reuses the serializability witness");
+    }
+}

@@ -1,0 +1,579 @@
+//! The NP-hard upper half of the hierarchy: Serializability and Snapshot
+//! Isolation, decided by constrained-linearization DFS (Biswas & Enea,
+//! Theorem 4.8 / the dbcop search) over the causally-saturated order.
+//!
+//! Three layers keep the search practical on histories with tens of thousands
+//! of transactions:
+//!
+//! 1. **Polynomial refutation first** — the lost-update rule: two distinct
+//!    transactions that read variable `x` from the *same* source and both
+//!    write `x` cannot be serialized (whichever is ordered second must have
+//!    read the other's write), and cannot both commit under snapshot
+//!    isolation's first-committer-wins.  This catches the entire PRAM-backend
+//!    failure mode in O(history) time, with a two-transaction witness.
+//! 2. **Hint fast path** — the recording order is almost the commit order on
+//!    the consistent backends, so the hint-ordered topological order of the
+//!    saturated constraints is verified in O(history) first; if it explains
+//!    every read, it *is* the witness and no search runs.
+//! 3. **Memoized DFS** — otherwise a backtracking search over linear
+//!    extensions runs, pruned by (a) the saturated partial order, (b) eager
+//!    write-blocking (a writer may not be placed while readers of the current
+//!    version are still pending — which is what makes the placed *set*
+//!    determine the whole search state, so (c) Zobrist memoization on the
+//!    placed set is sound), and bounded by an explicit state budget: an
+//!    exhausted budget reports *unknown*, never a verdict.
+
+use crate::po::{TxnPartialOrder, ROOT};
+use crate::saturation::Saturated;
+use std::collections::HashSet;
+
+/// Outcome of a linearization search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Search {
+    /// A valid commit order (dense indices, initial transaction excluded).
+    Order(Vec<u32>),
+    /// The search space is exhausted: no valid order exists.
+    NoOrder,
+    /// The state budget ran out before either answer.
+    Exhausted {
+        /// States visited before giving up.
+        states: u64,
+    },
+}
+
+/// How many DFS states the SI/SER searches may visit before giving up.
+pub const DEFAULT_STATE_BUDGET: u64 = 2_000_000;
+
+/// A two-transaction lost-update witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostUpdate {
+    /// The variable both transactions read-modify-wrote.
+    pub var: u32,
+    /// The common source both read `var` from.
+    pub source: u32,
+    /// First of the two conflicting read-modify-writes.
+    pub first: u32,
+    /// Second of the two conflicting read-modify-writes.
+    pub second: u32,
+}
+
+impl LostUpdate {
+    /// Render with history transaction names.
+    pub fn render(&self, po: &TxnPartialOrder) -> String {
+        format!(
+            "lost update on v{}: {} and {} both read it from {} and both wrote it",
+            self.var,
+            po.name(self.first),
+            po.name(self.second),
+            po.name(self.source),
+        )
+    }
+}
+
+/// O(history) refutation shared by SER and SI: find two transactions that read
+/// the same variable from the same source and both write that variable.
+pub fn find_lost_update(po: &TxnPartialOrder) -> Option<LostUpdate> {
+    let mut rmw_reader_of: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::new();
+    for (var, wr_edges) in po.wr_by_var.iter().enumerate() {
+        for &(src, reader) in wr_edges {
+            if !po.writes[reader as usize].contains(&(var as u32)) {
+                continue; // a plain read never loses an update
+            }
+            if let Some(&prev) = rmw_reader_of.get(&(var as u32, src)) {
+                return Some(LostUpdate {
+                    var: var as u32,
+                    source: src,
+                    first: prev,
+                    second: reader,
+                });
+            }
+            rmw_reader_of.insert((var as u32, src), reader);
+        }
+    }
+    None
+}
+
+// Deterministic per-vertex Zobrist keys (SplitMix64, two streams xor-combined
+// into a u128 so accidental collisions need 128 matching bits).
+fn zobrist(v: u64) -> u128 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    (u128::from(mix(v.wrapping_mul(2).wrapping_add(1))) << 64) | u128::from(mix(v << 7))
+}
+
+/// Per-variable version bookkeeping shared by the SER and SI searches.
+struct VersionState<'a> {
+    po: &'a TxnPartialOrder,
+    /// var → writer whose value is current in the placed prefix.
+    last_writer: Vec<u32>,
+    /// var → readers of the current version not yet placed.
+    pending: Vec<Vec<u32>>,
+}
+
+type WriteUndo = Vec<(u32, u32, Vec<u32>)>;
+
+impl<'a> VersionState<'a> {
+    fn new(po: &'a TxnPartialOrder, n_vars: usize) -> Self {
+        let mut pending = vec![Vec::new(); n_vars];
+        for (var, p) in pending.iter_mut().enumerate() {
+            if let Some(readers) = po.readers.get(&(ROOT, var as u32)) {
+                *p = readers.clone();
+            }
+        }
+        VersionState { po, last_writer: vec![ROOT; n_vars], pending }
+    }
+
+    /// All reads of `t` observe the currently-installed versions.
+    fn reads_current(&self, t: u32) -> bool {
+        self.po.reads[t as usize].iter().all(|&(var, src)| self.last_writer[var as usize] == src)
+    }
+
+    /// `t` overwrites no version that still has pending readers besides `t`.
+    fn writes_unblocked(&self, t: u32) -> bool {
+        self.po.writes[t as usize].iter().all(|&var| {
+            let p = &self.pending[var as usize];
+            p.is_empty() || (p.len() == 1 && p[0] == t)
+        })
+    }
+
+    fn apply_reads(&mut self, t: u32) {
+        for &(var, _) in &self.po.reads[t as usize] {
+            let p = &mut self.pending[var as usize];
+            let i = p.iter().position(|&r| r == t).expect("reader was pending");
+            p.swap_remove(i);
+        }
+    }
+
+    fn undo_reads(&mut self, t: u32) {
+        for &(var, _) in &self.po.reads[t as usize] {
+            self.pending[var as usize].push(t);
+        }
+    }
+
+    fn apply_writes(&mut self, t: u32) -> WriteUndo {
+        let mut undo = Vec::with_capacity(self.po.writes[t as usize].len());
+        for &var in &self.po.writes[t as usize] {
+            let fresh = self.po.readers.get(&(t, var)).cloned().unwrap_or_default();
+            let old_writer = std::mem::replace(&mut self.last_writer[var as usize], t);
+            let old_pending = std::mem::replace(&mut self.pending[var as usize], fresh);
+            undo.push((var, old_writer, old_pending));
+        }
+        undo
+    }
+
+    fn undo_writes(&mut self, undo: WriteUndo) {
+        for (var, old_writer, old_pending) in undo.into_iter().rev() {
+            self.last_writer[var as usize] = old_writer;
+            self.pending[var as usize] = old_pending;
+        }
+    }
+}
+
+/// Verify a full candidate order (dense indices, `ROOT` anywhere-first)
+/// against reads-last-write semantics — the O(history) fast path.
+fn verify_serial_order(po: &TxnPartialOrder, n_vars: usize, order: &[u32]) -> bool {
+    let mut last_writer = vec![ROOT; n_vars];
+    for &t in order {
+        if t == ROOT {
+            continue;
+        }
+        if !po.reads[t as usize].iter().all(|&(var, src)| last_writer[var as usize] == src) {
+            return false;
+        }
+        for &var in &po.writes[t as usize] {
+            last_writer[var as usize] = t;
+        }
+    }
+    true
+}
+
+/// The generic memoized backtracking engine over an abstract vertex space.
+///
+/// `Model` supplies the per-vertex feasibility test and the apply/undo pair;
+/// the engine owns precedence counting (over `succs`/`preds` adjacency),
+/// candidate ordering by hint, Zobrist memoization and the state budget.
+trait Model {
+    /// May `v` be placed now?
+    fn allowed(&self, v: u32) -> bool;
+    /// Place `v`.
+    fn apply(&mut self, v: u32);
+    /// Undo the most recent placement of `v`.
+    fn undo(&mut self, v: u32);
+}
+
+/// A successor enumerator: calls the sink once per successor of the vertex,
+/// without allocating (the hot path of the backtracking engine).
+type SuccFn<'a> = &'a dyn Fn(u32, &mut dyn FnMut(u32));
+
+struct Dfs<'a> {
+    succs: SuccFn<'a>,
+    hints: Vec<u64>,
+    n_to_place: usize,
+    budget: u64,
+}
+
+struct Frame {
+    candidates: Vec<u32>,
+    next: usize,
+    placed: Option<u32>,
+}
+
+impl Dfs<'_> {
+    fn run(&self, model: &mut dyn Model, initial: Vec<u32>, indegree: &mut [u32]) -> Search {
+        let mut first = initial;
+        first.sort_by_key(|&v| self.hints[v as usize]);
+        let mut frames = vec![Frame { candidates: first, next: 0, placed: None }];
+        let mut order: Vec<u32> = Vec::with_capacity(self.n_to_place);
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut hash: u128 = 0;
+        let mut states: u64 = 0;
+
+        while let Some(frame) = frames.last_mut() {
+            if order.len() == self.n_to_place {
+                return Search::Order(order);
+            }
+            let mut advanced = false;
+            while frame.next < frame.candidates.len() {
+                let v = frame.candidates[frame.next];
+                frame.next += 1;
+                if !model.allowed(v) {
+                    continue;
+                }
+                let candidate_hash = hash ^ zobrist(u64::from(v));
+                if !seen.insert(candidate_hash) {
+                    continue; // an equal placed set was already fully explored
+                }
+                states += 1;
+                if states > self.budget {
+                    return Search::Exhausted { states };
+                }
+                hash = candidate_hash;
+                model.apply(v);
+                order.push(v);
+                let mut next_candidates: Vec<u32> =
+                    frame.candidates.iter().copied().filter(|&u| u != v).collect();
+                (self.succs)(v, &mut |b| {
+                    indegree[b as usize] -= 1;
+                    if indegree[b as usize] == 0 {
+                        next_candidates.push(b);
+                    }
+                });
+                next_candidates.sort_by_key(|&u| self.hints[u as usize]);
+                frames.push(Frame { candidates: next_candidates, next: 0, placed: Some(v) });
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                let done = frames.pop().expect("loop guard ensures a frame");
+                if let Some(v) = done.placed {
+                    order.pop();
+                    hash ^= zobrist(u64::from(v));
+                    model.undo(v);
+                    (self.succs)(v, &mut |b| indegree[b as usize] += 1);
+                }
+            }
+        }
+        Search::NoOrder
+    }
+}
+
+struct SerModel<'a> {
+    versions: VersionState<'a>,
+    undo_logs: Vec<WriteUndo>,
+}
+
+impl Model for SerModel<'_> {
+    fn allowed(&self, v: u32) -> bool {
+        self.versions.reads_current(v) && self.versions.writes_unblocked(v)
+    }
+
+    fn apply(&mut self, v: u32) {
+        self.versions.apply_reads(v);
+        let undo = self.versions.apply_writes(v);
+        self.undo_logs.push(undo);
+    }
+
+    fn undo(&mut self, v: u32) {
+        let undo = self.undo_logs.pop().expect("one undo log per placement");
+        self.versions.undo_writes(undo);
+        self.versions.undo_reads(v);
+    }
+}
+
+/// Search for a serializable commit order extending the saturated constraints.
+pub fn search_serializable(
+    po: &TxnPartialOrder,
+    sat: &Saturated,
+    n_vars: usize,
+    budget: u64,
+) -> Search {
+    if verify_serial_order(po, n_vars, &sat.topo) {
+        return Search::Order(sat.topo.iter().copied().filter(|&t| t != ROOT).collect());
+    }
+
+    let n = po.len();
+    let mut indegree = vec![0u32; n];
+    for v in 0..n as u32 {
+        for &b in sat.graph.neighbors(v) {
+            indegree[b as usize] += 1;
+        }
+    }
+    // Pre-place the initial transaction.
+    let mut initial: Vec<u32> = Vec::new();
+    for &b in sat.graph.neighbors(ROOT) {
+        indegree[b as usize] -= 1;
+        if indegree[b as usize] == 0 {
+            initial.push(b);
+        }
+    }
+    let mut model = SerModel { versions: VersionState::new(po, n_vars), undo_logs: Vec::new() };
+    let succs = |v: u32, f: &mut dyn FnMut(u32)| {
+        for &b in sat.graph.neighbors(v) {
+            f(b);
+        }
+    };
+    let dfs = Dfs { succs: &succs, hints: po.hints.clone(), n_to_place: n - 1, budget };
+    dfs.run(&mut model, initial, &mut indegree)
+}
+
+/// Split-vertex encoding for the snapshot-isolation search: vertex `2t` is
+/// transaction `t`'s snapshot (read) point, `2t + 1` its commit (write) point.
+fn read_point(t: u32) -> u32 {
+    2 * t
+}
+fn write_point(t: u32) -> u32 {
+    2 * t + 1
+}
+fn txn_of(v: u32) -> u32 {
+    v / 2
+}
+fn is_write_point(v: u32) -> bool {
+    v % 2 == 1
+}
+
+struct SiModel<'a> {
+    versions: VersionState<'a>,
+    undo_logs: Vec<WriteUndo>,
+    /// var → a transaction is "open" (snapshot taken, commit pending) that
+    /// writes this var.  First-committer-wins: two such transactions may
+    /// never be open at once, and a snapshot may not be taken while a
+    /// conflicting writer is open.
+    open_writer: Vec<bool>,
+}
+
+impl Model for SiModel<'_> {
+    fn allowed(&self, v: u32) -> bool {
+        let t = txn_of(v);
+        if is_write_point(v) {
+            self.versions.writes_unblocked(t)
+        } else {
+            self.versions.reads_current(t)
+                && self.versions.po.writes[t as usize]
+                    .iter()
+                    .all(|&var| !self.open_writer[var as usize])
+        }
+    }
+
+    fn apply(&mut self, v: u32) {
+        let t = txn_of(v);
+        if is_write_point(v) {
+            let undo = self.versions.apply_writes(t);
+            self.undo_logs.push(undo);
+            for &var in &self.versions.po.writes[t as usize] {
+                self.open_writer[var as usize] = false;
+            }
+        } else {
+            self.versions.apply_reads(t);
+            for &var in &self.versions.po.writes[t as usize] {
+                self.open_writer[var as usize] = true;
+            }
+        }
+    }
+
+    fn undo(&mut self, v: u32) {
+        let t = txn_of(v);
+        if is_write_point(v) {
+            let undo = self.undo_logs.pop().expect("one undo log per write point");
+            self.versions.undo_writes(undo);
+            for &var in &self.versions.po.writes[t as usize] {
+                self.open_writer[var as usize] = true;
+            }
+        } else {
+            self.versions.undo_reads(t);
+            for &var in &self.versions.po.writes[t as usize] {
+                self.open_writer[var as usize] = false;
+            }
+        }
+    }
+}
+
+/// Search for a snapshot-isolation commit order extending the saturated
+/// constraints.  On success the returned order lists commit (write) points.
+pub fn search_snapshot_isolation(
+    po: &TxnPartialOrder,
+    sat: &Saturated,
+    n_vars: usize,
+    budget: u64,
+) -> Search {
+    let n = po.len();
+    // Split-vertex precedence: base edge a → b becomes W(a) → R(b); every
+    // transaction's snapshot precedes its commit.
+    let mut indegree = vec![0u32; 2 * n];
+    for a in 0..n as u32 {
+        indegree[write_point(a) as usize] += 1; // from R(a)
+        for &b in sat.graph.neighbors(a) {
+            indegree[read_point(b) as usize] += 1;
+        }
+    }
+    indegree[write_point(ROOT) as usize] -= 1;
+    let mut initial: Vec<u32> = Vec::new();
+    for &b in sat.graph.neighbors(ROOT) {
+        let r = read_point(b);
+        indegree[r as usize] -= 1;
+        if indegree[r as usize] == 0 {
+            initial.push(r);
+        }
+    }
+    let mut split_hints = vec![0u64; 2 * n];
+    for t in 0..n {
+        split_hints[2 * t] = 2 * po.hints[t];
+        split_hints[2 * t + 1] = 2 * po.hints[t] + 1;
+    }
+    let mut model = SiModel {
+        versions: VersionState::new(po, n_vars),
+        undo_logs: Vec::new(),
+        open_writer: vec![false; n_vars],
+    };
+    let succs = |v: u32, f: &mut dyn FnMut(u32)| {
+        if is_write_point(v) {
+            for &b in sat.graph.neighbors(txn_of(v)) {
+                f(read_point(b));
+            }
+        } else {
+            f(write_point(txn_of(v)));
+        }
+    };
+    let dfs = Dfs { succs: &succs, hints: split_hints, n_to_place: 2 * (n - 1), budget };
+    match dfs.run(&mut model, initial, &mut indegree) {
+        Search::Order(split) => {
+            Search::Order(split.into_iter().filter(|&v| is_write_point(v)).map(txn_of).collect())
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::AuditHistory;
+    use crate::saturation::check_causal;
+
+    fn solve(h: &AuditHistory) -> (Search, Search) {
+        let po = TxnPartialOrder::build(h).unwrap();
+        let sat = check_causal(&po).expect("causal holds for these scenarios");
+        let ser = search_serializable(&po, &sat, h.n_vars, DEFAULT_STATE_BUDGET);
+        let si = search_snapshot_isolation(&po, &sat, h.n_vars, DEFAULT_STATE_BUDGET);
+        (ser, si)
+    }
+
+    /// Sequential handoff across sessions: serializable, and the witness is
+    /// the forced order.
+    #[test]
+    fn clean_handoff_is_serializable() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 1)], [(0, 2)]);
+        let (ser, si) = solve(&h);
+        assert_eq!(ser, Search::Order(vec![1, 2]));
+        assert_eq!(si, Search::Order(vec![1, 2]));
+    }
+
+    /// The classic lost update: both the polynomial rule and the search
+    /// refute it, for SER and SI alike.
+    #[test]
+    fn lost_update_is_neither_serializable_nor_si() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let lu = find_lost_update(&po).expect("rule fires");
+        assert_eq!(lu.var, 0);
+        assert_eq!(lu.source, ROOT);
+        assert!(lu.render(&po).contains("lost update on v0"));
+        let (ser, si) = solve(&h);
+        assert_eq!(ser, Search::NoOrder);
+        assert_eq!(si, Search::NoOrder);
+    }
+
+    /// Write skew: T1 reads x writes y, T2 reads y writes x, both from the
+    /// initial snapshot.  SI admits it; serializability does not.  This is
+    /// the separating pair for the two searches.
+    #[test]
+    fn write_skew_separates_si_from_serializability() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0)], [(1, 10)]); // reads x=init, writes y
+        h.push_txn(1, [(1, 0)], [(0, 20)]); // reads y=init, writes x
+        let po = TxnPartialOrder::build(&h).unwrap();
+        assert_eq!(find_lost_update(&po), None, "write skew is not a lost update");
+        let (ser, si) = solve(&h);
+        assert_eq!(ser, Search::NoOrder, "write skew is not serializable");
+        assert!(matches!(si, Search::Order(_)), "write skew is SI: {si:?}");
+    }
+
+    /// Long-fork (two observers disagreeing on the order of two independent
+    /// writes) passes causal but fails SI.
+    #[test]
+    fn long_fork_fails_si() {
+        let mut h = AuditHistory::new(2, 0, 4);
+        h.push_txn(0, [], [(0, 1)]); // W x
+        h.push_txn(1, [], [(1, 1)]); // W y
+        h.push_txn(2, [(0, 1), (1, 0)], []); // sees x, not y
+        h.push_txn(3, [(0, 0), (1, 1)], []); // sees y, not x
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).expect("long fork is causal");
+        let si = search_snapshot_isolation(&po, &sat, 2, DEFAULT_STATE_BUDGET);
+        assert_eq!(si, Search::NoOrder, "long fork must not be SI");
+        let ser = search_serializable(&po, &sat, 2, DEFAULT_STATE_BUDGET);
+        assert_eq!(ser, Search::NoOrder);
+    }
+
+    /// A hint order that deliberately contradicts the data flow still
+    /// produces a valid witness via the DFS (fast path fails, search
+    /// succeeds).
+    #[test]
+    fn search_recovers_from_misleading_hints() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 1)], [(0, 2)]);
+        // Swap the hints so recording order contradicts the wr edge.
+        h.sessions[0][0].hint = 9;
+        h.sessions[1][0].hint = 1;
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).unwrap();
+        let ser = search_serializable(&po, &sat, 1, DEFAULT_STATE_BUDGET);
+        assert_eq!(ser, Search::Order(vec![1, 2]), "wr edge forces the true order");
+    }
+
+    /// An absurdly small budget reports exhaustion rather than a verdict.
+    #[test]
+    fn budget_exhaustion_is_reported_not_decided() {
+        let mut h = AuditHistory::new(4, 0, 4);
+        // Four independent read-modify-writes on distinct vars, then a
+        // misleading-hint conflict to force backtracking work.
+        for s in 0..4usize {
+            h.push_txn(s, [(s, 0)], [(s, 100 + s as i64)]);
+        }
+        h.push_txn(0, [(1, 0)], []); // stale read of v1 → hint order invalid
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).unwrap();
+        match search_serializable(&po, &sat, 4, 1) {
+            Search::Exhausted { states } => assert!(states >= 1),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! From a recorded history to the transaction partial order `(T, so, wr)`.
+//!
+//! [`TxnPartialOrder::build`] resolves every external read to the unique
+//! transaction that wrote the observed value (or to the synthetic **initial
+//! transaction**, dense index 0, when the initial value was observed), checks
+//! the recording contract on the way (unique write values, no thin-air reads),
+//! and lays everything out over dense `u32` indices so the checkers can use
+//! flat vectors and bitsets instead of hash maps keyed by rich ids.
+
+use crate::digraph::DiGraph;
+use crate::history::{AuditHistory, HistoryError, TxnId};
+use std::collections::HashMap;
+
+/// Dense index of the synthetic initial transaction.
+pub const ROOT: u32 = 0;
+
+/// The `(T, so, wr)` structure of a history over dense indices; input to every
+/// checker.
+#[derive(Debug)]
+pub struct TxnPartialOrder {
+    names: Vec<Option<TxnId>>,
+    /// Per-transaction external reads as `(var, source transaction)`.
+    pub reads: Vec<Vec<(u32, u32)>>,
+    /// Per-transaction written variables.
+    pub writes: Vec<Vec<u32>>,
+    /// Per-variable writers, the initial transaction first.
+    pub writers_by_var: Vec<Vec<u32>>,
+    /// Per-variable write-read edges as `(source, reader)` pairs.
+    pub wr_by_var: Vec<Vec<(u32, u32)>>,
+    /// `(writer, var)` → transactions that read `var` from `writer`.
+    pub readers: HashMap<(u32, u32), Vec<u32>>,
+    /// Commit-order hints (recording order); the initial transaction is 0.
+    pub hints: Vec<u64>,
+    /// `so ∪ wr` plus the initial transaction's edges — the base relation any
+    /// commit order must extend.
+    pub base: DiGraph,
+}
+
+impl TxnPartialOrder {
+    /// Number of vertices, including the initial transaction.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the history held no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Human-readable name of a dense index (`init` for the initial
+    /// transaction).
+    pub fn name(&self, dense: u32) -> String {
+        match self.names[dense as usize] {
+            Some(id) => id.to_string(),
+            None => "init".to_string(),
+        }
+    }
+
+    /// Render a dense-index path (as produced by cycle detection).
+    pub fn render_path(&self, path: &[u32]) -> String {
+        path.iter().map(|&v| self.name(v)).collect::<Vec<_>>().join(" → ")
+    }
+
+    /// Build the partial order, resolving write-read edges via unique write
+    /// values.
+    pub fn build(history: &AuditHistory) -> Result<Self, HistoryError> {
+        let n = history.txn_count() + 1;
+        let mut names: Vec<Option<TxnId>> = Vec::with_capacity(n);
+        names.push(None);
+        let mut dense_of: HashMap<TxnId, u32> = HashMap::with_capacity(n);
+        for (s, session) in history.sessions.iter().enumerate() {
+            for seq in 0..session.len() {
+                let id = TxnId { session: s, seq };
+                dense_of.insert(id, names.len() as u32);
+                names.push(Some(id));
+            }
+        }
+
+        // Unique-writer table: (var, value) → dense writer.
+        let mut writer_of: HashMap<(usize, i64), u32> = HashMap::new();
+        let mut writes: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut writers_by_var: Vec<Vec<u32>> = vec![vec![ROOT]; history.n_vars];
+        for (s, session) in history.sessions.iter().enumerate() {
+            for (seq, txn) in session.iter().enumerate() {
+                let id = TxnId { session: s, seq };
+                let dense = dense_of[&id];
+                for &(var, value) in &txn.writes {
+                    if value == history.initial {
+                        return Err(HistoryError::InitialValueWritten { writer: id, var, value });
+                    }
+                    if let Some(&other) = writer_of.get(&(var, value)) {
+                        return Err(HistoryError::AmbiguousWrite {
+                            var,
+                            value,
+                            first: names[other as usize].expect("initial txn never writes"),
+                            second: id,
+                        });
+                    }
+                    writer_of.insert((var, value), dense);
+                    writes[dense as usize].push(var as u32);
+                    writers_by_var[var].push(dense);
+                }
+            }
+        }
+
+        // Resolve reads and assemble so ∪ wr.
+        let mut reads: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let mut wr_by_var: Vec<Vec<(u32, u32)>> = vec![Vec::new(); history.n_vars];
+        let mut readers: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        let mut hints: Vec<u64> = vec![0; n];
+        let mut base = DiGraph::new(n);
+        for (s, session) in history.sessions.iter().enumerate() {
+            let mut prev = ROOT;
+            for (seq, txn) in session.iter().enumerate() {
+                let id = TxnId { session: s, seq };
+                let dense = dense_of[&id];
+                base.add_edge(prev, dense);
+                prev = dense;
+                hints[dense as usize] = txn.hint + 1;
+                let mut first_read: HashMap<usize, i64> = HashMap::new();
+                for &(var, value) in &txn.reads {
+                    match first_read.insert(var, value) {
+                        None => {}
+                        Some(prev) if prev == value => continue, // repeated read
+                        Some(prev) => {
+                            return Err(HistoryError::NonRepeatableRead {
+                                reader: id,
+                                var,
+                                first: prev,
+                                second: value,
+                            })
+                        }
+                    }
+                    let src = if value == history.initial {
+                        ROOT
+                    } else {
+                        *writer_of.get(&(var, value)).ok_or(HistoryError::ThinAirRead {
+                            reader: id,
+                            var,
+                            value,
+                        })?
+                    };
+                    if src == dense {
+                        // A transaction observing its own write is an internal
+                        // read; recorders exclude these, adapters may not.
+                        continue;
+                    }
+                    reads[dense as usize].push((var as u32, src));
+                    wr_by_var[var].push((src, dense));
+                    readers.entry((src, var as u32)).or_default().push(dense);
+                    base.add_edge(src, dense);
+                }
+            }
+        }
+
+        Ok(TxnPartialOrder {
+            names,
+            reads,
+            writes,
+            writers_by_var,
+            wr_by_var,
+            readers,
+            hints,
+            base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_session_history() -> AuditHistory {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 10)]); // s0:0 reads v0 initial, writes 10
+        h.push_txn(0, [(1, 0)], [(1, 20)]); // s0:1
+        h.push_txn(1, [(0, 10)], [(0, 30)]); // s1:0 reads s0:0's write
+        h
+    }
+
+    #[test]
+    fn builds_so_and_wr_edges() {
+        let po = TxnPartialOrder::build(&two_session_history()).unwrap();
+        assert_eq!(po.len(), 4);
+        assert!(!po.is_empty());
+        // Dense layout: 0 = init, 1 = s0:0, 2 = s0:1, 3 = s1:0.
+        assert_eq!(po.name(0), "init");
+        assert_eq!(po.name(1), "s0:0");
+        assert_eq!(po.name(3), "s1:0");
+        // Session chains.
+        assert!(po.base.has_edge(0, 1));
+        assert!(po.base.has_edge(1, 2));
+        assert!(po.base.has_edge(0, 3));
+        // wr: init → s0:0 (v0), init → s0:1 (v1), s0:0 → s1:0 (v0).
+        assert!(po.base.has_edge(1, 3));
+        assert_eq!(po.reads[3], vec![(0, 1)]);
+        assert_eq!(po.writers_by_var[0], vec![0, 1, 3]);
+        assert_eq!(po.readers[&(1, 0)], vec![3]);
+        assert_eq!(po.wr_by_var[0], vec![(0, 1), (1, 3)]);
+        // Hints shift past the initial transaction.
+        assert_eq!(po.hints, vec![0, 1, 2, 3]);
+        assert!(po.render_path(&[0, 1, 3]).contains("init → s0:0 → s1:0"));
+    }
+
+    #[test]
+    fn duplicate_write_values_are_rejected() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [], [(0, 7)]);
+        h.push_txn(1, [], [(0, 7)]);
+        match TxnPartialOrder::build(&h) {
+            Err(HistoryError::AmbiguousWrite { var: 0, value: 7, first, second }) => {
+                assert_eq!(first, TxnId { session: 0, seq: 0 });
+                assert_eq!(second, TxnId { session: 1, seq: 0 });
+            }
+            other => panic!("expected ambiguous write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writing_the_initial_value_is_rejected() {
+        let mut h = AuditHistory::new(1, 0, 1);
+        h.push_txn(0, [], [(0, 0)]);
+        assert!(matches!(
+            TxnPartialOrder::build(&h),
+            Err(HistoryError::InitialValueWritten { var: 0, value: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn thin_air_reads_are_rejected() {
+        let mut h = AuditHistory::new(1, 0, 1);
+        h.push_txn(0, [(0, 42)], []);
+        assert!(matches!(
+            TxnPartialOrder::build(&h),
+            Err(HistoryError::ThinAirRead { var: 0, value: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn differing_repeated_reads_are_rejected_as_non_repeatable() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [], [(0, 5)]);
+        h.push_txn(1, [(0, 0), (0, 5)], []); // saw initial, then the new value
+        match TxnPartialOrder::build(&h) {
+            Err(HistoryError::NonRepeatableRead { var: 0, first: 0, second: 5, reader }) => {
+                assert_eq!(reader, TxnId { session: 1, seq: 0 });
+            }
+            other => panic!("expected non-repeatable read, got {other:?}"),
+        }
+        // Identical repeated reads are fine (and collapse to one edge).
+        let mut h2 = AuditHistory::new(1, 0, 2);
+        h2.push_txn(0, [], [(0, 5)]);
+        h2.push_txn(1, [(0, 5), (0, 5)], []);
+        let po = TxnPartialOrder::build(&h2).unwrap();
+        assert_eq!(po.reads[2], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn own_write_reads_are_ignored_as_internal() {
+        let mut h = AuditHistory::new(1, 0, 1);
+        h.push_txn(0, [], [(0, 5)]);
+        // An adapter might report a read of one's own write; it must not
+        // create a self wr edge.
+        h.sessions[0][0].reads.push((0, 5));
+        let po = TxnPartialOrder::build(&h).unwrap();
+        assert!(po.reads[1].is_empty());
+        assert!(!po.base.has_edge(1, 1));
+    }
+}

@@ -1,0 +1,191 @@
+//! The concrete history recorder wired into live `stm-runtime` runs.
+//!
+//! A [`HistoryRecorder`] implements [`stm_runtime::Recorder`]: it is handed to
+//! [`stm_runtime::Stm::with_recorder`], collects one [`AuditTxn`] per
+//! successful commit into per-session buffers, and is torn down into an
+//! [`AuditHistory`] once the worker threads are done.
+//!
+//! Overhead profile: each commit takes one uncontended per-session mutex (the
+//! intended setup is one session per worker thread, registered via
+//! [`stm_runtime::recorder::set_session`]) and one relaxed fetch-add for the
+//! global recording index.  Threads that never registered get a session
+//! assigned on first commit from a fallback map keyed by thread id.
+
+use crate::history::{AuditHistory, AuditTxn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::ThreadId;
+
+/// Collects commit records from a live run into per-session buffers.
+///
+/// Session assignment is all-or-nothing per run: either every committing
+/// thread registered an explicit session id (the intended setup), or none
+/// did and sessions are auto-assigned per thread.  Mixing the two would let
+/// an auto-assigned thread collide with an explicitly registered session,
+/// silently merging two threads' commits into one session and fabricating
+/// session-order edges — so it is rejected loudly instead.
+pub struct HistoryRecorder {
+    initial: i64,
+    sessions: Vec<Mutex<Vec<AuditTxn>>>,
+    next_hint: AtomicU64,
+    fallback: Mutex<HashMap<ThreadId, usize>>,
+    explicit_seen: AtomicBool,
+    fallback_seen: AtomicBool,
+}
+
+impl HistoryRecorder {
+    /// A recorder with capacity for `n_sessions` sessions, auditing variables
+    /// that all start at `initial`.
+    pub fn new(n_sessions: usize, initial: i64) -> Self {
+        HistoryRecorder {
+            initial,
+            sessions: (0..n_sessions).map(|_| Mutex::new(Vec::new())).collect(),
+            next_hint: AtomicU64::new(0),
+            fallback: Mutex::new(HashMap::new()),
+            explicit_seen: AtomicBool::new(false),
+            fallback_seen: AtomicBool::new(false),
+        }
+    }
+
+    /// Commits recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.next_hint.load(Ordering::Relaxed)
+    }
+
+    fn session_for_current_thread(&self) -> usize {
+        assert!(
+            !self.explicit_seen.load(Ordering::Relaxed),
+            "a thread committed without a registered session while other threads \
+             registered one; register every worker via stm_runtime::recorder::set_session \
+             (mixing explicit and automatic sessions would corrupt session order)"
+        );
+        self.fallback_seen.store(true, Ordering::Relaxed);
+        let mut map = self.fallback.lock();
+        let used = map.len();
+        let slot = *map.entry(std::thread::current().id()).or_insert(used);
+        assert!(
+            slot < self.sessions.len(),
+            "HistoryRecorder has {} sessions but more threads committed; \
+             size it for the worker count or register sessions explicitly",
+            self.sessions.len()
+        );
+        slot
+    }
+
+    /// Tear the recorder down into the shared history type.  `n_vars` is the
+    /// number of variables the audited `Stm` instance allocated.
+    pub fn into_history(self, n_vars: usize) -> AuditHistory {
+        AuditHistory {
+            n_vars,
+            initial: self.initial,
+            sessions: self.sessions.into_iter().map(|s| s.into_inner()).collect(),
+        }
+    }
+}
+
+impl stm_runtime::Recorder for HistoryRecorder {
+    fn on_commit(&self, record: stm_runtime::CommitRecord<'_>) {
+        let session = match record.session {
+            Some(s) => {
+                assert!(
+                    s < self.sessions.len(),
+                    "session {s} out of range (recorder has {})",
+                    self.sessions.len()
+                );
+                self.explicit_seen.store(true, Ordering::Relaxed);
+                assert!(
+                    !self.fallback_seen.load(Ordering::Relaxed),
+                    "thread registered session {s} after other threads were auto-assigned \
+                     sessions; register every worker via stm_runtime::recorder::set_session \
+                     (mixing explicit and automatic sessions would corrupt session order)"
+                );
+                s
+            }
+            None => self.session_for_current_thread(),
+        };
+        let hint = self.next_hint.fetch_add(1, Ordering::Relaxed);
+        let txn = AuditTxn {
+            reads: record.reads.iter().map(|(v, x)| (v.index(), *x)).collect(),
+            writes: record.writes.iter().map(|(v, x)| (v.index(), *x)).collect(),
+            hint,
+        };
+        self.sessions[session].lock().push(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use stm_runtime::{recorder, BackendKind, Stm};
+
+    #[test]
+    fn records_per_session_with_global_hints() {
+        let rec = Arc::new(HistoryRecorder::new(2, 0));
+        let stm = Stm::with_recorder(BackendKind::Tl2Blocking, Arc::clone(&rec) as _);
+        let x = stm.alloc(0);
+        std::thread::scope(|scope| {
+            let stm = &stm;
+            for s in 0..2usize {
+                scope.spawn(move || {
+                    recorder::set_session(s);
+                    for i in 0..3 {
+                        let value = ((s as i64 + 1) << 32) + i;
+                        stm.run(|tx| {
+                            let _ = tx.read(x)?;
+                            tx.write(x, value)
+                        });
+                    }
+                    recorder::clear_session();
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), 6);
+        drop(stm);
+        let history = Arc::try_unwrap(rec).ok().unwrap().into_history(1);
+        assert_eq!(history.txn_count(), 6);
+        assert_eq!(history.sessions.len(), 2);
+        // Each session observed its own three commits in program order.
+        for session in &history.sessions {
+            assert_eq!(session.len(), 3);
+            assert!(session.windows(2).all(|w| w[0].hint < w[1].hint));
+        }
+        // Hints are globally unique.
+        let mut hints: Vec<u64> = history.sessions.iter().flatten().map(|t| t.hint).collect();
+        hints.sort_unstable();
+        assert_eq!(hints, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing explicit and automatic sessions")]
+    fn mixing_explicit_and_automatic_sessions_is_rejected() {
+        let rec = Arc::new(HistoryRecorder::new(2, 0));
+        let stm = Stm::with_recorder(BackendKind::Tl2Blocking, Arc::clone(&rec) as _);
+        let x = stm.alloc(0);
+        // An unregistered thread commits first and is auto-assigned session 0…
+        std::thread::scope(|scope| {
+            let stm = &stm;
+            scope.spawn(move || stm.run(|tx| tx.write(x, 1)));
+        });
+        // …so a later explicit registration (which could collide) must panic.
+        recorder::set_session(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.run(|tx| tx.write(x, 2));
+        }));
+        recorder::clear_session();
+        std::panic::resume_unwind(result.unwrap_err());
+    }
+
+    #[test]
+    fn unregistered_threads_get_fallback_sessions() {
+        let rec = Arc::new(HistoryRecorder::new(1, 0));
+        let stm = Stm::with_recorder(BackendKind::ObstructionFree, Arc::clone(&rec) as _);
+        let x = stm.alloc(0);
+        stm.run(|tx| tx.write(x, 5));
+        drop(stm);
+        let history = Arc::try_unwrap(rec).ok().unwrap().into_history(1);
+        assert_eq!(history.sessions[0].len(), 1);
+        assert_eq!(history.sessions[0][0].writes, vec![(0, 5)]);
+    }
+}

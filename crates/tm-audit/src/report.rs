@@ -1,0 +1,257 @@
+//! Audit verdicts: one outcome per consistency level, with a witness or a
+//! concrete violation.
+//!
+//! The report vocabulary is shared with `tm-consistency` — an [`AuditReport`]
+//! converts into that crate's [`ConditionMatrix`] (re-exported here), so the
+//! simulator-side checkers and the history-side checkers can be compared
+//! result-for-result by the cross-validation tests.
+
+pub use tm_consistency::report::{CheckResult, CommitOrderWitness, ConditionMatrix};
+
+use std::fmt;
+
+/// The consistency hierarchy the auditor decides, weakest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Reads observe committed writes and a commit order extending `so ∪ wr`
+    /// exists.
+    ReadCommitted,
+    /// Transactions are atomically visible (no fractured or stale-sibling
+    /// reads).
+    ReadAtomic,
+    /// Visibility is transitive: causal pasts propagate.
+    Causal,
+    /// Snapshot isolation: snapshot reads plus first-committer-wins on
+    /// write-write conflicts.
+    SnapshotIsolation,
+    /// A total commit order explains every read (reads-last-write).
+    Serializable,
+}
+
+impl Level {
+    /// All levels, weakest first.
+    pub const ALL: [Level; 5] = [
+        Level::ReadCommitted,
+        Level::ReadAtomic,
+        Level::Causal,
+        Level::SnapshotIsolation,
+        Level::Serializable,
+    ];
+
+    /// The condition name used in reports and `ConditionMatrix` rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::ReadCommitted => "read committed",
+            Level::ReadAtomic => "read atomic",
+            Level::Causal => "causal consistency",
+            Level::SnapshotIsolation => "snapshot isolation",
+            Level::Serializable => "serializability",
+        }
+    }
+
+    /// Short tag used in compact per-backend summaries.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::ReadCommitted => "RC",
+            Level::ReadAtomic => "RA",
+            Level::Causal => "Causal",
+            Level::SnapshotIsolation => "SI",
+            Level::Serializable => "SER",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the auditor concluded about one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The level holds; the witness explains why (usually a commit order).
+    Pass {
+        /// Human-readable witness.
+        witness: String,
+    },
+    /// The level is violated; the violation names the offending transactions.
+    Fail {
+        /// Human-readable violation.
+        violation: String,
+    },
+    /// The bounded search gave up before finding a witness or exhausting the
+    /// space (only possible for the NP-hard SI/SER searches).
+    Unknown {
+        /// Why the search stopped.
+        reason: String,
+    },
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Outcome::Pass { .. })
+    }
+
+    /// `true` for [`Outcome::Fail`].
+    pub fn failed(&self) -> bool {
+        matches!(self, Outcome::Fail { .. })
+    }
+}
+
+/// One level's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelReport {
+    /// The level checked.
+    pub level: Level,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+impl fmt::Display for LevelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            Outcome::Pass { witness } => {
+                write!(f, "{:<20} PASS  {}", self.level.name(), witness)
+            }
+            Outcome::Fail { violation } => {
+                write!(f, "{:<20} FAIL  {}", self.level.name(), violation)
+            }
+            Outcome::Unknown { reason } => {
+                write!(f, "{:<20} ?     {}", self.level.name(), reason)
+            }
+        }
+    }
+}
+
+/// The full audit of one history: a verdict per level plus the history shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Shape summary of the audited history.
+    pub shape: String,
+    /// Per-level verdicts, weakest level first.
+    pub levels: Vec<LevelReport>,
+}
+
+impl AuditReport {
+    /// The outcome for a level.
+    pub fn outcome(&self, level: Level) -> Option<&Outcome> {
+        self.levels.iter().find(|l| l.level == level).map(|l| &l.outcome)
+    }
+
+    /// `true` if the level was checked and passed.
+    pub fn passes(&self, level: Level) -> bool {
+        self.outcome(level).is_some_and(Outcome::passed)
+    }
+
+    /// `true` if the level was checked and failed.
+    pub fn fails(&self, level: Level) -> bool {
+        self.outcome(level).is_some_and(Outcome::failed)
+    }
+
+    /// Compact one-line summary: `RC ✓ | RA ✓ | Causal ✓ | SI ✗ | SER ✗`.
+    pub fn summary(&self) -> String {
+        self.levels
+            .iter()
+            .map(|l| {
+                let mark = match l.outcome {
+                    Outcome::Pass { .. } => "✓",
+                    Outcome::Fail { .. } => "✗",
+                    Outcome::Unknown { .. } => "?",
+                };
+                format!("{} {}", l.level.tag(), mark)
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Convert into `tm-consistency`'s matrix vocabulary so both checker
+    /// families can be diffed result-for-result.  [`Outcome::Unknown`] maps to
+    /// *not satisfied* with an `inconclusive:` note — a level the audit could
+    /// not establish must never read as a pass.
+    pub fn to_condition_matrix(&self) -> ConditionMatrix {
+        let mut matrix = ConditionMatrix::new();
+        for l in &self.levels {
+            matrix.push(match &l.outcome {
+                Outcome::Pass { witness } => CheckResult::satisfied(l.level.name(), witness),
+                Outcome::Fail { violation } => CheckResult::violated(l.level.name(), violation),
+                Outcome::Unknown { reason } => {
+                    CheckResult::violated(l.level.name(), format!("inconclusive: {reason}"))
+                }
+            });
+        }
+        matrix
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "audit of {}", self.shape)?;
+        for level in &self.levels {
+            writeln!(f, "  {level}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            shape: "2 sessions, 3 transactions, 2 variables".into(),
+            levels: vec![
+                LevelReport {
+                    level: Level::ReadCommitted,
+                    outcome: Outcome::Pass { witness: "order: init < s0:0".into() },
+                },
+                LevelReport {
+                    level: Level::Serializable,
+                    outcome: Outcome::Fail { violation: "lost update on v0".into() },
+                },
+                LevelReport {
+                    level: Level::SnapshotIsolation,
+                    outcome: Outcome::Unknown { reason: "budget exhausted".into() },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_and_summary() {
+        let r = sample();
+        assert!(r.passes(Level::ReadCommitted));
+        assert!(r.fails(Level::Serializable));
+        assert!(!r.passes(Level::SnapshotIsolation));
+        assert!(!r.fails(Level::SnapshotIsolation));
+        assert!(r.outcome(Level::Causal).is_none());
+        assert_eq!(r.summary(), "RC ✓ | SER ✗ | SI ?");
+        assert!(r.to_string().contains("PASS"));
+        assert!(r.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn matrix_conversion_never_lets_unknown_pass() {
+        let m = sample().to_condition_matrix();
+        assert!(m.is_satisfied("read committed"));
+        assert!(!m.is_satisfied("serializability"));
+        assert!(!m.is_satisfied("snapshot isolation"));
+        assert!(m
+            .get("snapshot isolation")
+            .unwrap()
+            .violation
+            .as_deref()
+            .unwrap()
+            .contains("inconclusive"));
+    }
+
+    #[test]
+    fn level_vocabulary_is_stable() {
+        assert_eq!(Level::ALL.len(), 5);
+        assert_eq!(Level::Serializable.name(), "serializability");
+        assert_eq!(format!("{}", Level::Causal), "causal consistency");
+        assert_eq!(Level::SnapshotIsolation.tag(), "SI");
+    }
+}

@@ -1,0 +1,226 @@
+//! Polynomial-time checkers for the lower half of the hierarchy, by
+//! saturation on the transaction partial order (after Biswas & Enea,
+//! "On the Complexity of Checking Transactional Consistency", OOPSLA 2019).
+//!
+//! All three levels are phrased the same way: *some total commit order `co`
+//! containing `so ∪ wr` must exist* such that a level-specific axiom holds.
+//! Each axiom has the shape
+//!
+//! > if `t3` reads `x` from `t1`, and `t2` also writes `x` (`t2 ∉ {t1, t3}`),
+//! > and `t2` is *visible* to `t3`, then `t2` must commit before `t1`
+//!
+//! with the levels differing only in what "visible" means:
+//!
+//! * **Read Committed** — nothing beyond the base relation: the history is
+//!   valid (reads observe committed writes — guaranteed by construction here —
+//!   with unique attribution) and `so ∪ wr` itself is acyclic.  (The
+//!   event-level prefix rules of the paper need intra-transaction event order,
+//!   which an atomic read-set/write-set history does not carry.)
+//! * **Read Atomic** — `t2` visible means a direct `so ∪ wr` edge `t2 → t3`:
+//!   one derivation pass, then an acyclicity check.  This is what rules out
+//!   fractured reads (reading `x` from a transaction while missing its
+//!   sibling write on `y`).
+//! * **Causal** — `t2` visible means reachability through everything derived
+//!   so far: derive write-write edges, close, and repeat to a fixpoint
+//!   (Algorithm 1 of the paper), then check acyclicity.
+//!
+//! A successful causal check returns the [`Saturated`] order — the input the
+//! NP-hard SI/SER searches in [`crate::linearization`] start from.
+
+use crate::digraph::{DiGraph, Reach};
+use crate::po::TxnPartialOrder;
+
+/// A violation found by a saturation checker: a cycle the commit order would
+/// have to contain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleViolation {
+    /// The offending cycle as dense indices, first == last.
+    pub path: Vec<u32>,
+}
+
+impl CycleViolation {
+    fn from_graph(graph: &DiGraph) -> Self {
+        CycleViolation { path: graph.find_cycle().expect("called only when the graph is cyclic") }
+    }
+
+    /// Render with history transaction names.
+    pub fn render(&self, po: &TxnPartialOrder) -> String {
+        format!("commit order must contain the cycle {}", po.render_path(&self.path))
+    }
+}
+
+/// The saturated constraint system a causally-consistent history induces.
+#[derive(Debug)]
+pub struct Saturated {
+    /// `so ∪ wr` plus every derived write-write edge (not transitively
+    /// closed — linear extensions are unchanged by closure).
+    pub graph: DiGraph,
+    /// A topological order of [`Self::graph`], hint-ordered.
+    pub topo: Vec<u32>,
+    /// Strict reachability over [`Self::graph`].
+    pub reach: Reach,
+    /// Saturation rounds until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Read Committed: the base relation `so ∪ wr` admits a total commit order.
+pub fn check_read_committed(po: &TxnPartialOrder) -> Result<Vec<u32>, CycleViolation> {
+    po.base.topo_order_by(&po.hints).ok_or_else(|| CycleViolation::from_graph(&po.base))
+}
+
+/// Read Atomic: one derivation pass with direct-edge visibility.
+pub fn check_read_atomic(po: &TxnPartialOrder) -> Result<Vec<u32>, CycleViolation> {
+    let mut graph = po.base.clone();
+    for (var, wr_edges) in po.wr_by_var.iter().enumerate() {
+        for &(t1, t3) in wr_edges {
+            for &t2 in &po.writers_by_var[var] {
+                if t2 != t1 && t2 != t3 && po.base.has_edge(t2, t3) {
+                    graph.add_edge(t2, t1);
+                }
+            }
+        }
+    }
+    graph.topo_order_by(&po.hints).ok_or_else(|| CycleViolation::from_graph(&graph))
+}
+
+/// Causal: saturate write-write edges against reachability to a fixpoint.
+pub fn check_causal(po: &TxnPartialOrder) -> Result<Saturated, CycleViolation> {
+    let mut graph = po.base.clone();
+    let mut topo = match graph.topo_order_by(&po.hints) {
+        Some(t) => t,
+        None => return Err(CycleViolation::from_graph(&graph)),
+    };
+    let mut reach = Reach::compute(&graph, &topo);
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut new_edges: Vec<(u32, u32)> = Vec::new();
+        for (var, writers) in po.writers_by_var.iter().enumerate() {
+            for &t1 in writers {
+                let readers = match po.readers.get(&(t1, var as u32)) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                for &t2 in writers {
+                    if t2 == t1 || reach.contains(t2, t1) {
+                        // Equal, or the conclusion is already implied.
+                        continue;
+                    }
+                    // t2's write of `var` is visible to a reader of t1's
+                    // write: t2 must commit before t1.
+                    if readers.iter().any(|&t3| t3 != t2 && reach.contains(t2, t3)) {
+                        new_edges.push((t2, t1));
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for (a, b) in new_edges {
+            changed |= graph.add_edge(a, b);
+        }
+        if !changed {
+            return Ok(Saturated { graph, topo, reach, rounds });
+        }
+        topo = match graph.topo_order_by(&po.hints) {
+            Some(t) => t,
+            None => return Err(CycleViolation::from_graph(&graph)),
+        };
+        reach = Reach::compute(&graph, &topo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::AuditHistory;
+
+    fn build(h: &AuditHistory) -> TxnPartialOrder {
+        TxnPartialOrder::build(h).unwrap()
+    }
+
+    /// Two sessions that each read the other's later write: so ∪ wr is cyclic,
+    /// nothing in the hierarchy can hold.
+    #[test]
+    fn read_committed_rejects_so_wr_cycles() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 20)], []); // s0:0 reads s1:1's write
+        h.push_txn(0, [], [(1, 10)]); // s0:1 writes v1
+        h.push_txn(1, [(1, 10)], []); // s1:0 reads s0:1's write
+        h.push_txn(1, [], [(0, 20)]); // s1:1 writes v0
+        let po = build(&h);
+        let err = check_read_committed(&po).unwrap_err();
+        assert!(err.render(&po).contains("cycle"));
+        assert!(check_read_atomic(&po).is_err());
+        assert!(check_causal(&po).is_err());
+    }
+
+    /// Fractured read: reader observes one of a transaction's two writes and
+    /// the initial value of the other.  RC passes, RA does not.
+    #[test]
+    fn read_atomic_rejects_fractured_reads() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [], [(0, 1), (1, 2)]); // s0:0 writes both vars
+        h.push_txn(1, [(0, 1), (1, 0)], []); // s1:0 sees v0 new, v1 initial
+        let po = build(&h);
+        assert!(check_read_committed(&po).is_ok());
+        let err = check_read_atomic(&po).unwrap_err();
+        // The cycle runs through the initial transaction: s0:0 must commit
+        // before init because init's v1 value was read by someone who saw
+        // s0:0.
+        assert!(err.path.contains(&0), "{:?}", err.path);
+        assert!(check_causal(&po).is_err());
+    }
+
+    /// The 7-session causality chain: RA holds but causal saturation finds the
+    /// cycle (the dbcop regression scenario).
+    #[test]
+    fn causal_rejects_transitive_stale_reads() {
+        let mut h = AuditHistory::new(6, 0, 7);
+        // x=1,a=1 ; read x, write y ; read y, write z ; read z, write a=2 ;
+        // read a=2, write p ; read p, write q ; read q, read a=1.
+        let (x, y, z, a, p, q) = (0, 1, 2, 3, 4, 5);
+        h.push_txn(0, [], [(x, 1), (a, 1)]);
+        h.push_txn(1, [(x, 1)], [(y, 1)]);
+        h.push_txn(2, [(y, 1)], [(z, 1)]);
+        h.push_txn(3, [(z, 1)], [(a, 2)]);
+        h.push_txn(4, [(a, 2)], [(p, 1)]);
+        h.push_txn(5, [(p, 1)], [(q, 1)]);
+        h.push_txn(6, [(q, 1), (a, 1)], []);
+        let po = build(&h);
+        assert!(check_read_committed(&po).is_ok());
+        assert!(check_read_atomic(&po).is_ok(), "RA must accept the chain");
+        let err = check_causal(&po).unwrap_err();
+        assert!(!err.path.is_empty());
+    }
+
+    /// Concurrent blind writes to the same variable are fine at every
+    /// saturation level.
+    #[test]
+    fn independent_sessions_saturate_to_a_fixpoint_quickly() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        let po = build(&h);
+        assert!(check_read_committed(&po).is_ok());
+        assert!(check_read_atomic(&po).is_ok());
+        let sat = check_causal(&po).unwrap();
+        assert!(sat.rounds <= 2, "rounds: {}", sat.rounds);
+        assert_eq!(sat.topo.len(), 3);
+        assert_eq!(sat.topo[0], 0, "the initial transaction comes first");
+    }
+
+    /// A session-order-respecting chain of reads is causal, and saturation
+    /// derives the cross-session write-write order.
+    #[test]
+    fn causal_accepts_and_orders_a_clean_handoff() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]); // s0:0: 0 → 1
+        h.push_txn(1, [(0, 1)], [(0, 2)]); // s1:0: 1 → 2 (read s0:0's write)
+        h.push_txn(0, [(0, 2)], [(0, 3)]); // s0:1: 2 → 3 (read s1:0's write)
+        let po = build(&h);
+        let sat = check_causal(&po).unwrap();
+        // init < s0:0 < s1:0 < s0:1 is forced.
+        let pos = |v: u32| sat.topo.iter().position(|&u| u == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(3) && pos(3) < pos(2));
+    }
+}

@@ -158,7 +158,10 @@ mod tests {
         for (item, value) in reads {
             let x = DataItem::new(*item);
             out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
-            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+            out.push(ev(
+                p,
+                TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) },
+            ));
         }
         for (item, value) in writes {
             let x = DataItem::new(*item);

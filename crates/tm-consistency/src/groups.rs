@@ -113,10 +113,7 @@ pub fn enumerate_partitions(execution: &Execution) -> Vec<Partition> {
         partitions.push(Partition {
             groups: groups
                 .into_iter()
-                .map(|members| Group {
-                    interval: group_interval(execution, &members),
-                    members,
-                })
+                .map(|members| Group { interval: group_interval(execution, &members), members })
                 .collect(),
         });
     }
@@ -189,7 +186,7 @@ mod tests {
         let e = three_tx_execution();
         let partitions = enumerate_partitions(&e);
         assert_eq!(partitions.len(), 4); // 2^(3-1)
-        // The coarsest partition has one group containing all three transactions.
+                                         // The coarsest partition has one group containing all three transactions.
         assert!(partitions.iter().any(|p| p.groups.len() == 1 && p.groups[0].members.len() == 3));
         // The finest has three singleton groups.
         assert!(partitions.iter().any(|p| p.groups.len() == 3));
@@ -238,9 +235,7 @@ mod tests {
         let labelings = enumerate_labelings(fine);
         assert_eq!(labelings.len(), 8);
         assert!(labelings.iter().any(|l| l.iter().all(|k| *k == GroupKind::SnapshotIsolation)));
-        assert!(labelings
-            .iter()
-            .any(|l| l.iter().all(|k| *k == GroupKind::ProcessorConsistency)));
+        assert!(labelings.iter().any(|l| l.iter().all(|k| *k == GroupKind::ProcessorConsistency)));
         let rendered = render_labeling(fine, &labelings[1]);
         assert!(rendered.contains("SI") || rendered.contains("PC"));
     }

@@ -55,7 +55,12 @@ pub struct Block {
 
 impl Block {
     /// Build the `Tgr` block of a transaction: its *global* reads followed by commit.
-    pub fn global_reads(label: impl Into<String>, history: &History, tx: TxId, check: bool) -> Block {
+    pub fn global_reads(
+        label: impl Into<String>,
+        history: &History,
+        tx: TxId,
+        check: bool,
+    ) -> Block {
         Block {
             label: label.into(),
             ops: history
@@ -92,7 +97,8 @@ impl Block {
         for ev in history.subhistory(tx) {
             match ev {
                 tm_model::TmEvent::RespRead {
-                    result: tm_model::history::ReadResult::Value(_), ..
+                    result: tm_model::history::ReadResult::Value(_),
+                    ..
                 } => {
                     if let Some((item, value)) = r_iter.next() {
                         ops.push(BlockOp::Read { item, value });
@@ -150,8 +156,7 @@ impl MemoryState {
             match op {
                 BlockOp::Read { item, value } => {
                     if block.check_reads {
-                        let expected =
-                            local.get(item).copied().unwrap_or_else(|| self.value(item));
+                        let expected = local.get(item).copied().unwrap_or_else(|| self.value(item));
                         if expected != *value {
                             return Err(format!(
                                 "{}: read of {} returned {} but the last write before it gives {}",
@@ -298,8 +303,8 @@ mod tests {
 
     #[test]
     fn block_builders_extract_from_history() {
-        use tm_model::prelude::*;
         use tm_model::history::ReadResult;
+        use tm_model::prelude::*;
         // T1 writes x=1 then reads x (local read) and reads y (global read).
         let mut h = History::new();
         let t = TxId(0);
@@ -310,9 +315,15 @@ mod tests {
         h.push(ProcId(0), TmEvent::InvWrite { tx: t, item: x.clone(), value: 1 });
         h.push(ProcId(0), TmEvent::RespWrite { tx: t, item: x.clone(), ok: true });
         h.push(ProcId(0), TmEvent::InvRead { tx: t, item: x.clone() });
-        h.push(ProcId(0), TmEvent::RespRead { tx: t, item: x.clone(), result: ReadResult::Value(1) });
+        h.push(
+            ProcId(0),
+            TmEvent::RespRead { tx: t, item: x.clone(), result: ReadResult::Value(1) },
+        );
         h.push(ProcId(0), TmEvent::InvRead { tx: t, item: y.clone() });
-        h.push(ProcId(0), TmEvent::RespRead { tx: t, item: y.clone(), result: ReadResult::Value(0) });
+        h.push(
+            ProcId(0),
+            TmEvent::RespRead { tx: t, item: y.clone(), result: ReadResult::Value(0) },
+        );
         h.push(ProcId(0), TmEvent::InvCommit { tx: t });
         h.push(ProcId(0), TmEvent::RespCommit { tx: t, committed: true });
 

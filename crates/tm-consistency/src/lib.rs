@@ -43,7 +43,7 @@ pub mod serializability;
 pub mod snapshot_isolation;
 pub mod weak_adaptive;
 
-pub use report::{CheckResult, ConditionMatrix};
+pub use report::{CheckResult, CommitOrderWitness, ConditionMatrix};
 
 use tm_model::Execution;
 

@@ -176,11 +176,17 @@ mod tests {
             views: vec![
                 simple_view(
                     0,
-                    vec![(TxId(0), write_block("T1", "x", 1)), (TxId(1), write_block("T2", "y", 2))],
+                    vec![
+                        (TxId(0), write_block("T1", "x", 1)),
+                        (TxId(1), write_block("T2", "y", 2)),
+                    ],
                 ),
                 simple_view(
                     1,
-                    vec![(TxId(0), write_block("T1", "x", 1)), (TxId(1), write_block("T2", "y", 2))],
+                    vec![
+                        (TxId(0), write_block("T1", "x", 1)),
+                        (TxId(1), write_block("T2", "y", 2)),
+                    ],
                 ),
             ],
             agreement_pairs: vec![],
@@ -218,11 +224,8 @@ mod tests {
             (TxId(1), t2.clone()),
             (TxId(2), read_block("R1", &[("x", 2), ("y", 1)])),
         ];
-        let p2_views = vec![
-            (TxId(0), t1),
-            (TxId(1), t2),
-            (TxId(3), read_block("R2", &[("x", 1), ("z", 2)])),
-        ];
+        let p2_views =
+            vec![(TxId(0), t1), (TxId(1), t2), (TxId(3), read_block("R2", &[("x", 1), ("z", 2)]))];
         let with_agreement = MultiViewProblem {
             views: vec![simple_view(0, p1_views.clone()), simple_view(1, p2_views.clone())],
             agreement_pairs: vec![(TxId(0), TxId(1))],
@@ -252,10 +255,8 @@ mod tests {
                 (TxId(2), read_block("R", &[("x", 1)])),
             ],
         );
-        let mv = MultiViewProblem {
-            views: vec![p1, p2],
-            agreement_pairs: vec![(TxId(0), TxId(1))],
-        };
+        let mv =
+            MultiViewProblem { views: vec![p1, p2], agreement_pairs: vec![(TxId(0), TxId(1))] };
         let sol = solve_multiview(&mv).expect("solvable with T2 before T1");
         assert_eq!(sol.len(), 2);
     }

@@ -139,8 +139,7 @@ impl<'a> Search<'a> {
     /// Whether the branch is already dead: some unplaced point's window has closed.
     fn dead_branch(&self) -> bool {
         self.problem.points.iter().enumerate().any(|(i, p)| {
-            !self.placed[i]
-                && matches!(p.window, Some((_, end)) if end < self.cursor)
+            !self.placed[i] && matches!(p.window, Some((_, end)) if end < self.cursor)
         })
     }
 
@@ -168,7 +167,9 @@ impl<'a> Search<'a> {
             return false;
         }
         // Greedy rule: place an eligible no-op point immediately, without branching.
-        if let Some(i) = (0..self.problem.points.len()).find(|&i| self.eligible(i) && self.is_noop(i)) {
+        if let Some(i) =
+            (0..self.problem.points.len()).find(|&i| self.eligible(i) && self.is_noop(i))
+        {
             if self.memory.apply_block(&self.problem.points[i].block).is_ok() {
                 self.placed[i] = true;
                 self.order.push(i);

@@ -118,18 +118,16 @@ mod tests {
         Event::Tm { proc: ProcId(p), event: e }
     }
 
-    fn tx_events(
-        p: usize,
-        tx: usize,
-        reads: &[(&str, i64)],
-        writes: &[(&str, i64)],
-    ) -> Vec<Event> {
+    fn tx_events(p: usize, tx: usize, reads: &[(&str, i64)], writes: &[(&str, i64)]) -> Vec<Event> {
         let t = TxId(tx);
         let mut out = vec![ev(p, TmEvent::InvBegin { tx: t }), ev(p, TmEvent::RespBegin { tx: t })];
         for (item, value) in reads {
             let x = DataItem::new(*item);
             out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
-            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+            out.push(ev(
+                p,
+                TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) },
+            ));
         }
         for (item, value) in writes {
             let x = DataItem::new(*item);
@@ -201,10 +199,7 @@ mod tests {
         let h = e.history();
         let com = vec![TxId(0), TxId(1), TxId(2)];
         assert_eq!(agreement_pairs(&h, &com), vec![(TxId(0), TxId(1))]);
-        assert_eq!(
-            relevant_processes(&h, &com),
-            vec![ProcId(0), ProcId(1), ProcId(2)]
-        );
+        assert_eq!(relevant_processes(&h, &com), vec![ProcId(0), ProcId(1), ProcId(2)]);
     }
 
     #[test]

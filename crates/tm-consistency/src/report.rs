@@ -50,6 +50,54 @@ impl fmt::Display for CheckResult {
     }
 }
 
+/// A serialization-order witness shared by the simulator-side checkers and the
+/// runtime-history auditors (`tm-audit`): the names of the transactions in
+/// commit order.
+///
+/// Audited runs reach millions of transactions, so [`fmt::Display`] renders a
+/// bounded prefix/suffix; the full order stays available in [`Self::order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOrderWitness {
+    /// Transaction names, first-committed first.
+    pub order: Vec<String>,
+}
+
+impl CommitOrderWitness {
+    /// How many leading/trailing entries `Display` shows before eliding.
+    const SHOWN: usize = 4;
+
+    /// Wrap an order.
+    pub fn new(order: Vec<String>) -> Self {
+        CommitOrderWitness { order }
+    }
+
+    /// Number of transactions in the witness.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when the witness is empty (vacuously consistent history).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl fmt::Display for CommitOrderWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.order.len() <= 2 * Self::SHOWN {
+            write!(f, "commit order: {}", self.order.join(" < "))
+        } else {
+            write!(
+                f,
+                "commit order ({} txns): {} < … < {}",
+                self.order.len(),
+                self.order[..Self::SHOWN].join(" < "),
+                self.order[self.order.len() - Self::SHOWN..].join(" < ")
+            )
+        }
+    }
+}
+
 /// A collection of check results for one execution: one row of the
 /// condition × algorithm × scenario matrix reported by the experiments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

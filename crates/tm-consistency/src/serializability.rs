@@ -59,10 +59,7 @@ fn check(execution: &Execution, condition: &'static str, strict: bool) -> CheckR
             );
         }
     }
-    CheckResult::violated(
-        condition,
-        "no legal sequential order exists for any choice of com(α)",
-    )
+    CheckResult::violated(condition, "no legal sequential order exists for any choice of com(α)")
 }
 
 /// Check serializability of an execution.

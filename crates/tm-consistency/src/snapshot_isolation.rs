@@ -232,7 +232,7 @@ mod tests {
         let e = Execution::from_events(events);
         let res = check_snapshot_isolation(&e);
         assert!(res.satisfied, "{res}");
-        assert!(!res.witness.as_ref().unwrap().contains("T1,gr") || true);
+        assert!(res.witness.is_some());
     }
 
     #[test]

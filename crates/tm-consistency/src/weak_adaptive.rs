@@ -58,9 +58,7 @@ fn build_view(
         let group = &partition.groups[group_idx];
         let kind = labeling[group_idx];
         let window = match kind {
-            GroupKind::SnapshotIsolation => {
-                intervals.get(tx).map(|iv| (iv.start, iv.end))
-            }
+            GroupKind::SnapshotIsolation => intervals.get(tx).map(|iv| (iv.start, iv.end)),
             GroupKind::ProcessorConsistency => Some((group.interval.start, group.interval.end)),
         };
         let check = history.proc_of(*tx) == proc;
@@ -215,7 +213,10 @@ mod tests {
         for (item, value) in reads {
             let x = DataItem::new(*item);
             out.push(ev(p, TmEvent::InvRead { tx: t, item: x.clone() }));
-            out.push(ev(p, TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) }));
+            out.push(ev(
+                p,
+                TmEvent::RespRead { tx: t, item: x, result: ReadResult::Value(*value) },
+            ));
         }
         for (item, value) in writes {
             let x = DataItem::new(*item);

@@ -15,12 +15,11 @@
 use crate::history::History;
 use crate::ids::{ProcId, TxId};
 use crate::step::{Event, MemStep};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A (half-open) interval of event indices `[start, end]`, both inclusive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     /// Index of the first event of the interval.
     pub start: usize,
@@ -52,7 +51,7 @@ impl fmt::Display for Interval {
 }
 
 /// An execution: the ordered list of all events of a run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Execution {
     events: Vec<Event>,
 }
@@ -101,30 +100,18 @@ impl Execution {
 
     /// All memory steps, in order, with their event indices.
     pub fn mem_steps(&self) -> Vec<(usize, &MemStep)> {
-        self.events
-            .iter()
-            .enumerate()
-            .filter_map(|(i, ev)| ev.as_mem().map(|s| (i, s)))
-            .collect()
+        self.events.iter().enumerate().filter_map(|(i, ev)| ev.as_mem().map(|s| (i, s))).collect()
     }
 
     /// The memory steps taken on behalf of a given transaction (the subsequence
     /// `α|T` of the paper, restricted to base-object accesses).
     pub fn steps_of_tx(&self, tx: TxId) -> Vec<&MemStep> {
-        self.events
-            .iter()
-            .filter_map(|ev| ev.as_mem())
-            .filter(|s| s.tx == tx)
-            .collect()
+        self.events.iter().filter_map(|ev| ev.as_mem()).filter(|s| s.tx == tx).collect()
     }
 
     /// The memory steps taken by a given process, in order.
     pub fn steps_of_proc(&self, proc: ProcId) -> Vec<&MemStep> {
-        self.events
-            .iter()
-            .filter_map(|ev| ev.as_mem())
-            .filter(|s| s.proc == proc)
-            .collect()
+        self.events.iter().filter_map(|ev| ev.as_mem()).filter(|s| s.proc == proc).collect()
     }
 
     /// All events (memory and TM) belonging to a process, in order.

@@ -12,12 +12,11 @@
 //! used to build the `Tgr` / `Tw` transactions of Definition 3.1.
 
 use crate::ids::{DataItem, ProcId, TxId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Result of a transactional read as recorded in a history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadResult {
     /// The read returned a value.
     Value(i64),
@@ -26,7 +25,7 @@ pub enum ReadResult {
 }
 
 /// A transactional invocation or response event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TmEvent {
     /// Invocation of `begin_T`.
     InvBegin {
@@ -175,7 +174,7 @@ impl fmt::Display for TmEvent {
 }
 
 /// Status of a transaction in a history (terminology of Section 3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxStatus {
     /// `H|T` ends with `C_T`.
     Committed,
@@ -196,7 +195,7 @@ impl TxStatus {
 
 /// A history: the sequence of invocation / response events of an execution, each
 /// tagged with the process that performed it.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct History {
     events: Vec<(ProcId, TmEvent)>,
 }
@@ -292,9 +291,7 @@ impl History {
 
     /// The index of the `begin` invocation of `tx`, if any.
     pub fn begin_index(&self, tx: TxId) -> Option<usize> {
-        self.events
-            .iter()
-            .position(|(_, ev)| matches!(ev, TmEvent::InvBegin { tx: t } if *t == tx))
+        self.events.iter().position(|(_, ev)| matches!(ev, TmEvent::InvBegin { tx: t } if *t == tx))
     }
 
     /// The index of the terminal response (`C_T`/`A_T`) of `tx`, if it completed.
@@ -380,10 +377,10 @@ impl History {
                 TmEvent::InvWrite { item, .. } => {
                     written.insert(item.clone());
                 }
-                TmEvent::RespRead { item, result: ReadResult::Value(v), .. } => {
-                    if !written.contains(item) {
-                        out.push((item.clone(), *v));
-                    }
+                TmEvent::RespRead { item, result: ReadResult::Value(v), .. }
+                    if !written.contains(item) =>
+                {
+                    out.push((item.clone(), *v));
                 }
                 _ => {}
             }
@@ -459,11 +456,7 @@ impl History {
 
     /// Render the history, one event per line, for diagnostics and figures.
     pub fn render(&self) -> String {
-        self.events
-            .iter()
-            .map(|(p, ev)| format!("{p}: {ev}"))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.events.iter().map(|(p, ev)| format!("{p}: {ev}")).collect::<Vec<_>>().join("\n")
     }
 }
 

@@ -10,14 +10,13 @@
 //! Disjoint-access-parallelism is exactly the statement relating the last two levels:
 //! transactions that do not share *data items* must not contend on *base objects*.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a process (`p1 … pn` in the paper).
 ///
 /// Processes are the units of asynchrony: a step is always performed by a single
 /// process, and the simulator's scheduler decides which process takes the next step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub usize);
 
 impl ProcId {
@@ -39,7 +38,7 @@ impl fmt::Display for ProcId {
 ///
 /// In the scenarios reproduced from the paper the identifier matches the paper's
 /// numbering (`TxId(0)` is `T1`, …); in generated scenarios it is simply a dense index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId(pub usize);
 
 impl TxId {
@@ -61,7 +60,7 @@ impl fmt::Display for TxId {
 /// numeric id is an artifact of allocation order and therefore **must not** be used to
 /// compare steps across different executions.  Cross-execution comparisons (e.g. the
 /// indistinguishability arguments of the proof) always go through the object's *name*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjId(pub usize);
 
 impl ObjId {
@@ -81,7 +80,7 @@ impl fmt::Display for ObjId {
 ///
 /// Data items are identified purely by name ("a", "b1", "e1,3", …).  The initial value
 /// of every data item is `0`, as the proof of the PCL theorem assumes.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataItem(String);
 
 impl DataItem {

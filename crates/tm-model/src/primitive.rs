@@ -9,11 +9,10 @@
 //! (a CAS is non-trivial even if it fails, because it *may* change the state).
 
 use crate::word::Word;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An atomic primitive applied to a single base object in a single step.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Primitive {
     /// Read the object's current state.
     Read,
@@ -64,7 +63,7 @@ impl fmt::Display for Primitive {
 }
 
 /// The response returned by a primitive.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PrimResponse {
     /// The value read (for `Read` and `FetchAdd`, which returns the previous value).
     Value(Word),

@@ -188,13 +188,7 @@ fn wait_for_go(shared: &Shared, me: ProcId) -> bool {
 }
 
 /// Drive one transaction through its TM routines, recording the TM-interface events.
-fn run_one_tx(
-    shared: &Shared,
-    algo: &dyn TmAlgorithm,
-    spec: &TxSpec,
-    me: ProcId,
-    is_last: bool,
-) {
+fn run_one_tx(shared: &Shared, algo: &dyn TmAlgorithm, spec: &TxSpec, me: ProcId, is_last: bool) {
     let tx = spec.id;
     let mut ctx = SimCtx { shared, proc: me, tx };
     ctx.push_tm(TmEvent::InvBegin { tx });
@@ -226,9 +220,7 @@ fn run_one_tx(
             TxOp::Write(item, value) => {
                 ctx.push_tm(TmEvent::InvWrite { tx, item: item.clone(), value: *value });
                 match logic.write(&mut ctx, item, *value) {
-                    Ok(()) => {
-                        ctx.push_tm(TmEvent::RespWrite { tx, item: item.clone(), ok: true })
-                    }
+                    Ok(()) => ctx.push_tm(TmEvent::RespWrite { tx, item: item.clone(), ok: true }),
                     Err(_) => {
                         ctx.push_tm(TmEvent::RespWrite { tx, item: item.clone(), ok: false });
                         aborted = true;
@@ -277,8 +269,7 @@ fn proc_main(shared: &Shared, algo: &dyn TmAlgorithm, my_txs: &[TxSpec], me: Pro
             return;
         }
         let is_last = i + 1 == my_txs.len();
-        let result =
-            catch_unwind(AssertUnwindSafe(|| run_one_tx(shared, algo, spec, me, is_last)));
+        let result = catch_unwind(AssertUnwindSafe(|| run_one_tx(shared, algo, spec, me, is_last)));
         if let Err(payload) = result {
             if payload.downcast_ref::<ShutdownToken>().is_some() {
                 return;

@@ -5,12 +5,11 @@ use crate::baseobj::Memory;
 use crate::execution::Execution;
 use crate::ids::{DataItem, TxId};
 use crate::txspec::Scenario;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The final fate of a transaction in a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxOutcome {
     /// The transaction committed (`C_T`).
     Committed,
@@ -32,7 +31,7 @@ impl fmt::Display for TxOutcome {
 }
 
 /// Per-directive report: what happened while the scheduler executed one directive.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectiveReport {
     /// The directive executed.
     pub directive: Directive,
@@ -78,12 +77,7 @@ impl SimOutcome {
     /// The value a transaction's *first* successful read of `item` returned, if any.
     /// (The scenarios of the paper read each item at most once per transaction.)
     pub fn read_value(&self, tx: TxId, item: &DataItem) -> Option<i64> {
-        self.execution
-            .history()
-            .reads_of(tx)
-            .into_iter()
-            .find(|(it, _)| it == item)
-            .map(|(_, v)| v)
+        self.execution.history().reads_of(tx).into_iter().find(|(it, _)| it == item).map(|(_, v)| v)
     }
 
     /// Whether any directive hit its step limit (a blocked / starved process).
@@ -132,10 +126,12 @@ mod tests {
 
     #[test]
     fn all_committed_requires_every_transaction() {
-        assert!(outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Committed)])
-            .all_committed());
-        assert!(!outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Aborted)])
-            .all_committed());
+        assert!(
+            outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Committed)]).all_committed()
+        );
+        assert!(
+            !outcome_with(&[(0, TxOutcome::Committed), (1, TxOutcome::Aborted)]).all_committed()
+        );
         assert!(!outcome_with(&[]).all_committed());
         assert_eq!(outcome_with(&[]).outcome_of(TxId(3)), TxOutcome::Unfinished);
     }

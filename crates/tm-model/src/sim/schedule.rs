@@ -2,11 +2,10 @@
 
 use crate::ids::ProcId;
 use crate::txspec::Scenario;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One instruction to the scheduler.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Directive {
     /// Let the process perform exactly one step (one base-object primitive).
     ///
@@ -41,7 +40,7 @@ impl fmt::Display for Directive {
 }
 
 /// A schedule: the ordered list of directives the scheduler executes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     directives: Vec<Directive>,
 }

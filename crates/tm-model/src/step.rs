@@ -11,12 +11,11 @@
 use crate::history::TmEvent;
 use crate::ids::{ObjId, ProcId, TxId};
 use crate::primitive::{PrimResponse, Primitive};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A memory step: one atomic primitive applied by one process to one base object,
 /// together with the response it received.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemStep {
     /// The process that took the step.
     pub proc: ProcId,
@@ -48,16 +47,12 @@ impl MemStep {
 
 impl fmt::Display for MemStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}/{}: {}.{} = {}",
-            self.proc, self.tx, self.obj_name, self.prim, self.resp
-        )
+        write!(f, "{}/{}: {}.{} = {}", self.proc, self.tx, self.obj_name, self.prim, self.resp)
     }
 }
 
 /// One event of an execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A primitive applied to a base object.
     Mem(MemStep),
@@ -126,11 +121,7 @@ mod tests {
             obj: ObjId(3),
             obj_name: "val:x".to_string(),
             prim: if nontrivial { Primitive::Write(Word::Int(1)) } else { Primitive::Read },
-            resp: if nontrivial {
-                PrimResponse::Ack
-            } else {
-                PrimResponse::Value(Word::Int(0))
-            },
+            resp: if nontrivial { PrimResponse::Ack } else { PrimResponse::Value(Word::Int(0)) },
         }
     }
 

@@ -11,12 +11,11 @@
 //! when) is supplied separately.
 
 use crate::ids::{DataItem, ProcId, TxId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// One transactional operation of a static transaction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TxOp {
     /// `x.read()` — returns the value of the data item (or forces an abort).
     Read(DataItem),
@@ -49,7 +48,7 @@ impl fmt::Display for TxOp {
 
 /// A static transaction: an identifier, the process that executes it, a human-readable
 /// name, and the ordered list of operations it performs before trying to commit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxSpec {
     /// Unique identifier of the transaction within its scenario.
     pub id: TxId,
@@ -69,20 +68,12 @@ impl TxSpec {
 
     /// The set of data items the transaction reads.
     pub fn read_set(&self) -> BTreeSet<DataItem> {
-        self.ops
-            .iter()
-            .filter(|op| !op.is_write())
-            .map(|op| op.item().clone())
-            .collect()
+        self.ops.iter().filter(|op| !op.is_write()).map(|op| op.item().clone()).collect()
     }
 
     /// The set of data items the transaction writes.
     pub fn write_set(&self) -> BTreeSet<DataItem> {
-        self.ops
-            .iter()
-            .filter(|op| op.is_write())
-            .map(|op| op.item().clone())
-            .collect()
+        self.ops.iter().filter(|op| op.is_write()).map(|op| op.item().clone()).collect()
     }
 
     /// Two transactions *conflict* iff their data sets intersect (`D(T1) ∩ D(T2) ≠ ∅`).
@@ -105,7 +96,7 @@ impl TxSpec {
 
 /// A full scenario: the number of processes and all transactions, in begin-eligible
 /// order per process (each process runs its transactions in order of appearance).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     /// Number of processes (processes are `ProcId(0) .. ProcId(n_procs-1)`).
     pub n_procs: usize,

@@ -10,14 +10,13 @@
 //! abstract value" reading of the model.
 
 use crate::ids::TxId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Status of a transaction as recorded in a shared status base object.
 ///
 /// Used by obstruction-free algorithms in the DSTM family, where committing or
 /// aborting a transaction is a single CAS on its status word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxStatusWord {
     /// The transaction is still running.
     Active,
@@ -41,7 +40,7 @@ impl fmt::Display for TxStatusWord {
 ///
 /// All variants are plain data; equality is structural, which is what the simulated
 /// compare-and-swap primitive uses.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Word {
     /// An untyped machine word holding an integer (also used for locks: 0 = free).
     Int(i64),

@@ -119,10 +119,9 @@ fn check(execution: &Execution, scenario: &Scenario, variant: DapVariant) -> Dap
         };
         if !legal {
             let reason = match variant {
-                DapVariant::Strict => format!(
-                    "their data sets are disjoint (D({}) ∩ D({}) = ∅)",
-                    c.tx1, c.tx2
-                ),
+                DapVariant::Strict => {
+                    format!("their data sets are disjoint (D({}) ∩ D({}) = ∅)", c.tx1, c.tx2)
+                }
                 DapVariant::ConflictGraph => {
                     "no conflict path connects them in the surrounding interval".to_string()
                 }

@@ -138,8 +138,7 @@ pub fn probe_obstruction_freedom(
     // Probe 1: every transaction solo from the initial configuration.
     for victim in &probed {
         let sim = Simulator::new(algo, scenario).with_step_limit(config.step_limit);
-        let out =
-            sim.run(&Schedule::from_directives(vec![Directive::RunUntilTxDone(victim.proc)]));
+        let out = sim.run(&Schedule::from_directives(vec![Directive::RunUntilTxDone(victim.proc)]));
         report.probes_run += 1;
         let outcome = out.outcome_of(victim.id);
         if outcome != TxOutcome::Committed {
@@ -282,8 +281,7 @@ mod tests {
     #[test]
     fn unsynchronized_algorithm_passes_all_probes() {
         let scenario = two_disjoint_writers();
-        let report =
-            probe_obstruction_freedom(&Naive, &scenario, ProbeConfig::default());
+        let report = probe_obstruction_freedom(&Naive, &scenario, ProbeConfig::default());
         assert!(report.satisfied(), "{report}");
         assert!(report.probes_run >= 2);
         assert!(report.to_string().contains("satisfied"));

@@ -148,7 +148,8 @@ mod tests {
     #[test]
     fn transfers_never_overdraw() {
         let stm = Stm::new(BackendKind::ObstructionFree);
-        let bank = Bank::new(&stm, BankConfig { accounts: 4, initial_balance: 10, ..Default::default() });
+        let bank =
+            Bank::new(&stm, BankConfig { accounts: 4, initial_balance: 10, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {
             let (from, to) = bank.pick_accounts(0, 1, &mut rng);

@@ -12,7 +12,9 @@
 //! * [`zipf`] — a Zipfian index sampler for hotspot contention experiments;
 //! * [`runner`] — a thread-pool runner that executes a fixed number of transactions
 //!   per thread against a chosen backend and reports throughput, abort counts and the
-//!   stalled-writer liveness experiment.
+//!   stalled-writer liveness experiment; its **audit mode** ([`runner::run_audited`])
+//!   records every commit through `tm-audit` and proves which consistency levels
+//!   (RC / RA / Causal / SI / SER) the run satisfied.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,5 +24,7 @@ pub mod runner;
 pub mod zipf;
 
 pub use bank::{Bank, BankConfig};
-pub use runner::{run_threads, stalled_writer_experiment, RunConfig, RunReport};
+pub use runner::{
+    run_audited, run_threads, stalled_writer_experiment, AuditedRunReport, RunConfig, RunReport,
+};
 pub use zipf::Zipf;

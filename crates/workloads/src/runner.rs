@@ -1,4 +1,6 @@
-//! The multi-threaded workload runner and the stalled-writer liveness experiment.
+//! The multi-threaded workload runner, the stalled-writer liveness experiment,
+//! and the audited run mode (record every commit, then prove which consistency
+//! levels the run satisfied).
 
 use crate::bank::{Bank, BankConfig};
 use rand::rngs::StdRng;
@@ -7,6 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stm_runtime::{BackendKind, Stm};
+use tm_audit::{audit_with_budget, AuditReport, AuditRunConfig};
 
 /// Configuration of one runner invocation.
 #[derive(Debug, Clone, Copy)]
@@ -71,13 +74,37 @@ pub fn run_threads(config: RunConfig) -> RunReport {
     let committed = (config.threads * config.tx_per_thread) as f64;
     let throughput = committed / elapsed.as_secs_f64().max(1e-9);
     let balance_preserved = bank.total(&stm) == bank.expected_total();
-    RunReport {
-        config,
-        elapsed,
-        throughput,
-        aborts: stm.stats().aborts(),
-        balance_preserved,
-    }
+    RunReport { config, elapsed, throughput, aborts: stm.stats().aborts(), balance_preserved }
+}
+
+/// What an audited run measured and proved.
+#[derive(Debug, Clone)]
+pub struct AuditedRunReport {
+    /// The recording configuration that produced the report.
+    pub config: AuditRunConfig,
+    /// Wall-clock duration of the recorded run (excluding checking).
+    pub run_elapsed: Duration,
+    /// Committed (= recorded) transactions per second during the run.
+    pub throughput: f64,
+    /// Wall-clock duration of the consistency checks.
+    pub audit_elapsed: Duration,
+    /// The per-level verdicts.
+    pub audit: AuditReport,
+}
+
+/// The runner's audit mode: run `tm-audit`'s recordable register workload on
+/// the chosen backend (the bank workload keeps its role as the throughput
+/// benchmark — write-read inference needs the register workload's unique
+/// write values), record every commit, then check the recorded history
+/// against the full RC / RA / Causal / SI / SER hierarchy.
+pub fn run_audited(config: AuditRunConfig, budget: u64) -> AuditedRunReport {
+    let start = Instant::now();
+    let history = tm_audit::record_run(config);
+    let run_elapsed = start.elapsed();
+    let throughput = history.txn_count() as f64 / run_elapsed.as_secs_f64().max(1e-9);
+    let start = Instant::now();
+    let audit = audit_with_budget(&history, budget);
+    AuditedRunReport { config, run_elapsed, throughput, audit_elapsed: start.elapsed(), audit }
 }
 
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the
@@ -174,6 +201,23 @@ mod tests {
         // invariant holds *vacuously* for the auditor but cross-thread effects are
         // lost.  What must NOT happen is an abort: the backend is wait-free.
         assert_eq!(report.aborts, 0);
+    }
+
+    #[test]
+    fn audited_runs_report_throughput_and_verdicts() {
+        use tm_audit::Level;
+        let report = run_audited(
+            AuditRunConfig {
+                backend: BackendKind::ObstructionFree,
+                sessions: 2,
+                txns_per_session: 100,
+                vars: 16,
+                seed: 11,
+            },
+            tm_audit::linearization::DEFAULT_STATE_BUDGET,
+        );
+        assert!(report.throughput > 0.0);
+        assert!(report.audit.passes(Level::Serializable), "{}", report.audit);
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod tests {
         assert_eq!(z.len(), 16);
         assert!(!z.is_empty());
         let mut rng = StdRng::seed_from_u64(7);
-        let mut seen = vec![0usize; 16];
+        let mut seen = [0usize; 16];
         for _ in 0..5_000 {
             let i = z.sample(&mut rng);
             assert!(i < 16);
@@ -75,9 +75,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let uniform = Zipf::new(64, 0.0);
         let skewed = Zipf::new(64, 0.99);
-        let count_hot = |z: &Zipf, rng: &mut StdRng| {
-            (0..10_000).filter(|_| z.sample(rng) == 0).count()
-        };
+        let count_hot =
+            |z: &Zipf, rng: &mut StdRng| (0..10_000).filter(|_| z.sample(rng) == 0).count();
         let hot_uniform = count_hot(&uniform, &mut rng);
         let hot_skewed = count_hot(&skewed, &mut rng);
         assert!(hot_skewed > hot_uniform * 3, "{hot_skewed} vs {hot_uniform}");

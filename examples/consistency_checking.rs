@@ -19,23 +19,14 @@ fn main() {
                 println!("condition matrix on execution β (Figure 3):");
                 let matrix = check_all(&beta.execution);
                 for result in matrix.results() {
-                    println!(
-                        "  {} {}",
-                        if result.satisfied { "✓" } else { "✗" },
-                        result.condition
-                    );
+                    println!("  {} {}", if result.satisfied { "✓" } else { "✗" }, result.condition);
                 }
                 println!("  summary: {}\n", matrix.summary());
             }
             None => {
                 println!(
                     "β could not be assembled ({}), skipping matrix\n",
-                    report
-                        .obstacles
-                        .iter()
-                        .map(|o| o.to_string())
-                        .collect::<Vec<_>>()
-                        .join("; ")
+                    report.obstacles.iter().map(|o| o.to_string()).collect::<Vec<_>>().join("; ")
                 );
             }
         }

@@ -11,8 +11,7 @@ use workloads::{run_threads, stalled_writer_experiment, BankConfig, RunConfig};
 fn main() {
     println!("== PCL quickstart: one bank, three backends ==\n");
 
-    for backend in
-        [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
     {
         let report = run_threads(RunConfig {
             backend,
@@ -30,8 +29,7 @@ fn main() {
     }
 
     println!("\n== the liveness axis: a writer stalls for 100 ms mid-transaction ==\n");
-    for backend in
-        [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
     {
         let commits = stalled_writer_experiment(backend, 2, Duration::from_millis(100));
         println!(

@@ -15,7 +15,7 @@ use tm_properties::check_strict_dap;
 
 fn main() {
     let algo = OfDapCandidate::new();
-    println!("Algorithm under test: {} — {}\n", "of-dap-candidate", algo_profile());
+    println!("Algorithm under test: of-dap-candidate — {}\n", algo_profile());
 
     let report = Construction::new(&algo).build();
     println!("{}\n", figures::all_figures(&report));

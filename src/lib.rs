@@ -9,6 +9,7 @@
 pub use pcl_theorem as theorem;
 pub use stm_runtime as stm;
 pub use tm_algorithms as algorithms;
+pub use tm_audit as audit;
 pub use tm_consistency as consistency;
 pub use tm_model as model;
 pub use tm_properties as properties;
