@@ -1,6 +1,6 @@
 //! Checker-throughput benchmarks for the `tm-audit` subsystem.
 //!
-//! Two questions matter for auditing production-scale runs:
+//! Three questions matter for auditing production-scale runs:
 //!
 //! * **AUDIT1 — recording overhead**: commits/second of the register workload
 //!   with the recorder attached vs. detached, per backend.  The recorder is a
@@ -9,15 +9,24 @@
 //! * **AUDIT2 — checking throughput**: transactions/second each checker
 //!   level sustains on recorded histories (the polynomial saturation levels
 //!   and the SER search with its recording-order fast path).
+//! * **AUDIT3 — batch vs streaming at scale**: whole-run batch auditing vs
+//!   the windowed streaming pipeline at 10⁴ and 10⁵ transactions (10⁶ with
+//!   `PCL_BENCH_FULL=1`), with the number that decides the architecture:
+//!   **peak closure memory**.  Batch closure state grows with the run (the
+//!   dense design was V²/8 bytes — 1.25 GB at 10⁵, 125 GB at 10⁶); the
+//!   streaming pipeline's stays bounded by the window no matter the run
+//!   length, which is why only it can reach the ROADMAP's scale.
 //!
-//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2.
+//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3.
 
 use bench::harness::{bench, bench_throughput, black_box};
 use stm_runtime::BackendKind;
+use tm_audit::digraph::Reach;
 use tm_audit::linearization::{search_serializable, Search, DEFAULT_STATE_BUDGET};
 use tm_audit::po::TxnPartialOrder;
 use tm_audit::saturation::{check_causal, check_read_atomic, check_read_committed};
-use tm_audit::{record_run, run_unrecorded, AuditRunConfig};
+use tm_audit::{record_run, run_unrecorded, AuditRunConfig, Level, WindowConfig};
+use workloads::run_audited_streaming;
 
 const SAMPLES: usize = 5;
 
@@ -58,7 +67,83 @@ fn checker_throughput() {
     });
 }
 
+/// AUDIT3: batch vs streaming on the same run sizes, with peak closure
+/// memory as the deciding axis.
+fn batch_vs_streaming() {
+    let mut sizes: Vec<usize> = vec![10_000, 100_000];
+    if std::env::var_os("PCL_BENCH_FULL").is_some() {
+        sizes.push(1_000_000);
+    }
+    for &txns in &sizes {
+        let config = AuditRunConfig {
+            backend: BackendKind::Tl2Blocking,
+            sessions: 4,
+            txns_per_session: txns / 4,
+            vars: 64,
+            seed: 7,
+        };
+        let dense = Reach::dense_equivalent_bytes(txns + 1);
+
+        // Whole-run batch: record everything, then audit in one piece.  The
+        // banded Reach keeps even the batch path under its memory budget
+        // now, but its working set still grows with the run — past 10⁴ the
+        // streaming pipeline is the only mode whose closure stays put.
+        if txns <= 10_000 {
+            let history = record_run(config);
+            let start = std::time::Instant::now();
+            let report = tm_audit::audit(&history);
+            let elapsed = start.elapsed();
+            assert!(report.passes(Level::Serializable), "{report}");
+            println!(
+                "audit3-batch/{txns}-txns: checked in {elapsed:.3?} \
+                 (dense whole-run closure would be {} KiB)",
+                dense / 1024
+            );
+        } else {
+            println!(
+                "audit3-batch/{txns}-txns: skipped — whole-run closure working set \
+                 grows with the run (dense equivalent {} MiB); use streaming",
+                dense / (1 << 20)
+            );
+        }
+
+        // Streaming: audited concurrently with the workload in rolling
+        // windows; closure memory is bounded by the window.
+        let window = WindowConfig::sized(2_048);
+        let report = run_audited_streaming(config, window);
+        assert!(report.stream.passes(Level::Serializable), "{}", report.stream.merged);
+        // The acceptance bound: closure memory is a function of the window
+        // (≤ the dense closure of a 2×window graph — windows carry frontier
+        // stand-ins), independent of how long the run is.
+        let window_bound = Reach::dense_equivalent_bytes(2 * window.size);
+        assert!(
+            report.stream.peak_closure_bytes <= window_bound,
+            "peak closure {} must be bounded by the window ({window_bound}), not the run ({dense})",
+            report.stream.peak_closure_bytes
+        );
+        println!(
+            "audit3-streaming/{txns}-txns: run {:.3?} ({:.0} commits/s), verdict {:.3?} \
+             after run end; {} windows of ≤{}, verdict latency mean {:.3?} / max {:.3?}",
+            report.run_elapsed,
+            report.throughput,
+            report.drain_elapsed,
+            report.stream.windows.len(),
+            window.size,
+            report.stream.verdict_latency_mean(),
+            report.stream.verdict_latency_max(),
+        );
+        println!(
+            "audit3-streaming/{txns}-txns: peak closure memory {} KiB — bounded by the \
+             window ({} txns), vs {} MiB dense whole-run",
+            report.stream.peak_closure_bytes / 1024,
+            report.stream.peak_window_txns,
+            dense / (1 << 20)
+        );
+    }
+}
+
 fn main() {
     recording_overhead();
     checker_throughput();
+    batch_vs_streaming();
 }

@@ -48,7 +48,9 @@ pub mod tl2;
 pub mod txn;
 
 pub use backend::{Backend, BackendKind, VarId};
-pub use recorder::{CommitRecord, Recorder};
+pub use recorder::{
+    CommitBatch, CommitRecord, OwnedCommitRecord, Recorder, StreamConsumer, StreamingRecorder,
+};
 pub use stats::StmStats;
 pub use txn::{StmError, Txn, TxnData};
 

@@ -24,10 +24,24 @@
 //! with [`crate::Stm::new`] carries `None`, so the only cost on the
 //! uninstrumented hot path is one never-taken branch per commit — no
 //! allocation, no atomics, no extra cache traffic.
+//!
+//! # Streaming
+//!
+//! For runs too large to buffer whole, [`StreamingRecorder`] is a sharded,
+//! per-session buffered channel: each commit lands in its session's private
+//! shard (one uncontended mutex push plus one relaxed fetch-add for the
+//! global recording index), and a full shard flushes one [`CommitBatch`] to
+//! a bounded queue that a consumer thread — the streaming auditor — drains
+//! *while the workload is still running*.  The queue applies backpressure
+//! (producers wait when the consumer falls `capacity` batches behind) so
+//! end-to-end memory stays bounded no matter how long the run is.
 
 use crate::backend::VarId;
+use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything a recorder learns about one committed transaction.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +60,219 @@ pub trait Recorder: Send + Sync {
     /// Called once per successful commit, on the committing thread, after the
     /// backend's commit completed.
     fn on_commit(&self, record: CommitRecord<'_>);
+}
+
+/// One committed transaction, owned (detached from the committing thread's
+/// transaction data) so it can cross the channel to the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedCommitRecord {
+    /// The committing thread's registered session.
+    pub session: usize,
+    /// The commit's position within its session (session order).
+    pub seq: u64,
+    /// Global recording index (a cheap commit-order hint, never correctness).
+    pub hint: u64,
+    /// Externally-read variables and the value the first read observed.
+    pub reads: Vec<(VarId, i64)>,
+    /// Variables written and the values installed at commit.
+    pub writes: Vec<(VarId, i64)>,
+}
+
+/// A flushed shard: one session's consecutive commits, in session order.
+#[derive(Debug, Clone)]
+pub struct CommitBatch {
+    /// The session every record in this batch belongs to.
+    pub session: usize,
+    /// The records, in session (commit) order.
+    pub records: Vec<OwnedCommitRecord>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    batches: VecDeque<CommitBatch>,
+    closed: bool,
+}
+
+/// The bounded hand-off between committing threads and the audit consumer.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a batch arrives or the queue closes.
+    ready: Condvar,
+    /// Signalled when the consumer makes room or the queue closes.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    fn push(&self, batch: CommitBatch) {
+        let mut state = self.state.lock();
+        while state.batches.len() >= self.capacity && !state.closed {
+            self.space.wait(&mut state);
+        }
+        if state.closed {
+            return; // the run is over; late flushes are dropped
+        }
+        state.batches.push_back(batch);
+        self.ready.notify_one();
+    }
+
+    fn recv(&self) -> Option<CommitBatch> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                self.space.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+
+    fn try_recv(&self) -> Option<CommitBatch> {
+        let mut state = self.state.lock();
+        let batch = state.batches.pop_front();
+        if batch.is_some() {
+            self.space.notify_one();
+        }
+        batch
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+struct ShardBuf {
+    records: Vec<OwnedCommitRecord>,
+    next_seq: u64,
+}
+
+/// The streaming [`Recorder`]: sharded per-session buffers feeding a bounded
+/// batch queue (see the module docs).  Committing threads **must** register
+/// their session with [`set_session`] — streamed audits have no safe way to
+/// auto-assign sessions after the fact.
+pub struct StreamingRecorder {
+    shards: Vec<Mutex<ShardBuf>>,
+    queue: Arc<BatchQueue>,
+    batch_size: usize,
+    next_hint: AtomicU64,
+}
+
+impl StreamingRecorder {
+    /// Batches a bounded queue may hold before producers wait.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1_024;
+
+    /// A recorder for `n_sessions` sessions flushing every `batch_size`
+    /// commits, with the default queue capacity.
+    pub fn new(n_sessions: usize, batch_size: usize) -> Self {
+        Self::with_capacity(n_sessions, batch_size, Self::DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// A recorder with an explicit queue capacity (in batches).
+    pub fn with_capacity(n_sessions: usize, batch_size: usize, capacity: usize) -> Self {
+        StreamingRecorder {
+            shards: (0..n_sessions)
+                .map(|_| Mutex::new(ShardBuf { records: Vec::new(), next_seq: 0 }))
+                .collect(),
+            queue: Arc::new(BatchQueue {
+                state: Mutex::new(QueueState::default()),
+                ready: Condvar::new(),
+                space: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+            batch_size: batch_size.max(1),
+            next_hint: AtomicU64::new(0),
+        }
+    }
+
+    /// A handle the audit thread drains batches from.
+    pub fn consumer(&self) -> StreamConsumer {
+        StreamConsumer { queue: Arc::clone(&self.queue) }
+    }
+
+    /// Commits recorded so far.
+    pub fn recorded(&self) -> u64 {
+        self.next_hint.load(Ordering::Relaxed)
+    }
+
+    /// Flush every shard's partial buffer and close the queue: the consumer's
+    /// [`StreamConsumer::recv`] drains what remains, then returns `None`.
+    /// Call after the worker threads have joined.
+    pub fn finish(&self) {
+        for (session, shard) in self.shards.iter().enumerate() {
+            let records = std::mem::take(&mut shard.lock().records);
+            if !records.is_empty() {
+                self.queue.push(CommitBatch { session, records });
+            }
+        }
+        self.queue.close();
+    }
+}
+
+impl Recorder for StreamingRecorder {
+    fn on_commit(&self, record: CommitRecord<'_>) {
+        let session = record
+            .session
+            .expect("StreamingRecorder requires every worker to call recorder::set_session");
+        assert!(
+            session < self.shards.len(),
+            "session {session} out of range (streaming recorder has {})",
+            self.shards.len()
+        );
+        let hint = self.next_hint.fetch_add(1, Ordering::Relaxed);
+        let flushed = {
+            let mut shard = self.shards[session].lock();
+            let seq = shard.next_seq;
+            shard.next_seq += 1;
+            shard.records.push(OwnedCommitRecord {
+                session,
+                seq,
+                hint,
+                reads: record.reads.iter().map(|(v, x)| (*v, *x)).collect(),
+                writes: record.writes.iter().map(|(v, x)| (*v, *x)).collect(),
+            });
+            if shard.records.len() >= self.batch_size {
+                Some(std::mem::take(&mut shard.records))
+            } else {
+                None
+            }
+        };
+        if let Some(records) = flushed {
+            // Off the shard lock: the queue may apply backpressure.
+            self.queue.push(CommitBatch { session, records });
+        }
+    }
+}
+
+/// The consuming end of a [`StreamingRecorder`].
+pub struct StreamConsumer {
+    queue: Arc<BatchQueue>,
+}
+
+impl StreamConsumer {
+    /// Block until a batch is available; `None` once the recorder finished
+    /// and the queue drained.
+    pub fn recv(&self) -> Option<CommitBatch> {
+        self.queue.recv()
+    }
+
+    /// A batch if one is immediately available.
+    pub fn try_recv(&self) -> Option<CommitBatch> {
+        self.queue.try_recv()
+    }
+}
+
+impl Drop for StreamConsumer {
+    /// A dying consumer (including one unwinding from a panic) closes the
+    /// queue, so producers blocked on backpressure wake up and late commits
+    /// are dropped instead of wedging the workload forever.
+    fn drop(&mut self) {
+        self.queue.close();
+    }
 }
 
 thread_local! {
@@ -71,6 +298,99 @@ pub fn current_session() -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_recorder_batches_per_session_in_order() {
+        let rec = Arc::new(StreamingRecorder::new(2, 3));
+        let consumer = rec.consumer();
+        let stm = crate::Stm::with_recorder(crate::BackendKind::Tl2Blocking, Arc::clone(&rec) as _);
+        let x = stm.alloc(0);
+        std::thread::scope(|scope| {
+            let stm = &stm;
+            for s in 0..2usize {
+                scope.spawn(move || {
+                    set_session(s);
+                    for i in 0..7i64 {
+                        let value = ((s as i64 + 1) << 32) + i;
+                        stm.run(|tx| {
+                            let _ = tx.read(x)?;
+                            tx.write(x, value)
+                        });
+                    }
+                    clear_session();
+                });
+            }
+        });
+        assert_eq!(rec.recorded(), 14);
+        rec.finish();
+        let mut per_session: Vec<Vec<OwnedCommitRecord>> = vec![Vec::new(); 2];
+        let mut batches = 0;
+        while let Some(batch) = consumer.recv() {
+            batches += 1;
+            assert!(batch.records.len() <= 3, "batch size respected");
+            assert!(batch.records.iter().all(|r| r.session == batch.session));
+            per_session[batch.session].extend(batch.records);
+        }
+        // 7 commits per session at batch size 3: two full batches plus the
+        // final flush each.
+        assert!(batches >= 6, "batches: {batches}");
+        for (s, records) in per_session.iter().enumerate() {
+            assert_eq!(records.len(), 7, "session {s}");
+            // Session order is preserved end to end.
+            assert!(records.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+            assert!(records.windows(2).all(|w| w[0].hint < w[1].hint));
+            assert!(records.iter().all(|r| r.writes.len() == 1));
+        }
+        // Hints are globally unique.
+        let mut hints: Vec<u64> = per_session.iter().flatten().map(|r| r.hint).collect();
+        hints.sort_unstable();
+        assert_eq!(hints, (0..14).collect::<Vec<_>>());
+        // Queue is drained and closed.
+        assert!(consumer.try_recv().is_none());
+        assert!(consumer.recv().is_none());
+    }
+
+    #[test]
+    fn streaming_recorder_drains_concurrently_with_the_workload() {
+        let rec = Arc::new(StreamingRecorder::with_capacity(1, 2, 4));
+        let consumer = rec.consumer();
+        let stm =
+            crate::Stm::with_recorder(crate::BackendKind::ObstructionFree, Arc::clone(&rec) as _);
+        let x = stm.alloc(0);
+        let drained = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let mut total = 0usize;
+                while let Some(batch) = consumer.recv() {
+                    total += batch.records.len();
+                }
+                total
+            });
+            let stm = &stm;
+            scope
+                .spawn(move || {
+                    set_session(0);
+                    for i in 1..=50i64 {
+                        stm.run(|tx| tx.write(x, i));
+                    }
+                    clear_session();
+                })
+                .join()
+                .unwrap();
+            rec.finish();
+            handle.join().unwrap()
+        });
+        assert_eq!(drained, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires every worker to call recorder::set_session")]
+    fn streaming_recorder_rejects_unregistered_threads() {
+        let rec = Arc::new(StreamingRecorder::new(1, 8));
+        let stm = crate::Stm::with_recorder(crate::BackendKind::Tl2Blocking, rec as _);
+        let x = stm.alloc(0);
+        clear_session();
+        stm.run(|tx| tx.write(x, 1));
+    }
 
     #[test]
     fn session_registration_is_per_thread() {

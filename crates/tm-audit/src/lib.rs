@@ -1,4 +1,4 @@
-//! # tm-audit — live history capture + consistency auditing for the STM runtime
+//! # tm-audit — live history capture + streaming consistency auditing for the STM runtime
 //!
 //! The PCL theorem is a statement about *recorded histories*, but until this
 //! crate existed the repo could only check consistency on executions produced
@@ -11,14 +11,25 @@
 //!    into [`stm_runtime::Stm::with_recorder`] and captures the `(T, so, wr)`
 //!    structure of a live run: session order from per-thread sequence numbers,
 //!    write-read edges from unique write values.  The uninstrumented hot path
-//!    stays a single never-taken branch.
+//!    stays a single never-taken branch.  For runs too big to hold whole,
+//!    [`stm_runtime::StreamingRecorder`] batches commits per session and
+//!    drains them to the auditor *while the run is still going*.
 //! 2. **Check** ([`saturation`], [`linearization`]) — Read Committed / Read
 //!    Atomic / Causal by polynomial saturation on a transaction digraph;
 //!    Snapshot Isolation / Serializability by constrained-linearization DFS
 //!    with a polynomial lost-update refutation and a recording-order fast
 //!    path.  Every verdict carries a witness (a commit order) or a concrete
 //!    violation (a cycle or a transaction pair).
-//! 3. **Cross-validate** ([`adapter`]) — simulator executions convert into the
+//! 3. **Stream** ([`window`]) — a [`WindowedAuditor`] audits rolling history
+//!    segments with bounded memory: the partial order grows incrementally
+//!    ([`po::TxnPartialOrder::extend`]), saturation re-derives only the
+//!    frontier new edges touched ([`saturation::resaturate`]), closure
+//!    reachability is a banded budget-bounded cache ([`digraph::Reach`]), and
+//!    a committed frontier carries write attribution across windows.
+//!    Per-window verdicts merge into a whole-run report: **violations found
+//!    are real; cross-window SI/SER holds per window, attested, not certified
+//!    end-to-end** (see [`window`] for the full soundness statement).
+//! 4. **Cross-validate** ([`adapter`]) — simulator executions convert into the
 //!    same [`AuditHistory`] type, so `tm-consistency`'s checkers and these
 //!    checkers can be compared verdict-for-verdict on identical runs.
 //!
@@ -64,20 +75,24 @@ pub mod po;
 pub mod recorder;
 pub mod report;
 pub mod saturation;
+pub mod window;
 pub mod workload;
 
 pub use adapter::from_execution;
 pub use history::{AuditHistory, AuditTxn, HistoryError, TxnId};
 pub use recorder::HistoryRecorder;
 pub use report::{AuditReport, Level, LevelReport, Outcome};
-pub use workload::{record_run, run_unrecorded, AuditRunConfig};
+pub use window::{
+    audit_streamed, StreamMerger, StreamReport, WindowConfig, WindowVerdict, WindowedAuditor,
+};
+pub use workload::{record_run, run_unrecorded, run_with_recorder, AuditRunConfig};
 
 use linearization::{
     find_lost_update, search_serializable, search_snapshot_isolation, Search, DEFAULT_STATE_BUDGET,
 };
 use po::TxnPartialOrder;
 use report::CommitOrderWitness;
-use saturation::{check_causal, check_read_atomic, check_read_committed};
+use saturation::{check_causal, CycleViolation, Saturated};
 
 fn order_witness(po: &TxnPartialOrder, order: &[u32]) -> String {
     CommitOrderWitness::new(order.iter().map(|&t| po.name(t)).collect()).to_string()
@@ -89,12 +104,31 @@ pub fn audit(history: &AuditHistory) -> AuditReport {
     audit_with_budget(history, DEFAULT_STATE_BUDGET)
 }
 
+/// Every level fails with the same history defect (broken recording contract
+/// or thin-air read) as the violation.
+pub(crate) fn defect_report(shape: String, err: &HistoryError) -> AuditReport {
+    let violation = err.to_string();
+    AuditReport {
+        shape,
+        levels: Level::ALL
+            .iter()
+            .map(|&level| LevelReport {
+                level,
+                outcome: Outcome::Fail { violation: violation.clone() },
+            })
+            .collect(),
+    }
+}
+
 /// Audit a history, bounding each NP-hard search at `budget` DFS states.
 ///
 /// The hierarchy is exploited in both directions: a causal violation implies
-/// SI and SER violations (their searches never run), and a serializability
-/// witness doubles as the SI witness.  An exhausted budget yields
-/// [`Outcome::Unknown`], never a verdict.
+/// SI and SER violations (their searches never run), a serializability
+/// witness doubles as the SI witness, and an SI refutation refutes
+/// serializability even when the SER search itself ran out of budget.  An
+/// exhausted budget yields [`Outcome::Unknown`] — with the states explored,
+/// what is already refuted, and the budget a retry should use — never a
+/// verdict.
 pub fn audit_with_budget(history: &AuditHistory, budget: u64) -> AuditReport {
     let shape = history.shape();
     let po = match TxnPartialOrder::build(history) {
@@ -102,39 +136,40 @@ pub fn audit_with_budget(history: &AuditHistory, budget: u64) -> AuditReport {
         Err(err) => {
             // A broken recording contract (duplicate values) or a thin-air
             // read fails every level, with the defect as the violation.
-            let violation = err.to_string();
-            return AuditReport {
-                shape,
-                levels: Level::ALL
-                    .iter()
-                    .map(|&level| LevelReport {
-                        level,
-                        outcome: Outcome::Fail { violation: violation.clone() },
-                    })
-                    .collect(),
-            };
+            return defect_report(shape, &err);
         }
     };
+    let causal = check_causal(&po);
+    audit_built(&po, shape, budget, causal)
+}
 
+/// The verdict assembly shared by the batch path ([`audit_with_budget`]) and
+/// the windowed engine ([`window`]): the partial order is already built and
+/// the causal saturation already run (incrementally, in the windowed case).
+pub(crate) fn audit_built(
+    po: &TxnPartialOrder,
+    shape: String,
+    budget: u64,
+    causal: Result<Saturated, CycleViolation>,
+) -> AuditReport {
     let mut levels = Vec::with_capacity(Level::ALL.len());
 
     levels.push(LevelReport {
         level: Level::ReadCommitted,
-        outcome: match check_read_committed(&po) {
-            Ok(order) => Outcome::Pass { witness: order_witness(&po, &order) },
-            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+        outcome: match saturation::check_read_committed(po) {
+            Ok(order) => Outcome::Pass { witness: order_witness(po, &order) },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(po) },
         },
     });
 
     levels.push(LevelReport {
         level: Level::ReadAtomic,
-        outcome: match check_read_atomic(&po) {
-            Ok(order) => Outcome::Pass { witness: order_witness(&po, &order) },
-            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+        outcome: match saturation::check_read_atomic(po) {
+            Ok(order) => Outcome::Pass { witness: order_witness(po, &order) },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(po) },
         },
     });
 
-    let causal = check_causal(&po);
     levels.push(LevelReport {
         level: Level::Causal,
         outcome: match &causal {
@@ -142,51 +177,66 @@ pub fn audit_with_budget(history: &AuditHistory, budget: u64) -> AuditReport {
                 witness: format!(
                     "saturated in {} round(s); {}",
                     sat.rounds,
-                    order_witness(&po, &sat.topo)
+                    order_witness(po, &sat.topo)
                 ),
             },
-            Err(cycle) => Outcome::Fail { violation: cycle.render(&po) },
+            Err(cycle) => Outcome::Fail { violation: cycle.render(po) },
         },
     });
 
     let (si, ser) = match &causal {
         Err(cycle) => {
-            let implied = format!("implied by the causal violation: {}", cycle.render(&po));
+            let implied = format!("implied by the causal violation: {}", cycle.render(po));
             (Outcome::Fail { violation: implied.clone() }, Outcome::Fail { violation: implied })
         }
-        Ok(sat) => match find_lost_update(&po) {
+        Ok(sat) => match find_lost_update(po) {
             Some(lu) => {
-                let violation = lu.render(&po);
+                let violation = lu.render(po);
                 (Outcome::Fail { violation: violation.clone() }, Outcome::Fail { violation })
             }
             None => {
-                let ser = match search_serializable(&po, sat, history.n_vars, budget) {
-                    Search::Order(order) => Outcome::Pass { witness: order_witness(&po, &order) },
+                let ser = match search_serializable(po, sat, po.n_vars(), budget) {
+                    Search::Order(order) => Outcome::Pass { witness: order_witness(po, &order) },
                     Search::NoOrder => Outcome::Fail {
                         violation: "no commit order explains every read \
                                     (exhaustive constrained-linearization search)"
                             .into(),
                     },
-                    Search::Exhausted { states } => Outcome::Unknown {
-                        reason: format!("search budget exhausted after {states} states"),
-                    },
+                    Search::Exhausted { states } => Outcome::unknown(
+                        format!("serializability search budget ({budget}) exhausted"),
+                        states,
+                        None,
+                    ),
                 };
                 let si = match &ser {
                     // Serializable implies snapshot-isolated; reuse the witness.
                     Outcome::Pass { witness } => Outcome::Pass { witness: witness.clone() },
-                    _ => match search_snapshot_isolation(&po, sat, history.n_vars, budget) {
+                    _ => match search_snapshot_isolation(po, sat, po.n_vars(), budget) {
                         Search::Order(order) => {
-                            Outcome::Pass { witness: order_witness(&po, &order) }
+                            Outcome::Pass { witness: order_witness(po, &order) }
                         }
                         Search::NoOrder => Outcome::Fail {
                             violation: "no snapshot-ordered commit order exists \
                                         (exhaustive constrained-linearization search)"
                                 .into(),
                         },
-                        Search::Exhausted { states } => Outcome::Unknown {
-                            reason: format!("search budget exhausted after {states} states"),
-                        },
+                        Search::Exhausted { states } => Outcome::unknown(
+                            format!("snapshot-isolation search budget ({budget}) exhausted"),
+                            states,
+                            ser.failed().then_some(Level::Serializable),
+                        ),
                     },
+                };
+                // SER ⊆ SI: a definite SI refutation decides an exhausted SER
+                // search after all.
+                let ser = match (&ser, &si) {
+                    (Outcome::Unknown { .. }, Outcome::Fail { violation }) => Outcome::Fail {
+                        violation: format!(
+                            "implied by the snapshot-isolation refutation \
+                             (serializable ⊆ snapshot-isolated): {violation}"
+                        ),
+                    },
+                    _ => ser,
                 };
                 (si, ser)
             }
@@ -281,5 +331,24 @@ mod tests {
         let si = report.outcome(Level::SnapshotIsolation).unwrap();
         let ser = report.outcome(Level::Serializable).unwrap();
         assert_eq!(si, ser, "SI reuses the serializability witness");
+    }
+
+    #[test]
+    fn exhausted_searches_report_states_and_next_budget() {
+        // Four independent read-modify-writes, then a stale read that defeats
+        // the hint fast path, searched with a 1-state budget.
+        let mut h = AuditHistory::new(4, 0, 4);
+        for s in 0..4usize {
+            h.push_txn(s, [(s, 0)], [(s, 100 + s as i64)]);
+        }
+        h.push_txn(0, [(1, 0)], []);
+        let report = audit_with_budget(&h, 1);
+        let Outcome::Unknown { states, next_budget, .. } =
+            report.outcome(Level::Serializable).unwrap()
+        else {
+            panic!("expected unknown, got {report}");
+        };
+        assert!(*states >= 1);
+        assert!(*next_budget > *states);
     }
 }

@@ -1,4 +1,5 @@
-//! From a recorded history to the transaction partial order `(T, so, wr)`.
+//! From a recorded history to the transaction partial order `(T, so, wr)` —
+//! batch or **incrementally**, one committed transaction at a time.
 //!
 //! [`TxnPartialOrder::build`] resolves every external read to the unique
 //! transaction that wrote the observed value (or to the synthetic **initial
@@ -6,18 +7,36 @@
 //! the recording contract on the way (unique write values, no thin-air reads),
 //! and lays everything out over dense `u32` indices so the checkers can use
 //! flat vectors and bitsets instead of hash maps keyed by rich ids.
+//!
+//! The streaming pipeline never has the whole history in hand, so the same
+//! structure also grows *incrementally*: [`TxnPartialOrder::new`] starts from
+//! just the initial transaction and [`TxnPartialOrder::extend`] appends one
+//! committed transaction, resolving what it can immediately and parking reads
+//! whose writer has not arrived yet (commit records from different sessions
+//! reach the auditor slightly out of order).  Parked reads resolve the moment
+//! the writer arrives; [`TxnPartialOrder::seal`] turns any still-unresolved
+//! read into the thin-air-read defect, exactly as the batch path would.
+//! Every base edge (session order and write-read alike) is appended to an
+//! **edge log** so [`crate::saturation::resaturate`] can re-saturate only the
+//! frontier the new edges touched.
 
 use crate::digraph::DiGraph;
-use crate::history::{AuditHistory, HistoryError, TxnId};
+use crate::history::{AuditHistory, AuditTxn, HistoryError, TxnId};
 use std::collections::HashMap;
 
 /// Dense index of the synthetic initial transaction.
 pub const ROOT: u32 = 0;
 
+/// Session number used by the windowed auditor for synthetic stand-ins whose
+/// true origin fell off the retention horizon; rendered as `past?seq`.
+pub const EVICTED_SESSION: usize = usize::MAX;
+
 /// The `(T, so, wr)` structure of a history over dense indices; input to every
 /// checker.
 #[derive(Debug)]
 pub struct TxnPartialOrder {
+    n_vars: usize,
+    initial: i64,
     names: Vec<Option<TxnId>>,
     /// Per-transaction external reads as `(var, source transaction)`.
     pub reads: Vec<Vec<(u32, u32)>>,
@@ -34,9 +53,37 @@ pub struct TxnPartialOrder {
     /// `so ∪ wr` plus the initial transaction's edges — the base relation any
     /// commit order must extend.
     pub base: DiGraph,
+    /// `(var, value)` → dense writer (the unique-writer table).
+    writer_of: HashMap<(usize, i64), u32>,
+    /// Session → dense index of the session's most recently extended txn.
+    session_tail: HashMap<usize, u32>,
+    /// `(var, value)` → readers waiting for that writer to arrive.
+    pending_reads: HashMap<(usize, i64), Vec<u32>>,
+    /// Every base edge in insertion order, for incremental re-saturation.
+    edge_log: Vec<(u32, u32)>,
 }
 
 impl TxnPartialOrder {
+    /// An order holding only the initial transaction, ready to be extended.
+    pub fn new(n_vars: usize, initial: i64) -> Self {
+        TxnPartialOrder {
+            n_vars,
+            initial,
+            names: vec![None],
+            reads: vec![Vec::new()],
+            writes: vec![Vec::new()],
+            writers_by_var: vec![vec![ROOT]; n_vars],
+            wr_by_var: vec![Vec::new(); n_vars],
+            readers: HashMap::new(),
+            hints: vec![0],
+            base: DiGraph::new(1),
+            writer_of: HashMap::new(),
+            session_tail: HashMap::new(),
+            pending_reads: HashMap::new(),
+            edge_log: Vec::new(),
+        }
+    }
+
     /// Number of vertices, including the initial transaction.
     pub fn len(&self) -> usize {
         self.names.len()
@@ -47,10 +94,16 @@ impl TxnPartialOrder {
         self.names.len() <= 1
     }
 
+    /// Number of variables this order was built over.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
     /// Human-readable name of a dense index (`init` for the initial
-    /// transaction).
+    /// transaction, `past?seq` for an evicted-origin stand-in).
     pub fn name(&self, dense: u32) -> String {
         match self.names[dense as usize] {
+            Some(id) if id.session == EVICTED_SESSION => format!("past?{}", id.seq),
             Some(id) => id.to_string(),
             None => "init".to_string(),
         }
@@ -61,108 +114,156 @@ impl TxnPartialOrder {
         path.iter().map(|&v| self.name(v)).collect::<Vec<_>>().join(" → ")
     }
 
-    /// Build the partial order, resolving write-read edges via unique write
-    /// values.
+    /// Base edges in insertion order; [`crate::saturation::resaturate`] keeps
+    /// a cursor into this log to absorb only what is new.
+    pub fn edge_log(&self) -> &[(u32, u32)] {
+        &self.edge_log
+    }
+
+    /// The `(var, value)` pairs some extended transaction read but no
+    /// extended transaction wrote (yet).  The windowed auditor materializes
+    /// frontier stand-ins for these before sealing.
+    pub fn pending_values(&self) -> Vec<(usize, i64)> {
+        let mut values: Vec<(usize, i64)> = self.pending_reads.keys().copied().collect();
+        values.sort_unstable();
+        values
+    }
+
+    fn add_base_edge(&mut self, a: u32, b: u32) {
+        if self.base.add_edge(a, b) {
+            self.edge_log.push((a, b));
+        }
+    }
+
+    fn wire_read(&mut self, reader: u32, var: usize, src: u32) {
+        self.reads[reader as usize].push((var as u32, src));
+        self.wr_by_var[var].push((src, reader));
+        self.readers.entry((src, var as u32)).or_default().push(reader);
+        self.add_base_edge(src, reader);
+    }
+
+    /// Append one committed transaction, chained to its session's previous
+    /// transaction by a session-order edge.  Returns the dense index.
+    pub fn extend(&mut self, id: TxnId, txn: &AuditTxn) -> Result<u32, HistoryError> {
+        self.extend_inner(id, txn, true)
+    }
+
+    /// Append a transaction **without** a session-order edge (only the
+    /// initial transaction precedes it).  The windowed auditor uses this for
+    /// frontier stand-ins materialized after their session's chain has moved
+    /// on: a fabricated session edge could invent a violation, a dropped one
+    /// only weakens the constraint set.
+    pub fn extend_detached(&mut self, id: TxnId, txn: &AuditTxn) -> Result<u32, HistoryError> {
+        self.extend_inner(id, txn, false)
+    }
+
+    fn extend_inner(
+        &mut self,
+        id: TxnId,
+        txn: &AuditTxn,
+        chain: bool,
+    ) -> Result<u32, HistoryError> {
+        let dense = self.base.add_vertex();
+        self.names.push(Some(id));
+        self.reads.push(Vec::new());
+        self.writes.push(Vec::new());
+        self.hints.push(txn.hint + 1);
+
+        let prev = if chain {
+            let prev = self.session_tail.get(&id.session).copied().unwrap_or(ROOT);
+            self.session_tail.insert(id.session, dense);
+            prev
+        } else {
+            ROOT
+        };
+        self.add_base_edge(prev, dense);
+
+        // Writes first, mirroring the batch path's writer-table-before-reads
+        // order so a transaction observing its own write resolves to itself
+        // (and is dropped as internal).
+        for &(var, value) in &txn.writes {
+            if value == self.initial {
+                return Err(HistoryError::InitialValueWritten { writer: id, var, value });
+            }
+            if let Some(&other) = self.writer_of.get(&(var, value)) {
+                return Err(HistoryError::AmbiguousWrite {
+                    var,
+                    value,
+                    first: self.names[other as usize].expect("initial txn never writes"),
+                    second: id,
+                });
+            }
+            self.writer_of.insert((var, value), dense);
+            self.writes[dense as usize].push(var as u32);
+            self.writers_by_var[var].push(dense);
+            // The writer some earlier reader was parked on has arrived.
+            if let Some(parked) = self.pending_reads.remove(&(var, value)) {
+                for reader in parked {
+                    self.wire_read(reader, var, dense);
+                }
+            }
+        }
+
+        let mut first_read: HashMap<usize, i64> = HashMap::new();
+        for &(var, value) in &txn.reads {
+            match first_read.insert(var, value) {
+                None => {}
+                Some(prev) if prev == value => continue, // repeated read
+                Some(prev) => {
+                    return Err(HistoryError::NonRepeatableRead {
+                        reader: id,
+                        var,
+                        first: prev,
+                        second: value,
+                    })
+                }
+            }
+            if value == self.initial {
+                self.wire_read(dense, var, ROOT);
+                continue;
+            }
+            match self.writer_of.get(&(var, value)) {
+                // A transaction observing its own write is an internal read;
+                // recorders exclude these, adapters may not.
+                Some(&src) if src == dense => continue,
+                Some(&src) => self.wire_read(dense, var, src),
+                None => self.pending_reads.entry((var, value)).or_default().push(dense),
+            }
+        }
+        Ok(dense)
+    }
+
+    /// Declare the order complete: any read still waiting for its writer is a
+    /// thin-air read (nobody wrote the observed value).
+    pub fn seal(&self) -> Result<(), HistoryError> {
+        let defect = self
+            .pending_reads
+            .iter()
+            .flat_map(|(&(var, value), readers)| {
+                readers.iter().map(move |&reader| (var, value, reader))
+            })
+            .min();
+        match defect {
+            None => Ok(()),
+            Some((var, value, reader)) => Err(HistoryError::ThinAirRead {
+                reader: self.names[reader as usize].expect("initial txn never reads"),
+                var,
+                value,
+            }),
+        }
+    }
+
+    /// Build the partial order of a complete history, resolving write-read
+    /// edges via unique write values.
     pub fn build(history: &AuditHistory) -> Result<Self, HistoryError> {
-        let n = history.txn_count() + 1;
-        let mut names: Vec<Option<TxnId>> = Vec::with_capacity(n);
-        names.push(None);
-        let mut dense_of: HashMap<TxnId, u32> = HashMap::with_capacity(n);
-        for (s, session) in history.sessions.iter().enumerate() {
-            for seq in 0..session.len() {
-                let id = TxnId { session: s, seq };
-                dense_of.insert(id, names.len() as u32);
-                names.push(Some(id));
-            }
-        }
-
-        // Unique-writer table: (var, value) → dense writer.
-        let mut writer_of: HashMap<(usize, i64), u32> = HashMap::new();
-        let mut writes: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut writers_by_var: Vec<Vec<u32>> = vec![vec![ROOT]; history.n_vars];
+        let mut po = TxnPartialOrder::new(history.n_vars, history.initial);
         for (s, session) in history.sessions.iter().enumerate() {
             for (seq, txn) in session.iter().enumerate() {
-                let id = TxnId { session: s, seq };
-                let dense = dense_of[&id];
-                for &(var, value) in &txn.writes {
-                    if value == history.initial {
-                        return Err(HistoryError::InitialValueWritten { writer: id, var, value });
-                    }
-                    if let Some(&other) = writer_of.get(&(var, value)) {
-                        return Err(HistoryError::AmbiguousWrite {
-                            var,
-                            value,
-                            first: names[other as usize].expect("initial txn never writes"),
-                            second: id,
-                        });
-                    }
-                    writer_of.insert((var, value), dense);
-                    writes[dense as usize].push(var as u32);
-                    writers_by_var[var].push(dense);
-                }
+                po.extend(TxnId { session: s, seq }, txn)?;
             }
         }
-
-        // Resolve reads and assemble so ∪ wr.
-        let mut reads: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-        let mut wr_by_var: Vec<Vec<(u32, u32)>> = vec![Vec::new(); history.n_vars];
-        let mut readers: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
-        let mut hints: Vec<u64> = vec![0; n];
-        let mut base = DiGraph::new(n);
-        for (s, session) in history.sessions.iter().enumerate() {
-            let mut prev = ROOT;
-            for (seq, txn) in session.iter().enumerate() {
-                let id = TxnId { session: s, seq };
-                let dense = dense_of[&id];
-                base.add_edge(prev, dense);
-                prev = dense;
-                hints[dense as usize] = txn.hint + 1;
-                let mut first_read: HashMap<usize, i64> = HashMap::new();
-                for &(var, value) in &txn.reads {
-                    match first_read.insert(var, value) {
-                        None => {}
-                        Some(prev) if prev == value => continue, // repeated read
-                        Some(prev) => {
-                            return Err(HistoryError::NonRepeatableRead {
-                                reader: id,
-                                var,
-                                first: prev,
-                                second: value,
-                            })
-                        }
-                    }
-                    let src = if value == history.initial {
-                        ROOT
-                    } else {
-                        *writer_of.get(&(var, value)).ok_or(HistoryError::ThinAirRead {
-                            reader: id,
-                            var,
-                            value,
-                        })?
-                    };
-                    if src == dense {
-                        // A transaction observing its own write is an internal
-                        // read; recorders exclude these, adapters may not.
-                        continue;
-                    }
-                    reads[dense as usize].push((var as u32, src));
-                    wr_by_var[var].push((src, dense));
-                    readers.entry((src, var as u32)).or_default().push(dense);
-                    base.add_edge(src, dense);
-                }
-            }
-        }
-
-        Ok(TxnPartialOrder {
-            names,
-            reads,
-            writes,
-            writers_by_var,
-            wr_by_var,
-            readers,
-            hints,
-            base,
-        })
+        po.seal()?;
+        Ok(po)
     }
 }
 
@@ -183,6 +284,7 @@ mod tests {
         let po = TxnPartialOrder::build(&two_session_history()).unwrap();
         assert_eq!(po.len(), 4);
         assert!(!po.is_empty());
+        assert_eq!(po.n_vars(), 2);
         // Dense layout: 0 = init, 1 = s0:0, 2 = s0:1, 3 = s1:0.
         assert_eq!(po.name(0), "init");
         assert_eq!(po.name(1), "s0:0");
@@ -200,6 +302,8 @@ mod tests {
         // Hints shift past the initial transaction.
         assert_eq!(po.hints, vec![0, 1, 2, 3]);
         assert!(po.render_path(&[0, 1, 3]).contains("init → s0:0 → s1:0"));
+        // Every base edge made it into the log, deduplicated.
+        assert_eq!(po.edge_log().len(), po.base.edge_count());
     }
 
     #[test]
@@ -265,5 +369,51 @@ mod tests {
         let po = TxnPartialOrder::build(&h).unwrap();
         assert!(po.reads[1].is_empty());
         assert!(!po.base.has_edge(1, 1));
+    }
+
+    #[test]
+    fn reads_of_writers_that_arrive_later_resolve_on_arrival() {
+        // Session 0's first txn reads a value session 1 writes — in dense
+        // (session-major) order the writer is extended *after* the reader.
+        let mut po = TxnPartialOrder::new(1, 0);
+        let reader = po.extend(TxnId { session: 0, seq: 0 }, &read_txn(0, 99, 0)).unwrap();
+        assert_eq!(po.pending_values(), vec![(0, 99)]);
+        assert!(po.seal().is_err(), "unresolved read is thin air if sealed now");
+        let writer = po.extend(TxnId { session: 1, seq: 0 }, &write_txn(0, 99, 1)).unwrap();
+        assert!(po.pending_values().is_empty());
+        po.seal().unwrap();
+        assert_eq!(po.reads[reader as usize], vec![(0, writer)]);
+        assert!(po.base.has_edge(writer, reader));
+        assert_eq!(po.readers[&(writer, 0)], vec![reader]);
+    }
+
+    #[test]
+    fn detached_extension_skips_the_session_chain() {
+        let mut po = TxnPartialOrder::new(1, 0);
+        let a = po.extend(TxnId { session: 0, seq: 5 }, &write_txn(0, 1, 0)).unwrap();
+        let b = po.extend_detached(TxnId { session: 0, seq: 2 }, &write_txn(0, 2, 0)).unwrap();
+        // The detached vertex hangs off the initial transaction only.
+        assert!(po.base.has_edge(ROOT, b));
+        assert!(!po.base.has_edge(a, b));
+        assert!(!po.base.has_edge(b, a));
+        // The session tail was not disturbed: the next chained txn follows `a`.
+        let c = po.extend(TxnId { session: 0, seq: 6 }, &read_txn(0, 2, 1)).unwrap();
+        assert!(po.base.has_edge(a, c));
+        assert!(po.base.has_edge(b, c), "wr edge from the detached writer");
+    }
+
+    #[test]
+    fn evicted_stand_ins_render_distinctly() {
+        let mut po = TxnPartialOrder::new(1, 0);
+        let v = po.extend_detached(TxnId { session: EVICTED_SESSION, seq: 3 }, &write_txn(0, 9, 0));
+        assert_eq!(po.name(v.unwrap()), "past?3");
+    }
+
+    fn read_txn(var: usize, value: i64, hint: u64) -> AuditTxn {
+        AuditTxn { reads: vec![(var, value)], writes: vec![], hint }
+    }
+
+    fn write_txn(var: usize, value: i64, hint: u64) -> AuditTxn {
+        AuditTxn { reads: vec![], writes: vec![(var, value)], hint }
     }
 }

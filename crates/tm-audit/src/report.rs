@@ -4,7 +4,9 @@
 //! The report vocabulary is shared with `tm-consistency` — an [`AuditReport`]
 //! converts into that crate's [`ConditionMatrix`] (re-exported here), so the
 //! simulator-side checkers and the history-side checkers can be compared
-//! result-for-result by the cross-validation tests.
+//! result-for-result by the cross-validation tests.  Reports also serialize
+//! to JSON ([`AuditReport::to_json`]) so CI can archive machine-readable
+//! verdicts.
 
 pub use tm_consistency::report::{CheckResult, CommitOrderWitness, ConditionMatrix};
 
@@ -85,6 +87,15 @@ pub enum Outcome {
     Unknown {
         /// Why the search stopped.
         reason: String,
+        /// DFS states explored before the budget ran out.
+        states: u64,
+        /// The strongest level already *refuted* for this history, if any —
+        /// the search did not even need to settle anything below it.
+        refuted: Option<Level>,
+        /// The budget a decisive retry should start from (the exhausted
+        /// search visited [`Outcome::Unknown::states`] states, so the next
+        /// attempt needs strictly more).
+        next_budget: u64,
     },
 }
 
@@ -97,6 +108,19 @@ impl Outcome {
     /// `true` for [`Outcome::Fail`].
     pub fn failed(&self) -> bool {
         matches!(self, Outcome::Fail { .. })
+    }
+
+    /// An [`Outcome::Unknown`] with context: how far the search got, what is
+    /// already refuted, and where to point the next budget.
+    pub fn unknown(reason: impl Into<String>, states: u64, refuted: Option<Level>) -> Outcome {
+        Outcome::Unknown {
+            reason: reason.into(),
+            states,
+            refuted,
+            // The exhausted search proves the budget was ≤ states; quadruple
+            // it so a retry meaningfully extends the explored space.
+            next_budget: states.saturating_mul(4).max(1),
+        }
     }
 }
 
@@ -118,8 +142,16 @@ impl fmt::Display for LevelReport {
             Outcome::Fail { violation } => {
                 write!(f, "{:<20} FAIL  {}", self.level.name(), violation)
             }
-            Outcome::Unknown { reason } => {
-                write!(f, "{:<20} ?     {}", self.level.name(), reason)
+            Outcome::Unknown { reason, states, refuted, next_budget } => {
+                write!(
+                    f,
+                    "{:<20} ?     {reason} ({states} states explored; retry with budget ≥ {next_budget}",
+                    self.level.name(),
+                )?;
+                if let Some(refuted) = refuted {
+                    write!(f, "; {} already refuted", refuted.name())?;
+                }
+                f.write_str(")")
             }
         }
     }
@@ -176,13 +208,64 @@ impl AuditReport {
             matrix.push(match &l.outcome {
                 Outcome::Pass { witness } => CheckResult::satisfied(l.level.name(), witness),
                 Outcome::Fail { violation } => CheckResult::violated(l.level.name(), violation),
-                Outcome::Unknown { reason } => {
+                Outcome::Unknown { reason, .. } => {
                     CheckResult::violated(l.level.name(), format!("inconclusive: {reason}"))
                 }
             });
         }
         matrix
     }
+
+    /// Machine-readable form, for CI artifacts and the audit CLI's `--json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"shape\":\"{}\",", json_escape(&self.shape)));
+        out.push_str(&format!("\"summary\":\"{}\",", json_escape(&self.summary())));
+        out.push_str("\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (outcome, detail) = match &l.outcome {
+                Outcome::Pass { witness } => ("pass", witness.clone()),
+                Outcome::Fail { violation } => ("fail", violation.clone()),
+                Outcome::Unknown { reason, .. } => ("unknown", reason.clone()),
+            };
+            out.push_str(&format!(
+                "{{\"level\":\"{}\",\"tag\":\"{}\",\"outcome\":\"{outcome}\",\"detail\":\"{}\"",
+                l.level.name(),
+                l.level.tag(),
+                json_escape(&detail)
+            ));
+            if let Outcome::Unknown { states, refuted, next_budget, .. } = &l.outcome {
+                out.push_str(&format!(",\"states\":{states},\"next_budget\":{next_budget}"));
+                if let Some(refuted) = refuted {
+                    out.push_str(&format!(",\"refuted\":\"{}\"", refuted.name()));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON document (quotes, backslashes,
+/// control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for AuditReport {
@@ -213,7 +296,7 @@ mod tests {
                 },
                 LevelReport {
                     level: Level::SnapshotIsolation,
-                    outcome: Outcome::Unknown { reason: "budget exhausted".into() },
+                    outcome: Outcome::unknown("budget exhausted", 1_000, Some(Level::Serializable)),
                 },
             ],
         }
@@ -233,6 +316,23 @@ mod tests {
     }
 
     #[test]
+    fn unknown_carries_actionable_context() {
+        let r = sample();
+        let Outcome::Unknown { states, refuted, next_budget, .. } =
+            r.outcome(Level::SnapshotIsolation).unwrap()
+        else {
+            panic!("expected unknown");
+        };
+        assert_eq!(*states, 1_000);
+        assert_eq!(*refuted, Some(Level::Serializable));
+        assert_eq!(*next_budget, 4_000);
+        let line = r.to_string();
+        assert!(line.contains("1000 states explored"), "{line}");
+        assert!(line.contains("retry with budget ≥ 4000"), "{line}");
+        assert!(line.contains("serializability already refuted"), "{line}");
+    }
+
+    #[test]
     fn matrix_conversion_never_lets_unknown_pass() {
         let m = sample().to_condition_matrix();
         assert!(m.is_satisfied("read committed"));
@@ -245,6 +345,18 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("inconclusive"));
+    }
+
+    #[test]
+    fn json_round_trips_the_verdict_vocabulary() {
+        let json = sample().to_json();
+        assert!(json.contains("\"outcome\":\"pass\""), "{json}");
+        assert!(json.contains("\"outcome\":\"fail\""), "{json}");
+        assert!(json.contains("\"outcome\":\"unknown\""), "{json}");
+        assert!(json.contains("\"states\":1000"), "{json}");
+        assert!(json.contains("\"next_budget\":4000"), "{json}");
+        assert!(json.contains("\"refuted\":\"serializability\""), "{json}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -1,0 +1,1106 @@
+//! The streaming windowed audit engine: bounded-memory consistency verdicts
+//! over rolling history segments, while the run is still going.
+//!
+//! The batch auditor ([`crate::audit`]) needs the whole history in hand and
+//! lets closure state grow with the run — hopeless at the "millions of
+//! users" scale the ROADMAP aims for.  A [`WindowedAuditor`] instead audits
+//! **windows** of `size` transactions (consecutive in arrival order, with
+//! `overlap` transactions shared between neighbours), so every per-window
+//! structure — partial order, saturation graph, closure cache, SI/SER search
+//! — is bounded by the window, not the run:
+//!
+//! * the partial order grows incrementally ([`TxnPartialOrder::extend`]),
+//!   parking reads whose writer has not arrived yet;
+//! * causal saturation re-derives only the frontier the new edges touched
+//!   ([`resaturate`]), with the banded budget-bounded [`crate::digraph::Reach`]
+//!   cache instead of a dense O(V²) closure;
+//! * between windows a **committed frontier** carries write attribution
+//!   forward: the last absorbed write per variable (materialized at window
+//!   open as real, session-chained stand-in transactions) plus all writes
+//!   from the most recent `retain_windows` windows (materialized on demand,
+//!   detached, when a cross-window read observes them).  Reads of values
+//!   older than the retention horizon are attributed to synthetic `past?n`
+//!   stand-ins and counted in [`StreamReport::evicted_attributions`];
+//! * the frontier also carries **read-modify-write facts** — per `(variable,
+//!   source value)`, the first absorbed transaction that read that source
+//!   and overwrote the variable.  Every incoming transaction is checked
+//!   directly against these facts: an incoming rmw over a source some
+//!   absorbed transaction already rmw'd is a lost update, convicted no
+//!   matter how many windows apart the halves are (the signature failure of
+//!   a no-synchronization backend whose sessions happen to run back to back
+//!   in time) and without adding any ordering constraints to the per-window
+//!   SI/SER searches.
+//!
+//! # Soundness
+//!
+//! Windowed verdicts are **violation-sound and pass-attested**:
+//!
+//! * every edge the window auditor reasons over (session order, write-read,
+//!   derived write-write) also holds in the whole history — frontier
+//!   stand-ins keep their real identity and session position, and dropped
+//!   knowledge only ever *removes* constraints — so **any violation reported
+//!   by any window is a real violation of the whole run**;
+//! * a **pass** certifies each window (including the carried frontier)
+//!   individually.  Anomalies whose entire evidence spans farther back than
+//!   the window plus retained frontier — e.g. a lost-update pair whose two
+//!   read-modify-writes are more than a window apart — can escape; the
+//!   merged report therefore words per-level passes as *attested per
+//!   window*, not certified end-to-end.  Growing `size`, `overlap` or
+//!   `retain_windows` trades memory for coverage, up to the batch auditor at
+//!   the limit.
+//!
+//! The randomized equivalence suite (`tests/audit_window_equivalence.rs`)
+//! checks that on seeded live runs from every backend the windowed verdicts
+//! agree with the whole-run batch verdicts on all five levels.
+
+use crate::history::{AuditTxn, HistoryError, TxnId};
+use crate::linearization::{find_lost_update, DEFAULT_STATE_BUDGET};
+use crate::po::{TxnPartialOrder, EVICTED_SESSION};
+use crate::report::{json_escape, AuditReport, Level, LevelReport, Outcome};
+use crate::saturation::{resaturate, CycleViolation, Saturated};
+use crate::{audit_built, defect_report, AuditHistory};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+use stm_runtime::CommitBatch;
+
+/// Shape of the rolling windows a [`WindowedAuditor`] audits.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Transactions per window (upper bound on every per-window structure).
+    pub size: usize,
+    /// Trailing transactions re-audited as the head of the next window;
+    /// violations spanning a window boundary by less than this are caught
+    /// exactly.  Must be smaller than `size`.
+    pub overlap: usize,
+    /// DFS state budget for each window's SI/SER searches.
+    pub budget: u64,
+    /// How many windows of absorbed writes the frontier keeps resolvable
+    /// (the latest write per variable is kept regardless).
+    pub retain_windows: usize,
+    /// Incremental re-saturation granularity, in transactions: how often the
+    /// in-flight window refreshes its causal verdict and lost-update probe.
+    pub batch: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig::sized(2_048)
+    }
+}
+
+impl WindowConfig {
+    /// A config with proportionate overlap (1/8th) and probe batch for the
+    /// given window size.
+    pub fn sized(size: usize) -> Self {
+        let size = size.max(2);
+        WindowConfig {
+            size,
+            overlap: size / 8,
+            budget: DEFAULT_STATE_BUDGET,
+            retain_windows: 8,
+            batch: (size / 8).max(1),
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        self.size = self.size.max(2);
+        self.overlap = self.overlap.min(self.size - 1);
+        self.batch = self.batch.clamp(1, self.size);
+        self
+    }
+}
+
+/// The earliest definite violation the stream produced — available mid-run
+/// via [`WindowedAuditor::convicted`], before the workload has finished.
+#[derive(Debug, Clone)]
+pub struct Conviction {
+    /// The weakest level the violation refutes (everything above falls too).
+    pub level: Level,
+    /// Window the evidence sits in.
+    pub window: usize,
+    /// Transactions ingested when the conviction landed.
+    pub txns_seen: u64,
+    /// Human-readable violation.
+    pub violation: String,
+}
+
+/// One audited window's verdict.
+#[derive(Debug, Clone)]
+pub struct WindowVerdict {
+    /// Window index (0-based, in stream order).
+    pub index: usize,
+    /// Transactions audited in this window (excluding frontier stand-ins).
+    pub txns: usize,
+    /// The full per-level report for the window.
+    pub report: AuditReport,
+    /// Wall-clock time from window close to verdict.
+    pub audit_elapsed: Duration,
+}
+
+/// What a finished stream audit measured and concluded.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The whole-run verdict merged from the per-window verdicts (see the
+    /// module docs for what a merged pass attests).
+    pub merged: AuditReport,
+    /// Every window's individual verdict, in stream order.
+    pub windows: Vec<WindowVerdict>,
+    /// The window shape that produced this report.
+    pub config: WindowConfig,
+    /// Total transactions ingested.
+    pub total_txns: u64,
+    /// Largest window actually audited.
+    pub peak_window_txns: usize,
+    /// High-water mark of resident closure (reachability cache) memory over
+    /// all windows — the number the dense whole-run design could not bound.
+    pub peak_closure_bytes: usize,
+    /// Reads attributed to synthetic stand-ins because their writer fell off
+    /// the retention horizon (attested, not verified, attribution).
+    pub evicted_attributions: u64,
+    /// The earliest definite violation, if any.
+    pub first_conviction: Option<Conviction>,
+}
+
+impl StreamReport {
+    /// `true` if the merged verdict for the level passed (attested per
+    /// window).
+    pub fn passes(&self, level: Level) -> bool {
+        self.merged.passes(level)
+    }
+
+    /// `true` if any window definitely violated the level.
+    pub fn fails(&self, level: Level) -> bool {
+        self.merged.fails(level)
+    }
+
+    /// Compact one-line summary of the merged verdict.
+    pub fn summary(&self) -> String {
+        self.merged.summary()
+    }
+
+    /// Longest window-close-to-verdict latency.
+    pub fn verdict_latency_max(&self) -> Duration {
+        self.windows.iter().map(|w| w.audit_elapsed).max().unwrap_or_default()
+    }
+
+    /// Mean window-close-to-verdict latency.
+    pub fn verdict_latency_mean(&self) -> Duration {
+        if self.windows.is_empty() {
+            return Duration::default();
+        }
+        self.windows.iter().map(|w| w.audit_elapsed).sum::<Duration>() / self.windows.len() as u32
+    }
+
+    /// Machine-readable form, for CI artifacts and the audit CLI's `--json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"total_txns\":{},\"windows\":{},\"window_size\":{},\"overlap\":{},",
+            self.total_txns,
+            self.windows.len(),
+            self.config.size,
+            self.config.overlap
+        ));
+        out.push_str(&format!(
+            "\"peak_window_txns\":{},\"peak_closure_bytes\":{},\"evicted_attributions\":{},",
+            self.peak_window_txns, self.peak_closure_bytes, self.evicted_attributions
+        ));
+        out.push_str(&format!(
+            "\"verdict_latency_max_ms\":{:.3},\"verdict_latency_mean_ms\":{:.3},",
+            self.verdict_latency_max().as_secs_f64() * 1e3,
+            self.verdict_latency_mean().as_secs_f64() * 1e3
+        ));
+        match &self.first_conviction {
+            Some(c) => out.push_str(&format!(
+                "\"first_conviction\":{{\"level\":\"{}\",\"window\":{},\"txns_seen\":{},\"violation\":\"{}\"}},",
+                c.level.name(),
+                c.window,
+                c.txns_seen,
+                json_escape(&c.violation)
+            )),
+            None => out.push_str("\"first_conviction\":null,"),
+        }
+        out.push_str(&format!("\"merged\":{},", self.merged.to_json()));
+        out.push_str("\"window_verdicts\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"txns\":{},\"summary\":\"{}\",\"elapsed_ms\":{:.3}}}",
+                w.index,
+                w.txns,
+                json_escape(&w.report.summary()),
+                w.audit_elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "streaming audit: {} txns in {} window(s) of ≤{} (overlap {})",
+            self.total_txns,
+            self.windows.len(),
+            self.config.size,
+            self.config.overlap
+        )?;
+        writeln!(
+            f,
+            "  peak closure memory {} bytes, verdict latency mean {:.3?} / max {:.3?}",
+            self.peak_closure_bytes,
+            self.verdict_latency_mean(),
+            self.verdict_latency_max()
+        )?;
+        if let Some(c) = &self.first_conviction {
+            writeln!(
+                f,
+                "  first conviction: {} in window {} after {} txns: {}",
+                c.level.name(),
+                c.window,
+                c.txns_seen,
+                c.violation
+            )?;
+        }
+        for level in &self.merged.levels {
+            writeln!(f, "  {level}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The committed frontier carried between windows: who wrote what, as far
+/// back as the retention horizon, plus the latest write per variable.
+#[derive(Debug, Default)]
+struct Frontier {
+    /// The initial value of every variable (rmw facts key on it).
+    initial: i64,
+    /// `(var, value)` → (writer, window it was absorbed in).
+    source_of: HashMap<(usize, i64), (TxnId, usize)>,
+    /// var → latest absorbed value (kept resolvable forever).
+    latest: Vec<Option<i64>>,
+    /// writer → its retained writes, for all-at-once materialization.
+    writes_of: HashMap<TxnId, Vec<(usize, i64)>>,
+    /// `(var, source value)` → the first absorbed transaction that
+    /// read-modify-wrote `var` from that source, and the value it wrote.
+    ///
+    /// This is the carried half of the lost-update rule: two transactions
+    /// that rmw the same variable from the same source can never both
+    /// commit under SI/SER, *no matter how far apart they are in the
+    /// stream*.  Remembering one rmw fact per `(var, source)` (O(vars ×
+    /// retained sources) memory) and re-materializing it — read included —
+    /// into later windows lets the in-window polynomial rule convict pairs
+    /// that arrival order serialized into different windows, e.g. a
+    /// no-synchronization backend whose sessions happen to run back to
+    /// back in time.
+    rmw_of: HashMap<(usize, i64), (TxnId, i64)>,
+}
+
+impl Frontier {
+    fn new(n_vars: usize, initial: i64) -> Self {
+        Frontier { initial, latest: vec![None; n_vars], ..Frontier::default() }
+    }
+
+    fn absorb(&mut self, id: TxnId, txn: &AuditTxn, window: usize) {
+        for &(var, value) in &txn.writes {
+            self.source_of.insert((var, value), (id, window));
+            self.writes_of.entry(id).or_default().push((var, value));
+            self.latest[var] = Some(value);
+            if let Some(&(_, source)) = txn.reads.iter().find(|&&(v, _)| v == var) {
+                self.rmw_of.entry((var, source)).or_insert((id, value));
+            }
+        }
+    }
+
+    /// Drop writes older than the retention horizon (keeping every
+    /// latest-per-var write) and rebuild the per-writer groupings.
+    fn evict(&mut self, window: usize, retain: usize) {
+        let latest = self.latest.clone();
+        self.source_of.retain(|&(var, value), &mut (_, w)| {
+            w + retain >= window || latest[var] == Some(value)
+        });
+        let mut writes_of: HashMap<TxnId, Vec<(usize, i64)>> = HashMap::new();
+        for (&(var, value), &(id, _)) in &self.source_of {
+            writes_of.entry(id).or_default().push((var, value));
+        }
+        // Deterministic materialization order regardless of hash iteration.
+        for writes in writes_of.values_mut() {
+            writes.sort_unstable();
+        }
+        self.writes_of = writes_of;
+        // Keep rmw facts over the initial value forever (O(vars)); facts
+        // over written values live as long as their source stays resolvable.
+        let initial = self.initial;
+        let source_of = &self.source_of;
+        self.rmw_of.retain(|&(var, source), _| {
+            source == initial || source_of.contains_key(&(var, source))
+        });
+    }
+
+    /// The remembered rmw fact over `(var, source value)`, if any.
+    fn rmw(&self, var: usize, source: i64) -> Option<(TxnId, i64)> {
+        self.rmw_of.get(&(var, source)).copied()
+    }
+
+    fn source(&self, var: usize, value: i64) -> Option<TxnId> {
+        self.source_of.get(&(var, value)).map(|&(id, _)| id)
+    }
+
+    /// The write-only stand-in for a frontier transaction: every retained
+    /// write, real facts all.  Reads are deliberately *not* materialized —
+    /// carried rmw facts are checked directly by the auditor's
+    /// cross-window lost-update rule instead of burdening the per-window
+    /// SI/SER searches with stale-read ordering constraints.
+    fn stand_in(&self, id: TxnId) -> AuditTxn {
+        let mut writes = self.writes_of.get(&id).cloned().unwrap_or_default();
+        writes.sort_unstable();
+        AuditTxn { reads: Vec::new(), writes, hint: 0 }
+    }
+
+    /// The writers owning each variable's latest value — materialized
+    /// (session-chained) at window open.
+    fn latest_writers(&self) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = self
+            .latest
+            .iter()
+            .enumerate()
+            .filter_map(|(var, v)| {
+                v.and_then(|val| self.source_of.get(&(var, val)).map(|&(id, _)| id))
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The in-flight window: an incrementally grown partial order plus its
+/// incremental saturation state.
+#[derive(Debug)]
+struct ActiveWindow {
+    po: TxnPartialOrder,
+    sat: Saturated,
+    causal_failure: Option<CycleViolation>,
+    defect: Option<HistoryError>,
+    /// Prefix of the auditor's `cur` buffer already extended into `po`.
+    extended: usize,
+    /// Transactions extended since the last re-saturation probe.
+    unsynced: usize,
+    /// Frontier writers already materialized in this window.
+    materialized: HashSet<TxnId>,
+    /// Lost updates paired directly against carried frontier rmw facts —
+    /// real violations of SI and SER, applied over the window's own verdict
+    /// at close (their far half lives outside the window's partial order).
+    cross_violations: Vec<String>,
+}
+
+/// Audits a stream of committed transactions in rolling windows; see the
+/// module docs for the architecture and the soundness statement.
+#[derive(Debug)]
+pub struct WindowedAuditor {
+    n_vars: usize,
+    initial: i64,
+    config: WindowConfig,
+    frontier: Frontier,
+    /// Per-session sequence counters (whole-run, so stand-ins keep their
+    /// true identity).
+    seqs: HashMap<usize, usize>,
+    /// Current window's transactions in arrival order.
+    cur: Vec<(TxnId, AuditTxn)>,
+    active: Option<ActiveWindow>,
+    window_index: usize,
+    total_txns: u64,
+    audited_through: u64,
+    evicted_seq: usize,
+    evicted_attributions: u64,
+    verdicts: Vec<WindowVerdict>,
+    first_conviction: Option<Conviction>,
+    peak_window_txns: usize,
+    peak_closure_bytes: usize,
+}
+
+impl WindowedAuditor {
+    /// An auditor for runs over `n_vars` variables starting at `initial`.
+    pub fn new(n_vars: usize, initial: i64, config: WindowConfig) -> Self {
+        WindowedAuditor {
+            n_vars,
+            initial,
+            config: config.normalized(),
+            frontier: Frontier::new(n_vars, initial),
+            seqs: HashMap::new(),
+            cur: Vec::new(),
+            active: None,
+            window_index: 0,
+            total_txns: 0,
+            audited_through: 0,
+            evicted_seq: 0,
+            evicted_attributions: 0,
+            verdicts: Vec::new(),
+            first_conviction: None,
+            peak_window_txns: 0,
+            peak_closure_bytes: 0,
+        }
+    }
+
+    /// Transactions ingested so far.
+    pub fn total_ingested(&self) -> u64 {
+        self.total_txns
+    }
+
+    /// Windows fully audited so far.
+    pub fn windows_closed(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// The earliest definite violation so far, available while the stream is
+    /// still flowing — this is what lets an operator watch a backend get
+    /// convicted mid-run.
+    pub fn convicted(&self) -> Option<&Conviction> {
+        self.first_conviction.as_ref()
+    }
+
+    /// Ingest one committed transaction.  Transactions of the same session
+    /// must arrive in session order; sessions may interleave arbitrarily.
+    pub fn push(&mut self, session: usize, txn: AuditTxn) {
+        let seq = self.seqs.entry(session).or_insert(0);
+        let id = TxnId { session, seq: *seq };
+        *seq += 1;
+        self.cur.push((id, txn));
+        self.total_txns += 1;
+        self.advance();
+        if self.cur.len() >= self.config.size {
+            self.close_window(false);
+        }
+    }
+
+    /// Ingest one batch from a [`stm_runtime::StreamingRecorder`] drain,
+    /// **in arrival order**.  Raw shard arrival is per-session bursty; route
+    /// batches through a [`StreamMerger`] instead (as
+    /// `workloads::run_audited_streaming` does) so windows cut across
+    /// sessions in true recording order.
+    pub fn ingest(&mut self, batch: &CommitBatch) {
+        for record in &batch.records {
+            self.push(batch.session, audit_txn_of(record));
+        }
+    }
+
+    /// Audit whatever remains and merge every window's verdict into the
+    /// whole-run report.
+    pub fn finish(mut self) -> StreamReport {
+        if self.total_txns > self.audited_through {
+            self.close_window(true);
+        }
+        let merged = self.merged_report();
+        StreamReport {
+            merged,
+            windows: self.verdicts,
+            config: self.config,
+            total_txns: self.total_txns,
+            peak_window_txns: self.peak_window_txns,
+            peak_closure_bytes: self.peak_closure_bytes,
+            evicted_attributions: self.evicted_attributions,
+            first_conviction: self.first_conviction,
+        }
+    }
+
+    /// Open a fresh window: new partial order, frontier latest writers
+    /// materialized up front in their real sessions (so the window's session
+    /// chains continue from them), and remembered initial-value rmw facts
+    /// materialized with their reads (so the lost-update rule can pair them
+    /// with in-window rmws).
+    fn open_window(&mut self) {
+        let mut po = TxnPartialOrder::new(self.n_vars, self.initial);
+        let mut materialized = HashSet::new();
+        let mut defect = None;
+        for id in self.frontier.latest_writers() {
+            let txn = self.frontier.stand_in(id);
+            match po.extend(id, &txn) {
+                Ok(_) => {
+                    materialized.insert(id);
+                }
+                Err(err) => {
+                    defect = Some(err);
+                    break;
+                }
+            }
+        }
+        self.active = Some(ActiveWindow {
+            po,
+            sat: Saturated::empty(),
+            causal_failure: None,
+            defect,
+            extended: 0,
+            unsynced: 0,
+            materialized,
+            cross_violations: Vec::new(),
+        });
+    }
+
+    /// Extend the active window with every not-yet-extended transaction,
+    /// probing the polynomial verdicts every `config.batch` transactions.
+    fn advance(&mut self) {
+        if self.active.is_none() {
+            self.open_window();
+        }
+        loop {
+            let aw = self.active.as_mut().expect("opened above");
+            if aw.defect.is_some() || aw.extended >= self.cur.len() {
+                break;
+            }
+            let (id, txn) = &self.cur[aw.extended];
+            aw.extended += 1;
+            // The cross-window half of the lost-update rule, applied
+            // directly: this transaction rmw's a source some absorbed
+            // transaction already rmw'd.  Both facts are real, so the pair
+            // can never commit under SI/SER — no matter how many windows
+            // apart the halves are, and regardless of how the source value
+            // resolves inside this window.
+            for &(var, _) in &txn.writes {
+                let Some(&(_, source)) = txn.reads.iter().find(|&&(v, _)| v == var) else {
+                    continue;
+                };
+                match self.frontier.rmw(var, source) {
+                    Some((other, _)) if other != *id => {
+                        aw.cross_violations.push(format!(
+                            "cross-window lost update on v{var}: {other} (absorbed) and {id} \
+                             both read the same source value and both wrote it"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            match aw.po.extend(*id, txn) {
+                Ok(_) => aw.unsynced += 1,
+                Err(err) => {
+                    aw.defect = Some(err);
+                    break;
+                }
+            }
+            if self.active.as_ref().expect("still active").unsynced >= self.config.batch {
+                self.sync_active();
+            }
+        }
+    }
+
+    /// Materialize a frontier transaction into the active window (detached:
+    /// its session chain has moved on, and a fabricated session edge could
+    /// invent a violation where dropping it only loses detection power).
+    fn materialize(&mut self, id: TxnId) {
+        if self.active.as_ref().expect("active window").materialized.contains(&id) {
+            return;
+        }
+        let txn = self.frontier.stand_in(id);
+        let aw = self.active.as_mut().expect("active window");
+        if let Err(err) = aw.po.extend_detached(id, &txn) {
+            aw.defect = Some(err);
+        }
+        aw.materialized.insert(id);
+    }
+
+    /// Resolve cross-window reads against the frontier, re-saturate the
+    /// causal constraints incrementally, and probe for convictions.
+    fn sync_active(&mut self) {
+        let pending = self.active.as_ref().expect("active window").po.pending_values();
+        for (var, value) in pending {
+            if let Some(id) = self.frontier.source(var, value) {
+                self.materialize(id);
+            }
+            // Unknown values stay parked: either their writer is still in
+            // flight within this window, or they are resolved as evicted
+            // stand-ins at window close.
+        }
+        let aw = self.active.as_mut().expect("active window");
+        aw.unsynced = 0;
+        if aw.defect.is_some() {
+            return;
+        }
+        if aw.causal_failure.is_none() {
+            if let Err(cycle) = resaturate(&mut aw.sat, &aw.po) {
+                aw.causal_failure = Some(cycle);
+            }
+        }
+        self.peak_closure_bytes = self.peak_closure_bytes.max(aw.sat.peak_closure_bytes());
+        if self.first_conviction.is_none() {
+            let aw = self.active.as_ref().expect("active window");
+            let conviction = if let Some(cycle) = &aw.causal_failure {
+                // The cycle could even refute RC/RA; Causal is the weakest
+                // level the *saturated* cycle certainly refutes.
+                Some((Level::Causal, cycle.render(&aw.po)))
+            } else if let Some(cross) = aw.cross_violations.first() {
+                Some((Level::SnapshotIsolation, cross.clone()))
+            } else {
+                find_lost_update(&aw.po).map(|lu| (Level::SnapshotIsolation, lu.render(&aw.po)))
+            };
+            if let Some((level, violation)) = conviction {
+                self.first_conviction = Some(Conviction {
+                    level,
+                    window: self.window_index,
+                    txns_seen: self.total_txns,
+                    violation,
+                });
+            }
+        }
+    }
+
+    /// Close the current window: final frontier resolution, evicted
+    /// stand-ins for anything past the horizon, the full five-level verdict,
+    /// then absorb the non-overlap prefix into the frontier.
+    fn close_window(&mut self, fin: bool) {
+        if self.cur.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        self.advance();
+        // Resolve to a fixpoint: each sync pass either materializes a new
+        // stand-in or changes nothing, so this terminates.
+        loop {
+            self.sync_active();
+            let aw = self.active.as_ref().expect("active window");
+            // A pending value is stuck when the frontier has no writer for
+            // it, or the writer's stand-in was already tried (a failed
+            // materialization records a defect but must not loop).
+            let pending_stuck = aw.po.pending_values().iter().all(|&(var, value)| {
+                match self.frontier.source(var, value) {
+                    None => true,
+                    Some(id) => aw.materialized.contains(&id),
+                }
+            });
+            if aw.defect.is_some() || pending_stuck {
+                break;
+            }
+        }
+
+        // Whatever is still unresolved fell off the retention horizon:
+        // attribute it to synthetic past writers (attested, not verified).
+        let pending = self.active.as_ref().expect("active window").po.pending_values();
+        for (var, value) in pending {
+            let id = TxnId { session: EVICTED_SESSION, seq: self.evicted_seq };
+            self.evicted_seq += 1;
+            self.evicted_attributions += 1;
+            let aw = self.active.as_mut().expect("active window");
+            let txn = AuditTxn { reads: Vec::new(), writes: vec![(var, value)], hint: 0 };
+            if let Err(err) = aw.po.extend_detached(id, &txn) {
+                aw.defect = Some(err);
+            }
+        }
+        self.sync_active();
+
+        let aw = self.active.take().expect("active window");
+        let window_txns = aw.extended;
+        let stand_ins = aw.po.len() - 1 - window_txns;
+        let shape = format!(
+            "window {}: {} transactions (+{} frontier stand-ins), {} variables",
+            self.window_index, window_txns, stand_ins, self.n_vars
+        );
+        let closure_bytes = aw.sat.peak_closure_bytes();
+        // Once some window definitely refuted SI/SER, later windows cannot
+        // change the merged verdict for those levels (Fail wins the merge),
+        // so their NP-hard searches run on a slashed budget: a pathological
+        // window reports a cheap honest Unknown instead of burning seconds
+        // confirming what the stream already knows.
+        // (A SER-only conviction — write skew — leaves SI undecided, so only
+        // convictions at SI or below throttle.)
+        let budget = match &self.first_conviction {
+            Some(c) if c.level <= Level::SnapshotIsolation => {
+                (self.config.budget / 16).max(4_096).min(self.config.budget)
+            }
+            _ => self.config.budget,
+        };
+        let defect = aw.defect.or_else(|| aw.po.seal().err());
+        let cross_violations = aw.cross_violations.clone();
+        let mut report = match defect {
+            Some(err) => defect_report(shape, &err),
+            None => {
+                let causal = match aw.causal_failure {
+                    Some(cycle) => Err(cycle),
+                    None => Ok(aw.sat),
+                };
+                audit_built(&aw.po, shape, budget, causal)
+            }
+        };
+        // Lost updates paired against carried frontier rmw facts refute SI
+        // and SER for this window even though their far half predates the
+        // window's partial order.
+        if let Some(cross) = cross_violations.first() {
+            for l in &mut report.levels {
+                if matches!(l.level, Level::SnapshotIsolation | Level::Serializable)
+                    && !l.outcome.failed()
+                {
+                    l.outcome = Outcome::Fail { violation: cross.clone() };
+                }
+            }
+        }
+        let audit_elapsed = started.elapsed();
+        self.peak_closure_bytes = self.peak_closure_bytes.max(closure_bytes);
+        self.peak_window_txns = self.peak_window_txns.max(window_txns);
+        if self.first_conviction.is_none() {
+            for l in &report.levels {
+                if let Outcome::Fail { violation } = &l.outcome {
+                    self.first_conviction = Some(Conviction {
+                        level: l.level,
+                        window: self.window_index,
+                        txns_seen: self.total_txns,
+                        violation: violation.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+        self.verdicts.push(WindowVerdict {
+            index: self.window_index,
+            txns: window_txns,
+            report,
+            audit_elapsed,
+        });
+        self.audited_through = self.total_txns;
+
+        let absorb = if fin { self.cur.len() } else { self.cur.len() - self.config.overlap };
+        for (id, txn) in self.cur.drain(..absorb) {
+            self.frontier.absorb(id, &txn, self.window_index);
+        }
+        self.window_index += 1;
+        self.frontier.evict(self.window_index, self.config.retain_windows);
+    }
+
+    /// Merge the per-window verdicts into the whole-run report.
+    fn merged_report(&self) -> AuditReport {
+        let shape = format!(
+            "{} transactions over {} window(s) of ≤{} (overlap {})",
+            self.total_txns,
+            self.verdicts.len(),
+            self.config.size,
+            self.config.overlap
+        );
+        let levels = Level::ALL
+            .iter()
+            .map(|&level| LevelReport { level, outcome: self.merged_outcome(level) })
+            .collect();
+        AuditReport { shape, levels }
+    }
+
+    fn merged_outcome(&self, level: Level) -> Outcome {
+        if let Some((w, violation)) =
+            self.verdicts.iter().find_map(|w| match w.report.outcome(level) {
+                Some(Outcome::Fail { violation }) => Some((w.index, violation.clone())),
+                _ => None,
+            })
+        {
+            return Outcome::Fail { violation: format!("window {w}: {violation}") };
+        }
+        let unknowns: Vec<(usize, &Outcome)> = self
+            .verdicts
+            .iter()
+            .filter_map(|w| match w.report.outcome(level) {
+                Some(o @ Outcome::Unknown { .. }) => Some((w.index, o)),
+                _ => None,
+            })
+            .collect();
+        if let Some(&(first_idx, _)) = unknowns.first() {
+            let (mut states_total, mut budget_max, mut refuted_any) = (0u64, 0u64, None);
+            let mut first_reason = String::new();
+            for (_, o) in &unknowns {
+                if let Outcome::Unknown { reason, states, refuted, next_budget } = o {
+                    states_total = states_total.saturating_add(*states);
+                    budget_max = budget_max.max(*next_budget);
+                    refuted_any = refuted_any.or(*refuted);
+                    if first_reason.is_empty() {
+                        first_reason = reason.clone();
+                    }
+                }
+            }
+            return Outcome::Unknown {
+                reason: format!(
+                    "{} of {} window(s) inconclusive (first: window {first_idx}: {first_reason})",
+                    unknowns.len(),
+                    self.verdicts.len()
+                ),
+                states: states_total,
+                refuted: refuted_any,
+                next_budget: budget_max,
+            };
+        }
+        Outcome::Pass {
+            witness: format!(
+                "attested per-window: {} passed in all {} window(s); windowed auditing is \
+                 violation-sound (reported violations are real), and a pass certifies each \
+                 window against its carried frontier, not the uncut whole-run order",
+                level.tag(),
+                self.verdicts.len()
+            ),
+        }
+    }
+}
+
+/// Re-interleaves per-session [`CommitBatch`]es into global recording order
+/// before they reach a [`WindowedAuditor`].
+///
+/// A [`stm_runtime::StreamingRecorder`] flushes whole per-session shards, so
+/// raw arrival order is bursty: one session's 256 commits, then another's.
+/// Windowing *that* order would put each session in its own window and blind
+/// the auditor to cross-session anomalies.  The merger buffers records and
+/// releases them in global hint order up to the **watermark** — the smallest
+/// latest-hint any session has delivered; since per-session hints are
+/// monotone, everything at or below the watermark is stably ordered.
+/// [`StreamMerger::finish`] releases the tail once the stream closes.
+///
+/// An idle or slow session holds the watermark back, so the buffer is
+/// additionally capped at [`StreamMerger::MAX_BUFFERED`] records: past the
+/// cap, the oldest half is force-released ahead of the watermark.  That
+/// trades some cross-session window alignment (per-session order — the only
+/// ordering correctness depends on — is always preserved) for bounded
+/// memory and verdict progress when one session stalls.
+#[derive(Debug)]
+pub struct StreamMerger {
+    /// Buffered records keyed by (hint, session) — BTreeMap iteration is the
+    /// release order.
+    buffered: BTreeMap<(u64, usize), AuditTxn>,
+    /// Per-session latest hint delivered (None until first batch).
+    highest: Vec<Option<u64>>,
+}
+
+impl StreamMerger {
+    /// Records held back at most while waiting for a lagging session's
+    /// watermark; beyond this the oldest half is released early.
+    pub const MAX_BUFFERED: usize = 65_536;
+
+    /// A merger for `n_sessions` producing sessions.
+    pub fn new(n_sessions: usize) -> Self {
+        StreamMerger { buffered: BTreeMap::new(), highest: vec![None; n_sessions] }
+    }
+
+    /// Buffer one batch and release everything below the new watermark into
+    /// the auditor.
+    pub fn push_batch(&mut self, batch: &CommitBatch, auditor: &mut WindowedAuditor) {
+        for record in &batch.records {
+            self.buffered.insert((record.hint, batch.session), audit_txn_of(record));
+            let highest = &mut self.highest[batch.session];
+            *highest = Some(highest.map_or(record.hint, |h| h.max(record.hint)));
+        }
+        if let Some(watermark) = self.highest.iter().copied().min().flatten() {
+            self.release(watermark, auditor);
+        }
+        // A lagging session must not let the buffer grow with the run:
+        // force-release the oldest half past the cap.
+        while self.buffered.len() > Self::MAX_BUFFERED {
+            let horizon = self
+                .buffered
+                .keys()
+                .nth(self.buffered.len() / 2)
+                .map(|&(hint, _)| hint)
+                .expect("buffer is non-empty");
+            self.release(horizon, auditor);
+        }
+    }
+
+    /// Release every buffered record once the stream has closed.
+    pub fn finish(mut self, auditor: &mut WindowedAuditor) {
+        self.release(u64::MAX, auditor);
+    }
+
+    fn release(&mut self, watermark: u64, auditor: &mut WindowedAuditor) {
+        while let Some((&(hint, session), _)) = self.buffered.first_key_value() {
+            if hint > watermark {
+                break;
+            }
+            let txn = self.buffered.remove(&(hint, session)).expect("first key exists");
+            auditor.push(session, txn);
+        }
+    }
+}
+
+/// The one place a streamed [`stm_runtime::OwnedCommitRecord`] becomes an
+/// [`AuditTxn`].
+fn audit_txn_of(record: &stm_runtime::OwnedCommitRecord) -> AuditTxn {
+    AuditTxn {
+        reads: record.reads.iter().map(|&(v, x)| (v.index(), x)).collect(),
+        writes: record.writes.iter().map(|&(v, x)| (v.index(), x)).collect(),
+        hint: record.hint,
+    }
+}
+
+/// Stream a complete [`AuditHistory`] through a [`WindowedAuditor`] in
+/// recording (hint) order — the deterministic replay the windowed/batch
+/// equivalence suite is built on.  Per-session hint order must match session
+/// order, which every recorder and adapter in this crate guarantees.
+pub fn audit_streamed(history: &AuditHistory, config: WindowConfig) -> StreamReport {
+    let mut all: Vec<(u64, usize, &AuditTxn)> = history
+        .sessions
+        .iter()
+        .enumerate()
+        .flat_map(|(s, session)| session.iter().map(move |txn| (txn.hint, s, txn)))
+        .collect();
+    all.sort_by_key(|&(hint, s, _)| (hint, s));
+    let mut auditor = WindowedAuditor::new(history.n_vars, history.initial, config);
+    for (_, session, txn) in all {
+        auditor.push(session, txn.clone());
+    }
+    auditor.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: usize, overlap: usize) -> WindowConfig {
+        WindowConfig { size, overlap, ..WindowConfig::sized(size) }
+    }
+
+    /// A serializable cross-session handoff chain long enough to span many
+    /// windows: every read crosses back one step, several cross window
+    /// boundaries, and the frontier must attribute them.
+    #[test]
+    fn cross_window_handoff_chain_stays_clean() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        for i in 1..40i64 {
+            h.push_txn((i % 2) as usize, [(0, i)], [(0, i + 1)]);
+        }
+        let batch = crate::audit(&h);
+        let stream = audit_streamed(&h, cfg(8, 2));
+        assert!(stream.windows.len() > 3, "chain must span several windows");
+        for level in Level::ALL {
+            assert!(batch.passes(level), "batch {level}");
+            assert!(stream.passes(level), "stream {level}: {}", stream.merged);
+        }
+        assert_eq!(stream.total_txns, 40);
+        assert_eq!(stream.evicted_attributions, 0, "frontier resolves every read");
+        assert!(stream.first_conviction.is_none());
+    }
+
+    /// A lost update whose two read-modify-writes sit in the same window is
+    /// convicted, and the merged report pins the window.
+    #[test]
+    fn co_windowed_lost_update_is_convicted() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        for i in 0..30i64 {
+            h.push_txn(0, [], [(1, 100 + i)]);
+        }
+        let stream = audit_streamed(&h, cfg(8, 2));
+        assert!(stream.fails(Level::SnapshotIsolation), "{}", stream.merged);
+        assert!(stream.fails(Level::Serializable));
+        assert!(stream.passes(Level::Causal));
+        let conviction = stream.first_conviction.as_ref().expect("convicted");
+        assert_eq!(conviction.window, 0);
+        assert!(conviction.violation.contains("lost update"), "{}", conviction.violation);
+        assert!(conviction.txns_seen < stream.total_txns, "convicted mid-stream");
+        let Outcome::Fail { violation } =
+            stream.merged.outcome(Level::Serializable).unwrap().clone()
+        else {
+            panic!("expected merged failure");
+        };
+        assert!(violation.starts_with("window 0:"), "{violation}");
+    }
+
+    /// A cross-window lost-update pair whose stale source value resolves
+    /// through a *latest-writer* stand-in (so the reader never parks as
+    /// pending) must still be convicted: the carried rmw fact joins via the
+    /// read log / the stand-in's own reads, not only via pending values.
+    #[test]
+    fn lost_update_via_latest_writer_stand_in_is_still_convicted() {
+        let mut h = AuditHistory::new(3, 0, 2);
+        // W writes both u (stays latest forever) and v = 5.
+        h.push_txn(0, [], [(0, 10), (1, 5)]);
+        // A: rmw of v from 5 — the remembered half of the pair.
+        h.push_txn(0, [(1, 5)], [(1, 6)]);
+        // Enough filler that A and B sit several windows apart, but within
+        // the retention horizon (past it, the miss is the documented
+        // pass-attestation caveat).
+        for i in 0..20i64 {
+            h.push_txn(0, [], [(2, 100 + i)]);
+        }
+        // B: a stale rmw of v from the same source, far downstream.  Its
+        // read resolves instantly against W's latest-writer stand-in.
+        h.push_txn(1, [(1, 5)], [(1, 7)]);
+        let batch = crate::audit(&h);
+        assert!(batch.fails(Level::SnapshotIsolation), "{batch}");
+        let stream = audit_streamed(&h, cfg(8, 2));
+        assert!(stream.fails(Level::SnapshotIsolation), "{}", stream.merged);
+        assert!(stream.fails(Level::Serializable), "{}", stream.merged);
+        let conviction = stream.first_conviction.as_ref().expect("must convict");
+        assert!(conviction.violation.contains("lost update on v1"), "{}", conviction.violation);
+    }
+
+    /// Reads beyond the retention horizon are attributed to evicted
+    /// stand-ins (attested) instead of exploding as thin air.
+    #[test]
+    fn reads_past_the_retention_horizon_become_evicted_attributions() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [], [(0, 7)]); // the write that will be evicted
+        for i in 0..60i64 {
+            h.push_txn(0, [], [(1, 100 + i)]); // filler pushing many windows
+        }
+        h.push_txn(1, [(0, 7)], []); // a very stale (but real) read
+        let config = WindowConfig { retain_windows: 1, ..cfg(8, 0) };
+        let stream = audit_streamed(&h, config);
+        // v0 = 7 stays latest-per-var for v0, so it actually stays resolvable;
+        // overwrite it early to force true eviction.
+        assert_eq!(stream.evicted_attributions, 0);
+
+        let mut h2 = AuditHistory::new(2, 0, 2);
+        h2.push_txn(0, [], [(0, 7)]);
+        h2.push_txn(0, [], [(0, 8)]); // supersedes 7 as latest
+        for i in 0..60i64 {
+            h2.push_txn(0, [], [(1, 100 + i)]);
+        }
+        h2.push_txn(1, [(0, 7)], []); // reads the evicted value
+        let stream2 = audit_streamed(&h2, config);
+        assert_eq!(stream2.evicted_attributions, 1, "{}", stream2.merged);
+        // The attested attribution keeps the run auditable end to end.
+        assert!(stream2.passes(Level::ReadCommitted), "{}", stream2.merged);
+    }
+
+    /// The empty stream is vacuously consistent.
+    #[test]
+    fn empty_streams_pass_vacuously() {
+        let auditor = WindowedAuditor::new(4, 0, WindowConfig::default());
+        let report = auditor.finish();
+        assert_eq!(report.total_txns, 0);
+        assert!(report.windows.is_empty());
+        for level in Level::ALL {
+            assert!(report.passes(level), "{level}");
+        }
+    }
+
+    /// A recording-contract break inside one window fails that window (and
+    /// the merged report) on every level, like the batch auditor would.
+    #[test]
+    fn contract_breaks_fail_the_window_on_every_level() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [], [(0, 7)]);
+        h.push_txn(1, [], [(0, 7)]); // duplicate write value
+        let stream = audit_streamed(&h, cfg(8, 2));
+        for level in Level::ALL {
+            assert!(stream.fails(level), "{level}: {}", stream.merged);
+        }
+        assert!(stream.merged.to_string().contains("ambiguous write"));
+    }
+
+    /// Window bookkeeping: overlap re-audits the boundary, totals add up,
+    /// verdict latency is measured.
+    #[test]
+    fn window_bookkeeping_is_consistent() {
+        let mut h = AuditHistory::new(4, 0, 1);
+        let mut last = [0i64; 4];
+        for i in 0..100i64 {
+            let var = (i % 4) as usize;
+            h.push_txn(0, [(var, last[var])], [(var, 1000 + i)]);
+            last[var] = 1000 + i;
+        }
+        let stream = audit_streamed(&h, cfg(10, 3));
+        // Stride is size - overlap = 7: windows cover 10, then 7 more each.
+        assert!(stream.windows.len() >= 13, "windows: {}", stream.windows.len());
+        assert_eq!(stream.total_txns, 100);
+        assert!(stream.peak_window_txns <= 10);
+        assert!(stream.peak_closure_bytes > 0);
+        assert!(stream.verdict_latency_max() >= stream.verdict_latency_mean());
+        let json = stream.to_json();
+        assert!(json.contains("\"total_txns\":100"), "{json}");
+        assert!(json.contains("\"merged\":"), "{json}");
+    }
+}

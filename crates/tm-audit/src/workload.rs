@@ -95,12 +95,17 @@ fn run_session(stm: &Stm, vars: &[VarId], config: AuditRunConfig, session: usize
     }
 }
 
-/// Run the register workload with recording on and return the history.
-pub fn record_run(config: AuditRunConfig) -> AuditHistory {
-    let recorder_arc = Arc::new(HistoryRecorder::new(config.sessions, 0));
-    let stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _);
+/// Run the register workload with an arbitrary recorder attached (every
+/// worker registers its session) and return the number of commits.  This is
+/// the entry point the streaming pipeline uses: hand it a
+/// [`stm_runtime::StreamingRecorder`] and drain batches from another thread
+/// while the workload runs.
+pub fn run_with_recorder(
+    config: AuditRunConfig,
+    recorder_arc: Arc<dyn stm_runtime::Recorder>,
+) -> u64 {
+    let stm = Stm::with_recorder(config.backend, recorder_arc);
     let vars: Vec<VarId> = (0..config.vars).map(|_| stm.alloc(0)).collect();
-
     std::thread::scope(|scope| {
         let stm = &stm;
         let vars = &vars;
@@ -112,8 +117,13 @@ pub fn record_run(config: AuditRunConfig) -> AuditHistory {
             });
         }
     });
+    stm.stats().commits()
+}
 
-    drop(stm);
+/// Run the register workload with recording on and return the history.
+pub fn record_run(config: AuditRunConfig) -> AuditHistory {
+    let recorder_arc = Arc::new(HistoryRecorder::new(config.sessions, 0));
+    run_with_recorder(config, Arc::clone(&recorder_arc) as _);
     Arc::try_unwrap(recorder_arc)
         .unwrap_or_else(|_| panic!("recorder still shared after the run"))
         .into_history(config.vars)

@@ -1,0 +1,260 @@
+//! `audit` — run a workload against an STM backend and audit its consistency
+//! from the command line, no Rust required.
+//!
+//! ```text
+//! cargo run --release -p workloads --bin audit -- --backend pram --audit=1000
+//! cargo run --release -p workloads --bin audit -- --backend all --threads 4 \
+//!     --txns 2500 --audit --json audit-report.json
+//! ```
+//!
+//! Flags:
+//!
+//! * `--backend tl2|ofree|pram|all` — which backend(s) to run (default `all`);
+//! * `--threads N` — worker threads = audit sessions (default 4);
+//! * `--txns N` — committed transactions per thread (default 2500);
+//! * `--vars N` — shared variable pool size (default 64);
+//! * `--seed N` — workload seed (default 2024);
+//! * `--audit[=WINDOW]` — audit the run: bare `--audit` checks the whole
+//!   history in one batch; `--audit=WINDOW` streams it through rolling
+//!   windows of `WINDOW` transactions, concurrently with the workload, with
+//!   bounded memory (the mode that scales past ~10⁵ transactions);
+//! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
+//! * `--budget N` — SI/SER search state budget (default 2,000,000);
+//! * `--json PATH` — additionally write the machine-readable report to PATH;
+//! * `--fail-on-violation` — exit 1 if any audited backend shows a definite
+//!   violation (for gating scripts: `audit --backend tl2 --audit=1024
+//!   --fail-on-violation && deploy`).  Off by default so surveys that
+//!   *expect* a weak backend to fail (e.g. `--backend all`) stay exit 0.
+//!
+//! Without `--audit` the workload runs unrecorded and only throughput is
+//! reported (the instrumentation-overhead baseline).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use stm_runtime::BackendKind;
+use tm_audit::linearization::DEFAULT_STATE_BUDGET;
+use tm_audit::{AuditRunConfig, WindowConfig};
+use workloads::{run_audited, run_audited_streaming};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AuditMode {
+    Off,
+    Batch,
+    Streaming { window: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Args {
+    backends: Vec<BackendKind>,
+    threads: usize,
+    txns: usize,
+    vars: usize,
+    seed: u64,
+    mode: AuditMode,
+    overlap: Option<usize>,
+    budget: u64,
+    json: Option<String>,
+    fail_on_violation: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            backends: all_backends(),
+            threads: 4,
+            txns: 2_500,
+            vars: 64,
+            seed: 2_024,
+            mode: AuditMode::Off,
+            overlap: None,
+            budget: DEFAULT_STATE_BUDGET,
+            json: None,
+            fail_on_violation: false,
+        }
+    }
+}
+
+fn all_backends() -> Vec<BackendKind> {
+    vec![BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+}
+
+fn parse_backend(name: &str) -> Result<Vec<BackendKind>, String> {
+    match name {
+        "tl2" | "tl2-blocking" => Ok(vec![BackendKind::Tl2Blocking]),
+        "ofree" | "obstruction-free" => Ok(vec![BackendKind::ObstructionFree]),
+        "pram" | "pram-local" => Ok(vec![BackendKind::PramLocal]),
+        "all" => Ok(all_backends()),
+        other => Err(format!("unknown backend {other:?} (use tl2|ofree|pram|all)")),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => args.backends = parse_backend(&value_of(&mut it, "--backend")?)?,
+            "--threads" => {
+                args.threads = value_of(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--txns" => {
+                args.txns =
+                    value_of(&mut it, "--txns")?.parse().map_err(|e| format!("--txns: {e}"))?
+            }
+            "--vars" => {
+                args.vars =
+                    value_of(&mut it, "--vars")?.parse().map_err(|e| format!("--vars: {e}"))?
+            }
+            "--seed" => {
+                args.seed =
+                    value_of(&mut it, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--overlap" => {
+                args.overlap = Some(
+                    value_of(&mut it, "--overlap")?
+                        .parse()
+                        .map_err(|e| format!("--overlap: {e}"))?,
+                )
+            }
+            "--budget" => {
+                args.budget =
+                    value_of(&mut it, "--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
+            }
+            "--json" => args.json = Some(value_of(&mut it, "--json")?),
+            "--fail-on-violation" => args.fail_on_violation = true,
+            "--audit" => args.mode = AuditMode::Batch,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--audit=") => {
+                let window: usize = other["--audit=".len()..]
+                    .parse()
+                    .map_err(|e| format!("--audit=WINDOW: {e}"))?;
+                if window < 2 {
+                    return Err("--audit=WINDOW needs WINDOW ≥ 2".into());
+                }
+                args.mode = AuditMode::Streaming { window };
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.threads == 0 || args.txns == 0 || args.vars == 0 {
+        return Err("--threads, --txns and --vars must be positive".into());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: audit [--backend tl2|ofree|pram|all] [--threads N] [--txns N] [--vars N]\n\
+         \x20            [--seed N] [--audit[=WINDOW]] [--overlap N] [--budget N] [--json PATH]\n\
+         \x20            [--fail-on-violation]"
+    );
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+
+    let mut json_entries: Vec<String> = Vec::new();
+    let mut violated = false;
+    for &backend in &args.backends {
+        let config = AuditRunConfig {
+            backend,
+            sessions: args.threads,
+            txns_per_session: args.txns,
+            vars: args.vars,
+            seed: args.seed,
+        };
+        println!(
+            "backend {backend}: {} threads × {} txns over {} vars (seed {})",
+            args.threads, args.txns, args.vars, args.seed
+        );
+        match args.mode {
+            AuditMode::Off => {
+                let start = Instant::now();
+                let commits = tm_audit::run_unrecorded(config);
+                let elapsed = start.elapsed();
+                let rate = commits as f64 / elapsed.as_secs_f64().max(1e-9);
+                println!("  {commits} commits in {elapsed:.3?} ({rate:.0} commits/s), unaudited\n");
+                json_entries.push(format!(
+                    "{{\"backend\":\"{backend}\",\"mode\":\"off\",\"commits\":{commits},\
+                     \"throughput\":{rate:.0}}}"
+                ));
+            }
+            AuditMode::Batch => {
+                let report = run_audited(config, args.budget);
+                violated |= tm_audit::Level::ALL.iter().any(|&l| report.audit.fails(l));
+                println!(
+                    "  recorded {} in {:.3?} ({:.0} commits/s), checked in {:.3?}",
+                    report.audit.shape, report.run_elapsed, report.throughput, report.audit_elapsed
+                );
+                for level in &report.audit.levels {
+                    println!("  {level}");
+                }
+                println!("  verdict: {}\n", report.audit.summary());
+                json_entries.push(format!(
+                    "{{\"backend\":\"{backend}\",\"mode\":\"batch\",\"throughput\":{:.0},\
+                     \"audit_ms\":{:.3},\"report\":{}}}",
+                    report.throughput,
+                    report.audit_elapsed.as_secs_f64() * 1e3,
+                    report.audit.to_json()
+                ));
+            }
+            AuditMode::Streaming { window } => {
+                let mut wc = WindowConfig::sized(window);
+                wc.budget = args.budget;
+                if let Some(overlap) = args.overlap {
+                    wc.overlap = overlap;
+                }
+                let report = run_audited_streaming(config, wc);
+                violated |= tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
+                println!(
+                    "  recorded {} txns in {:.3?} ({:.0} commits/s), \
+                     merged verdict {:.3?} after run end",
+                    report.stream.total_txns,
+                    report.run_elapsed,
+                    report.throughput,
+                    report.drain_elapsed
+                );
+                print!("  {}", report.stream);
+                println!("  verdict: {}\n", report.stream.summary());
+                json_entries.push(format!(
+                    "{{\"backend\":\"{backend}\",\"mode\":\"streaming\",\"throughput\":{:.0},\
+                     \"drain_ms\":{:.3},\"report\":{}}}",
+                    report.throughput,
+                    report.drain_elapsed.as_secs_f64() * 1e3,
+                    report.stream.to_json()
+                ));
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let doc = format!("{{\"runs\":[{}]}}", json_entries.join(","));
+        if let Err(err) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {err}");
+            return ExitCode::from(3);
+        }
+        println!("machine-readable report written to {path}");
+    }
+    if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

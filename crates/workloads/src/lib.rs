@@ -12,9 +12,14 @@
 //! * [`zipf`] — a Zipfian index sampler for hotspot contention experiments;
 //! * [`runner`] — a thread-pool runner that executes a fixed number of transactions
 //!   per thread against a chosen backend and reports throughput, abort counts and the
-//!   stalled-writer liveness experiment; its **audit mode** ([`runner::run_audited`])
-//!   records every commit through `tm-audit` and proves which consistency levels
-//!   (RC / RA / Causal / SI / SER) the run satisfied.
+//!   stalled-writer liveness experiment; its **audit modes** record every commit
+//!   through `tm-audit` and prove which consistency levels (RC / RA / Causal / SI /
+//!   SER) the run satisfied — whole-run batch ([`runner::run_audited`]) or
+//!   bounded-memory streaming windows concurrent with the workload
+//!   ([`runner::run_audited_streaming`]).
+//!
+//! The `audit` binary (`cargo run -p workloads --bin audit`) wraps both audit
+//! modes behind a CLI so operators can audit a backend without writing Rust.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +30,7 @@ pub mod zipf;
 
 pub use bank::{Bank, BankConfig};
 pub use runner::{
-    run_audited, run_threads, stalled_writer_experiment, AuditedRunReport, RunConfig, RunReport,
+    run_audited, run_audited_streaming, run_threads, stalled_writer_experiment, AuditedRunReport,
+    RunConfig, RunReport, StreamingAuditedReport,
 };
 pub use zipf::Zipf;

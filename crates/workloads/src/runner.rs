@@ -1,6 +1,8 @@
 //! The multi-threaded workload runner, the stalled-writer liveness experiment,
-//! and the audited run mode (record every commit, then prove which consistency
-//! levels the run satisfied).
+//! and the audited run modes: **batch** (record every commit, then prove which
+//! consistency levels the run satisfied) and **streaming** (audit rolling
+//! windows concurrently with the workload, with bounded memory and mid-run
+//! convictions).
 
 use crate::bank::{Bank, BankConfig};
 use rand::rngs::StdRng;
@@ -8,8 +10,11 @@ use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use stm_runtime::{BackendKind, Stm};
-use tm_audit::{audit_with_budget, AuditReport, AuditRunConfig};
+use stm_runtime::{BackendKind, Stm, StreamingRecorder};
+use tm_audit::{
+    audit_with_budget, AuditReport, AuditRunConfig, StreamMerger, StreamReport, WindowConfig,
+    WindowedAuditor,
+};
 
 /// Configuration of one runner invocation.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +110,68 @@ pub fn run_audited(config: AuditRunConfig, budget: u64) -> AuditedRunReport {
     let start = Instant::now();
     let audit = audit_with_budget(&history, budget);
     AuditedRunReport { config, run_elapsed, throughput, audit_elapsed: start.elapsed(), audit }
+}
+
+/// What a streaming audited run measured and proved.
+#[derive(Debug, Clone)]
+pub struct StreamingAuditedReport {
+    /// The recording configuration that produced the report.
+    pub config: AuditRunConfig,
+    /// The window shape the auditor used.
+    pub window: WindowConfig,
+    /// Wall-clock duration of the workload (recording included).
+    pub run_elapsed: Duration,
+    /// Committed (= recorded) transactions per second during the run.
+    pub throughput: f64,
+    /// Time from workload end to the final merged verdict — the audit tail
+    /// the streaming pipeline leaves behind.  The batch mode pays its
+    /// *entire* checking time here; streaming amortizes it into the run.
+    pub drain_elapsed: Duration,
+    /// The merged verdicts, per-window detail and pipeline statistics.
+    pub stream: StreamReport,
+}
+
+/// The runner's streaming audit mode: the same recordable register workload
+/// as [`run_audited`], but commits drain through a
+/// [`stm_runtime::StreamingRecorder`] to a [`WindowedAuditor`] on a consumer
+/// thread *while the workload runs*.  Verdict latency per window is in
+/// [`StreamReport::verdict_latency_mean`]; a backend that trades consistency
+/// away is convicted mid-run (see [`StreamReport::first_conviction`]).
+pub fn run_audited_streaming(
+    config: AuditRunConfig,
+    window: WindowConfig,
+) -> StreamingAuditedReport {
+    let recorder = Arc::new(StreamingRecorder::new(config.sessions, 256));
+    let consumer = recorder.consumer();
+    let vars = config.vars;
+    let start = Instant::now();
+    let (commits, run_elapsed, stream) = std::thread::scope(|scope| {
+        let sessions = config.sessions;
+        let auditor = scope.spawn(move || {
+            let mut auditor = WindowedAuditor::new(vars, 0, window);
+            // Shard batches arrive per-session-bursty; the merger restores
+            // global recording order so windows cut across sessions.
+            let mut merger = StreamMerger::new(sessions);
+            while let Some(batch) = consumer.recv() {
+                merger.push_batch(&batch, &mut auditor);
+            }
+            merger.finish(&mut auditor);
+            auditor.finish()
+        });
+        let commits = tm_audit::run_with_recorder(config, Arc::clone(&recorder) as _);
+        let run_elapsed = start.elapsed();
+        recorder.finish();
+        (commits, run_elapsed, auditor.join().expect("auditor thread panicked"))
+    });
+    let total = start.elapsed();
+    StreamingAuditedReport {
+        config,
+        window,
+        run_elapsed,
+        throughput: commits as f64 / run_elapsed.as_secs_f64().max(1e-9),
+        drain_elapsed: total.saturating_sub(run_elapsed),
+        stream,
+    }
 }
 
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the
@@ -218,6 +285,47 @@ mod tests {
         );
         assert!(report.throughput > 0.0);
         assert!(report.audit.passes(Level::Serializable), "{}", report.audit);
+    }
+
+    #[test]
+    fn streaming_audited_runs_agree_with_batch_on_a_consistent_backend() {
+        use tm_audit::Level;
+        let config = AuditRunConfig {
+            backend: BackendKind::ObstructionFree,
+            sessions: 2,
+            txns_per_session: 300,
+            vars: 16,
+            seed: 11,
+        };
+        let report = run_audited_streaming(config, WindowConfig::sized(100));
+        assert!(report.throughput > 0.0);
+        assert_eq!(report.stream.total_txns, 600);
+        assert!(report.stream.windows.len() >= 5, "windows: {}", report.stream.windows.len());
+        for level in Level::ALL {
+            assert!(report.stream.passes(level), "{level}: {}", report.stream.merged);
+        }
+        assert!(report.stream.first_conviction.is_none());
+    }
+
+    #[test]
+    fn streaming_audits_convict_pram_mid_run() {
+        let config = AuditRunConfig {
+            backend: BackendKind::PramLocal,
+            sessions: 4,
+            txns_per_session: 500,
+            vars: 16,
+            seed: 5,
+        };
+        let report = run_audited_streaming(config, WindowConfig::sized(250));
+        let conviction = report.stream.first_conviction.as_ref().expect("pram must be convicted");
+        assert!(
+            conviction.txns_seen < report.stream.total_txns,
+            "conviction after {} of {} txns must land mid-stream",
+            conviction.txns_seen,
+            report.stream.total_txns
+        );
+        assert!(report.stream.fails(tm_audit::Level::Serializable), "{}", report.stream.merged);
+        assert!(report.stream.passes(tm_audit::Level::Causal), "{}", report.stream.merged);
     }
 
     #[test]
