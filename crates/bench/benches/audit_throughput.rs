@@ -20,7 +20,7 @@
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3.
 
 use bench::harness::{bench, bench_throughput, black_box};
-use stm_runtime::BackendKind;
+use stm_runtime::registry::{OBSTRUCTION_FREE, PRAM_LOCAL, TL2_BLOCKING};
 use tm_audit::digraph::Reach;
 use tm_audit::linearization::{search_serializable, Search, DEFAULT_STATE_BUDGET};
 use tm_audit::po::TxnPartialOrder;
@@ -31,8 +31,7 @@ use workloads::run_audited_streaming;
 const SAMPLES: usize = 5;
 
 fn recording_overhead() {
-    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
-    {
+    for backend in [TL2_BLOCKING, OBSTRUCTION_FREE, PRAM_LOCAL] {
         let config =
             AuditRunConfig { backend, sessions: 4, txns_per_session: 2_000, vars: 64, seed: 7 };
         bench(&format!("audit1-recording/{backend}/detached"), SAMPLES, || {
@@ -46,7 +45,7 @@ fn recording_overhead() {
 
 fn checker_throughput() {
     let config = AuditRunConfig {
-        backend: BackendKind::Tl2Blocking,
+        backend: TL2_BLOCKING,
         sessions: 4,
         txns_per_session: 2_500,
         vars: 64,
@@ -76,7 +75,7 @@ fn batch_vs_streaming() {
     }
     for &txns in &sizes {
         let config = AuditRunConfig {
-            backend: BackendKind::Tl2Blocking,
+            backend: TL2_BLOCKING,
             sessions: 4,
             txns_per_session: txns / 4,
             vars: 64,

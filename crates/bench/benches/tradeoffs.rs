@@ -1,37 +1,47 @@
 //! The P/C/L trade-off benchmarks on the real multi-threaded STM runtime.
 //!
 //! The paper's Section 5 argues the trade-off qualitatively; these benchmarks put
-//! numbers on it using the three `stm-runtime` backends (blocking / obstruction-free
-//! / PRAM-local):
+//! numbers on it using **every backend in the open registry** — the three
+//! built-ins plus whatever other crates registered (the `workloads` crate
+//! contributes the coarse-global-lock "give up P" backend):
 //!
 //! * **TRADE1 — disjoint workloads**: per-thread account partitions, zero conflicts.
-//!   Expected shape: all backends scale; the DAP designs pay no synchronization
-//!   penalty beyond their own metadata.
+//!   Expected shape: the DAP designs scale with threads; the global-lock backend
+//!   does not — that is exactly its sacrificed corner.
 //! * **TRADE2 — contended workloads**: Zipfian hot accounts.  Expected shape: the
 //!   obstruction-free backend turns contention into aborts/retries, the blocking
-//!   backend into waiting; PRAM-local is unaffected (it shares nothing) — but it also
-//!   returns wrong global balances, which is the point.
+//!   backends into waiting; PRAM-local is unaffected (it shares nothing) — but it
+//!   also returns wrong global balances, which is the point.
 //! * **TRADE3 — stalled writer**: a writer stalls mid-transaction holding its
-//!   encounter-time lock.  Expected shape: victims on the blocking backend commit
+//!   encounter-time lock.  Expected shape: victims on the blocking backends commit
 //!   almost nothing during the stall; the non-blocking backends are unaffected.
 //! * **DAPCOST — metadata ablation**: read-mostly workloads comparing the per-var
-//!   metadata cost of the two consistent backends.
+//!   metadata cost of the two consistent DAP backends.
+//! * **POLICY — retry-policy ablation**: the kv-zipf hotspot scenario under
+//!   immediate retry vs exponential backoff, with the attempt-histogram
+//!   percentiles that make the difference visible.
 //!
-//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3, DAPCOST.
+//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3,
+//! DAPCOST, POLICY.
 
 use bench::harness::{bench, black_box};
+use std::sync::Arc;
 use std::time::Duration;
-use stm_runtime::{BackendKind, Stm};
-use workloads::{run_threads, stalled_writer_experiment, BankConfig, RunConfig};
-
-const BACKENDS: [BackendKind; 3] =
-    [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal];
+use stm_runtime::{policy, registry, BackendId, Stm};
+use workloads::{
+    run_scenario, run_threads, stalled_writer_experiment, BankConfig, KvZipfScenario, RunConfig,
+    ScenarioConfig,
+};
 
 const SAMPLES: usize = 10;
 
+fn all_backends() -> Vec<BackendId> {
+    registry::all_ids()
+}
+
 /// TRADE1: fully disjoint transfers, 1–4 threads.
 fn bench_disjoint_scaling() {
-    for backend in BACKENDS {
+    for backend in all_backends() {
         for threads in [1usize, 2, 4] {
             bench(&format!("trade1-disjoint-scaling/{backend}/{threads}"), SAMPLES, || {
                 let report = run_threads(RunConfig {
@@ -48,7 +58,7 @@ fn bench_disjoint_scaling() {
 
 /// TRADE2: Zipfian hotspot contention.
 fn bench_contention() {
-    for backend in BACKENDS {
+    for backend in all_backends() {
         for theta in [0.5f64, 0.99] {
             bench(&format!("trade2-zipf-contention/{backend}/theta={theta}"), SAMPLES, || {
                 let report = run_threads(RunConfig {
@@ -70,7 +80,7 @@ fn bench_contention() {
 
 /// TRADE3: victim commits during a stalled writer's stall.
 fn bench_stalled_writer() {
-    for backend in BACKENDS {
+    for backend in all_backends() {
         bench(&format!("trade3-stalled-writer/{backend}/stall=40ms"), SAMPLES, || {
             let commits = stalled_writer_experiment(backend, 2, Duration::from_millis(40));
             black_box(commits)
@@ -80,10 +90,10 @@ fn bench_stalled_writer() {
 
 /// DAPCOST: read-mostly workload comparing the consistent backends' metadata cost.
 fn bench_read_mostly_ablation() {
-    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+    for backend in [registry::TL2_BLOCKING, registry::OBSTRUCTION_FREE] {
         for read_pct in [50usize, 90, 100] {
             let stm = Stm::new(backend);
-            let vars: Vec<_> = (0..16).map(|i| stm.alloc(i)).collect();
+            let vars: Vec<_> = (0..16i64).map(|i| stm.alloc(i)).collect();
             bench(&format!("dapcost-read-mostly/{backend}/{read_pct}%reads"), SAMPLES, || {
                 let mut acc = 0i64;
                 for (i, _) in vars.iter().enumerate() {
@@ -104,9 +114,35 @@ fn bench_read_mostly_ablation() {
     }
 }
 
+/// POLICY: immediate retry vs exponential backoff on the write-heavy Zipf
+/// hotspot, with the attempt percentiles that justify (or refute) backing off.
+fn bench_retry_policies() {
+    let scenario = KvZipfScenario { theta: 0.99, read_fraction: 0.2 };
+    for (label, retry) in [
+        ("immediate", Arc::new(policy::ImmediateRetry) as Arc<dyn stm_runtime::RetryPolicy>),
+        ("backoff", Arc::new(policy::ExponentialBackoff::default()) as _),
+    ] {
+        bench(&format!("policy-kv-zipf-hotspot/obstruction-free/{label}"), SAMPLES, || {
+            let config = ScenarioConfig {
+                threads: 4,
+                txns_per_thread: 250,
+                vars: 8,
+                policy: Arc::clone(&retry),
+                ..ScenarioConfig::new(registry::OBSTRUCTION_FREE)
+            };
+            let report = run_scenario(&scenario, &config);
+            black_box((report.throughput, report.attempts_p50, report.attempts_p99))
+        });
+    }
+}
+
 fn main() {
+    // Pull in the backends other crates contribute (global-lock) before
+    // snapshotting the registry.
+    workloads::register_workload_backends();
     bench_disjoint_scaling();
     bench_contention();
     bench_stalled_writer();
     bench_read_mostly_ablation();
+    bench_retry_policies();
 }

@@ -20,7 +20,14 @@ impl fmt::Display for VarId {
     }
 }
 
-/// Which backend a [`crate::Stm`] instance uses.
+/// The three built-in backends, as a convenience enum.
+///
+/// Historically this closed enum *was* the backend space; the runtime now
+/// resolves backends through the open [`crate::registry`], and `BackendKind`
+/// survives as ergonomic sugar for the built-ins: anything accepting
+/// `impl Into<crate::BackendId>` takes a `BackendKind` directly.  Backends
+/// added through [`crate::registry::register`] have no `BackendKind` — use
+/// their [`crate::BackendId`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// TL2-style commit-time locking with a global version clock; commits **spin** on
@@ -47,8 +54,15 @@ impl fmt::Display for BackendKind {
 /// The operations a backend must provide.  `TxnData` carries the per-transaction
 /// bookkeeping (read set, write set, snapshot timestamp) that all backends share.
 pub trait Backend: Send + Sync {
-    /// Allocate a new variable with an initial value.
-    fn alloc(&self, initial: i64) -> VarId;
+    /// Allocate `initials.len()` **consecutive** variables in one atomic step
+    /// (returns the first id).  Multi-word [`crate::TVar`]s rely on the ids
+    /// being consecutive even when threads allocate concurrently.
+    fn alloc_words(&self, initials: &[i64]) -> VarId;
+
+    /// Allocate a single variable with an initial value.
+    fn alloc(&self, initial: i64) -> VarId {
+        self.alloc_words(&[initial])
+    }
     /// Initialize per-transaction state.
     fn begin(&self, data: &mut TxnData);
     /// Transactional read.

@@ -1,29 +1,39 @@
-//! # stm-runtime — a real, multi-threaded word STM with swappable backends
+//! # stm-runtime — a typed, multi-threaded word STM with an open backend registry
 //!
 //! While `tm-model` / `tm-algorithms` reproduce the paper's *formal* model inside a
 //! deterministic simulator, this crate is the artifact a downstream user would
-//! actually link against: a shared-memory software transactional memory for `i64`
-//! variables (`word STM`), runnable on real threads, with one backend per corner of
-//! the P/C/L triangle:
+//! actually link against: a shared-memory software transactional memory runnable on
+//! real threads.  The public API has three layers, each pluggable:
 //!
-//! | Backend | P (disjoint-access) | C | L | Simulator counterpart |
-//! |---|---|---|---|---|
-//! | [`BackendKind::Tl2Blocking`]   | per-var metadata only | serializable | blocking commit (spins on locks) | `tl-locking` |
-//! | [`BackendKind::ObstructionFree`] | per-var metadata only | serializable | never blocks, aborts under contention | `of-dap-candidate`/`dstm` family |
-//! | [`BackendKind::PramLocal`]     | no shared memory at all | PRAM only | wait-free | `pram-tm` |
+//! 1. **Typed variables** — [`TVar<T>`] handles over the word STM.  Any
+//!    [`TxnValue`] (ints, `bool`, fixed arrays, tuples) encodes to one or
+//!    more consecutive words and is read/written atomically inside a
+//!    transaction.  The old `VarId`-based word calls survive as deprecated
+//!    shims ([`Stm::alloc_var`], [`Txn::read_var`], [`Txn::write_var`]).
+//! 2. **Open backends** — [`Stm::new`] takes anything `Into<BackendId>` and
+//!    resolves it through the [`registry`]: a [`registry::BackendSpec`] names
+//!    a backend, declares its P/C/L triangle position and constructs it.
+//!    Three corners ship built in, and other crates add more (the
+//!    `workloads` crate registers a coarse-global-lock "give up P" backend
+//!    through the same public API):
 //!
-//! The API is deliberately small: allocate variables with [`Stm::alloc`], then run
-//! closures with [`Stm::run`] (retry-until-commit) or [`Stm::try_run`] (single
-//! attempt).  Per-backend statistics ([`Stm::stats`]) expose commits, aborts and
-//! retries so the benchmark harness can regenerate the liveness/contention trade-off
-//! experiments of EXPERIMENTS.md.
+//!    | Backend | P (disjoint-access) | C | L |
+//!    |---|---|---|---|
+//!    | `tl2-blocking`     | per-var metadata only | serializable | blocking commit (spins on locks) |
+//!    | `obstruction-free` | per-var metadata only | serializable | never blocks, aborts under contention |
+//!    | `pram-local`       | no shared memory at all | PRAM only | wait-free |
+//! 3. **Pluggable retry** — the retry-until-commit loop consults a
+//!    [`RetryPolicy`] ([`policy::ImmediateRetry`] by default;
+//!    [`policy::BoundedRetry`] and [`policy::ExponentialBackoff`] ship too),
+//!    and [`StmStats`] keeps an attempts-per-transaction histogram
+//!    (p50/p99) so policies are measurable, not just selectable.
 //!
 //! ```
-//! use stm_runtime::{BackendKind, Stm, StmError};
+//! use stm_runtime::{BackendKind, Stm, StmError, TVar};
 //!
 //! let stm = Stm::new(BackendKind::Tl2Blocking);
-//! let account_a = stm.alloc(100);
-//! let account_b = stm.alloc(0);
+//! let account_a: TVar<i64> = stm.alloc(100);
+//! let account_b: TVar<i64> = stm.alloc(0);
 //! let moved = stm.run(|tx| {
 //!     let a = tx.read(account_a)?;
 //!     let transfer = a.min(40);
@@ -34,75 +44,158 @@
 //! });
 //! assert_eq!(moved, 40);
 //! assert_eq!(stm.read_now(account_a) + stm.read_now(account_b), 100);
+//!
+//! // Typed variables beyond i64: a (balance, flag) pair, updated atomically.
+//! let pair: TVar<(i64, bool)> = stm.alloc((7, false));
+//! stm.run(|tx| {
+//!     let (balance, _) = tx.read(pair)?;
+//!     tx.write(pair, (balance + 1, true))
+//! });
+//! assert_eq!(stm.read_now(pair), (8, true));
 //! ```
+//!
+//! ## Migrating from the `VarId` API
+//!
+//! | Old (deprecated) | New |
+//! |---|---|
+//! | `let v: VarId = stm.alloc(0)` | `let v: TVar<i64> = stm.alloc(0i64)` |
+//! | `tx.read(v)?` on `VarId` | `tx.read(v)?` on `TVar<i64>` (or `tx.read_var(v)?`) |
+//! | `tx.write(v, x)?` on `VarId` | `tx.write(v, x)?` on `TVar<i64>` (or `tx.write_var(v, x)?`) |
+//! | `Stm::new(BackendKind::X)` | unchanged (`BackendKind` converts into [`BackendId`]) |
+//! | `"tl2".to_string()` matching | `"tl2".parse::<BackendId>()?` via the [`registry`] |
+//! | hand-rolled retry loops | `Stm::run` + [`RetryPolicy`] / [`Stm::run_policy`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod ofree;
+pub mod policy;
 pub mod pramlocal;
 pub mod recorder;
+pub mod registry;
 pub mod stats;
 pub mod tl2;
+pub mod tvar;
 pub mod txn;
+pub mod value;
 
 pub use backend::{Backend, BackendKind, VarId};
+pub use policy::{RetryDecision, RetryPolicy};
 pub use recorder::{
     CommitBatch, CommitRecord, OwnedCommitRecord, Recorder, StreamConsumer, StreamingRecorder,
 };
+pub use registry::{BackendId, BackendSpec};
 pub use stats::StmStats;
+pub use tvar::TVar;
 pub use txn::{StmError, Txn, TxnData};
+pub use value::TxnValue;
 
+use policy::{ImmediateRetry, RetryDecision as Decision};
 use std::sync::Arc;
 
-/// The front-end: a transactional memory instance with a chosen backend.
+/// The front-end: a transactional memory instance with a chosen backend and
+/// retry policy.
 pub struct Stm {
     backend: Arc<dyn Backend>,
-    kind: BackendKind,
+    id: BackendId,
     stats: Arc<StmStats>,
     recorder: Option<Arc<dyn Recorder>>,
+    policy: Arc<dyn RetryPolicy>,
 }
 
 impl Stm {
-    /// Create an STM instance with the given backend.
-    pub fn new(kind: BackendKind) -> Self {
-        let backend: Arc<dyn Backend> = match kind {
-            BackendKind::Tl2Blocking => Arc::new(tl2::Tl2Backend::new()),
-            BackendKind::ObstructionFree => Arc::new(ofree::OFreeBackend::new()),
-            BackendKind::PramLocal => Arc::new(pramlocal::PramLocalBackend::new()),
-        };
-        Stm { backend, kind, stats: Arc::new(StmStats::default()), recorder: None }
+    /// Create an STM instance with the given backend (a [`BackendKind`], a
+    /// [`BackendId`] parsed from a name, or the id returned by
+    /// [`registry::register`]).
+    pub fn new(backend: impl Into<BackendId>) -> Self {
+        let id = backend.into();
+        let spec = id.spec();
+        Stm {
+            backend: (spec.constructor)(),
+            id,
+            stats: Arc::new(StmStats::default()),
+            recorder: None,
+            policy: Arc::new(ImmediateRetry),
+        }
     }
 
     /// Create an instrumented STM instance whose successful commits are
     /// reported to `recorder` (see [`recorder`] for what is captured).
-    pub fn with_recorder(kind: BackendKind, recorder: Arc<dyn Recorder>) -> Self {
-        let mut stm = Stm::new(kind);
+    pub fn with_recorder(backend: impl Into<BackendId>, recorder: Arc<dyn Recorder>) -> Self {
+        let mut stm = Stm::new(backend);
         stm.recorder = Some(recorder);
         stm
     }
 
+    /// Detach the recorder, if any: subsequent commits are no longer
+    /// reported.  Used by audited runners to fence off post-run
+    /// verification transactions from the recorded history.
+    pub fn take_recorder(&mut self) -> Option<Arc<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Replace the retry policy (builder style).  The default is
+    /// [`policy::ImmediateRetry`], the historical retry-until-commit loop.
+    pub fn with_policy(mut self, policy: Arc<dyn RetryPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The retry policy in effect.
+    pub fn policy(&self) -> &dyn RetryPolicy {
+        self.policy.as_ref()
+    }
+
     /// Which backend this instance uses.
-    pub fn kind(&self) -> BackendKind {
-        self.kind
+    pub fn backend_id(&self) -> BackendId {
+        self.id
     }
 
-    /// Allocate a new transactional variable with the given initial value.
-    pub fn alloc(&self, initial: i64) -> VarId {
-        self.backend.alloc(initial)
+    /// The built-in [`BackendKind`] of this instance, if it uses one of the
+    /// three built-in backends.
+    pub fn kind(&self) -> Option<BackendKind> {
+        [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+            .into_iter()
+            .find(|k| k.id() == self.id)
     }
 
-    /// Cumulative statistics (commits, aborts, retries).
+    /// Allocate a typed transactional variable: `T::WORDS` consecutive words
+    /// initialized from `initial`.
+    pub fn alloc<T: TxnValue>(&self, initial: T) -> TVar<T> {
+        let words = value::encode_to_words(&initial);
+        TVar::from_base(self.backend.alloc_words(&words))
+    }
+
+    /// Allocate a raw word variable (pre-`TVar` API).
+    #[deprecated(since = "0.1.0", note = "migrate to `Stm::alloc` returning a typed `TVar<T>`")]
+    pub fn alloc_var(&self, initial: i64) -> VarId {
+        self.backend.alloc_words(&[initial])
+    }
+
+    /// Cumulative statistics (commits, aborts, retries, attempt histogram).
     pub fn stats(&self) -> &StmStats {
         &self.stats
     }
 
-    /// Run a transaction once; `Err(StmError::Aborted)` means the attempt failed and
-    /// the caller may retry.
+    /// Run one attempt of a transaction (no retries, no policy).
+    /// `Err(StmError::Aborted)` means the attempt failed and the caller may
+    /// retry.
     pub fn try_run<T>(
         &self,
         body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
+    ) -> Result<T, StmError> {
+        let result = self.attempt(&body);
+        if result.is_ok() {
+            self.stats.record_attempts(1);
+        }
+        result
+    }
+
+    /// One raw attempt: begin, run the body, commit or clean up.
+    fn attempt<T>(
+        &self,
+        body: &impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
     ) -> Result<T, StmError> {
         let mut data = TxnData::default();
         self.backend.begin(&mut data);
@@ -134,33 +227,81 @@ impl Stm {
         }
     }
 
-    /// Run a transaction until it commits (retrying on aborts) and return its result.
+    /// Run a transaction until it commits and return its result.  Failed
+    /// attempts consult the [`RetryPolicy`] for pacing; because `run`
+    /// promises a value, a [`RetryDecision::GiveUp`] is treated as an
+    /// immediate retry here — use [`Stm::run_policy`] to let the policy
+    /// actually stop the loop.
     pub fn run<T>(&self, body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>) -> T {
+        let mut attempts = 1u32;
         loop {
-            match self.try_run(&body) {
-                Ok(v) => return v,
+            match self.attempt(&body) {
+                Ok(v) => {
+                    self.stats.record_attempts(attempts);
+                    return v;
+                }
                 Err(_) => {
                     self.stats.record_retry();
-                    std::hint::spin_loop();
+                    match self.policy.decide(attempts) {
+                        Decision::RetryNow | Decision::GiveUp => std::hint::spin_loop(),
+                        Decision::SpinThen(spins) => policy::spin_wait(spins),
+                    }
+                    attempts = attempts.saturating_add(1);
                 }
             }
         }
     }
 
+    /// Run a transaction until it commits **or the retry policy gives up**,
+    /// in which case the last abort is returned.  Attempt counts land in the
+    /// [`StmStats`] histogram either way.
+    pub fn run_policy<T>(
+        &self,
+        body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
+    ) -> Result<T, StmError> {
+        let mut attempts = 1u32;
+        loop {
+            match self.attempt(&body) {
+                Ok(v) => {
+                    self.stats.record_attempts(attempts);
+                    return Ok(v);
+                }
+                Err(e) => match self.policy.decide(attempts) {
+                    Decision::GiveUp => {
+                        self.stats.record_attempts(attempts);
+                        return Err(e);
+                    }
+                    decision => {
+                        self.stats.record_retry();
+                        match decision {
+                            Decision::SpinThen(spins) => policy::spin_wait(spins),
+                            _ => std::hint::spin_loop(),
+                        }
+                        attempts = attempts.saturating_add(1);
+                    }
+                },
+            }
+        }
+    }
+
     /// Read a variable outside of any transaction (a single-read transaction).
-    pub fn read_now(&self, var: VarId) -> i64 {
+    pub fn read_now<T: TxnValue>(&self, var: TVar<T>) -> T {
         self.run(|tx| tx.read(var))
     }
 
     /// Write a variable outside of any transaction (a single-write transaction).
-    pub fn write_now(&self, var: VarId, value: i64) {
-        self.run(|tx| tx.write(var, value));
+    pub fn write_now<T: TxnValue + Clone>(&self, var: TVar<T>, value: T) {
+        self.run(|tx| tx.write(var, value.clone()));
     }
 }
 
 impl std::fmt::Debug for Stm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Stm").field("kind", &self.kind).field("stats", &self.stats).finish()
+        f.debug_struct("Stm")
+            .field("backend", &self.id)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -177,11 +318,13 @@ mod tests {
     fn single_threaded_read_write_round_trip_on_every_backend() {
         for kind in all_kinds() {
             let stm = Stm::new(kind);
-            let x = stm.alloc(7);
+            let x = stm.alloc(7i64);
             assert_eq!(stm.read_now(x), 7, "{kind:?}");
             stm.write_now(x, 42);
             assert_eq!(stm.read_now(x), 42, "{kind:?}");
             assert!(stm.stats().commits() >= 3);
+            assert_eq!(stm.kind(), Some(kind));
+            assert_eq!(stm.backend_id(), kind.id());
         }
     }
 
@@ -189,8 +332,8 @@ mod tests {
     fn transactions_are_atomic_within_a_thread() {
         for kind in all_kinds() {
             let stm = Stm::new(kind);
-            let a = stm.alloc(10);
-            let b = stm.alloc(20);
+            let a = stm.alloc(10i64);
+            let b = stm.alloc(20i64);
             let sum = stm.run(|tx| {
                 let va = tx.read(a)?;
                 let vb = tx.read(b)?;
@@ -205,10 +348,76 @@ mod tests {
     }
 
     #[test]
+    fn typed_variables_round_trip_every_provided_impl() {
+        for kind in all_kinds() {
+            let stm = Stm::new(kind);
+            let flag = stm.alloc(false);
+            let small = stm.alloc(-3i32);
+            let wide = stm.alloc(u64::MAX);
+            let tuple = stm.alloc((1i64, true));
+            let array = stm.alloc([1i64, 2, 3]);
+            stm.run(|tx| {
+                tx.write(flag, true)?;
+                tx.write(small, 9i32)?;
+                tx.write(wide, 7u64)?;
+                let (n, b) = tx.read(tuple)?;
+                tx.write(tuple, (n + 41, !b))?;
+                tx.update(array, |[x, y, z]| [z, y, x])?;
+                Ok(())
+            });
+            assert!(stm.read_now(flag), "{kind:?}");
+            assert_eq!(stm.read_now(small), 9, "{kind:?}");
+            assert_eq!(stm.read_now(wide), 7, "{kind:?}");
+            assert_eq!(stm.read_now(tuple), (42, false), "{kind:?}");
+            assert_eq!(stm.read_now(array), [3, 2, 1], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn multi_word_variables_are_read_atomically_under_contention() {
+        // Writers keep the two words of a pair equal inside one transaction;
+        // readers must never observe them differ on a consistent backend.
+        for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+            let stm = Arc::new(Stm::new(kind));
+            let pair: TVar<(i64, i64)> = stm.alloc((0, 0));
+            std::thread::scope(|s| {
+                let writer = Arc::clone(&stm);
+                s.spawn(move || {
+                    for i in 1..=500i64 {
+                        writer.run(|tx| tx.write(pair, (i, -i)));
+                    }
+                });
+                let reader = Arc::clone(&stm);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let (a, b) = reader.run(|tx| tx.read(pair));
+                        assert_eq!(a, -b, "{kind:?}: torn read ({a}, {b})");
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn deprecated_var_id_shims_still_work() {
+        #![allow(deprecated)]
+        for kind in all_kinds() {
+            let stm = Stm::new(kind);
+            let v = stm.alloc_var(5);
+            let doubled = stm.run(|tx| {
+                let x = tx.read_var(v)?;
+                tx.write_var(v, x * 2)?;
+                tx.read_var(v)
+            });
+            assert_eq!(doubled, 10, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn explicit_user_aborts_leave_no_trace() {
         for kind in all_kinds() {
             let stm = Stm::new(kind);
-            let x = stm.alloc(1);
+            let x = stm.alloc(1i64);
             let result: Result<(), StmError> = stm.try_run(|tx| {
                 tx.write(x, 99)?;
                 Err(StmError::Aborted)
@@ -223,7 +432,7 @@ mod tests {
     fn concurrent_counter_increments_are_not_lost_on_consistent_backends() {
         for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
             let stm = Arc::new(Stm::new(kind));
-            let counter = stm.alloc(0);
+            let counter = stm.alloc(0i64);
             let threads = 4;
             let per_thread = 200;
             std::thread::scope(|s| {
@@ -240,7 +449,51 @@ mod tests {
                 }
             });
             assert_eq!(stm.read_now(counter), threads * per_thread, "{kind:?}");
+            // Every committed transaction recorded an attempt count.
+            assert_eq!(stm.stats().attempts_recorded(), stm.stats().commits());
+            assert!(stm.stats().attempts_p99() >= stm.stats().attempts_p50());
         }
+    }
+
+    #[test]
+    fn bounded_policies_give_up_through_run_policy() {
+        use crate::policy::BoundedRetry;
+        let stm = Stm::new(BackendKind::ObstructionFree)
+            .with_policy(Arc::new(BoundedRetry { max_attempts: 3 }));
+        assert_eq!(stm.policy().name(), "bounded");
+        let x = stm.alloc(0i64);
+        // A body that always asks to abort: run_policy must stop after 3 attempts.
+        let result: Result<(), StmError> = stm.run_policy(|tx| {
+            tx.write(x, 1)?;
+            Err(StmError::Aborted)
+        });
+        assert_eq!(result, Err(StmError::Aborted));
+        assert_eq!(stm.stats().aborts(), 3);
+        // The give-up landed in the attempts histogram at 3 attempts.
+        assert_eq!(stm.stats().attempts_p50(), 3);
+        // A committing body still succeeds.
+        assert_eq!(stm.run_policy(|tx| tx.update(x, |v| v + 1)), Ok(1));
+    }
+
+    #[test]
+    fn backoff_policies_still_commit_under_contention() {
+        use crate::policy::ExponentialBackoff;
+        let stm = Arc::new(
+            Stm::new(BackendKind::ObstructionFree)
+                .with_policy(Arc::new(ExponentialBackoff { base_spins: 4, max_spins: 64 })),
+        );
+        let counter = stm.alloc(0i64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        stm.run(|tx| tx.update(counter, |v| v + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.read_now(counter), 400);
     }
 
     #[test]
@@ -266,8 +519,8 @@ mod tests {
             let capture = Arc::new(Capture::default());
             let stm = Stm::with_recorder(kind, Arc::clone(&capture) as Arc<dyn Recorder>);
             recorder::set_session(5);
-            let x = stm.alloc(10);
-            let y = stm.alloc(0);
+            let x = stm.alloc(10i64);
+            let y = stm.alloc(0i64);
             // Read-modify-write: x is an external read then a write; y is
             // write-then-read, so it must NOT appear in the read set.
             stm.run(|tx| {
@@ -288,15 +541,15 @@ mod tests {
             assert_eq!(records.len(), 1, "{kind:?}");
             let (session, reads, writes) = &records[0];
             assert_eq!(*session, Some(5), "{kind:?}");
-            assert_eq!(reads.as_slice(), &[(x, 10)], "{kind:?}");
-            assert_eq!(writes.as_slice(), &[(x, 11), (y, 11)], "{kind:?}");
+            assert_eq!(reads.as_slice(), &[(x.base(), 10)], "{kind:?}");
+            assert_eq!(writes.as_slice(), &[(x.base(), 11), (y.base(), 11)], "{kind:?}");
         }
     }
 
     #[test]
     fn pram_backend_loses_cross_thread_updates_by_design() {
         let stm = Arc::new(Stm::new(BackendKind::PramLocal));
-        let x = stm.alloc(0);
+        let x = stm.alloc(0i64);
         std::thread::scope(|s| {
             let stm2 = Arc::clone(&stm);
             s.spawn(move || {
@@ -313,7 +566,7 @@ mod tests {
     fn disjoint_threads_scale_without_aborts_on_dap_backends() {
         for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
             let stm = Arc::new(Stm::new(kind));
-            let vars: Vec<VarId> = (0..4).map(|_| stm.alloc(0)).collect();
+            let vars: Vec<TVar<i64>> = (0..4).map(|_| stm.alloc(0i64)).collect();
             std::thread::scope(|s| {
                 for (i, var) in vars.iter().enumerate() {
                     let stm = Arc::clone(&stm);

@@ -65,10 +65,11 @@ impl Default for OFreeBackend {
 }
 
 impl Backend for OFreeBackend {
-    fn alloc(&self, initial: i64) -> VarId {
+    fn alloc_words(&self, initials: &[i64]) -> VarId {
         let mut cells = self.cells.write();
-        cells.push(Arc::new(Cell::new(initial)));
-        VarId(cells.len() - 1)
+        let base = cells.len();
+        cells.extend(initials.iter().map(|&v| Arc::new(Cell::new(v))));
+        VarId(base)
     }
 
     fn begin(&self, data: &mut TxnData) {

@@ -1,0 +1,193 @@
+//! Pluggable retry policies: what happens *between* transaction attempts.
+//!
+//! The old front-end baked one loop into [`crate::Stm::run`]: retry
+//! immediately, forever.  That is one point in a design space the PCL
+//! trade-offs care about — under contention, *when* you retry decides how
+//! much work the abort storm burns.  A [`RetryPolicy`] makes the loop a
+//! strategy:
+//!
+//! * [`ImmediateRetry`] — the historical behaviour (one spin hint, retry);
+//! * [`BoundedRetry`] — give up after N attempts (surfaced by
+//!   [`crate::Stm::run_policy`] as an error instead of looping forever);
+//! * [`ExponentialBackoff`] — spin-wait `base · 2^attempt` (capped) before
+//!   retrying, the classic contention-management answer.
+//!
+//! Policies are measurable, not just selectable: the per-transaction attempt
+//! histogram in [`crate::StmStats`] (p50/p99 attempts) shows what a policy
+//! actually did to the retry distribution.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// What to do after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Retry right away.
+    RetryNow,
+    /// Spin-wait this many iterations, then retry.
+    SpinThen(u32),
+    /// Stop retrying ([`crate::Stm::run_policy`] returns the abort;
+    /// [`crate::Stm::run`], which promises a result, ignores this and
+    /// retries anyway).
+    GiveUp,
+}
+
+/// A retry strategy consulted once per failed attempt.
+///
+/// `attempt` is the number of attempts that have failed so far (so the first
+/// call receives `1`).  Implementations must be cheap and thread-safe: the
+/// same policy instance is consulted concurrently from every worker thread.
+pub trait RetryPolicy: Send + Sync {
+    /// Short machine-readable name (appears in reports).
+    fn name(&self) -> &'static str;
+
+    /// Decide what to do after the `attempt`-th consecutive failure.
+    fn decide(&self, attempt: u32) -> RetryDecision;
+}
+
+impl fmt::Debug for dyn RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RetryPolicy({})", self.name())
+    }
+}
+
+/// Retry immediately, forever (the historical default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImmediateRetry;
+
+impl RetryPolicy for ImmediateRetry {
+    fn name(&self) -> &'static str {
+        "immediate"
+    }
+
+    fn decide(&self, _attempt: u32) -> RetryDecision {
+        RetryDecision::RetryNow
+    }
+}
+
+/// Retry immediately up to `max_attempts` total attempts, then give up.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedRetry {
+    /// Total attempts allowed (must be ≥ 1).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy for BoundedRetry {
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+
+    fn decide(&self, attempt: u32) -> RetryDecision {
+        if attempt >= self.max_attempts.max(1) {
+            RetryDecision::GiveUp
+        } else {
+            RetryDecision::RetryNow
+        }
+    }
+}
+
+/// Exponential backoff: spin `base_spins · 2^(attempt-1)` iterations (capped
+/// at `max_spins`) before each retry.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialBackoff {
+    /// Spin iterations before the second attempt.
+    pub base_spins: u32,
+    /// Upper bound on the spin count.
+    pub max_spins: u32,
+}
+
+impl Default for ExponentialBackoff {
+    fn default() -> Self {
+        ExponentialBackoff { base_spins: 32, max_spins: 16_384 }
+    }
+}
+
+impl RetryPolicy for ExponentialBackoff {
+    fn name(&self) -> &'static str {
+        "backoff"
+    }
+
+    fn decide(&self, attempt: u32) -> RetryDecision {
+        let exponent = attempt.saturating_sub(1).min(24);
+        let spins = self.base_spins.saturating_mul(1u32 << exponent).min(self.max_spins.max(1));
+        RetryDecision::SpinThen(spins)
+    }
+}
+
+/// Busy-wait `spins` iterations (what [`RetryDecision::SpinThen`] asks for).
+pub fn spin_wait(spins: u32) {
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+}
+
+/// Parse a policy description shared by the CLI, benches and examples:
+/// `immediate`, `bounded:N` (N total attempts), `backoff` or
+/// `backoff:BASE:MAX`.
+pub fn parse_policy(s: &str) -> Result<Arc<dyn RetryPolicy>, String> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    match (head, args.as_slice()) {
+        ("immediate", []) => Ok(Arc::new(ImmediateRetry)),
+        ("bounded", [n]) => {
+            let max_attempts: u32 =
+                n.parse().map_err(|e| format!("bounded:N needs an attempt count: {e}"))?;
+            if max_attempts == 0 {
+                return Err("bounded:N needs N ≥ 1".into());
+            }
+            Ok(Arc::new(BoundedRetry { max_attempts }))
+        }
+        ("backoff", []) => Ok(Arc::new(ExponentialBackoff::default())),
+        ("backoff", [base, max]) => {
+            let base_spins: u32 = base.parse().map_err(|e| format!("backoff base: {e}"))?;
+            let max_spins: u32 = max.parse().map_err(|e| format!("backoff max: {e}"))?;
+            Ok(Arc::new(ExponentialBackoff { base_spins, max_spins }))
+        }
+        _ => Err(format!(
+            "unknown retry policy {s:?} (use immediate | bounded:N | backoff | backoff:BASE:MAX)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_always_retries() {
+        for attempt in [1, 5, 1_000] {
+            assert_eq!(ImmediateRetry.decide(attempt), RetryDecision::RetryNow);
+        }
+    }
+
+    #[test]
+    fn bounded_gives_up_at_the_limit() {
+        let policy = BoundedRetry { max_attempts: 3 };
+        assert_eq!(policy.decide(1), RetryDecision::RetryNow);
+        assert_eq!(policy.decide(2), RetryDecision::RetryNow);
+        assert_eq!(policy.decide(3), RetryDecision::GiveUp);
+        assert_eq!(policy.decide(9), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = ExponentialBackoff { base_spins: 10, max_spins: 35 };
+        assert_eq!(policy.decide(1), RetryDecision::SpinThen(10));
+        assert_eq!(policy.decide(2), RetryDecision::SpinThen(20));
+        assert_eq!(policy.decide(3), RetryDecision::SpinThen(35));
+        assert_eq!(policy.decide(30), RetryDecision::SpinThen(35));
+        spin_wait(3); // must terminate
+    }
+
+    #[test]
+    fn policies_parse_from_shared_syntax() {
+        assert_eq!(parse_policy("immediate").unwrap().name(), "immediate");
+        assert_eq!(parse_policy("bounded:8").unwrap().name(), "bounded");
+        assert_eq!(parse_policy("backoff").unwrap().name(), "backoff");
+        assert_eq!(parse_policy("backoff:4:64").unwrap().name(), "backoff");
+        assert!(parse_policy("bounded:0").is_err());
+        assert!(parse_policy("bounded").is_err());
+        assert!(parse_policy("nope").unwrap_err().contains("unknown retry policy"));
+    }
+}

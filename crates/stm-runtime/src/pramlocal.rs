@@ -59,10 +59,11 @@ impl Default for PramLocalBackend {
 }
 
 impl Backend for PramLocalBackend {
-    fn alloc(&self, initial: i64) -> VarId {
+    fn alloc_words(&self, words: &[i64]) -> VarId {
         let mut initials = self.initials.write();
-        initials.push(initial);
-        VarId(initials.len() - 1)
+        let base = initials.len();
+        initials.extend_from_slice(words);
+        VarId(base)
     }
 
     fn begin(&self, data: &mut TxnData) {

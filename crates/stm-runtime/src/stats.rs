@@ -1,13 +1,33 @@
-//! Lightweight, thread-safe statistics counters.
+//! Lightweight, thread-safe statistics counters, including the
+//! per-transaction attempt histogram that makes retry policies measurable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Commit / abort / retry counters for one [`crate::Stm`] instance.
-#[derive(Debug, Default)]
+/// Exact buckets for 1..=16 attempts; the last bucket collects 17+.
+const ATTEMPT_BUCKETS: usize = 17;
+
+/// Commit / abort / retry counters plus the attempts-per-transaction
+/// histogram for one [`crate::Stm`] instance.
+#[derive(Debug)]
 pub struct StmStats {
     commits: AtomicU64,
     aborts: AtomicU64,
     retries: AtomicU64,
+    /// `attempts[i]` counts transactions that finished (committed or gave
+    /// up) after exactly `i + 1` attempts; the final bucket is an overflow
+    /// bucket for `>= ATTEMPT_BUCKETS` attempts.
+    attempts: [AtomicU64; ATTEMPT_BUCKETS],
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        StmStats {
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            attempts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl StmStats {
@@ -24,6 +44,13 @@ impl StmStats {
     /// Record a retry (an abort followed by another attempt).
     pub fn record_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how many attempts one transaction took to finish (commit or
+    /// give up).  `attempts` is 1-based; 0 is treated as 1.
+    pub fn record_attempts(&self, attempts: u32) {
+        let bucket = (attempts.max(1) as usize - 1).min(ATTEMPT_BUCKETS - 1);
+        self.attempts[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of commits so far.
@@ -51,6 +78,60 @@ impl StmStats {
             a / (c + a)
         }
     }
+
+    /// A snapshot of the attempts histogram: `snapshot[i]` transactions took
+    /// `i + 1` attempts (last bucket: 17 or more).
+    pub fn attempts_histogram(&self) -> [u64; ATTEMPT_BUCKETS] {
+        std::array::from_fn(|i| self.attempts[i].load(Ordering::Relaxed))
+    }
+
+    /// Transactions with a recorded attempt count.
+    pub fn attempts_recorded(&self) -> u64 {
+        self.attempts_histogram().iter().sum()
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of attempts-per-transaction, or 0 when
+    /// nothing was recorded.  The overflow bucket reports its lower bound
+    /// (17), so extreme tails read "at least".
+    pub fn attempts_quantile(&self, q: f64) -> u32 {
+        let histogram = self.attempts_histogram();
+        let total: u64 = histogram.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return i as u32 + 1;
+            }
+        }
+        ATTEMPT_BUCKETS as u32
+    }
+
+    /// Median attempts per transaction.
+    pub fn attempts_p50(&self) -> u32 {
+        self.attempts_quantile(0.50)
+    }
+
+    /// 99th-percentile attempts per transaction.
+    pub fn attempts_p99(&self) -> u32 {
+        self.attempts_quantile(0.99)
+    }
+
+    /// Mean attempts per transaction (overflow bucket counted at its lower
+    /// bound), or 0.0 when nothing was recorded.
+    pub fn attempts_mean(&self) -> f64 {
+        let histogram = self.attempts_histogram();
+        let total: u64 = histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            histogram.iter().enumerate().map(|(i, count)| (i as u64 + 1) * count).sum();
+        weighted as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +150,33 @@ mod tests {
         assert_eq!(s.aborts(), 1);
         assert_eq!(s.retries(), 1);
         assert!((s.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attempt_quantiles_come_from_the_histogram() {
+        let s = StmStats::default();
+        assert_eq!(s.attempts_p50(), 0);
+        assert_eq!(s.attempts_mean(), 0.0);
+        // 90 one-shot transactions, 9 that took 3 attempts, 1 that took 40.
+        for _ in 0..90 {
+            s.record_attempts(1);
+        }
+        for _ in 0..9 {
+            s.record_attempts(3);
+        }
+        s.record_attempts(40);
+        assert_eq!(s.attempts_recorded(), 100);
+        assert_eq!(s.attempts_p50(), 1);
+        assert_eq!(s.attempts_p99(), 3);
+        assert_eq!(s.attempts_quantile(1.0), 17, "overflow bucket reports its lower bound");
+        let mean = s.attempts_mean();
+        assert!((mean - (90.0 + 27.0 + 17.0) / 100.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn attempt_zero_counts_as_one() {
+        let s = StmStats::default();
+        s.record_attempts(0);
+        assert_eq!(s.attempts_p50(), 1);
     }
 }

@@ -1,6 +1,8 @@
 //! Per-transaction state and the handle user code sees inside a transaction.
 
 use crate::backend::{Backend, VarId};
+use crate::tvar::TVar;
+use crate::value::TxnValue;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -59,22 +61,57 @@ impl<'a> Txn<'a> {
         Txn { backend, data }
     }
 
-    /// Read a transactional variable.
-    pub fn read(&mut self, var: VarId) -> Result<i64, StmError> {
-        self.backend.read(self.data, var)
+    /// Read a typed transactional variable.
+    ///
+    /// Multi-word values are decoded word-by-word from consecutive
+    /// [`VarId`] slots within this transaction, so the value is observed
+    /// atomically (all words from the same snapshot or the attempt aborts).
+    pub fn read<T: TxnValue>(&mut self, var: TVar<T>) -> Result<T, StmError> {
+        let backend = self.backend;
+        let data = &mut *self.data;
+        let mut k = 0usize;
+        T::decode(&mut || {
+            let word = backend.read(data, var.word(k))?;
+            k += 1;
+            Ok(word)
+        })
     }
 
-    /// Write a transactional variable.
-    pub fn write(&mut self, var: VarId, value: i64) -> Result<(), StmError> {
-        self.backend.write(self.data, var, value)
+    /// Write a typed transactional variable (buffered until commit on most
+    /// backends).
+    pub fn write<T: TxnValue>(&mut self, var: TVar<T>, value: T) -> Result<(), StmError> {
+        let backend = self.backend;
+        let data = &mut *self.data;
+        let mut k = 0usize;
+        value.encode(&mut |word| {
+            backend.write(data, var.word(k), word)?;
+            k += 1;
+            Ok(())
+        })
     }
 
     /// Read–modify–write helper.
-    pub fn update(&mut self, var: VarId, f: impl FnOnce(i64) -> i64) -> Result<i64, StmError> {
+    pub fn update<T: TxnValue + Clone>(
+        &mut self,
+        var: TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, StmError> {
         let old = self.read(var)?;
         let new = f(old);
-        self.write(var, new)?;
+        self.write(var, new.clone())?;
         Ok(new)
+    }
+
+    /// Read a raw word by [`VarId`] (pre-`TVar` API).
+    #[deprecated(since = "0.1.0", note = "migrate to `Txn::read` with a typed `TVar<T>`")]
+    pub fn read_var(&mut self, var: VarId) -> Result<i64, StmError> {
+        self.backend.read(self.data, var)
+    }
+
+    /// Write a raw word by [`VarId`] (pre-`TVar` API).
+    #[deprecated(since = "0.1.0", note = "migrate to `Txn::write` with a typed `TVar<T>`")]
+    pub fn write_var(&mut self, var: VarId, value: i64) -> Result<(), StmError> {
+        self.backend.write(self.data, var, value)
     }
 
     /// Abort the current attempt explicitly.

@@ -1,0 +1,203 @@
+//! `TxnValue` — how typed values map onto the word STM.
+//!
+//! The STM core moves `i64` *words*; the typed front-end ([`crate::TVar`])
+//! lets user code traffic in richer types by encoding each value into a fixed
+//! number of consecutive words.  A [`TxnValue`] says how many words a type
+//! occupies ([`TxnValue::WORDS`]) and how to stream it word-by-word in and out
+//! of a transaction — the streaming shape (`&mut dyn FnMut`) keeps the hot
+//! path allocation-free even for multi-word values.
+//!
+//! Provided implementations: `i64`, `i32`, `u32`, `u64`, `bool`, fixed-size
+//! arrays `[i64; N]`, and the tuple forms `(A, B)` / `(A, B, C)` of any
+//! implementors.  A multi-word value is read and written **atomically**: its
+//! words live in consecutive [`crate::VarId`] slots allocated in one
+//! [`crate::Backend::alloc_words`] call, and every transactional access
+//! touches all of them inside the same transaction.
+
+use crate::txn::StmError;
+
+/// A word-by-word sink for encoded values (each call stores one word).
+pub type WordSink<'a> = dyn FnMut(i64) -> Result<(), StmError> + 'a;
+
+/// A word-by-word source for decoded values (each call reads one word).
+pub type WordSource<'a> = dyn FnMut() -> Result<i64, StmError> + 'a;
+
+/// A value that can live in transactional variables.
+///
+/// `encode` must emit exactly [`TxnValue::WORDS`] words and `decode` must
+/// consume exactly as many, in the same order — the front-end maps the k-th
+/// word to the k-th consecutive [`crate::VarId`] of the variable.
+pub trait TxnValue: Sized + 'static {
+    /// How many STM words this type occupies.
+    const WORDS: usize;
+
+    /// Emit the value as `WORDS` words, in order.
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError>;
+
+    /// Rebuild the value from `WORDS` words, in the order `encode` emitted
+    /// them.
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError>;
+}
+
+impl TxnValue for i64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        put(*self)
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        next()
+    }
+}
+
+impl TxnValue for i32 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        put(i64::from(*self))
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok(next()? as i32)
+    }
+}
+
+impl TxnValue for u32 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        put(i64::from(*self))
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok(next()? as u32)
+    }
+}
+
+impl TxnValue for u64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        // Bit-cast: the full u64 range round-trips through the i64 word.
+        put(*self as i64)
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok(next()? as u64)
+    }
+}
+
+impl TxnValue for bool {
+    const WORDS: usize = 1;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        put(i64::from(*self))
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok(next()? != 0)
+    }
+}
+
+impl<const N: usize> TxnValue for [i64; N] {
+    const WORDS: usize = N;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        for word in self {
+            put(*word)?;
+        }
+        Ok(())
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        let mut out = [0i64; N];
+        for slot in &mut out {
+            *slot = next()?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: TxnValue, B: TxnValue> TxnValue for (A, B) {
+    const WORDS: usize = A::WORDS + B::WORDS;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        self.0.encode(put)?;
+        self.1.encode(put)
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok((A::decode(next)?, B::decode(next)?))
+    }
+}
+
+impl<A: TxnValue, B: TxnValue, C: TxnValue> TxnValue for (A, B, C) {
+    const WORDS: usize = A::WORDS + B::WORDS + C::WORDS;
+
+    fn encode(&self, put: &mut WordSink<'_>) -> Result<(), StmError> {
+        self.0.encode(put)?;
+        self.1.encode(put)?;
+        self.2.encode(put)
+    }
+
+    fn decode(next: &mut WordSource<'_>) -> Result<Self, StmError> {
+        Ok((A::decode(next)?, B::decode(next)?, C::decode(next)?))
+    }
+}
+
+/// Encode a value into a fresh word vector (used on cold paths like
+/// allocation, where a heap buffer is fine).
+pub(crate) fn encode_to_words<T: TxnValue>(value: &T) -> Vec<i64> {
+    let mut words = Vec::with_capacity(T::WORDS);
+    value
+        .encode(&mut |w| {
+            words.push(w);
+            Ok(())
+        })
+        .expect("infallible sink");
+    debug_assert_eq!(words.len(), T::WORDS, "encode must emit exactly WORDS words");
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: TxnValue + PartialEq + std::fmt::Debug + Clone>(value: T) {
+        let words = encode_to_words(&value);
+        assert_eq!(words.len(), T::WORDS);
+        let mut it = words.iter();
+        let mut next = move || Ok(*it.next().expect("decode consumed too many words"));
+        let back = T::decode(&mut next).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0i64);
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip(-7i32);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        round_trip([1i64, -2, 3]);
+        round_trip([0i64; 0]);
+        round_trip((5i64, true));
+        round_trip((1i32, 2u64, [9i64, 8]));
+        assert_eq!(<(i32, u64, [i64; 2])>::WORDS, 4);
+    }
+
+    #[test]
+    fn word_counts_compose() {
+        assert_eq!(<[i64; 5]>::WORDS, 5);
+        assert_eq!(<(i64, i64)>::WORDS, 2);
+        assert_eq!(<((i64, bool), u32)>::WORDS, 3);
+    }
+}

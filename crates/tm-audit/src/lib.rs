@@ -41,7 +41,7 @@
 //!
 //! // Record 2 threads × 200 transactions on the blocking backend…
 //! let history = record_run(AuditRunConfig {
-//!     backend: BackendKind::Tl2Blocking,
+//!     backend: BackendKind::Tl2Blocking.id(),
 //!     sessions: 2,
 //!     txns_per_session: 200,
 //!     vars: 16,
@@ -53,7 +53,7 @@
 //!
 //! // The PRAM backend trades consistency away — the auditor catches it.
 //! let pram = record_run(AuditRunConfig {
-//!     backend: BackendKind::PramLocal,
+//!     backend: BackendKind::PramLocal.id(),
 //!     sessions: 2,
 //!     txns_per_session: 200,
 //!     vars: 16,
@@ -350,5 +350,46 @@ mod tests {
         };
         assert!(*states >= 1);
         assert!(*next_budget > *states);
+    }
+
+    /// The `next_budget` hint is actionable: on a history whose search is
+    /// budget-starved, re-running with the suggested budget (iterating the
+    /// suggestion if it stays starved) must flip `Unknown` into a decided
+    /// verdict for both SI and SER.
+    #[test]
+    fn retrying_with_the_suggested_budget_decides_an_unknown_verdict() {
+        // The adversarial shape from the test above: independent RMWs defeat
+        // the recording-order fast path, so a 1-state budget exhausts.
+        let mut h = AuditHistory::new(4, 0, 4);
+        for s in 0..4usize {
+            h.push_txn(s, [(s, 0)], [(s, 100 + s as i64)]);
+        }
+        h.push_txn(0, [(1, 0)], []);
+
+        let mut budget = 1u64;
+        let first = audit_with_budget(&h, budget);
+        assert!(
+            matches!(first.outcome(Level::Serializable), Some(Outcome::Unknown { .. })),
+            "the starting budget must be too small for the test to mean anything: {first}"
+        );
+
+        let mut report = first;
+        for _round in 0..20 {
+            let Some(Outcome::Unknown { next_budget, .. }) = report.outcome(Level::Serializable)
+            else {
+                break;
+            };
+            assert!(*next_budget > budget, "the hint must grow the budget");
+            budget = *next_budget;
+            report = audit_with_budget(&h, budget);
+        }
+        for level in [Level::SnapshotIsolation, Level::Serializable] {
+            assert!(
+                !matches!(report.outcome(level), Some(Outcome::Unknown { .. })),
+                "{level} still unknown after following next_budget to {budget}: {report}"
+            );
+        }
+        // This history is genuinely serializable, so the decided verdict is a pass.
+        assert!(report.passes(Level::Serializable), "{report}");
     }
 }

@@ -21,13 +21,15 @@ use crate::recorder::HistoryRecorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use stm_runtime::{recorder, BackendKind, Stm, VarId};
+use stm_runtime::{recorder, BackendId, Stm, TVar};
 
 /// Configuration of one recorded run.
 #[derive(Debug, Clone, Copy)]
 pub struct AuditRunConfig {
-    /// Backend to run against.
-    pub backend: BackendKind,
+    /// Backend to run against (any backend registered with
+    /// [`stm_runtime::registry`]; built-in [`stm_runtime::BackendKind`]
+    /// values convert via `.id()`).
+    pub backend: BackendId,
     /// Worker threads; each is one session of the recorded history.
     pub sessions: usize,
     /// Committed transactions per session.
@@ -41,7 +43,7 @@ pub struct AuditRunConfig {
 impl Default for AuditRunConfig {
     fn default() -> Self {
         AuditRunConfig {
-            backend: BackendKind::Tl2Blocking,
+            backend: stm_runtime::registry::TL2_BLOCKING,
             sessions: 4,
             txns_per_session: 500,
             vars: 32,
@@ -60,7 +62,7 @@ fn unique_value(session: usize, counter: u64) -> i64 {
 /// The worker body shared by the recorded and unrecorded runs: the same
 /// transaction mix against the same variable pool, so the two modes differ
 /// only in whether a recorder is attached.
-fn run_session(stm: &Stm, vars: &[VarId], config: AuditRunConfig, session: usize) {
+fn run_session(stm: &Stm, vars: &[TVar<i64>], config: AuditRunConfig, session: usize) {
     let mut rng = StdRng::seed_from_u64(config.seed ^ ((session as u64) << 32));
     let mut counter = 0u64;
     for _ in 0..config.txns_per_session {
@@ -105,7 +107,7 @@ pub fn run_with_recorder(
     recorder_arc: Arc<dyn stm_runtime::Recorder>,
 ) -> u64 {
     let stm = Stm::with_recorder(config.backend, recorder_arc);
-    let vars: Vec<VarId> = (0..config.vars).map(|_| stm.alloc(0)).collect();
+    let vars: Vec<TVar<i64>> = (0..config.vars).map(|_| stm.alloc(0i64)).collect();
     std::thread::scope(|scope| {
         let stm = &stm;
         let vars = &vars;
@@ -133,7 +135,7 @@ pub fn record_run(config: AuditRunConfig) -> AuditHistory {
 /// of commits — the uninstrumented baseline for measuring recording overhead.
 pub fn run_unrecorded(config: AuditRunConfig) -> u64 {
     let stm = Stm::new(config.backend);
-    let vars: Vec<VarId> = (0..config.vars).map(|_| stm.alloc(0)).collect();
+    let vars: Vec<TVar<i64>> = (0..config.vars).map(|_| stm.alloc(0i64)).collect();
     std::thread::scope(|scope| {
         let stm = &stm;
         let vars = &vars;
@@ -151,7 +153,7 @@ mod tests {
     #[test]
     fn recorded_runs_have_the_configured_shape() {
         let config = AuditRunConfig {
-            backend: BackendKind::ObstructionFree,
+            backend: stm_runtime::registry::OBSTRUCTION_FREE,
             sessions: 3,
             txns_per_session: 50,
             vars: 8,
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn unrecorded_runs_commit_the_same_workload() {
         let config = AuditRunConfig {
-            backend: BackendKind::ObstructionFree,
+            backend: stm_runtime::registry::OBSTRUCTION_FREE,
             sessions: 2,
             txns_per_session: 40,
             vars: 8,

@@ -18,7 +18,7 @@
 
 use crate::zipf::Zipf;
 use rand::Rng;
-use stm_runtime::{Stm, VarId};
+use stm_runtime::{Stm, StmError, TVar};
 
 /// Configuration of the bank workload.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +43,7 @@ impl Default for BankConfig {
 
 /// A bank: transactional account variables plus the workload configuration.
 pub struct Bank {
-    accounts: Vec<VarId>,
+    accounts: Vec<TVar<i64>>,
     config: BankConfig,
     zipf: Option<Zipf>,
 }
@@ -79,7 +79,7 @@ impl Bank {
         thread: usize,
         n_threads: usize,
         rng: &mut impl Rng,
-    ) -> (VarId, VarId) {
+    ) -> (TVar<i64>, TVar<i64>) {
         let n = self.accounts.len();
         let cross = rng.gen_bool(self.config.cross_fraction.clamp(0.0, 1.0));
         let partition = (n / n_threads.max(1)).max(1);
@@ -96,18 +96,41 @@ impl Bank {
 
     /// Perform one transfer of `amount` between the chosen accounts (retrying until it
     /// commits).  Returns the amount actually moved (0 when `from == to`).
-    pub fn transfer(&self, stm: &Stm, from: VarId, to: VarId, amount: i64) -> i64 {
+    pub fn transfer(&self, stm: &Stm, from: TVar<i64>, to: TVar<i64>, amount: i64) -> i64 {
         if from == to {
             return 0;
         }
-        stm.run(|tx| {
-            let balance = tx.read(from)?;
-            let moved = amount.min(balance.max(0));
-            tx.write(from, balance - moved)?;
-            let dest = tx.read(to)?;
-            tx.write(to, dest + moved)?;
-            Ok(moved)
-        })
+        stm.run(|tx| Self::transfer_body(tx, from, to, amount))
+    }
+
+    /// Like [`Bank::transfer`], but retries are paced by the instance's
+    /// [`stm_runtime::RetryPolicy`] and a policy give-up surfaces as `Err`
+    /// (the transfer simply does not happen, which preserves the total).
+    pub fn try_transfer(
+        &self,
+        stm: &Stm,
+        from: TVar<i64>,
+        to: TVar<i64>,
+        amount: i64,
+    ) -> Result<i64, StmError> {
+        if from == to {
+            return Ok(0);
+        }
+        stm.run_policy(|tx| Self::transfer_body(tx, from, to, amount))
+    }
+
+    fn transfer_body(
+        tx: &mut stm_runtime::Txn<'_>,
+        from: TVar<i64>,
+        to: TVar<i64>,
+        amount: i64,
+    ) -> Result<i64, StmError> {
+        let balance = tx.read(from)?;
+        let moved = amount.min(balance.max(0));
+        tx.write(from, balance - moved)?;
+        let dest = tx.read(to)?;
+        tx.write(to, dest + moved)?;
+        Ok(moved)
     }
 
     /// Sum all accounts in one transaction.

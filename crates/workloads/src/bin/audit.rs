@@ -1,40 +1,55 @@
-//! `audit` — run a workload against an STM backend and audit its consistency
-//! from the command line, no Rust required.
+//! `audit` — run any scenario against any registered STM backend and audit
+//! its consistency from the command line, no Rust required.
 //!
 //! ```text
 //! cargo run --release -p workloads --bin audit -- --backend pram --audit=1000
-//! cargo run --release -p workloads --bin audit -- --backend all --threads 4 \
-//!     --txns 2500 --audit --json audit-report.json
+//! cargo run --release -p workloads --bin audit -- --backend all --scenario kv-zipf \
+//!     --threads 4 --txns 2500 --audit --json audit-report.json
+//! cargo run --release -p workloads --bin audit -- --backend global-lock \
+//!     --scenario scan-writers --retry backoff --audit
 //! ```
 //!
 //! Flags:
 //!
-//! * `--backend tl2|ofree|pram|all` — which backend(s) to run (default `all`);
+//! * `--backend NAME|all` — any backend registered with
+//!   `stm_runtime::registry` (canonical name or alias: `tl2`, `ofree`,
+//!   `pram`, `global-lock`, …; default `all`);
+//! * `--scenario NAME|all` — any scenario from `workloads::all_scenarios()`
+//!   (`registers`, `kv-zipf`, `scan-writers`, `bank`; default `registers`);
+//! * `--retry POLICY` — retry pacing: `immediate`, `bounded:N`, `backoff`
+//!   or `backoff:BASE:MAX` (default `immediate`);
 //! * `--threads N` — worker threads = audit sessions (default 4);
 //! * `--txns N` — committed transactions per thread (default 2500);
-//! * `--vars N` — shared variable pool size (default 64);
+//! * `--vars N` — scenario variable pool size (default 64);
 //! * `--seed N` — workload seed (default 2024);
 //! * `--audit[=WINDOW]` — audit the run: bare `--audit` checks the whole
 //!   history in one batch; `--audit=WINDOW` streams it through rolling
 //!   windows of `WINDOW` transactions, concurrently with the workload, with
-//!   bounded memory (the mode that scales past ~10⁵ transactions);
+//!   bounded memory (the mode that scales past ~10⁵ transactions).  Only
+//!   *recordable* scenarios (unique write values) can be audited: asking for
+//!   an audited `bank` run is an error, and `--scenario all` skips it with a
+//!   note;
 //! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
 //! * `--budget N` — SI/SER search state budget (default 2,000,000);
-//! * `--json PATH` — additionally write the machine-readable report to PATH;
-//! * `--fail-on-violation` — exit 1 if any audited backend shows a definite
-//!   violation (for gating scripts: `audit --backend tl2 --audit=1024
-//!   --fail-on-violation && deploy`).  Off by default so surveys that
-//!   *expect* a weak backend to fail (e.g. `--backend all`) stay exit 0.
+//! * `--json PATH` — additionally write the machine-readable report
+//!   (throughput, attempt percentiles, per-level verdicts) to PATH;
+//! * `--fail-on-violation` — exit 1 if any audited run shows a definite
+//!   violation or a scenario self-check fails;
+//! * `--list` — print the registered backends (with their P/C/L triangle
+//!   positions) and scenarios, then exit.
 //!
-//! Without `--audit` the workload runs unrecorded and only throughput is
-//! reported (the instrumentation-overhead baseline).
+//! Without `--audit` the workload runs unrecorded and only throughput,
+//! attempt percentiles and the scenario's own invariant are reported.
 
 use std::process::ExitCode;
-use std::time::Instant;
-use stm_runtime::BackendKind;
+use std::sync::Arc;
+use stm_runtime::{policy, BackendId, RetryPolicy};
 use tm_audit::linearization::DEFAULT_STATE_BUDGET;
-use tm_audit::{AuditRunConfig, WindowConfig};
-use workloads::{run_audited, run_audited_streaming};
+use tm_audit::WindowConfig;
+use workloads::{
+    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_streaming,
+    scenario_by_name, Scenario, ScenarioConfig,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum AuditMode {
@@ -43,9 +58,13 @@ enum AuditMode {
     Streaming { window: usize },
 }
 
-#[derive(Debug, Clone)]
 struct Args {
-    backends: Vec<BackendKind>,
+    backends: Vec<BackendId>,
+    scenarios: Vec<Arc<dyn Scenario>>,
+    /// `true` when `--scenario all` chose the list (non-recordable scenarios
+    /// are then skipped, not errors, in audit modes).
+    scenarios_are_all: bool,
+    policy: Arc<dyn RetryPolicy>,
     threads: usize,
     txns: usize,
     vars: usize,
@@ -55,12 +74,16 @@ struct Args {
     budget: u64,
     json: Option<String>,
     fail_on_violation: bool,
+    list: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
-            backends: all_backends(),
+            backends: stm_runtime::registry::all_ids(),
+            scenarios: vec![scenario_by_name("registers").expect("built-in scenario")],
+            scenarios_are_all: false,
+            policy: Arc::new(policy::ImmediateRetry),
             threads: 4,
             txns: 2_500,
             vars: 64,
@@ -70,22 +93,23 @@ impl Default for Args {
             budget: DEFAULT_STATE_BUDGET,
             json: None,
             fail_on_violation: false,
+            list: false,
         }
     }
 }
 
-fn all_backends() -> Vec<BackendKind> {
-    vec![BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
+fn parse_backends(name: &str) -> Result<Vec<BackendId>, String> {
+    if name == "all" {
+        return Ok(stm_runtime::registry::all_ids());
+    }
+    name.parse::<BackendId>().map(|id| vec![id]).map_err(|e| e.to_string())
 }
 
-fn parse_backend(name: &str) -> Result<Vec<BackendKind>, String> {
-    match name {
-        "tl2" | "tl2-blocking" => Ok(vec![BackendKind::Tl2Blocking]),
-        "ofree" | "obstruction-free" => Ok(vec![BackendKind::ObstructionFree]),
-        "pram" | "pram-local" => Ok(vec![BackendKind::PramLocal]),
-        "all" => Ok(all_backends()),
-        other => Err(format!("unknown backend {other:?} (use tl2|ofree|pram|all)")),
+fn parse_scenarios(name: &str) -> Result<(Vec<Arc<dyn Scenario>>, bool), String> {
+    if name == "all" {
+        return Ok((all_scenarios(), true));
     }
+    scenario_by_name(name).map(|s| (vec![s], false)).map_err(|e| e.to_string())
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -98,7 +122,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--backend" => args.backends = parse_backend(&value_of(&mut it, "--backend")?)?,
+            "--backend" => args.backends = parse_backends(&value_of(&mut it, "--backend")?)?,
+            "--scenario" => {
+                let (scenarios, all) = parse_scenarios(&value_of(&mut it, "--scenario")?)?;
+                args.scenarios = scenarios;
+                args.scenarios_are_all = all;
+            }
+            "--retry" => args.policy = policy::parse_policy(&value_of(&mut it, "--retry")?)?,
             "--threads" => {
                 args.threads = value_of(&mut it, "--threads")?
                     .parse()
@@ -130,6 +160,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
             "--fail-on-violation" => args.fail_on_violation = true,
             "--audit" => args.mode = AuditMode::Batch,
+            "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--audit=") => {
                 let window: usize = other["--audit=".len()..]
@@ -151,13 +182,77 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: audit [--backend tl2|ofree|pram|all] [--threads N] [--txns N] [--vars N]\n\
-         \x20            [--seed N] [--audit[=WINDOW]] [--overlap N] [--budget N] [--json PATH]\n\
-         \x20            [--fail-on-violation]"
+        "usage: audit [--backend NAME|all] [--scenario NAME|all] [--retry POLICY]\n\
+         \x20            [--threads N] [--txns N] [--vars N] [--seed N] [--audit[=WINDOW]]\n\
+         \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation] [--list]\n\
+         \n\
+         backends and scenarios resolve through their registries; run `audit --list`\n\
+         to see what is registered."
     );
 }
 
+fn print_registries() {
+    println!("registered backends (stm_runtime::registry):");
+    for spec in stm_runtime::registry::all() {
+        println!("  {:<18} gives up {:<12} {}", spec.name, spec.triangle.sacrificed, spec.summary);
+        if !spec.aliases.is_empty() {
+            println!("  {:<18} aliases: {}", "", spec.aliases.join(", "));
+        }
+    }
+    println!("\nregistered scenarios (workloads::all_scenarios):");
+    for scenario in all_scenarios() {
+        let audit = if scenario.recordable() { "auditable" } else { "not auditable" };
+        println!("  {:<18} [{audit}] {}", scenario.name(), scenario.summary());
+    }
+}
+
+fn json_run_fields(run: &workloads::ScenarioRunReport) -> String {
+    let invariant = match run.check.invariant {
+        Some(ok) => ok.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "\"scenario\":\"{}\",\"backend\":\"{}\",\"retry\":\"{}\",\"commits\":{},\
+         \"throughput\":{:.0},\"aborts\":{},\"gave_up\":{},\"attempts_p50\":{},\
+         \"attempts_p99\":{},\"attempts_mean\":{:.3},\"invariant\":{}",
+        run.scenario,
+        run.config.backend,
+        run.config.policy.name(),
+        run.commits,
+        run.throughput,
+        run.aborts,
+        run.gave_up,
+        run.attempts_p50,
+        run.attempts_p99,
+        run.attempts_mean,
+        invariant
+    )
+}
+
+fn print_run_line(run: &workloads::ScenarioRunReport) {
+    println!(
+        "  {} commits in {:.3?} ({:.0} commits/s); aborts {}; gave up {}; \
+         attempts p50/p99 {}/{}",
+        run.commits,
+        run.elapsed,
+        run.throughput,
+        run.aborts,
+        run.gave_up,
+        run.attempts_p50,
+        run.attempts_p99
+    );
+    match run.check.invariant {
+        Some(true) => println!("  self-check ✓  {}", run.check.detail),
+        Some(false) => println!("  self-check ✗  {}", run.check.detail),
+        None => println!("  self-check –  {}", run.check.detail),
+    }
+}
+
 fn main() -> ExitCode {
+    // Make this crate's contributed backends ("global-lock") resolvable
+    // before any name parsing happens.
+    workloads::register_workload_backends();
+
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -169,77 +264,110 @@ fn main() -> ExitCode {
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
         }
     };
+    if args.list {
+        print_registries();
+        return ExitCode::SUCCESS;
+    }
 
     let mut json_entries: Vec<String> = Vec::new();
     let mut violated = false;
-    for &backend in &args.backends {
-        let config = AuditRunConfig {
-            backend,
-            sessions: args.threads,
-            txns_per_session: args.txns,
-            vars: args.vars,
-            seed: args.seed,
-        };
-        println!(
-            "backend {backend}: {} threads × {} txns over {} vars (seed {})",
-            args.threads, args.txns, args.vars, args.seed
-        );
-        match args.mode {
-            AuditMode::Off => {
-                let start = Instant::now();
-                let commits = tm_audit::run_unrecorded(config);
-                let elapsed = start.elapsed();
-                let rate = commits as f64 / elapsed.as_secs_f64().max(1e-9);
-                println!("  {commits} commits in {elapsed:.3?} ({rate:.0} commits/s), unaudited\n");
-                json_entries.push(format!(
-                    "{{\"backend\":\"{backend}\",\"mode\":\"off\",\"commits\":{commits},\
-                     \"throughput\":{rate:.0}}}"
-                ));
-            }
-            AuditMode::Batch => {
-                let report = run_audited(config, args.budget);
-                violated |= tm_audit::Level::ALL.iter().any(|&l| report.audit.fails(l));
-                println!(
-                    "  recorded {} in {:.3?} ({:.0} commits/s), checked in {:.3?}",
-                    report.audit.shape, report.run_elapsed, report.throughput, report.audit_elapsed
-                );
-                for level in &report.audit.levels {
-                    println!("  {level}");
+    for scenario in &args.scenarios {
+        for &backend in &args.backends {
+            let config = ScenarioConfig {
+                backend,
+                threads: args.threads,
+                txns_per_thread: args.txns,
+                vars: args.vars,
+                seed: args.seed,
+                policy: Arc::clone(&args.policy),
+            };
+            println!(
+                "scenario {} on {backend}: {} threads × {} txns over {} vars \
+                 (seed {}, retry {})",
+                scenario.name(),
+                args.threads,
+                args.txns,
+                args.vars,
+                args.seed,
+                args.policy.name()
+            );
+            if args.mode != AuditMode::Off && !scenario.recordable() {
+                if args.scenarios_are_all {
+                    println!(
+                        "  skipped: {} is not auditable (no unique-write contract)\n",
+                        scenario.name()
+                    );
+                    continue;
                 }
-                println!("  verdict: {}\n", report.audit.summary());
-                json_entries.push(format!(
-                    "{{\"backend\":\"{backend}\",\"mode\":\"batch\",\"throughput\":{:.0},\
-                     \"audit_ms\":{:.3},\"report\":{}}}",
-                    report.throughput,
-                    report.audit_elapsed.as_secs_f64() * 1e3,
-                    report.audit.to_json()
-                ));
-            }
-            AuditMode::Streaming { window } => {
-                let mut wc = WindowConfig::sized(window);
-                wc.budget = args.budget;
-                if let Some(overlap) = args.overlap {
-                    wc.overlap = overlap;
-                }
-                let report = run_audited_streaming(config, wc);
-                violated |= tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
-                println!(
-                    "  recorded {} txns in {:.3?} ({:.0} commits/s), \
-                     merged verdict {:.3?} after run end",
-                    report.stream.total_txns,
-                    report.run_elapsed,
-                    report.throughput,
-                    report.drain_elapsed
+                eprintln!(
+                    "error: scenario {:?} is not auditable (its writes are not globally \
+                     unique); run it without --audit",
+                    scenario.name()
                 );
-                print!("  {}", report.stream);
-                println!("  verdict: {}\n", report.stream.summary());
-                json_entries.push(format!(
-                    "{{\"backend\":\"{backend}\",\"mode\":\"streaming\",\"throughput\":{:.0},\
-                     \"drain_ms\":{:.3},\"report\":{}}}",
-                    report.throughput,
-                    report.drain_elapsed.as_secs_f64() * 1e3,
-                    report.stream.to_json()
-                ));
+                return ExitCode::from(2);
+            }
+            match args.mode {
+                AuditMode::Off => {
+                    let run = run_scenario(scenario.as_ref(), &config);
+                    print_run_line(&run);
+                    println!();
+                    violated |= run.check.invariant == Some(false);
+                    json_entries.push(format!("{{{},\"mode\":\"off\"}}", json_run_fields(&run)));
+                }
+                AuditMode::Batch => {
+                    let report = match run_scenario_audited(scenario.as_ref(), &config, args.budget)
+                    {
+                        Ok(report) => report,
+                        Err(msg) => {
+                            eprintln!("error: {msg}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    violated |= report.run.check.invariant == Some(false)
+                        || tm_audit::Level::ALL.iter().any(|&l| report.audit.fails(l));
+                    print_run_line(&report.run);
+                    println!("  checked in {:.3?}", report.audit_elapsed);
+                    for level in &report.audit.levels {
+                        println!("  {level}");
+                    }
+                    println!("  verdict: {}\n", report.audit.summary());
+                    json_entries.push(format!(
+                        "{{{},\"mode\":\"batch\",\"audit_ms\":{:.3},\"report\":{}}}",
+                        json_run_fields(&report.run),
+                        report.audit_elapsed.as_secs_f64() * 1e3,
+                        report.audit.to_json()
+                    ));
+                }
+                AuditMode::Streaming { window } => {
+                    let mut wc = WindowConfig::sized(window);
+                    wc.budget = args.budget;
+                    if let Some(overlap) = args.overlap {
+                        wc.overlap = overlap;
+                    }
+                    let report =
+                        match run_scenario_audited_streaming(scenario.as_ref(), &config, wc) {
+                            Ok(report) => report,
+                            Err(msg) => {
+                                eprintln!("error: {msg}");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    violated |= report.run.check.invariant == Some(false)
+                        || tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
+                    print_run_line(&report.run);
+                    println!(
+                        "  merged verdict {:.3?} after run end ({} windowed txns)",
+                        report.drain_elapsed, report.stream.total_txns
+                    );
+                    print!("  {}", report.stream);
+                    println!("  verdict: {}\n", report.stream.summary());
+                    json_entries.push(format!(
+                        "{{{},\"mode\":\"streaming\",\"drain_ms\":{:.3},\"report\":{}}}",
+                        json_run_fields(&report.run),
+                        report.drain_elapsed.as_secs_f64() * 1e3,
+                        report.stream.to_json()
+                    ));
+                }
             }
         }
     }

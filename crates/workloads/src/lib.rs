@@ -1,36 +1,62 @@
-//! # workloads — workload generators and a multi-threaded runner for the STM runtime
+//! # workloads — scenarios, backends-from-outside, and the runner for the STM runtime
 //!
 //! The PCL paper has no performance evaluation (it is an impossibility result), but
 //! its discussion section is all about the *practical* trade-off the theorem
 //! formalizes: what do you buy by giving up strict disjoint-access-parallelism, or
-//! consistency, or non-blocking liveness?  This crate supplies the workloads the
-//! benchmark harness uses to put numbers on that trade-off:
+//! consistency, or non-blocking liveness?  This crate supplies the workload side of
+//! that question:
 //!
-//! * [`bank`] — transfer transactions over an account array, with a configurable
-//!   fraction of cross-partition (conflicting) transfers and a total-balance
-//!   invariant that doubles as a consistency smoke test;
-//! * [`zipf`] — a Zipfian index sampler for hotspot contention experiments;
-//! * [`runner`] — a thread-pool runner that executes a fixed number of transactions
-//!   per thread against a chosen backend and reports throughput, abort counts and the
-//!   stalled-writer liveness experiment; its **audit modes** record every commit
-//!   through `tm-audit` and prove which consistency levels (RC / RA / Causal / SI /
-//!   SER) the run satisfied — whole-run batch ([`runner::run_audited`]) or
-//!   bounded-memory streaming windows concurrent with the workload
-//!   ([`runner::run_audited_streaming`]).
+//! * [`scenario`] / [`scenarios`] — the **Scenario API**: workloads as pluggable
+//!   data ([`Scenario`] + [`ScenarioState`]), with a registry mirroring the
+//!   backend registry.  Built-ins: the RMW-heavy `registers` mix (the audit
+//!   workhorse), a read-heavy `kv-zipf` hotspot store, `scan-writers` (one long
+//!   read-only scan racing short writers) and the classic `bank`;
+//! * [`glock`] — a coarse-global-lock backend (**"give up Parallelism"**)
+//!   registered into [`stm_runtime::registry`] *from this crate*: the proof the
+//!   backend registry is open.  [`register_workload_backends`] makes its name
+//!   resolvable; CLI/bench/example entry points call it at startup;
+//! * [`bank`] / [`zipf`] — the transfer workload and a Zipfian sampler;
+//! * [`runner`] — thread-pool runners for every mode: raw throughput
+//!   ([`runner::run_threads`]), scenario runs ([`runner::run_scenario`]), and the
+//!   audit modes that record every commit through `tm-audit` and prove which
+//!   consistency levels the run satisfied — whole-run batch
+//!   ([`runner::run_scenario_audited`]) or bounded-memory streaming windows
+//!   concurrent with the workload ([`runner::run_scenario_audited_streaming`]).
+//!   Reports carry the attempt histogram percentiles (p50/p99) so retry
+//!   policies are measurable.
 //!
-//! The `audit` binary (`cargo run -p workloads --bin audit`) wraps both audit
-//! modes behind a CLI so operators can audit a backend without writing Rust.
+//! The `audit` binary (`cargo run -p workloads --bin audit`) wraps the whole
+//! `scenario × backend × retry-policy × audit-mode` product behind a CLI so
+//! operators can audit any combination without writing Rust.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod glock;
 pub mod runner;
+pub mod scenario;
+pub mod scenarios;
 pub mod zipf;
 
 pub use bank::{Bank, BankConfig};
 pub use runner::{
-    run_audited, run_audited_streaming, run_threads, stalled_writer_experiment, AuditedRunReport,
-    RunConfig, RunReport, StreamingAuditedReport,
+    run_audited, run_audited_streaming, run_scenario, run_scenario_audited,
+    run_scenario_audited_streaming, run_threads, stalled_writer_experiment, AuditedRunReport,
+    AuditedScenarioReport, RunConfig, RunReport, ScenarioRunReport, StreamingAuditedReport,
+    StreamingScenarioReport,
 };
+pub use scenario::{
+    all_scenarios, scenario_by_name, Scenario, ScenarioCheck, ScenarioConfig, ScenarioState,
+    UnknownScenario,
+};
+pub use scenarios::{BankScenario, KvZipfScenario, RegistersScenario, ScanWritersScenario};
 pub use zipf::Zipf;
+
+/// Register every backend this crate contributes (currently [`glock`]) with
+/// the open [`stm_runtime::registry`].  Idempotent and cheap — CLI, bench and
+/// example entry points call it once at startup so names like
+/// `"global-lock"` parse.
+pub fn register_workload_backends() {
+    glock::register();
+}

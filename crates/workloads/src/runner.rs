@@ -5,12 +5,14 @@
 //! convictions).
 
 use crate::bank::{Bank, BankConfig};
+use crate::scenario::{Scenario, ScenarioCheck, ScenarioConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use stm_runtime::{BackendKind, Stm, StreamingRecorder};
+use stm_runtime::{recorder, BackendId, Stm, StreamingRecorder};
+use tm_audit::HistoryRecorder;
 use tm_audit::{
     audit_with_budget, AuditReport, AuditRunConfig, StreamMerger, StreamReport, WindowConfig,
     WindowedAuditor,
@@ -20,7 +22,7 @@ use tm_audit::{
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Which backend to benchmark.
-    pub backend: BackendKind,
+    pub backend: BackendId,
     /// Number of worker threads.
     pub threads: usize,
     /// Transactions executed by each thread.
@@ -32,7 +34,7 @@ pub struct RunConfig {
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
-            backend: BackendKind::ObstructionFree,
+            backend: stm_runtime::registry::OBSTRUCTION_FREE,
             threads: 4,
             tx_per_thread: 1_000,
             bank: BankConfig::default(),
@@ -51,6 +53,10 @@ pub struct RunReport {
     pub throughput: f64,
     /// Total aborted attempts.
     pub aborts: u64,
+    /// Median attempts one transaction needed to commit.
+    pub attempts_p50: u32,
+    /// 99th-percentile attempts per transaction.
+    pub attempts_p99: u32,
     /// Whether the bank total matched the expected value at the end (consistency
     /// smoke test: `false` is expected — and informative — on the PRAM backend).
     pub balance_preserved: bool,
@@ -78,8 +84,11 @@ pub fn run_threads(config: RunConfig) -> RunReport {
     let elapsed = start.elapsed();
     let committed = (config.threads * config.tx_per_thread) as f64;
     let throughput = committed / elapsed.as_secs_f64().max(1e-9);
+    let aborts = stm.stats().aborts();
+    let attempts_p50 = stm.stats().attempts_p50();
+    let attempts_p99 = stm.stats().attempts_p99();
     let balance_preserved = bank.total(&stm) == bank.expected_total();
-    RunReport { config, elapsed, throughput, aborts: stm.stats().aborts(), balance_preserved }
+    RunReport { config, elapsed, throughput, aborts, attempts_p50, attempts_p99, balance_preserved }
 }
 
 /// What an audited run measured and proved.
@@ -174,6 +183,206 @@ pub fn run_audited_streaming(
     }
 }
 
+/// What one scenario run measured, plus the scenario's own self-check.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunReport {
+    /// Which scenario ran.
+    pub scenario: &'static str,
+    /// The configuration that produced the report.
+    pub config: ScenarioConfig,
+    /// Wall-clock duration of the workload (excluding verification/audit).
+    pub elapsed: Duration,
+    /// Committed transactions per second during the run.
+    pub throughput: f64,
+    /// Committed transactions (workers only).
+    pub commits: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Median attempts one transaction needed to commit.
+    pub attempts_p50: u32,
+    /// 99th-percentile attempts per transaction.
+    pub attempts_p99: u32,
+    /// Mean attempts per transaction.
+    pub attempts_mean: f64,
+    /// Transactions abandoned because the retry policy gave up
+    /// (always 0 under `immediate`/`backoff`; bounded policies drop work
+    /// here instead of retrying forever).
+    pub gave_up: u64,
+    /// The scenario's post-run self-check.
+    pub check: ScenarioCheck,
+}
+
+/// A scenario run with a whole-history batch audit attached.
+#[derive(Debug, Clone)]
+pub struct AuditedScenarioReport {
+    /// The workload-side measurements.
+    pub run: ScenarioRunReport,
+    /// Wall-clock duration of the consistency checks.
+    pub audit_elapsed: Duration,
+    /// The per-level verdicts.
+    pub audit: AuditReport,
+}
+
+/// A scenario run audited concurrently in rolling windows.
+#[derive(Debug, Clone)]
+pub struct StreamingScenarioReport {
+    /// The workload-side measurements.
+    pub run: ScenarioRunReport,
+    /// The window shape the auditor used.
+    pub window: WindowConfig,
+    /// Time from workload end to the final merged verdict.
+    pub drain_elapsed: Duration,
+    /// The merged verdicts, per-window detail and pipeline statistics.
+    pub stream: StreamReport,
+}
+
+/// Spawn the worker threads and drive `state` through the configured
+/// transaction count; returns the workload's wall-clock duration.
+fn execute_scenario(
+    stm: &Stm,
+    state: &dyn crate::scenario::ScenarioState,
+    config: &ScenarioConfig,
+    register_sessions: bool,
+) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..config.threads {
+            scope.spawn(move || {
+                if register_sessions {
+                    recorder::set_session(thread);
+                }
+                let mut rng = StdRng::seed_from_u64(config.seed ^ ((thread as u64) << 32));
+                for seq in 0..config.txns_per_thread as u64 {
+                    state.run_txn(stm, thread, seq, &mut rng);
+                }
+                if register_sessions {
+                    recorder::clear_session();
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Snapshot the statistics *before* running the scenario's self-check (the
+/// check itself runs transactions) and assemble the report.
+fn finish_scenario_report(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    stm: &Stm,
+    state: &dyn crate::scenario::ScenarioState,
+    elapsed: Duration,
+) -> ScenarioRunReport {
+    let stats = stm.stats();
+    let commits = stats.commits();
+    ScenarioRunReport {
+        scenario: scenario.name(),
+        config: config.clone(),
+        elapsed,
+        throughput: commits as f64 / elapsed.as_secs_f64().max(1e-9),
+        commits,
+        aborts: stats.aborts(),
+        attempts_p50: stats.attempts_p50(),
+        attempts_p99: stats.attempts_p99(),
+        attempts_mean: stats.attempts_mean(),
+        // Every scenario transaction ends in a commit or a policy give-up,
+        // and both record an attempt count — the difference is the give-ups.
+        gave_up: stats.attempts_recorded().saturating_sub(commits),
+        check: state.verify(stm),
+    }
+}
+
+/// Run a scenario unaudited: throughput, attempt percentiles and the
+/// scenario's own invariant check.
+pub fn run_scenario(scenario: &dyn Scenario, config: &ScenarioConfig) -> ScenarioRunReport {
+    let stm = Stm::new(config.backend).with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let elapsed = execute_scenario(&stm, state.as_ref(), config, false);
+    finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed)
+}
+
+fn require_recordable(scenario: &dyn Scenario) -> Result<(), String> {
+    if scenario.recordable() {
+        Ok(())
+    } else {
+        Err(format!(
+            "scenario {:?} does not keep the unique-write contract audited runs require; \
+             run it without --audit",
+            scenario.name()
+        ))
+    }
+}
+
+/// Run a recordable scenario with every commit recorded, then audit the
+/// whole history against the RC / RA / Causal / SI / SER hierarchy.
+///
+/// The auditor assumes the recording contract [`Scenario::recordable`]
+/// declares: unique write values and all-zero initial state.
+pub fn run_scenario_audited(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    budget: u64,
+) -> Result<AuditedScenarioReport, String> {
+    require_recordable(scenario)?;
+    let recorder_arc = Arc::new(HistoryRecorder::new(config.threads, 0));
+    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
+        .with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
+    // Detach the recorder before the self-check: verification transactions
+    // must not pollute the audited history.
+    stm.take_recorder();
+    let history = Arc::try_unwrap(recorder_arc)
+        .unwrap_or_else(|_| panic!("recorder still shared after the run"))
+        .into_history(state.words());
+    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    let start = Instant::now();
+    let audit = audit_with_budget(&history, budget);
+    Ok(AuditedScenarioReport { run, audit_elapsed: start.elapsed(), audit })
+}
+
+/// Run a recordable scenario while a windowed auditor checks rolling
+/// windows concurrently with the workload (bounded memory, mid-run
+/// convictions).
+pub fn run_scenario_audited_streaming(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    window: WindowConfig,
+) -> Result<StreamingScenarioReport, String> {
+    require_recordable(scenario)?;
+    let recorder_arc = Arc::new(StreamingRecorder::new(config.threads, 256));
+    let consumer = recorder_arc.consumer();
+    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
+        .with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let vars = state.words();
+    let start = Instant::now();
+    let (elapsed, stream) = std::thread::scope(|scope| {
+        let sessions = config.threads;
+        let auditor = scope.spawn(move || {
+            let mut auditor = WindowedAuditor::new(vars, 0, window);
+            let mut merger = StreamMerger::new(sessions);
+            while let Some(batch) = consumer.recv() {
+                merger.push_batch(&batch, &mut auditor);
+            }
+            merger.finish(&mut auditor);
+            auditor.finish()
+        });
+        let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
+        recorder_arc.finish();
+        (elapsed, auditor.join().expect("auditor thread panicked"))
+    });
+    let total = start.elapsed();
+    stm.take_recorder();
+    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    Ok(StreamingScenarioReport {
+        run,
+        window,
+        drain_elapsed: total.saturating_sub(elapsed),
+        stream,
+    })
+}
+
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the
 /// hot variable and then stalls for `stall` (holding its encounter-time lock on the
 /// blocking backend), while `victims` other threads keep incrementing their own
@@ -181,7 +390,11 @@ pub fn run_audited_streaming(
 /// victim transactions that managed to commit during the stall — the experimental
 /// face of the liveness axis: near zero for the blocking backend, unaffected for the
 /// obstruction-free and PRAM backends.
-pub fn stalled_writer_experiment(backend: BackendKind, victims: usize, stall: Duration) -> u64 {
+pub fn stalled_writer_experiment(
+    backend: impl Into<BackendId>,
+    victims: usize,
+    stall: Duration,
+) -> u64 {
     let stm = Arc::new(Stm::new(backend));
     let hot = stm.alloc(0);
     let privates: Vec<_> = (0..victims).map(|_| stm.alloc(0)).collect();
@@ -229,12 +442,13 @@ pub fn stalled_writer_experiment(backend: BackendKind, victims: usize, stall: Du
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stm_runtime::BackendKind;
 
     #[test]
     fn disjoint_partitions_preserve_balance_on_consistent_backends() {
         for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
             let report = run_threads(RunConfig {
-                backend,
+                backend: backend.id(),
                 threads: 4,
                 tx_per_thread: 200,
                 bank: BankConfig { accounts: 32, cross_fraction: 0.0, ..Default::default() },
@@ -247,7 +461,7 @@ mod tests {
     #[test]
     fn contended_transfers_still_preserve_balance_but_cause_aborts_or_waits() {
         let report = run_threads(RunConfig {
-            backend: BackendKind::ObstructionFree,
+            backend: BackendKind::ObstructionFree.id(),
             threads: 4,
             tx_per_thread: 300,
             bank: BankConfig { accounts: 4, cross_fraction: 1.0, ..Default::default() },
@@ -258,7 +472,7 @@ mod tests {
     #[test]
     fn pram_backend_visibly_breaks_the_global_invariant() {
         let report = run_threads(RunConfig {
-            backend: BackendKind::PramLocal,
+            backend: BackendKind::PramLocal.id(),
             threads: 4,
             tx_per_thread: 100,
             bank: BankConfig { accounts: 8, cross_fraction: 1.0, ..Default::default() },
@@ -275,7 +489,7 @@ mod tests {
         use tm_audit::Level;
         let report = run_audited(
             AuditRunConfig {
-                backend: BackendKind::ObstructionFree,
+                backend: BackendKind::ObstructionFree.id(),
                 sessions: 2,
                 txns_per_session: 100,
                 vars: 16,
@@ -291,7 +505,7 @@ mod tests {
     fn streaming_audited_runs_agree_with_batch_on_a_consistent_backend() {
         use tm_audit::Level;
         let config = AuditRunConfig {
-            backend: BackendKind::ObstructionFree,
+            backend: BackendKind::ObstructionFree.id(),
             sessions: 2,
             txns_per_session: 300,
             vars: 16,
@@ -310,7 +524,7 @@ mod tests {
     #[test]
     fn streaming_audits_convict_pram_mid_run() {
         let config = AuditRunConfig {
-            backend: BackendKind::PramLocal,
+            backend: BackendKind::PramLocal.id(),
             sessions: 4,
             txns_per_session: 500,
             vars: 16,
@@ -326,6 +540,155 @@ mod tests {
         );
         assert!(report.stream.fails(tm_audit::Level::Serializable), "{}", report.stream.merged);
         assert!(report.stream.passes(tm_audit::Level::Causal), "{}", report.stream.merged);
+    }
+
+    #[test]
+    fn scenarios_run_on_an_externally_registered_backend() {
+        // The coarse-global-lock backend comes from this crate, not from
+        // stm-runtime: running the bank scenario on it end-to-end proves the
+        // registry is open.
+        let glock = crate::glock::register();
+        let scenario = crate::scenarios::BankScenario::default();
+        let config = ScenarioConfig {
+            threads: 4,
+            txns_per_thread: 150,
+            vars: 16,
+            ..ScenarioConfig::new(glock)
+        };
+        let report = run_scenario(&scenario, &config);
+        // Self-transfers commit nothing, so commits ≤ threads × txns.
+        assert!(report.commits > 0 && report.commits <= 600, "{}", report.commits);
+        assert_eq!(report.check.invariant, Some(true), "{}", report.check.detail);
+        assert!(report.attempts_p99 >= report.attempts_p50);
+    }
+
+    #[test]
+    fn audited_scenarios_produce_verdicts_batch_and_streaming() {
+        use tm_audit::Level;
+        let scenario = crate::scenarios::KvZipfScenario::default();
+        let config = ScenarioConfig {
+            threads: 2,
+            txns_per_thread: 150,
+            vars: 16,
+            ..ScenarioConfig::new(BackendKind::ObstructionFree)
+        };
+        let report = run_scenario_audited(&scenario, &config, 2_000_000).unwrap();
+        assert_eq!(report.run.commits, 300);
+        assert!(report.audit.passes(Level::Serializable), "{}", report.audit);
+        assert_eq!(report.run.check.invariant, Some(true), "{}", report.run.check.detail);
+
+        let streaming =
+            run_scenario_audited_streaming(&scenario, &config, WindowConfig::sized(100)).unwrap();
+        assert_eq!(streaming.stream.total_txns, 300);
+        assert!(streaming.stream.passes(Level::Serializable), "{}", streaming.stream.merged);
+    }
+
+    #[test]
+    fn audited_scenarios_convict_the_pram_backend() {
+        use tm_audit::Level;
+        let scenario = crate::scenarios::RegistersScenario;
+        let config = ScenarioConfig {
+            threads: 4,
+            txns_per_thread: 300,
+            vars: 8,
+            ..ScenarioConfig::new(BackendKind::PramLocal)
+        };
+        let report = run_scenario_audited(&scenario, &config, 2_000_000).unwrap();
+        assert!(report.audit.passes(Level::Causal), "{}", report.audit);
+        assert!(report.audit.fails(Level::Serializable), "{}", report.audit);
+    }
+
+    #[test]
+    fn unrecordable_scenarios_are_rejected_by_audited_runs() {
+        let scenario = crate::scenarios::BankScenario::default();
+        let config = ScenarioConfig::new(BackendKind::ObstructionFree);
+        let err = run_scenario_audited(&scenario, &config, 1_000).unwrap_err();
+        assert!(err.contains("unique-write contract"), "{err}");
+        let err = run_scenario_audited_streaming(&scenario, &config, WindowConfig::sized(64))
+            .unwrap_err();
+        assert!(err.contains("unique-write contract"), "{err}");
+    }
+
+    #[test]
+    fn retry_policies_shape_the_attempt_histogram() {
+        use stm_runtime::policy::ExponentialBackoff;
+        let scenario = crate::scenarios::KvZipfScenario { theta: 0.99, read_fraction: 0.0 };
+        let mut config = ScenarioConfig {
+            threads: 4,
+            txns_per_thread: 250,
+            vars: 4,
+            ..ScenarioConfig::new(BackendKind::ObstructionFree)
+        };
+        config.policy = Arc::new(ExponentialBackoff::default());
+        let report = run_scenario(&scenario, &config);
+        assert_eq!(report.commits, 1_000);
+        // All-write hotspot traffic: the histogram must have been populated
+        // and be internally consistent; backoff never gives up.
+        assert!(report.attempts_mean >= 1.0);
+        assert!(report.attempts_p99 >= report.attempts_p50);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.config.policy.name(), "backoff");
+    }
+
+    #[test]
+    fn bounded_policies_actually_give_up_in_scenario_runs() {
+        use crate::scenario::{Scenario, ScenarioCheck, ScenarioState};
+        use stm_runtime::policy::BoundedRetry;
+        use stm_runtime::TVar;
+
+        // A scenario whose transactions always request an abort: under a
+        // bounded policy every one must be dropped after exactly the bound,
+        // deterministically — the regression shape for GiveUp being treated
+        // as "retry forever".
+        struct AlwaysAbort;
+        struct AlwaysAbortState {
+            var: TVar<i64>,
+        }
+        impl Scenario for AlwaysAbort {
+            fn name(&self) -> &'static str {
+                "always-abort"
+            }
+            fn summary(&self) -> &'static str {
+                "test-only"
+            }
+            fn recordable(&self) -> bool {
+                false
+            }
+            fn build(&self, stm: &Stm, _config: &ScenarioConfig) -> Box<dyn ScenarioState> {
+                Box::new(AlwaysAbortState { var: stm.alloc(0i64) })
+            }
+        }
+        impl ScenarioState for AlwaysAbortState {
+            fn run_txn(&self, stm: &Stm, _thread: usize, _seq: u64, _rng: &mut StdRng) {
+                let _ = stm.run_policy(|tx| {
+                    tx.write(self.var, 1)?;
+                    tx.abort::<()>()
+                });
+            }
+            fn words(&self) -> usize {
+                1
+            }
+            fn verify(&self, stm: &Stm) -> ScenarioCheck {
+                ScenarioCheck {
+                    invariant: Some(stm.read_now(self.var) == 0),
+                    detail: "aborted writes never land".into(),
+                }
+            }
+        }
+
+        let mut config = ScenarioConfig {
+            threads: 2,
+            txns_per_thread: 50,
+            vars: 1,
+            ..ScenarioConfig::new(BackendKind::ObstructionFree)
+        };
+        config.policy = Arc::new(BoundedRetry { max_attempts: 3 });
+        let report = run_scenario(&AlwaysAbort, &config);
+        assert_eq!(report.commits, 0);
+        assert_eq!(report.gave_up, 100, "{report:?}");
+        assert_eq!(report.attempts_p50, 3, "give-ups land at the bound in the histogram");
+        assert_eq!(report.aborts, 300, "3 attempts per transaction, no more");
+        assert_eq!(report.check.invariant, Some(true));
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //!   two-transaction lost-update witness, exactly the sacrifice Section 5 of
 //!   the paper predicts.
 
-use stm_runtime::BackendKind;
+use stm_runtime::registry::{OBSTRUCTION_FREE, PRAM_LOCAL, TL2_BLOCKING};
 use tm_audit::{AuditRunConfig, Level};
 use workloads::run_audited;
 
 fn main() {
-    let backends = [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal];
+    let backends = [TL2_BLOCKING, OBSTRUCTION_FREE, PRAM_LOCAL];
     println!("=== live history audit: 4 threads × 2500 txns per backend ===\n");
     for backend in backends {
         // A generous budget: recording-order races can (rarely) defeat the
@@ -44,7 +44,7 @@ fn main() {
 
         // Keep the example honest: assert the P/C/L shape it demonstrates.
         match backend {
-            BackendKind::PramLocal => {
+            id if id == PRAM_LOCAL => {
                 assert!(report.audit.passes(Level::Causal));
                 assert!(report.audit.fails(Level::SnapshotIsolation));
                 assert!(report.audit.fails(Level::Serializable));

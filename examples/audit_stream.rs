@@ -18,7 +18,7 @@
 //! windowed streaming holds memory at the window and keeps verdict latency
 //! per window in milliseconds.
 
-use stm_runtime::BackendKind;
+use stm_runtime::registry::{PRAM_LOCAL, TL2_BLOCKING};
 use tm_audit::digraph::Reach;
 use tm_audit::{AuditRunConfig, Level, WindowConfig};
 use workloads::run_audited_streaming;
@@ -32,7 +32,7 @@ fn main() {
 
     // 1. The wait-free no-synchronization backend, convicted mid-run.
     let config = AuditRunConfig {
-        backend: BackendKind::PramLocal,
+        backend: PRAM_LOCAL,
         sessions: 4,
         txns_per_session: 25_000,
         vars: 64,
@@ -66,7 +66,7 @@ fn main() {
     assert!(report.stream.passes(Level::Causal), "never synchronizing is vacuously causal");
 
     // 2. The consistent blocking backend, attested window by window.
-    let config = AuditRunConfig { backend: BackendKind::Tl2Blocking, ..config };
+    let config = AuditRunConfig { backend: TL2_BLOCKING, ..config };
     let report = run_audited_streaming(config, window);
     println!("backend: {} ({} txns)", config.backend, report.stream.total_txns);
     println!(

@@ -1,18 +1,22 @@
-//! Quickstart: use the real multi-threaded STM runtime for concurrent bank transfers,
-//! once per backend, and watch where each backend sits in the P/C/L triangle.
+//! Quickstart: use the typed multi-threaded STM runtime for concurrent bank
+//! transfers on **every registered backend**, and watch where each backend
+//! sits in the P/C/L triangle.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::Arc;
 use std::time::Duration;
-use stm_runtime::{BackendKind, Stm};
+use stm_runtime::{registry, Stm, TVar};
 use workloads::{run_threads, stalled_writer_experiment, BankConfig, RunConfig};
 
 fn main() {
-    println!("== PCL quickstart: one bank, three backends ==\n");
+    // Backends are registry entries, not an enum: this also picks up the
+    // coarse-global-lock backend the `workloads` crate registers.
+    workloads::register_workload_backends();
 
-    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
-    {
+    println!("== PCL quickstart: one bank, every registered backend ==\n");
+    for spec in registry::all() {
+        let backend: stm_runtime::BackendId = spec.name.parse().expect("registered name parses");
         let report = run_threads(RunConfig {
             backend,
             threads: 4,
@@ -20,29 +24,31 @@ fn main() {
             bank: BankConfig { accounts: 64, cross_fraction: 0.2, ..Default::default() },
         });
         println!(
-            "{:<18} {:>10.0} tx/s   aborts: {:<6} balance preserved: {}",
-            backend.to_string(),
+            "{:<18} {:>10.0} tx/s   aborts: {:<6} attempts p50/p99: {}/{}  balance preserved: {}",
+            spec.name,
             report.throughput,
             report.aborts,
+            report.attempts_p50,
+            report.attempts_p99,
             report.balance_preserved
         );
+        println!("{:<18} gives up {}\n", "", spec.triangle.sacrificed);
     }
 
-    println!("\n== the liveness axis: a writer stalls for 100 ms mid-transaction ==\n");
-    for backend in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree, BackendKind::PramLocal]
-    {
+    println!("== the liveness axis: a writer stalls for 100 ms mid-transaction ==\n");
+    for spec in registry::all() {
+        let backend: stm_runtime::BackendId = spec.name.parse().unwrap();
         let commits = stalled_writer_experiment(backend, 2, Duration::from_millis(100));
         println!(
             "{:<18} victims committed {:>7} transactions while the writer was stalled",
-            backend.to_string(),
-            commits
+            spec.name, commits
         );
     }
 
-    println!("\n== a tiny transaction by hand ==\n");
-    let stm = Arc::new(Stm::new(BackendKind::ObstructionFree));
-    let x = stm.alloc(10);
-    let y = stm.alloc(0);
+    println!("\n== typed transactions by hand ==\n");
+    let stm = Arc::new(Stm::new(registry::OBSTRUCTION_FREE));
+    let x: TVar<i64> = stm.alloc(10);
+    let y: TVar<i64> = stm.alloc(0);
     let moved = stm.run(|tx| {
         let v = tx.read(x)?;
         tx.write(x, 0)?;
@@ -50,5 +56,13 @@ fn main() {
         Ok(v)
     });
     println!("moved {moved} from x to y; x = {}, y = {}", stm.read_now(x), stm.read_now(y));
+
+    // TVar is typed: a (count, enabled) pair updated atomically as one value.
+    let pair: TVar<(i64, bool)> = stm.alloc((0, false));
+    stm.run(|tx| {
+        let (count, _) = tx.read(pair)?;
+        tx.write(pair, (count + 1, true))
+    });
+    println!("pair is now {:?}", stm.read_now(pair));
     println!("stats: {:?} commits, {:?} aborts", stm.stats().commits(), stm.stats().aborts());
 }

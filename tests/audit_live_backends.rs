@@ -10,9 +10,9 @@
 //!   isolation and serializability must fail with a concrete witness.
 
 use pcl_tm::audit::{audit, record_run, AuditRunConfig, Level, Outcome};
-use pcl_tm::stm::BackendKind;
+use pcl_tm::stm::{BackendId, BackendKind};
 
-fn run(backend: BackendKind, seed: u64) -> pcl_tm::audit::AuditReport {
+fn run(backend: BackendId, seed: u64) -> pcl_tm::audit::AuditReport {
     audit(&record_run(AuditRunConfig {
         backend,
         sessions: 4,
@@ -25,7 +25,7 @@ fn run(backend: BackendKind, seed: u64) -> pcl_tm::audit::AuditReport {
 #[test]
 fn tl2_blocking_histories_are_serializable_under_contention() {
     for seed in [1, 2, 3] {
-        let report = run(BackendKind::Tl2Blocking, seed);
+        let report = run(BackendKind::Tl2Blocking.id(), seed);
         for level in Level::ALL {
             assert!(report.passes(level), "seed {seed}, {level}:\n{report}");
         }
@@ -35,7 +35,7 @@ fn tl2_blocking_histories_are_serializable_under_contention() {
 #[test]
 fn obstruction_free_histories_are_serializable_under_contention() {
     for seed in [1, 2, 3] {
-        let report = run(BackendKind::ObstructionFree, seed);
+        let report = run(BackendKind::ObstructionFree.id(), seed);
         for level in Level::ALL {
             assert!(report.passes(level), "seed {seed}, {level}:\n{report}");
         }
@@ -45,7 +45,7 @@ fn obstruction_free_histories_are_serializable_under_contention() {
 #[test]
 fn pram_local_histories_are_flagged_non_serializable() {
     for seed in [1, 2, 3] {
-        let report = run(BackendKind::PramLocal, seed);
+        let report = run(BackendKind::PramLocal.id(), seed);
         // Never synchronizing is still (vacuously) causal…
         assert!(report.passes(Level::ReadCommitted), "seed {seed}:\n{report}");
         assert!(report.passes(Level::ReadAtomic), "seed {seed}:\n{report}");
@@ -66,7 +66,7 @@ fn pram_local_histories_are_flagged_non_serializable() {
 fn audited_runner_combines_throughput_and_verdicts() {
     let report = workloads::run_audited(
         AuditRunConfig {
-            backend: BackendKind::Tl2Blocking,
+            backend: BackendKind::Tl2Blocking.id(),
             sessions: 2,
             txns_per_session: 250,
             vars: 16,

@@ -10,7 +10,7 @@ use pcl_tm::audit::{
     audit, audit_streamed, record_run, AuditHistory, AuditRunConfig, Level, StreamReport,
     WindowConfig,
 };
-use pcl_tm::stm::BackendKind;
+use pcl_tm::stm::{BackendId, BackendKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,7 +36,7 @@ fn assert_verdicts_agree(batch: &pcl_tm::audit::AuditReport, stream: &StreamRepo
     }
 }
 
-fn equivalence_on_backend(backend: BackendKind) {
+fn equivalence_on_backend(backend: BackendId) {
     for seed in 0..50u64 {
         let config = AuditRunConfig { backend, sessions: 3, txns_per_session: 40, vars: 8, seed };
         let history = record_run(config);
@@ -48,17 +48,17 @@ fn equivalence_on_backend(backend: BackendKind) {
 
 #[test]
 fn windowed_agrees_with_batch_on_tl2_blocking() {
-    equivalence_on_backend(BackendKind::Tl2Blocking);
+    equivalence_on_backend(BackendKind::Tl2Blocking.id());
 }
 
 #[test]
 fn windowed_agrees_with_batch_on_obstruction_free() {
-    equivalence_on_backend(BackendKind::ObstructionFree);
+    equivalence_on_backend(BackendKind::ObstructionFree.id());
 }
 
 #[test]
 fn windowed_agrees_with_batch_on_pram_local() {
-    equivalence_on_backend(BackendKind::PramLocal);
+    equivalence_on_backend(BackendKind::PramLocal.id());
 }
 
 /// A serializable handoff chain whose every write-read edge crosses one step
