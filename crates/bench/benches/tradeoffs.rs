@@ -1,138 +1,221 @@
 //! The P/C/L trade-off benchmarks on the real multi-threaded STM runtime.
 //!
 //! The paper's Section 5 argues the trade-off qualitatively; these benchmarks put
-//! numbers on it using **every backend in the open registry** — the three
-//! built-ins plus whatever other crates registered (the `workloads` crate
+//! numbers on it using **every backend in the open registry** — the five
+//! built-ins (the three corners plus the interior `mvcc` and `shard-lock`
+//! points) plus whatever other crates registered (the `workloads` crate
 //! contributes the coarse-global-lock "give up P" backend):
 //!
 //! * **TRADE1 — disjoint workloads**: per-thread account partitions, zero conflicts.
 //!   Expected shape: the DAP designs scale with threads; the global-lock backend
-//!   does not — that is exactly its sacrificed corner.
+//!   does not — that is exactly its sacrificed corner — and `shard-lock` sits in
+//!   between (16 bands' worth of false conflicts).
 //! * **TRADE2 — contended workloads**: Zipfian hot accounts.  Expected shape: the
 //!   obstruction-free backend turns contention into aborts/retries, the blocking
 //!   backends into waiting; PRAM-local is unaffected (it shares nothing) — but it
 //!   also returns wrong global balances, which is the point.
 //! * **TRADE3 — stalled writer**: a writer stalls mid-transaction holding its
 //!   encounter-time lock.  Expected shape: victims on the blocking backends commit
-//!   almost nothing during the stall; the non-blocking backends are unaffected.
+//!   almost nothing during the stall; the non-blocking backends — `mvcc`'s readers
+//!   included — are unaffected.
 //! * **DAPCOST — metadata ablation**: read-mostly workloads comparing the per-var
 //!   metadata cost of the two consistent DAP backends.
 //! * **POLICY — retry-policy ablation**: the kv-zipf hotspot scenario under
 //!   immediate retry vs exponential backoff, with the attempt-histogram
 //!   percentiles that make the difference visible.
+//! * **SEP — consistency-axis ablation**: the `write-skew` scenario across the
+//!   consistency spectrum (`mvcc` admits the skew and never blocks its readers;
+//!   the serializable designs pay validation aborts to refuse it).
+//!
+//! Environment knobs (both used by CI's bench-smoke job):
+//!
+//! * `PCL_BENCH_TINY=1` — tiny sizes / 2 samples, a smoke run that still
+//!   exercises every family;
+//! * `PCL_BENCH_JSON=PATH` — additionally write every sample as a
+//!   machine-readable `BENCH_*.json`-style artifact.
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3,
-//! DAPCOST, POLICY.
+//! DAPCOST, POLICY, SEP.
 
-use bench::harness::{bench, black_box};
+use bench::harness::{bench, black_box, write_json, Samples};
 use std::sync::Arc;
 use std::time::Duration;
 use stm_runtime::{policy, registry, BackendId, Stm};
 use workloads::{
     run_scenario, run_threads, stalled_writer_experiment, BankConfig, KvZipfScenario, RunConfig,
-    ScenarioConfig,
+    ScenarioConfig, WriteSkewScenario,
 };
 
-const SAMPLES: usize = 10;
+/// Sizing of one bench run (full by default, shrunk by `PCL_BENCH_TINY`).
+struct Sizes {
+    samples: usize,
+    tx_per_thread: usize,
+    scenario_txns: usize,
+    stall: Duration,
+}
+
+impl Sizes {
+    fn from_env() -> Self {
+        if std::env::var("PCL_BENCH_TINY").is_ok_and(|v| v != "0") {
+            Sizes {
+                samples: 2,
+                tx_per_thread: 60,
+                scenario_txns: 50,
+                stall: Duration::from_millis(10),
+            }
+        } else {
+            Sizes {
+                samples: 10,
+                tx_per_thread: 300,
+                scenario_txns: 250,
+                stall: Duration::from_millis(40),
+            }
+        }
+    }
+}
 
 fn all_backends() -> Vec<BackendId> {
     registry::all_ids()
 }
 
 /// TRADE1: fully disjoint transfers, 1–4 threads.
-fn bench_disjoint_scaling() {
+fn bench_disjoint_scaling(sizes: &Sizes, sink: &mut Vec<Samples>) {
     for backend in all_backends() {
         for threads in [1usize, 2, 4] {
-            bench(&format!("trade1-disjoint-scaling/{backend}/{threads}"), SAMPLES, || {
-                let report = run_threads(RunConfig {
-                    backend,
-                    threads,
-                    tx_per_thread: 300,
-                    bank: BankConfig { accounts: 64, cross_fraction: 0.0, ..Default::default() },
-                });
-                black_box(report.throughput)
-            });
+            sink.push(bench(
+                &format!("trade1-disjoint-scaling/{backend}/{threads}"),
+                sizes.samples,
+                || {
+                    let report = run_threads(RunConfig {
+                        backend,
+                        threads,
+                        tx_per_thread: sizes.tx_per_thread,
+                        bank: BankConfig {
+                            accounts: 64,
+                            cross_fraction: 0.0,
+                            ..Default::default()
+                        },
+                    });
+                    black_box(report.throughput)
+                },
+            ));
         }
     }
 }
 
 /// TRADE2: Zipfian hotspot contention.
-fn bench_contention() {
+fn bench_contention(sizes: &Sizes, sink: &mut Vec<Samples>) {
     for backend in all_backends() {
         for theta in [0.5f64, 0.99] {
-            bench(&format!("trade2-zipf-contention/{backend}/theta={theta}"), SAMPLES, || {
-                let report = run_threads(RunConfig {
-                    backend,
-                    threads: 4,
-                    tx_per_thread: 200,
-                    bank: BankConfig {
-                        accounts: 32,
-                        cross_fraction: 1.0,
-                        zipf_theta: Some(theta),
-                        ..Default::default()
-                    },
-                });
-                black_box((report.throughput, report.aborts))
-            });
+            sink.push(bench(
+                &format!("trade2-zipf-contention/{backend}/theta={theta}"),
+                sizes.samples,
+                || {
+                    let report = run_threads(RunConfig {
+                        backend,
+                        threads: 4,
+                        tx_per_thread: sizes.tx_per_thread.min(200),
+                        bank: BankConfig {
+                            accounts: 32,
+                            cross_fraction: 1.0,
+                            zipf_theta: Some(theta),
+                            ..Default::default()
+                        },
+                    });
+                    black_box((report.throughput, report.aborts))
+                },
+            ));
         }
     }
 }
 
 /// TRADE3: victim commits during a stalled writer's stall.
-fn bench_stalled_writer() {
+fn bench_stalled_writer(sizes: &Sizes, sink: &mut Vec<Samples>) {
     for backend in all_backends() {
-        bench(&format!("trade3-stalled-writer/{backend}/stall=40ms"), SAMPLES, || {
-            let commits = stalled_writer_experiment(backend, 2, Duration::from_millis(40));
-            black_box(commits)
-        });
+        sink.push(bench(
+            &format!("trade3-stalled-writer/{backend}/stall={:?}", sizes.stall),
+            sizes.samples,
+            || {
+                let commits = stalled_writer_experiment(backend, 2, sizes.stall);
+                black_box(commits)
+            },
+        ));
     }
 }
 
 /// DAPCOST: read-mostly workload comparing the consistent backends' metadata cost.
-fn bench_read_mostly_ablation() {
+fn bench_read_mostly_ablation(sizes: &Sizes, sink: &mut Vec<Samples>) {
     for backend in [registry::TL2_BLOCKING, registry::OBSTRUCTION_FREE] {
         for read_pct in [50usize, 90, 100] {
             let stm = Stm::new(backend);
             let vars: Vec<_> = (0..16i64).map(|i| stm.alloc(i)).collect();
-            bench(&format!("dapcost-read-mostly/{backend}/{read_pct}%reads"), SAMPLES, || {
-                let mut acc = 0i64;
-                for (i, _) in vars.iter().enumerate() {
-                    acc += stm.run(|tx| {
-                        let mut sum = 0;
-                        for v in &vars {
-                            sum += tx.read(*v)?;
-                        }
-                        if i * 100 / vars.len() >= read_pct {
-                            tx.write(vars[i], sum)?;
-                        }
-                        Ok(sum)
-                    });
-                }
-                black_box(acc)
-            });
+            sink.push(bench(
+                &format!("dapcost-read-mostly/{backend}/{read_pct}%reads"),
+                sizes.samples,
+                || {
+                    let mut acc = 0i64;
+                    for (i, _) in vars.iter().enumerate() {
+                        acc += stm.run(|tx| {
+                            let mut sum = 0;
+                            for v in &vars {
+                                sum += tx.read(*v)?;
+                            }
+                            if i * 100 / vars.len() >= read_pct {
+                                tx.write(vars[i], sum)?;
+                            }
+                            Ok(sum)
+                        });
+                    }
+                    black_box(acc)
+                },
+            ));
         }
     }
 }
 
 /// POLICY: immediate retry vs exponential backoff on the write-heavy Zipf
 /// hotspot, with the attempt percentiles that justify (or refute) backing off.
-fn bench_retry_policies() {
+fn bench_retry_policies(sizes: &Sizes, sink: &mut Vec<Samples>) {
     let scenario = KvZipfScenario { theta: 0.99, read_fraction: 0.2 };
     for (label, retry) in [
         ("immediate", Arc::new(policy::ImmediateRetry) as Arc<dyn stm_runtime::RetryPolicy>),
         ("backoff", Arc::new(policy::ExponentialBackoff::default()) as _),
     ] {
-        bench(&format!("policy-kv-zipf-hotspot/obstruction-free/{label}"), SAMPLES, || {
+        sink.push(bench(
+            &format!("policy-kv-zipf-hotspot/obstruction-free/{label}"),
+            sizes.samples,
+            || {
+                let config = ScenarioConfig {
+                    threads: 4,
+                    txns_per_thread: sizes.scenario_txns,
+                    vars: 8,
+                    policy: Arc::clone(&retry),
+                    ..ScenarioConfig::new(registry::OBSTRUCTION_FREE)
+                };
+                let report = run_scenario(&scenario, &config);
+                black_box((report.throughput, report.attempts_p50, report.attempts_p99))
+            },
+        ));
+    }
+}
+
+/// SEP: the write-skew scenario across the consistency spectrum — what the
+/// serializable designs pay (validation aborts) for refusing the anomaly
+/// `mvcc` admits.
+fn bench_consistency_separation(sizes: &Sizes, sink: &mut Vec<Samples>) {
+    for backend in
+        [registry::MVCC, registry::TL2_BLOCKING, registry::SHARD_LOCK, registry::OBSTRUCTION_FREE]
+    {
+        sink.push(bench(&format!("sep-write-skew/{backend}"), sizes.samples, || {
             let config = ScenarioConfig {
                 threads: 4,
-                txns_per_thread: 250,
-                vars: 8,
-                policy: Arc::clone(&retry),
-                ..ScenarioConfig::new(registry::OBSTRUCTION_FREE)
+                txns_per_thread: sizes.scenario_txns,
+                vars: 16,
+                ..ScenarioConfig::new(backend)
             };
-            let report = run_scenario(&scenario, &config);
-            black_box((report.throughput, report.attempts_p50, report.attempts_p99))
-        });
+            let report = run_scenario(&WriteSkewScenario, &config);
+            black_box((report.throughput, report.aborts))
+        }));
     }
 }
 
@@ -140,9 +223,16 @@ fn main() {
     // Pull in the backends other crates contribute (global-lock) before
     // snapshotting the registry.
     workloads::register_workload_backends();
-    bench_disjoint_scaling();
-    bench_contention();
-    bench_stalled_writer();
-    bench_read_mostly_ablation();
-    bench_retry_policies();
+    let sizes = Sizes::from_env();
+    let mut sink: Vec<Samples> = Vec::new();
+    bench_disjoint_scaling(&sizes, &mut sink);
+    bench_contention(&sizes, &mut sink);
+    bench_stalled_writer(&sizes, &mut sink);
+    bench_read_mostly_ablation(&sizes, &mut sink);
+    bench_retry_policies(&sizes, &mut sink);
+    bench_consistency_separation(&sizes, &mut sink);
+    if let Ok(path) = std::env::var("PCL_BENCH_JSON") {
+        write_json(&path, &sink).expect("writing the bench artifact");
+        println!("machine-readable samples written to {path}");
+    }
 }

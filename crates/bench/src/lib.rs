@@ -79,6 +79,36 @@ pub mod harness {
         s
     }
 
+    /// Serialize a set of measured benchmarks as a machine-readable JSON
+    /// document (the shape CI archives as a `BENCH_*.json` artifact so the
+    /// perf trajectory accumulates data points across pushes).
+    pub fn samples_to_json(all: &[Samples]) -> String {
+        let mut out = String::from("{\"benches\":[");
+        for (i, s) in all.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let samples: Vec<String> =
+                s.durations.iter().map(|d| d.as_nanos().to_string()).collect();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\
+                 \"samples_ns\":[{}]}}",
+                s.name.replace('"', "'"),
+                s.min().as_nanos(),
+                s.median().as_nanos(),
+                s.mean().as_nanos(),
+                samples.join(",")
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write [`samples_to_json`] to `path` (CI artifact helper).
+    pub fn write_json(path: &str, all: &[Samples]) -> std::io::Result<()> {
+        std::fs::write(path, samples_to_json(all))
+    }
+
     /// Run `f` once and report items/second for `items` units of work.
     pub fn bench_throughput<T>(name: &str, items: u64, mut f: impl FnMut() -> T) -> f64 {
         black_box(f());
@@ -100,6 +130,16 @@ pub mod harness {
             assert_eq!(s.durations.len(), 5);
             assert!(s.min() <= s.median());
             assert!(s.report().contains("unit-test-noop"));
+        }
+
+        #[test]
+        fn samples_serialize_to_json() {
+            let s = bench("json-noop", 3, || 2 + 2);
+            let json = samples_to_json(&[s]);
+            assert!(json.starts_with("{\"benches\":["), "{json}");
+            assert!(json.contains("\"name\":\"json-noop\""), "{json}");
+            assert!(json.contains("\"min_ns\":"), "{json}");
+            assert!(json.contains("\"samples_ns\":["), "{json}");
         }
 
         #[test]

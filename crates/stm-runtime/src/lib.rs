@@ -13,15 +13,18 @@
 //! 2. **Open backends** — [`Stm::new`] takes anything `Into<BackendId>` and
 //!    resolves it through the [`registry`]: a [`registry::BackendSpec`] names
 //!    a backend, declares its P/C/L triangle position and constructs it.
-//!    Three corners ship built in, and other crates add more (the
-//!    `workloads` crate registers a coarse-global-lock "give up P" backend
-//!    through the same public API):
+//!    Five designs ship built in — the three corners plus two interior
+//!    points that populate the consistency and parallelism axes — and other
+//!    crates add more (the `workloads` crate registers a coarse-global-lock
+//!    "give up P" backend through the same public API):
 //!
 //!    | Backend | P (disjoint-access) | C | L |
 //!    |---|---|---|---|
 //!    | `tl2-blocking`     | per-var metadata only | serializable | blocking commit (spins on locks) |
 //!    | `obstruction-free` | per-var metadata only | serializable | never blocks, aborts under contention |
 //!    | `pram-local`       | no shared memory at all | PRAM only | wait-free |
+//!    | `mvcc`             | per-var version chains | **snapshot isolation** (admits write skew) | reads never block; first committer wins |
+//!    | `shard-lock`       | 16 hash bands (band-grain DAP only) | serializable | blocking on shard locks |
 //! 3. **Pluggable retry** — the retry-until-commit loop consults a
 //!    [`RetryPolicy`] ([`policy::ImmediateRetry`] by default;
 //!    [`policy::BoundedRetry`] and [`policy::ExponentialBackoff`] ship too),
@@ -69,11 +72,13 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod mvcc;
 pub mod ofree;
 pub mod policy;
 pub mod pramlocal;
 pub mod recorder;
 pub mod registry;
+pub mod shardlock;
 pub mod stats;
 pub mod tl2;
 pub mod tvar;
@@ -543,6 +548,35 @@ mod tests {
             assert_eq!(*session, Some(5), "{kind:?}");
             assert_eq!(reads.as_slice(), &[(x.base(), 10)], "{kind:?}");
             assert_eq!(writes.as_slice(), &[(x.base(), 11), (y.base(), 11)], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn interior_backends_run_the_full_typed_front_end() {
+        // The two non-corner built-ins (mvcc, shard-lock) behave like any
+        // other backend through the typed API: atomic multi-word reads under
+        // contention and no lost counter increments (mvcc's
+        // first-committer-wins forbids lost updates even though it admits
+        // write skew).
+        for id in [registry::MVCC, registry::SHARD_LOCK] {
+            let stm = Arc::new(Stm::new(id));
+            assert_eq!(stm.kind(), None, "interior designs have no legacy BackendKind");
+            let pair: TVar<(i64, i64)> = stm.alloc((0, 0));
+            let counter = stm.alloc(0i64);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        for i in 1..=200i64 {
+                            stm.run(|tx| tx.update(counter, |v| v + 1));
+                            stm.run(|tx| tx.write(pair, (i, -i)));
+                            let (a, b) = stm.run(|tx| tx.read(pair));
+                            assert_eq!(a, -b, "{id}: torn read ({a}, {b})");
+                        }
+                    });
+                }
+            });
+            assert_eq!(stm.read_now(counter), 800, "{id}: increments must not be lost");
         }
     }
 

@@ -115,6 +115,13 @@ pub const TL2_BLOCKING: BackendId = BackendId("tl2-blocking");
 pub const OBSTRUCTION_FREE: BackendId = BackendId("obstruction-free");
 /// The built-in thread-local-replica backend ("give up Consistency").
 pub const PRAM_LOCAL: BackendId = BackendId("pram-local");
+/// The built-in multi-version snapshot-isolation backend ("give up
+/// serializability": admits write skew, never an SI anomaly).
+pub const MVCC: BackendId = BackendId("mvcc");
+/// The built-in sharded reader-writer-lock backend (gives up *full*
+/// disjoint-access-parallelism: per-band metadata between `global-lock` and
+/// TL2).
+pub const SHARD_LOCK: BackendId = BackendId("shard-lock");
 
 impl From<BackendKind> for BackendId {
     fn from(kind: BackendKind) -> BackendId {
@@ -229,6 +236,32 @@ fn builtin_specs() -> Vec<BackendSpec> {
             },
             constructor: || Arc::new(crate::pramlocal::PramLocalBackend::new()),
         },
+        BackendSpec {
+            name: MVCC.0,
+            aliases: &["si", "snapshot", "multiversion"],
+            summary: "multi-version snapshot isolation: begin-timestamp snapshots, \
+                      first-committer-wins commits, GC'd version chains",
+            triangle: Triangle {
+                sacrificed: Axis::Consistency,
+                parallelism: "per-var version chains (strict DAP); commit locks written vars only",
+                consistency: "snapshot isolation — admits write skew, never an SI anomaly",
+                liveness: "reads never block or abort; commits lock briefly, first committer wins",
+            },
+            constructor: || Arc::new(crate::mvcc::MvccBackend::new()),
+        },
+        BackendSpec {
+            name: SHARD_LOCK.0,
+            aliases: &["shardlock", "sharded", "slock"],
+            summary: "per-shard reader-writer locks (16 hash bands) with sorted \
+                      two-phase commit acquisition",
+            triangle: Triangle {
+                sacrificed: Axis::Parallelism,
+                parallelism: "shard-band metadata: disjoint vars in one band still conflict",
+                consistency: "serializable (commit-time shard validation under 2PL)",
+                liveness: "blocking on shard locks (bounded spin, then abort)",
+            },
+            constructor: || Arc::new(crate::shardlock::ShardLockBackend::new()),
+        },
     ]
 }
 
@@ -276,15 +309,25 @@ pub fn lookup(name: &str) -> Option<BackendSpec> {
     })
 }
 
-/// A snapshot of every registered backend, in registration order (built-ins
-/// first).
+/// A snapshot of every registered backend, **sorted by canonical name** so
+/// listings, CI matrices and docs are deterministic regardless of
+/// registration timing.
 pub fn all() -> Vec<BackendSpec> {
-    with_registry(|specs| specs.clone())
+    with_registry(|specs| {
+        let mut specs = specs.clone();
+        specs.sort_by_key(|spec| spec.name);
+        specs
+    })
 }
 
-/// The canonical ids of every registered backend, in registration order.
+/// The canonical ids of every registered backend, sorted by name (same
+/// determinism contract as [`all`]).
 pub fn all_ids() -> Vec<BackendId> {
-    with_registry(|specs| specs.iter().map(|spec| BackendId(spec.name)).collect())
+    with_registry(|specs| {
+        let mut ids: Vec<BackendId> = specs.iter().map(|spec| BackendId(spec.name)).collect();
+        ids.sort();
+        ids
+    })
 }
 
 #[cfg(test)]
@@ -294,15 +337,34 @@ mod tests {
 
     #[test]
     fn builtins_are_registered_and_parse_by_name_and_alias() {
-        for (id, alias) in
-            [(TL2_BLOCKING, "tl2"), (OBSTRUCTION_FREE, "ofree"), (PRAM_LOCAL, "pram")]
-        {
+        for (id, alias) in [
+            (TL2_BLOCKING, "tl2"),
+            (OBSTRUCTION_FREE, "ofree"),
+            (PRAM_LOCAL, "pram"),
+            (MVCC, "si"),
+            (SHARD_LOCK, "shardlock"),
+        ] {
             assert_eq!(BackendId::from_str(id.name()).unwrap(), id);
             assert_eq!(BackendId::from_str(alias).unwrap(), id);
             assert_eq!(id.spec().name, id.name());
             assert_eq!(id.to_string(), id.name());
         }
-        assert!(all_ids().len() >= 3);
+        assert!(all_ids().len() >= 5);
+    }
+
+    #[test]
+    fn registry_iteration_is_sorted_by_name() {
+        let ids = all_ids();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "all_ids must be deterministic (sorted by name)");
+        let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        let mut sorted_names = names.clone();
+        sorted_names.sort_unstable();
+        assert_eq!(names, sorted_names, "all() must be deterministic (sorted by name)");
+        // Both new built-ins declare honest triangle positions.
+        assert_eq!(MVCC.spec().triangle.sacrificed, Axis::Consistency);
+        assert_eq!(SHARD_LOCK.spec().triangle.sacrificed, Axis::Parallelism);
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub use window::{
 pub use workload::{record_run, run_unrecorded, run_with_recorder, AuditRunConfig};
 
 use linearization::{
-    find_lost_update, search_serializable, search_snapshot_isolation, Search, DEFAULT_STATE_BUDGET,
+    find_lost_update, find_same_source_skew, search_serializable, search_snapshot_isolation,
+    Search, DEFAULT_STATE_BUDGET,
 };
 use po::TxnPartialOrder;
 use report::CommitOrderWitness;
@@ -195,18 +196,44 @@ pub(crate) fn audit_built(
                 (Outcome::Fail { violation: violation.clone() }, Outcome::Fail { violation })
             }
             None => {
-                let ser = match search_serializable(po, sat, po.n_vars(), budget) {
-                    Search::Order(order) => Outcome::Pass { witness: order_witness(po, &order) },
-                    Search::NoOrder => Outcome::Fail {
-                        violation: "no commit order explains every read \
-                                    (exhaustive constrained-linearization search)"
-                            .into(),
+                // Polynomial write-skew refutation before the NP-hard
+                // search: a forced anti-dependency cycle refutes SER in
+                // O(history) with a named cycle — and deliberately says
+                // nothing about SI, which is the whole separation.
+                let ser = match find_same_source_skew(po, sat) {
+                    Some(cycle) => {
+                        let rendered = if cycle.len() <= 12 {
+                            po.render_path(&cycle)
+                        } else {
+                            format!(
+                                "{} → … ({} transactions) … → {}",
+                                po.render_path(&cycle[..6]),
+                                cycle.len() - 1,
+                                po.name(cycle[0])
+                            )
+                        };
+                        Outcome::Fail {
+                            violation: format!(
+                                "write skew: same-snapshot readers force the \
+                                 anti-dependency cycle {rendered}"
+                            ),
+                        }
+                    }
+                    None => match search_serializable(po, sat, po.n_vars(), budget) {
+                        Search::Order(order) => {
+                            Outcome::Pass { witness: order_witness(po, &order) }
+                        }
+                        Search::NoOrder => Outcome::Fail {
+                            violation: "no commit order explains every read \
+                                        (exhaustive constrained-linearization search)"
+                                .into(),
+                        },
+                        Search::Exhausted { states } => Outcome::unknown(
+                            format!("serializability search budget ({budget}) exhausted"),
+                            states,
+                            None,
+                        ),
                     },
-                    Search::Exhausted { states } => Outcome::unknown(
-                        format!("serializability search budget ({budget}) exhausted"),
-                        states,
-                        None,
-                    ),
                 };
                 let si = match &ser {
                     // Serializable implies snapshot-isolated; reuse the witness.

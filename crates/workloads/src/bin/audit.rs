@@ -13,9 +13,14 @@
 //!
 //! * `--backend NAME|all` — any backend registered with
 //!   `stm_runtime::registry` (canonical name or alias: `tl2`, `ofree`,
-//!   `pram`, `global-lock`, …; default `all`);
+//!   `pram`, `mvcc`, `shard-lock`, `global-lock`, …; default `all`).
+//!   `all` iterates the registry **sorted by name**, so multi-backend output
+//!   and `--json` reports are diff-stable;
 //! * `--scenario NAME|all` — any scenario from `workloads::all_scenarios()`
-//!   (`registers`, `kv-zipf`, `scan-writers`, `bank`; default `registers`);
+//!   (`registers`, `kv-zipf`, `scan-writers`, `write-skew`, `bank`; default
+//!   `registers`).  `write-skew` on `mvcc` is the SI/SER separator: the
+//!   audited run reports SI pass and a serializability violation with a
+//!   write-skew witness;
 //! * `--retry POLICY` — retry pacing: `immediate`, `bounded:N`, `backoff`
 //!   or `backoff:BASE:MAX` (default `immediate`);
 //! * `--threads N` — worker threads = audit sessions (default 4);

@@ -10,7 +10,9 @@
 //!   data ([`Scenario`] + [`ScenarioState`]), with a registry mirroring the
 //!   backend registry.  Built-ins: the RMW-heavy `registers` mix (the audit
 //!   workhorse), a read-heavy `kv-zipf` hotspot store, `scan-writers` (one long
-//!   read-only scan racing short writers) and the classic `bank`;
+//!   read-only scan racing short writers), `write-skew` (read-a-pair,
+//!   write-one-half — the shape whose audited run separates the SI and SER
+//!   verdicts on the `mvcc` backend) and the classic `bank`;
 //! * [`glock`] — a coarse-global-lock backend (**"give up Parallelism"**)
 //!   registered into [`stm_runtime::registry`] *from this crate*: the proof the
 //!   backend registry is open.  [`register_workload_backends`] makes its name
@@ -50,7 +52,9 @@ pub use scenario::{
     all_scenarios, scenario_by_name, Scenario, ScenarioCheck, ScenarioConfig, ScenarioState,
     UnknownScenario,
 };
-pub use scenarios::{BankScenario, KvZipfScenario, RegistersScenario, ScanWritersScenario};
+pub use scenarios::{
+    BankScenario, KvZipfScenario, RegistersScenario, ScanWritersScenario, WriteSkewScenario,
+};
 pub use zipf::Zipf;
 
 /// Register every backend this crate contributes (currently [`glock`]) with

@@ -139,6 +139,7 @@ pub fn all_scenarios() -> Vec<Arc<dyn Scenario>> {
         Arc::new(crate::scenarios::RegistersScenario),
         Arc::new(crate::scenarios::KvZipfScenario::default()),
         Arc::new(crate::scenarios::ScanWritersScenario),
+        Arc::new(crate::scenarios::WriteSkewScenario),
         Arc::new(crate::scenarios::BankScenario::default()),
     ]
 }
