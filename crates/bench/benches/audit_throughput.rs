@@ -16,8 +16,14 @@
 //!   dense design was V²/8 bytes — 1.25 GB at 10⁵, 125 GB at 10⁶); the
 //!   streaming pipeline's stays bounded by the window no matter the run
 //!   length, which is why only it can reach the ROADMAP's scale.
+//! * **AUDIT4 — sharded audit throughput vs K**: the same recorded histories
+//!   replayed through the sharded partition pipeline at `K ∈ {1, 2, 4, 8}`.
+//!   The windowed auditor bounded memory; sharding bounds the *throughput*
+//!   gap — audit txns/s must scale with partitions (acceptance: K=4 strictly
+//!   faster than K=1 at 10⁵ transactions).
 //!
-//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3.
+//! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3,
+//! AUDIT4.
 
 use bench::harness::{bench, bench_throughput, black_box};
 use stm_runtime::registry::{OBSTRUCTION_FREE, PRAM_LOCAL, TL2_BLOCKING};
@@ -25,7 +31,9 @@ use tm_audit::digraph::Reach;
 use tm_audit::linearization::{search_serializable, Search, DEFAULT_STATE_BUDGET};
 use tm_audit::po::TxnPartialOrder;
 use tm_audit::saturation::{check_causal, check_read_atomic, check_read_committed};
-use tm_audit::{record_run, run_unrecorded, AuditRunConfig, Level, WindowConfig};
+use tm_audit::{
+    audit_sharded, record_run, run_unrecorded, AuditRunConfig, Level, ShardConfig, WindowConfig,
+};
 use workloads::run_audited_streaming;
 
 const SAMPLES: usize = 5;
@@ -141,8 +149,66 @@ fn batch_vs_streaming() {
     }
 }
 
+/// AUDIT4: sharded audit throughput vs shard count, on recorded histories
+/// replayed deterministically (no workload concurrency in the way — this
+/// isolates the *auditor's* scaling).
+fn sharded_audit_scaling() {
+    let mut sizes: Vec<usize> = vec![10_000, 100_000];
+    if std::env::var_os("PCL_BENCH_FULL").is_some() {
+        sizes.push(1_000_000);
+    }
+    for &txns in &sizes {
+        let config = AuditRunConfig {
+            backend: TL2_BLOCKING,
+            sessions: 4,
+            txns_per_session: txns / 4,
+            vars: 64,
+            seed: 7,
+        };
+        let history = record_run(config);
+        let window = WindowConfig::sized(2_048);
+        let mut elapsed_by_k = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            // Min of two runs: the scaling claim reads best-case per K, not
+            // scheduler noise.
+            let mut best = None;
+            let mut last = None;
+            for _ in 0..2 {
+                let start = std::time::Instant::now();
+                let report = audit_sharded(&history, ShardConfig::new(k, window));
+                let elapsed = start.elapsed();
+                assert!(report.passes(Level::Serializable), "{}", report.merged);
+                best = Some(best.map_or(elapsed, |b: std::time::Duration| b.min(elapsed)));
+                last = Some(report);
+            }
+            let (elapsed, report) = (best.expect("two runs"), last.expect("two runs"));
+            println!(
+                "audit4-sharded/{txns}-txns/K={k}: audited in {elapsed:.3?} \
+                 ({:.0} txns/s; {} straddlers escalated; peak closure {} KiB summed)",
+                txns as f64 / elapsed.as_secs_f64().max(1e-9),
+                report.escalated_txns,
+                report.peak_closure_bytes() / 1024
+            );
+            elapsed_by_k.push((k, elapsed));
+        }
+        if txns == 100_000 {
+            let k1 = elapsed_by_k.iter().find(|&&(k, _)| k == 1).expect("K=1 ran").1;
+            let k4 = elapsed_by_k.iter().find(|&&(k, _)| k == 4).expect("K=4 ran").1;
+            assert!(
+                k4 < k1,
+                "AUDIT4 acceptance: K=4 ({k4:.3?}) must beat K=1 ({k1:.3?}) at 10⁵ txns"
+            );
+            println!(
+                "audit4-sharded/100000-txns: K=4 speedup over K=1 is {:.2}×",
+                k1.as_secs_f64() / k4.as_secs_f64()
+            );
+        }
+    }
+}
+
 fn main() {
     recording_overhead();
     checker_throughput();
     batch_vs_streaming();
+    sharded_audit_scaling();
 }

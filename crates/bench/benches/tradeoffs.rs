@@ -26,6 +26,10 @@
 //! * **SEP — consistency-axis ablation**: the `write-skew` scenario across the
 //!   consistency spectrum (`mvcc` admits the skew and never blocks its readers;
 //!   the serializable designs pay validation aborts to refuse it).
+//! * **AUDIT4 — sharded audit throughput vs K**: a recorded register history
+//!   replayed through the sharded partition auditor at `K ∈ {1, 2, 4, 8}`
+//!   (the acceptance axis: audit throughput must scale with partitions —
+//!   K=4 strictly faster than K=1 at 10⁵ transactions in the full run).
 //!
 //! Environment knobs (both used by CI's bench-smoke job):
 //!
@@ -35,12 +39,13 @@
 //!   machine-readable `BENCH_*.json`-style artifact.
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3,
-//! DAPCOST, POLICY, SEP.
+//! DAPCOST, POLICY, SEP, AUDIT4.
 
 use bench::harness::{bench, black_box, write_json, Samples};
 use std::sync::Arc;
 use std::time::Duration;
 use stm_runtime::{policy, registry, BackendId, Stm};
+use tm_audit::{audit_sharded, record_run, AuditRunConfig, Level, ShardConfig, WindowConfig};
 use workloads::{
     run_scenario, run_threads, stalled_writer_experiment, BankConfig, KvZipfScenario, RunConfig,
     ScenarioConfig, WriteSkewScenario,
@@ -51,6 +56,7 @@ struct Sizes {
     samples: usize,
     tx_per_thread: usize,
     scenario_txns: usize,
+    audit_txns: usize,
     stall: Duration,
 }
 
@@ -61,6 +67,7 @@ impl Sizes {
                 samples: 2,
                 tx_per_thread: 60,
                 scenario_txns: 50,
+                audit_txns: 5_000,
                 stall: Duration::from_millis(10),
             }
         } else {
@@ -68,6 +75,7 @@ impl Sizes {
                 samples: 10,
                 tx_per_thread: 300,
                 scenario_txns: 250,
+                audit_txns: 100_000,
                 stall: Duration::from_millis(40),
             }
         }
@@ -219,6 +227,34 @@ fn bench_consistency_separation(sizes: &Sizes, sink: &mut Vec<Samples>) {
     }
 }
 
+/// AUDIT4: the sharded audit pipeline's throughput scaling axis — one
+/// recorded history, replayed deterministically through `K` partition
+/// auditors.  The sample clock measures the audit alone (recording happens
+/// once, outside the samples), so `min_ns` across K values is the scaling
+/// curve the acceptance criterion reads off `BENCH_tradeoffs.json`.
+fn bench_sharded_audit_scaling(sizes: &Sizes, sink: &mut Vec<Samples>) {
+    let txns = sizes.audit_txns;
+    let config = AuditRunConfig {
+        backend: registry::TL2_BLOCKING,
+        sessions: 4,
+        txns_per_session: txns / 4,
+        vars: 64,
+        seed: 7,
+    };
+    let history = record_run(config);
+    let window = WindowConfig::sized(2_048);
+    // Auditing 10⁵ txns per sample is the expensive family of this bench:
+    // cap the samples, the curve needs mins, not percentiles.
+    let samples = sizes.samples.min(3);
+    for k in [1usize, 2, 4, 8] {
+        sink.push(bench(&format!("audit4-sharded-audit/{txns}-txns/K={k}"), samples, || {
+            let report = audit_sharded(&history, ShardConfig::new(k, window));
+            assert!(report.passes(Level::Serializable), "{}", report.merged);
+            black_box(report.total_txns)
+        }));
+    }
+}
+
 fn main() {
     // Pull in the backends other crates contribute (global-lock) before
     // snapshotting the registry.
@@ -231,6 +267,7 @@ fn main() {
     bench_read_mostly_ablation(&sizes, &mut sink);
     bench_retry_policies(&sizes, &mut sink);
     bench_consistency_separation(&sizes, &mut sink);
+    bench_sharded_audit_scaling(&sizes, &mut sink);
     if let Ok(path) = std::env::var("PCL_BENCH_JSON") {
         write_json(&path, &sink).expect("writing the bench artifact");
         println!("machine-readable samples written to {path}");

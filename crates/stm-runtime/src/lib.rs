@@ -88,7 +88,8 @@ pub mod value;
 pub use backend::{Backend, BackendKind, VarId};
 pub use policy::{RetryDecision, RetryPolicy};
 pub use recorder::{
-    CommitBatch, CommitRecord, OwnedCommitRecord, Recorder, StreamConsumer, StreamingRecorder,
+    footprint_of, route_band, CommitBatch, CommitRecord, OwnedCommitRecord, Recorder,
+    StreamConsumer, StreamingRecorder, ROUTE_BANDS,
 };
 pub use registry::{BackendId, BackendSpec};
 pub use stats::StmStats;

@@ -92,6 +92,7 @@ pub fn from_execution(execution: &Execution, initial: i64) -> AuditHistory {
                             reads: p.reads,
                             writes: p.writes.into_iter().collect(),
                             hint: index as u64,
+                            ..Default::default()
                         },
                     ));
                 }

@@ -45,6 +45,25 @@ pub struct AuditTxn {
     /// A global recording-order index: a cheap guess at the commit order used
     /// only to seed the serializability search, never for correctness.
     pub hint: u64,
+    /// Precomputed [`stm_runtime::route_band`] bitmask of every touched
+    /// variable, carried from [`stm_runtime::OwnedCommitRecord::footprint`]
+    /// on streamed records.  `0` means "not precomputed" (hand-built and
+    /// adapted histories) — the sharded router then derives it on demand;
+    /// the two are indistinguishable because a transaction with an empty
+    /// footprint touches nothing and routes the same either way.
+    pub footprint: u64,
+}
+
+impl AuditTxn {
+    /// The band bitmask of every touched variable: the precomputed
+    /// [`AuditTxn::footprint`] when present, derived from the read/write
+    /// sets otherwise.
+    pub fn band_mask(&self) -> u64 {
+        if self.footprint != 0 {
+            return self.footprint;
+        }
+        stm_runtime::footprint_of(self.reads.iter().chain(self.writes.iter()).map(|&(var, _)| var))
+    }
 }
 
 /// A recorded run: per-session transaction sequences over `n_vars` variables
@@ -80,6 +99,7 @@ impl AuditHistory {
             reads: reads.into_iter().collect(),
             writes: writes.into_iter().collect(),
             hint,
+            footprint: 0,
         });
         TxnId { session, seq: txns.len() - 1 }
     }

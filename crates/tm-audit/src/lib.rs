@@ -29,7 +29,14 @@
 //!    Per-window verdicts merge into a whole-run report: **violations found
 //!    are real; cross-window SI/SER holds per window, attested, not certified
 //!    end-to-end** (see [`window`] for the full soundness statement).
-//! 4. **Cross-validate** ([`adapter`]) — simulator executions convert into the
+//! 4. **Shard** ([`partition`]) — a [`ShardedAuditor`] fans the merged stream
+//!    out to `K` per-variable-partition windowed auditors (each auditing the
+//!    projected sub-history on its own core) plus a cross-partition
+//!    escalation lane that re-checks straddling transactions whole, so audit
+//!    throughput scales with cores.  Convictions on any partition are real;
+//!    passes are attested per partition (see [`partition`] for the sharded
+//!    soundness statement).
+//! 5. **Cross-validate** ([`adapter`]) — simulator executions convert into the
 //!    same [`AuditHistory`] type, so `tm-consistency`'s checkers and these
 //!    checkers can be compared verdict-for-verdict on identical runs.
 //!
@@ -71,6 +78,7 @@ pub mod adapter;
 pub mod digraph;
 pub mod history;
 pub mod linearization;
+pub mod partition;
 pub mod po;
 pub mod recorder;
 pub mod report;
@@ -80,10 +88,15 @@ pub mod workload;
 
 pub use adapter::from_execution;
 pub use history::{AuditHistory, AuditTxn, HistoryError, TxnId};
+pub use partition::{
+    audit_sharded, partition_of, PartitionLag, PartitionVerdict, ShardConfig, ShardConviction,
+    ShardEvent, ShardLagProbe, ShardedAuditor, ShardedStreamReport,
+};
 pub use recorder::HistoryRecorder;
 pub use report::{AuditReport, Level, LevelReport, Outcome};
 pub use window::{
-    audit_streamed, StreamMerger, StreamReport, WindowConfig, WindowVerdict, WindowedAuditor,
+    audit_streamed, StreamMerger, StreamReport, TxnSink, WindowConfig, WindowVerdict,
+    WindowedAuditor,
 };
 pub use workload::{record_run, run_unrecorded, run_with_recorder, AuditRunConfig};
 

@@ -1,0 +1,1034 @@
+//! The sharded streaming audit engine: one windowed auditor per variable
+//! partition, with a cross-partition escalation lane, so audit throughput
+//! scales with cores instead of capping the workload it judges.
+//!
+//! The [`crate::window::WindowedAuditor`] bounded the *memory* of a streaming
+//! audit but still consumes the merged stream on one core — at sustained
+//! traffic the auditor becomes the bottleneck of the very pipeline it
+//! monitors.  Following the per-variable / communication-graph decomposition
+//! that makes dbcop-style checking scale (Biswas & Enea, *"On the Complexity
+//! of Checking Transactional Consistency"*), a [`ShardedAuditor`] splits the
+//! variable space into [`stm_runtime::ROUTE_BANDS`] hash bands
+//! ([`stm_runtime::route_band`]: pair-aligned so two-word objects at even
+//! word bases — the allocation pattern of every built-in scenario — never
+//! straddle, then mixed so bands spread) and assigns each of `K` partitions
+//! a contiguous run of bands:
+//!
+//! * every committed transaction is **routed** to each partition whose band
+//!   set intersects its footprint, carrying only the *projection* of its read
+//!   and write sets onto that partition's variables;
+//! * each partition runs its own [`WindowedAuditor`] on its own thread over
+//!   the projected sub-history (bounded queues between router and partitions
+//!   apply backpressure, so memory stays bounded end to end).  Partition
+//!   windows are **horizon-preserving**: [`ShardConfig::window`] names the
+//!   *global* window shape, and each partition — seeing ~`1/K` of the
+//!   stream — audits windows of `size / K` of its own sub-stream, the same
+//!   span of global history per window as the unsharded engine.  Since
+//!   per-window cost grows superlinearly with window size, sharding cuts
+//!   total audit work even before the partitions run in parallel;
+//! * transactions whose footprint spans **two or more bands** are
+//!   additionally **escalated whole** to a dedicated cross-partition lane — a
+//!   further windowed auditor over the unprojected straddlers — so the
+//!   anomalies a projection cannot see (a write-skew pair over two bands, a
+//!   fractured read split across partitions) are re-checked against the full
+//!   footprints of everyone who straddles.  The lane is a **bounded,
+//!   refutation-only recheck**: its polynomial refutations (cross-window
+//!   lost update, same-source write skew, causal-cycle saturation) run at
+//!   full strength and its convictions win the merge, but its SI/SER
+//!   *witness* searches run on a slashed budget
+//!   ([`ShardConfig::escalation_budget`]) and a lane `Unknown` is advisory —
+//!   the lane's sub-history omits every non-straddling transaction by
+//!   construction, so a witness search there cannot decide anything the
+//!   per-partition verdicts do not already attest;
+//! * a coordinator ([`ShardedAuditor::finish`]) stitches the per-partition
+//!   verdicts into one [`ShardedStreamReport`].
+//!
+//! # Soundness
+//!
+//! Sharded verdicts inherit — and further weaken the attestation half of —
+//! the windowed soundness statement (see [`crate::window`]):
+//!
+//! * **Convictions are sound.**  A partition's sub-history contains only real
+//!   facts: session order restricted to a subsequence still holds, and every
+//!   write-read edge over an in-band variable holds verbatim (a partition
+//!   owns *all* writers of its variables, so write attribution inside a
+//!   partition is exact).  Any serialization of the whole run restricts to a
+//!   serialization of each projected sub-history — so when a partition (or
+//!   the escalation lane) refutes a level, **the whole run violates that
+//!   level**.  A conviction on any partition convicts the run.
+//! * **A pass is attested, per partition.**  A merged pass certifies each
+//!   band's projected sub-history (windowed, with its carried frontier) plus
+//!   the escalation lane's view of every straddling transaction.  An anomaly
+//!   whose cycle crosses bands only through transactions that each stay
+//!   inside one band — so no participant straddles and no partition sees the
+//!   whole cycle — can escape; this is the sharded analogue of the windowed
+//!   engine's horizon caveat, and the merged report words per-level passes
+//!   accordingly.  `shards = 1` degenerates to the unsharded windowed
+//!   auditor (everything routes to one partition, nothing escalates), and
+//!   the differential suite (`tests/audit_shard_equivalence.rs`) checks that
+//!   on seeded live runs every `K ∈ {1, 2, 4, 8}` agrees with the unsharded
+//!   windowed auditor and the batch auditor on all five levels.
+//!
+//! Straddling write-skew pairs are the load-bearing case: both members of a
+//! cross-band skew read both variables, so both straddle, both escalate, and
+//! the escalation lane convicts — `tests/audit_shard_equivalence.rs` pins
+//! this with hand-built cross-partition histories under deterministic
+//! replay ([`audit_sharded`]).
+
+use crate::history::AuditTxn;
+use crate::report::{json_escape, AuditReport, Level, LevelReport, Outcome};
+use crate::window::{
+    Conviction, StreamReport, TxnSink, WindowConfig, WindowVerdict, WindowedAuditor,
+};
+use crate::AuditHistory;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use stm_runtime::{route_band, ROUTE_BANDS};
+
+/// Shape of a sharded audit pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of variable partitions `K` (clamped to `1..=`
+    /// [`ROUTE_BANDS`]).  Partition `p` owns the contiguous run of hash
+    /// bands `b` with `b·K / ROUTE_BANDS == p`.
+    pub shards: usize,
+    /// The **global history horizon**: the window shape an unsharded
+    /// [`WindowedAuditor`] would use.  Each partition sees roughly `1/K` of
+    /// the stream, so partition auditors run windows of `size / K` of their
+    /// own sub-stream — the same span of *global* history per window as the
+    /// unsharded engine, at a fraction of the per-window cost (window cost
+    /// grows superlinearly with window size).  This is where the sharded
+    /// pipeline's throughput comes from even before parallelism.
+    pub window: WindowConfig,
+    /// Routed batches each partition queue may hold before the router blocks
+    /// (backpressure keeps memory bounded when a partition falls behind).
+    pub queue_capacity: usize,
+    /// Transactions the router buffers per partition before sending one
+    /// batch (amortizes channel traffic; flushed on finish regardless).
+    pub route_batch: usize,
+    /// DFS state budget for the escalation lane's SI/SER witness searches (default 1 024).
+    ///
+    /// The lane's sub-history is attribution-incomplete *by construction*
+    /// (straddlers read values whose writers stayed in-band), so witness
+    /// searches there face unordered stand-in writers and explode without
+    /// deciding anything.  The lane's real job — the cross-band
+    /// **refutations** (lost update, same-source write skew, causal cycle) —
+    /// is polynomial and unaffected by this budget; the slashed budget is
+    /// what makes the cross-partition recheck *bounded*.
+    pub escalation_budget: u64,
+    /// Window shape override for the escalation lane (`None` = the scaled
+    /// partition window with its size capped at 256).  Lane windows pay for
+    /// every unresolvable read with a stand-in, so a small lane window is
+    /// what keeps the cross-partition recheck cheap; a straddler stream is
+    /// thin relative to the partitions', so even a small lane window spans
+    /// a long stretch of global history.
+    pub escalation_window: Option<WindowConfig>,
+}
+
+/// The per-partition window for a K-way split: `1/K` of the configured
+/// global-horizon window (floored so degenerate test windows stay usable),
+/// with overlap and probe batch scaled alike.  `retain_windows` is kept:
+/// `retain × size/K` partition transactions span the same *global* history
+/// as the unsharded `retain × size`.
+fn scaled_window(base: WindowConfig, k: usize) -> WindowConfig {
+    if k <= 1 {
+        return base;
+    }
+    let size = (base.size / k).clamp(16.min(base.size.max(2)), base.size);
+    WindowConfig {
+        size,
+        overlap: (base.overlap / k).min(size.saturating_sub(1)),
+        budget: base.budget,
+        retain_windows: base.retain_windows,
+        batch: (base.batch / k).clamp(1, size),
+    }
+}
+
+impl ShardConfig {
+    /// A config with `shards` partitions and the given window shape.
+    pub fn new(shards: usize, window: WindowConfig) -> Self {
+        ShardConfig {
+            shards,
+            window,
+            queue_capacity: 256,
+            route_batch: 128,
+            escalation_budget: 1_024,
+            escalation_window: None,
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        self.shards = self.shards.clamp(1, ROUTE_BANDS);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.route_batch = self.route_batch.max(1);
+        self.escalation_budget = self.escalation_budget.max(1);
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(4, WindowConfig::default())
+    }
+}
+
+/// The partition owning a variable under a `shards`-way split: partitions
+/// own contiguous runs of [`route_band`] bands.
+pub fn partition_of(var: usize, shards: usize) -> usize {
+    route_band(var) * shards / ROUTE_BANDS
+}
+
+/// Progress counters of one partition, sampled live via [`ShardLagProbe`].
+#[derive(Debug, Clone)]
+pub struct PartitionLag {
+    /// Partition index (`shards` = the escalation lane).
+    pub partition: usize,
+    /// `true` for the escalation lane.
+    pub escalation: bool,
+    /// Transactions routed to this partition so far.
+    pub routed: u64,
+    /// Transactions its auditor has absorbed so far.
+    pub ingested: u64,
+    /// Windows the partition has fully audited.
+    pub windows: usize,
+}
+
+impl PartitionLag {
+    /// Routed-but-not-yet-audited transactions — the partition's lag.
+    pub fn queued(&self) -> u64 {
+        self.routed.saturating_sub(self.ingested)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PartitionCounters {
+    routed: AtomicU64,
+    ingested: AtomicU64,
+    windows: AtomicUsize,
+}
+
+/// A cloneable live view of every partition's lag, usable from any thread
+/// while the pipeline runs — this is what the serve endpoint samples.
+#[derive(Clone)]
+pub struct ShardLagProbe {
+    counters: Vec<Arc<PartitionCounters>>,
+}
+
+impl ShardLagProbe {
+    /// Snapshot every partition's counters (escalation lane last).
+    pub fn sample(&self) -> Vec<PartitionLag> {
+        let last = self.counters.len() - 1;
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(p, c)| PartitionLag {
+                partition: p,
+                escalation: p == last,
+                routed: c.routed.load(Ordering::Relaxed),
+                ingested: c.ingested.load(Ordering::Relaxed),
+                windows: c.windows.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Live progress records the pipeline emits while the stream flows —
+/// the serve endpoint tails these as JSON lines.
+#[derive(Debug, Clone)]
+pub enum ShardEvent {
+    /// A partition closed and audited one window.
+    Window {
+        /// Partition index (`shards` = escalation lane).
+        partition: usize,
+        /// `true` for the escalation lane.
+        escalation: bool,
+        /// Window index within the partition's stream.
+        index: usize,
+        /// Transactions audited in the window.
+        txns: usize,
+        /// Compact five-level verdict summary.
+        summary: String,
+        /// Window-close-to-verdict latency.
+        elapsed: Duration,
+    },
+    /// A partition produced its first definite violation.
+    Conviction {
+        /// Partition index (`shards` = escalation lane).
+        partition: usize,
+        /// `true` for the escalation lane.
+        escalation: bool,
+        /// The violation, with the partition-local stream position.
+        conviction: Conviction,
+    },
+    /// A periodic lag snapshot (emitted by the runner's sampler).
+    Lag {
+        /// Every partition's counters, escalation lane last.
+        partitions: Vec<PartitionLag>,
+    },
+}
+
+/// One partition's final verdict inside a [`ShardedStreamReport`].
+#[derive(Debug, Clone)]
+pub struct PartitionVerdict {
+    /// Partition index (`shards` = the escalation lane).
+    pub partition: usize,
+    /// `true` for the escalation lane.
+    pub escalation: bool,
+    /// Transactions routed to this partition.
+    pub routed_txns: u64,
+    /// The partition's full windowed stream report.
+    pub stream: StreamReport,
+}
+
+/// The earliest conviction across partitions, with its origin.
+#[derive(Debug, Clone)]
+pub struct ShardConviction {
+    /// Partition the conviction came from (`shards` = escalation lane).
+    pub partition: usize,
+    /// `true` if the escalation lane convicted.
+    pub escalation: bool,
+    /// The violation, with partition-local stream position.
+    pub conviction: Conviction,
+}
+
+/// What a finished sharded audit measured and concluded.
+#[derive(Debug, Clone)]
+pub struct ShardedStreamReport {
+    /// The whole-run verdict stitched from the per-partition verdicts (see
+    /// the module docs for what a merged pass attests).
+    pub merged: AuditReport,
+    /// Every partition's verdict, partitions first, escalation lane last.
+    pub partitions: Vec<PartitionVerdict>,
+    /// The pipeline shape that produced the report.
+    pub config: ShardConfig,
+    /// Total transactions pushed into the router.
+    pub total_txns: u64,
+    /// Transactions whose footprint straddled bands (escalated whole).
+    pub escalated_txns: u64,
+    /// The earliest definite violation across partitions, if any.
+    pub first_conviction: Option<ShardConviction>,
+}
+
+impl ShardedStreamReport {
+    /// `true` if the merged verdict for the level passed (attested per
+    /// partition and window).
+    pub fn passes(&self, level: Level) -> bool {
+        self.merged.passes(level)
+    }
+
+    /// `true` if any partition definitely violated the level.
+    pub fn fails(&self, level: Level) -> bool {
+        self.merged.fails(level)
+    }
+
+    /// Compact one-line summary of the merged verdict.
+    pub fn summary(&self) -> String {
+        self.merged.summary()
+    }
+
+    /// Longest window-close-to-verdict latency over all partitions.
+    pub fn verdict_latency_max(&self) -> Duration {
+        self.partitions.iter().map(|p| p.stream.verdict_latency_max()).max().unwrap_or_default()
+    }
+
+    /// Sum of per-partition peak closure memory — an upper bound on the
+    /// pipeline's simultaneous resident closure state.
+    pub fn peak_closure_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.stream.peak_closure_bytes).sum()
+    }
+
+    /// Machine-readable form, for CI artifacts, the audit CLI's `--json` and
+    /// the serve endpoint's verdict records.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"shards\":{},\"window_size\":{},\"overlap\":{},\"total_txns\":{},\
+             \"escalated_txns\":{},\"peak_closure_bytes\":{},\"verdict_latency_max_ms\":{:.3},",
+            self.config.shards,
+            self.config.window.size,
+            self.config.window.overlap,
+            self.total_txns,
+            self.escalated_txns,
+            self.peak_closure_bytes(),
+            self.verdict_latency_max().as_secs_f64() * 1e3
+        ));
+        match &self.first_conviction {
+            Some(sc) => out.push_str(&format!(
+                "\"first_conviction\":{{\"partition\":{},\"escalation\":{},\"level\":\"{}\",\
+                 \"window\":{},\"txns_seen\":{},\"violation\":\"{}\"}},",
+                sc.partition,
+                sc.escalation,
+                sc.conviction.level.name(),
+                sc.conviction.window,
+                sc.conviction.txns_seen,
+                json_escape(&sc.conviction.violation)
+            )),
+            None => out.push_str("\"first_conviction\":null,"),
+        }
+        out.push_str(&format!("\"merged\":{},", self.merged.to_json()));
+        out.push_str("\"partitions\":[");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"partition\":{},\"escalation\":{},\"txns\":{},\"windows\":{},\
+                 \"evicted_attributions\":{},\"peak_closure_bytes\":{},\"summary\":\"{}\",\
+                 \"merged\":{}}}",
+                p.partition,
+                p.escalation,
+                p.routed_txns,
+                p.stream.windows.len(),
+                p.stream.evicted_attributions,
+                p.stream.peak_closure_bytes,
+                json_escape(&p.stream.summary()),
+                p.stream.merged.to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for ShardedStreamReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sharded audit: {} txns over {} variable partitions (+{} straddlers escalated), \
+             windows of ≤{}",
+            self.total_txns, self.config.shards, self.escalated_txns, self.config.window.size
+        )?;
+        for p in &self.partitions {
+            let kind = if p.escalation { "escalation" } else { "partition " };
+            writeln!(
+                f,
+                "  {kind} {:>2}: {:>8} txns in {:>4} window(s)  {}",
+                p.partition,
+                p.routed_txns,
+                p.stream.windows.len(),
+                p.stream.summary()
+            )?;
+        }
+        if let Some(sc) = &self.first_conviction {
+            writeln!(
+                f,
+                "  first conviction: {} on partition {}{}: {}",
+                sc.conviction.level.name(),
+                sc.partition,
+                if sc.escalation { " (escalation lane)" } else { "" },
+                sc.conviction.violation
+            )?;
+        }
+        for level in &self.merged.levels {
+            writeln!(f, "  {level}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One partition worker: drains routed batches into its own windowed
+/// auditor, updating counters and emitting events as windows close.
+struct PartitionWorker {
+    receiver: Receiver<Vec<(usize, AuditTxn)>>,
+    auditor: WindowedAuditor,
+    counters: Arc<PartitionCounters>,
+    events: Option<Sender<ShardEvent>>,
+    partition: usize,
+    escalation: bool,
+    emitted_windows: usize,
+    conviction_sent: bool,
+}
+
+impl PartitionWorker {
+    fn run(mut self) -> StreamReport {
+        while let Ok(batch) = self.receiver.recv() {
+            let n = batch.len() as u64;
+            for (session, txn) in batch {
+                self.auditor.push(session, txn);
+            }
+            self.counters.ingested.fetch_add(n, Ordering::Relaxed);
+            self.counters.windows.store(self.auditor.windows_closed(), Ordering::Relaxed);
+            // Live tail: announce windows closed (and any conviction) so far.
+            let (verdicts, conviction) = (self.auditor.verdicts(), self.auditor.convicted());
+            Self::emit(
+                &self.events,
+                self.partition,
+                self.escalation,
+                verdicts,
+                &mut self.emitted_windows,
+                conviction,
+                &mut self.conviction_sent,
+            );
+        }
+        let report = self.auditor.finish();
+        self.counters.windows.store(report.windows.len(), Ordering::Relaxed);
+        // Drain tail: the final window closed inside finish().
+        Self::emit(
+            &self.events,
+            self.partition,
+            self.escalation,
+            &report.windows,
+            &mut self.emitted_windows,
+            report.first_conviction.as_ref(),
+            &mut self.conviction_sent,
+        );
+        report
+    }
+
+    /// Announce every not-yet-emitted window verdict — and the first
+    /// conviction, once — shared by the live stream and the drain tail.
+    fn emit(
+        events: &Option<Sender<ShardEvent>>,
+        partition: usize,
+        escalation: bool,
+        verdicts: &[WindowVerdict],
+        emitted: &mut usize,
+        conviction: Option<&Conviction>,
+        conviction_sent: &mut bool,
+    ) {
+        let Some(events) = events else { return };
+        for w in &verdicts[*emitted..] {
+            let _ = events.send(ShardEvent::Window {
+                partition,
+                escalation,
+                index: w.index,
+                txns: w.txns,
+                summary: w.report.summary(),
+                elapsed: w.audit_elapsed,
+            });
+        }
+        *emitted = verdicts.len();
+        if !*conviction_sent {
+            if let Some(c) = conviction {
+                *conviction_sent = true;
+                let _ = events.send(ShardEvent::Conviction {
+                    partition,
+                    escalation,
+                    conviction: c.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Routes a committed-transaction stream across `K` partition auditors plus
+/// the escalation lane; see the module docs for the architecture and the
+/// soundness statement.
+pub struct ShardedAuditor {
+    config: ShardConfig,
+    /// Per-partition router buffers (escalation lane last).
+    buffers: Vec<Vec<(usize, AuditTxn)>>,
+    senders: Vec<SyncSender<Vec<(usize, AuditTxn)>>>,
+    counters: Vec<Arc<PartitionCounters>>,
+    workers: Vec<JoinHandle<StreamReport>>,
+    total_txns: u64,
+    escalated_txns: u64,
+}
+
+impl ShardedAuditor {
+    /// A sharded pipeline for runs over `n_vars` variables starting at
+    /// `initial`.  Spawns one auditor thread per partition plus one for the
+    /// escalation lane.
+    pub fn new(n_vars: usize, initial: i64, config: ShardConfig) -> Self {
+        Self::build(n_vars, initial, config, None)
+    }
+
+    /// Like [`ShardedAuditor::new`], additionally streaming
+    /// [`ShardEvent`]s (window verdicts, convictions) into `events` as they
+    /// happen.
+    pub fn with_events(
+        n_vars: usize,
+        initial: i64,
+        config: ShardConfig,
+        events: Sender<ShardEvent>,
+    ) -> Self {
+        Self::build(n_vars, initial, config, Some(events))
+    }
+
+    fn build(
+        n_vars: usize,
+        initial: i64,
+        config: ShardConfig,
+        events: Option<Sender<ShardEvent>>,
+    ) -> Self {
+        let config = config.normalized();
+        let lanes = config.shards + 1; // partitions + escalation lane
+        let mut senders = Vec::with_capacity(lanes);
+        let mut counters = Vec::with_capacity(lanes);
+        let mut workers = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (tx, rx) = sync_channel::<Vec<(usize, AuditTxn)>>(config.queue_capacity);
+            let lane_counters = Arc::new(PartitionCounters::default());
+            let scaled = scaled_window(config.window, config.shards);
+            let window = if lane == config.shards {
+                // The escalation lane is a bounded recheck: polynomial
+                // refutations at full strength, witness searches capped,
+                // small windows so stand-in machinery stays cheap.
+                let mut lane_window = config.escalation_window.unwrap_or(WindowConfig {
+                    size: scaled.size.min(256),
+                    overlap: scaled.overlap.min(256 / 8),
+                    ..scaled
+                });
+                lane_window.budget = lane_window.budget.min(config.escalation_budget);
+                lane_window
+            } else {
+                scaled
+            };
+            let worker = PartitionWorker {
+                receiver: rx,
+                auditor: WindowedAuditor::new(n_vars, initial, window),
+                counters: Arc::clone(&lane_counters),
+                events: events.clone(),
+                partition: lane,
+                escalation: lane == config.shards,
+                emitted_windows: 0,
+                conviction_sent: false,
+            };
+            senders.push(tx);
+            counters.push(lane_counters);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("audit-part-{lane}"))
+                    .spawn(move || worker.run())
+                    .expect("spawning a partition auditor thread"),
+            );
+        }
+        ShardedAuditor {
+            config,
+            buffers: vec![Vec::new(); lanes],
+            senders,
+            counters,
+            workers,
+            total_txns: 0,
+            escalated_txns: 0,
+        }
+    }
+
+    /// The pipeline shape in effect (after normalization).
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// Transactions routed so far.
+    pub fn total_ingested(&self) -> u64 {
+        self.total_txns
+    }
+
+    /// A live, cloneable view of per-partition lag counters.
+    pub fn lag_probe(&self) -> ShardLagProbe {
+        ShardLagProbe { counters: self.counters.clone() }
+    }
+
+    /// Route one committed transaction.  Same contract as
+    /// [`WindowedAuditor::push`]: per-session arrival in session order.
+    pub fn push(&mut self, session: usize, txn: AuditTxn) {
+        self.total_txns += 1;
+        let k = self.config.shards;
+        if k == 1 {
+            // Degenerate single-partition pipeline: the whole stream goes to
+            // partition 0 unprojected — verdict-identical to the unsharded
+            // windowed auditor.
+            self.buffer(0, session, txn);
+            return;
+        }
+        // Partitions own contiguous band runs, so the band mask — carried
+        // precomputed on streamed records ([`AuditTxn::footprint`]), derived
+        // on demand for hand-built histories — folds into the touched
+        // partitions without re-walking the read/write sets.
+        let mut touched: u64 = 0;
+        let mut bands = txn.band_mask();
+        while bands != 0 {
+            let band = bands.trailing_zeros() as usize;
+            bands &= bands - 1;
+            touched |= 1 << (band * k / ROUTE_BANDS);
+        }
+        match touched.count_ones() {
+            // A transaction with no reads and no writes constrains nothing;
+            // give it to partition 0 so ingest totals still add up.
+            0 => self.buffer(0, session, txn),
+            1 => self.buffer(touched.trailing_zeros() as usize, session, txn),
+            _ => {
+                // Straddler: each touched partition gets the projection onto
+                // its own band run, and the escalation lane re-checks the
+                // transaction whole (cross-band anomalies among straddlers
+                // stay visible to *someone*).
+                let mut bits = touched;
+                while bits != 0 {
+                    let p = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.buffer(p, session, self.project(&txn, p));
+                }
+                self.escalated_txns += 1;
+                self.buffer(k, session, txn);
+            }
+        }
+    }
+
+    /// The projection of a transaction onto partition `p`'s variables.
+    /// Projections route no further, so they carry no precomputed footprint.
+    fn project(&self, txn: &AuditTxn, p: usize) -> AuditTxn {
+        let k = self.config.shards;
+        AuditTxn {
+            reads: txn.reads.iter().copied().filter(|&(v, _)| partition_of(v, k) == p).collect(),
+            writes: txn.writes.iter().copied().filter(|&(v, _)| partition_of(v, k) == p).collect(),
+            hint: txn.hint,
+            footprint: 0,
+        }
+    }
+
+    fn buffer(&mut self, lane: usize, session: usize, txn: AuditTxn) {
+        self.buffers[lane].push((session, txn));
+        if self.buffers[lane].len() >= self.config.route_batch {
+            self.flush(lane);
+        }
+    }
+
+    fn flush(&mut self, lane: usize) {
+        if self.buffers[lane].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffers[lane]);
+        self.counters[lane].routed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.senders[lane].send(batch).expect("partition auditor thread died");
+    }
+
+    /// Flush every router buffer, close the queues, join the partition
+    /// threads and stitch their verdicts into the merged report.
+    pub fn finish(mut self) -> ShardedStreamReport {
+        for lane in 0..self.buffers.len() {
+            self.flush(lane);
+        }
+        drop(std::mem::take(&mut self.senders)); // closes every queue
+        let mut partitions = Vec::with_capacity(self.workers.len());
+        let last = self.workers.len() - 1;
+        for (lane, worker) in self.workers.drain(..).enumerate() {
+            let stream = worker.join().expect("partition auditor thread panicked");
+            partitions.push(PartitionVerdict {
+                partition: lane,
+                escalation: lane == last,
+                routed_txns: self.counters[lane].routed.load(Ordering::Relaxed),
+                stream,
+            });
+        }
+        let first_conviction = partitions
+            .iter()
+            .filter_map(|p| {
+                p.stream.first_conviction.as_ref().map(|c| ShardConviction {
+                    partition: p.partition,
+                    escalation: p.escalation,
+                    conviction: c.clone(),
+                })
+            })
+            .min_by_key(|sc| (sc.conviction.txns_seen, sc.partition));
+        let merged =
+            merge_partitions(&partitions, self.config, self.total_txns, self.escalated_txns);
+        ShardedStreamReport {
+            merged,
+            partitions,
+            config: self.config,
+            total_txns: self.total_txns,
+            escalated_txns: self.escalated_txns,
+            first_conviction,
+        }
+    }
+}
+
+impl TxnSink for ShardedAuditor {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        self.push(session, txn);
+    }
+}
+
+fn lane_label(p: &PartitionVerdict) -> String {
+    if p.escalation {
+        "escalation lane".to_string()
+    } else {
+        format!("partition {}", p.partition)
+    }
+}
+
+/// Merge the per-partition merged verdicts into the whole-run report:
+/// Fail on any partition wins, else Unknown on any partition aggregates,
+/// else an attested Pass.
+fn merge_partitions(
+    partitions: &[PartitionVerdict],
+    config: ShardConfig,
+    total_txns: u64,
+    escalated_txns: u64,
+) -> AuditReport {
+    let shape = format!(
+        "{} transactions over {} variable partitions (+{} straddlers escalated), \
+         windows of ≤{} (overlap {})",
+        total_txns, config.shards, escalated_txns, config.window.size, config.window.overlap
+    );
+    let levels = Level::ALL
+        .iter()
+        .map(|&level| LevelReport {
+            level,
+            outcome: merged_outcome(partitions, level, config.shards, escalated_txns),
+        })
+        .collect();
+    AuditReport { shape, levels }
+}
+
+fn merged_outcome(
+    partitions: &[PartitionVerdict],
+    level: Level,
+    shards: usize,
+    escalated_txns: u64,
+) -> Outcome {
+    // A conviction anywhere is a real violation of the whole run — and it
+    // must never be downgraded by another partition's Unknown.
+    if let Some((label, violation)) =
+        partitions.iter().find_map(|p| match p.stream.merged.outcome(level) {
+            Some(Outcome::Fail { violation }) => Some((lane_label(p), violation.clone())),
+            _ => None,
+        })
+    {
+        return Outcome::Fail { violation: format!("{label}: {violation}") };
+    }
+    // The escalation lane is refutation-only: its sub-history drops every
+    // non-straddling transaction, so its witness searches routinely exhaust
+    // their (deliberately slashed) budget against unordered stand-in writers.
+    // A lane Unknown therefore says nothing the per-partition verdicts do
+    // not already attest — it is excluded from the aggregation, while a lane
+    // *conviction* (handled above) always wins.  The lane's own outcome
+    // stays visible verbatim in [`ShardedStreamReport::partitions`].
+    let unknowns: Vec<(&PartitionVerdict, &Outcome)> = partitions
+        .iter()
+        .filter(|p| !p.escalation)
+        .filter_map(|p| match p.stream.merged.outcome(level) {
+            Some(o @ Outcome::Unknown { .. }) => Some((p, o)),
+            _ => None,
+        })
+        .collect();
+    if let Some(&(first, _)) = unknowns.first() {
+        let (mut states_total, mut budget_max, mut refuted_any) = (0u64, 0u64, None);
+        let mut first_reason = String::new();
+        for (_, o) in &unknowns {
+            if let Outcome::Unknown { reason, states, refuted, next_budget } = o {
+                states_total = states_total.saturating_add(*states);
+                budget_max = budget_max.max(*next_budget);
+                refuted_any = refuted_any.or(*refuted);
+                if first_reason.is_empty() {
+                    first_reason = reason.clone();
+                }
+            }
+        }
+        return Outcome::Unknown {
+            reason: format!(
+                "{} of {shards} partition(s) inconclusive (first: {}: {first_reason})",
+                unknowns.len(),
+                lane_label(first)
+            ),
+            states: states_total,
+            refuted: refuted_any,
+            next_budget: budget_max,
+        };
+    }
+    Outcome::Pass {
+        witness: format!(
+            "attested per partition: {} passed in all {shards} variable-band projections, and \
+             the escalation lane's bounded recheck of {escalated_txns} straddling \
+             transaction(s) raised no cross-band refutation; sharded auditing is \
+             violation-sound (any partition's conviction is real), and a pass certifies each \
+             band's projected sub-history plus the refutation-checked straddlers, not the \
+             uncut cross-band order",
+            level.tag()
+        ),
+    }
+}
+
+/// Stream a complete [`AuditHistory`] through a [`ShardedAuditor`] in
+/// recording (hint) order — the deterministic-schedule replay the
+/// differential suite (`tests/audit_shard_equivalence.rs`) is built on:
+/// given the same history and config, routing, per-partition sub-streams and
+/// therefore every verdict are reproducible regardless of thread timing.
+pub fn audit_sharded(history: &AuditHistory, config: ShardConfig) -> ShardedStreamReport {
+    let mut all: Vec<(u64, usize, &AuditTxn)> = history
+        .sessions
+        .iter()
+        .enumerate()
+        .flat_map(|(s, session)| session.iter().map(move |txn| (txn.hint, s, txn)))
+        .collect();
+    all.sort_by_key(|&(hint, s, _)| (hint, s));
+    let mut auditor = ShardedAuditor::new(history.n_vars, history.initial, config);
+    for (_, session, txn) in all {
+        auditor.push(session, txn.clone());
+    }
+    auditor.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize, size: usize, overlap: usize) -> ShardConfig {
+        let window = WindowConfig { size, overlap, ..WindowConfig::sized(size) };
+        // A tiny route batch so unit-test streams actually cross the channel
+        // in several batches.
+        ShardConfig { route_batch: 4, ..ShardConfig::new(shards, window) }
+    }
+
+    /// Variables grouped by owning partition under a K-way split — test
+    /// helper for building histories that live in (or straddle) chosen
+    /// partitions.
+    fn vars_by_partition(n_vars: usize, shards: usize) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); shards];
+        for v in 0..n_vars {
+            groups[partition_of(v, shards)].push(v);
+        }
+        groups
+    }
+
+    #[test]
+    fn partition_of_covers_and_bounds() {
+        for shards in [1usize, 2, 3, 4, 8, 64] {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..4_096 {
+                let p = partition_of(v, shards);
+                assert!(p < shards, "var {v} → partition {p} out of {shards}");
+                seen.insert(p);
+            }
+            assert_eq!(seen.len(), shards, "{shards}-way split must use every partition");
+        }
+    }
+
+    #[test]
+    fn single_band_histories_stay_unescalated_and_pass() {
+        // A serializable rmw chain on one variable: every K routes it to one
+        // partition, nothing escalates, everything passes.
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        for i in 1..60i64 {
+            h.push_txn((i % 2) as usize, [(0, i)], [(0, i + 1)]);
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let report = audit_sharded(&h, cfg(shards, 8, 2));
+            assert_eq!(report.total_txns, 60);
+            assert_eq!(report.escalated_txns, 0, "single-var txns never straddle");
+            for level in Level::ALL {
+                assert!(report.passes(level), "K={shards} {level}: {}", report.merged);
+            }
+            assert!(report.first_conviction.is_none());
+            // Exactly one partition (plus the idle escalation lane) saw work.
+            let busy = report.partitions.iter().filter(|p| p.routed_txns > 0).count();
+            assert_eq!(busy, 1, "K={shards}");
+            let lane = report.partitions.last().unwrap();
+            assert!(lane.escalation && lane.routed_txns == 0);
+        }
+    }
+
+    #[test]
+    fn straddlers_are_projected_and_escalated() {
+        let shards = 4;
+        let groups = vars_by_partition(64, shards);
+        let (a, b) = (groups[0][0], groups[1][0]);
+        let mut h = AuditHistory::new(64, 0, 1);
+        h.push_txn(0, [], [(a, 1), (b, 2)]); // straddles partitions 0 and 1
+        h.push_txn(0, [(a, 1)], [(a, 3)]); // stays inside partition 0
+        let report = audit_sharded(&h, cfg(shards, 8, 2));
+        assert_eq!(report.escalated_txns, 1);
+        assert_eq!(report.partitions[0].routed_txns, 2, "projection + in-band txn");
+        assert_eq!(report.partitions[1].routed_txns, 1, "projection only");
+        let lane = report.partitions.last().unwrap();
+        assert_eq!(lane.routed_txns, 1, "the straddler whole");
+        for level in Level::ALL {
+            assert!(report.passes(level), "{level}: {}", report.merged);
+        }
+    }
+
+    #[test]
+    fn k1_matches_the_unsharded_windowed_auditor() {
+        let mut h = AuditHistory::new(4, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]); // lost update
+        for i in 0..40i64 {
+            h.push_txn(0, [], [(1 + (i % 3) as usize, 100 + i)]);
+        }
+        let window = WindowConfig { size: 8, overlap: 2, ..WindowConfig::sized(8) };
+        let unsharded = crate::window::audit_streamed(&h, window);
+        let sharded =
+            audit_sharded(&h, ShardConfig { route_batch: 4, ..ShardConfig::new(1, window) });
+        for level in Level::ALL {
+            assert_eq!(unsharded.passes(level), sharded.passes(level), "{level}");
+            assert_eq!(unsharded.fails(level), sharded.fails(level), "{level}");
+        }
+        let sc = sharded.first_conviction.as_ref().expect("convicted");
+        assert_eq!(sc.partition, 0);
+        assert!(!sc.escalation);
+        assert_eq!(sc.conviction.violation, unsharded.first_conviction.as_ref().unwrap().violation);
+    }
+
+    #[test]
+    fn events_stream_windows_and_convictions_live() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]); // lost update, window 0
+        for i in 0..30i64 {
+            h.push_txn(0, [(0, 2 + i)], [(0, 3 + i)]);
+        }
+        let config = cfg(2, 8, 2);
+        let mut auditor = ShardedAuditor::with_events(1, 0, config, tx);
+        let probe = auditor.lag_probe();
+        let mut all: Vec<(u64, usize, &AuditTxn)> = h
+            .sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(s, session)| session.iter().map(move |t| (t.hint, s, t)))
+            .collect();
+        all.sort_by_key(|&(hint, s, _)| (hint, s));
+        for (_, s, t) in all {
+            auditor.push(s, t.clone());
+        }
+        let report = auditor.finish();
+        let events: Vec<ShardEvent> = rx.try_iter().collect();
+        let windows = events.iter().filter(|e| matches!(e, ShardEvent::Window { .. })).count();
+        let convictions =
+            events.iter().filter(|e| matches!(e, ShardEvent::Conviction { .. })).count();
+        assert_eq!(
+            windows,
+            report.partitions.iter().map(|p| p.stream.windows.len()).sum::<usize>(),
+            "every closed window must be announced exactly once"
+        );
+        assert_eq!(convictions, 1, "one partition convicted once");
+        assert!(report.fails(Level::SnapshotIsolation));
+        // The probe agrees with the final report after the join.
+        let lag = probe.sample();
+        assert_eq!(lag.len(), 3); // 2 partitions + escalation lane
+        assert_eq!(lag.iter().map(|l| l.routed).sum::<u64>(), 32);
+        assert!(lag.iter().all(|l| l.queued() == 0), "drained after finish: {lag:?}");
+    }
+
+    #[test]
+    fn merged_json_carries_partitions_and_conviction() {
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        let report = audit_sharded(&h, cfg(2, 8, 2));
+        let json = report.to_json();
+        assert!(json.contains("\"shards\":2"), "{json}");
+        assert!(json.contains("\"partitions\":["), "{json}");
+        assert!(json.contains("\"escalation\":true"), "{json}");
+        assert!(json.contains("\"first_conviction\":{"), "{json}");
+        assert!(json.contains("\"merged\":{"), "{json}");
+        assert!(report.to_string().contains("first conviction"));
+    }
+
+    #[test]
+    fn empty_streams_pass_vacuously() {
+        let auditor = ShardedAuditor::new(8, 0, ShardConfig::default());
+        let report = auditor.finish();
+        assert_eq!(report.total_txns, 0);
+        assert_eq!(report.escalated_txns, 0);
+        for level in Level::ALL {
+            assert!(report.passes(level), "{level}");
+        }
+        // Shards + escalation lane are all present and idle.
+        assert_eq!(report.partitions.len(), ShardConfig::default().shards + 1);
+    }
+}

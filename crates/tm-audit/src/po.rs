@@ -410,10 +410,10 @@ mod tests {
     }
 
     fn read_txn(var: usize, value: i64, hint: u64) -> AuditTxn {
-        AuditTxn { reads: vec![(var, value)], writes: vec![], hint }
+        AuditTxn { reads: vec![(var, value)], writes: vec![], hint, ..AuditTxn::default() }
     }
 
     fn write_txn(var: usize, value: i64, hint: u64) -> AuditTxn {
-        AuditTxn { reads: vec![], writes: vec![(var, value)], hint }
+        AuditTxn { reads: vec![], writes: vec![(var, value)], hint, ..AuditTxn::default() }
     }
 }

@@ -109,6 +109,9 @@ impl stm_runtime::Recorder for HistoryRecorder {
             reads: record.reads.iter().map(|(v, x)| (v.index(), *x)).collect(),
             writes: record.writes.iter().map(|(v, x)| (v.index(), *x)).collect(),
             hint,
+            footprint: stm_runtime::footprint_of(
+                record.reads.keys().chain(record.writes.keys()).map(|v| v.index()),
+            ),
         };
         self.sessions[session].lock().push(txn);
     }

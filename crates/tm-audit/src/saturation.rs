@@ -419,7 +419,12 @@ mod tests {
                     vec![]
                 };
                 let hint = h.txn_count() as u64;
-                h.sessions[s].push(crate::history::AuditTxn { reads, writes, hint });
+                h.sessions[s].push(crate::history::AuditTxn {
+                    reads,
+                    writes,
+                    hint,
+                    ..Default::default()
+                });
             }
 
             let po = build(&h);

@@ -358,7 +358,7 @@ impl Frontier {
     fn stand_in(&self, id: TxnId) -> AuditTxn {
         let mut writes = self.writes_of.get(&id).cloned().unwrap_or_default();
         writes.sort_unstable();
-        AuditTxn { reads: Vec::new(), writes, hint: 0 }
+        AuditTxn { reads: Vec::new(), writes, hint: 0, footprint: 0 }
     }
 
     /// The writers owning each variable's latest value — materialized
@@ -461,6 +461,13 @@ impl WindowedAuditor {
     /// convicted mid-run.
     pub fn convicted(&self) -> Option<&Conviction> {
         self.first_conviction.as_ref()
+    }
+
+    /// The verdicts of every window closed so far, in stream order — the
+    /// live-tailing surface the sharded pipeline and the serve endpoint emit
+    /// window records from, without waiting for [`WindowedAuditor::finish`].
+    pub fn verdicts(&self) -> &[WindowVerdict] {
+        &self.verdicts
     }
 
     /// Ingest one committed transaction.  Transactions of the same session
@@ -682,7 +689,8 @@ impl WindowedAuditor {
             self.evicted_seq += 1;
             self.evicted_attributions += 1;
             let aw = self.active.as_mut().expect("active window");
-            let txn = AuditTxn { reads: Vec::new(), writes: vec![(var, value)], hint: 0 };
+            let txn =
+                AuditTxn { reads: Vec::new(), writes: vec![(var, value)], hint: 0, footprint: 0 };
             if let Err(err) = aw.po.extend_detached(id, &txn) {
                 aw.defect = Some(err);
             }
@@ -835,6 +843,24 @@ impl WindowedAuditor {
     }
 }
 
+/// Anything an ordered transaction stream can be fed into: the unsharded
+/// [`WindowedAuditor`], or the sharded router in [`crate::partition`].
+///
+/// A [`StreamMerger`] releases records through this trait, so the merge stage
+/// is shared by every streaming topology.  Implementations require the same
+/// contract as [`WindowedAuditor::push`]: transactions of one session arrive
+/// in session order.
+pub trait TxnSink {
+    /// Deliver one committed transaction of `session`.
+    fn push_txn(&mut self, session: usize, txn: AuditTxn);
+}
+
+impl TxnSink for WindowedAuditor {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        self.push(session, txn);
+    }
+}
+
 /// Re-interleaves per-session [`CommitBatch`]es into global recording order
 /// before they reach a [`WindowedAuditor`].
 ///
@@ -874,7 +900,7 @@ impl StreamMerger {
 
     /// Buffer one batch and release everything below the new watermark into
     /// the auditor.
-    pub fn push_batch(&mut self, batch: &CommitBatch, auditor: &mut WindowedAuditor) {
+    pub fn push_batch(&mut self, batch: &CommitBatch, auditor: &mut impl TxnSink) {
         for record in &batch.records {
             self.buffered.insert((record.hint, batch.session), audit_txn_of(record));
             let highest = &mut self.highest[batch.session];
@@ -897,17 +923,17 @@ impl StreamMerger {
     }
 
     /// Release every buffered record once the stream has closed.
-    pub fn finish(mut self, auditor: &mut WindowedAuditor) {
+    pub fn finish(mut self, auditor: &mut impl TxnSink) {
         self.release(u64::MAX, auditor);
     }
 
-    fn release(&mut self, watermark: u64, auditor: &mut WindowedAuditor) {
+    fn release(&mut self, watermark: u64, auditor: &mut impl TxnSink) {
         while let Some((&(hint, session), _)) = self.buffered.first_key_value() {
             if hint > watermark {
                 break;
             }
             let txn = self.buffered.remove(&(hint, session)).expect("first key exists");
-            auditor.push(session, txn);
+            auditor.push_txn(session, txn);
         }
     }
 }
@@ -919,6 +945,9 @@ fn audit_txn_of(record: &stm_runtime::OwnedCommitRecord) -> AuditTxn {
         reads: record.reads.iter().map(|&(v, x)| (v.index(), x)).collect(),
         writes: record.writes.iter().map(|&(v, x)| (v.index(), x)).collect(),
         hint: record.hint,
+        // Carry the band mask precomputed on the committing thread, so the
+        // sharded router never re-hashes the variable sets.
+        footprint: record.footprint,
     }
 }
 

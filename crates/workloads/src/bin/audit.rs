@@ -27,15 +27,29 @@
 //! * `--txns N` — committed transactions per thread (default 2500);
 //! * `--vars N` — scenario variable pool size (default 64);
 //! * `--seed N` — workload seed (default 2024);
-//! * `--audit[=WINDOW]` — audit the run: bare `--audit` checks the whole
-//!   history in one batch; `--audit=WINDOW` streams it through rolling
-//!   windows of `WINDOW` transactions, concurrently with the workload, with
-//!   bounded memory (the mode that scales past ~10⁵ transactions).  Only
-//!   *recordable* scenarios (unique write values) can be audited: asking for
-//!   an audited `bank` run is an error, and `--scenario all` skips it with a
-//!   note;
+//! * `--audit[=SPEC]` — audit the run: bare `--audit` checks the whole
+//!   history in one batch; `--audit=WINDOW` (a number) streams it through
+//!   rolling windows of `WINDOW` transactions, concurrently with the
+//!   workload, with bounded memory (the mode that scales past ~10⁵
+//!   transactions); `--audit=window[:size=N][:shards=K][:overlap=M]` is the
+//!   full streaming spec — `shards=K` fans the stream out to `K`
+//!   per-variable-partition windowed auditors plus a cross-partition
+//!   escalation lane, so audit throughput scales with cores (see
+//!   `tm-audit::partition` for the soundness statement).  Only *recordable*
+//!   scenarios (unique write values) can be audited: asking for an audited
+//!   `bank` run is an error, and `--scenario all` skips it with a note;
 //! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
 //! * `--budget N` — SI/SER search state budget (default 2,000,000);
+//! * `--serve` — the long-running ops endpoint: keep the process alive
+//!   running audited rounds of the chosen scenario back to back, tailing
+//!   line-delimited JSON records (per-window verdicts, convictions,
+//!   per-partition lag, per-round merged verdicts) to stdout — and to
+//!   `--sink PATH` — until SIGTERM/ctrl-c, which finishes the current round
+//!   and shuts down cleanly.  Requires one scenario and one backend; implies
+//!   `--audit=window:shards=4` unless a streaming spec is given;
+//! * `--serve-rounds N` — stop serving after N rounds (0 = until signal);
+//! * `--sink PATH` — also append every serve record to PATH (a file another
+//!   process can tail);
 //! * `--json PATH` — additionally write the machine-readable report
 //!   (throughput, attempt percentiles, per-level verdicts) to PATH;
 //! * `--fail-on-violation` — exit 1 if any audited run shows a definite
@@ -46,14 +60,17 @@
 //! Without `--audit` the workload runs unrecorded and only throughput,
 //! attempt percentiles and the scenario's own invariant are reported.
 
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use stm_runtime::{policy, BackendId, RetryPolicy};
 use tm_audit::linearization::DEFAULT_STATE_BUDGET;
-use tm_audit::WindowConfig;
+use tm_audit::report::json_escape;
+use tm_audit::{PartitionLag, ShardConfig, ShardEvent, WindowConfig};
 use workloads::{
-    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_streaming,
-    scenario_by_name, Scenario, ScenarioConfig,
+    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_sharded,
+    run_scenario_audited_streaming, scenario_by_name, Scenario, ScenarioConfig,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +78,48 @@ enum AuditMode {
     Off,
     Batch,
     Streaming { window: usize },
+    Sharded { window: usize, shards: usize },
+}
+
+/// Parse the value of `--audit=SPEC`: a bare number (legacy window size) or
+/// `window[:size=N][:shards=K][:overlap=M]`.  Returns the mode plus the
+/// spec's overlap override, if any.
+fn parse_audit_spec(spec: &str) -> Result<(AuditMode, Option<usize>), String> {
+    if let Ok(window) = spec.parse::<usize>() {
+        if window < 2 {
+            return Err("--audit=WINDOW needs WINDOW ≥ 2".into());
+        }
+        return Ok((AuditMode::Streaming { window }, None));
+    }
+    let mut parts = spec.split(':');
+    if parts.next() != Some("window") {
+        return Err(format!(
+            "--audit={spec:?}: expected a window size or window[:size=N][:shards=K][:overlap=M]"
+        ));
+    }
+    let (mut size, mut shards, mut overlap) = (2_048usize, None::<usize>, None::<usize>);
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--audit spec element {part:?} is not key=value"))?;
+        let parsed: usize =
+            value.parse().map_err(|e| format!("--audit spec {key}={value:?}: {e}"))?;
+        match key {
+            "size" => size = parsed,
+            "shards" => shards = Some(parsed),
+            "overlap" => overlap = Some(parsed),
+            other => return Err(format!("--audit spec has no key {other:?}")),
+        }
+    }
+    if size < 2 {
+        return Err("--audit=window:size=N needs N ≥ 2".into());
+    }
+    let mode = match shards {
+        Some(0) => return Err("--audit=window:shards=K needs K ≥ 1".into()),
+        Some(k) => AuditMode::Sharded { window: size, shards: k },
+        None => AuditMode::Streaming { window: size },
+    };
+    Ok((mode, overlap))
 }
 
 struct Args {
@@ -80,6 +139,9 @@ struct Args {
     json: Option<String>,
     fail_on_violation: bool,
     list: bool,
+    serve: bool,
+    serve_rounds: u64,
+    sink: Option<String>,
 }
 
 impl Default for Args {
@@ -99,6 +161,9 @@ impl Default for Args {
             json: None,
             fail_on_violation: false,
             list: false,
+            serve: false,
+            serve_rounds: 0,
+            sink: None,
         }
     }
 }
@@ -119,6 +184,7 @@ fn parse_scenarios(name: &str) -> Result<(Vec<Arc<dyn Scenario>>, bool), String>
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
+    let mut spec_overlap = None;
     let mut it = argv.iter().peekable();
     let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                     flag: &str|
@@ -163,24 +229,49 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value_of(&mut it, "--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
             }
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
+            "--sink" => args.sink = Some(value_of(&mut it, "--sink")?),
             "--fail-on-violation" => args.fail_on_violation = true,
             "--audit" => args.mode = AuditMode::Batch,
+            "--serve" => args.serve = true,
+            "--serve-rounds" => {
+                args.serve_rounds = value_of(&mut it, "--serve-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--serve-rounds: {e}"))?
+            }
             "--list" => args.list = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--audit=") => {
-                let window: usize = other["--audit=".len()..]
-                    .parse()
-                    .map_err(|e| format!("--audit=WINDOW: {e}"))?;
-                if window < 2 {
-                    return Err("--audit=WINDOW needs WINDOW ≥ 2".into());
-                }
-                args.mode = AuditMode::Streaming { window };
+                let (mode, overlap) = parse_audit_spec(&other["--audit=".len()..])?;
+                args.mode = mode;
+                spec_overlap = overlap;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    // An explicit --overlap flag wins over the spec's overlap= element.
+    args.overlap = args.overlap.or(spec_overlap);
     if args.threads == 0 || args.txns == 0 || args.vars == 0 {
         return Err("--threads, --txns and --vars must be positive".into());
+    }
+    if args.serve {
+        match args.mode {
+            AuditMode::Off => args.mode = AuditMode::Sharded { window: 2_048, shards: 4 },
+            AuditMode::Batch => {
+                return Err("--serve streams windowed verdicts; combine it with \
+                            --audit=window[:shards=K], not batch --audit"
+                    .into())
+            }
+            AuditMode::Streaming { .. } | AuditMode::Sharded { .. } => {}
+        }
+        if args.scenarios.len() != 1 || args.backends.len() != 1 {
+            return Err("--serve needs exactly one --scenario and one --backend".into());
+        }
+        if !args.scenarios[0].recordable() {
+            return Err(format!(
+                "--serve: scenario {:?} is not auditable (no unique-write contract)",
+                args.scenarios[0].name()
+            ));
+        }
     }
     Ok(args)
 }
@@ -188,11 +279,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn usage() {
     eprintln!(
         "usage: audit [--backend NAME|all] [--scenario NAME|all] [--retry POLICY]\n\
-         \x20            [--threads N] [--txns N] [--vars N] [--seed N] [--audit[=WINDOW]]\n\
-         \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation] [--list]\n\
+         \x20            [--threads N] [--txns N] [--vars N] [--seed N]\n\
+         \x20            [--audit[=WINDOW | window[:size=N][:shards=K][:overlap=M]]]\n\
+         \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation]\n\
+         \x20            [--serve] [--serve-rounds N] [--sink PATH] [--list]\n\
          \n\
          backends and scenarios resolve through their registries; run `audit --list`\n\
-         to see what is registered."
+         to see what is registered.  --serve keeps the process alive running audited\n\
+         rounds back to back, streaming line-delimited JSON verdict/window/lag records\n\
+         to stdout (and --sink PATH) until SIGTERM/ctrl-c."
     );
 }
 
@@ -253,6 +348,211 @@ fn print_run_line(run: &workloads::ScenarioRunReport) {
     }
 }
 
+fn window_config(window: usize, args: &Args) -> WindowConfig {
+    let mut wc = WindowConfig::sized(window);
+    wc.budget = args.budget;
+    if let Some(overlap) = args.overlap {
+        wc.overlap = overlap;
+    }
+    wc
+}
+
+/// Set by the SIGTERM/SIGINT handler; the serve loop finishes its current
+/// round and shuts down cleanly when it flips.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn handle_stop_signal(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGTERM/SIGINT handlers for `--serve` via the libc already
+/// linked into every Rust binary — no signal crate exists in this offline
+/// build environment, and an atomic flag is all clean shutdown needs.
+fn install_stop_handlers() {
+    type SigHandler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the POSIX libc function; the handler only touches
+    // an atomic flag, which is async-signal-safe.
+    unsafe {
+        signal(SIGINT, handle_stop_signal);
+        signal(SIGTERM, handle_stop_signal);
+    }
+}
+
+/// Where serve records go: stdout always, plus the optional `--sink` file.
+struct ServeEmitter {
+    sink: Option<Mutex<std::fs::File>>,
+}
+
+impl ServeEmitter {
+    fn open(sink: Option<&str>) -> Result<Self, String> {
+        let sink = match sink {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("--sink {path}: {e}"))?,
+            )),
+            None => None,
+        };
+        Ok(ServeEmitter { sink })
+    }
+
+    /// Emit one line-delimited JSON record.
+    fn emit(&self, record: &str) {
+        println!("{record}");
+        if let Some(file) = &self.sink {
+            let mut file = file.lock().expect("sink file lock");
+            let _ = writeln!(file, "{record}");
+            let _ = file.flush();
+        }
+    }
+}
+
+fn lag_json(partitions: &[PartitionLag]) -> String {
+    let entries: Vec<String> = partitions
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"partition\":{},\"escalation\":{},\"routed\":{},\"ingested\":{},\
+                 \"queued\":{},\"windows\":{}}}",
+                l.partition,
+                l.escalation,
+                l.routed,
+                l.ingested,
+                l.queued(),
+                l.windows
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn emit_event(emitter: &ServeEmitter, round: u64, event: &ShardEvent) {
+    match event {
+        ShardEvent::Window { partition, escalation, index, txns, summary, elapsed } => {
+            emitter.emit(&format!(
+                "{{\"type\":\"window\",\"round\":{round},\"partition\":{partition},\
+                 \"escalation\":{escalation},\"window\":{index},\"txns\":{txns},\
+                 \"verdict\":\"{}\",\"elapsed_ms\":{:.3}}}",
+                json_escape(summary),
+                elapsed.as_secs_f64() * 1e3
+            ));
+        }
+        ShardEvent::Conviction { partition, escalation, conviction } => {
+            emitter.emit(&format!(
+                "{{\"type\":\"conviction\",\"round\":{round},\"partition\":{partition},\
+                 \"escalation\":{escalation},\"level\":\"{}\",\"window\":{},\
+                 \"txns_seen\":{},\"violation\":\"{}\"}}",
+                conviction.level.name(),
+                conviction.window,
+                conviction.txns_seen,
+                json_escape(&conviction.violation)
+            ));
+        }
+        ShardEvent::Lag { partitions } => {
+            emitter.emit(&format!(
+                "{{\"type\":\"lag\",\"round\":{round},\"partitions\":{}}}",
+                lag_json(partitions)
+            ));
+        }
+    }
+}
+
+/// The `--serve` ops endpoint: audited rounds back to back, each round's
+/// window verdicts / convictions / partition lag streamed as JSON lines
+/// while the workload runs, until SIGTERM/SIGINT or `--serve-rounds`.
+fn serve(args: &Args) -> ExitCode {
+    let (window, shards) = match args.mode {
+        AuditMode::Sharded { window, shards } => (window, shards),
+        AuditMode::Streaming { window } => (window, 1),
+        _ => unreachable!("parse_args forces a streaming mode under --serve"),
+    };
+    let scenario = &args.scenarios[0];
+    let backend = args.backends[0];
+    let emitter = match ServeEmitter::open(args.sink.as_deref()) {
+        Ok(emitter) => emitter,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    install_stop_handlers();
+    emitter.emit(&format!(
+        "{{\"type\":\"serve-start\",\"scenario\":\"{}\",\"backend\":\"{backend}\",\
+         \"shards\":{shards},\"window\":{window},\"threads\":{},\"txns_per_round\":{},\
+         \"pid\":{}}}",
+        scenario.name(),
+        args.threads,
+        args.threads * args.txns,
+        std::process::id()
+    ));
+    let mut rounds = 0u64;
+    let mut violated = false;
+    while !STOP.load(Ordering::SeqCst) {
+        if args.serve_rounds > 0 && rounds >= args.serve_rounds {
+            break;
+        }
+        let config = ScenarioConfig {
+            backend,
+            threads: args.threads,
+            txns_per_thread: args.txns,
+            vars: args.vars,
+            // A fresh seed per round: sustained traffic, not one replayed run.
+            seed: args.seed.wrapping_add(rounds),
+            policy: Arc::clone(&args.policy),
+        };
+        let shard = ShardConfig::new(shards, window_config(window, args));
+        let (events_tx, events_rx) = std::sync::mpsc::channel::<ShardEvent>();
+        let round = rounds;
+        let report = std::thread::scope(|scope| {
+            let emitter = &emitter;
+            let printer = scope.spawn(move || {
+                while let Ok(event) = events_rx.recv() {
+                    emit_event(emitter, round, &event);
+                }
+            });
+            let report =
+                run_scenario_audited_sharded(scenario.as_ref(), &config, shard, Some(events_tx));
+            printer.join().expect("serve printer panicked");
+            report
+        });
+        let report = match report {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        violated |= report.run.check.invariant == Some(false)
+            || tm_audit::Level::ALL.iter().any(|&l| report.sharded.fails(l));
+        emitter.emit(&format!(
+            "{{\"type\":\"verdict\",\"round\":{round},\"summary\":\"{}\",\"commits\":{},\
+             \"throughput\":{:.0},\"drain_ms\":{:.3},\"report\":{}}}",
+            json_escape(&report.sharded.summary()),
+            report.run.commits,
+            report.run.throughput,
+            report.drain_elapsed.as_secs_f64() * 1e3,
+            report.sharded.to_json()
+        ));
+        rounds += 1;
+    }
+    let reason = if STOP.load(Ordering::SeqCst) { "signal" } else { "rounds-exhausted" };
+    emitter
+        .emit(&format!("{{\"type\":\"serve-stop\",\"rounds\":{rounds},\"reason\":\"{reason}\"}}"));
+    if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Make this crate's contributed backends ("global-lock") resolvable
     // before any name parsing happens.
@@ -272,6 +572,9 @@ fn main() -> ExitCode {
     if args.list {
         print_registries();
         return ExitCode::SUCCESS;
+    }
+    if args.serve {
+        return serve(&args);
     }
 
     let mut json_entries: Vec<String> = Vec::new();
@@ -343,12 +646,36 @@ fn main() -> ExitCode {
                         report.audit.to_json()
                     ));
                 }
+                AuditMode::Sharded { window, shards } => {
+                    let shard = ShardConfig::new(shards, window_config(window, &args));
+                    let report =
+                        match run_scenario_audited_sharded(scenario.as_ref(), &config, shard, None)
+                        {
+                            Ok(report) => report,
+                            Err(msg) => {
+                                eprintln!("error: {msg}");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    violated |= report.run.check.invariant == Some(false)
+                        || tm_audit::Level::ALL.iter().any(|&l| report.sharded.fails(l));
+                    print_run_line(&report.run);
+                    println!(
+                        "  merged verdict {:.3?} after run end ({} txns through {} partitions \
+                         + escalation lane)",
+                        report.drain_elapsed, report.sharded.total_txns, report.shard.shards
+                    );
+                    print!("  {}", report.sharded);
+                    println!("  verdict: {}\n", report.sharded.summary());
+                    json_entries.push(format!(
+                        "{{{},\"mode\":\"window-sharded\",\"drain_ms\":{:.3},\"report\":{}}}",
+                        json_run_fields(&report.run),
+                        report.drain_elapsed.as_secs_f64() * 1e3,
+                        report.sharded.to_json()
+                    ));
+                }
                 AuditMode::Streaming { window } => {
-                    let mut wc = WindowConfig::sized(window);
-                    wc.budget = args.budget;
-                    if let Some(overlap) = args.overlap {
-                        wc.overlap = overlap;
-                    }
+                    let wc = window_config(window, &args);
                     let report =
                         match run_scenario_audited_streaming(scenario.as_ref(), &config, wc) {
                             Ok(report) => report,

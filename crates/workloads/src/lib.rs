@@ -22,8 +22,11 @@
 //!   ([`runner::run_threads`]), scenario runs ([`runner::run_scenario`]), and the
 //!   audit modes that record every commit through `tm-audit` and prove which
 //!   consistency levels the run satisfied — whole-run batch
-//!   ([`runner::run_scenario_audited`]) or bounded-memory streaming windows
-//!   concurrent with the workload ([`runner::run_scenario_audited_streaming`]).
+//!   ([`runner::run_scenario_audited`]), bounded-memory streaming windows
+//!   concurrent with the workload ([`runner::run_scenario_audited_streaming`]),
+//!   or the multi-core sharded partition pipeline with live window/lag events
+//!   ([`runner::run_scenario_audited_sharded`], the engine behind the audit
+//!   CLI's `--audit=window:shards=K` and `--serve` modes).
 //!   Reports carry the attempt histogram percentiles (p50/p99) so retry
 //!   policies are measurable.
 //!
@@ -44,9 +47,9 @@ pub mod zipf;
 pub use bank::{Bank, BankConfig};
 pub use runner::{
     run_audited, run_audited_streaming, run_scenario, run_scenario_audited,
-    run_scenario_audited_streaming, run_threads, stalled_writer_experiment, AuditedRunReport,
-    AuditedScenarioReport, RunConfig, RunReport, ScenarioRunReport, StreamingAuditedReport,
-    StreamingScenarioReport,
+    run_scenario_audited_sharded, run_scenario_audited_streaming, run_threads,
+    stalled_writer_experiment, AuditedRunReport, AuditedScenarioReport, RunConfig, RunReport,
+    ScenarioRunReport, ShardedScenarioReport, StreamingAuditedReport, StreamingScenarioReport,
 };
 pub use scenario::{
     all_scenarios, scenario_by_name, Scenario, ScenarioCheck, ScenarioConfig, ScenarioState,

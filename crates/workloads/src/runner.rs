@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 use stm_runtime::{recorder, BackendId, Stm, StreamingRecorder};
 use tm_audit::HistoryRecorder;
 use tm_audit::{
-    audit_with_budget, AuditReport, AuditRunConfig, StreamMerger, StreamReport, WindowConfig,
-    WindowedAuditor,
+    audit_with_budget, AuditReport, AuditRunConfig, ShardConfig, ShardEvent, ShardedAuditor,
+    ShardedStreamReport, StreamMerger, StreamReport, WindowConfig, WindowedAuditor,
 };
 
 /// Configuration of one runner invocation.
@@ -383,6 +383,92 @@ pub fn run_scenario_audited_streaming(
     })
 }
 
+/// A scenario run audited concurrently by the sharded partition pipeline
+/// (`K` per-variable-partition windowed auditors + the escalation lane).
+#[derive(Debug, Clone)]
+pub struct ShardedScenarioReport {
+    /// The workload-side measurements.
+    pub run: ScenarioRunReport,
+    /// The pipeline shape the sharded auditor used.
+    pub shard: ShardConfig,
+    /// Time from workload end to the final merged verdict.
+    pub drain_elapsed: Duration,
+    /// The stitched per-partition verdicts and pipeline statistics.
+    pub sharded: ShardedStreamReport,
+}
+
+/// Run a recordable scenario while a [`ShardedAuditor`] checks it on `K`
+/// partition threads concurrently with the workload.
+///
+/// When `events` is given, live [`ShardEvent`]s stream into it while the run
+/// is going: every closed window's verdict, first convictions, and a
+/// periodic per-partition lag sample (every ~200 ms) — the feed the audit
+/// CLI's `--serve` endpoint tails as JSON lines.
+pub fn run_scenario_audited_sharded(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    shard: ShardConfig,
+    events: Option<std::sync::mpsc::Sender<ShardEvent>>,
+) -> Result<ShardedScenarioReport, String> {
+    require_recordable(scenario)?;
+    let recorder_arc = Arc::new(StreamingRecorder::new(config.threads, 256));
+    let consumer = recorder_arc.consumer();
+    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
+        .with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let vars = state.words();
+    let auditor = match &events {
+        Some(tx) => ShardedAuditor::with_events(vars, 0, shard, tx.clone()),
+        None => ShardedAuditor::new(vars, 0, shard),
+    };
+    let shard = auditor.config();
+    let probe = auditor.lag_probe();
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let (elapsed, sharded) = std::thread::scope(|scope| {
+        let sessions = config.threads;
+        let router = scope.spawn(move || {
+            let mut auditor = auditor;
+            let mut merger = StreamMerger::new(sessions);
+            while let Some(batch) = consumer.recv() {
+                merger.push_batch(&batch, &mut auditor);
+            }
+            merger.finish(&mut auditor);
+            auditor.finish()
+        });
+        let sampler = events.as_ref().map(|tx| {
+            let tx = tx.clone();
+            let probe = probe.clone();
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(200));
+                    if tx.send(ShardEvent::Lag { partitions: probe.sample() }).is_err() {
+                        break;
+                    }
+                }
+            })
+        });
+        let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
+        recorder_arc.finish();
+        let sharded = router.join().expect("sharded auditor router panicked");
+        done.store(true, Ordering::SeqCst);
+        if let Some(sampler) = sampler {
+            sampler.join().expect("lag sampler panicked");
+        }
+        // Always close with one drained lag sample, so short runs still get
+        // a lag record even when the periodic sampler never fired.
+        if let Some(tx) = &events {
+            let _ = tx.send(ShardEvent::Lag { partitions: probe.sample() });
+        }
+        (elapsed, sharded)
+    });
+    let total = start.elapsed();
+    stm.take_recorder();
+    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    Ok(ShardedScenarioReport { run, shard, drain_elapsed: total.saturating_sub(elapsed), sharded })
+}
+
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the
 /// hot variable and then stalls for `stall` (holding its encounter-time lock on the
 /// blocking backend), while `victims` other threads keep incrementing their own
@@ -581,6 +667,42 @@ mod tests {
             run_scenario_audited_streaming(&scenario, &config, WindowConfig::sized(100)).unwrap();
         assert_eq!(streaming.stream.total_txns, 300);
         assert!(streaming.stream.passes(Level::Serializable), "{}", streaming.stream.merged);
+    }
+
+    #[test]
+    fn sharded_audited_scenarios_agree_and_stream_events() {
+        use tm_audit::Level;
+        let scenario = crate::scenarios::RegistersScenario;
+        let config = ScenarioConfig {
+            threads: 2,
+            txns_per_thread: 200,
+            vars: 16,
+            ..ScenarioConfig::new(BackendKind::Tl2Blocking)
+        };
+        let shard = ShardConfig::new(4, tm_audit::WindowConfig::sized(64));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let report = run_scenario_audited_sharded(&scenario, &config, shard, Some(tx)).unwrap();
+        assert_eq!(report.sharded.total_txns, 400);
+        for level in Level::ALL {
+            assert!(report.sharded.passes(level), "{level}: {}", report.sharded.merged);
+        }
+        let events: Vec<ShardEvent> = rx.try_iter().collect();
+        let windows = events.iter().filter(|e| matches!(e, ShardEvent::Window { .. })).count();
+        assert_eq!(
+            windows,
+            report.sharded.partitions.iter().map(|p| p.stream.windows.len()).sum::<usize>()
+        );
+
+        // The sharded pipeline convicts an inconsistent backend, mid-stream.
+        let pram = ScenarioConfig {
+            threads: 4,
+            txns_per_thread: 300,
+            vars: 8,
+            ..ScenarioConfig::new(BackendKind::PramLocal)
+        };
+        let report = run_scenario_audited_sharded(&scenario, &pram, shard, None).unwrap();
+        assert!(report.sharded.fails(Level::Serializable), "{}", report.sharded.merged);
+        assert!(report.sharded.first_conviction.is_some());
     }
 
     #[test]

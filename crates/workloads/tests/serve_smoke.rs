@@ -1,0 +1,138 @@
+//! Smoke test for the audit CLI's `--serve` ops endpoint: spawn the real
+//! binary under the `kv-zipf` scenario, read streamed line-delimited JSON
+//! records off its stdout, assert the record schema (window verdicts with
+//! window ids, per-partition lag), then SIGTERM it and require a clean
+//! shutdown with a `serve-stop` record.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn serve_endpoint_streams_records_and_shuts_down_cleanly_on_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args([
+            "--serve",
+            "--scenario",
+            "kv-zipf",
+            "--backend",
+            "tl2",
+            "--threads",
+            "2",
+            "--txns",
+            "400",
+            "--vars",
+            "32",
+            "--audit=window:size=64:shards=2",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let (lines_tx, lines_rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if lines_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Collect records until the endpoint has proven it streams: at least
+    // three window verdicts and one lag snapshot.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        let windows = lines.iter().filter(|l| l.contains("\"type\":\"window\"")).count();
+        let lags = lines.iter().filter(|l| l.contains("\"type\":\"lag\"")).count();
+        if windows >= 3 && lags >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out with {windows} window and {lags} lag records:\n{}",
+            lines.join("\n")
+        );
+        match lines_rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(line) => lines.push(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("serve endpoint closed its stdout early:\n{}", lines.join("\n"))
+            }
+        }
+    }
+
+    // Schema: the start record announces the pipeline shape…
+    let start =
+        lines.iter().find(|l| l.contains("\"type\":\"serve-start\"")).expect("start record");
+    for field in ["\"scenario\":\"kv-zipf\"", "\"shards\":2", "\"window\":64", "\"pid\":"] {
+        assert!(start.contains(field), "{field} missing from {start}");
+    }
+    // …window records carry the window id, owning partition and verdict…
+    let window = lines.iter().find(|l| l.contains("\"type\":\"window\"")).expect("window record");
+    for field in ["\"round\":", "\"partition\":", "\"window\":", "\"txns\":", "\"verdict\":\"RC "] {
+        assert!(window.contains(field), "{field} missing from {window}");
+    }
+    // …and lag records carry per-partition lag counters.
+    let lag = lines.iter().find(|l| l.contains("\"type\":\"lag\"")).expect("lag record");
+    for field in ["\"partitions\":[", "\"routed\":", "\"ingested\":", "\"queued\":", "\"windows\":"]
+    {
+        assert!(lag.contains(field), "{field} missing from {lag}");
+    }
+
+    // SIGTERM → the endpoint finishes its round, emits serve-stop, exits 0.
+    let status = Command::new("kill")
+        .args(["-s", "TERM", &child.id().to_string()])
+        .status()
+        .expect("running kill");
+    assert!(status.success(), "kill -TERM failed: {status}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let exit = loop {
+        if let Some(exit) = child.try_wait().expect("try_wait") {
+            break exit;
+        }
+        assert!(Instant::now() < deadline, "serve endpoint did not exit after SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(exit.success(), "clean shutdown must exit 0, got {exit}");
+    reader.join().expect("reader thread");
+    lines.extend(lines_rx.try_iter());
+    let stop = lines.iter().rfind(|l| l.contains("\"type\":\"serve-stop\"")).expect("stop record");
+    assert!(stop.contains("\"reason\":\"signal\""), "{stop}");
+    assert!(stop.contains("\"rounds\":"), "{stop}");
+}
+
+/// `--serve-rounds N` ends the endpoint by itself (no signal needed) — the
+/// bounded mode CI's serve smoke job uses.
+#[test]
+fn serve_rounds_limit_stops_the_endpoint_cleanly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args([
+            "--serve",
+            "--serve-rounds",
+            "2",
+            "--scenario",
+            "registers",
+            "--backend",
+            "obstruction-free",
+            "--threads",
+            "2",
+            "--txns",
+            "150",
+            "--vars",
+            "16",
+            "--audit=window:size=32:shards=4",
+        ])
+        .output()
+        .expect("running the audit binary");
+    assert!(output.status.success(), "exit: {:?}", output.status);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let verdicts = stdout.matches("\"type\":\"verdict\"").count();
+    assert_eq!(verdicts, 2, "one verdict record per round:\n{stdout}");
+    assert!(stdout.contains("\"reason\":\"rounds-exhausted\""), "{stdout}");
+    // Round verdicts embed the full sharded report.
+    assert!(stdout.contains("\"merged\":{"), "{stdout}");
+    assert!(stdout.contains("\"escalation\":true"), "{stdout}");
+}

@@ -132,7 +132,12 @@ fn windowed_violations_are_always_real_on_adversarial_histories() {
                 vec![]
             };
             let hint = h.txn_count() as u64;
-            h.sessions[s].push(pcl_tm::audit::AuditTxn { reads, writes, hint });
+            h.sessions[s].push(pcl_tm::audit::AuditTxn {
+                reads,
+                writes,
+                hint,
+                ..Default::default()
+            });
         }
         let batch = audit(&h);
         let stream = audit_streamed(&h, WindowConfig { size: 12, overlap: 4, ..suite_window() });
