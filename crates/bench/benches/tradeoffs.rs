@@ -9,7 +9,10 @@
 //! * **TRADE1 — disjoint workloads**: per-thread account partitions, zero conflicts.
 //!   Expected shape: the DAP designs scale with threads; the global-lock backend
 //!   does not — that is exactly its sacrificed corner — and `shard-lock` sits in
-//!   between (16 bands' worth of false conflicts).
+//!   between (16 bands' worth of false conflicts).  A `trade1-metrics-overhead`
+//!   family re-measures the 4-thread point as an interleaved off/on pair per
+//!   backend, so the artifact carries a drift-free metrics-on-vs-off
+//!   overhead comparison.
 //! * **TRADE2 — contended workloads**: Zipfian hot accounts.  Expected shape: the
 //!   obstruction-free backend turns contention into aborts/retries, the blocking
 //!   backends into waiting; PRAM-local is unaffected (it shares nothing) — but it
@@ -41,7 +44,7 @@
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): TRADE1, TRADE2, TRADE3,
 //! DAPCOST, POLICY, SEP, AUDIT4.
 
-use bench::harness::{bench, black_box, write_json, Samples};
+use bench::harness::{bench, bench_interleaved, black_box, write_json, Samples};
 use std::sync::Arc;
 use std::time::Duration;
 use stm_runtime::{policy, registry, BackendId, Stm};
@@ -109,6 +112,47 @@ fn bench_disjoint_scaling(sizes: &Sizes, sink: &mut Vec<Samples>) {
             ));
         }
     }
+}
+
+/// TRADE1-METRICS: the disjoint-scaling 4-thread point measured as an
+/// *interleaved* off/on pair per backend — the acceptance gauge for
+/// "metrics-on stays within a few percent of metrics-off".  The off baseline
+/// is re-measured here (rather than reusing `trade1-disjoint-scaling`)
+/// because the two variants must sample back-to-back: run minutes apart,
+/// machine drift swamps a single-digit-percent delta.  Each run is
+/// sub-millisecond, so the family takes 4× the usual sample count — `min`
+/// over few samples of a sub-ms run is itself noisier than the delta under
+/// measurement.  Compare `trade1-metrics-overhead/{backend}/on/4` against
+/// its `off/4` twin.
+fn bench_metrics_overhead(sizes: &Sizes, sink: &mut Vec<Samples>) {
+    let samples = sizes.samples * 4;
+    for backend in all_backends() {
+        let run = || {
+            let report = run_threads(RunConfig {
+                backend,
+                threads: 4,
+                tx_per_thread: sizes.tx_per_thread,
+                bank: BankConfig { accounts: 64, cross_fraction: 0.0, ..Default::default() },
+            });
+            black_box(report.throughput)
+        };
+        let (off, on) = bench_interleaved(
+            &format!("trade1-metrics-overhead/{backend}/off/4"),
+            || {
+                tm_telemetry::set_enabled(false);
+                run()
+            },
+            &format!("trade1-metrics-overhead/{backend}/on/4"),
+            || {
+                tm_telemetry::set_enabled(true);
+                run()
+            },
+            samples,
+        );
+        sink.push(off);
+        sink.push(on);
+    }
+    tm_telemetry::set_enabled(false);
 }
 
 /// TRADE2: Zipfian hotspot contention.
@@ -262,6 +306,7 @@ fn main() {
     let sizes = Sizes::from_env();
     let mut sink: Vec<Samples> = Vec::new();
     bench_disjoint_scaling(&sizes, &mut sink);
+    bench_metrics_overhead(&sizes, &mut sink);
     bench_contention(&sizes, &mut sink);
     bench_stalled_writer(&sizes, &mut sink);
     bench_read_mostly_ablation(&sizes, &mut sink);

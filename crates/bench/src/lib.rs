@@ -79,6 +79,40 @@ pub mod harness {
         s
     }
 
+    /// Run two variants of one benchmark with their samples interleaved
+    /// (A, B, A, B, …) so slow machine-state drift — frequency scaling,
+    /// cache temperature, background load — hits both variants equally.
+    /// This is the honest way to measure a small overhead delta (e.g.
+    /// metrics-on vs metrics-off): back-to-back pairs make `min`/`median`
+    /// directly comparable, where two separately-run series would fold the
+    /// minutes of drift between them into the delta.  Each variant gets one
+    /// unmeasured warm-up call; both report lines print.
+    pub fn bench_interleaved<T>(
+        name_a: &str,
+        mut a: impl FnMut() -> T,
+        name_b: &str,
+        mut b: impl FnMut() -> T,
+        samples: usize,
+    ) -> (Samples, Samples) {
+        black_box(a());
+        black_box(b());
+        let mut durations_a = Vec::with_capacity(samples.max(1));
+        let mut durations_b = Vec::with_capacity(samples.max(1));
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            black_box(a());
+            durations_a.push(start.elapsed());
+            let start = Instant::now();
+            black_box(b());
+            durations_b.push(start.elapsed());
+        }
+        let sa = Samples { name: name_a.to_string(), durations: durations_a };
+        let sb = Samples { name: name_b.to_string(), durations: durations_b };
+        println!("{}", sa.report());
+        println!("{}", sb.report());
+        (sa, sb)
+    }
+
     /// Serialize a set of measured benchmarks as a machine-readable JSON
     /// document (the shape CI archives as a `BENCH_*.json` artifact so the
     /// perf trajectory accumulates data points across pushes).
@@ -93,7 +127,7 @@ pub mod harness {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\
                  \"samples_ns\":[{}]}}",
-                s.name.replace('"', "'"),
+                tm_telemetry::json::escape(&s.name),
                 s.min().as_nanos(),
                 s.median().as_nanos(),
                 s.mean().as_nanos(),
@@ -140,6 +174,18 @@ pub mod harness {
             assert!(json.contains("\"name\":\"json-noop\""), "{json}");
             assert!(json.contains("\"min_ns\":"), "{json}");
             assert!(json.contains("\"samples_ns\":["), "{json}");
+        }
+
+        #[test]
+        fn bench_names_escape_through_the_shared_json_helper() {
+            // Quotes in a bench name must survive as valid JSON escapes, not
+            // get rewritten into apostrophes like the old hand-rolled writer.
+            let s = Samples {
+                name: "quoted \"name\" \\ tail".to_string(),
+                durations: vec![Duration::from_nanos(5)],
+            };
+            let json = samples_to_json(&[s]);
+            assert!(json.contains("\"name\":\"quoted \\\"name\\\" \\\\ tail\""), "{json}");
         }
 
         #[test]

@@ -80,6 +80,7 @@ pub mod recorder;
 pub mod registry;
 pub mod shardlock;
 pub mod stats;
+pub mod telemetry;
 pub mod tl2;
 pub mod tvar;
 pub mod txn;
@@ -93,12 +94,14 @@ pub use recorder::{
 };
 pub use registry::{BackendId, BackendSpec};
 pub use stats::StmStats;
+pub use telemetry::{LivenessWatchdog, StmTelemetry};
 pub use tvar::TVar;
-pub use txn::{StmError, Txn, TxnData};
+pub use txn::{AbortReason, StmError, Txn, TxnData};
 pub use value::TxnValue;
 
 use policy::{ImmediateRetry, RetryDecision as Decision};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The front-end: a transactional memory instance with a chosen backend and
 /// retry policy.
@@ -108,6 +111,9 @@ pub struct Stm {
     stats: Arc<StmStats>,
     recorder: Option<Arc<dyn Recorder>>,
     policy: Arc<dyn RetryPolicy>,
+    /// `Some` only when metrics are on: the metrics-off commit path pays
+    /// exactly one never-taken branch on this option.
+    tele: Option<Arc<StmTelemetry>>,
 }
 
 impl Stm {
@@ -123,6 +129,8 @@ impl Stm {
             stats: Arc::new(StmStats::default()),
             recorder: None,
             policy: Arc::new(ImmediateRetry),
+            tele: tm_telemetry::enabled()
+                .then(|| Arc::new(StmTelemetry::from_registry(tm_telemetry::global(), id.name()))),
         }
     }
 
@@ -146,6 +154,19 @@ impl Stm {
     pub fn with_policy(mut self, policy: Arc<dyn RetryPolicy>) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attach a telemetry handle (builder style), regardless of the global
+    /// [`tm_telemetry::enabled`] flag.  Tests bind one to a private
+    /// [`tm_telemetry::Registry`] so metric-invariant assertions are exact.
+    pub fn with_telemetry(mut self, tele: StmTelemetry) -> Self {
+        self.tele = Some(Arc::new(tele));
+        self
+    }
+
+    /// The telemetry handle, when metrics are on for this instance.
+    pub fn telemetry(&self) -> Option<&StmTelemetry> {
+        self.tele.as_deref()
     }
 
     /// The retry policy in effect.
@@ -191,44 +212,82 @@ impl Stm {
         &self,
         body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
     ) -> Result<T, StmError> {
-        let result = self.attempt(&body);
-        if result.is_ok() {
-            self.stats.record_attempts(1);
+        match self.attempt(&body) {
+            Ok(v) => {
+                self.stats.record_attempts(1);
+                Ok(v)
+            }
+            Err(_) => Err(StmError::Aborted),
         }
-        result
     }
 
-    /// One raw attempt: begin, run the body, commit or clean up.
+    /// Record an abort in the stats (and the telemetry mirror, when on) and
+    /// surface its classified reason to the retry loop.
+    fn record_abort(&self, data: &mut TxnData) -> AbortReason {
+        let reason = data.abort_reason.take().unwrap_or(AbortReason::Explicit);
+        self.stats.record_abort(reason);
+        if let Some(tele) = &self.tele {
+            tele.on_abort(reason);
+        }
+        reason
+    }
+
+    /// One raw attempt: begin, run the body, commit or clean up.  `Err`
+    /// carries the abort's classified reason (already recorded); callers
+    /// surface it to users as [`StmError::Aborted`].
     fn attempt<T>(
         &self,
         body: &impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
-    ) -> Result<T, StmError> {
+    ) -> Result<T, AbortReason> {
         let mut data = TxnData::default();
         self.backend.begin(&mut data);
+        // The one metrics branch on the hot path: with telemetry off,
+        // `timing` stays false and every stamp below is skipped.  With it
+        // on, only 1 in `telemetry::PHASE_SAMPLE_EVERY` attempts is
+        // wall-clock timed — counters stay exact, clock reads amortize.
+        let t_begin = self.tele.as_ref().and_then(|_| {
+            telemetry::phase_sample_tick().then(|| {
+                data.timing = true;
+                Instant::now()
+            })
+        });
         let mut txn = Txn::new(self.backend.as_ref(), &mut data);
         match body(&mut txn) {
-            Ok(value) => match self.backend.commit(&mut data) {
-                Ok(()) => {
-                    self.stats.record_commit();
-                    if let Some(rec) = &self.recorder {
-                        rec.on_commit(CommitRecord {
-                            session: recorder::current_session(),
-                            reads: &data.read_cache,
-                            writes: &data.write_set,
-                        });
+            Ok(value) => {
+                let t_body_ok = t_begin.map(|_| Instant::now());
+                match self.backend.commit(&mut data) {
+                    Ok(()) => {
+                        self.stats.record_commit();
+                        if let Some(tele) = &self.tele {
+                            match t_begin {
+                                Some(t_begin) => tele.on_commit(
+                                    self.id.name(),
+                                    t_begin,
+                                    t_body_ok.expect("timing on"),
+                                    data.validated_at,
+                                    Instant::now(),
+                                ),
+                                None => tele.on_commit_untimed(),
+                            }
+                        }
+                        if let Some(rec) = &self.recorder {
+                            rec.on_commit(CommitRecord {
+                                session: recorder::current_session(),
+                                reads: &data.read_cache,
+                                writes: &data.write_set,
+                            });
+                        }
+                        Ok(value)
                     }
-                    Ok(value)
+                    Err(_) => {
+                        self.backend.cleanup(&mut data);
+                        Err(self.record_abort(&mut data))
+                    }
                 }
-                Err(_) => {
-                    self.backend.cleanup(&mut data);
-                    self.stats.record_abort();
-                    Err(StmError::Aborted)
-                }
-            },
-            Err(e) => {
+            }
+            Err(_) => {
                 self.backend.cleanup(&mut data);
-                self.stats.record_abort();
-                Err(e)
+                Err(self.record_abort(&mut data))
             }
         }
     }
@@ -272,10 +331,17 @@ impl Stm {
                     self.stats.record_attempts(attempts);
                     return Ok(v);
                 }
-                Err(e) => match self.policy.decide(attempts) {
+                Err(reason) => match self.policy.decide(attempts) {
                     Decision::GiveUp => {
                         self.stats.record_attempts(attempts);
-                        return Err(e);
+                        // The final attempt's abort was recorded under its
+                        // conflict reason; the policy stopping the loop is
+                        // what makes it a give-up, so reclassify it.
+                        self.stats.reclassify_abort(reason, AbortReason::Giveup);
+                        if let Some(tele) = &self.tele {
+                            tele.on_giveup(reason);
+                        }
+                        return Err(StmError::Aborted);
                     }
                     decision => {
                         self.stats.record_retry();
@@ -475,6 +541,12 @@ mod tests {
         });
         assert_eq!(result, Err(StmError::Aborted));
         assert_eq!(stm.stats().aborts(), 3);
+        // The taxonomy classifies the first two aborts as explicit (the body
+        // asked) and reclassifies the final one as the policy's give-up.
+        assert_eq!(stm.stats().aborts_by(AbortReason::Explicit), 2);
+        assert_eq!(stm.stats().aborts_by(AbortReason::Giveup), 1);
+        let sum: u64 = stm.stats().abort_reason_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, stm.stats().aborts());
         // The give-up landed in the attempts histogram at 3 attempts.
         assert_eq!(stm.stats().attempts_p50(), 3);
         // A committing body still succeeds.
@@ -578,6 +650,94 @@ mod tests {
                 }
             });
             assert_eq!(stm.read_now(counter), 800, "{id}: increments must not be lost");
+        }
+    }
+
+    #[test]
+    fn abort_reason_taxonomy_sums_to_total_aborts_under_contention() {
+        // Metric invariant: every abort carries exactly one classified
+        // reason, and conflict aborts never fall through to `Explicit`.
+        for kind in [BackendKind::Tl2Blocking, BackendKind::ObstructionFree] {
+            let stm = Arc::new(Stm::new(kind));
+            let counter = stm.alloc(0i64);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            stm.run(|tx| tx.update(counter, |v| v + 1));
+                        }
+                    });
+                }
+            });
+            let stats = stm.stats();
+            let sum: u64 = stats.abort_reason_counts().iter().map(|(_, n)| n).sum();
+            assert_eq!(sum, stats.aborts(), "{kind:?}");
+            assert_eq!(stats.aborts_by(AbortReason::Explicit), 0, "{kind:?}: no unclassified");
+            assert_eq!(stats.aborts_by(AbortReason::Giveup), 0, "{kind:?}: nothing gave up");
+        }
+    }
+
+    #[test]
+    fn mvcc_conflict_aborts_classify_as_first_committer_wins() {
+        let stm = Arc::new(Stm::new(registry::MVCC));
+        let counter = stm.alloc(0i64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        stm.run(|tx| tx.update(counter, |v| v + 1));
+                    }
+                });
+            }
+        });
+        let stats = stm.stats();
+        assert_eq!(stats.aborts_by(AbortReason::FirstCommitterWins), stats.aborts());
+        let sum: u64 = stats.abort_reason_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, stats.aborts());
+    }
+
+    #[test]
+    fn phase_histograms_sample_commits_and_counters_stay_exact() {
+        // Metric invariant: with telemetry attached, the commit counter
+        // mirrors `StmStats` *exactly*, while the phase histograms sample
+        // 1 in `telemetry::PHASE_SAMPLE_EVERY` attempts — every sampled
+        // commit lands one sample in each of the three phases, and each
+        // thread's first attempt is always sampled — exercised from 4
+        // threads so concurrent recording loses nothing.
+        let registry = tm_telemetry::Registry::new();
+        for kind in all_kinds() {
+            let stm = Arc::new(
+                Stm::new(kind)
+                    .with_telemetry(StmTelemetry::from_registry(&registry, kind.id().name())),
+            );
+            let counter = stm.alloc(0i64);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            stm.run(|tx| tx.update(counter, |v| v + 1));
+                        }
+                    });
+                }
+            });
+            let commits = stm.stats().commits();
+            assert!(commits >= 400, "{kind:?}");
+            let tele = stm.telemetry().expect("telemetry attached");
+            assert_eq!(tele.commits.get(), commits, "{kind:?}: counters are exact");
+            let sampled = tele.phase_read.count();
+            assert!(sampled >= 1, "{kind:?}: first attempts are always sampled");
+            assert!(sampled <= commits, "{kind:?}: sampling never over-counts");
+            // The phase spans nest: a sampled commit lands one sample in
+            // each phase, and bucket sums account for every sample.
+            assert_eq!(tele.phase_validate.count(), sampled, "{kind:?}");
+            assert_eq!(tele.phase_publish.count(), sampled, "{kind:?}");
+            let bucket_total: u64 = tele.phase_read.buckets().iter().sum();
+            assert_eq!(bucket_total, sampled, "{kind:?}: no lost histogram samples");
+            let mirrored: u64 = tele.aborts.iter().map(|c| c.get()).sum();
+            assert_eq!(mirrored, stm.stats().aborts(), "{kind:?}");
         }
     }
 

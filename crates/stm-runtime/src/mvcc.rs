@@ -30,7 +30,7 @@
 //!   collected immediately, and once the reader ends the chains collapse.
 
 use crate::backend::{Backend, VarId};
-use crate::txn::{StmError, TxnData};
+use crate::txn::{AbortReason, StmError, TxnData};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -196,9 +196,11 @@ impl Backend for MvccBackend {
         for guard in &guards {
             let newest = guard.last().expect("chains always hold at least one version");
             if newest.ts > data.start_ts {
+                data.set_abort_reason(AbortReason::FirstCommitterWins);
                 return Err(StmError::Aborted); // guards drop; cleanup ends the snapshot
             }
         }
+        data.mark_validated();
         let commit_ts = self.alloc_clock.fetch_add(1, Ordering::AcqRel) + 1;
         let oldest = self.oldest_active_snapshot();
         for (guard, &value) in guards.iter_mut().zip(data.write_set.values()) {

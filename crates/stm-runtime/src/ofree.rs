@@ -15,7 +15,7 @@
 //! contention managers in practice.
 
 use crate::backend::{Backend, VarId};
-use crate::txn::{StmError, TxnData};
+use crate::txn::{AbortReason, StmError, TxnData};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -85,12 +85,14 @@ impl Backend for OFreeBackend {
         }
         let cell = self.cell(var);
         if cell.locked.load(Ordering::Acquire) {
+            data.set_abort_reason(AbortReason::LockConflict);
             return Err(StmError::Aborted); // never wait
         }
         let v1 = cell.version.load(Ordering::Acquire);
         let value = cell.value.load(Ordering::Acquire);
         let v2 = cell.version.load(Ordering::Acquire);
         if v1 != v2 || cell.locked.load(Ordering::Acquire) {
+            data.set_abort_reason(AbortReason::LockConflict);
             return Err(StmError::Aborted);
         }
         data.read_versions.insert(var, v1);
@@ -114,6 +116,7 @@ impl Backend for OFreeBackend {
                 .is_err()
             {
                 self.release_all(data);
+                data.set_abort_reason(AbortReason::LockConflict);
                 return Err(StmError::Aborted);
             }
             data.held_locks.push(*var);
@@ -125,9 +128,11 @@ impl Backend for OFreeBackend {
                 cell.locked.load(Ordering::Acquire) && !data.held_locks.contains(var);
             if locked_by_other || cell.version.load(Ordering::Acquire) != *recorded {
                 self.release_all(data);
+                data.set_abort_reason(AbortReason::ReadValidation);
                 return Err(StmError::Aborted);
             }
         }
+        data.mark_validated();
         // Install and release.
         for (var, value) in data.write_set.clone() {
             let cell = self.cell(var);

@@ -91,6 +91,8 @@ impl Backend for PramLocalBackend {
     }
 
     fn commit(&self, data: &mut TxnData) -> Result<(), StmError> {
+        // No validation ever runs (PRAM needs none): all commit time is publish.
+        data.mark_validated();
         // Publish the buffered writes to *this thread's* replica only.
         for (var, value) in &data.write_set {
             self.local_write(*var, *value);

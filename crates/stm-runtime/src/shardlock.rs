@@ -21,7 +21,7 @@
 //! be measured, not assumed.
 
 use crate::backend::{Backend, VarId};
-use crate::txn::{StmError, TxnData};
+use crate::txn::{AbortReason, StmError, TxnData};
 use parking_lot::RwLock;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -166,7 +166,10 @@ impl Backend for ShardLockBackend {
                 // anyway — abort early.
                 let key = VarId(shard_of(var));
                 match data.read_versions.get(&key) {
-                    Some(&pinned) if pinned != v1 => return Err(StmError::Aborted),
+                    Some(&pinned) if pinned != v1 => {
+                        data.set_abort_reason(AbortReason::ReadValidation);
+                        return Err(StmError::Aborted);
+                    }
                     Some(_) => {}
                     None => {
                         data.read_versions.insert(key, v1);
@@ -177,6 +180,7 @@ impl Backend for ShardLockBackend {
             }
             std::hint::spin_loop();
         }
+        data.set_abort_reason(AbortReason::LockConflict);
         Err(StmError::Aborted)
     }
 
@@ -207,6 +211,7 @@ impl Backend for ShardLockBackend {
             };
             if !ok {
                 self.release(&acquired);
+                data.set_abort_reason(AbortReason::LockConflict);
                 return Err(StmError::Aborted);
             }
             acquired.push((shard, write));
@@ -216,9 +221,11 @@ impl Backend for ShardLockBackend {
         for (key, &pinned) in &data.read_versions {
             if self.shards[key.index()].version.load(Ordering::Acquire) != pinned {
                 self.release(&acquired);
+                data.set_abort_reason(AbortReason::ReadValidation);
                 return Err(StmError::Aborted);
             }
         }
+        data.mark_validated();
         // Install under all the locks (the single atomic commit point).
         if !data.write_set.is_empty() {
             let values = self.values.read();

@@ -1,21 +1,43 @@
 //! Lightweight, thread-safe statistics counters, including the
-//! per-transaction attempt histogram that makes retry policies measurable.
+//! per-transaction attempt histogram that makes retry policies measurable
+//! and the per-reason abort taxonomy that makes each backend's sacrifice
+//! visible.
 
+use crate::txn::AbortReason;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Exact buckets for 1..=16 attempts; the last bucket collects 17+.
-const ATTEMPT_BUCKETS: usize = 17;
+/// log2-spaced attempt buckets: bucket 0 holds exactly 1 attempt, bucket
+/// `i >= 1` holds `[2^(i-1) + 1, 2^i]` attempts.  33 buckets cover the whole
+/// `u32` attempt range, so p99/mean no longer flatten at a "17+" overflow
+/// bucket the way the old 17 linear buckets did.
+const ATTEMPT_BUCKETS: usize = 33;
 
-/// Commit / abort / retry counters plus the attempts-per-transaction
-/// histogram for one [`crate::Stm`] instance.
+fn attempt_bucket(attempts: u32) -> usize {
+    // 1 → 0, 2 → 1, 3..4 → 2, 5..8 → 3, …, (2^31+1).. → 32.
+    32 - (attempts.max(1) - 1).leading_zeros() as usize
+}
+
+/// Lower bound (in attempts) of bucket `i` — the value quantiles and the
+/// mean report for that bucket, so tails keep their "at least" semantics.
+fn attempt_bucket_lower_bound(i: usize) -> u32 {
+    match i {
+        0 => 1,
+        _ => (1u32 << (i - 1)) + 1,
+    }
+}
+
+/// Commit / abort / retry counters, the per-reason abort taxonomy, and the
+/// attempts-per-transaction histogram for one [`crate::Stm`] instance.
 #[derive(Debug)]
 pub struct StmStats {
     commits: AtomicU64,
     aborts: AtomicU64,
     retries: AtomicU64,
+    /// One counter per [`AbortReason`]; at rest their sum equals `aborts`.
+    abort_reasons: [AtomicU64; AbortReason::ALL.len()],
     /// `attempts[i]` counts transactions that finished (committed or gave
-    /// up) after exactly `i + 1` attempts; the final bucket is an overflow
-    /// bucket for `>= ATTEMPT_BUCKETS` attempts.
+    /// up) within bucket `i`'s attempt range (log2-spaced, see
+    /// [`attempt_bucket`]).
     attempts: [AtomicU64; ATTEMPT_BUCKETS],
 }
 
@@ -25,6 +47,7 @@ impl Default for StmStats {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            abort_reasons: std::array::from_fn(|_| AtomicU64::new(0)),
             attempts: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -36,9 +59,21 @@ impl StmStats {
         self.commits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record an aborted attempt.
-    pub fn record_abort(&self) {
+    /// Record an aborted attempt and why it aborted.
+    pub fn record_abort(&self, reason: AbortReason) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.abort_reasons[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Move one recorded abort from one reason to another (the front-end
+    /// reclassifies a bounded-retry transaction's final abort as
+    /// [`AbortReason::Giveup`] once the policy stops it).  The total abort
+    /// count is untouched, so `sum(reasons) == aborts()` holds at rest.
+    pub fn reclassify_abort(&self, from: AbortReason, to: AbortReason) {
+        if from != to {
+            self.abort_reasons[from.index()].fetch_sub(1, Ordering::Relaxed);
+            self.abort_reasons[to.index()].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Record a retry (an abort followed by another attempt).
@@ -49,8 +84,7 @@ impl StmStats {
     /// Record how many attempts one transaction took to finish (commit or
     /// give up).  `attempts` is 1-based; 0 is treated as 1.
     pub fn record_attempts(&self, attempts: u32) {
-        let bucket = (attempts.max(1) as usize - 1).min(ATTEMPT_BUCKETS - 1);
-        self.attempts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.attempts[attempt_bucket(attempts)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of commits so far.
@@ -61,6 +95,16 @@ impl StmStats {
     /// Number of aborted attempts so far.
     pub fn aborts(&self) -> u64 {
         self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Aborts recorded for one specific reason.
+    pub fn aborts_by(&self, reason: AbortReason) -> u64 {
+        self.abort_reasons[reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// The whole abort taxonomy, in [`AbortReason::ALL`] order.
+    pub fn abort_reason_counts(&self) -> [(AbortReason, u64); AbortReason::ALL.len()] {
+        std::array::from_fn(|i| (AbortReason::ALL[i], self.aborts_by(AbortReason::ALL[i])))
     }
 
     /// Number of retries so far.
@@ -79,8 +123,9 @@ impl StmStats {
         }
     }
 
-    /// A snapshot of the attempts histogram: `snapshot[i]` transactions took
-    /// `i + 1` attempts (last bucket: 17 or more).
+    /// A snapshot of the attempts histogram: `snapshot[i]` transactions
+    /// finished within bucket `i`'s log2-spaced attempt range (bucket 0 is
+    /// exactly 1 attempt, bucket `i >= 1` spans `2^(i-1)+1 ..= 2^i`).
     pub fn attempts_histogram(&self) -> [u64; ATTEMPT_BUCKETS] {
         std::array::from_fn(|i| self.attempts[i].load(Ordering::Relaxed))
     }
@@ -91,8 +136,8 @@ impl StmStats {
     }
 
     /// The `q`-quantile (0.0..=1.0) of attempts-per-transaction, or 0 when
-    /// nothing was recorded.  The overflow bucket reports its lower bound
-    /// (17), so extreme tails read "at least".
+    /// nothing was recorded.  Buckets report their lower bound, so extreme
+    /// tails read "at least".
     pub fn attempts_quantile(&self, q: f64) -> u32 {
         let histogram = self.attempts_histogram();
         let total: u64 = histogram.iter().sum();
@@ -104,10 +149,10 @@ impl StmStats {
         for (i, count) in histogram.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return i as u32 + 1;
+                return attempt_bucket_lower_bound(i);
             }
         }
-        ATTEMPT_BUCKETS as u32
+        attempt_bucket_lower_bound(ATTEMPT_BUCKETS - 1)
     }
 
     /// Median attempts per transaction.
@@ -120,7 +165,7 @@ impl StmStats {
         self.attempts_quantile(0.99)
     }
 
-    /// Mean attempts per transaction (overflow bucket counted at its lower
+    /// Mean attempts per transaction (each bucket counted at its lower
     /// bound), or 0.0 when nothing was recorded.
     pub fn attempts_mean(&self) -> f64 {
         let histogram = self.attempts_histogram();
@@ -128,8 +173,11 @@ impl StmStats {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            histogram.iter().enumerate().map(|(i, count)| (i as u64 + 1) * count).sum();
+        let weighted: u64 = histogram
+            .iter()
+            .enumerate()
+            .map(|(i, count)| attempt_bucket_lower_bound(i) as u64 * count)
+            .sum();
         weighted as f64 / total as f64
     }
 }
@@ -144,12 +192,48 @@ mod tests {
         assert_eq!(s.abort_ratio(), 0.0);
         s.record_commit();
         s.record_commit();
-        s.record_abort();
+        s.record_abort(AbortReason::LockConflict);
         s.record_retry();
         assert_eq!(s.commits(), 2);
         assert_eq!(s.aborts(), 1);
         assert_eq!(s.retries(), 1);
         assert!((s.abort_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_reason_counts_sum_to_total_aborts() {
+        let s = StmStats::default();
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::LockConflict);
+        s.record_abort(AbortReason::FirstCommitterWins);
+        s.record_abort(AbortReason::Explicit);
+        assert_eq!(s.aborts_by(AbortReason::ReadValidation), 2);
+        let sum: u64 = s.abort_reason_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, s.aborts());
+        // Reclassification moves one abort without changing the total.
+        s.reclassify_abort(AbortReason::Explicit, AbortReason::Giveup);
+        assert_eq!(s.aborts_by(AbortReason::Explicit), 0);
+        assert_eq!(s.aborts_by(AbortReason::Giveup), 1);
+        let sum: u64 = s.abort_reason_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, s.aborts());
+    }
+
+    #[test]
+    fn attempt_buckets_are_log2_spaced() {
+        assert_eq!(attempt_bucket(1), 0);
+        assert_eq!(attempt_bucket(2), 1);
+        assert_eq!(attempt_bucket(3), 2);
+        assert_eq!(attempt_bucket(4), 2);
+        assert_eq!(attempt_bucket(5), 3);
+        assert_eq!(attempt_bucket(8), 3);
+        assert_eq!(attempt_bucket(9), 4);
+        assert_eq!(attempt_bucket(u32::MAX), 32);
+        for i in 1..ATTEMPT_BUCKETS - 1 {
+            let lo = attempt_bucket_lower_bound(i);
+            assert_eq!(attempt_bucket(lo), i);
+            assert_eq!(attempt_bucket(1 << i), i, "upper bound of bucket {i}");
+        }
     }
 
     #[test]
@@ -167,10 +251,12 @@ mod tests {
         s.record_attempts(40);
         assert_eq!(s.attempts_recorded(), 100);
         assert_eq!(s.attempts_p50(), 1);
-        assert_eq!(s.attempts_p99(), 3);
-        assert_eq!(s.attempts_quantile(1.0), 17, "overflow bucket reports its lower bound");
+        assert_eq!(s.attempts_p99(), 3, "3 lands in [3,4], whose lower bound is 3");
+        // 40 lands in [33,64]: the tail reads "at least 33" instead of the
+        // old linear histogram's flattened "17+".
+        assert_eq!(s.attempts_quantile(1.0), 33);
         let mean = s.attempts_mean();
-        assert!((mean - (90.0 + 27.0 + 17.0) / 100.0).abs() < 1e-9, "{mean}");
+        assert!((mean - (90.0 + 27.0 + 33.0) / 100.0).abs() < 1e-9, "{mean}");
     }
 
     #[test]

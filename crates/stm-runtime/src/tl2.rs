@@ -18,7 +18,7 @@
 //! while remaining safe to run unattended.
 
 use crate::backend::{Backend, VarId};
-use crate::txn::{StmError, TxnData};
+use crate::txn::{AbortReason, StmError, TxnData};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -128,7 +128,10 @@ impl Backend for Tl2Backend {
         // locked by someone else, spin within the budget.
         let (version, value) = match cell.snapshot(self.spin_limit) {
             Some(s) => s,
-            None => return Err(StmError::Aborted),
+            None => {
+                data.set_abort_reason(AbortReason::LockConflict);
+                return Err(StmError::Aborted);
+            }
         };
         data.read_versions.insert(var, version);
         data.read_cache.insert(var, value);
@@ -147,6 +150,7 @@ impl Backend for Tl2Backend {
                 std::hint::spin_loop();
             }
             if !acquired {
+                data.set_abort_reason(AbortReason::LockConflict);
                 return Err(StmError::Aborted);
             }
             data.held_locks.push(var);
@@ -167,9 +171,11 @@ impl Backend for Tl2Backend {
                 || cell.version.load(Ordering::Acquire) != *recorded
             {
                 self.release_all(data);
+                data.set_abort_reason(AbortReason::ReadValidation);
                 return Err(StmError::Aborted);
             }
         }
+        data.mark_validated();
         // Install the writes and release the locks.
         for (var, value) in data.write_set.clone() {
             let cell = self.cell(var);

@@ -22,6 +22,69 @@ impl fmt::Display for StmError {
 
 impl std::error::Error for StmError {}
 
+/// Why an attempt aborted — the taxonomy every backend's commit path reports
+/// through [`TxnData::abort_reason`].  [`StmError`] stays a single variant
+/// (callers only need "retryable"); the reason travels out-of-band so the
+/// per-reason counters in [`crate::StmStats`] can show *which* defence each
+/// backend mounted: validation aborts are consistency being defended,
+/// lock/band conflicts are parallelism being rationed, give-ups are liveness
+/// being bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Commit-time read-set validation failed (a concurrent commit changed
+    /// something this attempt read).
+    ReadValidation,
+    /// A lock, ownership record or shard band was contended past the spin
+    /// budget (blocking and obstruction-free conflict aborts).
+    LockConflict,
+    /// A snapshot-isolation first-committer-wins check lost (mvcc).
+    FirstCommitterWins,
+    /// A bounded retry policy stopped the transaction: the *final* attempt's
+    /// abort is reclassified to this so give-ups are visible in the taxonomy.
+    Giveup,
+    /// The transaction body itself asked to abort (user code).
+    Explicit,
+}
+
+impl AbortReason {
+    /// Every reason, in reporting order.
+    pub const ALL: [AbortReason; 5] = [
+        AbortReason::ReadValidation,
+        AbortReason::LockConflict,
+        AbortReason::FirstCommitterWins,
+        AbortReason::Giveup,
+        AbortReason::Explicit,
+    ];
+
+    /// Stable kebab-case name (used as a metric label and JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::ReadValidation => "read-validation",
+            AbortReason::LockConflict => "lock-conflict",
+            AbortReason::FirstCommitterWins => "first-committer-wins",
+            AbortReason::Giveup => "giveup",
+            AbortReason::Explicit => "explicit",
+        }
+    }
+
+    /// Index into [`AbortReason::ALL`]-shaped arrays.
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::ReadValidation => 0,
+            AbortReason::LockConflict => 1,
+            AbortReason::FirstCommitterWins => 2,
+            AbortReason::Giveup => 3,
+            AbortReason::Explicit => 4,
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The bookkeeping every backend shares for one transaction attempt.
 #[derive(Debug, Default)]
 pub struct TxnData {
@@ -36,6 +99,18 @@ pub struct TxnData {
     pub read_cache: BTreeMap<VarId, i64>,
     /// Locks currently held (populated only during commit, used by `cleanup`).
     pub held_locks: Vec<VarId>,
+    /// Set by the backend immediately before it returns
+    /// [`StmError::Aborted`]; taken by the front-end when it records the
+    /// abort.  `None` on an abort means the body aborted explicitly.
+    pub abort_reason: Option<AbortReason>,
+    /// Set by the front-end when phase-latency telemetry is on.  Backends
+    /// that split commit into validate-then-publish stamp
+    /// [`TxnData::validated_at`] when this is set — one never-taken branch
+    /// on the commit path otherwise.
+    pub timing: bool,
+    /// The instant the backend finished validation and began publishing
+    /// (only stamped when [`TxnData::timing`] is set).
+    pub validated_at: Option<std::time::Instant>,
 }
 
 impl TxnData {
@@ -46,6 +121,23 @@ impl TxnData {
         self.write_set.clear();
         self.read_cache.clear();
         self.held_locks.clear();
+        self.abort_reason = None;
+        self.timing = false;
+        self.validated_at = None;
+    }
+
+    /// Record why the current attempt is about to abort (backend commit
+    /// paths call this just before returning [`StmError::Aborted`]).
+    pub fn set_abort_reason(&mut self, reason: AbortReason) {
+        self.abort_reason = Some(reason);
+    }
+
+    /// Stamp the validate→publish boundary if phase timing is on (one
+    /// branch; never taken with metrics off).
+    pub fn mark_validated(&mut self) {
+        if self.timing {
+            self.validated_at = Some(std::time::Instant::now());
+        }
     }
 }
 
@@ -131,12 +223,32 @@ mod tests {
         d.write_set.insert(VarId(0), 5);
         d.read_cache.insert(VarId(1), 2);
         d.held_locks.push(VarId(0));
+        d.set_abort_reason(AbortReason::LockConflict);
+        d.timing = true;
+        d.mark_validated();
+        assert!(d.validated_at.is_some());
         d.reset();
         assert_eq!(d.start_ts, 0);
         assert!(d.read_versions.is_empty());
         assert!(d.write_set.is_empty());
         assert!(d.read_cache.is_empty());
         assert!(d.held_locks.is_empty());
+        assert_eq!(d.abort_reason, None);
+        assert!(!d.timing);
+        assert!(d.validated_at.is_none());
+    }
+
+    #[test]
+    fn abort_reason_names_and_indices_are_stable() {
+        for (i, reason) in AbortReason::ALL.into_iter().enumerate() {
+            assert_eq!(reason.index(), i);
+            assert_eq!(reason.to_string(), reason.name());
+        }
+        assert_eq!(AbortReason::FirstCommitterWins.name(), "first-committer-wins");
+        // Timing off → mark_validated is the never-taken branch.
+        let mut d = TxnData::default();
+        d.mark_validated();
+        assert!(d.validated_at.is_none());
     }
 
     #[test]

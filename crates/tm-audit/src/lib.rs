@@ -83,6 +83,7 @@ pub mod po;
 pub mod recorder;
 pub mod report;
 pub mod saturation;
+pub mod telemetry;
 pub mod window;
 pub mod workload;
 

@@ -194,6 +194,10 @@ pub struct PartitionLag {
     pub ingested: u64,
     /// Windows the partition has fully audited.
     pub windows: usize,
+    /// Largest queue depth observed at any router flush so far.
+    pub queued_max: u64,
+    /// Mean queue depth over all router flushes so far.
+    pub queued_mean: f64,
 }
 
 impl PartitionLag {
@@ -208,6 +212,11 @@ struct PartitionCounters {
     routed: AtomicU64,
     ingested: AtomicU64,
     windows: AtomicUsize,
+    /// Queue-depth distribution, observed at every router flush: the depth
+    /// high-water mark plus sum/sample-count for the mean.
+    depth_max: AtomicU64,
+    depth_sum: AtomicU64,
+    depth_samples: AtomicU64,
 }
 
 /// A cloneable live view of every partition's lag, usable from any thread
@@ -224,12 +233,18 @@ impl ShardLagProbe {
         self.counters
             .iter()
             .enumerate()
-            .map(|(p, c)| PartitionLag {
-                partition: p,
-                escalation: p == last,
-                routed: c.routed.load(Ordering::Relaxed),
-                ingested: c.ingested.load(Ordering::Relaxed),
-                windows: c.windows.load(Ordering::Relaxed),
+            .map(|(p, c)| {
+                let samples = c.depth_samples.load(Ordering::Relaxed);
+                let sum = c.depth_sum.load(Ordering::Relaxed);
+                PartitionLag {
+                    partition: p,
+                    escalation: p == last,
+                    routed: c.routed.load(Ordering::Relaxed),
+                    ingested: c.ingested.load(Ordering::Relaxed),
+                    windows: c.windows.load(Ordering::Relaxed),
+                    queued_max: c.depth_max.load(Ordering::Relaxed),
+                    queued_mean: if samples == 0 { 0.0 } else { sum as f64 / samples as f64 },
+                }
             })
             .collect()
     }
@@ -526,6 +541,11 @@ pub struct ShardedAuditor {
     workers: Vec<JoinHandle<StreamReport>>,
     total_txns: u64,
     escalated_txns: u64,
+    /// Per-lane live queue-depth gauges (escalation lane last), when
+    /// metrics are on.
+    queue_gauges: Option<Vec<tm_telemetry::Gauge>>,
+    /// Straddler counter (`audit_escalated_total`), when metrics are on.
+    escalated_counter: Option<tm_telemetry::Counter>,
 }
 
 impl ShardedAuditor {
@@ -596,6 +616,24 @@ impl ShardedAuditor {
                     .expect("spawning a partition auditor thread"),
             );
         }
+        let queue_gauges = tm_telemetry::enabled().then(|| {
+            (0..lanes)
+                .map(|lane| {
+                    let label = if lane == config.shards {
+                        "escalation".to_string()
+                    } else {
+                        lane.to_string()
+                    };
+                    tm_telemetry::global().gauge(
+                        "audit_partition_queued",
+                        &[("partition", label.as_str())],
+                        "txns",
+                    )
+                })
+                .collect()
+        });
+        let escalated_counter = tm_telemetry::enabled()
+            .then(|| tm_telemetry::global().counter("audit_escalated_total", &[], "txns"));
         ShardedAuditor {
             config,
             buffers: vec![Vec::new(); lanes],
@@ -604,6 +642,8 @@ impl ShardedAuditor {
             workers,
             total_txns: 0,
             escalated_txns: 0,
+            queue_gauges,
+            escalated_counter,
         }
     }
 
@@ -662,6 +702,9 @@ impl ShardedAuditor {
                     self.buffer(p, session, self.project(&txn, p));
                 }
                 self.escalated_txns += 1;
+                if let Some(c) = &self.escalated_counter {
+                    c.inc();
+                }
                 self.buffer(k, session, txn);
             }
         }
@@ -691,7 +734,19 @@ impl ShardedAuditor {
             return;
         }
         let batch = std::mem::take(&mut self.buffers[lane]);
-        self.counters[lane].routed.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let counters = &self.counters[lane];
+        let routed =
+            counters.routed.fetch_add(batch.len() as u64, Ordering::Relaxed) + batch.len() as u64;
+        // Observe the queue depth (routed-but-not-ingested) at every flush:
+        // the high-water mark and mean feed the lag probe's `queued_max` /
+        // `queued_mean`, the gauge feeds the live metrics snapshot.
+        let queued = routed.saturating_sub(counters.ingested.load(Ordering::Relaxed));
+        counters.depth_max.fetch_max(queued, Ordering::Relaxed);
+        counters.depth_sum.fetch_add(queued, Ordering::Relaxed);
+        counters.depth_samples.fetch_add(1, Ordering::Relaxed);
+        if let Some(gauges) = &self.queue_gauges {
+            gauges[lane].set(queued as i64);
+        }
         self.senders[lane].send(batch).expect("partition auditor thread died");
     }
 
@@ -1002,6 +1057,13 @@ mod tests {
         assert_eq!(lag.len(), 3); // 2 partitions + escalation lane
         assert_eq!(lag.iter().map(|l| l.routed).sum::<u64>(), 32);
         assert!(lag.iter().all(|l| l.queued() == 0), "drained after finish: {lag:?}");
+        // Depth is observed at flush time, before the worker can have
+        // ingested the batch, so every lane that saw traffic has a non-zero
+        // high-water mark and mean.
+        for l in lag.iter().filter(|l| l.routed > 0) {
+            assert!(l.queued_max >= 1, "{lag:?}");
+            assert!(l.queued_mean > 0.0, "{lag:?}");
+        }
     }
 
     #[test]

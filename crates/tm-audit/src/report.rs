@@ -250,22 +250,11 @@ impl AuditReport {
     }
 }
 
-/// Escape a string for embedding in a JSON document (quotes, backslashes,
-/// control characters).
+/// Escape a string for embedding in a JSON document — a re-export of the
+/// workspace's one shared escaper ([`tm_telemetry::json::escape`]), kept
+/// under its historical name for the crate's existing call sites.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    tm_telemetry::json::escape(s)
 }
 
 impl fmt::Display for AuditReport {

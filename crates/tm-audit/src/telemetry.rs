@@ -1,0 +1,71 @@
+//! The auditor's telemetry handles: per-window audit- and verdict-latency
+//! histograms, conviction and budget-consumption counters.
+//!
+//! [`crate::window::WindowedAuditor::new`] attaches an [`AuditTelemetry`]
+//! only when [`tm_telemetry::enabled`] is set, mirroring the runtime's
+//! zero-cost-when-off contract: a metrics-off audit carries a `None` and
+//! pays one never-taken branch per window close (windows are already rare
+//! relative to transactions, so even metrics-on overhead is negligible).
+//! Tests bind handles to a private [`tm_telemetry::Registry`] via
+//! [`crate::window::WindowedAuditor::with_telemetry`].
+
+use tm_telemetry::{Counter, Histogram, Registry};
+
+/// Everything one windowed auditor records when metrics are on.  Several
+/// auditors (the sharded pipeline runs one per partition) resolve to the
+/// same registry series and accumulate.
+#[derive(Debug)]
+pub struct AuditTelemetry {
+    /// Windows fully audited.
+    pub windows: Counter,
+    /// Wall time from window close to verdict (the audit itself).
+    pub window_latency: Histogram,
+    /// Wall time from window *open* to verdict — what an operator waits
+    /// between a transaction entering a window and that window's verdict.
+    pub verdict_latency: Histogram,
+    /// First-conviction events (at most one per auditor lifetime).
+    pub convictions: Counter,
+    /// DFS states consumed by inconclusive SI/SER searches — the
+    /// saturation-budget consumption meter.
+    pub search_states: Counter,
+    /// Windows whose SI/SER searches ran on a slashed budget because the
+    /// stream already convicted at SI or below.
+    pub budget_slashed: Counter,
+    /// Reads attributed to synthetic stand-ins past the retention horizon.
+    pub evicted: Counter,
+}
+
+impl AuditTelemetry {
+    /// Build the auditor's instrument set inside `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        AuditTelemetry {
+            windows: registry.counter("audit_windows_total", &[], "windows"),
+            window_latency: registry.histogram("audit_window_latency_ns", &[], "ns"),
+            verdict_latency: registry.histogram("audit_verdict_latency_ns", &[], "ns"),
+            convictions: registry.counter("audit_convictions_total", &[], "convictions"),
+            search_states: registry.counter("audit_search_states_total", &[], "states"),
+            budget_slashed: registry.counter("audit_budget_slashed_windows_total", &[], "windows"),
+            evicted: registry.counter("audit_evicted_attributions_total", &[], "reads"),
+        }
+    }
+
+    /// The global-registry instrument set, or `None` when metrics are off —
+    /// the constructor-time check every producer in the workspace uses.
+    pub fn attach() -> Option<Self> {
+        tm_telemetry::enabled().then(|| AuditTelemetry::from_registry(tm_telemetry::global()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_registry_resolves_to_the_same_series() {
+        let registry = Registry::new();
+        let a = AuditTelemetry::from_registry(&registry);
+        let b = AuditTelemetry::from_registry(&registry);
+        a.windows.inc();
+        assert_eq!(b.windows.get(), 1, "two handle sets, one series");
+    }
+}

@@ -58,6 +58,7 @@ use crate::linearization::{find_lost_update, DEFAULT_STATE_BUDGET};
 use crate::po::{TxnPartialOrder, EVICTED_SESSION};
 use crate::report::{json_escape, AuditReport, Level, LevelReport, Outcome};
 use crate::saturation::{resaturate, CycleViolation, Saturated};
+use crate::telemetry::AuditTelemetry;
 use crate::{audit_built, defect_report, AuditHistory};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -386,6 +387,8 @@ struct ActiveWindow {
     sat: Saturated,
     causal_failure: Option<CycleViolation>,
     defect: Option<HistoryError>,
+    /// When the window opened — the start of its verdict-latency span.
+    opened_at: Instant,
     /// Prefix of the auditor's `cur` buffer already extended into `po`.
     extended: usize,
     /// Transactions extended since the last re-saturation probe.
@@ -421,6 +424,7 @@ pub struct WindowedAuditor {
     first_conviction: Option<Conviction>,
     peak_window_txns: usize,
     peak_closure_bytes: usize,
+    tele: Option<AuditTelemetry>,
 }
 
 impl WindowedAuditor {
@@ -443,7 +447,15 @@ impl WindowedAuditor {
             first_conviction: None,
             peak_window_txns: 0,
             peak_closure_bytes: 0,
+            tele: AuditTelemetry::attach(),
         }
+    }
+
+    /// Replace the telemetry handles (tests bind a private registry here so
+    /// their assertions never see another test's samples).
+    pub fn with_telemetry(mut self, tele: AuditTelemetry) -> Self {
+        self.tele = Some(tele);
+        self
     }
 
     /// Transactions ingested so far.
@@ -540,6 +552,7 @@ impl WindowedAuditor {
             sat: Saturated::empty(),
             causal_failure: None,
             defect,
+            opened_at: Instant::now(),
             extended: 0,
             unsynced: 0,
             materialized,
@@ -649,6 +662,9 @@ impl WindowedAuditor {
                     txns_seen: self.total_txns,
                     violation,
                 });
+                if let Some(tele) = &self.tele {
+                    tele.convictions.inc();
+                }
             }
         }
     }
@@ -688,6 +704,9 @@ impl WindowedAuditor {
             let id = TxnId { session: EVICTED_SESSION, seq: self.evicted_seq };
             self.evicted_seq += 1;
             self.evicted_attributions += 1;
+            if let Some(tele) = &self.tele {
+                tele.evicted.inc();
+            }
             let aw = self.active.as_mut().expect("active window");
             let txn =
                 AuditTxn { reads: Vec::new(), writes: vec![(var, value)], hint: 0, footprint: 0 };
@@ -718,6 +737,11 @@ impl WindowedAuditor {
             }
             _ => self.config.budget,
         };
+        if budget < self.config.budget {
+            if let Some(tele) = &self.tele {
+                tele.budget_slashed.inc();
+            }
+        }
         let defect = aw.defect.or_else(|| aw.po.seal().err());
         let cross_violations = aw.cross_violations.clone();
         let mut report = match defect {
@@ -743,6 +767,16 @@ impl WindowedAuditor {
             }
         }
         let audit_elapsed = started.elapsed();
+        if let Some(tele) = &self.tele {
+            tele.windows.inc();
+            tele.window_latency.record_duration(audit_elapsed);
+            tele.verdict_latency.record_duration(aw.opened_at.elapsed());
+            for l in &report.levels {
+                if let Outcome::Unknown { states, .. } = &l.outcome {
+                    tele.search_states.add(*states);
+                }
+            }
+        }
         self.peak_closure_bytes = self.peak_closure_bytes.max(closure_bytes);
         self.peak_window_txns = self.peak_window_txns.max(window_txns);
         if self.first_conviction.is_none() {
@@ -754,6 +788,9 @@ impl WindowedAuditor {
                         txns_seen: self.total_txns,
                         violation: violation.clone(),
                     });
+                    if let Some(tele) = &self.tele {
+                        tele.convictions.inc();
+                    }
                     break;
                 }
             }
@@ -886,6 +923,8 @@ pub struct StreamMerger {
     buffered: BTreeMap<(u64, usize), AuditTxn>,
     /// Per-session latest hint delivered (None until first batch).
     highest: Vec<Option<u64>>,
+    /// Live queue-depth gauge (`audit_merger_buffered`), when metrics are on.
+    depth: Option<tm_telemetry::Gauge>,
 }
 
 impl StreamMerger {
@@ -895,7 +934,12 @@ impl StreamMerger {
 
     /// A merger for `n_sessions` producing sessions.
     pub fn new(n_sessions: usize) -> Self {
-        StreamMerger { buffered: BTreeMap::new(), highest: vec![None; n_sessions] }
+        StreamMerger {
+            buffered: BTreeMap::new(),
+            highest: vec![None; n_sessions],
+            depth: tm_telemetry::enabled()
+                .then(|| tm_telemetry::global().gauge("audit_merger_buffered", &[], "records")),
+        }
     }
 
     /// Buffer one batch and release everything below the new watermark into
@@ -920,11 +964,17 @@ impl StreamMerger {
                 .expect("buffer is non-empty");
             self.release(horizon, auditor);
         }
+        if let Some(depth) = &self.depth {
+            depth.set(self.buffered.len() as i64);
+        }
     }
 
     /// Release every buffered record once the stream has closed.
     pub fn finish(mut self, auditor: &mut impl TxnSink) {
         self.release(u64::MAX, auditor);
+        if let Some(depth) = &self.depth {
+            depth.set(0);
+        }
     }
 
     fn release(&mut self, watermark: u64, auditor: &mut impl TxnSink) {
@@ -1082,6 +1132,45 @@ mod tests {
         assert_eq!(stream2.evicted_attributions, 1, "{}", stream2.merged);
         // The attested attribution keeps the run auditable end to end.
         assert!(stream2.passes(Level::ReadCommitted), "{}", stream2.merged);
+    }
+
+    /// Metric invariant: every closed window is counted once, with one
+    /// sample in each latency histogram, and a convicting stream records
+    /// exactly one first-conviction event.
+    #[test]
+    fn telemetry_accounts_every_window_and_the_conviction() {
+        let registry = tm_telemetry::Registry::new();
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]); // lost update in window 0
+        for i in 0..30i64 {
+            h.push_txn(0, [], [(1, 100 + i)]);
+        }
+        let mut all: Vec<(u64, usize, &AuditTxn)> = h
+            .sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(s, session)| session.iter().map(move |t| (t.hint, s, t)))
+            .collect();
+        all.sort_by_key(|&(hint, s, _)| (hint, s));
+        let mut auditor = WindowedAuditor::new(2, 0, cfg(8, 2))
+            .with_telemetry(AuditTelemetry::from_registry(&registry));
+        for (_, s, t) in all {
+            auditor.push(s, t.clone());
+        }
+        let report = auditor.finish();
+        assert!(report.fails(Level::SnapshotIsolation));
+
+        let tele = AuditTelemetry::from_registry(&registry);
+        let windows = report.windows.len() as u64;
+        assert_eq!(tele.windows.get(), windows);
+        assert_eq!(tele.window_latency.count(), windows, "one audit-latency sample per window");
+        assert_eq!(tele.verdict_latency.count(), windows, "one verdict-latency sample per window");
+        assert_eq!(tele.convictions.get(), 1, "first conviction is counted once");
+        assert!(
+            tele.budget_slashed.get() > 0,
+            "post-conviction windows must run on a slashed budget"
+        );
     }
 
     /// The empty stream is vacuously consistent.

@@ -50,6 +50,13 @@
 //! * `--serve-rounds N` — stop serving after N rounds (0 = until signal);
 //! * `--sink PATH` — also append every serve record to PATH (a file another
 //!   process can tail);
+//! * `--metrics` — turn the telemetry spine on (`tm-telemetry`): runs report
+//!   per-backend commit/abort counters (aborts broken down by reason),
+//!   per-phase latency histograms and auditor gauges.  Batch/streaming runs
+//!   print the full snapshot after the run and embed it under `"telemetry"`
+//!   in the `--json` document; `--serve` additionally streams periodic
+//!   `{"type":"metrics"}` records, and dumps the runtime's bounded event
+//!   ring as one `{"type":"post-mortem"}` record on the first conviction;
 //! * `--json PATH` — additionally write the machine-readable report
 //!   (throughput, attempt percentiles, per-level verdicts) to PATH;
 //! * `--fail-on-violation` — exit 1 if any audited run shows a definite
@@ -142,6 +149,7 @@ struct Args {
     serve: bool,
     serve_rounds: u64,
     sink: Option<String>,
+    metrics: bool,
 }
 
 impl Default for Args {
@@ -164,6 +172,7 @@ impl Default for Args {
             serve: false,
             serve_rounds: 0,
             sink: None,
+            metrics: false,
         }
     }
 }
@@ -231,6 +240,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
             "--sink" => args.sink = Some(value_of(&mut it, "--sink")?),
             "--fail-on-violation" => args.fail_on_violation = true,
+            "--metrics" => args.metrics = true,
             "--audit" => args.mode = AuditMode::Batch,
             "--serve" => args.serve = true,
             "--serve-rounds" => {
@@ -282,7 +292,7 @@ fn usage() {
          \x20            [--threads N] [--txns N] [--vars N] [--seed N]\n\
          \x20            [--audit[=WINDOW | window[:size=N][:shards=K][:overlap=M]]]\n\
          \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation]\n\
-         \x20            [--serve] [--serve-rounds N] [--sink PATH] [--list]\n\
+         \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--list]\n\
          \n\
          backends and scenarios resolve through their registries; run `audit --list`\n\
          to see what is registered.  --serve keeps the process alive running audited\n\
@@ -311,16 +321,19 @@ fn json_run_fields(run: &workloads::ScenarioRunReport) -> String {
         Some(ok) => ok.to_string(),
         None => "null".to_string(),
     };
+    let reasons: Vec<String> =
+        run.abort_reasons.iter().map(|(r, n)| format!("\"{}\":{n}", r.name())).collect();
     format!(
         "\"scenario\":\"{}\",\"backend\":\"{}\",\"retry\":\"{}\",\"commits\":{},\
-         \"throughput\":{:.0},\"aborts\":{},\"gave_up\":{},\"attempts_p50\":{},\
-         \"attempts_p99\":{},\"attempts_mean\":{:.3},\"invariant\":{}",
+         \"throughput\":{:.0},\"aborts\":{},\"abort_reasons\":{{{}}},\"gave_up\":{},\
+         \"attempts_p50\":{},\"attempts_p99\":{},\"attempts_mean\":{:.3},\"invariant\":{}",
         run.scenario,
         run.config.backend,
         run.config.policy.name(),
         run.commits,
         run.throughput,
         run.aborts,
+        reasons.join(","),
         run.gave_up,
         run.attempts_p50,
         run.attempts_p99,
@@ -341,6 +354,15 @@ fn print_run_line(run: &workloads::ScenarioRunReport) {
         run.attempts_p50,
         run.attempts_p99
     );
+    if run.aborts > 0 {
+        let reasons: Vec<String> = run
+            .abort_reasons
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{} {n}", r.name()))
+            .collect();
+        println!("  abort reasons: {}", reasons.join(", "));
+    }
     match run.check.invariant {
         Some(true) => println!("  self-check ✓  {}", run.check.detail),
         Some(false) => println!("  self-check ✗  {}", run.check.detail),
@@ -421,12 +443,14 @@ fn lag_json(partitions: &[PartitionLag]) -> String {
         .map(|l| {
             format!(
                 "{{\"partition\":{},\"escalation\":{},\"routed\":{},\"ingested\":{},\
-                 \"queued\":{},\"windows\":{}}}",
+                 \"queued\":{},\"queued_max\":{},\"queued_mean\":{:.3},\"windows\":{}}}",
                 l.partition,
                 l.escalation,
                 l.routed,
                 l.ingested,
                 l.queued(),
+                l.queued_max,
+                l.queued_mean,
                 l.windows
             )
         })
@@ -495,6 +519,10 @@ fn serve(args: &Args) -> ExitCode {
     ));
     let mut rounds = 0u64;
     let mut violated = false;
+    // One post-mortem per serve lifetime: the bounded event ring is dumped on
+    // the *first* conviction and never again (the flight recorder's contents
+    // after that point describe post-violation traffic).
+    let post_mortem_done = AtomicBool::new(false);
     while !STOP.load(Ordering::SeqCst) {
         if args.serve_rounds > 0 && rounds >= args.serve_rounds {
             break;
@@ -511,16 +539,50 @@ fn serve(args: &Args) -> ExitCode {
         let shard = ShardConfig::new(shards, window_config(window, args));
         let (events_tx, events_rx) = std::sync::mpsc::channel::<ShardEvent>();
         let round = rounds;
+        let round_done = AtomicBool::new(false);
         let report = std::thread::scope(|scope| {
             let emitter = &emitter;
+            let post_mortem_done = &post_mortem_done;
             let printer = scope.spawn(move || {
                 while let Ok(event) = events_rx.recv() {
                     emit_event(emitter, round, &event);
+                    if matches!(event, ShardEvent::Conviction { .. })
+                        && tm_telemetry::trace_enabled()
+                        && !post_mortem_done.swap(true, Ordering::SeqCst)
+                    {
+                        emitter.emit(&format!(
+                            "{{\"type\":\"post-mortem\",\"round\":{round},\"pushed\":{},\
+                             \"events\":{}}}",
+                            tm_telemetry::tracer().pushed(),
+                            tm_telemetry::tracer().to_json()
+                        ));
+                    }
                 }
+            });
+            let round_done = &round_done;
+            let ticker = args.metrics.then(|| {
+                scope.spawn(move || {
+                    // Poll at 25 ms so shutdown is prompt; emit every 500 ms.
+                    let mut ticks = 0u32;
+                    while !round_done.load(Ordering::SeqCst) {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        ticks += 1;
+                        if ticks.is_multiple_of(20) {
+                            emitter.emit(&format!(
+                                "{{\"type\":\"metrics\",\"round\":{round},\"snapshot\":{}}}",
+                                tm_telemetry::global().snapshot().to_json()
+                            ));
+                        }
+                    }
+                })
             });
             let report =
                 run_scenario_audited_sharded(scenario.as_ref(), &config, shard, Some(events_tx));
             printer.join().expect("serve printer panicked");
+            round_done.store(true, Ordering::SeqCst);
+            if let Some(ticker) = ticker {
+                ticker.join().expect("serve metrics ticker panicked");
+            }
             report
         });
         let report = match report {
@@ -541,6 +603,14 @@ fn serve(args: &Args) -> ExitCode {
             report.drain_elapsed.as_secs_f64() * 1e3,
             report.sharded.to_json()
         ));
+        if args.metrics {
+            // Guaranteed snapshot per round, even when the round finishes
+            // inside the ticker's first 500 ms.
+            emitter.emit(&format!(
+                "{{\"type\":\"metrics\",\"round\":{round},\"snapshot\":{}}}",
+                tm_telemetry::global().snapshot().to_json()
+            ));
+        }
         rounds += 1;
     }
     let reason = if STOP.load(Ordering::SeqCst) { "signal" } else { "rounds-exhausted" };
@@ -572,6 +642,17 @@ fn main() -> ExitCode {
     if args.list {
         print_registries();
         return ExitCode::SUCCESS;
+    }
+    if args.metrics {
+        // Must flip before any Stm or auditor is constructed: every producer
+        // checks the flag once, at construction, and carries `None` handles
+        // (one never-taken branch) when it is off.
+        tm_telemetry::set_enabled(true);
+        if args.serve {
+            // The bounded event ring backs --serve post-mortems only; it
+            // takes a mutex per event, so batch runs leave it off.
+            tm_telemetry::set_trace_enabled(true);
+        }
     }
     if args.serve {
         return serve(&args);
@@ -704,8 +785,21 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.metrics {
+        println!("telemetry snapshot:");
+        print!("{}", tm_telemetry::global().snapshot().to_text());
+        println!();
+    }
     if let Some(path) = &args.json {
-        let doc = format!("{{\"runs\":[{}]}}", json_entries.join(","));
+        let doc = if args.metrics {
+            format!(
+                "{{\"runs\":[{}],\"telemetry\":{}}}",
+                json_entries.join(","),
+                tm_telemetry::global().snapshot().to_json()
+            )
+        } else {
+            format!("{{\"runs\":[{}]}}", json_entries.join(","))
+        };
         if let Err(err) = std::fs::write(path, doc) {
             eprintln!("error: writing {path}: {err}");
             return ExitCode::from(3);

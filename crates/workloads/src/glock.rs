@@ -23,7 +23,7 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use stm_runtime::registry::{self, Axis, BackendSpec, Triangle};
-use stm_runtime::{Backend, BackendId, StmError, TxnData, VarId};
+use stm_runtime::{AbortReason, Backend, BackendId, StmError, TxnData, VarId};
 
 /// How long an attempt spins on the global lock before aborting.
 pub const SPIN_LIMIT: usize = 100_000;
@@ -66,6 +66,7 @@ impl GlobalLockBackend {
             }
             std::hint::spin_loop();
         }
+        data.set_abort_reason(AbortReason::LockConflict);
         Err(StmError::Aborted)
     }
 
@@ -117,6 +118,7 @@ impl Backend for GlobalLockBackend {
     fn commit(&self, data: &mut TxnData) -> Result<(), StmError> {
         // Holding the exclusive lock since first access means no validation
         // is ever needed: install and release.
+        data.mark_validated();
         if !data.write_set.is_empty() {
             let mut store = self.store.write();
             for (var, value) in &data.write_set {

@@ -208,6 +208,9 @@ pub struct ScenarioRunReport {
     /// (always 0 under `immediate`/`backoff`; bounded policies drop work
     /// here instead of retrying forever).
     pub gave_up: u64,
+    /// Aborts broken down by [`stm_runtime::AbortReason`], in reporting
+    /// order; the counts sum to [`ScenarioRunReport::aborts`].
+    pub abort_reasons: [(stm_runtime::AbortReason, u64); stm_runtime::AbortReason::ALL.len()],
     /// The scenario's post-run self-check.
     pub check: ScenarioCheck,
 }
@@ -288,6 +291,7 @@ fn finish_scenario_report(
         // Every scenario transaction ends in a commit or a policy give-up,
         // and both record an attempt count — the difference is the give-ups.
         gave_up: stats.attempts_recorded().saturating_sub(commits),
+        abort_reasons: stats.abort_reason_counts(),
         check: state.verify(stm),
     }
 }

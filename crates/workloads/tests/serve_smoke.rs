@@ -25,6 +25,7 @@ fn serve_endpoint_streams_records_and_shuts_down_cleanly_on_sigterm() {
             "--vars",
             "32",
             "--audit=window:size=64:shards=2",
+            "--metrics",
         ])
         .stdout(Stdio::piped())
         .spawn()
@@ -75,10 +76,18 @@ fn serve_endpoint_streams_records_and_shuts_down_cleanly_on_sigterm() {
     for field in ["\"round\":", "\"partition\":", "\"window\":", "\"txns\":", "\"verdict\":\"RC "] {
         assert!(window.contains(field), "{field} missing from {window}");
     }
-    // …and lag records carry per-partition lag counters.
+    // …and lag records carry per-partition lag counters, including the
+    // router's queue-depth probe readings.
     let lag = lines.iter().find(|l| l.contains("\"type\":\"lag\"")).expect("lag record");
-    for field in ["\"partitions\":[", "\"routed\":", "\"ingested\":", "\"queued\":", "\"windows\":"]
-    {
+    for field in [
+        "\"partitions\":[",
+        "\"routed\":",
+        "\"ingested\":",
+        "\"queued\":",
+        "\"queued_max\":",
+        "\"queued_mean\":",
+        "\"windows\":",
+    ] {
         assert!(lag.contains(field), "{field} missing from {lag}");
     }
 
@@ -102,6 +111,17 @@ fn serve_endpoint_streams_records_and_shuts_down_cleanly_on_sigterm() {
     let stop = lines.iter().rfind(|l| l.contains("\"type\":\"serve-stop\"")).expect("stop record");
     assert!(stop.contains("\"reason\":\"signal\""), "{stop}");
     assert!(stop.contains("\"rounds\":"), "{stop}");
+    // --metrics: every completed round ends with a telemetry snapshot record
+    // carrying the runtime's phase histograms and the auditor's series.
+    let metrics =
+        lines.iter().find(|l| l.contains("\"type\":\"metrics\"")).expect("metrics record");
+    for field in ["\"round\":", "\"snapshot\":{\"metrics\":[", "\"stm_commits_total\"", "\"ns\""] {
+        assert!(metrics.contains(field), "{field} missing from {metrics}");
+    }
+    assert!(
+        lines.iter().any(|l| l.contains("\"name\":\"audit_windows_total\"")),
+        "auditor series missing from metrics snapshots"
+    );
 }
 
 /// `--serve-rounds N` ends the endpoint by itself (no signal needed) — the
