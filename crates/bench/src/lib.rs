@@ -63,10 +63,20 @@ pub mod harness {
         }
     }
 
-    /// Run `f` `samples` times (after one unmeasured warm-up call), print the
-    /// report line, and return the raw samples.
+    /// Discarded warm-up iterations before measuring: enough for caches,
+    /// allocator arenas and branch predictors to settle (a single warm-up
+    /// call left the first measured samples carrying cold-start cost, which
+    /// polluted `mean_ns`), scaled down for tiny CI sample counts.
+    fn warmup_iters(samples: usize) -> usize {
+        (samples / 2).clamp(1, 3)
+    }
+
+    /// Run `f` `samples` times — after [`warmup_iters`] unmeasured warm-up
+    /// calls — print the report line, and return the raw samples.
     pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Samples {
-        black_box(f());
+        for _ in 0..warmup_iters(samples) {
+            black_box(f());
+        }
         let durations = (0..samples.max(1))
             .map(|_| {
                 let start = Instant::now();
@@ -94,8 +104,10 @@ pub mod harness {
         mut b: impl FnMut() -> T,
         samples: usize,
     ) -> (Samples, Samples) {
-        black_box(a());
-        black_box(b());
+        for _ in 0..warmup_iters(samples) {
+            black_box(a());
+            black_box(b());
+        }
         let mut durations_a = Vec::with_capacity(samples.max(1));
         let mut durations_b = Vec::with_capacity(samples.max(1));
         for _ in 0..samples.max(1) {
@@ -117,6 +129,18 @@ pub mod harness {
     /// document (the shape CI archives as a `BENCH_*.json` artifact so the
     /// perf trajectory accumulates data points across pushes).
     pub fn samples_to_json(all: &[Samples]) -> String {
+        samples_to_json_annotated(all, &[])
+    }
+
+    /// [`samples_to_json`] with extra per-bench numeric fields: each
+    /// `(bench_name, field, value)` annotation is spliced into the matching
+    /// bench entry (this is how the trade-off benches attach derived
+    /// figures like `scaling_efficiency` without changing the JSON shape
+    /// consumers already parse).
+    pub fn samples_to_json_annotated(
+        all: &[Samples],
+        annotations: &[(String, String, f64)],
+    ) -> String {
         let mut out = String::from("{\"benches\":[");
         for (i, s) in all.iter().enumerate() {
             if i > 0 {
@@ -124,14 +148,22 @@ pub mod harness {
             }
             let samples: Vec<String> =
                 s.durations.iter().map(|d| d.as_nanos().to_string()).collect();
+            let extras: String = annotations
+                .iter()
+                .filter(|(name, _, _)| *name == s.name)
+                .map(|(_, field, value)| {
+                    format!(",\"{}\":{:.6}", tm_telemetry::json::escape(field), value)
+                })
+                .collect();
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\
-                 \"samples_ns\":[{}]}}",
+                 \"samples_ns\":[{}]{}}}",
                 tm_telemetry::json::escape(&s.name),
                 s.min().as_nanos(),
                 s.median().as_nanos(),
                 s.mean().as_nanos(),
-                samples.join(",")
+                samples.join(","),
+                extras
             ));
         }
         out.push_str("]}");
@@ -186,6 +218,26 @@ pub mod harness {
             };
             let json = samples_to_json(&[s]);
             assert!(json.contains("\"name\":\"quoted \\\"name\\\" \\\\ tail\""), "{json}");
+        }
+
+        #[test]
+        fn annotations_splice_into_the_matching_bench_entry() {
+            let s = Samples { name: "fam/4".to_string(), durations: vec![Duration::from_nanos(8)] };
+            let t = Samples { name: "fam/1".to_string(), durations: vec![Duration::from_nanos(4)] };
+            let json = samples_to_json_annotated(
+                &[s, t],
+                &[("fam/4".to_string(), "scaling_efficiency".to_string(), 2.0)],
+            );
+            assert!(json.starts_with("{\"benches\":["), "{json}");
+            assert!(json.contains("\"samples_ns\":[8],\"scaling_efficiency\":2.000000}"), "{json}");
+            assert!(
+                json.contains("\"name\":\"fam\\/1\"") || json.contains("\"name\":\"fam/1\""),
+                "{json}"
+            );
+            assert!(
+                !json.contains("[4],\"scaling_efficiency\""),
+                "unmatched entries stay bare: {json}"
+            );
         }
 
         #[test]

@@ -85,6 +85,7 @@ pub mod tl2;
 pub mod tvar;
 pub mod txn;
 pub mod value;
+pub mod vartable;
 
 pub use backend::{Backend, BackendKind, VarId};
 pub use policy::{RetryDecision, RetryPolicy};
@@ -96,10 +97,11 @@ pub use registry::{BackendId, BackendSpec};
 pub use stats::StmStats;
 pub use telemetry::{LivenessWatchdog, StmTelemetry};
 pub use tvar::TVar;
-pub use txn::{AbortReason, StmError, Txn, TxnData};
+pub use txn::{AbortReason, StmError, Txn, TxnData, VarMap};
 pub use value::TxnValue;
+pub use vartable::VarTable;
 
-use policy::{ImmediateRetry, RetryDecision as Decision};
+use policy::{ImmediateRetry, PolicyScratch, RetryCtx, RetryDecision as Decision};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -212,7 +214,8 @@ impl Stm {
         &self,
         body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
     ) -> Result<T, StmError> {
-        match self.attempt(&body) {
+        let mut data = TxnData::default();
+        match self.attempt(&mut data, &body) {
             Ok(v) => {
                 self.stats.record_attempts(1);
                 Ok(v)
@@ -234,13 +237,15 @@ impl Stm {
 
     /// One raw attempt: begin, run the body, commit or clean up.  `Err`
     /// carries the abort's classified reason (already recorded); callers
-    /// surface it to users as [`StmError::Aborted`].
+    /// surface it to users as [`StmError::Aborted`].  `data` is caller-owned
+    /// so the retry loops reuse one allocation (read/write-set capacity)
+    /// across every attempt of a transaction; `begin` resets it.
     fn attempt<T>(
         &self,
+        data: &mut TxnData,
         body: &impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
     ) -> Result<T, AbortReason> {
-        let mut data = TxnData::default();
-        self.backend.begin(&mut data);
+        self.backend.begin(data);
         // The one metrics branch on the hot path: with telemetry off,
         // `timing` stays false and every stamp below is skipped.  With it
         // on, only 1 in `telemetry::PHASE_SAMPLE_EVERY` attempts is
@@ -251,11 +256,11 @@ impl Stm {
                 Instant::now()
             })
         });
-        let mut txn = Txn::new(self.backend.as_ref(), &mut data);
+        let mut txn = Txn::new(self.backend.as_ref(), data);
         match body(&mut txn) {
             Ok(value) => {
                 let t_body_ok = t_begin.map(|_| Instant::now());
-                match self.backend.commit(&mut data) {
+                match self.backend.commit(data) {
                     Ok(()) => {
                         self.stats.record_commit();
                         if let Some(tele) = &self.tele {
@@ -280,14 +285,14 @@ impl Stm {
                         Ok(value)
                     }
                     Err(_) => {
-                        self.backend.cleanup(&mut data);
-                        Err(self.record_abort(&mut data))
+                        self.backend.cleanup(data);
+                        Err(self.record_abort(data))
                     }
                 }
             }
             Err(_) => {
-                self.backend.cleanup(&mut data);
-                Err(self.record_abort(&mut data))
+                self.backend.cleanup(data);
+                Err(self.record_abort(data))
             }
         }
     }
@@ -299,15 +304,24 @@ impl Stm {
     /// actually stop the loop.
     pub fn run<T>(&self, body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>) -> T {
         let mut attempts = 1u32;
+        let mut data = TxnData::default();
+        let mut scratch = PolicyScratch::default();
         loop {
-            match self.attempt(&body) {
+            match self.attempt(&mut data, &body) {
                 Ok(v) => {
                     self.stats.record_attempts(attempts);
+                    self.policy.on_commit(&mut scratch);
                     return v;
                 }
-                Err(_) => {
+                Err(reason) => {
                     self.stats.record_retry();
-                    match self.policy.decide(attempts) {
+                    let ctx = RetryCtx {
+                        attempt: attempts,
+                        reason,
+                        stats: &self.stats,
+                        scratch: &mut scratch,
+                    };
+                    match self.policy.decide_ctx(ctx) {
                         Decision::RetryNow | Decision::GiveUp => std::hint::spin_loop(),
                         Decision::SpinThen(spins) => policy::spin_wait(spins),
                     }
@@ -325,13 +339,21 @@ impl Stm {
         body: impl Fn(&mut Txn<'_>) -> Result<T, StmError>,
     ) -> Result<T, StmError> {
         let mut attempts = 1u32;
+        let mut data = TxnData::default();
+        let mut scratch = PolicyScratch::default();
         loop {
-            match self.attempt(&body) {
+            match self.attempt(&mut data, &body) {
                 Ok(v) => {
                     self.stats.record_attempts(attempts);
+                    self.policy.on_commit(&mut scratch);
                     return Ok(v);
                 }
-                Err(reason) => match self.policy.decide(attempts) {
+                Err(reason) => match self.policy.decide_ctx(RetryCtx {
+                    attempt: attempts,
+                    reason,
+                    stats: &self.stats,
+                    scratch: &mut scratch,
+                }) {
                     Decision::GiveUp => {
                         self.stats.record_attempts(attempts);
                         // The final attempt's abort was recorded under its
@@ -556,10 +578,9 @@ mod tests {
     #[test]
     fn backoff_policies_still_commit_under_contention() {
         use crate::policy::ExponentialBackoff;
-        let stm = Arc::new(
-            Stm::new(BackendKind::ObstructionFree)
-                .with_policy(Arc::new(ExponentialBackoff { base_spins: 4, max_spins: 64 })),
-        );
+        let stm = Arc::new(Stm::new(BackendKind::ObstructionFree).with_policy(Arc::new(
+            ExponentialBackoff { base_spins: 4, max_spins: 64, ..Default::default() },
+        )));
         let counter = stm.alloc(0i64);
         std::thread::scope(|s| {
             for _ in 0..4 {

@@ -17,28 +17,51 @@
 //!
 //! Mechanics:
 //!
-//! * **Commit tickets** — a committer acquires the per-variable chain locks
-//!   of its write set in sorted order (deadlock-free), runs the
-//!   first-committer-wins check, draws a ticket from the allocation clock,
-//!   installs its versions and only then **publishes** the ticket in order
-//!   on the stable clock.  Snapshots read the stable clock, so a snapshot
-//!   never observes a half-installed commit.
+//! * **Commit tickets and the done ring** — a committer acquires the
+//!   per-variable chain locks of its write set in sorted order
+//!   (deadlock-free), runs the first-committer-wins check, draws a ticket
+//!   from the allocation clock, installs its versions, then announces the
+//!   ticket in a fixed-size **done ring** and helps fold consecutive
+//!   announced tickets into the stable clock.  Any committer can fold any
+//!   prefix, so publication is cooperative instead of a serial chain of
+//!   per-thread hand-offs; a committer only waits (yielding) for
+//!   predecessors that are still *installing*.  Snapshots read the stable
+//!   clock, so a snapshot never observes a half-installed commit, and a
+//!   committer returns only once its own ticket is stable (read-your-writes
+//!   across a session's transactions).
+//! * **Striped snapshot registry** — `begin` joins and commit/abort leave a
+//!   registry of active snapshot timestamps, striped by thread so
+//!   registration is an uncontended per-stripe lock instead of one global
+//!   mutex on every transaction.  GC reads the stable clock *first* and the
+//!   stripe minima second; `begin` re-validates the stable clock after
+//!   publishing its stripe minimum, so a concurrent GC either sees the
+//!   registration or used an older (safe) stable bound.
 //! * **Version-chain GC** — each commit prunes the chains it touched down to
-//!   the newest version visible to the **oldest active snapshot** (tracked
-//!   in a registry that `begin` joins and commit/abort leave).  A long-lived
-//!   reader pins exactly one old version per chain; everything older is
-//!   collected immediately, and once the reader ends the chains collapse.
+//!   the newest version visible to the **oldest active snapshot**.  A
+//!   long-lived reader pins exactly one old version per chain; everything
+//!   older is collected immediately, and once the reader ends the chains
+//!   collapse.
 
 use crate::backend::{Backend, VarId};
+use crate::stats::thread_stripe;
 use crate::txn::{AbortReason, StmError, TxnData};
-use parking_lot::{Mutex, RwLock};
+use crate::vartable::VarTable;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Sentinel pushed into [`TxnData::held_locks`] while the attempt's snapshot
 /// is registered (the backend has no per-variable locks to track there).
 const SNAPSHOT: VarId = VarId(usize::MAX);
+
+/// Capacity of the done ring.  The allocation clock is held fewer than
+/// `RING / 2` tickets ahead of the stable clock, so a slot can never be
+/// claimed by two in-flight tickets at once.
+const RING: usize = 1024;
+
+/// How many stripes the snapshot registry uses (threads map onto stripes via
+/// [`thread_stripe`]).
+const SNAP_STRIPES: usize = 16;
 
 /// One committed version of one variable.
 #[derive(Debug, Clone, Copy)]
@@ -50,35 +73,99 @@ struct Version {
 }
 
 /// One variable: its committed version chain, oldest first.
+#[derive(Default)]
 struct Chain {
     versions: Mutex<Vec<Version>>,
 }
 
+/// One stripe of the active-snapshot registry: the timestamps registered by
+/// the threads that hash here, plus a lock-free-readable minimum.
+struct SnapStripe {
+    counts: Mutex<BTreeMap<u64, usize>>,
+    /// Smallest registered timestamp, `u64::MAX` when the stripe is empty.
+    /// Published `SeqCst` so the GC-vs-begin ordering argument below holds.
+    min: AtomicU64,
+}
+
+impl SnapStripe {
+    fn new() -> Self {
+        SnapStripe { counts: Mutex::new(BTreeMap::new()), min: AtomicU64::new(u64::MAX) }
+    }
+
+    fn publish_min(&self, counts: &BTreeMap<u64, usize>) {
+        self.min.store(counts.keys().next().copied().unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+
+    fn register(&self, ts: u64) {
+        let mut counts = self.counts.lock();
+        *counts.entry(ts).or_insert(0) += 1;
+        self.publish_min(&counts);
+    }
+
+    fn deregister(&self, ts: u64) {
+        let mut counts = self.counts.lock();
+        if let Some(count) = counts.get_mut(&ts) {
+            *count -= 1;
+            if *count == 0 {
+                counts.remove(&ts);
+            }
+        }
+        self.publish_min(&counts);
+    }
+}
+
 /// The multi-version snapshot-isolation backend.
 pub struct MvccBackend {
-    chains: RwLock<Vec<Arc<Chain>>>,
+    chains: VarTable<Chain>,
     /// Ticket source: the next commit timestamp is `alloc_clock + 1`.
     alloc_clock: AtomicU64,
-    /// Highest commit timestamp whose versions are fully installed; begin
-    /// snapshots read this.
+    /// Highest commit timestamp whose versions — and all predecessors — are
+    /// fully installed; begin snapshots read this.
     stable_clock: AtomicU64,
-    /// Active snapshot timestamps → how many transactions hold them.
-    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Announced-but-not-yet-folded commit tickets: slot `t % RING` holds
+    /// `t` once ticket `t`'s versions are installed, 0 otherwise.
+    done_ring: Box<[AtomicU64]>,
+    /// Active snapshot timestamps, striped by registering thread.
+    snap_stripes: Box<[SnapStripe]>,
 }
 
 impl MvccBackend {
     /// Create an empty backend.
     pub fn new() -> Self {
         MvccBackend {
-            chains: RwLock::new(Vec::new()),
+            chains: VarTable::new(),
             alloc_clock: AtomicU64::new(0),
             stable_clock: AtomicU64::new(0),
-            snapshots: Mutex::new(BTreeMap::new()),
+            done_ring: (0..RING).map(|_| AtomicU64::new(0)).collect(),
+            snap_stripes: (0..SNAP_STRIPES).map(|_| SnapStripe::new()).collect(),
         }
     }
 
-    fn chain(&self, var: VarId) -> Arc<Chain> {
-        Arc::clone(&self.chains.read()[var.index()])
+    fn stripe(&self) -> &SnapStripe {
+        &self.snap_stripes[thread_stripe() % SNAP_STRIPES]
+    }
+
+    /// Fold every consecutive announced ticket into the stable clock.  Any
+    /// thread may fold any prefix; the loop stops at the first gap (a ticket
+    /// drawn but not yet announced — its owner is still installing).
+    fn advance_stable(&self) {
+        loop {
+            let stable = self.stable_clock.load(Ordering::SeqCst);
+            let next = stable + 1;
+            let slot = &self.done_ring[(next % RING as u64) as usize];
+            if slot.load(Ordering::SeqCst) != next {
+                return;
+            }
+            if self
+                .stable_clock
+                .compare_exchange(stable, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Hygiene only: a stale slot value is overwritten by the
+                // ticket that reuses the slot a full ring later.
+                let _ = slot.compare_exchange(next, 0, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
     }
 
     /// Deregister the attempt's snapshot (idempotent within the attempt:
@@ -89,26 +176,38 @@ impl MvccBackend {
             return;
         }
         data.held_locks.pop();
-        let mut snaps = self.snapshots.lock();
-        if let Some(count) = snaps.get_mut(&data.start_ts) {
-            *count -= 1;
-            if *count == 0 {
-                snaps.remove(&data.start_ts);
-            }
-        }
+        // begin/commit/cleanup run on one thread, so this is the stripe the
+        // snapshot was registered in.
+        self.stripe().deregister(data.start_ts);
     }
 
     /// The oldest snapshot any live transaction still reads from; versions
     /// strictly older than the newest one visible to it are garbage.
+    ///
+    /// The stable clock is read **before** the stripe minima: if this scan
+    /// raced a `begin` and missed its registration, the `SeqCst` order puts
+    /// our stable read before that begin's post-registration re-read, so the
+    /// bound we return is at most the timestamp that begin settled on.
     fn oldest_active_snapshot(&self) -> u64 {
-        let snaps = self.snapshots.lock();
-        snaps.keys().next().copied().unwrap_or_else(|| self.stable_clock.load(Ordering::Acquire))
+        let stable = self.stable_clock.load(Ordering::SeqCst);
+        let registered = self
+            .snap_stripes
+            .iter()
+            .map(|s| s.min.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        stable.min(registered)
+    }
+
+    /// How many snapshots are currently registered (diagnostics and tests).
+    pub fn active_snapshots(&self) -> usize {
+        self.snap_stripes.iter().map(|s| s.counts.lock().values().sum::<usize>()).sum()
     }
 
     /// How many versions `var`'s chain currently holds (diagnostics and GC
     /// tests).
     pub fn chain_len(&self, var: VarId) -> usize {
-        self.chain(var).versions.lock().len()
+        self.chains.get(var.index()).versions.lock().len()
     }
 }
 
@@ -129,24 +228,28 @@ impl Default for MvccBackend {
 
 impl Backend for MvccBackend {
     fn alloc_words(&self, initials: &[i64]) -> VarId {
-        let mut chains = self.chains.write();
-        let base = chains.len();
-        chains.extend(initials.iter().map(|&value| {
-            Arc::new(Chain { versions: Mutex::new(vec![Version { ts: 0, value }]) })
-        }));
-        VarId(base)
+        VarId(self.chains.alloc_init(initials.len(), |k, chain| {
+            chain.versions.lock().push(Version { ts: 0, value: initials[k] });
+        }))
     }
 
     fn begin(&self, data: &mut TxnData) {
         data.reset();
-        // Register under the snapshot lock so GC (which takes the same lock
-        // to compute the oldest active snapshot) can never prune a version
-        // between our clock read and our registration.
-        let mut snaps = self.snapshots.lock();
-        let ts = self.stable_clock.load(Ordering::Acquire);
-        *snaps.entry(ts).or_insert(0) += 1;
-        drop(snaps);
-        data.start_ts = ts;
+        let stripe = self.stripe();
+        // Register, then re-validate the stable clock: a concurrent GC that
+        // missed the registration must have read the stable clock before our
+        // re-read (SeqCst), so its pruning bound was ≤ the timestamp we keep.
+        // If the clock moved we re-register at the newer value — nothing has
+        // been read yet, so switching snapshots is free.
+        loop {
+            let ts = self.stable_clock.load(Ordering::SeqCst);
+            stripe.register(ts);
+            if self.stable_clock.load(Ordering::SeqCst) == ts {
+                data.start_ts = ts;
+                break;
+            }
+            stripe.deregister(ts);
+        }
         data.held_locks.push(SNAPSHOT);
     }
 
@@ -157,8 +260,7 @@ impl Backend for MvccBackend {
         if let Some(v) = data.read_cache.get(&var) {
             return Ok(*v);
         }
-        let chain = self.chain(var);
-        let versions = chain.versions.lock();
+        let versions = self.chains.get(var.index()).versions.lock();
         // The newest version no newer than the snapshot.  GC keeps the
         // newest version visible to the oldest active snapshot, and ours is
         // registered, so this always exists.
@@ -185,12 +287,9 @@ impl Backend for MvccBackend {
             return Ok(());
         }
         // Lock the written chains in ascending VarId order (the write set is
-        // a BTreeMap) — every committer sorts the same way, so no deadlock.
-        let chains: Vec<Arc<Chain>> = {
-            let store = self.chains.read();
-            data.write_set.keys().map(|v| Arc::clone(&store[v.index()])).collect()
-        };
-        let mut guards: Vec<_> = chains.iter().map(|c| c.versions.lock()).collect();
+        // sorted) — every committer sorts the same way, so no deadlock.
+        let mut guards: Vec<_> =
+            data.write_set.keys().map(|v| self.chains.get(v.index()).versions.lock()).collect();
         // First-committer-wins: any version newer than our snapshot on a
         // variable we write means someone committed first.
         for guard in &guards {
@@ -201,6 +300,20 @@ impl Backend for MvccBackend {
             }
         }
         data.mark_validated();
+        // Bound the allocation clock's lead so ring slots are never shared
+        // by two in-flight tickets (needs lead < RING; enforced at RING/2
+        // with plenty of slack for racing committers past the check).
+        while self
+            .alloc_clock
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.stable_clock.load(Ordering::Relaxed))
+            >= RING as u64 / 2
+        {
+            self.advance_stable();
+            std::thread::yield_now();
+        }
+        // Every drawn ticket is announced (nothing below can fail), so the
+        // stable clock never waits on a gap that will not fill.
         let commit_ts = self.alloc_clock.fetch_add(1, Ordering::AcqRel) + 1;
         let oldest = self.oldest_active_snapshot();
         for (guard, &value) in guards.iter_mut().zip(data.write_set.values()) {
@@ -208,12 +321,18 @@ impl Backend for MvccBackend {
             gc_chain(guard, oldest);
         }
         drop(guards);
-        // Publish in ticket order: a snapshot taken at stable clock `s` sees
-        // exactly the fully-installed commits 1..=s.  Earlier ticket holders
-        // are past their conflict checks and only installing, so this spin
-        // always makes progress.
+        // Announce the installed ticket and fold ready prefixes
+        // cooperatively; then wait (helping) until our own ticket is stable
+        // so a session's next snapshot includes this commit.  The only wait
+        // is for predecessors still installing — announced predecessors are
+        // folded by whoever gets here first.
+        self.done_ring[(commit_ts % RING as u64) as usize].store(commit_ts, Ordering::SeqCst);
         let mut spins = 0u32;
-        while self.stable_clock.load(Ordering::Acquire) != commit_ts - 1 {
+        loop {
+            self.advance_stable();
+            if self.stable_clock.load(Ordering::Acquire) >= commit_ts {
+                break;
+            }
             // Progress depends on the earlier ticket holder being scheduled:
             // yield periodically so an oversubscribed host runs it instead
             // of burning the quantum spinning.
@@ -224,7 +343,6 @@ impl Backend for MvccBackend {
                 std::hint::spin_loop();
             }
         }
-        self.stable_clock.store(commit_ts, Ordering::Release);
         self.end_snapshot(data);
         Ok(())
     }
@@ -355,7 +473,7 @@ mod tests {
         b.write(&mut t, v, 99).unwrap();
         b.cleanup(&mut t); // user abort
         assert_eq!(b.chain_len(v), 1, "buffered writes never land");
-        assert!(b.snapshots.lock().is_empty(), "snapshot registry drained");
+        assert_eq!(b.active_snapshots(), 0, "snapshot registry drained");
         // Commit-path failure also drains the registry.
         let mut t1 = txn(&b);
         let mut t2 = txn(&b);
@@ -364,7 +482,37 @@ mod tests {
         b.commit(&mut t1).unwrap();
         assert!(b.commit(&mut t2).is_err());
         b.cleanup(&mut t2);
-        assert!(b.snapshots.lock().is_empty());
+        assert_eq!(b.active_snapshots(), 0);
+    }
+
+    #[test]
+    fn stable_clock_follows_the_done_ring_exactly() {
+        // Commits from many threads over disjoint variables: every ticket is
+        // announced and folded, so afterwards both clocks agree and every
+        // write is visible at its variable's head version.
+        let b = std::sync::Arc::new(MvccBackend::new());
+        let vars: Vec<VarId> = (0..8).map(|_| b.alloc(0)).collect();
+        std::thread::scope(|s| {
+            for (t, &var) in vars.iter().enumerate() {
+                let b = std::sync::Arc::clone(&b);
+                s.spawn(move || {
+                    for i in 1..=200 {
+                        let mut d = txn(&b);
+                        b.write(&mut d, var, (t as i64) * 1_000 + i).unwrap();
+                        b.commit(&mut d).unwrap();
+                    }
+                });
+            }
+        });
+        let alloc = b.alloc_clock.load(Ordering::SeqCst);
+        let stable = b.stable_clock.load(Ordering::SeqCst);
+        assert_eq!(alloc, stable, "every announced ticket was folded");
+        assert_eq!(stable, 8 * 200);
+        let mut check = txn(&b);
+        for (t, &var) in vars.iter().enumerate() {
+            assert_eq!(b.read(&mut check, var).unwrap(), (t as i64) * 1_000 + 200);
+        }
+        b.cleanup(&mut check);
     }
 
     #[test]

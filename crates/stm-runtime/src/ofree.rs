@@ -16,39 +16,29 @@
 
 use crate::backend::{Backend, VarId};
 use crate::txn::{AbortReason, StmError, TxnData};
-use parking_lot::RwLock;
+use crate::vartable::VarTable;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 
+#[derive(Default)]
 struct Cell {
     locked: AtomicBool,
     version: AtomicU64,
     value: AtomicI64,
 }
 
-impl Cell {
-    fn new(initial: i64) -> Self {
-        Cell {
-            locked: AtomicBool::new(false),
-            version: AtomicU64::new(0),
-            value: AtomicI64::new(initial),
-        }
-    }
-}
-
 /// The obstruction-free backend.
 pub struct OFreeBackend {
-    cells: RwLock<Vec<Arc<Cell>>>,
+    cells: VarTable<Cell>,
 }
 
 impl OFreeBackend {
     /// Create an empty backend.
     pub fn new() -> Self {
-        OFreeBackend { cells: RwLock::new(Vec::new()) }
+        OFreeBackend { cells: VarTable::new() }
     }
 
-    fn cell(&self, var: VarId) -> Arc<Cell> {
-        Arc::clone(&self.cells.read()[var.index()])
+    fn cell(&self, var: VarId) -> &Cell {
+        self.cells.get(var.index())
     }
 
     fn release_all(&self, data: &mut TxnData) {
@@ -66,10 +56,9 @@ impl Default for OFreeBackend {
 
 impl Backend for OFreeBackend {
     fn alloc_words(&self, initials: &[i64]) -> VarId {
-        let mut cells = self.cells.write();
-        let base = cells.len();
-        cells.extend(initials.iter().map(|&v| Arc::new(Cell::new(v))));
-        VarId(base)
+        VarId(self.cells.alloc_init(initials.len(), |k, cell| {
+            cell.value.store(initials[k], Ordering::Relaxed);
+        }))
     }
 
     fn begin(&self, data: &mut TxnData) {
@@ -107,9 +96,9 @@ impl Backend for OFreeBackend {
 
     fn commit(&self, data: &mut TxnData) -> Result<(), StmError> {
         // Acquire write locks in variable order, aborting on the first busy one.
-        let targets: Vec<VarId> = data.write_set.keys().copied().collect();
-        for var in &targets {
-            let cell = self.cell(*var);
+        for i in 0..data.write_set.len() {
+            let var = data.write_set.key_at(i);
+            let cell = self.cell(var);
             if cell
                 .locked
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -119,7 +108,7 @@ impl Backend for OFreeBackend {
                 data.set_abort_reason(AbortReason::LockConflict);
                 return Err(StmError::Aborted);
             }
-            data.held_locks.push(*var);
+            data.held_locks.push(var);
         }
         // Validate the read set.
         for (var, recorded) in &data.read_versions {
@@ -134,7 +123,7 @@ impl Backend for OFreeBackend {
         }
         data.mark_validated();
         // Install and release.
-        for (var, value) in data.write_set.clone() {
+        for (&var, &value) in &data.write_set {
             let cell = self.cell(var);
             cell.value.store(value, Ordering::Release);
             cell.version.fetch_add(1, Ordering::AcqRel);
@@ -151,6 +140,7 @@ impl Backend for OFreeBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn uncontended_transactions_commit() {

@@ -13,10 +13,10 @@
 
 use crate::backend::{Backend, VarId};
 use crate::txn::{StmError, TxnData};
-use parking_lot::RwLock;
+use crate::vartable::VarTable;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 static NEXT_INSTANCE: AtomicUsize = AtomicUsize::new(0);
 
@@ -28,7 +28,9 @@ thread_local! {
 /// The thread-local-replica backend.
 pub struct PramLocalBackend {
     instance: usize,
-    initials: RwLock<Vec<i64>>,
+    /// The allocation-time initial values (immutable after allocation; the
+    /// atomic is only VarTable's interior-mutability requirement).
+    initials: VarTable<AtomicI64>,
 }
 
 impl PramLocalBackend {
@@ -36,12 +38,12 @@ impl PramLocalBackend {
     pub fn new() -> Self {
         PramLocalBackend {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
-            initials: RwLock::new(Vec::new()),
+            initials: VarTable::new(),
         }
     }
 
     fn local_read(&self, var: VarId) -> i64 {
-        let initial = self.initials.read()[var.index()];
+        let initial = self.initials.get(var.index()).load(Ordering::Relaxed);
         REPLICAS.with(|r| *r.borrow().get(&(self.instance, var.index())).unwrap_or(&initial))
     }
 
@@ -60,10 +62,9 @@ impl Default for PramLocalBackend {
 
 impl Backend for PramLocalBackend {
     fn alloc_words(&self, words: &[i64]) -> VarId {
-        let mut initials = self.initials.write();
-        let base = initials.len();
-        initials.extend_from_slice(words);
-        VarId(base)
+        VarId(self.initials.alloc_init(words.len(), |k, slot| {
+            slot.store(words[k], Ordering::Relaxed);
+        }))
     }
 
     fn begin(&self, data: &mut TxnData) {

@@ -37,9 +37,10 @@
 //! end-to-end memory stays bounded no matter how long the run is.
 
 use crate::backend::VarId;
+use crate::txn::VarMap;
 use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -50,9 +51,9 @@ pub struct CommitRecord<'a> {
     /// if any.
     pub session: Option<usize>,
     /// Externally-read variables and the value the first read observed.
-    pub reads: &'a BTreeMap<VarId, i64>,
+    pub reads: &'a VarMap<i64>,
     /// Variables written and the values installed at commit.
-    pub writes: &'a BTreeMap<VarId, i64>,
+    pub writes: &'a VarMap<i64>,
 }
 
 /// A sink for commit records (implemented by `tm-audit`'s history recorder).

@@ -22,7 +22,7 @@
 
 use crate::backend::{Backend, VarId};
 use crate::txn::{AbortReason, StmError, TxnData};
-use parking_lot::RwLock;
+use crate::vartable::VarTable;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
@@ -98,7 +98,7 @@ pub fn shard_of(var: VarId) -> usize {
 
 /// The sharded reader-writer-lock backend.
 pub struct ShardLockBackend {
-    values: RwLock<Vec<AtomicI64>>,
+    values: VarTable<AtomicI64>,
     shards: Vec<Shard>,
     spin_limit: usize,
 }
@@ -112,7 +112,7 @@ impl ShardLockBackend {
     /// Create a backend with a custom spin budget (used by tests).
     pub fn with_spin_limit(spin_limit: usize) -> Self {
         ShardLockBackend {
-            values: RwLock::new(Vec::new()),
+            values: VarTable::new(),
             shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             spin_limit,
         }
@@ -133,10 +133,9 @@ impl Default for ShardLockBackend {
 
 impl Backend for ShardLockBackend {
     fn alloc_words(&self, initials: &[i64]) -> VarId {
-        let mut values = self.values.write();
-        let base = values.len();
-        values.extend(initials.iter().map(|&v| AtomicI64::new(v)));
-        VarId(base)
+        VarId(self.values.alloc_init(initials.len(), |k, slot| {
+            slot.store(initials[k], Ordering::Relaxed);
+        }))
     }
 
     fn begin(&self, data: &mut TxnData) {
@@ -157,7 +156,7 @@ impl Backend for ShardLockBackend {
                 continue;
             }
             let v1 = shard.version.load(Ordering::Acquire);
-            let value = self.values.read()[var.index()].load(Ordering::Acquire);
+            let value = self.values.get(var.index()).load(Ordering::Acquire);
             let v2 = shard.version.load(Ordering::Acquire);
             if v1 == v2 && shard.state.load(Ordering::Acquire) & WRITER == 0 {
                 // One consistent version per shard per attempt: the first
@@ -228,9 +227,8 @@ impl Backend for ShardLockBackend {
         data.mark_validated();
         // Install under all the locks (the single atomic commit point).
         if !data.write_set.is_empty() {
-            let values = self.values.read();
-            for (var, &value) in &data.write_set {
-                values[var.index()].store(value, Ordering::Release);
+            for (&var, &value) in &data.write_set {
+                self.values.get(var.index()).store(value, Ordering::Release);
             }
             for &shard in &write_shards {
                 self.shards[shard].version.fetch_add(1, Ordering::AcqRel);

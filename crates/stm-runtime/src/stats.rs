@@ -2,15 +2,46 @@
 //! per-transaction attempt histogram that makes retry policies measurable
 //! and the per-reason abort taxonomy that makes each backend's sacrifice
 //! visible.
+//!
+//! The counters are **striped**: each thread writes its own cache-line-padded
+//! stripe (assigned round-robin on first use) and readers sum across stripes.
+//! Counts stay exact — a read sums whatever every stripe holds at that moment
+//! — but the hot path never bounces a shared cache line between committing
+//! threads, which used to serialize disjoint transactions through the stats
+//! block even with telemetry off.
 
 use crate::txn::AbortReason;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// log2-spaced attempt buckets: bucket 0 holds exactly 1 attempt, bucket
 /// `i >= 1` holds `[2^(i-1) + 1, 2^i]` attempts.  33 buckets cover the whole
 /// `u32` attempt range, so p99/mean no longer flatten at a "17+" overflow
 /// bucket the way the old 17 linear buckets did.
 const ATTEMPT_BUCKETS: usize = 33;
+
+/// How many cache-line-padded counter stripes a [`StmStats`] carries (power
+/// of two so the stripe pick is a mask).
+const STRIPES: usize = 16;
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's stable stripe index (assigned round-robin on first
+/// use, shared by every striped structure in the crate).
+pub(crate) fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|s| {
+        let mut id = s.get();
+        if id == usize::MAX {
+            id = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+            s.set(id);
+        }
+        id
+    })
+}
 
 fn attempt_bucket(attempts: u32) -> usize {
     // 1 → 0, 2 → 1, 3..4 → 2, 5..8 → 3, …, (2^31+1).. → 32.
@@ -26,24 +57,21 @@ fn attempt_bucket_lower_bound(i: usize) -> u32 {
     }
 }
 
-/// Commit / abort / retry counters, the per-reason abort taxonomy, and the
-/// attempts-per-transaction histogram for one [`crate::Stm`] instance.
+/// One thread-stripe of counters, padded out to its own cache lines so
+/// commits on different threads never write the same line.
+#[repr(align(128))]
 #[derive(Debug)]
-pub struct StmStats {
+struct StatStripe {
     commits: AtomicU64,
     aborts: AtomicU64,
     retries: AtomicU64,
-    /// One counter per [`AbortReason`]; at rest their sum equals `aborts`.
     abort_reasons: [AtomicU64; AbortReason::ALL.len()],
-    /// `attempts[i]` counts transactions that finished (committed or gave
-    /// up) within bucket `i`'s attempt range (log2-spaced, see
-    /// [`attempt_bucket`]).
     attempts: [AtomicU64; ATTEMPT_BUCKETS],
 }
 
-impl Default for StmStats {
+impl Default for StatStripe {
     fn default() -> Self {
-        StmStats {
+        StatStripe {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
@@ -53,53 +81,79 @@ impl Default for StmStats {
     }
 }
 
+/// Commit / abort / retry counters, the per-reason abort taxonomy, and the
+/// attempts-per-transaction histogram for one [`crate::Stm`] instance.
+#[derive(Debug)]
+pub struct StmStats {
+    stripes: Box<[StatStripe; STRIPES]>,
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        StmStats { stripes: Box::new(std::array::from_fn(|_| StatStripe::default())) }
+    }
+}
+
 impl StmStats {
+    #[inline]
+    fn local(&self) -> &StatStripe {
+        &self.stripes[thread_stripe() & (STRIPES - 1)]
+    }
+
+    fn sum(&self, field: impl Fn(&StatStripe) -> &AtomicU64) -> u64 {
+        self.stripes.iter().map(|s| field(s).load(Ordering::Relaxed)).sum()
+    }
+
     /// Record a successful commit.
     pub fn record_commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.local().commits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an aborted attempt and why it aborted.
     pub fn record_abort(&self, reason: AbortReason) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
-        self.abort_reasons[reason.index()].fetch_add(1, Ordering::Relaxed);
+        let stripe = self.local();
+        stripe.aborts.fetch_add(1, Ordering::Relaxed);
+        stripe.abort_reasons[reason.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Move one recorded abort from one reason to another (the front-end
     /// reclassifies a bounded-retry transaction's final abort as
     /// [`AbortReason::Giveup`] once the policy stops it).  The total abort
     /// count is untouched, so `sum(reasons) == aborts()` holds at rest.
+    /// Must run on the thread that recorded the abort (the retry loop does),
+    /// so the decrement lands on the stripe that holds the count.
     pub fn reclassify_abort(&self, from: AbortReason, to: AbortReason) {
         if from != to {
-            self.abort_reasons[from.index()].fetch_sub(1, Ordering::Relaxed);
-            self.abort_reasons[to.index()].fetch_add(1, Ordering::Relaxed);
+            let stripe = self.local();
+            stripe.abort_reasons[from.index()].fetch_sub(1, Ordering::Relaxed);
+            stripe.abort_reasons[to.index()].fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Record a retry (an abort followed by another attempt).
     pub fn record_retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.local().retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record how many attempts one transaction took to finish (commit or
     /// give up).  `attempts` is 1-based; 0 is treated as 1.
     pub fn record_attempts(&self, attempts: u32) {
-        self.attempts[attempt_bucket(attempts)].fetch_add(1, Ordering::Relaxed);
+        self.local().attempts[attempt_bucket(attempts)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of commits so far.
     pub fn commits(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.sum(|s| &s.commits)
     }
 
     /// Number of aborted attempts so far.
     pub fn aborts(&self) -> u64 {
-        self.aborts.load(Ordering::Relaxed)
+        self.sum(|s| &s.aborts)
     }
 
     /// Aborts recorded for one specific reason.
     pub fn aborts_by(&self, reason: AbortReason) -> u64 {
-        self.abort_reasons[reason.index()].load(Ordering::Relaxed)
+        self.sum(|s| &s.abort_reasons[reason.index()])
     }
 
     /// The whole abort taxonomy, in [`AbortReason::ALL`] order.
@@ -109,7 +163,7 @@ impl StmStats {
 
     /// Number of retries so far.
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.sum(|s| &s.retries)
     }
 
     /// Abort ratio: aborts / (commits + aborts); 0.0 when nothing ran.
@@ -127,7 +181,7 @@ impl StmStats {
     /// finished within bucket `i`'s log2-spaced attempt range (bucket 0 is
     /// exactly 1 attempt, bucket `i >= 1` spans `2^(i-1)+1 ..= 2^i`).
     pub fn attempts_histogram(&self) -> [u64; ATTEMPT_BUCKETS] {
-        std::array::from_fn(|i| self.attempts[i].load(Ordering::Relaxed))
+        std::array::from_fn(|i| self.sum(|s| &s.attempts[i]))
     }
 
     /// Transactions with a recorded attempt count.
@@ -217,6 +271,30 @@ mod tests {
         assert_eq!(s.aborts_by(AbortReason::Giveup), 1);
         let sum: u64 = s.abort_reason_counts().iter().map(|(_, n)| n).sum();
         assert_eq!(sum, s.aborts());
+    }
+
+    #[test]
+    fn striped_counters_stay_exact_across_threads() {
+        let s = std::sync::Arc::new(StmStats::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        s.record_commit();
+                        s.record_abort(AbortReason::LockConflict);
+                        s.record_retry();
+                        s.record_attempts(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.commits(), 8_000);
+        assert_eq!(s.aborts(), 8_000);
+        assert_eq!(s.aborts_by(AbortReason::LockConflict), 8_000);
+        assert_eq!(s.retries(), 8_000);
+        assert_eq!(s.attempts_recorded(), 8_000);
+        assert_eq!(s.attempts_p50(), 2);
     }
 
     #[test]

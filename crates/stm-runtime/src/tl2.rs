@@ -19,13 +19,13 @@
 
 use crate::backend::{Backend, VarId};
 use crate::txn::{AbortReason, StmError, TxnData};
-use parking_lot::RwLock;
+use crate::vartable::VarTable;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// How long a transaction spins on a busy lock before giving up with an abort.
 pub const SPIN_LIMIT: usize = 50_000;
 
+#[derive(Default)]
 struct Cell {
     locked: AtomicBool,
     version: AtomicU64,
@@ -33,14 +33,6 @@ struct Cell {
 }
 
 impl Cell {
-    fn new(initial: i64) -> Self {
-        Cell {
-            locked: AtomicBool::new(false),
-            version: AtomicU64::new(0),
-            value: AtomicI64::new(initial),
-        }
-    }
-
     /// Consistent unlocked snapshot of (version, value); `None` if the cell stayed
     /// locked or changed under us for the whole spin budget.
     fn snapshot(&self, spin_limit: usize) -> Option<(u64, i64)> {
@@ -71,23 +63,23 @@ impl Cell {
 
 /// The eager-locking (blocking) backend.
 pub struct Tl2Backend {
-    cells: RwLock<Vec<Arc<Cell>>>,
+    cells: VarTable<Cell>,
     spin_limit: usize,
 }
 
 impl Tl2Backend {
     /// Create an empty backend.
     pub fn new() -> Self {
-        Tl2Backend { cells: RwLock::new(Vec::new()), spin_limit: SPIN_LIMIT }
+        Tl2Backend { cells: VarTable::new(), spin_limit: SPIN_LIMIT }
     }
 
     /// Create a backend with a custom spin budget (used by tests).
     pub fn with_spin_limit(spin_limit: usize) -> Self {
-        Tl2Backend { cells: RwLock::new(Vec::new()), spin_limit }
+        Tl2Backend { cells: VarTable::new(), spin_limit }
     }
 
-    fn cell(&self, var: VarId) -> Arc<Cell> {
-        Arc::clone(&self.cells.read()[var.index()])
+    fn cell(&self, var: VarId) -> &Cell {
+        self.cells.get(var.index())
     }
 
     fn release_all(&self, data: &mut TxnData) {
@@ -105,10 +97,9 @@ impl Default for Tl2Backend {
 
 impl Backend for Tl2Backend {
     fn alloc_words(&self, initials: &[i64]) -> VarId {
-        let mut cells = self.cells.write();
-        let base = cells.len();
-        cells.extend(initials.iter().map(|&v| Arc::new(Cell::new(v))));
-        VarId(base)
+        VarId(self.cells.alloc_init(initials.len(), |k, cell| {
+            cell.value.store(initials[k], Ordering::Relaxed);
+        }))
     }
 
     fn begin(&self, data: &mut TxnData) {
@@ -177,7 +168,7 @@ impl Backend for Tl2Backend {
         }
         data.mark_validated();
         // Install the writes and release the locks.
-        for (var, value) in data.write_set.clone() {
+        for (&var, &value) in &data.write_set {
             let cell = self.cell(var);
             cell.value.store(value, Ordering::Release);
             cell.version.fetch_add(1, Ordering::AcqRel);
@@ -194,6 +185,7 @@ impl Backend for Tl2Backend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use std::time::Duration;
 
     #[test]

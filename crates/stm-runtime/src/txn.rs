@@ -3,8 +3,101 @@
 use crate::backend::{Backend, VarId};
 use crate::tvar::TVar;
 use crate::value::TxnValue;
-use std::collections::BTreeMap;
 use std::fmt;
+
+/// A sorted-vector map from [`VarId`] to a per-variable value — the hot-path
+/// replacement for the `BTreeMap`s transaction attempts used to allocate.
+///
+/// Transactions touch a handful of variables, so a sorted `Vec` beats a tree:
+/// lookups are a binary search over one contiguous allocation, iteration is
+/// cache-linear and **`clear` retains capacity**, which is the point — one
+/// [`TxnData`] now lives across every attempt of a retry loop, so after the
+/// first attempt the per-attempt allocation count drops to zero.
+///
+/// The API mirrors the `BTreeMap` subset the backends use (`get` / `insert` /
+/// `keys` / `values` / sorted iteration), so call sites read the same.
+#[derive(Debug, Default, Clone)]
+pub struct VarMap<V> {
+    entries: Vec<(VarId, V)>,
+}
+
+impl<V> VarMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        VarMap { entries: Vec::new() }
+    }
+
+    fn position(&self, var: VarId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&var, |&(v, _)| v)
+    }
+
+    /// The value recorded for `var`, if any.
+    pub fn get(&self, var: &VarId) -> Option<&V> {
+        self.position(*var).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// `true` if `var` has an entry.
+    pub fn contains_key(&self, var: &VarId) -> bool {
+        self.position(*var).is_ok()
+    }
+
+    /// Insert or replace, returning the previous value if any.
+    pub fn insert(&mut self, var: VarId, value: V) -> Option<V> {
+        match self.position(var) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (var, value));
+                None
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry, **keeping the allocation** for the next attempt.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The entries in ascending [`VarId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &V)> {
+        self.entries.iter().map(|(v, x)| (v, x))
+    }
+
+    /// The keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &VarId> {
+        self.entries.iter().map(|(v, _)| v)
+    }
+
+    /// The values, in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, x)| x)
+    }
+
+    /// The key at sorted position `i` (for index-based loops that also need
+    /// to mutate sibling [`TxnData`] fields while walking the map).
+    pub fn key_at(&self, i: usize) -> VarId {
+        self.entries[i].0
+    }
+}
+
+impl<'a, V> IntoIterator for &'a VarMap<V> {
+    type Item = (&'a VarId, &'a V);
+    type IntoIter =
+        std::iter::Map<std::slice::Iter<'a, (VarId, V)>, fn(&'a (VarId, V)) -> (&'a VarId, &'a V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(v, x)| (v, x))
+    }
+}
 
 /// Why a transaction attempt failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +184,12 @@ pub struct TxnData {
     /// Snapshot timestamp (read of the global clock at begin), where applicable.
     pub start_ts: u64,
     /// Read set: variable → version observed at first read.
-    pub read_versions: BTreeMap<VarId, u64>,
+    pub read_versions: VarMap<u64>,
     /// Write set: variable → value to install at commit (also serves as the
     /// read-your-own-writes cache).
-    pub write_set: BTreeMap<VarId, i64>,
+    pub write_set: VarMap<i64>,
     /// Values read so far (cache, so repeated reads are stable within the attempt).
-    pub read_cache: BTreeMap<VarId, i64>,
+    pub read_cache: VarMap<i64>,
     /// Locks currently held (populated only during commit, used by `cleanup`).
     pub held_locks: Vec<VarId>,
     /// Set by the backend immediately before it returns
@@ -236,6 +329,32 @@ mod tests {
         assert_eq!(d.abort_reason, None);
         assert!(!d.timing);
         assert!(d.validated_at.is_none());
+    }
+
+    #[test]
+    fn var_map_behaves_like_a_sorted_map() {
+        let mut m: VarMap<i64> = VarMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(VarId(5), 50), None);
+        assert_eq!(m.insert(VarId(1), 10), None);
+        assert_eq!(m.insert(VarId(3), 30), None);
+        assert_eq!(m.insert(VarId(3), 31), Some(30), "insert replaces");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&VarId(1)), Some(&10));
+        assert_eq!(m.get(&VarId(2)), None);
+        assert!(m.contains_key(&VarId(5)));
+        // Iteration is ascending by VarId — the property the sorted-order
+        // lock acquisition in the backends and the recorder both rely on.
+        let pairs: Vec<(VarId, i64)> = m.iter().map(|(v, x)| (*v, *x)).collect();
+        assert_eq!(pairs, vec![(VarId(1), 10), (VarId(3), 31), (VarId(5), 50)]);
+        let keys: Vec<VarId> = m.keys().copied().collect();
+        assert_eq!(keys, vec![VarId(1), VarId(3), VarId(5)]);
+        assert_eq!(m.key_at(1), VarId(3));
+        let values: Vec<i64> = m.values().copied().collect();
+        assert_eq!(values, vec![10, 31, 50]);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&VarId(1)), None);
     }
 
     #[test]

@@ -90,8 +90,9 @@ pub mod workload;
 pub use adapter::from_execution;
 pub use history::{AuditHistory, AuditTxn, HistoryError, TxnId};
 pub use partition::{
-    audit_sharded, partition_of, PartitionLag, PartitionVerdict, ShardConfig, ShardConviction,
-    ShardEvent, ShardLagProbe, ShardedAuditor, ShardedStreamReport,
+    audit_sharded, audit_sharded_adaptive, partition_of, BandMove, BandRouter, PartitionLag,
+    PartitionVerdict, ShardConfig, ShardConviction, ShardEvent, ShardLagProbe, ShardedAuditor,
+    ShardedStreamReport,
 };
 pub use recorder::HistoryRecorder;
 pub use report::{AuditReport, Level, LevelReport, Outcome};

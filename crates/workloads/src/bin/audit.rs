@@ -21,8 +21,10 @@
 //!   `registers`).  `write-skew` on `mvcc` is the SI/SER separator: the
 //!   audited run reports SI pass and a serializability violation with a
 //!   write-skew witness;
-//! * `--retry POLICY` — retry pacing: `immediate`, `bounded:N`, `backoff`
-//!   or `backoff:BASE:MAX` (default `immediate`);
+//! * `--retry POLICY` — contention-manager retry pacing: `immediate`,
+//!   `bounded:N`, `backoff[:BASE:MAX[:TOTAL]]`, `karma[:BASE]`,
+//!   `timestamp[:BASE]` or `adaptive[:BASE:MAX]` (default `immediate`; see
+//!   `stm_runtime::policy::POLICY_SPECS` for every spelling);
 //! * `--threads N` — worker threads = audit sessions (default 4);
 //! * `--txns N` — committed transactions per thread (default 2500);
 //! * `--vars N` — scenario variable pool size (default 64);
@@ -35,7 +37,10 @@
 //!   full streaming spec — `shards=K` fans the stream out to `K`
 //!   per-variable-partition windowed auditors plus a cross-partition
 //!   escalation lane, so audit throughput scales with cores (see
-//!   `tm-audit::partition` for the soundness statement).  Only *recordable*
+//!   `tm-audit::partition` for the soundness statement).  `--adaptive` adds
+//!   the live band router on top: the lag sampler re-bands hot variable
+//!   partitions onto cooler auditor lanes mid-stream (verdicts stay sound;
+//!   routing is no longer reproducible across runs).  Only *recordable*
 //!   scenarios (unique write values) can be audited: asking for an audited
 //!   `bank` run is an error, and `--scenario all` skips it with a note;
 //! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
@@ -150,6 +155,7 @@ struct Args {
     serve_rounds: u64,
     sink: Option<String>,
     metrics: bool,
+    adaptive: bool,
 }
 
 impl Default for Args {
@@ -173,6 +179,7 @@ impl Default for Args {
             serve_rounds: 0,
             sink: None,
             metrics: false,
+            adaptive: false,
         }
     }
 }
@@ -241,6 +248,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--sink" => args.sink = Some(value_of(&mut it, "--sink")?),
             "--fail-on-violation" => args.fail_on_violation = true,
             "--metrics" => args.metrics = true,
+            "--adaptive" => args.adaptive = true,
             "--audit" => args.mode = AuditMode::Batch,
             "--serve" => args.serve = true,
             "--serve-rounds" => {
@@ -283,6 +291,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             ));
         }
     }
+    if args.adaptive && !matches!(args.mode, AuditMode::Sharded { .. }) {
+        return Err("--adaptive re-bands the sharded auditor; combine it with \
+                    --audit=window[:size=N]:shards=K (or --serve)"
+            .into());
+    }
     Ok(args)
 }
 
@@ -292,12 +305,16 @@ fn usage() {
          \x20            [--threads N] [--txns N] [--vars N] [--seed N]\n\
          \x20            [--audit[=WINDOW | window[:size=N][:shards=K][:overlap=M]]]\n\
          \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation]\n\
-         \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--list]\n\
+         \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--adaptive]\n\
+         \x20            [--list]\n\
          \n\
          backends and scenarios resolve through their registries; run `audit --list`\n\
-         to see what is registered.  --serve keeps the process alive running audited\n\
-         rounds back to back, streaming line-delimited JSON verdict/window/lag records\n\
-         to stdout (and --sink PATH) until SIGTERM/ctrl-c."
+         to see what is registered.  --retry POLICY is one of immediate, bounded:N,\n\
+         backoff[:BASE:MAX[:TOTAL]], karma[:BASE], timestamp[:BASE], adaptive[:BASE:MAX].\n\
+         --serve keeps the process alive running audited rounds back to back, streaming\n\
+         line-delimited JSON verdict/window/lag records to stdout (and --sink PATH)\n\
+         until SIGTERM/ctrl-c; --adaptive lets the lag sampler re-band hot variable\n\
+         partitions across the sharded auditor's lanes mid-stream."
     );
 }
 
@@ -326,7 +343,8 @@ fn json_run_fields(run: &workloads::ScenarioRunReport) -> String {
     format!(
         "\"scenario\":\"{}\",\"backend\":\"{}\",\"retry\":\"{}\",\"commits\":{},\
          \"throughput\":{:.0},\"aborts\":{},\"abort_reasons\":{{{}}},\"gave_up\":{},\
-         \"attempts_p50\":{},\"attempts_p99\":{},\"attempts_mean\":{:.3},\"invariant\":{}",
+         \"attempts_p50\":{},\"attempts_p99\":{},\"attempts_max\":{},\
+         \"attempts_mean\":{:.3},\"invariant\":{}",
         run.scenario,
         run.config.backend,
         run.config.policy.name(),
@@ -337,6 +355,7 @@ fn json_run_fields(run: &workloads::ScenarioRunReport) -> String {
         run.gave_up,
         run.attempts_p50,
         run.attempts_p99,
+        run.attempts_max,
         run.attempts_mean,
         invariant
     )
@@ -536,7 +555,10 @@ fn serve(args: &Args) -> ExitCode {
             seed: args.seed.wrapping_add(rounds),
             policy: Arc::clone(&args.policy),
         };
-        let shard = ShardConfig::new(shards, window_config(window, args));
+        let shard = ShardConfig {
+            adaptive: args.adaptive,
+            ..ShardConfig::new(shards, window_config(window, args))
+        };
         let (events_tx, events_rx) = std::sync::mpsc::channel::<ShardEvent>();
         let round = rounds;
         let round_done = AtomicBool::new(false);
@@ -728,7 +750,10 @@ fn main() -> ExitCode {
                     ));
                 }
                 AuditMode::Sharded { window, shards } => {
-                    let shard = ShardConfig::new(shards, window_config(window, &args));
+                    let shard = ShardConfig {
+                        adaptive: args.adaptive,
+                        ..ShardConfig::new(shards, window_config(window, &args))
+                    };
                     let report =
                         match run_scenario_audited_sharded(scenario.as_ref(), &config, shard, None)
                         {
@@ -743,15 +768,24 @@ fn main() -> ExitCode {
                     print_run_line(&report.run);
                     println!(
                         "  merged verdict {:.3?} after run end ({} txns through {} partitions \
-                         + escalation lane)",
-                        report.drain_elapsed, report.sharded.total_txns, report.shard.shards
+                         + escalation lane{})",
+                        report.drain_elapsed,
+                        report.sharded.total_txns,
+                        report.shard.shards,
+                        if args.adaptive {
+                            format!(", {} adaptive band moves", report.band_moves)
+                        } else {
+                            String::new()
+                        }
                     );
                     print!("  {}", report.sharded);
                     println!("  verdict: {}\n", report.sharded.summary());
                     json_entries.push(format!(
-                        "{{{},\"mode\":\"window-sharded\",\"drain_ms\":{:.3},\"report\":{}}}",
+                        "{{{},\"mode\":\"window-sharded\",\"drain_ms\":{:.3},\"band_moves\":{},\
+                         \"report\":{}}}",
                         json_run_fields(&report.run),
                         report.drain_elapsed.as_secs_f64() * 1e3,
+                        report.band_moves,
                         report.sharded.to_json()
                     ));
                 }

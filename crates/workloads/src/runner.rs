@@ -202,6 +202,11 @@ pub struct ScenarioRunReport {
     pub attempts_p50: u32,
     /// 99th-percentile attempts per transaction.
     pub attempts_p99: u32,
+    /// Worst-case attempts one transaction needed (histogram bucket lower
+    /// bound).  The livelock statistic: a burst of doomed re-attempts
+    /// against a preempted lock holder lands on too few transactions to
+    /// move p99, but it moves this.
+    pub attempts_max: u32,
     /// Mean attempts per transaction.
     pub attempts_mean: f64,
     /// Transactions abandoned because the retry policy gave up
@@ -287,6 +292,7 @@ fn finish_scenario_report(
         aborts: stats.aborts(),
         attempts_p50: stats.attempts_p50(),
         attempts_p99: stats.attempts_p99(),
+        attempts_max: stats.attempts_quantile(1.0),
         attempts_mean: stats.attempts_mean(),
         // Every scenario transaction ends in a commit or a policy give-up,
         // and both record an attempt count — the difference is the give-ups.
@@ -399,6 +405,9 @@ pub struct ShardedScenarioReport {
     pub drain_elapsed: Duration,
     /// The stitched per-partition verdicts and pipeline statistics.
     pub sharded: ShardedStreamReport,
+    /// Band moves the adaptive router applied during the run (always 0 when
+    /// [`ShardConfig::adaptive`] is off).
+    pub band_moves: u64,
 }
 
 /// Run a recordable scenario while a [`ShardedAuditor`] checks it on `K`
@@ -408,6 +417,12 @@ pub struct ShardedScenarioReport {
 /// is going: every closed window's verdict, first convictions, and a
 /// periodic per-partition lag sample (every ~200 ms) — the feed the audit
 /// CLI's `--serve` endpoint tails as JSON lines.
+///
+/// When [`ShardConfig::adaptive`] is set, the same ~200 ms sampler feeds
+/// each lag snapshot to the auditor's [`tm_audit::BandRouter`], which may
+/// move the most-backlogged partition's hottest band to the idlest
+/// partition — the control plane that keeps one zipfian hot band from
+/// throttling the whole pipeline through backpressure.
 pub fn run_scenario_audited_sharded(
     scenario: &dyn Scenario,
     config: &ScenarioConfig,
@@ -427,6 +442,7 @@ pub fn run_scenario_audited_sharded(
     };
     let shard = auditor.config();
     let probe = auditor.lag_probe();
+    let band_router = shard.adaptive.then(|| auditor.router());
     let done = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
     let (elapsed, sharded) = std::thread::scope(|scope| {
@@ -440,15 +456,25 @@ pub fn run_scenario_audited_sharded(
             merger.finish(&mut auditor);
             auditor.finish()
         });
-        let sampler = events.as_ref().map(|tx| {
-            let tx = tx.clone();
+        // One sampler serves both consumers of the ~200 ms lag snapshot:
+        // the live event feed (when `events` is on) and the adaptive band
+        // router (when `shard.adaptive` is on).
+        let sampler = (events.is_some() || band_router.is_some()).then(|| {
+            let tx = events.clone();
             let probe = probe.clone();
             let done = Arc::clone(&done);
+            let band_router = band_router.clone();
             scope.spawn(move || {
                 while !done.load(Ordering::SeqCst) {
                     std::thread::sleep(Duration::from_millis(200));
-                    if tx.send(ShardEvent::Lag { partitions: probe.sample() }).is_err() {
-                        break;
+                    let lag = probe.sample();
+                    if let Some(router) = &band_router {
+                        router.rebalance(&lag);
+                    }
+                    if let Some(tx) = &tx {
+                        if tx.send(ShardEvent::Lag { partitions: lag }).is_err() {
+                            break;
+                        }
                     }
                 }
             })
@@ -470,7 +496,13 @@ pub fn run_scenario_audited_sharded(
     let total = start.elapsed();
     stm.take_recorder();
     let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
-    Ok(ShardedScenarioReport { run, shard, drain_elapsed: total.saturating_sub(elapsed), sharded })
+    Ok(ShardedScenarioReport {
+        run,
+        shard,
+        drain_elapsed: total.saturating_sub(elapsed),
+        sharded,
+        band_moves: band_router.map_or(0, |r| r.moves()),
+    })
 }
 
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Gate the de-serialized commit hot path: with TRADE1 strong scaling (a
+# fixed total transaction count split across threads), the 4-thread min
+# should sit close to the 1-thread min.  Typical post-fix ratio is ~1.1-1.8x
+# on a single-core runner; the pre-fix serialized path sat at 3-8x.  The
+# 2.5x threshold leaves headroom for scheduler noise without letting a
+# re-serialized Mutex-on-the-hot-path regression through.
+#
+# Usage: scripts/scaling_gate.sh [BENCH_JSON] [MAX_RATIO]
+# Regenerate the input locally with:
+#   PCL_BENCH_TINY=1 PCL_BENCH_SAMPLES=8 PCL_BENCH_ONLY=trade1-disjoint-scaling \
+#     PCL_BENCH_JSON=$PWD/BENCH_scaling.json cargo bench -p bench --bench tradeoffs
+set -euo pipefail
+
+json="${1:-BENCH_scaling.json}"
+max_ratio="${2:-2.5}"
+
+if [ ! -f "$json" ]; then
+  echo "error: $json not found (see usage header for how to generate it)" >&2
+  exit 2
+fi
+
+status=0
+for backend in tl2-blocking pram-local; do
+  one=$(jq -r ".benches[] | select(.name==\"trade1-disjoint-scaling/$backend/1\") | .min_ns" "$json")
+  four=$(jq -r ".benches[] | select(.name==\"trade1-disjoint-scaling/$backend/4\") | .min_ns" "$json")
+  if [ -z "$one" ] || [ -z "$four" ] || [ "$one" = "null" ] || [ "$four" = "null" ]; then
+    echo "::error::$backend: trade1-disjoint-scaling entries missing from $json"
+    status=1
+    continue
+  fi
+  echo "$backend: 1-thread $one ns, 4-thread $four ns"
+  awk -v one="$one" -v four="$four" -v b="$backend" -v max="$max_ratio" \
+    'BEGIN { if (four > max * one) { printf "::error::%s 4-thread min %d ns exceeds %sx the 1-thread min %d ns\n", b, four, max, one; exit 1 } }' \
+    || status=1
+done
+exit $status
