@@ -21,9 +21,13 @@
 //!   The windowed auditor bounded memory; sharding bounds the *throughput*
 //!   gap — audit txns/s must scale with partitions (acceptance: K=4 strictly
 //!   faster than K=1 at 10⁵ transactions).
+//! * **AUDIT5 — history wire codec and generator**: transactions/second the
+//!   `tm-history` encoder, hardened decoder and adversarial generator
+//!   sustain — the export → ingest path and the fuzz lane's input side must
+//!   not become the bottleneck of audit-anything workflows.
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3,
-//! AUDIT4.
+//! AUDIT4, AUDIT5.
 
 use bench::harness::{bench, bench_throughput, black_box};
 use stm_runtime::registry::{OBSTRUCTION_FREE, PRAM_LOCAL, TL2_BLOCKING};
@@ -206,9 +210,48 @@ fn sharded_audit_scaling() {
     }
 }
 
+/// AUDIT5: wire-codec and generator throughput on a recorded 10⁵-txn
+/// history — encode, hardened decode (full validation pass included), and
+/// the adversarial generator at the fuzz lane's anomaly mix.
+fn wire_codec_throughput() {
+    let config = AuditRunConfig {
+        backend: TL2_BLOCKING,
+        sessions: 4,
+        txns_per_session: 25_000,
+        vars: 64,
+        seed: 7,
+    };
+    let history = record_run(config);
+    let txns = history.txn_count() as u64;
+    let doc = tm_history::encode(&history);
+    println!(
+        "audit5-wire: {txns} txns encode to {} KiB (tm-history wire v{})",
+        doc.len() / 1024,
+        tm_history::WIRE_VERSION
+    );
+    bench_throughput("audit5-wire/encode", txns, || tm_history::encode(&history).len());
+    bench_throughput("audit5-wire/decode", txns, || {
+        tm_history::decode(&doc).expect("exported history decodes").txn_count()
+    });
+    let gen_config = tm_history::GenConfig {
+        sessions: 4,
+        txns_per_session: 25_000,
+        vars: 32,
+        lost_update_per_mille: 30,
+        write_skew_per_mille: 30,
+        causal_cycle_per_mille: 30,
+        shard_align: Some(4),
+        ..tm_history::GenConfig::default()
+    };
+    bench_throughput("audit5-wire/generate", txns, || {
+        tm_history::generate(&gen_config).history.txn_count()
+    });
+}
+
 fn main() {
     recording_overhead();
     checker_throughput();
     batch_vs_streaming();
     sharded_audit_scaling();
+    wire_codec_throughput();
 }

@@ -91,7 +91,7 @@ pub use backend::{Backend, BackendKind, VarId};
 pub use policy::{RetryDecision, RetryPolicy};
 pub use recorder::{
     footprint_of, route_band, CommitBatch, CommitRecord, OwnedCommitRecord, Recorder,
-    StreamConsumer, StreamingRecorder, ROUTE_BANDS,
+    StreamConsumer, StreamingRecorder, TeeRecorder, ROUTE_BANDS,
 };
 pub use registry::{BackendId, BackendSpec};
 pub use stats::StmStats;

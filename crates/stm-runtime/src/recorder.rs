@@ -290,6 +290,38 @@ impl Recorder for StreamingRecorder {
     }
 }
 
+/// Fans every commit record out to two recorders — the export hook that
+/// lets a secondary observer (a metrics counter, an on-disk spill, a second
+/// auditor) ride along with the primary recorder without touching the
+/// runtime's single `Option<Arc<dyn Recorder>>` slot.
+///
+/// Both recorders see the same [`CommitRecord`], on the committing thread,
+/// in the same per-thread order.  **Caveat**: recorders that assign global
+/// recording indices (hints) each count independently, so under concurrency
+/// the two sides may number the same commit differently.  Hint-exact history
+/// capture therefore tees *after* the merge stage instead — see
+/// `tm_audit::TeeSink` — and this recorder-level hook is for observers that
+/// only need the per-commit payload.
+pub struct TeeRecorder {
+    first: Arc<dyn Recorder>,
+    second: Arc<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// Fan commits out to `first` then `second` (synchronously, in that
+    /// order, on the committing thread).
+    pub fn new(first: Arc<dyn Recorder>, second: Arc<dyn Recorder>) -> Self {
+        TeeRecorder { first, second }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn on_commit(&self, record: CommitRecord<'_>) {
+        self.first.on_commit(record);
+        self.second.on_commit(record);
+    }
+}
+
 /// The consuming end of a [`StreamingRecorder`].
 pub struct StreamConsumer {
     queue: Arc<BatchQueue>,
@@ -480,6 +512,36 @@ mod tests {
             footprint_of(record.reads.iter().chain(&record.writes).map(|&(v, _)| v.index()));
         assert_eq!(record.footprint, expected);
         assert_ne!(record.footprint, 0);
+    }
+
+    #[test]
+    fn tee_recorder_delivers_every_commit_to_both_sides() {
+        struct Counting {
+            commits: AtomicU64,
+            writes: AtomicU64,
+        }
+        impl Recorder for Counting {
+            fn on_commit(&self, record: CommitRecord<'_>) {
+                self.commits.fetch_add(1, Ordering::Relaxed);
+                self.writes.fetch_add(record.writes.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let a = Arc::new(Counting { commits: AtomicU64::new(0), writes: AtomicU64::new(0) });
+        let b = Arc::new(Counting { commits: AtomicU64::new(0), writes: AtomicU64::new(0) });
+        let tee = Arc::new(TeeRecorder::new(Arc::clone(&a) as _, Arc::clone(&b) as _));
+        let stm = crate::Stm::with_recorder(crate::BackendKind::Tl2Blocking, tee as _);
+        let x = stm.alloc(0);
+        let y = stm.alloc(0);
+        for i in 1..=9i64 {
+            stm.run(|tx| {
+                tx.write(x, i)?;
+                tx.write(y, -i)
+            });
+        }
+        for side in [&a, &b] {
+            assert_eq!(side.commits.load(Ordering::Relaxed), 9);
+            assert_eq!(side.writes.load(Ordering::Relaxed), 18);
+        }
     }
 
     #[test]

@@ -97,8 +97,8 @@ pub use partition::{
 pub use recorder::HistoryRecorder;
 pub use report::{AuditReport, Level, LevelReport, Outcome};
 pub use window::{
-    audit_streamed, StreamMerger, StreamReport, TxnSink, WindowConfig, WindowVerdict,
-    WindowedAuditor,
+    audit_streamed, HistoryCollector, StreamMerger, StreamReport, TeeSink, TxnSink, WindowConfig,
+    WindowVerdict, WindowedAuditor,
 };
 pub use workload::{record_run, run_unrecorded, run_with_recorder, AuditRunConfig};
 

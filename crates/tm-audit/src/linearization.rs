@@ -122,7 +122,12 @@ pub fn find_same_source_skew(po: &TxnPartialOrder, sat: &Saturated) -> Option<Ve
                 entry.0.push(reader);
             }
         }
-        for (plain_readers, writer) in by_src.into_values() {
+        // Drain in source order: HashMap iteration order varies per instance,
+        // and the witness chosen downstream must not — replaying an exported
+        // history has to reproduce the live verdict byte for byte.
+        let mut groups: Vec<_> = by_src.into_iter().collect();
+        groups.sort_unstable_by_key(|&(src, _): &(u32, _)| src);
+        for (_, (plain_readers, writer)) in groups {
             if let Some(w) = writer {
                 forced.extend(plain_readers.into_iter().map(|r| (r, w)));
             }

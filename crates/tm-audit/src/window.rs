@@ -898,6 +898,75 @@ impl TxnSink for WindowedAuditor {
     }
 }
 
+impl<T: TxnSink + ?Sized> TxnSink for &mut T {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        (**self).push_txn(session, txn);
+    }
+}
+
+/// Fans one transaction stream out to two sinks — the capture hook the
+/// history-export path is built on: a [`StreamMerger`] releases into a
+/// `TeeSink` of the live auditor and a [`HistoryCollector`], so the captured
+/// history carries **exactly** the hints and footprints the auditor saw
+/// (unlike a recorder-level tee, where two recorders would assign
+/// independent hints to racing commits).
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    /// The primary sink (typically the live auditor).
+    pub first: A,
+    /// The secondary sink (typically a [`HistoryCollector`]).
+    pub second: B,
+}
+
+impl<A: TxnSink, B: TxnSink> TeeSink<A, B> {
+    /// Tee one stream into `first` and `second`.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl<A: TxnSink, B: TxnSink> TxnSink for TeeSink<A, B> {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        self.first.push_txn(session, txn.clone());
+        self.second.push_txn(session, txn);
+    }
+}
+
+/// A [`TxnSink`] that rebuilds the [`AuditHistory`] a stream describes —
+/// hints and footprints preserved verbatim, so replaying the collected
+/// history through [`audit_streamed`] (or any topology) reproduces the live
+/// pipeline's verdicts exactly.
+#[derive(Debug)]
+pub struct HistoryCollector {
+    history: AuditHistory,
+}
+
+impl HistoryCollector {
+    /// An empty collector for `n_sessions` sessions over `n_vars` variables.
+    pub fn new(n_vars: usize, initial: i64, n_sessions: usize) -> Self {
+        HistoryCollector { history: AuditHistory::new(n_vars, initial, n_sessions) }
+    }
+
+    /// Transactions collected so far.
+    pub fn collected(&self) -> usize {
+        self.history.txn_count()
+    }
+
+    /// The collected history.
+    pub fn into_history(self) -> AuditHistory {
+        self.history
+    }
+}
+
+impl TxnSink for HistoryCollector {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        if session >= self.history.sessions.len() {
+            self.history.sessions.resize_with(session + 1, Vec::new);
+        }
+        self.history.sessions[session].push(txn);
+    }
+}
+
 /// Re-interleaves per-session [`CommitBatch`]es into global recording order
 /// before they reach a [`WindowedAuditor`].
 ///

@@ -1,0 +1,352 @@
+//! Differential fuzz harness: generated histories through every checker.
+//!
+//! For each seed the harness derives a random-but-deterministic
+//! [`GenConfig`], generates a history with its planted-anomaly oracle, and
+//! runs it through four checkers:
+//!
+//! * **batch** — the whole-history saturation + DFS auditor (the reference);
+//! * **whole-window** — `audit_streamed` with one window covering the run
+//!   (must agree with batch definitively);
+//! * **rolling-window** — `audit_streamed` with small overlapping windows;
+//! * **sharded** — `audit_sharded` with a K-way band partition.
+//!
+//! Disagreement rules mirror the engines' soundness contracts (`Unknown`
+//! outcomes are never definite and never gate):
+//!
+//! * any checker **fails** a level the batch reference **passes** — a false
+//!   conviction; convictions are sound by contract, so this always gates;
+//! * the **whole-window** checker covers the run in one window (no horizon),
+//!   so any definite disagreement with batch gates;
+//! * a **rolling-window / sharded miss at a planted level** gates: plants
+//!   are contiguous, shard-aligned, and the harness windows keep
+//!   `overlap ≥ plant span − 1` even after partition scaling, so every
+//!   plant is containment-guaranteed and must convict;
+//! * a rolling-window / sharded miss at a **non-planted** level is the
+//!   documented attestation gap — an *emergent* anomaly (e.g. a causal
+//!   cycle built from cross-plant interaction) can span more than a window
+//!   horizon or cross bands through in-band participants.  These are
+//!   **advisory**: logged and counted in the JSON summary, not gating;
+//! * the oracle's [`Planted::expected_failures`] must all be failed by the
+//!   batch reference, and a plant-free history must pass every level;
+//! * `decode(encode(h))` must reproduce the history exactly.
+//!
+//! On a disagreement the harness delta-debugs the history down to a minimal
+//! reproducer with the *same* disagreement signature and writes it as a
+//! wire-format artifact (`repro-seed{seed}.tmh`) in `--out`, then exits
+//! non-zero after the batch finishes.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use tm_audit::{
+    audit_sharded, audit_streamed, audit_with_budget, Level, Outcome, ShardConfig, WindowConfig,
+};
+use tm_history::{generate, minimize, wire, GenConfig};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default DFS budget for the batch reference (generous: the reference must
+/// be decisive for the differential rules to bite).
+const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Window shape for the rolling checker: plants span ≤ 4 transactions, so
+/// overlap 6 guarantees every plant lands whole in some window.
+const ROLL_SIZE: usize = 32;
+const ROLL_OVERLAP: usize = 6;
+
+/// Partitions for the sharded checker.
+const SHARDS: usize = 4;
+
+/// Base (global-horizon) overlap for the sharded checker: partition windows
+/// scale overlap by `1/K`, and a shard-aligned plant must still land whole
+/// in one partition window, so the scaled overlap has to stay ≥ 3.
+const SHARD_OVERLAP: usize = 16;
+
+struct Args {
+    seeds: u64,
+    seed_start: u64,
+    out: String,
+    json: bool,
+    budget: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seeds N] [--seed-start S] [--out DIR] [--json] [--budget STATES]\n\
+         \n\
+         Differential fuzz lane: generated histories through the batch,\n\
+         whole-window, rolling-window and sharded checkers; any disagreement\n\
+         writes a minimized wire-format reproducer to --out and exits 1."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 25,
+        seed_start: 0,
+        out: String::from("."),
+        json: false,
+        budget: DEFAULT_BUDGET,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--seed-start" => {
+                args.seed_start = value("--seed-start").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => args.out = value("--out"),
+            "--json" => args.json = true,
+            "--budget" => args.budget = value("--budget").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// The per-seed generator shape: small enough that the DFS reference stays
+/// decisive, varied enough to exercise session counts, pool sizes and every
+/// anomaly mix (including plant-free runs as pass-oracles).
+fn config_for_seed(seed: u64) -> GenConfig {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF0BB_1A4E);
+    let sessions = rng.gen_range(3..=5);
+    GenConfig {
+        sessions,
+        vars: rng.gen_range(2..=10),
+        txns_per_session: rng.gen_range(8..=30),
+        events_per_txn: rng.gen_range(1..=4),
+        seed,
+        lost_update_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
+        write_skew_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
+        causal_cycle_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
+        // Keep every plant inside one partition of the sharded checker: the
+        // sharded merged pass only *attests* anomalies whose participants
+        // stay in-band, so unaligned plants would make misses expected
+        // rather than gating (see tm_audit::partition soundness notes).
+        shard_align: Some(SHARDS),
+    }
+}
+
+/// One definite verdict vector: `Some(true)` = definite pass, `Some(false)`
+/// = definite fail, `None` = unknown.
+type Verdicts = [Option<bool>; 5];
+
+fn verdicts_of(outcome_of: impl Fn(Level) -> Option<Outcome>) -> Verdicts {
+    let mut v: Verdicts = [None; 5];
+    for (i, level) in Level::ALL.into_iter().enumerate() {
+        v[i] = match outcome_of(level) {
+            Some(Outcome::Pass { .. }) => Some(true),
+            Some(Outcome::Fail { .. }) => Some(false),
+            _ => None,
+        };
+    }
+    v
+}
+
+/// Everything one seed disagreed about, as stable strings (doubles as the
+/// minimizer's predicate signature): `.0` gates, `.1` is advisory
+/// (documented horizon/band attestation gaps).
+fn check_seed(
+    history: &tm_audit::AuditHistory,
+    expected_failures: &[Level],
+    plant_free: bool,
+    budget: u64,
+) -> (Vec<String>, Vec<String>) {
+    let total = history.txn_count();
+    let batch_report = audit_with_budget(history, budget);
+
+    let whole = {
+        let mut cfg = WindowConfig::sized(total.max(2));
+        cfg.budget = budget;
+        audit_streamed(history, cfg)
+    };
+    let rolling = {
+        let mut cfg = WindowConfig::sized(ROLL_SIZE);
+        cfg.overlap = ROLL_OVERLAP;
+        cfg.budget = budget;
+        audit_streamed(history, cfg)
+    };
+    let sharded = {
+        let mut window = WindowConfig::sized(ROLL_SIZE);
+        window.overlap = SHARD_OVERLAP;
+        window.budget = budget;
+        audit_sharded(history, ShardConfig::new(SHARDS, window))
+    };
+
+    let batch_v = verdicts_of(|l| batch_report.outcome(l).cloned());
+    let checkers: [(&str, Verdicts); 3] = [
+        ("whole-window", verdicts_of(|l| whole.merged.outcome(l).cloned())),
+        ("rolling-window", verdicts_of(|l| rolling.merged.outcome(l).cloned())),
+        ("sharded", verdicts_of(|l| sharded.merged.outcome(l).cloned())),
+    ];
+
+    let mut disagreements = Vec::new();
+    let mut advisories = Vec::new();
+    for (i, level) in Level::ALL.into_iter().enumerate() {
+        let tag = level.tag();
+        if expected_failures.contains(&level) && batch_v[i] != Some(false) {
+            disagreements.push(format!("oracle:{tag}:planted-anomaly-not-convicted"));
+        }
+        if plant_free && batch_v[i] == Some(false) {
+            disagreements.push(format!("oracle:{tag}:clean-history-convicted"));
+        }
+        for (name, v) in &checkers {
+            match (batch_v[i], v[i]) {
+                // A streaming checker convicting what the reference attests
+                // is always a bug: convictions are sound by contract.
+                (Some(true), Some(false)) => {
+                    disagreements.push(format!("{name}:{tag}:false-conviction"))
+                }
+                // Attesting what the reference refutes is a miss.  It gates
+                // when conviction was guaranteed — the whole-window checker
+                // has no horizon, and plants are containment-guaranteed —
+                // and is advisory otherwise (an emergent anomaly past the
+                // horizon or across bands: the documented attestation gap).
+                (Some(false), Some(true)) => {
+                    if *name == "whole-window" || expected_failures.contains(&level) {
+                        disagreements.push(format!("{name}:{tag}:miss"));
+                    } else {
+                        advisories.push(format!("{name}:{tag}:attested-pass-overturned"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (disagreements, advisories)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed_seeds: Vec<u64> = Vec::new();
+    let mut json_seeds = String::new();
+    let mut total_plants = 0u64;
+    let mut total_advisories = 0u64;
+
+    for seed in args.seed_start..args.seed_start + args.seeds {
+        let config = config_for_seed(seed);
+        let generated = generate(&config);
+        total_plants += generated.planted.total();
+
+        // Wire round trip is part of the lane: a reproducer that does not
+        // survive encode/decode is useless.
+        let encoded = wire::encode(&generated.history);
+        match wire::decode(&encoded) {
+            Ok(decoded) if decoded == generated.history => {}
+            Ok(_) => {
+                eprintln!("seed {seed}: wire round trip altered the history");
+                failed_seeds.push(seed);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("seed {seed}: wire round trip failed to decode: {e}");
+                failed_seeds.push(seed);
+                continue;
+            }
+        }
+
+        let expected = generated.planted.expected_failures();
+        let plant_free = generated.planted.total() == 0;
+        let (disagreements, advisories) =
+            check_seed(&generated.history, &expected, plant_free, args.budget);
+        total_advisories += advisories.len() as u64;
+
+        if args.json {
+            let quoted = |items: &[String]| {
+                items
+                    .iter()
+                    .map(|d| format!("\"{}\"", tm_audit::report::json_escape(d)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = write!(
+                json_seeds,
+                "{}{{\"seed\":{seed},\"txns\":{},\"plants\":{},\"disagreements\":[{}],\"advisories\":[{}]}}",
+                if json_seeds.is_empty() { "" } else { "," },
+                generated.history.txn_count(),
+                generated.planted.total(),
+                quoted(&disagreements),
+                quoted(&advisories)
+            );
+        }
+        if !advisories.is_empty() {
+            eprintln!("seed {seed}: {} advisory(ies): {}", advisories.len(), advisories.join(", "));
+        }
+
+        if disagreements.is_empty() {
+            continue;
+        }
+        failed_seeds.push(seed);
+        eprintln!(
+            "seed {seed}: {} disagreement(s): {}",
+            disagreements.len(),
+            disagreements.join(", ")
+        );
+
+        // Checker-vs-checker disagreements minimize well (the signature must
+        // still hold on the candidate); oracle disagreements are claims
+        // about what was *planted*, which a shrunk candidate cannot carry,
+        // so for those the full history is the reproducer.
+        let signature: Vec<String> =
+            disagreements.iter().filter(|d| !d.starts_with("oracle:")).cloned().collect();
+        let reduced = if signature.is_empty() {
+            generated.history.clone()
+        } else {
+            minimize(&generated.history, |candidate| {
+                check_seed(candidate, &expected, plant_free, args.budget)
+                    .0
+                    .into_iter()
+                    .filter(|d| !d.starts_with("oracle:"))
+                    .collect::<Vec<_>>()
+                    == signature
+            })
+        };
+        let path = format!("{}/repro-seed{seed}.tmh", args.out);
+        match std::fs::write(&path, wire::encode(&reduced)) {
+            Ok(()) => eprintln!(
+                "seed {seed}: minimized {} -> {} txns, reproducer written to {path}",
+                generated.history.txn_count(),
+                reduced.txn_count()
+            ),
+            Err(e) => eprintln!("seed {seed}: could not write reproducer {path}: {e}"),
+        }
+    }
+
+    if args.json {
+        println!(
+            "{{\"seeds\":{},\"seed_start\":{},\"total_plants\":{total_plants},\
+             \"total_advisories\":{total_advisories},\
+             \"failed_seeds\":[{}],\"results\":[{json_seeds}]}}",
+            args.seeds,
+            args.seed_start,
+            failed_seeds.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+    } else {
+        println!(
+            "fuzz: {} seed(s) [{}, {}), {total_plants} plants, {total_advisories} advisory(ies), {} disagreement seed(s){}",
+            args.seeds,
+            args.seed_start,
+            args.seed_start + args.seeds,
+            failed_seeds.len(),
+            if failed_seeds.is_empty() { String::new() } else { format!(": {failed_seeds:?}") }
+        );
+    }
+
+    if failed_seeds.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,558 @@
+//! Wire format v1: serialized [`AuditHistory`] documents.
+//!
+//! A **document** is line-delimited JSON in a fixed, canonical field order
+//! (no whitespace), so the hand-rolled encoder and decoder agree on every
+//! byte and diffs of exported histories are stable:
+//!
+//! ```text
+//! {"tm-history":1,"sessions":2,"vars":16,"initial":0}
+//! {"s":0,"q":0,"h":0,"r":[[3,0]],"w":[[3,1099511627776]]}
+//! {"s":1,"q":0,"h":1,"r":[[3,1099511627776]],"w":[]}
+//! ```
+//!
+//! * The **header** names the wire version, the session count, the variable
+//!   count and the shared initial value.  Variables are `0..vars`; every one
+//!   starts at `initial`.
+//! * Each following line is one **committed transaction**: session `s`,
+//!   per-session sequence number `q`, global recording hint `h`, external
+//!   read set `r` and write set `w` as `[variable,value]` pairs.
+//!   Transactions appear in recording (`h`) order; within a session both
+//!   `q` and `h` increase.
+//! * A document ends at a **blank line** or end of input; a stream may carry
+//!   many blank-line-separated documents ([`Decoder::next_history`]).
+//!
+//! The decoder is *hardened*: every rejection is a positioned
+//! [`WireError`] (`line`, `col`, message) and malformed input never panics.
+//! Beyond the grammar it enforces the recording contract the auditor's
+//! write-read inference needs — unique write values, no writes of the
+//! initial value, no reads of never-written values, per-session `q`/`h`
+//! continuity — so anything that decodes is a well-formed
+//! [`AuditHistory`].  Transaction footprints are derived data (a hash of
+//! the variable sets) and deliberately not on the wire; the decoder
+//! recomputes them with [`stm_runtime::footprint_of`], exactly as the live
+//! recorders do, which is why `decode(encode(h)) == h` holds field-for-field
+//! on captured histories.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use tm_audit::{AuditHistory, AuditTxn, HistoryError, TxnId};
+
+/// The wire format version this crate reads and writes.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Hard cap on the header's session count: pre-allocating sessions from a
+/// hostile header must not balloon memory.
+pub const MAX_SESSIONS: usize = 1 << 20;
+
+/// Hard cap on the header's variable count (variables are indices, so this
+/// only bounds sanity, not allocation).
+pub const MAX_VARS: usize = 1 << 28;
+
+/// A positioned decode rejection: `line` and `col` are 1-based and point at
+/// the offending byte (column 1 = whole-line or document-level defects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// 1-based input line.
+    pub line: u64,
+    /// 1-based byte column within the line.
+    pub col: u64,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialize one history as a wire document (header + one line per
+/// transaction in `(hint, session)` order, trailing newline included).
+///
+/// Per-session hints must increase with session order — true of every
+/// recorder, the generator and [`AuditHistory::push_txn`]; a history that
+/// breaks it would re-read as out-of-order and be rejected by the decoder.
+pub fn encode(history: &AuditHistory) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"tm-history\":{WIRE_VERSION},\"sessions\":{},\"vars\":{},\"initial\":{}}}",
+        history.sessions.len(),
+        history.n_vars,
+        history.initial
+    );
+    let mut order: Vec<(u64, usize, usize)> = history
+        .sessions
+        .iter()
+        .enumerate()
+        .flat_map(|(s, txns)| txns.iter().enumerate().map(move |(q, txn)| (txn.hint, s, q)))
+        .collect();
+    order.sort_unstable();
+    for (hint, s, q) in order {
+        let txn = &history.sessions[s][q];
+        let _ = writeln!(
+            out,
+            "{{\"s\":{s},\"q\":{q},\"h\":{hint},\"r\":{},\"w\":{}}}",
+            pairs_json(&txn.reads),
+            pairs_json(&txn.writes)
+        );
+    }
+    out
+}
+
+fn pairs_json(pairs: &[(usize, i64)]) -> String {
+    let entries: Vec<String> = pairs.iter().map(|&(v, x)| format!("[{v},{x}]")).collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Decode exactly one document (leading/trailing blank lines allowed).
+pub fn decode(text: &str) -> Result<AuditHistory, WireError> {
+    let mut decoder = Decoder::new(text.as_bytes());
+    let Some(history) = decoder.next_history()? else {
+        return Err(WireError {
+            line: 1,
+            col: 1,
+            message: "empty input: expected a tm-history header".into(),
+        });
+    };
+    while let Some(line) = decoder.read_line()? {
+        if !line.trim().is_empty() {
+            return Err(WireError {
+                line: decoder.line_no,
+                col: 1,
+                message: "unexpected content after the history document \
+                          (use decode_all for multi-document streams)"
+                    .into(),
+            });
+        }
+    }
+    Ok(history)
+}
+
+/// Decode every blank-line-separated document in the input.
+pub fn decode_all(text: &str) -> Result<Vec<AuditHistory>, WireError> {
+    let mut decoder = Decoder::new(text.as_bytes());
+    let mut histories = Vec::new();
+    while let Some(history) = decoder.next_history()? {
+        histories.push(history);
+    }
+    Ok(histories)
+}
+
+/// Streaming multi-document decoder over any [`BufRead`] (a file, stdin, a
+/// socket): each [`Decoder::next_history`] call reads one document; a
+/// rejected document can be skipped with [`Decoder::skip_document`] to
+/// resynchronize at the next blank-line boundary.
+pub struct Decoder<R> {
+    reader: R,
+    line_no: u64,
+}
+
+impl<R: BufRead> Decoder<R> {
+    /// A decoder at line 0 of `reader`.
+    pub fn new(reader: R) -> Self {
+        Decoder { reader, line_no: 0 }
+    }
+
+    /// The 1-based number of the last line read (0 before any read).
+    pub fn line(&self) -> u64 {
+        self.line_no
+    }
+
+    fn read_line(&mut self) -> Result<Option<String>, WireError> {
+        let mut buf = String::new();
+        match self.reader.read_line(&mut buf) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                self.line_no += 1;
+                while buf.ends_with('\n') || buf.ends_with('\r') {
+                    buf.pop();
+                }
+                Ok(Some(buf))
+            }
+            Err(err) => {
+                // Includes invalid UTF-8: surfaced as a positioned error,
+                // never a panic.
+                self.line_no += 1;
+                Err(WireError { line: self.line_no, col: 1, message: format!("read error: {err}") })
+            }
+        }
+    }
+
+    /// Consume lines up to (and including) the next blank line or EOF —
+    /// the resynchronization step after a rejected document in a
+    /// multi-document stream.
+    pub fn skip_document(&mut self) -> Result<(), WireError> {
+        while let Some(line) = self.read_line()? {
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the next document; `Ok(None)` at end of input.
+    pub fn next_history(&mut self) -> Result<Option<AuditHistory>, WireError> {
+        let header = loop {
+            match self.read_line()? {
+                None => return Ok(None),
+                Some(line) if line.trim().is_empty() => continue,
+                Some(line) => break line,
+            }
+        };
+        let header_line = self.line_no;
+        let (sessions, vars, initial) = parse_header(&header, header_line)?;
+        let mut history = AuditHistory::new(vars, initial, sessions);
+        // Arrival order with source lines, for the document-wide validation
+        // pass below.
+        let mut arrival: Vec<(TxnId, u64)> = Vec::new();
+        let mut last_hint: Vec<Option<u64>> = vec![None; sessions];
+        while let Some(line) = self.read_line()? {
+            if line.trim().is_empty() {
+                break;
+            }
+            if line.starts_with("{\"tm-history\"") {
+                return Err(WireError {
+                    line: self.line_no,
+                    col: 1,
+                    message: "new history header before the current document ended \
+                              (separate documents with a blank line)"
+                        .into(),
+                });
+            }
+            let mut seqs = SeqView { history: &history };
+            let (s, q, h, reads, writes) =
+                parse_txn(&line, self.line_no, vars, &mut seqs, &last_hint)?;
+            last_hint[s] = Some(h);
+            let footprint =
+                stm_runtime::footprint_of(reads.iter().chain(writes.iter()).map(|&(var, _)| var));
+            history.sessions[s].push(AuditTxn { reads, writes, hint: h, footprint });
+            arrival.push((TxnId { session: s, seq: q }, self.line_no));
+        }
+        validate_document(&history, &arrival)?;
+        Ok(Some(history))
+    }
+}
+
+/// Read-only view of per-session lengths for the in-flight document (keeps
+/// `parse_txn` free of borrows on the whole decoder).
+struct SeqView<'a> {
+    history: &'a AuditHistory,
+}
+
+impl SeqView<'_> {
+    fn next_seq(&self, session: usize) -> usize {
+        self.history.sessions[session].len()
+    }
+}
+
+/// The recording-contract validation pass: unique write values, no writes
+/// of the initial value, every read attributable.  Errors reuse
+/// [`HistoryError`]'s wording, positioned at the offending transaction's
+/// line.
+fn validate_document(history: &AuditHistory, arrival: &[(TxnId, u64)]) -> Result<(), WireError> {
+    let mut writers: HashMap<(usize, i64), TxnId> = HashMap::new();
+    for &(id, line) in arrival {
+        let txn = history.txn(id).expect("arrival list indexes the history");
+        for &(var, value) in &txn.writes {
+            if value == history.initial {
+                let err = HistoryError::InitialValueWritten { writer: id, var, value };
+                return Err(WireError { line, col: 1, message: err.to_string() });
+            }
+            if let Some(&first) = writers.get(&(var, value)) {
+                let err = HistoryError::AmbiguousWrite { var, value, first, second: id };
+                return Err(WireError { line, col: 1, message: err.to_string() });
+            }
+            writers.insert((var, value), id);
+        }
+    }
+    for &(id, line) in arrival {
+        let txn = history.txn(id).expect("arrival list indexes the history");
+        for &(var, value) in &txn.reads {
+            if value != history.initial && !writers.contains_key(&(var, value)) {
+                let err = HistoryError::ThinAirRead { reader: id, var, value };
+                return Err(WireError { line, col: 1, message: err.to_string() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Byte cursor over one line, producing positioned errors.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str, line_no: u64) -> Self {
+        Cursor { bytes: line.as_bytes(), pos: 0, line: line_no }
+    }
+
+    fn err_at(&self, pos: usize, message: impl Into<String>) -> WireError {
+        WireError { line: self.line, col: pos as u64 + 1, message: message.into() }
+    }
+
+    fn err(&self, message: impl Into<String>) -> WireError {
+        self.err_at(self.pos, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), WireError> {
+        if self.bytes[self.pos.min(self.bytes.len())..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else if self.done() {
+            Err(self.err(format!("unexpected end of line: expected {lit:?}")))
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn digits(&mut self) -> &'a str {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits")
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        let digits = self.digits();
+        if digits.is_empty() {
+            return Err(self.err_at(start, "expected an unsigned integer"));
+        }
+        digits
+            .parse::<u64>()
+            .map_err(|_| self.err_at(start, format!("integer {digits} out of range")))
+    }
+
+    fn parse_i64(&mut self) -> Result<i64, WireError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let digits = self.digits();
+        if digits.is_empty() {
+            return Err(self.err_at(start, "expected an integer"));
+        }
+        let text = &std::str::from_utf8(self.bytes).expect("line is valid UTF-8")[start..self.pos];
+        text.parse::<i64>().map_err(|_| self.err_at(start, format!("integer {text} out of range")))
+    }
+}
+
+fn parse_header(line: &str, line_no: u64) -> Result<(usize, usize, i64), WireError> {
+    let mut c = Cursor::new(line, line_no);
+    c.expect("{\"tm-history\":")?;
+    let vpos = c.pos;
+    let version = c.parse_u64()?;
+    if version != WIRE_VERSION {
+        return Err(c.err_at(
+            vpos,
+            format!("unsupported tm-history version {version} (this decoder reads version {WIRE_VERSION})"),
+        ));
+    }
+    c.expect(",\"sessions\":")?;
+    let spos = c.pos;
+    let sessions = c.parse_u64()? as usize;
+    if sessions > MAX_SESSIONS {
+        return Err(
+            c.err_at(spos, format!("session count {sessions} exceeds the cap of {MAX_SESSIONS}"))
+        );
+    }
+    c.expect(",\"vars\":")?;
+    let vpos = c.pos;
+    let vars = c.parse_u64()? as usize;
+    if vars > MAX_VARS {
+        return Err(c.err_at(vpos, format!("variable count {vars} exceeds the cap of {MAX_VARS}")));
+    }
+    c.expect(",\"initial\":")?;
+    let initial = c.parse_i64()?;
+    c.expect("}")?;
+    if !c.done() {
+        return Err(c.err("trailing characters after the header object"));
+    }
+    Ok((sessions, vars, initial))
+}
+
+type ParsedTxn = (usize, usize, u64, Vec<(usize, i64)>, Vec<(usize, i64)>);
+
+fn parse_txn(
+    line: &str,
+    line_no: u64,
+    vars: usize,
+    seqs: &mut SeqView<'_>,
+    last_hint: &[Option<u64>],
+) -> Result<ParsedTxn, WireError> {
+    let mut c = Cursor::new(line, line_no);
+    c.expect("{\"s\":")?;
+    let spos = c.pos;
+    let s = c.parse_u64()? as usize;
+    if s >= last_hint.len() {
+        return Err(c.err_at(
+            spos,
+            format!("session {s} out of range (the header declares {} sessions)", last_hint.len()),
+        ));
+    }
+    c.expect(",\"q\":")?;
+    let qpos = c.pos;
+    let q = c.parse_u64()? as usize;
+    let expected = seqs.next_seq(s);
+    if q != expected {
+        return Err(c.err_at(
+            qpos,
+            format!(
+                "transaction s{s}:{q} out of order: expected seq {expected} for session {s} \
+                 (duplicate or missing transaction)"
+            ),
+        ));
+    }
+    c.expect(",\"h\":")?;
+    let hpos = c.pos;
+    let h = c.parse_u64()?;
+    if let Some(prev) = last_hint[s] {
+        if h <= prev {
+            return Err(c.err_at(
+                hpos,
+                format!("hint {h} does not increase within session {s} (previous was {prev})"),
+            ));
+        }
+    }
+    c.expect(",\"r\":")?;
+    let reads = parse_pairs(&mut c, vars, "read")?;
+    c.expect(",\"w\":")?;
+    let writes = parse_pairs(&mut c, vars, "write")?;
+    c.expect("}")?;
+    if !c.done() {
+        return Err(c.err("trailing characters after the transaction object"));
+    }
+    Ok((s, q, h, reads, writes))
+}
+
+fn parse_pairs(
+    c: &mut Cursor<'_>,
+    vars: usize,
+    kind: &str,
+) -> Result<Vec<(usize, i64)>, WireError> {
+    c.expect("[")?;
+    let mut pairs: Vec<(usize, i64)> = Vec::new();
+    if c.peek() == Some(b']') {
+        c.pos += 1;
+        return Ok(pairs);
+    }
+    loop {
+        let pair_pos = c.pos;
+        c.expect("[")?;
+        let vpos = c.pos;
+        let var = c.parse_u64()? as usize;
+        if var >= vars {
+            return Err(c.err_at(
+                vpos,
+                format!("variable v{var} out of range (the header declares {vars} variables)"),
+            ));
+        }
+        if pairs.iter().any(|&(v, _)| v == var) {
+            return Err(
+                c.err_at(pair_pos, format!("duplicate {kind} of v{var} in one transaction"))
+            );
+        }
+        c.expect(",")?;
+        let value = c.parse_i64()?;
+        c.expect("]")?;
+        pairs.push((var, value));
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            _ => break,
+        }
+    }
+    c.expect("]")?;
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditHistory {
+        let mut h = AuditHistory::new(4, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 7)]);
+        h.push_txn(1, [(0, 7)], [(1, 9), (2, -3)]);
+        h.push_txn(0, [(1, 9), (2, -3)], []);
+        h
+    }
+
+    #[test]
+    fn encode_is_canonical_and_decodes_back() {
+        let h = sample();
+        let text = encode(&h);
+        assert!(text.starts_with("{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}\n"));
+        assert!(text.ends_with('\n'));
+        let decoded = decode(&text).expect("round trip");
+        // push_txn leaves footprints at 0; the decoder derives them — the
+        // rest of the structure must match exactly.
+        assert_eq!(decoded.n_vars, h.n_vars);
+        assert_eq!(decoded.initial, h.initial);
+        for (ds, hs) in decoded.sessions.iter().zip(&h.sessions) {
+            assert_eq!(ds.len(), hs.len());
+            for (d, o) in ds.iter().zip(hs) {
+                assert_eq!((&d.reads, &d.writes, d.hint), (&o.reads, &o.writes, o.hint));
+                assert_eq!(
+                    d.footprint,
+                    stm_runtime::footprint_of(o.reads.iter().chain(&o.writes).map(|&(v, _)| v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_document_streams_decode_in_order() {
+        let text = format!("{}\n\n{}", encode(&sample()), encode(&AuditHistory::new(1, 5, 1)));
+        let all = decode_all(&text).expect("two documents");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].txn_count(), 3);
+        assert_eq!(all[1].initial, 5);
+        // decode() refuses the same stream.
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains("decode_all"), "{err}");
+    }
+
+    #[test]
+    fn skip_document_resynchronizes_a_stream() {
+        let good = encode(&sample());
+        let text =
+            format!("{{\"tm-history\":9,\"sessions\":1,\"vars\":1,\"initial\":0}}\njunk\n\n{good}");
+        let mut decoder = Decoder::new(text.as_bytes());
+        let err = decoder.next_history().unwrap_err();
+        assert!(err.message.contains("unsupported"), "{err}");
+        decoder.skip_document().unwrap();
+        let recovered = decoder.next_history().unwrap().expect("good document after skip");
+        assert_eq!(recovered.txn_count(), 3);
+        assert!(decoder.next_history().unwrap().is_none());
+    }
+
+    #[test]
+    fn positioned_errors_name_line_and_col() {
+        let text = "{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}\n\
+                    {\"s\":0,\"q\":0,\"h\":0,\"r\":[],\"w\":[[0,7]]}\n\
+                    {\"s\":5,\"q\":0,\"h\":1,\"r\":[],\"w\":[[1,8]]}\n";
+        let err = decode(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 6, "{err}");
+        assert!(err.message.contains("session 5 out of range"), "{err}");
+        assert!(err.to_string().starts_with("line 3, col 6:"), "{err}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The adversarial generator's expected-verdict contract, checked against
+//! the real batch auditor (the differential fuzz lane's oracle, pinned as
+//! regular tests):
+//!
+//! * a plant-free history passes every level;
+//! * every level in [`Planted::expected_failures`] is convicted by the batch
+//!   auditor (emergent extra failures are allowed — interleaved plants can
+//!   compose into stronger anomalies — but the promised ones must land);
+//! * shard-aligned plants are convicted by the rolling-window and sharded
+//!   engines too, under the same window geometry the fuzz gate uses.
+
+use tm_audit::{
+    audit_sharded, audit_streamed, audit_with_budget, Level, ShardConfig, WindowConfig,
+};
+use tm_history::{decode, generate, generate_wire, GenConfig};
+
+const BUDGET: u64 = 2_000_000;
+
+fn batch_fails(history: &tm_audit::AuditHistory) -> Vec<Level> {
+    let report = audit_with_budget(history, BUDGET);
+    Level::ALL.iter().copied().filter(|&l| report.fails(l)).collect()
+}
+
+#[test]
+fn plant_free_histories_pass_every_level() {
+    for seed in 0..8u64 {
+        let config = GenConfig { seed, ..GenConfig::default() };
+        let generated = generate(&config);
+        assert_eq!(generated.planted.total(), 0, "default config plants nothing");
+        let report = audit_with_budget(&generated.history, BUDGET);
+        for &level in Level::ALL.iter() {
+            assert!(
+                report.passes(level),
+                "seed {seed}: clean history failed {}: {}",
+                level.name(),
+                report.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn lost_update_plants_convict_si_and_ser() {
+    for seed in [3u64, 17, 99] {
+        let config = GenConfig { seed, lost_update_per_mille: 120, ..GenConfig::default() };
+        let generated = generate(&config);
+        assert!(generated.planted.lost_updates > 0, "seed {seed}: rate 120/1000 must plant");
+        let fails = batch_fails(&generated.history);
+        for level in generated.planted.expected_failures() {
+            assert!(
+                fails.contains(&level),
+                "seed {seed}: planted lost updates but {} was not convicted (failed: {fails:?})",
+                level.name()
+            );
+        }
+        assert!(fails.contains(&Level::SnapshotIsolation), "seed {seed}");
+        assert!(fails.contains(&Level::Serializable), "seed {seed}");
+    }
+}
+
+#[test]
+fn write_skew_plants_convict_ser_only_among_promises() {
+    for seed in [5u64, 23, 71] {
+        let config = GenConfig { seed, write_skew_per_mille: 120, ..GenConfig::default() };
+        let generated = generate(&config);
+        assert!(generated.planted.write_skews > 0, "seed {seed}: rate 120/1000 must plant");
+        assert_eq!(generated.planted.expected_failures(), vec![Level::Serializable]);
+        let fails = batch_fails(&generated.history);
+        assert!(
+            fails.contains(&Level::Serializable),
+            "seed {seed}: planted write skew but SER passed (failed: {fails:?})"
+        );
+    }
+}
+
+#[test]
+fn a_single_write_skew_separates_si_from_ser() {
+    // One planted write skew and nothing else: the canonical SI-pass /
+    // SER-fail separator.  Tiny config so the plant dominates the history.
+    let config = GenConfig {
+        sessions: 2,
+        vars: 2,
+        txns_per_session: 2,
+        events_per_txn: 1,
+        seed: 11,
+        write_skew_per_mille: 1_000,
+        ..GenConfig::default()
+    };
+    let generated = generate(&config);
+    assert!(generated.planted.write_skews >= 1);
+    let report = audit_with_budget(&generated.history, BUDGET);
+    assert!(report.fails(Level::Serializable), "{}", report.summary());
+    assert!(report.passes(Level::SnapshotIsolation), "{}", report.summary());
+}
+
+#[test]
+fn causal_cycle_plants_convict_causal_si_and_ser() {
+    for seed in [2u64, 41] {
+        let config = GenConfig { seed, causal_cycle_per_mille: 120, ..GenConfig::default() };
+        let generated = generate(&config);
+        assert!(generated.planted.causal_cycles > 0, "seed {seed}: rate 120/1000 must plant");
+        let fails = batch_fails(&generated.history);
+        for level in [Level::Causal, Level::SnapshotIsolation, Level::Serializable] {
+            assert!(
+                fails.contains(&level),
+                "seed {seed}: planted causal cycle but {} passed (failed: {fails:?})",
+                level.name()
+            );
+        }
+    }
+}
+
+/// The fuzz gate's streaming geometry: shard-aligned plants must be
+/// convicted by the rolling-window and sharded engines, not just batch.
+#[test]
+fn aligned_plants_are_convicted_by_streaming_and_sharded_engines() {
+    const SHARDS: usize = 4;
+    for seed in [9u64, 28] {
+        let config = GenConfig {
+            seed,
+            lost_update_per_mille: 100,
+            shard_align: Some(SHARDS),
+            ..GenConfig::default()
+        };
+        let generated = generate(&config);
+        assert!(generated.planted.lost_updates > 0, "seed {seed}");
+
+        let mut rolling = WindowConfig::sized(32);
+        rolling.overlap = 6;
+        rolling.budget = BUDGET;
+        let streamed = audit_streamed(&generated.history, rolling);
+        assert!(
+            streamed.fails(Level::Serializable) || streamed.fails(Level::SnapshotIsolation),
+            "seed {seed}: rolling windows missed every aligned lost update: {}",
+            streamed.merged.summary()
+        );
+
+        let mut window = WindowConfig::sized(32);
+        window.overlap = 16;
+        window.budget = BUDGET;
+        let sharded = audit_sharded(&generated.history, ShardConfig::new(SHARDS, window));
+        assert!(
+            sharded.fails(Level::Serializable) || sharded.fails(Level::SnapshotIsolation),
+            "seed {seed}: sharded engine missed every aligned lost update: {}",
+            sharded.merged.summary()
+        );
+    }
+}
+
+/// `generate_wire` emits a decodable document whose history matches
+/// `generate` under the same config — the fuzz lane's reproducer format.
+#[test]
+fn generate_wire_matches_generate() {
+    let config = GenConfig { seed: 77, lost_update_per_mille: 50, ..GenConfig::default() };
+    let (doc, planted) = generate_wire(&config);
+    let generated = generate(&config);
+    assert_eq!(planted, generated.planted);
+    let decoded = decode(&doc).expect("generated wire decodes");
+    assert_eq!(decoded, generated.history);
+}

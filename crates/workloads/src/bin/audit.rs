@@ -45,6 +45,22 @@
 //!   `bank` run is an error, and `--scenario all` skips it with a note;
 //! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
 //! * `--budget N` — SI/SER search state budget (default 2,000,000);
+//! * `--export PATH` — capture the run's commit history exactly as the
+//!   auditor saw it (post-merge order, auditor-assigned hints) and write it
+//!   to PATH in the `tm-history` wire format (see `docs/history-format.md`).
+//!   Needs exactly one scenario and one backend, both recordable; composes
+//!   with every audit mode — without `--audit` the run is recorded but not
+//!   checked;
+//! * `--ingest FILE|-` — skip the workload entirely: decode wire-format
+//!   history documents from FILE (or stdin when the argument is `-`) and
+//!   audit each one through the configured mode (batch unless a streaming
+//!   or sharded `--audit=` spec is given).  Verdicts print per document and
+//!   land under `"ingest"` in the `--json` report; `--fail-on-violation`
+//!   covers ingested documents exactly like live runs.  Combined with
+//!   `--serve`, the endpoint audits newline-delimited history documents
+//!   from stdin instead of generating traffic: one `ingest-verdict` record
+//!   per document, and a positioned `ingest-error` record (followed by a
+//!   resync at the next blank line) for each malformed document;
 //! * `--serve` — the long-running ops endpoint: keep the process alive
 //!   running audited rounds of the chosen scenario back to back, tailing
 //!   line-delimited JSON records (per-window verdicts, convictions,
@@ -72,17 +88,23 @@
 //! Without `--audit` the workload runs unrecorded and only throughput,
 //! attempt percentiles and the scenario's own invariant are reported.
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use stm_runtime::{policy, BackendId, RetryPolicy};
 use tm_audit::linearization::DEFAULT_STATE_BUDGET;
 use tm_audit::report::json_escape;
-use tm_audit::{PartitionLag, ShardConfig, ShardEvent, WindowConfig};
+use tm_audit::{
+    audit_sharded, audit_streamed, audit_with_budget, AuditHistory, PartitionLag, ShardConfig,
+    ShardEvent, WindowConfig,
+};
+use tm_history::{decode_all, encode, Decoder};
 use workloads::{
-    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_sharded,
-    run_scenario_audited_streaming, scenario_by_name, Scenario, ScenarioConfig,
+    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_captured,
+    run_scenario_audited_sharded, run_scenario_audited_sharded_captured,
+    run_scenario_audited_streaming, run_scenario_audited_streaming_captured, run_scenario_captured,
+    scenario_by_name, Scenario, ScenarioConfig,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,6 +171,8 @@ struct Args {
     overlap: Option<usize>,
     budget: u64,
     json: Option<String>,
+    ingest: Option<String>,
+    export: Option<String>,
     fail_on_violation: bool,
     list: bool,
     serve: bool,
@@ -173,6 +197,8 @@ impl Default for Args {
             overlap: None,
             budget: DEFAULT_STATE_BUDGET,
             json: None,
+            ingest: None,
+            export: None,
             fail_on_violation: false,
             list: false,
             serve: false,
@@ -245,6 +271,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value_of(&mut it, "--budget")?.parse().map_err(|e| format!("--budget: {e}"))?
             }
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
+            "--ingest" => args.ingest = Some(value_of(&mut it, "--ingest")?),
+            "--export" => args.export = Some(value_of(&mut it, "--export")?),
             "--sink" => args.sink = Some(value_of(&mut it, "--sink")?),
             "--fail-on-violation" => args.fail_on_violation = true,
             "--metrics" => args.metrics = true,
@@ -271,6 +299,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.threads == 0 || args.txns == 0 || args.vars == 0 {
         return Err("--threads, --txns and --vars must be positive".into());
     }
+    if args.ingest.is_some() && args.export.is_some() {
+        return Err("--ingest replays an exported history; it cannot be combined with \
+                    --export (nothing runs, so there is nothing to capture)"
+            .into());
+    }
+    if args.ingest.is_some() && args.mode == AuditMode::Off && !args.serve {
+        // Ingesting without auditing would be a no-op; default to batch.
+        // (Under --serve the streaming default below applies instead.)
+        args.mode = AuditMode::Batch;
+    }
+    if args.export.is_some() {
+        if args.serve {
+            return Err("--export captures one run's history; combine it with a single \
+                        scenario × backend invocation, not --serve"
+                .into());
+        }
+        if args.scenarios.len() != 1 || args.backends.len() != 1 {
+            return Err("--export needs exactly one --scenario and one --backend".into());
+        }
+    }
     if args.serve {
         match args.mode {
             AuditMode::Off => args.mode = AuditMode::Sharded { window: 2_048, shards: 4 },
@@ -281,14 +329,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             AuditMode::Streaming { .. } | AuditMode::Sharded { .. } => {}
         }
-        if args.scenarios.len() != 1 || args.backends.len() != 1 {
-            return Err("--serve needs exactly one --scenario and one --backend".into());
-        }
-        if !args.scenarios[0].recordable() {
-            return Err(format!(
-                "--serve: scenario {:?} is not auditable (no unique-write contract)",
-                args.scenarios[0].name()
-            ));
+        if args.ingest.is_none() {
+            if args.scenarios.len() != 1 || args.backends.len() != 1 {
+                return Err("--serve needs exactly one --scenario and one --backend".into());
+            }
+            if !args.scenarios[0].recordable() {
+                return Err(format!(
+                    "--serve: scenario {:?} is not auditable (no unique-write contract)",
+                    args.scenarios[0].name()
+                ));
+            }
         }
     }
     if args.adaptive && !matches!(args.mode, AuditMode::Sharded { .. }) {
@@ -305,16 +355,21 @@ fn usage() {
          \x20            [--threads N] [--txns N] [--vars N] [--seed N]\n\
          \x20            [--audit[=WINDOW | window[:size=N][:shards=K][:overlap=M]]]\n\
          \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation]\n\
+         \x20            [--export PATH] [--ingest FILE|-]\n\
          \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--adaptive]\n\
          \x20            [--list]\n\
          \n\
          backends and scenarios resolve through their registries; run `audit --list`\n\
          to see what is registered.  --retry POLICY is one of immediate, bounded:N,\n\
          backoff[:BASE:MAX[:TOTAL]], karma[:BASE], timestamp[:BASE], adaptive[:BASE:MAX].\n\
+         --export PATH writes the audited run's commit history in the tm-history wire\n\
+         format; --ingest FILE|- audits wire-format documents instead of running a\n\
+         workload (see docs/history-format.md).\n\
          --serve keeps the process alive running audited rounds back to back, streaming\n\
          line-delimited JSON verdict/window/lag records to stdout (and --sink PATH)\n\
          until SIGTERM/ctrl-c; --adaptive lets the lag sampler re-band hot variable\n\
-         partitions across the sharded auditor's lanes mid-stream."
+         partitions across the sharded auditor's lanes mid-stream; --serve --ingest -\n\
+         audits history documents from stdin instead of generating traffic."
     );
 }
 
@@ -426,32 +481,44 @@ fn install_stop_handlers() {
 }
 
 /// Where serve records go: stdout always, plus the optional `--sink` file.
+///
+/// Sink writes are buffered — a per-record `flush` made the mirror an fsync
+/// hot spot under high event rates — so every serve loop must call
+/// [`ServeEmitter::flush`] at its round/document boundaries and after the
+/// final `serve-stop` record: SIGTERM lands between records, and the records
+/// buffered since the last boundary would otherwise die with the process.
 struct ServeEmitter {
-    sink: Option<Mutex<std::fs::File>>,
+    sink: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
 }
 
 impl ServeEmitter {
     fn open(sink: Option<&str>) -> Result<Self, String> {
         let sink = match sink {
-            Some(path) => Some(Mutex::new(
+            Some(path) => Some(Mutex::new(std::io::BufWriter::new(
                 std::fs::OpenOptions::new()
                     .create(true)
                     .append(true)
                     .open(path)
                     .map_err(|e| format!("--sink {path}: {e}"))?,
-            )),
+            ))),
             None => None,
         };
         Ok(ServeEmitter { sink })
     }
 
-    /// Emit one line-delimited JSON record.
+    /// Emit one line-delimited JSON record (buffered in the sink mirror).
     fn emit(&self, record: &str) {
         println!("{record}");
         if let Some(file) = &self.sink {
             let mut file = file.lock().expect("sink file lock");
             let _ = writeln!(file, "{record}");
-            let _ = file.flush();
+        }
+    }
+
+    /// Push everything buffered so far out to the sink file.
+    fn flush(&self) {
+        if let Some(file) = &self.sink {
+            let _ = file.lock().expect("sink file lock").flush();
         }
     }
 }
@@ -633,12 +700,237 @@ fn serve(args: &Args) -> ExitCode {
                 tm_telemetry::global().snapshot().to_json()
             ));
         }
+        // Round boundary: the sink mirror is durable up to the last full round
+        // even if the next one is cut short.
+        emitter.flush();
         rounds += 1;
     }
     let reason = if STOP.load(Ordering::SeqCst) { "signal" } else { "rounds-exhausted" };
     emitter
         .emit(&format!("{{\"type\":\"serve-stop\",\"rounds\":{rounds},\"reason\":\"{reason}\"}}"));
+    emitter.flush();
     if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--ingest FILE|-` (batch invocation): decode every wire document from the
+/// file (or stdin), audit each through the configured mode, and report like
+/// a live run — per-document verdicts on stdout, `"ingest"` entries in the
+/// `--json` document, `--fail-on-violation` semantics intact.
+fn ingest(args: &Args) -> ExitCode {
+    let source = args.ingest.as_deref().expect("ingest dispatch");
+    let text = if source == "-" {
+        let mut text = String::new();
+        match std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut text) {
+            Ok(_) => text,
+            Err(e) => {
+                eprintln!("error: reading stdin: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(source) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {source}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let histories = match decode_all(&text) {
+        Ok(histories) => histories,
+        Err(e) => {
+            eprintln!("error: {source}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if histories.is_empty() {
+        eprintln!("error: {source}: no history documents");
+        return ExitCode::from(2);
+    }
+    let mut violated = false;
+    let mut json_entries: Vec<String> = Vec::new();
+    for (doc, history) in histories.iter().enumerate() {
+        println!("history #{doc} from {source}: {}", history.shape());
+        let (mode_label, report_json) = match args.mode {
+            AuditMode::Off | AuditMode::Batch => {
+                let report = audit_with_budget(history, args.budget);
+                violated |= tm_audit::Level::ALL.iter().any(|&l| report.fails(l));
+                for level in &report.levels {
+                    println!("  {level}");
+                }
+                println!("  verdict: {}\n", report.summary());
+                ("batch", report.to_json())
+            }
+            AuditMode::Streaming { window } => {
+                let report = audit_streamed(history, window_config(window, args));
+                violated |= tm_audit::Level::ALL.iter().any(|&l| report.fails(l));
+                println!(
+                    "  verdict: {} ({} txns through {} windows)\n",
+                    report.merged.summary(),
+                    report.total_txns,
+                    report.windows.len()
+                );
+                // The merged report is timing-free, so ingest replays of the
+                // same document produce byte-identical JSON.
+                ("streaming", report.merged.to_json())
+            }
+            AuditMode::Sharded { window, shards } => {
+                let shard = ShardConfig {
+                    adaptive: args.adaptive,
+                    ..ShardConfig::new(shards, window_config(window, args))
+                };
+                let report = audit_sharded(history, shard);
+                violated |= tm_audit::Level::ALL.iter().any(|&l| report.fails(l));
+                println!(
+                    "  verdict: {} ({} txns through {} partitions + escalation lane)\n",
+                    report.merged.summary(),
+                    report.total_txns,
+                    shards
+                );
+                ("window-sharded", report.merged.to_json())
+            }
+        };
+        json_entries.push(format!(
+            "{{\"source\":\"ingest\",\"doc\":{doc},\"mode\":\"{mode_label}\",\"shape\":\"{}\",\
+             \"report\":{}}}",
+            json_escape(&history.shape()),
+            report_json
+        ));
+    }
+    if let Some(path) = &args.json {
+        let doc = format!("{{\"ingest\":[{}]}}", json_entries.join(","));
+        if let Err(err) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {err}");
+            return ExitCode::from(3);
+        }
+        println!("machine-readable report written to {path}");
+    }
+    if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--serve --ingest FILE|-`: the ops endpoint fed by wire documents instead
+/// of generated traffic.  One `ingest-verdict` record per decoded document;
+/// a malformed document yields a positioned `ingest-error` record, then the
+/// decoder resyncs at the next document boundary (blank line) and keeps
+/// going — one bad batch does not take the endpoint down.
+fn serve_ingest(args: &Args) -> ExitCode {
+    let source = args.ingest.as_deref().expect("serve-ingest dispatch");
+    let emitter = match ServeEmitter::open(args.sink.as_deref()) {
+        Ok(emitter) => emitter,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    install_stop_handlers();
+    let reader: Box<dyn BufRead> = if source == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        match std::fs::File::open(source) {
+            Ok(file) => Box::new(std::io::BufReader::new(file)),
+            Err(e) => {
+                eprintln!("error: {source}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut decoder = Decoder::new(reader);
+    let (window, shards) = match args.mode {
+        AuditMode::Sharded { window, shards } => (window, shards),
+        AuditMode::Streaming { window } => (window, 1),
+        _ => unreachable!("parse_args forces a streaming mode under --serve"),
+    };
+    emitter.emit(&format!(
+        "{{\"type\":\"serve-start\",\"mode\":\"ingest\",\"source\":\"{}\",\"shards\":{shards},\
+         \"window\":{window},\"pid\":{}}}",
+        json_escape(source),
+        std::process::id()
+    ));
+    let mut docs = 0u64;
+    let mut errors = 0u64;
+    let mut violated = false;
+    let mut eof = false;
+    while !STOP.load(Ordering::SeqCst) {
+        if args.serve_rounds > 0 && docs >= args.serve_rounds {
+            break;
+        }
+        match decoder.next_history() {
+            Ok(Some(history)) => {
+                let (summary, report_json, fails) = match args.mode {
+                    AuditMode::Sharded { .. } => {
+                        let shard = ShardConfig {
+                            adaptive: args.adaptive,
+                            ..ShardConfig::new(shards, window_config(window, args))
+                        };
+                        let report = audit_sharded(&history, shard);
+                        (
+                            report.merged.summary(),
+                            report.to_json(),
+                            tm_audit::Level::ALL.iter().any(|&l| report.fails(l)),
+                        )
+                    }
+                    _ => {
+                        let report = audit_streamed(&history, window_config(window, args));
+                        (
+                            report.merged.summary(),
+                            report.to_json(),
+                            tm_audit::Level::ALL.iter().any(|&l| report.fails(l)),
+                        )
+                    }
+                };
+                violated |= fails;
+                emitter.emit(&format!(
+                    "{{\"type\":\"ingest-verdict\",\"doc\":{docs},\"shape\":\"{}\",\
+                     \"summary\":\"{}\",\"report\":{}}}",
+                    json_escape(&history.shape()),
+                    json_escape(&summary),
+                    report_json
+                ));
+                docs += 1;
+            }
+            Ok(None) => {
+                eof = true;
+                break;
+            }
+            Err(e) => {
+                errors += 1;
+                emitter.emit(&format!(
+                    "{{\"type\":\"ingest-error\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                    e.line,
+                    e.col,
+                    json_escape(&e.message)
+                ));
+                if decoder.skip_document().is_err() {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        // Document boundary: verdicts and errors are durable in the sink
+        // mirror before the next (possibly blocking) stdin read.
+        emitter.flush();
+    }
+    let reason = if STOP.load(Ordering::SeqCst) {
+        "signal"
+    } else if eof {
+        "eof"
+    } else {
+        "rounds-exhausted"
+    };
+    emitter.emit(&format!(
+        "{{\"type\":\"serve-stop\",\"docs\":{docs},\"decode_errors\":{errors},\
+         \"reason\":\"{reason}\"}}"
+    ));
+    emitter.flush();
+    if args.fail_on_violation && (violated || errors > 0) {
         eprintln!("audit found definite violations (--fail-on-violation)");
         return ExitCode::FAILURE;
     }
@@ -677,11 +969,18 @@ fn main() -> ExitCode {
         }
     }
     if args.serve {
+        if args.ingest.is_some() {
+            return serve_ingest(&args);
+        }
         return serve(&args);
+    }
+    if args.ingest.is_some() {
+        return ingest(&args);
     }
 
     let mut json_entries: Vec<String> = Vec::new();
     let mut violated = false;
+    let mut exported: Option<AuditHistory> = None;
     for scenario in &args.scenarios {
         for &backend in &args.backends {
             let config = ScenarioConfig {
@@ -702,7 +1001,7 @@ fn main() -> ExitCode {
                 args.seed,
                 args.policy.name()
             );
-            if args.mode != AuditMode::Off && !scenario.recordable() {
+            if (args.mode != AuditMode::Off || args.export.is_some()) && !scenario.recordable() {
                 if args.scenarios_are_all {
                     println!(
                         "  skipped: {} is not auditable (no unique-write contract)\n",
@@ -712,22 +1011,44 @@ fn main() -> ExitCode {
                 }
                 eprintln!(
                     "error: scenario {:?} is not auditable (its writes are not globally \
-                     unique); run it without --audit",
+                     unique); run it without --audit/--export",
                     scenario.name()
                 );
                 return ExitCode::from(2);
             }
             match args.mode {
                 AuditMode::Off => {
-                    let run = run_scenario(scenario.as_ref(), &config);
+                    let run = if args.export.is_some() {
+                        match run_scenario_captured(scenario.as_ref(), &config) {
+                            Ok((run, history)) => {
+                                exported = Some(history);
+                                run
+                            }
+                            Err(msg) => {
+                                eprintln!("error: {msg}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    } else {
+                        run_scenario(scenario.as_ref(), &config)
+                    };
                     print_run_line(&run);
                     println!();
                     violated |= run.check.invariant == Some(false);
                     json_entries.push(format!("{{{},\"mode\":\"off\"}}", json_run_fields(&run)));
                 }
                 AuditMode::Batch => {
-                    let report = match run_scenario_audited(scenario.as_ref(), &config, args.budget)
-                    {
+                    let result = if args.export.is_some() {
+                        run_scenario_audited_captured(scenario.as_ref(), &config, args.budget).map(
+                            |(report, history)| {
+                                exported = Some(history);
+                                report
+                            },
+                        )
+                    } else {
+                        run_scenario_audited(scenario.as_ref(), &config, args.budget)
+                    };
+                    let report = match result {
                         Ok(report) => report,
                         Err(msg) => {
                             eprintln!("error: {msg}");
@@ -754,15 +1075,27 @@ fn main() -> ExitCode {
                         adaptive: args.adaptive,
                         ..ShardConfig::new(shards, window_config(window, &args))
                     };
-                    let report =
-                        match run_scenario_audited_sharded(scenario.as_ref(), &config, shard, None)
-                        {
-                            Ok(report) => report,
-                            Err(msg) => {
-                                eprintln!("error: {msg}");
-                                return ExitCode::from(2);
-                            }
-                        };
+                    let result = if args.export.is_some() {
+                        run_scenario_audited_sharded_captured(
+                            scenario.as_ref(),
+                            &config,
+                            shard,
+                            None,
+                        )
+                        .map(|(report, history)| {
+                            exported = Some(history);
+                            report
+                        })
+                    } else {
+                        run_scenario_audited_sharded(scenario.as_ref(), &config, shard, None)
+                    };
+                    let report = match result {
+                        Ok(report) => report,
+                        Err(msg) => {
+                            eprintln!("error: {msg}");
+                            return ExitCode::from(2);
+                        }
+                    };
                     violated |= report.run.check.invariant == Some(false)
                         || tm_audit::Level::ALL.iter().any(|&l| report.sharded.fails(l));
                     print_run_line(&report.run);
@@ -791,14 +1124,23 @@ fn main() -> ExitCode {
                 }
                 AuditMode::Streaming { window } => {
                     let wc = window_config(window, &args);
-                    let report =
-                        match run_scenario_audited_streaming(scenario.as_ref(), &config, wc) {
-                            Ok(report) => report,
-                            Err(msg) => {
-                                eprintln!("error: {msg}");
-                                return ExitCode::from(2);
-                            }
-                        };
+                    let result = if args.export.is_some() {
+                        run_scenario_audited_streaming_captured(scenario.as_ref(), &config, wc).map(
+                            |(report, history)| {
+                                exported = Some(history);
+                                report
+                            },
+                        )
+                    } else {
+                        run_scenario_audited_streaming(scenario.as_ref(), &config, wc)
+                    };
+                    let report = match result {
+                        Ok(report) => report,
+                        Err(msg) => {
+                            eprintln!("error: {msg}");
+                            return ExitCode::from(2);
+                        }
+                    };
                     violated |= report.run.check.invariant == Some(false)
                         || tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
                     print_run_line(&report.run);
@@ -819,6 +1161,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &args.export {
+        // parse_args pinned us to one scenario × backend, and non-recordable
+        // single scenarios errored above, so the capture must be present.
+        let history = exported.expect("--export run captured a history");
+        let doc = encode(&history);
+        if let Err(err) = std::fs::write(path, &doc) {
+            eprintln!("error: writing {path}: {err}");
+            return ExitCode::from(3);
+        }
+        println!(
+            "history exported to {path} ({} txns, {} bytes, tm-history wire v{})",
+            history.txn_count(),
+            doc.len(),
+            tm_history::WIRE_VERSION
+        );
+    }
     if args.metrics {
         println!("telemetry snapshot:");
         print!("{}", tm_telemetry::global().snapshot().to_text());

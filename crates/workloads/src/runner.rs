@@ -14,8 +14,9 @@ use std::time::{Duration, Instant};
 use stm_runtime::{recorder, BackendId, Stm, StreamingRecorder};
 use tm_audit::HistoryRecorder;
 use tm_audit::{
-    audit_with_budget, AuditReport, AuditRunConfig, ShardConfig, ShardEvent, ShardedAuditor,
-    ShardedStreamReport, StreamMerger, StreamReport, WindowConfig, WindowedAuditor,
+    audit_with_budget, AuditHistory, AuditReport, AuditRunConfig, HistoryCollector, ShardConfig,
+    ShardEvent, ShardedAuditor, ShardedStreamReport, StreamMerger, StreamReport, TeeSink,
+    WindowConfig, WindowedAuditor,
 };
 
 /// Configuration of one runner invocation.
@@ -323,6 +324,30 @@ fn require_recordable(scenario: &dyn Scenario) -> Result<(), String> {
     }
 }
 
+/// Run a recordable scenario with every commit recorded and hand back the
+/// captured [`AuditHistory`] *without* auditing it — the capture path behind
+/// the audit CLI's `--export` in `--audit off` mode, and the base of the
+/// batch-audited runs.
+pub fn run_scenario_captured(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+) -> Result<(ScenarioRunReport, AuditHistory), String> {
+    require_recordable(scenario)?;
+    let recorder_arc = Arc::new(HistoryRecorder::new(config.threads, 0));
+    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
+        .with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
+    // Detach the recorder before the self-check: verification transactions
+    // must not pollute the captured history.
+    stm.take_recorder();
+    let history = Arc::try_unwrap(recorder_arc)
+        .unwrap_or_else(|_| panic!("recorder still shared after the run"))
+        .into_history(state.words());
+    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    Ok((run, history))
+}
+
 /// Run a recordable scenario with every commit recorded, then audit the
 /// whole history against the RC / RA / Causal / SI / SER hierarchy.
 ///
@@ -333,22 +358,21 @@ pub fn run_scenario_audited(
     config: &ScenarioConfig,
     budget: u64,
 ) -> Result<AuditedScenarioReport, String> {
-    require_recordable(scenario)?;
-    let recorder_arc = Arc::new(HistoryRecorder::new(config.threads, 0));
-    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
-        .with_policy(Arc::clone(&config.policy));
-    let state = scenario.build(&stm, config);
-    let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
-    // Detach the recorder before the self-check: verification transactions
-    // must not pollute the audited history.
-    stm.take_recorder();
-    let history = Arc::try_unwrap(recorder_arc)
-        .unwrap_or_else(|_| panic!("recorder still shared after the run"))
-        .into_history(state.words());
-    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    run_scenario_audited_captured(scenario, config, budget).map(|(report, _)| report)
+}
+
+/// [`run_scenario_audited`], also returning the audited history — exactly
+/// what the auditor saw, so serializing it (`tm-history`) and re-auditing
+/// reproduces the verdicts.
+pub fn run_scenario_audited_captured(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    budget: u64,
+) -> Result<(AuditedScenarioReport, AuditHistory), String> {
+    let (run, history) = run_scenario_captured(scenario, config)?;
     let start = Instant::now();
     let audit = audit_with_budget(&history, budget);
-    Ok(AuditedScenarioReport { run, audit_elapsed: start.elapsed(), audit })
+    Ok((AuditedScenarioReport { run, audit_elapsed: start.elapsed(), audit }, history))
 }
 
 /// Run a recordable scenario while a windowed auditor checks rolling
@@ -359,6 +383,29 @@ pub fn run_scenario_audited_streaming(
     config: &ScenarioConfig,
     window: WindowConfig,
 ) -> Result<StreamingScenarioReport, String> {
+    run_scenario_streaming_inner(scenario, config, window, false).map(|(report, _)| report)
+}
+
+/// [`run_scenario_audited_streaming`], also returning the merged stream the
+/// auditor saw as an [`AuditHistory`].  The capture tees off *after* the
+/// [`StreamMerger`] (a [`TeeSink`] wrapping the auditor), so hints, order
+/// and attribution are exactly the auditor's view — recorder-level taps
+/// cannot give that, because parallel recorders number hints independently.
+pub fn run_scenario_audited_streaming_captured(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    window: WindowConfig,
+) -> Result<(StreamingScenarioReport, AuditHistory), String> {
+    run_scenario_streaming_inner(scenario, config, window, true)
+        .map(|(report, history)| (report, history.expect("capture was requested")))
+}
+
+fn run_scenario_streaming_inner(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    window: WindowConfig,
+    capture: bool,
+) -> Result<(StreamingScenarioReport, Option<AuditHistory>), String> {
     require_recordable(scenario)?;
     let recorder_arc = Arc::new(StreamingRecorder::new(config.threads, 256));
     let consumer = recorder_arc.consumer();
@@ -367,16 +414,28 @@ pub fn run_scenario_audited_streaming(
     let state = scenario.build(&stm, config);
     let vars = state.words();
     let start = Instant::now();
-    let (elapsed, stream) = std::thread::scope(|scope| {
+    let (elapsed, (stream, history)) = std::thread::scope(|scope| {
         let sessions = config.threads;
         let auditor = scope.spawn(move || {
             let mut auditor = WindowedAuditor::new(vars, 0, window);
             let mut merger = StreamMerger::new(sessions);
-            while let Some(batch) = consumer.recv() {
-                merger.push_batch(&batch, &mut auditor);
+            let mut collector = capture.then(|| HistoryCollector::new(vars, 0, sessions));
+            match collector.as_mut() {
+                Some(collector) => {
+                    let mut tee = TeeSink::new(&mut auditor, collector);
+                    while let Some(batch) = consumer.recv() {
+                        merger.push_batch(&batch, &mut tee);
+                    }
+                    merger.finish(&mut tee);
+                }
+                None => {
+                    while let Some(batch) = consumer.recv() {
+                        merger.push_batch(&batch, &mut auditor);
+                    }
+                    merger.finish(&mut auditor);
+                }
             }
-            merger.finish(&mut auditor);
-            auditor.finish()
+            (auditor.finish(), collector.map(HistoryCollector::into_history))
         });
         let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
         recorder_arc.finish();
@@ -385,12 +444,15 @@ pub fn run_scenario_audited_streaming(
     let total = start.elapsed();
     stm.take_recorder();
     let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
-    Ok(StreamingScenarioReport {
-        run,
-        window,
-        drain_elapsed: total.saturating_sub(elapsed),
-        stream,
-    })
+    Ok((
+        StreamingScenarioReport {
+            run,
+            window,
+            drain_elapsed: total.saturating_sub(elapsed),
+            stream,
+        },
+        history,
+    ))
 }
 
 /// A scenario run audited concurrently by the sharded partition pipeline
@@ -429,6 +491,29 @@ pub fn run_scenario_audited_sharded(
     shard: ShardConfig,
     events: Option<std::sync::mpsc::Sender<ShardEvent>>,
 ) -> Result<ShardedScenarioReport, String> {
+    run_scenario_sharded_inner(scenario, config, shard, events, false).map(|(report, _)| report)
+}
+
+/// [`run_scenario_audited_sharded`], also returning the merged stream the
+/// router saw as an [`AuditHistory`] (teed off after the [`StreamMerger`],
+/// before band routing — the exact global order the pipeline audited).
+pub fn run_scenario_audited_sharded_captured(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    shard: ShardConfig,
+    events: Option<std::sync::mpsc::Sender<ShardEvent>>,
+) -> Result<(ShardedScenarioReport, AuditHistory), String> {
+    run_scenario_sharded_inner(scenario, config, shard, events, true)
+        .map(|(report, history)| (report, history.expect("capture was requested")))
+}
+
+fn run_scenario_sharded_inner(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    shard: ShardConfig,
+    events: Option<std::sync::mpsc::Sender<ShardEvent>>,
+    capture: bool,
+) -> Result<(ShardedScenarioReport, Option<AuditHistory>), String> {
     require_recordable(scenario)?;
     let recorder_arc = Arc::new(StreamingRecorder::new(config.threads, 256));
     let consumer = recorder_arc.consumer();
@@ -445,16 +530,28 @@ pub fn run_scenario_audited_sharded(
     let band_router = shard.adaptive.then(|| auditor.router());
     let done = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
-    let (elapsed, sharded) = std::thread::scope(|scope| {
+    let (elapsed, (sharded, history)) = std::thread::scope(|scope| {
         let sessions = config.threads;
         let router = scope.spawn(move || {
             let mut auditor = auditor;
             let mut merger = StreamMerger::new(sessions);
-            while let Some(batch) = consumer.recv() {
-                merger.push_batch(&batch, &mut auditor);
+            let mut collector = capture.then(|| HistoryCollector::new(vars, 0, sessions));
+            match collector.as_mut() {
+                Some(collector) => {
+                    let mut tee = TeeSink::new(&mut auditor, collector);
+                    while let Some(batch) = consumer.recv() {
+                        merger.push_batch(&batch, &mut tee);
+                    }
+                    merger.finish(&mut tee);
+                }
+                None => {
+                    while let Some(batch) = consumer.recv() {
+                        merger.push_batch(&batch, &mut auditor);
+                    }
+                    merger.finish(&mut auditor);
+                }
             }
-            merger.finish(&mut auditor);
-            auditor.finish()
+            (auditor.finish(), collector.map(HistoryCollector::into_history))
         });
         // One sampler serves both consumers of the ~200 ms lag snapshot:
         // the live event feed (when `events` is on) and the adaptive band
@@ -481,7 +578,7 @@ pub fn run_scenario_audited_sharded(
         });
         let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
         recorder_arc.finish();
-        let sharded = router.join().expect("sharded auditor router panicked");
+        let routed = router.join().expect("sharded auditor router panicked");
         done.store(true, Ordering::SeqCst);
         if let Some(sampler) = sampler {
             sampler.join().expect("lag sampler panicked");
@@ -491,18 +588,21 @@ pub fn run_scenario_audited_sharded(
         if let Some(tx) = &events {
             let _ = tx.send(ShardEvent::Lag { partitions: probe.sample() });
         }
-        (elapsed, sharded)
+        (elapsed, routed)
     });
     let total = start.elapsed();
     stm.take_recorder();
     let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
-    Ok(ShardedScenarioReport {
-        run,
-        shard,
-        drain_elapsed: total.saturating_sub(elapsed),
-        sharded,
-        band_moves: band_router.map_or(0, |r| r.moves()),
-    })
+    Ok((
+        ShardedScenarioReport {
+            run,
+            shard,
+            drain_elapsed: total.saturating_sub(elapsed),
+            sharded,
+            band_moves: band_router.map_or(0, |r| r.moves()),
+        },
+        history,
+    ))
 }
 
 /// The stalled-writer liveness experiment: one thread opens a transaction, writes the

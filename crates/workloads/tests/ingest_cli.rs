@@ -1,0 +1,186 @@
+//! End-to-end smokes for the audit CLI's history surface: `--export`,
+//! `--ingest` (file and stdin), the `--serve --ingest -` endpoint, and
+//! `--fail-on-violation` coverage of ingested documents.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+/// A two-transaction lost update: both sessions read v0's initial value and
+/// both write it.  Fails SI and SER; passes RC/RA/Causal.
+const LOST_UPDATE_DOC: &str = "\
+{\"tm-history\":1,\"sessions\":2,\"vars\":1,\"initial\":0}\n\
+{\"s\":0,\"q\":0,\"h\":0,\"r\":[[0,0]],\"w\":[[0,1]]}\n\
+{\"s\":1,\"q\":0,\"h\":1,\"r\":[[0,0]],\"w\":[[0,2]]}\n";
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tm-history-cli-{}-{name}", std::process::id()))
+}
+
+/// Pull the `"report":{…}` object out of a one-entry `--json` document
+/// (`{"runs":[{…,"report":{R}}]}` and `{"ingest":[{…,"report":{R}}]}` both
+/// close with `}]}`).
+fn report_of(doc: &str) -> &str {
+    let start = doc.find("\"report\":").expect("json document carries a report") + 9;
+    &doc[start..doc.len() - 3]
+}
+
+#[test]
+fn export_then_ingest_reproduces_the_live_verdict_byte_for_byte() {
+    let wire = temp_path("export.tmh");
+    let live_json = temp_path("live.json");
+    let ingest_json = temp_path("ingest.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args([
+            "--backend",
+            "tl2",
+            "--scenario",
+            "registers",
+            "--threads",
+            "2",
+            "--txns",
+            "150",
+            "--vars",
+            "16",
+            "--audit",
+            "--export",
+            wire.to_str().unwrap(),
+            "--json",
+            live_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("running the audit binary");
+    assert!(out.status.success(), "export run failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("history exported to"), "{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args([
+            "--ingest",
+            wire.to_str().unwrap(),
+            "--json",
+            ingest_json.to_str().unwrap(),
+            "--fail-on-violation",
+        ])
+        .output()
+        .expect("running the audit binary");
+    assert!(out.status.success(), "ingest run failed: {out:?}");
+
+    let live = std::fs::read_to_string(&live_json).expect("live json");
+    let ingested = std::fs::read_to_string(&ingest_json).expect("ingest json");
+    assert!(ingested.contains("\"source\":\"ingest\""), "{ingested}");
+    assert_eq!(
+        report_of(&live),
+        report_of(&ingested),
+        "ingested verdict diverged from the live one"
+    );
+    for path in [&wire, &live_json, &ingest_json] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn ingest_from_stdin_convicts_and_fails_on_violation() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--ingest", "-", "--fail-on-violation"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(LOST_UPDATE_DOC.as_bytes())
+        .expect("writing the document");
+    let out = child.wait_with_output().expect("waiting for the audit binary");
+    assert_eq!(out.status.code(), Some(1), "a definite violation must exit 1: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SI ✗"), "{stdout}");
+    assert!(stdout.contains("SER ✗"), "{stdout}");
+    assert!(stdout.contains("RC ✓"), "{stdout}");
+}
+
+#[test]
+fn ingest_without_fail_flag_reports_but_exits_zero() {
+    let wire = temp_path("lu.tmh");
+    std::fs::write(&wire, LOST_UPDATE_DOC).expect("writing the corpus doc");
+    let out = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--ingest", wire.to_str().unwrap()])
+        .output()
+        .expect("running the audit binary");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SER ✗"), "{stdout}");
+    let _ = std::fs::remove_file(&wire);
+}
+
+#[test]
+fn malformed_ingest_input_exits_with_a_positioned_error() {
+    let wire = temp_path("bad.tmh");
+    std::fs::write(&wire, "{\"tm-history\":99,\"sessions\":1,\"vars\":1,\"initial\":0}\n")
+        .expect("writing the corpus doc");
+    let out = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--ingest", wire.to_str().unwrap()])
+        .output()
+        .expect("running the audit binary");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(stderr.contains("unsupported tm-history version"), "{stderr}");
+    let _ = std::fs::remove_file(&wire);
+}
+
+/// The serve-ingest endpoint: verdict records per document, a positioned
+/// error record for garbage (then resync), a sink mirror that holds every
+/// record after shutdown, and an `eof` stop reason.
+#[test]
+fn serve_ingest_streams_verdicts_and_recovers_from_garbage() {
+    let sink = temp_path("serve-sink.jsonl");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--serve", "--ingest", "-", "--sink", sink.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    {
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        stdin.write_all(LOST_UPDATE_DOC.as_bytes()).expect("doc 1");
+        stdin.write_all(b"\nnot a header at all\n\n").expect("garbage");
+        stdin.write_all(LOST_UPDATE_DOC.as_bytes()).expect("doc 2");
+        // Dropping stdin closes the pipe: the decoder sees EOF.
+    }
+    let out = child.wait_with_output().expect("waiting for the audit binary");
+    assert!(out.status.success(), "clean eof shutdown must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("\"type\":\"ingest-verdict\"").count(), 2, "{stdout}");
+    assert_eq!(stdout.matches("\"type\":\"ingest-error\"").count(), 1, "{stdout}");
+    assert!(stdout.contains("\"line\":"), "{stdout}");
+    assert!(stdout.contains("\"reason\":\"eof\""), "{stdout}");
+    assert!(stdout.contains("SER ✗"), "{stdout}");
+    // Satellite: the buffered sink mirror is flushed at document boundaries
+    // and shutdown — after exit it holds the full record stream.
+    let mirrored = std::fs::read_to_string(&sink).expect("sink mirror");
+    assert_eq!(mirrored.matches("\"type\":\"ingest-verdict\"").count(), 2, "{mirrored}");
+    assert!(mirrored.contains("\"type\":\"serve-stop\""), "{mirrored}");
+    let _ = std::fs::remove_file(&sink);
+}
+
+/// `--serve --ingest - --fail-on-violation`: convicted documents (or decode
+/// errors) surface in the exit code even in serve mode.
+#[test]
+fn serve_ingest_fail_on_violation_exits_nonzero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--serve", "--ingest", "-", "--fail-on-violation"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(LOST_UPDATE_DOC.as_bytes())
+        .expect("writing the document");
+    let out = child.wait_with_output().expect("waiting for the audit binary");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Differential fuzz gate: generate adversarial histories (seeded, with
+# planted lost-update / write-skew / causal-cycle anomalies) and push each
+# one through all four audit pipelines — whole-history batch, one whole-run
+# window, rolling windows, and the sharded partition engine.  Any checker
+# disagreement the engines' documented soundness contracts cannot explain
+# fails the gate; each failing seed leaves a minimized wire-format
+# reproducer under the output directory (repro-seed<N>.tmh, replayable with
+# `audit --ingest`).
+#
+# Usage: scripts/fuzz_gate.sh [SEEDS] [SEED_START]
+# Env overrides: FUZZ_SEEDS, FUZZ_SEED_START, FUZZ_OUT, FUZZ_BUDGET.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds="${1:-${FUZZ_SEEDS:-100}}"
+seed_start="${2:-${FUZZ_SEED_START:-0}}"
+out="${FUZZ_OUT:-fuzz-out}"
+budget="${FUZZ_BUDGET:-2000000}"
+
+mkdir -p "$out"
+cargo build --release -p tm-history --bin fuzz
+exec ./target/release/fuzz \
+  --seeds "$seeds" --seed-start "$seed_start" --out "$out" --budget "$budget"
