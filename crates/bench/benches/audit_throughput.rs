@@ -25,9 +25,15 @@
 //!   `tm-history` encoder, hardened decoder and adversarial generator
 //!   sustain — the export → ingest path and the fuzz lane's input side must
 //!   not become the bottleneck of audit-anything workflows.
+//! * **AUDIT6 — DFS vs SAT decision latency**: on the planted hard windows
+//!   from `tm_history::generate::generate_hard` (a long-fork core padded
+//!   with independent RMW chains), how long the DFS linearization search
+//!   takes to exhaust its budget and return `Unknown` vs. how long the CDCL
+//!   commit-order solver takes to *decide* the same window outright — the
+//!   number that justifies the `--sat` escalation lane.
 //!
 //! Experiment ids (see DESIGN.md / EXPERIMENTS.md): AUDIT1, AUDIT2, AUDIT3,
-//! AUDIT4, AUDIT5.
+//! AUDIT4, AUDIT5, AUDIT6.
 
 use bench::harness::{bench, bench_throughput, black_box};
 use stm_runtime::registry::{OBSTRUCTION_FREE, PRAM_LOCAL, TL2_BLOCKING};
@@ -36,7 +42,8 @@ use tm_audit::linearization::{search_serializable, Search, DEFAULT_STATE_BUDGET}
 use tm_audit::po::TxnPartialOrder;
 use tm_audit::saturation::{check_causal, check_read_atomic, check_read_committed};
 use tm_audit::{
-    audit_sharded, record_run, run_unrecorded, AuditRunConfig, Level, ShardConfig, WindowConfig,
+    audit_sharded, audit_with_budget, audit_with_options, record_run, run_unrecorded, AuditOptions,
+    AuditRunConfig, Level, SatConfig, ShardConfig, WindowConfig,
 };
 use workloads::run_audited_streaming;
 
@@ -248,10 +255,41 @@ fn wire_codec_throughput() {
     });
 }
 
+/// AUDIT6: DFS budget-exhaustion latency vs CDCL decision latency on the
+/// planted hard windows the `--sat` escalation lane exists for.  The DFS
+/// side is pure wasted work (it must touch `budget` states before giving
+/// up); the solver side decides the window from its unit clauses in a
+/// handful of conflicts, so the gap is what the escalation buys.
+fn solver_vs_dfs_latency() {
+    for (chains, chain_len) in [(5, 6), (7, 8)] {
+        let generated = tm_history::generate::generate_hard(3, chains, chain_len);
+        let history = &generated.history;
+        let txns = history.txn_count();
+        let budget = 200_000;
+        let starved = audit_with_budget(history, budget);
+        assert!(
+            !starved.fails(Level::Prefix) && !starved.passes(Level::Prefix),
+            "AUDIT6 premise: DFS must exhaust on the {txns}-txn hard window"
+        );
+        bench(&format!("audit6-solver/{chains}x{chain_len}/dfs-exhaust"), SAMPLES, || {
+            black_box(audit_with_budget(history, budget).summary())
+        });
+        let options = AuditOptions { budget: 1, sat: Some(SatConfig::default()) };
+        assert!(
+            audit_with_options(history, &options).fails(Level::Prefix),
+            "AUDIT6 premise: the solver must convict the {txns}-txn hard window"
+        );
+        bench(&format!("audit6-solver/{chains}x{chain_len}/sat-decide"), SAMPLES, || {
+            black_box(audit_with_options(history, &options).summary())
+        });
+    }
+}
+
 fn main() {
     recording_overhead();
     checker_throughput();
     batch_vs_streaming();
     sharded_audit_scaling();
     wire_codec_throughput();
+    solver_vs_dfs_latency();
 }

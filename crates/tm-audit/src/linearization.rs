@@ -172,7 +172,25 @@ pub fn find_same_source_skew(po: &TxnPartialOrder, sat: &Saturated) -> Option<Ve
 /// valid SI execution, so a `true` here is a sound pass — this is what the
 /// recording order of an MVCC backend satisfies by construction, making the
 /// SI verdict decidable at scales where the DFS would exhaust its budget.
+#[cfg(test)]
 fn verify_si_order(po: &TxnPartialOrder, sat: &Saturated, order: &[u32]) -> bool {
+    verify_split_order(po, sat, order, true)
+}
+
+/// [`verify_si_order`] without clause (c): **prefix consistency** drops
+/// first-committer-wins, so a candidate order only needs a snapshot point per
+/// transaction that explains its reads against some commit-order prefix.
+#[cfg(test)]
+fn verify_prefix_order(po: &TxnPartialOrder, sat: &Saturated, order: &[u32]) -> bool {
+    verify_split_order(po, sat, order, false)
+}
+
+fn verify_split_order(
+    po: &TxnPartialOrder,
+    sat: &Saturated,
+    order: &[u32],
+    first_committer_wins: bool,
+) -> bool {
     let n = po.len();
     // Positions: ROOT pinned at 0, everything else 1-based in order.
     let mut pos = vec![0usize; n];
@@ -221,13 +239,15 @@ fn verify_si_order(po: &TxnPartialOrder, sat: &Saturated, order: &[u32]) -> bool
                 hi = hi.min(np - 1);
             }
         }
-        for &var in &po.writes[t] {
-            // First-committer-wins: the snapshot must include the latest
-            // other writer of `var` committing before us.
-            let writers = &writer_positions[var as usize];
-            let before = writers.partition_point(|&w| w < i);
-            if before > 0 {
-                lo = lo.max(writers[before - 1]);
+        if first_committer_wins {
+            for &var in &po.writes[t] {
+                // First-committer-wins: the snapshot must include the latest
+                // other writer of `var` committing before us.
+                let writers = &writer_positions[var as usize];
+                let before = writers.partition_point(|&w| w < i);
+                if before > 0 {
+                    lo = lo.max(writers[before - 1]);
+                }
             }
         }
         if lo > hi {
@@ -507,6 +527,9 @@ struct SiModel<'a> {
     /// never be open at once, and a snapshot may not be taken while a
     /// conflicting writer is open.
     open_writer: Vec<bool>,
+    /// Enforce first-committer-wins (`true` = snapshot isolation, `false` =
+    /// prefix consistency, which admits overlapping writers).
+    first_committer_wins: bool,
 }
 
 impl Model for SiModel<'_> {
@@ -516,9 +539,10 @@ impl Model for SiModel<'_> {
             self.versions.writes_unblocked(t)
         } else {
             self.versions.reads_current(t)
-                && self.versions.po.writes[t as usize]
-                    .iter()
-                    .all(|&var| !self.open_writer[var as usize])
+                && (!self.first_committer_wins
+                    || self.versions.po.writes[t as usize]
+                        .iter()
+                        .all(|&var| !self.open_writer[var as usize]))
         }
     }
 
@@ -563,10 +587,27 @@ pub fn search_snapshot_isolation(
     n_vars: usize,
     budget: u64,
 ) -> Search {
+    search_split(po, sat, n_vars, budget, true)
+}
+
+/// Search for a **prefix-consistent** commit order: the snapshot-isolation
+/// split-vertex search minus first-committer-wins, so overlapping writers of
+/// the same variable are admitted (lost updates pass, long forks still fail).
+pub fn search_prefix(po: &TxnPartialOrder, sat: &Saturated, n_vars: usize, budget: u64) -> Search {
+    search_split(po, sat, n_vars, budget, false)
+}
+
+fn search_split(
+    po: &TxnPartialOrder,
+    sat: &Saturated,
+    n_vars: usize,
+    budget: u64,
+    first_committer_wins: bool,
+) -> Search {
     // Fast path: if the hint-ordered topological order admits per-transaction
     // snapshot points, it *is* an SI witness and no search runs (the MVCC
     // backend's recording order verifies by construction).
-    if verify_si_order(po, sat, &sat.topo) {
+    if verify_split_order(po, sat, &sat.topo, first_committer_wins) {
         return Search::Order(sat.topo.iter().copied().filter(|&t| t != ROOT).collect());
     }
     let n = po.len();
@@ -597,6 +638,7 @@ pub fn search_snapshot_isolation(
         versions: VersionState::new(po, n_vars),
         undo_logs: Vec::new(),
         open_writer: vec![false; n_vars],
+        first_committer_wins,
     };
     let succs = |v: u32, f: &mut dyn FnMut(u32)| {
         if is_write_point(v) {
@@ -782,6 +824,46 @@ mod tests {
         let sat = check_causal(&po).unwrap();
         let ser = search_serializable(&po, &sat, 1, DEFAULT_STATE_BUDGET);
         assert_eq!(ser, Search::Order(vec![1, 2]), "wr edge forces the true order");
+    }
+
+    /// Prefix sits strictly between Causal and SI: it admits the lost update
+    /// (no first-committer-wins) but still refutes the long fork (reads must
+    /// come from one order's prefix).
+    #[test]
+    fn prefix_admits_lost_update_but_rejects_long_fork() {
+        // Lost update: both RMW x from the initial version.
+        let mut h = AuditHistory::new(1, 0, 2);
+        h.push_txn(0, [(0, 0)], [(0, 1)]);
+        h.push_txn(1, [(0, 0)], [(0, 2)]);
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).unwrap();
+        let prefix = search_prefix(&po, &sat, 1, DEFAULT_STATE_BUDGET);
+        assert!(matches!(prefix, Search::Order(_)), "prefix admits lost updates: {prefix:?}");
+        assert_eq!(search_snapshot_isolation(&po, &sat, 1, DEFAULT_STATE_BUDGET), Search::NoOrder);
+
+        // Long fork: opposite observation orders cannot share a prefix.
+        let mut h = AuditHistory::new(2, 0, 4);
+        h.push_txn(0, [], [(0, 1)]);
+        h.push_txn(1, [], [(1, 1)]);
+        h.push_txn(2, [(0, 1), (1, 0)], []);
+        h.push_txn(3, [(0, 0), (1, 1)], []);
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).unwrap();
+        assert!(!verify_prefix_order(&po, &sat, &sat.topo), "fast path must not verify");
+        assert_eq!(search_prefix(&po, &sat, 2, DEFAULT_STATE_BUDGET), Search::NoOrder);
+    }
+
+    /// SI pass implies prefix pass on the separating scenarios (hierarchy
+    /// sanity: SER ⊆ SI ⊆ Prefix).
+    #[test]
+    fn si_witnesses_are_prefix_witnesses() {
+        let mut h = AuditHistory::new(2, 0, 2);
+        h.push_txn(0, [(0, 0), (1, 0)], [(0, 10)]);
+        h.push_txn(1, [(0, 0), (1, 0)], [(1, 20)]);
+        let po = TxnPartialOrder::build(&h).unwrap();
+        let sat = check_causal(&po).unwrap();
+        assert!(verify_prefix_order(&po, &sat, &sat.topo), "write skew verifies for prefix too");
+        assert!(matches!(search_prefix(&po, &sat, 2, DEFAULT_STATE_BUDGET), Search::Order(_)));
     }
 
     /// An absurdly small budget reports exhaustion rather than a verdict.

@@ -149,6 +149,7 @@ fn scaled_window(base: WindowConfig, k: usize) -> WindowConfig {
         budget: base.budget,
         retain_windows: base.retain_windows,
         batch: (base.batch / k).clamp(1, size),
+        sat: base.sat,
     }
 }
 
@@ -1008,9 +1009,22 @@ fn merge_partitions(
     );
     let levels = Level::ALL
         .iter()
-        .map(|&level| LevelReport {
-            level,
-            outcome: merged_outcome(partitions, level, config.shards, escalated_txns),
+        .map(|&level| {
+            let mut l = LevelReport::new(
+                level,
+                merged_outcome(partitions, level, config.shards, escalated_txns),
+            );
+            // Mark levels whose merged verdict leans on any lane's solver.
+            if partitions.iter().any(|p| {
+                p.stream
+                    .merged
+                    .levels
+                    .iter()
+                    .any(|r| r.level == level && r.decided_by == crate::report::DecidedBy::Sat)
+            }) {
+                l = l.via_sat();
+            }
+            l
         })
         .collect();
     AuditReport { shape, levels }

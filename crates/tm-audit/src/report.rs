@@ -23,6 +23,10 @@ pub enum Level {
     ReadAtomic,
     /// Visibility is transitive: causal pasts propagate.
     Causal,
+    /// Every transaction reads from a consistent *prefix* of one commit
+    /// order (snapshot reads without first-committer-wins — lost updates are
+    /// admitted).
+    Prefix,
     /// Snapshot isolation: snapshot reads plus first-committer-wins on
     /// write-write conflicts.
     SnapshotIsolation,
@@ -32,10 +36,11 @@ pub enum Level {
 
 impl Level {
     /// All levels, weakest first.
-    pub const ALL: [Level; 5] = [
+    pub const ALL: [Level; 6] = [
         Level::ReadCommitted,
         Level::ReadAtomic,
         Level::Causal,
+        Level::Prefix,
         Level::SnapshotIsolation,
         Level::Serializable,
     ];
@@ -46,6 +51,7 @@ impl Level {
             Level::ReadCommitted => "read committed",
             Level::ReadAtomic => "read atomic",
             Level::Causal => "causal consistency",
+            Level::Prefix => "prefix consistency",
             Level::SnapshotIsolation => "snapshot isolation",
             Level::Serializable => "serializability",
         }
@@ -57,8 +63,30 @@ impl Level {
             Level::ReadCommitted => "RC",
             Level::ReadAtomic => "RA",
             Level::Causal => "Causal",
+            Level::Prefix => "Prefix",
             Level::SnapshotIsolation => "SI",
             Level::Serializable => "SER",
+        }
+    }
+}
+
+/// Which engine settled a level's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecidedBy {
+    /// The polynomial saturation rules or the bounded constrained-
+    /// linearization DFS.
+    #[default]
+    Dfs,
+    /// The per-window CDCL commit-order solver (the escalation path).
+    Sat,
+}
+
+impl DecidedBy {
+    /// Stable string used in JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecidedBy::Dfs => "dfs",
+            DecidedBy::Sat => "sat",
         }
     }
 }
@@ -131,16 +159,39 @@ pub struct LevelReport {
     pub level: Level,
     /// The verdict.
     pub outcome: Outcome,
+    /// Which engine settled the verdict.
+    pub decided_by: DecidedBy,
+}
+
+impl LevelReport {
+    /// A verdict settled by the default polynomial/DFS pipeline.
+    pub fn new(level: Level, outcome: Outcome) -> LevelReport {
+        LevelReport { level, outcome, decided_by: DecidedBy::Dfs }
+    }
+
+    /// The same verdict re-attributed to the SAT escalation path.
+    pub fn via_sat(mut self) -> LevelReport {
+        self.decided_by = DecidedBy::Sat;
+        self
+    }
 }
 
 impl fmt::Display for LevelReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.outcome {
             Outcome::Pass { witness } => {
-                write!(f, "{:<20} PASS  {}", self.level.name(), witness)
+                write!(f, "{:<20} PASS  {}", self.level.name(), witness)?;
+                if self.decided_by == DecidedBy::Sat {
+                    f.write_str("  [sat]")?;
+                }
+                Ok(())
             }
             Outcome::Fail { violation } => {
-                write!(f, "{:<20} FAIL  {}", self.level.name(), violation)
+                write!(f, "{:<20} FAIL  {}", self.level.name(), violation)?;
+                if self.decided_by == DecidedBy::Sat {
+                    f.write_str("  [sat]")?;
+                }
+                Ok(())
             }
             Outcome::Unknown { reason, states, refuted, next_budget } => {
                 write!(
@@ -232,9 +283,10 @@ impl AuditReport {
                 Outcome::Unknown { reason, .. } => ("unknown", reason.clone()),
             };
             out.push_str(&format!(
-                "{{\"level\":\"{}\",\"tag\":\"{}\",\"outcome\":\"{outcome}\",\"detail\":\"{}\"",
+                "{{\"level\":\"{}\",\"tag\":\"{}\",\"outcome\":\"{outcome}\",\"decided_by\":\"{}\",\"detail\":\"{}\"",
                 l.level.name(),
                 l.level.tag(),
+                l.decided_by.as_str(),
                 json_escape(&detail)
             ));
             if let Outcome::Unknown { states, refuted, next_budget, .. } = &l.outcome {
@@ -275,18 +327,19 @@ mod tests {
         AuditReport {
             shape: "2 sessions, 3 transactions, 2 variables".into(),
             levels: vec![
-                LevelReport {
-                    level: Level::ReadCommitted,
-                    outcome: Outcome::Pass { witness: "order: init < s0:0".into() },
-                },
-                LevelReport {
-                    level: Level::Serializable,
-                    outcome: Outcome::Fail { violation: "lost update on v0".into() },
-                },
-                LevelReport {
-                    level: Level::SnapshotIsolation,
-                    outcome: Outcome::unknown("budget exhausted", 1_000, Some(Level::Serializable)),
-                },
+                LevelReport::new(
+                    Level::ReadCommitted,
+                    Outcome::Pass { witness: "order: init < s0:0".into() },
+                ),
+                LevelReport::new(
+                    Level::Serializable,
+                    Outcome::Fail { violation: "lost update on v0".into() },
+                )
+                .via_sat(),
+                LevelReport::new(
+                    Level::SnapshotIsolation,
+                    Outcome::unknown("budget exhausted", 1_000, Some(Level::Serializable)),
+                ),
             ],
         }
     }
@@ -350,9 +403,22 @@ mod tests {
 
     #[test]
     fn level_vocabulary_is_stable() {
-        assert_eq!(Level::ALL.len(), 5);
+        assert_eq!(Level::ALL.len(), 6);
         assert_eq!(Level::Serializable.name(), "serializability");
         assert_eq!(format!("{}", Level::Causal), "causal consistency");
         assert_eq!(Level::SnapshotIsolation.tag(), "SI");
+        assert_eq!(Level::Prefix.tag(), "Prefix");
+        assert_eq!(Level::Prefix.name(), "prefix consistency");
+        // The hierarchy ordering places Prefix between Causal and SI.
+        assert!(Level::Causal < Level::Prefix && Level::Prefix < Level::SnapshotIsolation);
+    }
+
+    #[test]
+    fn decided_by_is_reported_in_json_and_display() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"decided_by\":\"sat\""), "{json}");
+        assert!(json.contains("\"decided_by\":\"dfs\""), "{json}");
+        assert!(r.to_string().contains("[sat]"), "{r}");
     }
 }

@@ -33,6 +33,10 @@ pub struct AuditTelemetry {
     pub budget_slashed: Counter,
     /// Reads attributed to synthetic stand-ins past the retention horizon.
     pub evicted: Counter,
+    /// Windows escalated to the SAT commit-order solver.
+    pub sat_windows: Counter,
+    /// CDCL conflicts spent by escalated windows.
+    pub sat_conflicts: Counter,
 }
 
 impl AuditTelemetry {
@@ -46,6 +50,8 @@ impl AuditTelemetry {
             search_states: registry.counter("audit_search_states_total", &[], "states"),
             budget_slashed: registry.counter("audit_budget_slashed_windows_total", &[], "windows"),
             evicted: registry.counter("audit_evicted_attributions_total", &[], "reads"),
+            sat_windows: registry.counter("audit_sat_windows_total", &[], "windows"),
+            sat_conflicts: registry.counter("audit_sat_conflicts_total", &[], "conflicts"),
         }
     }
 

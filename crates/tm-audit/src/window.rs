@@ -51,15 +51,15 @@
 //!
 //! The randomized equivalence suite (`tests/audit_window_equivalence.rs`)
 //! checks that on seeded live runs from every backend the windowed verdicts
-//! agree with the whole-run batch verdicts on all five levels.
+//! agree with the whole-run batch verdicts on all six levels.
 
 use crate::history::{AuditTxn, HistoryError, TxnId};
 use crate::linearization::{find_lost_update, DEFAULT_STATE_BUDGET};
 use crate::po::{TxnPartialOrder, EVICTED_SESSION};
-use crate::report::{json_escape, AuditReport, Level, LevelReport, Outcome};
+use crate::report::{json_escape, AuditReport, DecidedBy, Level, LevelReport, Outcome};
 use crate::saturation::{resaturate, CycleViolation, Saturated};
 use crate::telemetry::AuditTelemetry;
-use crate::{audit_built, defect_report, AuditHistory};
+use crate::{audit_built, defect_report, AuditHistory, SatConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 use stm_runtime::CommitBatch;
@@ -81,6 +81,8 @@ pub struct WindowConfig {
     /// Incremental re-saturation granularity, in transactions: how often the
     /// in-flight window refreshes its causal verdict and lost-update probe.
     pub batch: usize,
+    /// Escalate budget-exhausted windows to the CDCL commit-order solver.
+    pub sat: Option<SatConfig>,
 }
 
 impl Default for WindowConfig {
@@ -100,6 +102,7 @@ impl WindowConfig {
             budget: DEFAULT_STATE_BUDGET,
             retain_windows: 8,
             batch: (size / 8).max(1),
+            sat: None,
         }
     }
 
@@ -670,7 +673,7 @@ impl WindowedAuditor {
     }
 
     /// Close the current window: final frontier resolution, evicted
-    /// stand-ins for anything past the horizon, the full five-level verdict,
+    /// stand-ins for anything past the horizon, the full six-level verdict,
     /// then absorb the non-overlap prefix into the frontier.
     fn close_window(&mut self, fin: bool) {
         if self.cur.is_empty() {
@@ -751,7 +754,12 @@ impl WindowedAuditor {
                     Some(cycle) => Err(cycle),
                     None => Ok(aw.sat),
                 };
-                audit_built(&aw.po, shape, budget, causal)
+                let (report, spent) = audit_built(&aw.po, shape, budget, causal, self.config.sat);
+                if let (Some(tele), true) = (&self.tele, spent.ran) {
+                    tele.sat_windows.inc();
+                    tele.sat_conflicts.add(spent.conflicts);
+                }
+                report
             }
         };
         // Lost updates paired against carried frontier rmw facts refute SI
@@ -822,7 +830,20 @@ impl WindowedAuditor {
         );
         let levels = Level::ALL
             .iter()
-            .map(|&level| LevelReport { level, outcome: self.merged_outcome(level) })
+            .map(|&level| {
+                let mut l = LevelReport::new(level, self.merged_outcome(level));
+                // The merged verdict leans on the solver as soon as any
+                // window's verdict for the level did.
+                if self.verdicts.iter().any(|w| {
+                    w.report
+                        .levels
+                        .iter()
+                        .any(|r| r.level == level && r.decided_by == DecidedBy::Sat)
+                }) {
+                    l = l.via_sat();
+                }
+                l
+            })
             .collect();
         AuditReport { shape, levels }
     }

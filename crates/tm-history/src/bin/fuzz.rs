@@ -2,13 +2,17 @@
 //!
 //! For each seed the harness derives a random-but-deterministic
 //! [`GenConfig`], generates a history with its planted-anomaly oracle, and
-//! runs it through four checkers:
+//! runs it through the checker roster:
 //!
 //! * **batch** — the whole-history saturation + DFS auditor (the reference);
 //! * **whole-window** — `audit_streamed` with one window covering the run
 //!   (must agree with batch definitively);
 //! * **rolling-window** — `audit_streamed` with small overlapping windows;
-//! * **sharded** — `audit_sharded` with a K-way band partition.
+//! * **sharded** — `audit_sharded` with a K-way band partition;
+//! * **sat-forced** (`--sat-cross`) — the whole history re-decided with the
+//!   CDCL commit-order solver forced on every NP-hard level
+//!   (`SatConfig::force`), generated at DFS-decidable sizes so the two
+//!   engines' definite verdicts must agree level-for-level.
 //!
 //! Disagreement rules mirror the engines' soundness contracts (`Unknown`
 //! outcomes are never definite and never gate):
@@ -16,7 +20,10 @@
 //! * any checker **fails** a level the batch reference **passes** — a false
 //!   conviction; convictions are sound by contract, so this always gates;
 //! * the **whole-window** checker covers the run in one window (no horizon),
-//!   so any definite disagreement with batch gates;
+//!   so any definite disagreement with batch gates; the **sat-forced**
+//!   checker sees the whole history too, and the solver's UNSAT/model
+//!   answers are complete for the commit-order axioms, so any definite
+//!   disagreement gates in *both* directions;
 //! * a **rolling-window / sharded miss at a planted level** gates: plants
 //!   are contiguous, shard-aligned, and the harness windows keep
 //!   `overlap ≥ plant span − 1` even after partition scaling, so every
@@ -39,7 +46,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use tm_audit::{
-    audit_sharded, audit_streamed, audit_with_budget, Level, Outcome, ShardConfig, WindowConfig,
+    audit_sharded, audit_streamed, audit_with_budget, audit_with_options, AuditOptions, Level,
+    Outcome, SatConfig, ShardConfig, WindowConfig,
 };
 use tm_history::{generate, minimize, wire, GenConfig};
 
@@ -50,8 +58,9 @@ use rand::{Rng, SeedableRng};
 /// be decisive for the differential rules to bite).
 const DEFAULT_BUDGET: u64 = 2_000_000;
 
-/// Window shape for the rolling checker: plants span ≤ 4 transactions, so
-/// overlap 6 guarantees every plant lands whole in some window.
+/// Window shape for the rolling checker: plants span ≤ 6 transactions (the
+/// anchored long fork is the widest), so overlap 6 guarantees every plant
+/// lands whole in some window.
 const ROLL_SIZE: usize = 32;
 const ROLL_OVERLAP: usize = 6;
 
@@ -60,8 +69,9 @@ const SHARDS: usize = 4;
 
 /// Base (global-horizon) overlap for the sharded checker: partition windows
 /// scale overlap by `1/K`, and a shard-aligned plant must still land whole
-/// in one partition window, so the scaled overlap has to stay ≥ 3.
-const SHARD_OVERLAP: usize = 16;
+/// in one partition window, so the scaled overlap has to stay ≥ 5 (the
+/// 6-txn anchored long fork minus one).
+const SHARD_OVERLAP: usize = 24;
 
 struct Args {
     seeds: u64,
@@ -69,15 +79,20 @@ struct Args {
     out: String,
     json: bool,
     budget: u64,
+    sat_cross: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seeds N] [--seed-start S] [--out DIR] [--json] [--budget STATES]\n\
+         \x20           [--sat-cross]\n\
          \n\
          Differential fuzz lane: generated histories through the batch,\n\
          whole-window, rolling-window and sharded checkers; any disagreement\n\
-         writes a minimized wire-format reproducer to --out and exits 1."
+         writes a minimized wire-format reproducer to --out and exits 1.\n\
+         --sat-cross adds a solver-forced checker (every NP-hard level decided\n\
+         by the tm-sat CDCL engine) at DFS-decidable sizes: definite\n\
+         DFS-vs-SAT verdict disagreements gate in both directions."
     );
     std::process::exit(2)
 }
@@ -89,6 +104,7 @@ fn parse_args() -> Args {
         out: String::from("."),
         json: false,
         budget: DEFAULT_BUDGET,
+        sat_cross: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +121,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = value("--out"),
             "--json" => args.json = true,
+            "--sat-cross" => args.sat_cross = true,
             "--budget" => args.budget = value("--budget").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
@@ -119,18 +136,21 @@ fn parse_args() -> Args {
 /// The per-seed generator shape: small enough that the DFS reference stays
 /// decisive, varied enough to exercise session counts, pool sizes and every
 /// anomaly mix (including plant-free runs as pass-oracles).
-fn config_for_seed(seed: u64) -> GenConfig {
+fn config_for_seed(seed: u64, sat_cross: bool) -> GenConfig {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF0BB_1A4E);
     let sessions = rng.gen_range(3..=5);
     GenConfig {
         sessions,
         vars: rng.gen_range(2..=10),
-        txns_per_session: rng.gen_range(8..=30),
+        // The solver materializes a cubic encoding, so the cross-check lane
+        // keeps totals well inside SatConfig::max_txns (and DFS-decisive).
+        txns_per_session: if sat_cross { rng.gen_range(4..=12) } else { rng.gen_range(8..=30) },
         events_per_txn: rng.gen_range(1..=4),
         seed,
         lost_update_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
         write_skew_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
         causal_cycle_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
+        long_fork_per_mille: if rng.gen_bool(0.7) { rng.gen_range(0..120) } else { 0 },
         // Keep every plant inside one partition of the sharded checker: the
         // sharded merged pass only *attests* anomalies whose participants
         // stay in-band, so unaligned plants would make misses expected
@@ -141,10 +161,10 @@ fn config_for_seed(seed: u64) -> GenConfig {
 
 /// One definite verdict vector: `Some(true)` = definite pass, `Some(false)`
 /// = definite fail, `None` = unknown.
-type Verdicts = [Option<bool>; 5];
+type Verdicts = [Option<bool>; 6];
 
 fn verdicts_of(outcome_of: impl Fn(Level) -> Option<Outcome>) -> Verdicts {
-    let mut v: Verdicts = [None; 5];
+    let mut v: Verdicts = [None; 6];
     for (i, level) in Level::ALL.into_iter().enumerate() {
         v[i] = match outcome_of(level) {
             Some(Outcome::Pass { .. }) => Some(true),
@@ -163,6 +183,7 @@ fn check_seed(
     expected_failures: &[Level],
     plant_free: bool,
     budget: u64,
+    sat_cross: bool,
 ) -> (Vec<String>, Vec<String>) {
     let total = history.txn_count();
     let batch_report = audit_with_budget(history, budget);
@@ -186,11 +207,18 @@ fn check_seed(
     };
 
     let batch_v = verdicts_of(|l| batch_report.outcome(l).cloned());
-    let checkers: [(&str, Verdicts); 3] = [
+    let mut checkers: Vec<(&str, Verdicts)> = vec![
         ("whole-window", verdicts_of(|l| whole.merged.outcome(l).cloned())),
         ("rolling-window", verdicts_of(|l| rolling.merged.outcome(l).cloned())),
         ("sharded", verdicts_of(|l| sharded.merged.outcome(l).cloned())),
     ];
+    if sat_cross {
+        let sat_report = audit_with_options(
+            history,
+            &AuditOptions { budget, sat: Some(SatConfig { force: true, ..SatConfig::default() }) },
+        );
+        checkers.push(("sat-forced", verdicts_of(|l| sat_report.outcome(l).cloned())));
+    }
 
     let mut disagreements = Vec::new();
     let mut advisories = Vec::new();
@@ -215,7 +243,10 @@ fn check_seed(
                 // and is advisory otherwise (an emergent anomaly past the
                 // horizon or across bands: the documented attestation gap).
                 (Some(false), Some(true)) => {
-                    if *name == "whole-window" || expected_failures.contains(&level) {
+                    if *name == "whole-window"
+                        || *name == "sat-forced"
+                        || expected_failures.contains(&level)
+                    {
                         disagreements.push(format!("{name}:{tag}:miss"));
                     } else {
                         advisories.push(format!("{name}:{tag}:attested-pass-overturned"));
@@ -236,7 +267,7 @@ fn main() -> ExitCode {
     let mut total_advisories = 0u64;
 
     for seed in args.seed_start..args.seed_start + args.seeds {
-        let config = config_for_seed(seed);
+        let config = config_for_seed(seed, args.sat_cross);
         let generated = generate(&config);
         total_plants += generated.planted.total();
 
@@ -260,7 +291,7 @@ fn main() -> ExitCode {
         let expected = generated.planted.expected_failures();
         let plant_free = generated.planted.total() == 0;
         let (disagreements, advisories) =
-            check_seed(&generated.history, &expected, plant_free, args.budget);
+            check_seed(&generated.history, &expected, plant_free, args.budget, args.sat_cross);
         total_advisories += advisories.len() as u64;
 
         if args.json {
@@ -305,7 +336,7 @@ fn main() -> ExitCode {
             generated.history.clone()
         } else {
             minimize(&generated.history, |candidate| {
-                check_seed(candidate, &expected, plant_free, args.budget)
+                check_seed(candidate, &expected, plant_free, args.budget, args.sat_cross)
                     .0
                     .into_iter()
                     .filter(|d| !d.starts_with("oracle:"))

@@ -1,0 +1,123 @@
+//! `genhist` — emit wire-format histories from the planted-anomaly generator.
+//!
+//! Two modes:
+//!
+//! * **random** (default) — one [`GenConfig`]-shaped history with planted
+//!   anomalies, every knob exposed as a flag.  The oracle's expected
+//!   failures are printed to stderr so a driver can assert against them.
+//! * **`--hard`** — the SAT-escalation workload from
+//!   [`tm_history::generate::generate_hard`]: an anchored long-fork
+//!   core (fails Prefix/SI/SER, passes Causal, invisible to the polynomial
+//!   refutations) padded with `--chains` independent RMW chains of length
+//!   `--chain-len`, interleaved round-robin.  The padding blows the DFS
+//!   linearization search past any practical state budget while the CDCL
+//!   solver collapses every chain through unit clauses — the history CI's
+//!   `sat-smoke` lane generates with exactly this mode and asserts the
+//!   `--sat` audit convicts with `decided_by == "sat"`.
+//!
+//! The document goes to stdout; pipe it straight into
+//! `audit --ingest - --sat`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use tm_history::generate::generate_hard;
+use tm_history::{generate, wire, GenConfig};
+
+struct Args {
+    hard: bool,
+    seed: u64,
+    chains: usize,
+    chain_len: usize,
+    config: GenConfig,
+}
+
+fn usage() -> String {
+    String::from(
+        "usage: genhist [--hard] [--seed N] [--chains N] [--chain-len N]\n\
+         \x20              [--sessions N] [--vars N] [--txns N] [--events N]\n\
+         \x20              [--lost-update PM] [--write-skew PM] [--causal-cycle PM]\n\
+         \x20              [--long-fork PM]\n\
+         \n\
+         Emit one wire-format history document to stdout.  Default mode is the\n\
+         planted-anomaly generator (per-mille plant rates via the PM flags);\n\
+         --hard emits the SAT-escalation workload instead: a long-fork core\n\
+         padded with --chains RMW chains of --chain-len so DFS exhausts its\n\
+         state budget while the CDCL solver decides the window.",
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        hard: false,
+        seed: 0,
+        chains: 7,
+        chain_len: 8,
+        config: GenConfig {
+            sessions: 4,
+            vars: 8,
+            txns_per_session: 16,
+            events_per_txn: 3,
+            seed: 0,
+            lost_update_per_mille: 0,
+            write_skew_per_mille: 0,
+            causal_cycle_per_mille: 0,
+            long_fork_per_mille: 0,
+            shard_align: None,
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--hard" => args.hard = true,
+            "--seed" => args.seed = num("--seed")?,
+            "--chains" => args.chains = num("--chains")? as usize,
+            "--chain-len" => args.chain_len = num("--chain-len")? as usize,
+            "--sessions" => args.config.sessions = num("--sessions")? as usize,
+            "--vars" => args.config.vars = num("--vars")? as usize,
+            "--txns" => args.config.txns_per_session = num("--txns")? as usize,
+            "--events" => args.config.events_per_txn = num("--events")? as usize,
+            "--lost-update" => args.config.lost_update_per_mille = num("--lost-update")? as u32,
+            "--write-skew" => args.config.write_skew_per_mille = num("--write-skew")? as u32,
+            "--causal-cycle" => args.config.causal_cycle_per_mille = num("--causal-cycle")? as u32,
+            "--long-fork" => args.config.long_fork_per_mille = num("--long-fork")? as u32,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    args.config.seed = args.seed;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let generated = if args.hard {
+        generate_hard(args.seed, args.chains, args.chain_len)
+    } else {
+        generate(&args.config)
+    };
+    let expected: Vec<&str> =
+        generated.planted.expected_failures().iter().map(|l| l.tag()).collect();
+    eprintln!(
+        "genhist: {} txn(s), expected failures: [{}]",
+        generated.history.txn_count(),
+        expected.join(", ")
+    );
+    let mut stdout = std::io::stdout().lock();
+    if stdout.write_all(wire::encode(&generated.history).as_bytes()).is_err() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -20,7 +20,17 @@
 //! * **causal cycle** (4 txns, 3 sessions): a setup write, an RMW over it,
 //!   a reader of the RMW, and a third-session observer that sees the
 //!   downstream effect but reads the variable *stale* — the saturation
-//!   cycle that fails Causal (and therefore SI and SER).
+//!   cycle that fails Causal (and therefore SI and SER);
+//! * **long fork** (4 txns, 2 sessions): two independent writers and one
+//!   reader per writer session, each reader seeing its own session's write
+//!   but the *other* writer's variable stale — two irreconcilable snapshot
+//!   prefixes, so Prefix Consistency fails (and SI and SER with it) while
+//!   Causal holds.
+//!
+//! [`generate_hard`] builds the SAT-escalation lane's planted workload: a
+//! long-fork core padded with independent per-session RMW chains, sized so
+//! the DFS linearization search exhausts any practical state budget while
+//! the CDCL solver refutes the window from its unit clauses.
 
 use crate::wire;
 use rand::rngs::StdRng;
@@ -50,6 +60,8 @@ pub struct GenConfig {
     pub write_skew_per_mille: u32,
     /// Per-mille chance that the next emission is a causal-cycle plant.
     pub causal_cycle_per_mille: u32,
+    /// Per-mille chance that the next emission is a long-fork plant.
+    pub long_fork_per_mille: u32,
     /// When `Some(k)`, multi-variable plants pick their second variable from
     /// the *same* `k`-way partition as the first
     /// ([`tm_audit::partition_of`]), so every plant is fully visible to one
@@ -74,6 +86,7 @@ impl Default for GenConfig {
             lost_update_per_mille: 0,
             write_skew_per_mille: 0,
             causal_cycle_per_mille: 0,
+            long_fork_per_mille: 0,
             shard_align: None,
         }
     }
@@ -90,12 +103,14 @@ pub struct Planted {
     pub write_skews: u64,
     /// Causal-cycle plants (each fails Causal, SI and SER).
     pub causal_cycles: u64,
+    /// Long-fork plants (each fails Prefix, SI and SER; Causal holds).
+    pub long_forks: u64,
 }
 
 impl Planted {
     /// Total plants.
     pub fn total(&self) -> u64 {
-        self.lost_updates + self.write_skews + self.causal_cycles
+        self.lost_updates + self.write_skews + self.causal_cycles + self.long_forks
     }
 
     /// The levels the planted anomalies *guarantee* a sound checker fails
@@ -106,7 +121,10 @@ impl Planted {
         if self.causal_cycles > 0 {
             fails.push(Level::Causal);
         }
-        if self.causal_cycles > 0 || self.lost_updates > 0 {
+        if self.causal_cycles > 0 || self.long_forks > 0 {
+            fails.push(Level::Prefix);
+        }
+        if self.causal_cycles > 0 || self.lost_updates > 0 || self.long_forks > 0 {
             fails.push(Level::SnapshotIsolation);
         }
         if self.total() > 0 {
@@ -193,8 +211,11 @@ pub fn generate(config: &GenConfig) -> Generated {
     assert!(config.vars > 0, "GenConfig::vars must be positive");
     assert!(config.events_per_txn > 0, "GenConfig::events_per_txn must be positive");
     assert!(
-        config.write_skew_per_mille == 0 && config.causal_cycle_per_mille == 0 || config.vars >= 2,
-        "write-skew and causal-cycle plants need at least 2 variables"
+        config.write_skew_per_mille == 0
+            && config.causal_cycle_per_mille == 0
+            && config.long_fork_per_mille == 0
+            || config.vars >= 2,
+        "write-skew, causal-cycle and long-fork plants need at least 2 variables"
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7A11_9E5E_D0C5_F00D);
     let mut gen = Gen {
@@ -221,9 +242,19 @@ pub fn generate(config: &GenConfig) -> Generated {
             < config.causal_cycle_per_mille
                 + config.lost_update_per_mille
                 + config.write_skew_per_mille
-            && plant_write_skew(&mut gen, &mut rng, config.shard_align)
         {
-            planted.write_skews += 1;
+            if plant_write_skew(&mut gen, &mut rng, config.shard_align) {
+                planted.write_skews += 1;
+                continue;
+            }
+        } else if roll
+            < config.causal_cycle_per_mille
+                + config.lost_update_per_mille
+                + config.write_skew_per_mille
+                + config.long_fork_per_mille
+            && plant_long_fork(&mut gen, &mut rng, config.shard_align)
+        {
+            planted.long_forks += 1;
             continue;
         }
         base_txn(&mut gen, &mut rng, config.events_per_txn);
@@ -319,9 +350,158 @@ fn plant_causal_cycle(gen: &mut Gen, rng: &mut StdRng, align: Option<usize>) -> 
     true
 }
 
+/// Two sessions fork: each writes its own variable, then reads back its own
+/// write alongside the *other* variable read stale (the value both sessions
+/// saw before the plant).  The two readers observe irreconcilable snapshot
+/// prefixes — whichever writer a commit order puts first is missing from the
+/// other reader's snapshot — so **prefix consistency fails** (and SI/SER by
+/// containment) while the base order stays acyclic: Causal holds.
+fn plant_long_fork(gen: &mut Gen, rng: &mut StdRng, align: Option<usize>) -> bool {
+    let picked = gen.pick_sessions(rng, 2);
+    let &[a, b] = picked.as_slice() else { return false };
+    if gen.remaining[a] < 3 || gen.remaining[b] < 3 {
+        return false;
+    }
+    let Some((x, y)) = plant_pair(rng, gen.current.len(), align) else { return false };
+    // Anchor writes first: session order pins anchor < fork inside each
+    // session, so the stale cross-reads below contradict in *every* total
+    // order (a free-floating old value could legally commit after the fork
+    // writes and dissolve the anomaly).
+    let (ax, ay) = (gen.fresh(), gen.fresh());
+    let (f1, f2) = (gen.fresh(), gen.fresh());
+    gen.emit(a, vec![], vec![(x, ax)]);
+    gen.emit(b, vec![], vec![(y, ay)]);
+    gen.emit(a, vec![(x, ax)], vec![(x, f1)]);
+    gen.emit(b, vec![(y, ay)], vec![(y, f2)]);
+    gen.emit(a, vec![(x, f1), (y, ay)], vec![]);
+    gen.emit(b, vec![(y, f2), (x, ax)], vec![]);
+    gen.current[x] = f1;
+    gen.current[y] = f2;
+    true
+}
+
+/// The SAT-escalation lane's planted hard window: a 4-transaction long-fork
+/// core (a definite Prefix/SI/SER violation that the polynomial refutations
+/// cannot see) padded with `chains` independent single-session RMW chains of
+/// length `chain_len` over disjoint variables.  The chains multiply the DFS
+/// linearization search space combinatorially — `chains` and `chain_len` a
+/// few steps up from trivial already blow past the default 2M-state budget,
+/// leaving the DFS verdict `Unknown` — while the solver's unit clauses (each
+/// chain is session-and-wr totally ordered) collapse the same window to the
+/// core, which CDCL refutes in a handful of conflicts.
+pub fn generate_hard(seed: u64, chains: usize, chain_len: usize) -> Generated {
+    assert!(chains > 0 && chain_len > 0, "generate_hard needs positive chain dimensions");
+    let sessions = 2 + chains;
+    let vars = 2 + chains;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A7_E5CA_1A7E_D0C5);
+    let mut gen = Gen {
+        history: AuditHistory::new(vars, 0, sessions),
+        current: vec![0; vars],
+        remaining: vec![usize::MAX; sessions],
+        next_value: 1,
+        next_hint: 0,
+    };
+    // The fork core on vars 0 and 1, sessions 0 and 1.
+    let (f1, f2) = (gen.fresh(), gen.fresh());
+    gen.emit(0, vec![], vec![(0, f1)]);
+    gen.emit(1, vec![], vec![(1, f2)]);
+    gen.emit(0, vec![(0, f1), (1, 0)], vec![]);
+    gen.emit(1, vec![(1, f2), (0, 0)], vec![]);
+    // Independent RMW chains, one per extra session, each on its own var —
+    // emitted in seed-shuffled round-robin order so the recording order (and
+    // with it the DFS's traversal) varies across seeds while the verdict
+    // oracle does not.
+    let mut slots: Vec<usize> =
+        (0..chains).flat_map(|c| std::iter::repeat_n(c, chain_len)).collect();
+    for i in (1..slots.len()).rev() {
+        slots.swap(i, rng.gen_range(0..=i));
+    }
+    for c in slots {
+        let (session, var) = (2 + c, 2 + c);
+        let last = gen.current[var];
+        let next = gen.fresh();
+        gen.emit(session, vec![(var, last)], vec![(var, next)]);
+        gen.current[var] = next;
+    }
+    Generated { history: gen.history, planted: Planted { long_forks: 1, ..Planted::default() } }
+}
+
 /// Convenience: generate and serialize in one step (the fuzz harness's
 /// reproducer artifacts and the CLI's generated-ingest demos).
 pub fn generate_wire(config: &GenConfig) -> (String, Planted) {
     let generated = generate(config);
     (wire::encode(&generated.history), generated.planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_audit::{
+        audit_with_budget, audit_with_options, AuditOptions, DecidedBy, Outcome, SatConfig,
+    };
+
+    fn long_fork_only(seed: u64) -> GenConfig {
+        GenConfig {
+            sessions: 4,
+            vars: 4,
+            txns_per_session: 12,
+            events_per_txn: 2,
+            seed,
+            lost_update_per_mille: 0,
+            write_skew_per_mille: 0,
+            causal_cycle_per_mille: 0,
+            long_fork_per_mille: 400,
+            shard_align: None,
+        }
+    }
+
+    #[test]
+    fn long_fork_plants_convict_prefix_and_spare_causal() {
+        let mut planted_somewhere = false;
+        for seed in 0..8 {
+            let generated = generate(&long_fork_only(seed));
+            if generated.planted.long_forks == 0 {
+                continue;
+            }
+            planted_somewhere = true;
+            let expected = generated.planted.expected_failures();
+            assert!(expected.contains(&Level::Prefix), "oracle must expect a Prefix failure");
+            let report = audit_with_budget(&generated.history, 50_000_000);
+            assert!(report.passes(Level::Causal), "seed {seed}: long fork is causal:\n{report}");
+            for level in expected {
+                assert!(report.fails(level), "seed {seed}: {level} must fail:\n{report}");
+            }
+        }
+        assert!(planted_somewhere, "no seed planted a long fork at 400‰");
+    }
+
+    #[test]
+    fn generate_hard_starves_dfs_and_sat_convicts() {
+        let generated = generate_hard(3, 7, 8);
+        let budget = 100_000; // scaled-down stand-in for the default 2M (CI runs full size)
+        let starved = audit_with_budget(&generated.history, budget);
+        for level in [Level::Prefix, Level::SnapshotIsolation, Level::Serializable] {
+            assert!(
+                matches!(starved.outcome(level), Some(Outcome::Unknown { .. })),
+                "{level} should exhaust the DFS budget:\n{starved}"
+            );
+        }
+        let options = AuditOptions { budget, sat: Some(SatConfig::default()) };
+        let decided = audit_with_options(&generated.history, &options);
+        assert!(decided.passes(Level::Causal), "{decided}");
+        for level in [Level::Prefix, Level::SnapshotIsolation, Level::Serializable] {
+            assert!(decided.fails(level), "{level} must be convicted:\n{decided}");
+            let report = decided.levels.iter().find(|l| l.level == level).unwrap();
+            assert_eq!(report.decided_by, DecidedBy::Sat, "{level} must carry SAT provenance");
+        }
+    }
+
+    #[test]
+    fn generate_hard_is_deterministic_and_seed_sensitive() {
+        let a = wire::encode(&generate_hard(7, 3, 4).history);
+        let b = wire::encode(&generate_hard(7, 3, 4).history);
+        let c = wire::encode(&generate_hard(8, 3, 4).history);
+        assert_eq!(a, b, "same seed must be byte-identical");
+        assert_ne!(a, c, "different seeds must interleave differently");
+    }
 }

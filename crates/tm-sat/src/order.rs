@@ -1,0 +1,699 @@
+//! Per-window CNF encoding of the commit-order axioms.
+//!
+//! One boolean per unordered **point pair** encodes a strict total order:
+//! `before(i, j)` for `i < j`, with `before(j, i) = ¬before(i, j)` — totality
+//! and antisymmetry come free from the encoding.  Transitivity is the two
+//! directed-triangle-exclusion clauses per unordered triple (a tournament is
+//! acyclic iff it has no directed 3-cycle), so the model is always a total
+//! order and decodes by in-degree counting.
+//!
+//! Points per level:
+//!
+//! * **Serializable** — one commit point per transaction.  The read axiom:
+//!   for a write-read edge `w →x t` and any other writer `o` of `x`,
+//!   `o < w ∨ t < o` (no write may land between a read's source and the
+//!   reader).
+//! * **SI / Prefix** — the split-vertex encoding: a snapshot point `R(t)` and
+//!   a commit point `W(t)` per transaction, `R(t) < W(t)`.  The read axiom
+//!   becomes `W(o) < W(w) ∨ R(t) < W(o)`; snapshot isolation additionally
+//!   enforces first-committer-wins (`W(t) < R(t') ∨ W(t') < R(t)` for
+//!   write-conflicting pairs), and **Prefix Consistency is exactly SI without
+//!   that axiom** — each transaction reads a consistent prefix but lost
+//!   updates are admitted.
+//!
+//! Saturation-derived edges arrive as **unit clauses** ([`OrderInstance`]'s
+//! edge lists), so the solver resumes exactly where the polynomial engine
+//! stopped.  On UNSAT the encoder extracts a minimal cycle from the unit-edge
+//! digraph when one exists (the planted-anomaly refutations are unit-implied);
+//! refutations that genuinely need clause learning fall back to a stats-carrying
+//! generic witness.
+
+use crate::{Lit, SolveOutcome, Solver};
+
+/// Which level's axioms to encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelSpec {
+    /// Prefix consistency: snapshot reads over a commit-order prefix, no
+    /// first-committer-wins (lost updates admitted).
+    Prefix,
+    /// Snapshot isolation: Prefix + first-committer-wins.
+    SnapshotIsolation,
+    /// Serializability: a single commit point explains every read.
+    Serializable,
+}
+
+/// A neutral description of one window's commit-order problem.
+///
+/// Transactions are dense `0..n`; the initial transaction is *not* a member —
+/// reads of the initial value carry `None` as their writer.  `tm-audit` maps
+/// its partial order into this shape, keeping this crate dependency-free.
+#[derive(Debug, Clone, Default)]
+pub struct OrderInstance {
+    /// Number of transactions.
+    pub n: usize,
+    /// Per-transaction external reads: `(variable, writer)`; `None` = the
+    /// initial value.
+    pub reads: Vec<Vec<(u32, Option<u32>)>>,
+    /// Per-transaction written variables.
+    pub writes: Vec<Vec<u32>>,
+    /// Visibility edges `a → b` (session order ∪ write-read): `a`'s effects
+    /// are visible to `b`, i.e. `W(a) < R(b)` in the split encoding.
+    pub visibility_edges: Vec<(u32, u32)>,
+    /// Derived commit-order edges `a → b` (saturation's ww derivations):
+    /// `W(a) < W(b)` — weaker than visibility, still forced.
+    pub commit_edges: Vec<(u32, u32)>,
+    /// Number of variables (bound on the `u32` variable ids above).
+    pub n_vars: usize,
+}
+
+/// Solver effort limits for one [`decide`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveConfig {
+    /// CDCL conflict budget; exhaustion yields [`OrderVerdict::Unknown`].
+    pub conflicts: u64,
+    /// Largest window (transactions) the cubic transitivity encoding is
+    /// allowed to materialize; bigger windows yield
+    /// [`OrderVerdict::TooLarge`].
+    pub max_txns: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        // 128 txns ⇒ ≤ 256 points ⇒ ~2.7 M transitivity triples: the
+        // worst-case encoding stays tens of MB and sub-second to build.
+        SolveConfig { conflicts: 100_000, max_txns: 128 }
+    }
+}
+
+/// What the solver concluded about one window at one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderVerdict {
+    /// Satisfiable: the decoded commit order (transaction ids, a witness).
+    Order {
+        /// A valid commit order over `0..n`.
+        order: Vec<u32>,
+        /// Conflicts the solver spent.
+        conflicts: u64,
+    },
+    /// Unsatisfiable: no commit order exists.
+    NoOrder {
+        /// A minimal cycle of transactions from the unit-implied order
+        /// edges, when the refutation is unit-implied; empty when the
+        /// contradiction needed clause learning.
+        cycle: Vec<u32>,
+        /// Conflicts the solver spent.
+        conflicts: u64,
+    },
+    /// The conflict budget ran out before either answer.
+    Unknown {
+        /// Conflicts spent before giving up.
+        conflicts: u64,
+    },
+    /// The window exceeds [`SolveConfig::max_txns`]; the cubic encoding was
+    /// not attempted.
+    TooLarge {
+        /// Transactions in the window.
+        txns: usize,
+        /// The configured ceiling.
+        max_txns: usize,
+    },
+}
+
+/// The CNF under construction: pair variables over `points`, with the unit
+/// order-edges remembered for witness extraction.
+struct Encoding {
+    points: usize,
+    solver: Solver,
+    /// Unit-asserted order edges `(i, j)` = point `i` before point `j`.
+    unit_edges: Vec<(u32, u32)>,
+}
+
+impl Encoding {
+    fn new(points: usize) -> Encoding {
+        let n_pairs = points * points.saturating_sub(1) / 2;
+        Encoding { points, solver: Solver::new(n_pairs), unit_edges: Vec::new() }
+    }
+
+    /// Triangular index of the unordered pair `i < j`.
+    fn pair_var(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.points);
+        i * self.points - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The literal asserting point `i` precedes point `j`.
+    fn before(&self, i: usize, j: usize) -> Lit {
+        if i < j {
+            Lit::pos(self.pair_var(i, j))
+        } else {
+            Lit::neg(self.pair_var(j, i))
+        }
+    }
+
+    /// Assert `i` before `j` as a unit clause (a seeded fact).
+    fn unit(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let lit = self.before(i, j);
+        self.solver.add_clause(&[lit]);
+        self.unit_edges.push((i as u32, j as u32));
+    }
+
+    fn clause2(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause(&[a, b]);
+    }
+
+    /// Transitivity: exclude both directed triangles of every unordered
+    /// triple.
+    fn add_transitivity(&mut self) {
+        for i in 0..self.points {
+            for j in i + 1..self.points {
+                let xij = self.before(i, j);
+                for k in j + 1..self.points {
+                    let xjk = self.before(j, k);
+                    let xik = self.before(i, k);
+                    self.solver.add_clause(&[xij.negate(), xjk.negate(), xik]);
+                    self.solver.add_clause(&[xij, xjk, xik.negate()]);
+                }
+            }
+        }
+    }
+
+    /// Decode the model into a point order by in-degree counting (the
+    /// transitivity axioms guarantee the relation is a strict total order).
+    fn decode(&self) -> Vec<u32> {
+        let mut key = vec![0usize; self.points];
+        for i in 0..self.points {
+            for j in i + 1..self.points {
+                if self.solver.value(self.pair_var(i, j)) {
+                    key[j] += 1; // i before j
+                } else {
+                    key[i] += 1;
+                }
+            }
+        }
+        let mut order: Vec<u32> = (0..self.points as u32).collect();
+        order.sort_unstable_by_key(|&p| key[p as usize]);
+        order
+    }
+
+    /// Shortest cycle in the unit-edge digraph, if any (BFS from every
+    /// vertex with both in- and out-edges).
+    fn unit_cycle(&self) -> Option<Vec<u32>> {
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); self.points];
+        let mut has_in = vec![false; self.points];
+        for &(a, b) in &self.unit_edges {
+            succ[a as usize].push(b);
+            has_in[b as usize] = true;
+        }
+        let mut best: Option<Vec<u32>> = None;
+        for start in 0..self.points as u32 {
+            if succ[start as usize].is_empty() || !has_in[start as usize] {
+                continue;
+            }
+            // BFS back to `start`.
+            let mut parent: Vec<Option<u32>> = vec![None; self.points];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(start);
+            let mut found = false;
+            'bfs: while let Some(v) = queue.pop_front() {
+                for &w in &succ[v as usize] {
+                    if w == start {
+                        parent[start as usize] = Some(v);
+                        found = true;
+                        break 'bfs;
+                    }
+                    if parent[w as usize].is_none() && w != start {
+                        parent[w as usize] = Some(v);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if !found {
+                continue;
+            }
+            let mut cycle = vec![start];
+            let mut cur = parent[start as usize].expect("cycle was closed");
+            while cur != start {
+                cycle.push(cur);
+                cur = parent[cur as usize].expect("BFS parents reach start");
+            }
+            cycle.push(start);
+            cycle.reverse();
+            if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                best = Some(cycle);
+            }
+        }
+        best
+    }
+}
+
+/// Decide whether a commit order satisfying `level`'s axioms exists for the
+/// window described by `inst`.
+pub fn decide(inst: &OrderInstance, level: LevelSpec, cfg: &SolveConfig) -> OrderVerdict {
+    let n = inst.n;
+    if n > cfg.max_txns {
+        return OrderVerdict::TooLarge { txns: n, max_txns: cfg.max_txns };
+    }
+    if n == 0 {
+        return OrderVerdict::Order { order: Vec::new(), conflicts: 0 };
+    }
+    match level {
+        LevelSpec::Serializable => decide_single_point(inst, cfg),
+        LevelSpec::SnapshotIsolation => decide_split(inst, cfg, true),
+        LevelSpec::Prefix => decide_split(inst, cfg, false),
+    }
+}
+
+/// Writers of each variable, from the instance's write sets.
+fn writers_by_var(inst: &OrderInstance) -> Vec<Vec<u32>> {
+    let mut writers: Vec<Vec<u32>> = vec![Vec::new(); inst.n_vars];
+    for (t, vars) in inst.writes.iter().enumerate().take(inst.n) {
+        for &v in vars {
+            if let Some(list) = writers.get_mut(v as usize) {
+                list.push(t as u32);
+            }
+        }
+    }
+    writers
+}
+
+/// `true` when the edge endpoints reference transactions inside the window.
+fn edge_ok(n: usize, a: u32, b: u32) -> bool {
+    (a as usize) < n && (b as usize) < n && a != b
+}
+
+/// Serializability: one commit point per transaction.
+fn decide_single_point(inst: &OrderInstance, cfg: &SolveConfig) -> OrderVerdict {
+    let n = inst.n;
+    let mut enc = Encoding::new(n);
+    enc.add_transitivity();
+    for &(a, b) in inst.visibility_edges.iter().chain(&inst.commit_edges) {
+        if edge_ok(n, a, b) {
+            enc.unit(a as usize, b as usize);
+        }
+    }
+    let writers = writers_by_var(inst);
+    for (t, reads) in inst.reads.iter().enumerate().take(n) {
+        for &(var, src) in reads {
+            let others = match writers.get(var as usize) {
+                Some(w) => w,
+                None => continue,
+            };
+            match src {
+                Some(w) if (w as usize) < n => {
+                    enc.unit(w as usize, t); // the source commits first
+                    for &o in others {
+                        if o == w || o as usize == t {
+                            continue;
+                        }
+                        // No other write lands between source and reader.
+                        let c1 = enc.before(o as usize, w as usize);
+                        let c2 = enc.before(t, o as usize);
+                        enc.clause2(c1, c2);
+                    }
+                }
+                _ => {
+                    // Reading the initial value: every writer of `var`
+                    // commits after the reader.
+                    for &o in others {
+                        if o as usize != t {
+                            enc.unit(t, o as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    finish(enc, cfg, false)
+}
+
+/// SI (with first-committer-wins) or Prefix (without): the split-vertex
+/// encoding, points `2t` = `R(t)` and `2t + 1` = `W(t)`.
+fn decide_split(
+    inst: &OrderInstance,
+    cfg: &SolveConfig,
+    first_committer_wins: bool,
+) -> OrderVerdict {
+    let n = inst.n;
+    let r = |t: usize| 2 * t;
+    let w = |t: usize| 2 * t + 1;
+    let mut enc = Encoding::new(2 * n);
+    enc.add_transitivity();
+    for t in 0..n {
+        enc.unit(r(t), w(t)); // a snapshot precedes its commit
+    }
+    for &(a, b) in &inst.visibility_edges {
+        if edge_ok(n, a, b) {
+            enc.unit(w(a as usize), r(b as usize));
+        }
+    }
+    for &(a, b) in &inst.commit_edges {
+        if edge_ok(n, a, b) {
+            enc.unit(w(a as usize), w(b as usize));
+        }
+    }
+    let writers = writers_by_var(inst);
+    for (t, reads) in inst.reads.iter().enumerate().take(n) {
+        for &(var, src) in reads {
+            let others = match writers.get(var as usize) {
+                Some(ws) => ws,
+                None => continue,
+            };
+            match src {
+                Some(wsrc) if (wsrc as usize) < n => {
+                    enc.unit(w(wsrc as usize), r(t));
+                    for &o in others {
+                        if o == wsrc || o as usize == t {
+                            continue;
+                        }
+                        // `o` commits before the source, or after `t`'s
+                        // snapshot.
+                        let c1 = enc.before(w(o as usize), w(wsrc as usize));
+                        let c2 = enc.before(r(t), w(o as usize));
+                        enc.clause2(c1, c2);
+                    }
+                }
+                _ => {
+                    for &o in others {
+                        if o as usize != t {
+                            enc.unit(r(t), w(o as usize));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if first_committer_wins {
+        // Write-conflicting transactions may not overlap: one's commit
+        // precedes the other's snapshot.
+        for others in &writers {
+            for (i, &a) in others.iter().enumerate() {
+                for &b in &others[i + 1..] {
+                    let c1 = enc.before(w(a as usize), r(b as usize));
+                    let c2 = enc.before(w(b as usize), r(a as usize));
+                    enc.clause2(c1, c2);
+                }
+            }
+        }
+    }
+    finish(enc, cfg, true)
+}
+
+/// Run the solver and map the outcome, translating points back to
+/// transactions (`split` = the R/W split-vertex layout, where only odd
+/// points are commit points).
+fn finish(mut enc: Encoding, cfg: &SolveConfig, split: bool) -> OrderVerdict {
+    let txn_of = |p: u32| if split { p / 2 } else { p };
+    let outcome = enc.solver.solve(cfg.conflicts.max(1));
+    let conflicts = enc.solver.stats().conflicts;
+    match outcome {
+        SolveOutcome::Sat => {
+            // Commit points only: the decoded commit order over transactions.
+            let mut order: Vec<u32> = Vec::new();
+            for p in enc.decode() {
+                if !split || p % 2 == 1 {
+                    order.push(txn_of(p));
+                }
+            }
+            OrderVerdict::Order { order, conflicts }
+        }
+        SolveOutcome::Unsat => {
+            let cycle = enc
+                .unit_cycle()
+                .map(|points| {
+                    let mut txns: Vec<u32> = Vec::with_capacity(points.len());
+                    for p in points {
+                        let t = txn_of(p);
+                        if txns.last() != Some(&t) {
+                            txns.push(t);
+                        }
+                    }
+                    if txns.first() != txns.last() {
+                        if let Some(&f) = txns.first() {
+                            txns.push(f);
+                        }
+                    }
+                    txns
+                })
+                .filter(|c| c.len() > 2)
+                .unwrap_or_default();
+            OrderVerdict::NoOrder { cycle, conflicts }
+        }
+        SolveOutcome::Unknown => OrderVerdict::Unknown { conflicts },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SolveConfig {
+        SolveConfig::default()
+    }
+
+    /// `a` hands off to `b` through a read: the only valid order is a, b.
+    fn handoff() -> OrderInstance {
+        OrderInstance {
+            n: 2,
+            reads: vec![vec![], vec![(0, Some(0))]],
+            writes: vec![vec![0], vec![0]],
+            visibility_edges: vec![(0, 1)],
+            commit_edges: vec![],
+            n_vars: 1,
+        }
+    }
+
+    #[test]
+    fn zero_transaction_window_is_trivially_ordered() {
+        let inst = OrderInstance::default();
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            match decide(&inst, level, &cfg()) {
+                OrderVerdict::Order { order, .. } => assert!(order.is_empty()),
+                other => panic!("{level:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn handoff_orders_at_every_level() {
+        let inst = handoff();
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            match decide(&inst, level, &cfg()) {
+                OrderVerdict::Order { order, .. } => {
+                    assert_eq!(order, vec![0, 1], "{level:?}");
+                }
+                other => panic!("{level:?}: {other:?}"),
+            }
+        }
+    }
+
+    /// The model decode round-trips: the returned order satisfies every
+    /// seeded edge.
+    #[test]
+    fn model_decode_round_trip_respects_seeded_edges() {
+        // A diamond: 0 → {1, 2} → 3, plus reads forcing 1 before 2.
+        let inst = OrderInstance {
+            n: 4,
+            reads: vec![vec![], vec![(0, Some(0))], vec![(1, Some(1))], vec![(2, Some(2))]],
+            writes: vec![vec![0], vec![1], vec![2], vec![3]],
+            visibility_edges: vec![(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)],
+            commit_edges: vec![],
+            n_vars: 4,
+        };
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            let OrderVerdict::Order { order, .. } = decide(&inst, level, &cfg()) else {
+                panic!("diamond must order at {level:?}");
+            };
+            let pos = |t: u32| order.iter().position(|&x| x == t).unwrap();
+            for &(a, b) in &inst.visibility_edges {
+                assert!(pos(a) < pos(b), "{level:?}: edge {a}→{b} violated by {order:?}");
+            }
+        }
+    }
+
+    /// A planted commit-order cycle is UNSAT with the cycle extracted as the
+    /// witness.
+    #[test]
+    fn planted_cycle_yields_unsat_with_minimal_witness() {
+        let inst = OrderInstance {
+            n: 3,
+            reads: vec![vec![], vec![], vec![]],
+            writes: vec![vec![], vec![], vec![]],
+            visibility_edges: vec![(0, 1), (1, 2), (2, 0)],
+            commit_edges: vec![],
+            n_vars: 0,
+        };
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            let OrderVerdict::NoOrder { cycle, .. } = decide(&inst, level, &cfg()) else {
+                panic!("a 3-cycle cannot be ordered ({level:?})");
+            };
+            assert!(cycle.len() >= 4, "closed cycle through 3 txns: {cycle:?}");
+            assert_eq!(cycle.first(), cycle.last());
+            let mut interior = cycle[..cycle.len() - 1].to_vec();
+            interior.sort_unstable();
+            assert_eq!(interior, vec![0, 1, 2], "minimal cycle covers exactly the plant");
+        }
+    }
+
+    /// The long fork: two independent writers, two readers seeing opposite
+    /// orders.  SER, SI *and* Prefix all refute it — this is the anomaly
+    /// that separates Prefix from Causal.
+    #[test]
+    fn long_fork_fails_prefix_si_and_ser() {
+        // t0 writes x, t1 writes y, t2 reads x=t0 & y=initial, t3 reads
+        // y=t1 & x=initial.
+        let inst = OrderInstance {
+            n: 4,
+            reads: vec![
+                vec![],
+                vec![],
+                vec![(0, Some(0)), (1, None)],
+                vec![(1, Some(1)), (0, None)],
+            ],
+            writes: vec![vec![0], vec![1], vec![], vec![]],
+            visibility_edges: vec![(0, 2), (1, 3)],
+            commit_edges: vec![],
+            n_vars: 2,
+        };
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            let OrderVerdict::NoOrder { cycle, .. } = decide(&inst, level, &cfg()) else {
+                panic!("long fork must fail {level:?}");
+            };
+            assert!(!cycle.is_empty(), "the long-fork refutation is unit-implied: {level:?}");
+        }
+    }
+
+    /// Write skew separates the levels: SER refutes, SI and Prefix admit.
+    #[test]
+    fn write_skew_separates_ser_from_si_and_prefix() {
+        let inst = OrderInstance {
+            n: 2,
+            reads: vec![vec![(0, None), (1, None)], vec![(0, None), (1, None)]],
+            writes: vec![vec![0], vec![1]],
+            visibility_edges: vec![],
+            commit_edges: vec![],
+            n_vars: 2,
+        };
+        assert!(
+            matches!(decide(&inst, LevelSpec::Serializable, &cfg()), OrderVerdict::NoOrder { .. }),
+            "write skew is not serializable"
+        );
+        for level in [LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            assert!(
+                matches!(decide(&inst, level, &cfg()), OrderVerdict::Order { .. }),
+                "write skew is admitted at {level:?}"
+            );
+        }
+    }
+
+    /// The lost update separates Prefix from SI: first-committer-wins is the
+    /// only axiom it violates.
+    #[test]
+    fn lost_update_separates_si_from_prefix() {
+        let inst = OrderInstance {
+            n: 2,
+            reads: vec![vec![(0, None)], vec![(0, None)]],
+            writes: vec![vec![0], vec![0]],
+            visibility_edges: vec![],
+            commit_edges: vec![],
+            n_vars: 1,
+        };
+        assert!(
+            matches!(
+                decide(&inst, LevelSpec::SnapshotIsolation, &cfg()),
+                OrderVerdict::NoOrder { .. }
+            ),
+            "lost update violates first-committer-wins"
+        );
+        assert!(
+            matches!(decide(&inst, LevelSpec::Prefix, &cfg()), OrderVerdict::Order { .. }),
+            "prefix consistency admits lost updates"
+        );
+        assert!(
+            matches!(decide(&inst, LevelSpec::Serializable, &cfg()), OrderVerdict::NoOrder { .. }),
+            "lost update is not serializable"
+        );
+    }
+
+    /// Budget exhaustion is an honest Unknown, never a verdict.
+    #[test]
+    fn conflict_budget_exhaustion_returns_unknown() {
+        // An unsatisfiable instance big enough to need > 0 recorded
+        // conflicts... use a planted cycle with conflicts=... the cycle is
+        // unit-implied (0 conflicts), so build a write-skew chain instead:
+        // k disjoint write skews each need ≥ 1 conflict to refute at SER.
+        let k = 6;
+        let mut inst = OrderInstance {
+            n: 2 * k,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            visibility_edges: vec![],
+            commit_edges: vec![],
+            n_vars: 2 * k,
+        };
+        for i in 0..k as u32 {
+            let (x, y) = (2 * i, 2 * i + 1);
+            inst.reads.push(vec![(x, None), (y, None)]);
+            inst.reads.push(vec![(x, None), (y, None)]);
+            inst.writes.push(vec![x]);
+            inst.writes.push(vec![y]);
+        }
+        let tight = SolveConfig { conflicts: 1, ..SolveConfig::default() };
+        match decide(&inst, LevelSpec::Serializable, &tight) {
+            OrderVerdict::Unknown { conflicts } => assert!(conflicts >= 1),
+            // A sharp solver may refute within the budget; that is also
+            // sound — but the default-config run must agree it is UNSAT.
+            OrderVerdict::NoOrder { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            matches!(decide(&inst, LevelSpec::Serializable, &cfg()), OrderVerdict::NoOrder { .. }),
+            "k disjoint write skews are UNSAT at SER"
+        );
+    }
+
+    /// Windows beyond the size cap decline instead of materializing a cubic
+    /// encoding.
+    #[test]
+    fn oversized_windows_report_too_large() {
+        let n = 200;
+        let inst = OrderInstance {
+            n,
+            reads: vec![vec![]; n],
+            writes: vec![vec![]; n],
+            visibility_edges: vec![],
+            commit_edges: vec![],
+            n_vars: 0,
+        };
+        let small = SolveConfig { max_txns: 64, ..SolveConfig::default() };
+        match decide(&inst, LevelSpec::Serializable, &small) {
+            OrderVerdict::TooLarge { txns, max_txns } => {
+                assert_eq!(txns, 200);
+                assert_eq!(max_txns, 64);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Malformed instances (dangling edge endpoints, unknown writers,
+    /// out-of-range variables) must not panic — they are ignored.
+    #[test]
+    fn adversarial_instances_do_not_panic() {
+        let inst = OrderInstance {
+            n: 2,
+            reads: vec![vec![(99, Some(77)), (0, Some(1))], vec![(0, None)]],
+            writes: vec![vec![0], vec![98]],
+            visibility_edges: vec![(0, 50), (60, 61), (1, 1)],
+            commit_edges: vec![(7, 0)],
+            n_vars: 3,
+        };
+        for level in [LevelSpec::Serializable, LevelSpec::SnapshotIsolation, LevelSpec::Prefix] {
+            let verdict = decide(&inst, level, &cfg());
+            assert!(
+                !matches!(verdict, OrderVerdict::TooLarge { .. }),
+                "2 txns are never too large: {verdict:?}"
+            );
+        }
+    }
+}

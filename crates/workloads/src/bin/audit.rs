@@ -45,6 +45,17 @@
 //!   `bank` run is an error, and `--scenario all` skips it with a note;
 //! * `--overlap N` — window overlap for streaming mode (default WINDOW/8);
 //! * `--budget N` — SI/SER search state budget (default 2,000,000);
+//! * `--sat[=conflicts=N[:max-txns=N][:force]]` — escalate any NP-hard level
+//!   the DFS left `Unknown` to the `tm-sat` CDCL commit-order solver: UNSAT
+//!   convicts (with the forced cycle as witness), a model passes (with the
+//!   decoded commit order), and verdicts carry `decided_by: "dfs"|"sat"`
+//!   provenance everywhere a report lands (stdout, `--json`, serve records).
+//!   `conflicts=N` bounds solver effort per window (exhaustion keeps
+//!   `Unknown`, with the retry hint recomputed as a conflict budget);
+//!   `max-txns=N` caps the window size the cubic encoding is materialized
+//!   for; `force` decides every NP-hard level by SAT alone (the differential
+//!   cross-check lane).  Applies to every mode: batch, streaming windows,
+//!   sharded lanes and `--ingest` replays;
 //! * `--export PATH` — capture the run's commit history exactly as the
 //!   auditor saw it (post-merge order, auditor-assigned hints) and write it
 //!   to PATH in the `tm-history` wire format (see `docs/history-format.md`).
@@ -96,15 +107,16 @@ use stm_runtime::{policy, BackendId, RetryPolicy};
 use tm_audit::linearization::DEFAULT_STATE_BUDGET;
 use tm_audit::report::json_escape;
 use tm_audit::{
-    audit_sharded, audit_streamed, audit_with_budget, AuditHistory, PartitionLag, ShardConfig,
-    ShardEvent, WindowConfig,
+    audit_sharded, audit_streamed, audit_with_options, AuditHistory, AuditOptions, PartitionLag,
+    SatConfig, ShardConfig, ShardEvent, WindowConfig,
 };
 use tm_history::{decode_all, encode, Decoder};
 use workloads::{
-    all_scenarios, run_scenario, run_scenario_audited, run_scenario_audited_captured,
-    run_scenario_audited_sharded, run_scenario_audited_sharded_captured,
-    run_scenario_audited_streaming, run_scenario_audited_streaming_captured, run_scenario_captured,
-    scenario_by_name, Scenario, ScenarioConfig,
+    all_scenarios, run_scenario, run_scenario_audited_sharded,
+    run_scenario_audited_sharded_captured, run_scenario_audited_streaming,
+    run_scenario_audited_streaming_captured, run_scenario_audited_with,
+    run_scenario_audited_with_captured, run_scenario_captured, scenario_by_name, Scenario,
+    ScenarioConfig,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +182,7 @@ struct Args {
     mode: AuditMode,
     overlap: Option<usize>,
     budget: u64,
+    sat: Option<SatConfig>,
     json: Option<String>,
     ingest: Option<String>,
     export: Option<String>,
@@ -196,6 +209,7 @@ impl Default for Args {
             mode: AuditMode::Off,
             overlap: None,
             budget: DEFAULT_STATE_BUDGET,
+            sat: None,
             json: None,
             ingest: None,
             export: None,
@@ -222,6 +236,29 @@ fn parse_scenarios(name: &str) -> Result<(Vec<Arc<dyn Scenario>>, bool), String>
         return Ok((all_scenarios(), true));
     }
     scenario_by_name(name).map(|s| (vec![s], false)).map_err(|e| e.to_string())
+}
+
+/// Parse the value of `--sat=SPEC`: `conflicts=N` / `max-txns=N` / `force`
+/// elements separated by `:` (a bare number is shorthand for `conflicts=N`).
+fn parse_sat_spec(spec: &str) -> Result<SatConfig, String> {
+    let mut cfg = SatConfig::default();
+    for part in spec.split(':').filter(|p| !p.is_empty()) {
+        if let Ok(n) = part.parse::<u64>() {
+            cfg.conflicts = n;
+        } else if let Some(n) = part.strip_prefix("conflicts=") {
+            cfg.conflicts = n.parse().map_err(|e| format!("--sat conflicts: {e}"))?;
+        } else if let Some(n) = part.strip_prefix("max-txns=") {
+            cfg.max_txns = n.parse().map_err(|e| format!("--sat max-txns: {e}"))?;
+        } else if part == "force" {
+            cfg.force = true;
+        } else {
+            return Err(format!("--sat: unknown element {part:?}"));
+        }
+    }
+    if cfg.conflicts == 0 {
+        return Err("--sat: conflicts must be positive".into());
+    }
+    Ok(cfg)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -278,6 +315,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--metrics" => args.metrics = true,
             "--adaptive" => args.adaptive = true,
             "--audit" => args.mode = AuditMode::Batch,
+            "--sat" => args.sat = Some(SatConfig::default()),
             "--serve" => args.serve = true,
             "--serve-rounds" => {
                 args.serve_rounds = value_of(&mut it, "--serve-rounds")?
@@ -290,6 +328,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let (mode, overlap) = parse_audit_spec(&other["--audit=".len()..])?;
                 args.mode = mode;
                 spec_overlap = overlap;
+            }
+            other if other.starts_with("--sat=") => {
+                args.sat = Some(parse_sat_spec(&other["--sat=".len()..])?);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -354,7 +395,8 @@ fn usage() {
         "usage: audit [--backend NAME|all] [--scenario NAME|all] [--retry POLICY]\n\
          \x20            [--threads N] [--txns N] [--vars N] [--seed N]\n\
          \x20            [--audit[=WINDOW | window[:size=N][:shards=K][:overlap=M]]]\n\
-         \x20            [--overlap N] [--budget N] [--json PATH] [--fail-on-violation]\n\
+         \x20            [--overlap N] [--budget N] [--sat[=conflicts=N[:max-txns=N][:force]]]\n\
+         \x20            [--json PATH] [--fail-on-violation]\n\
          \x20            [--export PATH] [--ingest FILE|-]\n\
          \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--adaptive]\n\
          \x20            [--list]\n\
@@ -364,7 +406,9 @@ fn usage() {
          backoff[:BASE:MAX[:TOTAL]], karma[:BASE], timestamp[:BASE], adaptive[:BASE:MAX].\n\
          --export PATH writes the audited run's commit history in the tm-history wire\n\
          format; --ingest FILE|- audits wire-format documents instead of running a\n\
-         workload (see docs/history-format.md).\n\
+         workload (see docs/history-format.md).  --sat escalates budget-exhausted\n\
+         Prefix/SI/SER verdicts to the CDCL commit-order solver (tm-sat); verdicts\n\
+         carry decided_by provenance.\n\
          --serve keeps the process alive running audited rounds back to back, streaming\n\
          line-delimited JSON verdict/window/lag records to stdout (and --sink PATH)\n\
          until SIGTERM/ctrl-c; --adaptive lets the lag sampler re-band hot variable\n\
@@ -447,10 +491,17 @@ fn print_run_line(run: &workloads::ScenarioRunReport) {
 fn window_config(window: usize, args: &Args) -> WindowConfig {
     let mut wc = WindowConfig::sized(window);
     wc.budget = args.budget;
+    wc.sat = args.sat;
     if let Some(overlap) = args.overlap {
         wc.overlap = overlap;
     }
     wc
+}
+
+/// The batch-mode audit knobs: the DFS budget plus the optional `--sat`
+/// escalation stage.
+fn audit_options(args: &Args) -> AuditOptions {
+    AuditOptions { budget: args.budget, sat: args.sat }
 }
 
 /// Set by the SIGTERM/SIGINT handler; the serve loop finishes its current
@@ -757,7 +808,7 @@ fn ingest(args: &Args) -> ExitCode {
         println!("history #{doc} from {source}: {}", history.shape());
         let (mode_label, report_json) = match args.mode {
             AuditMode::Off | AuditMode::Batch => {
-                let report = audit_with_budget(history, args.budget);
+                let report = audit_with_options(history, &audit_options(args));
                 violated |= tm_audit::Level::ALL.iter().any(|&l| report.fails(l));
                 for level in &report.levels {
                     println!("  {level}");
@@ -1038,15 +1089,15 @@ fn main() -> ExitCode {
                     json_entries.push(format!("{{{},\"mode\":\"off\"}}", json_run_fields(&run)));
                 }
                 AuditMode::Batch => {
+                    let options = audit_options(&args);
                     let result = if args.export.is_some() {
-                        run_scenario_audited_captured(scenario.as_ref(), &config, args.budget).map(
-                            |(report, history)| {
+                        run_scenario_audited_with_captured(scenario.as_ref(), &config, &options)
+                            .map(|(report, history)| {
                                 exported = Some(history);
                                 report
-                            },
-                        )
+                            })
                     } else {
-                        run_scenario_audited(scenario.as_ref(), &config, args.budget)
+                        run_scenario_audited_with(scenario.as_ref(), &config, &options)
                     };
                     let report = match result {
                         Ok(report) => report,

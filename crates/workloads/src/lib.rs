@@ -46,10 +46,11 @@ pub mod zipf;
 
 pub use bank::{Bank, BankConfig};
 pub use runner::{
-    run_audited, run_audited_streaming, run_scenario, run_scenario_audited,
+    run_audited, run_audited_streaming, run_audited_with, run_scenario, run_scenario_audited,
     run_scenario_audited_captured, run_scenario_audited_sharded,
     run_scenario_audited_sharded_captured, run_scenario_audited_streaming,
-    run_scenario_audited_streaming_captured, run_scenario_captured, run_threads,
+    run_scenario_audited_streaming_captured, run_scenario_audited_with,
+    run_scenario_audited_with_captured, run_scenario_captured, run_threads,
     stalled_writer_experiment, AuditedRunReport, AuditedScenarioReport, RunConfig, RunReport,
     ScenarioRunReport, ShardedScenarioReport, StreamingAuditedReport, StreamingScenarioReport,
 };

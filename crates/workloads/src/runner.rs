@@ -14,9 +14,9 @@ use std::time::{Duration, Instant};
 use stm_runtime::{recorder, BackendId, Stm, StreamingRecorder};
 use tm_audit::HistoryRecorder;
 use tm_audit::{
-    audit_with_budget, AuditHistory, AuditReport, AuditRunConfig, HistoryCollector, ShardConfig,
-    ShardEvent, ShardedAuditor, ShardedStreamReport, StreamMerger, StreamReport, TeeSink,
-    WindowConfig, WindowedAuditor,
+    audit_with_options, AuditHistory, AuditOptions, AuditReport, AuditRunConfig, HistoryCollector,
+    ShardConfig, ShardEvent, ShardedAuditor, ShardedStreamReport, StreamMerger, StreamReport,
+    TeeSink, WindowConfig, WindowedAuditor,
 };
 
 /// Configuration of one runner invocation.
@@ -113,12 +113,18 @@ pub struct AuditedRunReport {
 /// write values), record every commit, then check the recorded history
 /// against the full RC / RA / Causal / SI / SER hierarchy.
 pub fn run_audited(config: AuditRunConfig, budget: u64) -> AuditedRunReport {
+    run_audited_with(config, &AuditOptions { budget, ..AuditOptions::default() })
+}
+
+/// [`run_audited`] with full [`AuditOptions`] — the entry point for the CLI's
+/// `--sat` escalation flag.
+pub fn run_audited_with(config: AuditRunConfig, options: &AuditOptions) -> AuditedRunReport {
     let start = Instant::now();
     let history = tm_audit::record_run(config);
     let run_elapsed = start.elapsed();
     let throughput = history.txn_count() as f64 / run_elapsed.as_secs_f64().max(1e-9);
     let start = Instant::now();
-    let audit = audit_with_budget(&history, budget);
+    let audit = audit_with_options(&history, options);
     AuditedRunReport { config, run_elapsed, throughput, audit_elapsed: start.elapsed(), audit }
 }
 
@@ -361,6 +367,16 @@ pub fn run_scenario_audited(
     run_scenario_audited_captured(scenario, config, budget).map(|(report, _)| report)
 }
 
+/// [`run_scenario_audited`] with full [`AuditOptions`], so callers can enable
+/// the SAT escalation stage.
+pub fn run_scenario_audited_with(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    options: &AuditOptions,
+) -> Result<AuditedScenarioReport, String> {
+    run_scenario_audited_with_captured(scenario, config, options).map(|(report, _)| report)
+}
+
 /// [`run_scenario_audited`], also returning the audited history — exactly
 /// what the auditor saw, so serializing it (`tm-history`) and re-auditing
 /// reproduces the verdicts.
@@ -369,9 +385,22 @@ pub fn run_scenario_audited_captured(
     config: &ScenarioConfig,
     budget: u64,
 ) -> Result<(AuditedScenarioReport, AuditHistory), String> {
+    run_scenario_audited_with_captured(
+        scenario,
+        config,
+        &AuditOptions { budget, ..AuditOptions::default() },
+    )
+}
+
+/// [`run_scenario_audited_captured`] with full [`AuditOptions`].
+pub fn run_scenario_audited_with_captured(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    options: &AuditOptions,
+) -> Result<(AuditedScenarioReport, AuditHistory), String> {
     let (run, history) = run_scenario_captured(scenario, config)?;
     let start = Instant::now();
-    let audit = audit_with_budget(&history, budget);
+    let audit = audit_with_options(&history, options);
     Ok((AuditedScenarioReport { run, audit_elapsed: start.elapsed(), audit }, history))
 }
 

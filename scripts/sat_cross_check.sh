@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# DFS-vs-SAT differential gate: generate seeded adversarial histories at
+# DFS-decidable sizes and decide every one twice — once with the batch
+# DFS/saturation auditor (the reference) and once with the CDCL commit-order
+# solver forced onto every NP-hard level (`SatConfig::force`).  The solver's
+# UNSAT/model answers are complete for the commit-order axioms, so any
+# definite verdict disagreement between the two engines gates in both
+# directions; each failing seed leaves a minimized wire-format reproducer
+# under the output directory (repro-seed<N>.tmh, replayable with
+# `audit --ingest FILE --sat`).
+#
+# Usage: scripts/sat_cross_check.sh [SEEDS] [SEED_START]
+# Env overrides: SAT_CROSS_SEEDS, SAT_CROSS_SEED_START, SAT_CROSS_OUT,
+# SAT_CROSS_BUDGET.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds="${1:-${SAT_CROSS_SEEDS:-50}}"
+seed_start="${2:-${SAT_CROSS_SEED_START:-0}}"
+out="${SAT_CROSS_OUT:-sat-cross-out}"
+budget="${SAT_CROSS_BUDGET:-2000000}"
+
+mkdir -p "$out"
+cargo build --release -p tm-history --bin fuzz
+exec ./target/release/fuzz \
+  --seeds "$seeds" --seed-start "$seed_start" --out "$out" --budget "$budget" \
+  --sat-cross

