@@ -86,6 +86,7 @@ pub mod tvar;
 pub mod txn;
 pub mod value;
 pub mod vartable;
+pub mod wal;
 
 pub use backend::{Backend, BackendKind, VarId};
 pub use policy::{RetryDecision, RetryPolicy};

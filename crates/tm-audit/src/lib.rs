@@ -81,6 +81,7 @@ pub mod linearization;
 pub mod partition;
 pub mod po;
 pub mod recorder;
+pub mod recovery;
 pub mod report;
 pub(crate) mod sat_bridge;
 pub mod saturation;
@@ -96,10 +97,11 @@ pub use partition::{
     ShardedStreamReport,
 };
 pub use recorder::HistoryRecorder;
+pub use recovery::{parse_json, FrontierSnapshot, JsonValue, RecoveryError};
 pub use report::{AuditReport, DecidedBy, Level, LevelReport, Outcome};
 pub use window::{
-    audit_streamed, HistoryCollector, StreamMerger, StreamReport, TeeSink, TxnSink, WindowConfig,
-    WindowVerdict, WindowedAuditor,
+    audit_streamed, Conviction, HistoryCollector, StreamMerger, StreamReport, TeeSink, TxnSink,
+    WindowConfig, WindowVerdict, WindowedAuditor,
 };
 pub use workload::{record_run, run_unrecorded, run_with_recorder, AuditRunConfig};
 

@@ -197,6 +197,17 @@ impl<R: BufRead> Decoder<R> {
 
     /// Read the next document; `Ok(None)` at end of input.
     pub fn next_history(&mut self) -> Result<Option<AuditHistory>, WireError> {
+        Ok(self.next_history_arrival()?.map(|(history, _)| history))
+    }
+
+    /// Like [`Decoder::next_history`], but also return the document's
+    /// **arrival order** — each transaction's [`TxnId`] in source line
+    /// order.  A WAL round is only partially constrained (racing sessions
+    /// may interleave either way), so recovery replays records in exactly
+    /// this order rather than re-sorting by hint, which could differ.
+    pub fn next_history_arrival(
+        &mut self,
+    ) -> Result<Option<(AuditHistory, Vec<TxnId>)>, WireError> {
         let header = loop {
             match self.read_line()? {
                 None => return Ok(None),
@@ -234,7 +245,7 @@ impl<R: BufRead> Decoder<R> {
             arrival.push((TxnId { session: s, seq: q }, self.line_no));
         }
         validate_document(&history, &arrival)?;
-        Ok(Some(history))
+        Ok(Some((history, arrival.into_iter().map(|(id, _)| id).collect())))
     }
 }
 
@@ -368,18 +379,23 @@ fn parse_header(line: &str, line_no: u64) -> Result<(usize, usize, i64), WireErr
     }
     c.expect(",\"sessions\":")?;
     let spos = c.pos;
-    let sessions = c.parse_u64()? as usize;
-    if sessions > MAX_SESSIONS {
+    // Cap-check the raw u64 before narrowing: `as usize` truncates on
+    // 32-bit targets, so a hostile count like 2^32+5 would otherwise
+    // shrink to 5 and sail past the cap.
+    let sessions = c.parse_u64()?;
+    if sessions > MAX_SESSIONS as u64 {
         return Err(
             c.err_at(spos, format!("session count {sessions} exceeds the cap of {MAX_SESSIONS}"))
         );
     }
+    let sessions = sessions as usize;
     c.expect(",\"vars\":")?;
     let vpos = c.pos;
-    let vars = c.parse_u64()? as usize;
-    if vars > MAX_VARS {
+    let vars = c.parse_u64()?;
+    if vars > MAX_VARS as u64 {
         return Err(c.err_at(vpos, format!("variable count {vars} exceeds the cap of {MAX_VARS}")));
     }
+    let vars = vars as usize;
     c.expect(",\"initial\":")?;
     let initial = c.parse_i64()?;
     c.expect("}")?;
@@ -401,18 +417,21 @@ fn parse_txn(
     let mut c = Cursor::new(line, line_no);
     c.expect("{\"s\":")?;
     let spos = c.pos;
-    let s = c.parse_u64()? as usize;
-    if s >= last_hint.len() {
+    // Range-check as u64 before narrowing (see parse_header): truncation on
+    // 32-bit targets must not alias an out-of-range index onto a valid one.
+    let s = c.parse_u64()?;
+    if s >= last_hint.len() as u64 {
         return Err(c.err_at(
             spos,
             format!("session {s} out of range (the header declares {} sessions)", last_hint.len()),
         ));
     }
+    let s = s as usize;
     c.expect(",\"q\":")?;
     let qpos = c.pos;
-    let q = c.parse_u64()? as usize;
+    let q = c.parse_u64()?;
     let expected = seqs.next_seq(s);
-    if q != expected {
+    if q != expected as u64 {
         return Err(c.err_at(
             qpos,
             format!(
@@ -440,7 +459,7 @@ fn parse_txn(
     if !c.done() {
         return Err(c.err("trailing characters after the transaction object"));
     }
-    Ok((s, q, h, reads, writes))
+    Ok((s, q as usize, h, reads, writes))
 }
 
 fn parse_pairs(
@@ -458,13 +477,14 @@ fn parse_pairs(
         let pair_pos = c.pos;
         c.expect("[")?;
         let vpos = c.pos;
-        let var = c.parse_u64()? as usize;
-        if var >= vars {
+        let var = c.parse_u64()?;
+        if var >= vars as u64 {
             return Err(c.err_at(
                 vpos,
                 format!("variable v{var} out of range (the header declares {vars} variables)"),
             ));
         }
+        let var = var as usize;
         if pairs.iter().any(|&(v, _)| v == var) {
             return Err(
                 c.err_at(pair_pos, format!("duplicate {kind} of v{var} in one transaction"))
@@ -542,6 +562,128 @@ mod tests {
         let recovered = decoder.next_history().unwrap().expect("good document after skip");
         assert_eq!(recovered.txn_count(), 3);
         assert!(decoder.next_history().unwrap().is_none());
+    }
+
+    #[test]
+    fn arrival_order_is_source_line_order() {
+        // Per-session constraints allow cross-session interleavings that are
+        // NOT globally hint-sorted; arrival order must preserve the source.
+        let text = "{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}\n\
+                    {\"s\":1,\"q\":0,\"h\":5,\"r\":[],\"w\":[[0,7]]}\n\
+                    {\"s\":0,\"q\":0,\"h\":2,\"r\":[],\"w\":[[1,8]]}\n\
+                    {\"s\":1,\"q\":1,\"h\":6,\"r\":[],\"w\":[[2,9]]}\n";
+        let mut decoder = Decoder::new(text.as_bytes());
+        let (history, arrival) = decoder.next_history_arrival().unwrap().expect("document");
+        assert_eq!(history.txn_count(), 3);
+        let ids: Vec<(usize, usize)> = arrival.iter().map(|id| (id.session, id.seq)).collect();
+        assert_eq!(ids, vec![(1, 0), (0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn wal_sink_lines_are_byte_compatible_with_the_encoder() {
+        // The WAL writer in stm-runtime hand-formats wire lines (it cannot
+        // depend on this crate); this test pins those bytes to the real
+        // encoder so the formats can never drift apart.
+        let h = sample();
+        let dir = std::env::temp_dir().join(format!("wire-wal-compat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink =
+            stm_runtime::wal::WalSink::create(&dir, h.sessions.len(), h.n_vars, h.initial)
+                .expect("create sink");
+        let mut order: Vec<(u64, usize, usize)> = h
+            .sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(s, txns)| txns.iter().enumerate().map(move |(q, t)| (t.hint, s, q)))
+            .collect();
+        order.sort_unstable();
+        for &(hint, s, q) in &order {
+            let txn = &h.sessions[s][q];
+            sink.append_txn(s, q as u64, hint, &txn.reads, &txn.writes).expect("append");
+        }
+        sink.finish().expect("finish");
+        let round = stm_runtime::wal::recover_round(&dir).expect("recover");
+        assert_eq!(round.text, encode(&h), "WAL bytes must equal the canonical encoding");
+        let decoded = decode(&round.text).expect("WAL round decodes as-is");
+        assert_eq!(decoded.txn_count(), h.txn_count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_header_counts_are_rejected_before_narrowing() {
+        // 2^32 + 5: on a 32-bit target `as usize` truncates this to 5, so
+        // the cap must be compared against the raw u64.  The rejection has
+        // to hold on every target, 64-bit included.
+        let big = (1u64 << 32) + 5;
+        let text = format!("{{\"tm-history\":1,\"sessions\":{big},\"vars\":4,\"initial\":0}}\n");
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains(&format!("session count {big} exceeds")), "{err}");
+
+        let text = format!("{{\"tm-history\":1,\"sessions\":2,\"vars\":{big},\"initial\":0}}\n");
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains(&format!("variable count {big} exceeds")), "{err}");
+    }
+
+    #[test]
+    fn oversized_txn_indices_are_rejected_before_narrowing() {
+        // Same truncation class inside transaction lines: a session or
+        // variable index of 2^32+small must not alias onto a valid index.
+        let big_s = (1u64 << 32) + 1; // would truncate to session 1 (valid)
+        let text = format!(
+            "{{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}}\n\
+             {{\"s\":{big_s},\"q\":0,\"h\":0,\"r\":[],\"w\":[[0,7]]}}\n"
+        );
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains(&format!("session {big_s} out of range")), "{err}");
+
+        let big_v = (1u64 << 32) + 2; // would truncate to variable 2 (valid)
+        let text = format!(
+            "{{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}}\n\
+             {{\"s\":0,\"q\":0,\"h\":0,\"r\":[],\"w\":[[{big_v},7]]}}\n"
+        );
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains(&format!("variable v{big_v} out of range")), "{err}");
+
+        // And a q of 2^32+0 must not pass the `q == expected(0)` check.
+        let big_q = 1u64 << 32;
+        let text = format!(
+            "{{\"tm-history\":1,\"sessions\":2,\"vars\":4,\"initial\":0}}\n\
+             {{\"s\":0,\"q\":{big_q},\"h\":0,\"r\":[],\"w\":[[0,7]]}}\n"
+        );
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn final_line_without_trailing_newline_decodes() {
+        // A document truncated of its final newline (e.g. a log tail) must
+        // still decode: read_line yields the last partial line and the
+        // decoder treats EOF as end-of-document.
+        let text = encode(&sample());
+        let trimmed = text.trim_end_matches('\n');
+        assert!(!trimmed.ends_with('\n'));
+        let h = decode(trimmed).expect("no trailing newline");
+        assert_eq!(h.txn_count(), 3);
+
+        let mut decoder = Decoder::new(trimmed.as_bytes());
+        let h = decoder.next_history().unwrap().expect("document");
+        assert_eq!(h.txn_count(), 3);
+        assert!(decoder.next_history().unwrap().is_none());
+    }
+
+    #[test]
+    fn skip_document_at_eof_mid_document_is_ok() {
+        // A stream that ends mid-document (no blank-line terminator):
+        // skip_document must consume to EOF and return Ok, and the decoder
+        // must then report end of input rather than erroring or spinning.
+        let text = "{\"tm-history\":9,\"sessions\":1,\"vars\":1,\"initial\":0}\njunk-line";
+        let mut decoder = Decoder::new(text.as_bytes());
+        let err = decoder.next_history().unwrap_err();
+        assert!(err.message.contains("unsupported"), "{err}");
+        decoder.skip_document().expect("skip to EOF");
+        assert!(decoder.next_history().unwrap().is_none());
+        // Further skips at EOF stay Ok (idempotent resync).
+        decoder.skip_document().expect("skip at EOF");
     }
 
     #[test]

@@ -79,7 +79,25 @@
 //!   `--sink PATH` — until SIGTERM/ctrl-c, which finishes the current round
 //!   and shuts down cleanly.  Requires one scenario and one backend; implies
 //!   `--audit=window:shards=4` unless a streaming spec is given;
-//! * `--serve-rounds N` — stop serving after N rounds (0 = until signal);
+//! * `--serve-rounds N` — stop serving after N rounds (0 = until signal).
+//!   A second SIGTERM/SIGINT while a round is still draining exits
+//!   immediately with status 130 instead of waiting for the boundary;
+//! * `--wal DIR` — crash-consistent commit logging for `--serve`: every
+//!   committed transaction is appended to `DIR/round-NNNN/` (in the
+//!   `tm-history` wire format, so the concatenated segments of a round are
+//!   ingestible as-is) *before* it reaches the auditor; segments seal with
+//!   length+CRC framing at window boundaries and each seal persists the
+//!   auditor's committed frontier.  Forces the streaming (single-auditor)
+//!   topology — the log is the merged stream, which the sharded pipeline
+//!   does not have.  See `docs/recovery.md`;
+//! * `--recover DIR` — finish auditing the rounds a killed process left
+//!   behind: torn tails are truncated to the last sealed-or-complete line,
+//!   the newest frontier snapshot is verified as a legal prefix of the
+//!   surviving log (the continuation check), the auditor resumes from it
+//!   and replays the suffix.  Standalone it prints one `recovered-verdict`
+//!   record per round (and a `--json` report with `"recovered":true`);
+//!   combined with `--serve --wal` the endpoint recovers first, then keeps
+//!   serving at the next free round index;
 //! * `--sink PATH` — also append every serve record to PATH (a file another
 //!   process can tail);
 //! * `--metrics` — turn the telemetry spine on (`tm-telemetry`): runs report
@@ -193,6 +211,8 @@ struct Args {
     sink: Option<String>,
     metrics: bool,
     adaptive: bool,
+    wal: Option<String>,
+    recover: Option<String>,
 }
 
 impl Default for Args {
@@ -220,6 +240,8 @@ impl Default for Args {
             sink: None,
             metrics: false,
             adaptive: false,
+            wal: None,
+            recover: None,
         }
     }
 }
@@ -311,6 +333,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--ingest" => args.ingest = Some(value_of(&mut it, "--ingest")?),
             "--export" => args.export = Some(value_of(&mut it, "--export")?),
             "--sink" => args.sink = Some(value_of(&mut it, "--sink")?),
+            "--wal" => args.wal = Some(value_of(&mut it, "--wal")?),
+            "--recover" => args.recover = Some(value_of(&mut it, "--recover")?),
             "--fail-on-violation" => args.fail_on_violation = true,
             "--metrics" => args.metrics = true,
             "--adaptive" => args.adaptive = true,
@@ -360,8 +384,33 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             return Err("--export needs exactly one --scenario and one --backend".into());
         }
     }
+    if args.wal.is_some() {
+        if !args.serve {
+            return Err("--wal logs serve rounds; combine it with --serve".into());
+        }
+        if args.ingest.is_some() {
+            return Err("--wal logs generated rounds; it cannot be combined with --ingest \
+                        (ingested documents are already on disk)"
+                .into());
+        }
+    }
+    if args.recover.is_some() {
+        if args.ingest.is_some() || args.export.is_some() {
+            return Err("--recover audits a crashed WAL directory; it cannot be combined \
+                        with --ingest or --export"
+                .into());
+        }
+        if args.serve && args.wal.is_none() {
+            return Err("--serve --recover resumes a WAL endpoint; it also needs --wal DIR".into());
+        }
+    }
     if args.serve {
         match args.mode {
+            // --wal logs the single merged commit stream, so its default (and
+            // only) topology is the unsharded streaming auditor.
+            AuditMode::Off if args.wal.is_some() => {
+                args.mode = AuditMode::Streaming { window: 2_048 }
+            }
             AuditMode::Off => args.mode = AuditMode::Sharded { window: 2_048, shards: 4 },
             AuditMode::Batch => {
                 return Err("--serve streams windowed verdicts; combine it with \
@@ -369,6 +418,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .into())
             }
             AuditMode::Streaming { .. } | AuditMode::Sharded { .. } => {}
+        }
+        if args.wal.is_some() {
+            match args.mode {
+                AuditMode::Sharded { window, shards: 1 } => {
+                    args.mode = AuditMode::Streaming { window }
+                }
+                AuditMode::Sharded { .. } => {
+                    return Err("--wal logs the single merged commit stream; use \
+                                --audit=window[:size=N] (the streaming topology), not shards=K"
+                        .into())
+                }
+                _ => {}
+            }
         }
         if args.ingest.is_none() {
             if args.scenarios.len() != 1 || args.backends.len() != 1 {
@@ -399,7 +461,7 @@ fn usage() {
          \x20            [--json PATH] [--fail-on-violation]\n\
          \x20            [--export PATH] [--ingest FILE|-]\n\
          \x20            [--serve] [--serve-rounds N] [--sink PATH] [--metrics] [--adaptive]\n\
-         \x20            [--list]\n\
+         \x20            [--wal DIR] [--recover DIR] [--list]\n\
          \n\
          backends and scenarios resolve through their registries; run `audit --list`\n\
          to see what is registered.  --retry POLICY is one of immediate, bounded:N,\n\
@@ -411,9 +473,13 @@ fn usage() {
          carry decided_by provenance.\n\
          --serve keeps the process alive running audited rounds back to back, streaming\n\
          line-delimited JSON verdict/window/lag records to stdout (and --sink PATH)\n\
-         until SIGTERM/ctrl-c; --adaptive lets the lag sampler re-band hot variable\n\
-         partitions across the sharded auditor's lanes mid-stream; --serve --ingest -\n\
-         audits history documents from stdin instead of generating traffic."
+         until SIGTERM/ctrl-c (a second signal exits immediately, status 130); --adaptive\n\
+         lets the lag sampler re-band hot variable partitions across the sharded\n\
+         auditor's lanes mid-stream; --serve --ingest - audits history documents from\n\
+         stdin instead of generating traffic.  --wal DIR logs every commit of a serve\n\
+         round to DIR/round-NNNN before the auditor sees it (crash-consistent, sealed\n\
+         segments + frontier snapshots); --recover DIR finishes auditing the rounds a\n\
+         killed process left behind (see docs/recovery.md)."
     );
 }
 
@@ -509,8 +575,20 @@ fn audit_options(args: &Args) -> AuditOptions {
 static STOP: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn handle_stop_signal(_signum: i32) {
-    // Only an atomic store: async-signal-safe.
-    STOP.store(true, Ordering::SeqCst);
+    // Only an atomic swap and (on repeat) `_exit`: async-signal-safe.
+    if STOP.swap(true, Ordering::SeqCst) {
+        // A second SIGTERM/SIGINT means the operator is done waiting for
+        // the round-boundary shutdown — exit immediately with the
+        // conventional 128+SIGINT code.  `_exit` skips atexit/unwinding,
+        // which is exactly what a handler may do; re-storing the flag (the
+        // old behavior) made the second ctrl-c a silent no-op for the rest
+        // of a long round.
+        extern "C" {
+            fn _exit(code: i32) -> !;
+        }
+        // SAFETY: `_exit` is the POSIX libc function and is async-signal-safe.
+        unsafe { _exit(130) }
+    }
 }
 
 /// Install the SIGTERM/SIGINT handlers for `--serve` via the libc already
@@ -570,6 +648,19 @@ impl ServeEmitter {
     fn flush(&self) {
         if let Some(file) = &self.sink {
             let _ = file.lock().expect("sink file lock").flush();
+        }
+    }
+
+    /// [`ServeEmitter::flush`], then fsync the sink file — the pre-seal hook
+    /// of WAL rounds: a sealed segment claims its prefix of the round is
+    /// durable, so the serve records describing that prefix must not be
+    /// sitting in a user-space buffer (or the page cache) when the seal
+    /// lands.
+    fn sync(&self) {
+        if let Some(file) = &self.sink {
+            let mut file = file.lock().expect("sink file lock");
+            let _ = file.flush();
+            let _ = file.get_ref().sync_data();
         }
     }
 }
@@ -753,6 +844,223 @@ fn serve(args: &Args) -> ExitCode {
         }
         // Round boundary: the sink mirror is durable up to the last full round
         // even if the next one is cut short.
+        emitter.flush();
+        rounds += 1;
+    }
+    let reason = if STOP.load(Ordering::SeqCst) { "signal" } else { "rounds-exhausted" };
+    emitter
+        .emit(&format!("{{\"type\":\"serve-stop\",\"rounds\":{rounds},\"reason\":\"{reason}\"}}"));
+    emitter.flush();
+    if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fold a [`workloads::RecoveredRoundReport`] into a serve record: the
+/// report JSON already opens with `{"recovered":true,...`, so splicing a
+/// `type` key in front keeps one canonical recovered-verdict shape between
+/// `--recover` stdout, `--json` documents and serve records.
+fn recovered_record(report: &workloads::RecoveredRoundReport) -> String {
+    format!("{{\"type\":\"recovered-verdict\",{}", &report.to_json()[1..])
+}
+
+/// The fallback window shape for recovering rounds whose crash landed
+/// before the first frontier snapshot: an explicit `--audit=window...` spec
+/// wins, then the WAL directory's own `wal-meta.json` (the shape the round
+/// was actually produced with), then the serve default.  Rounds with a
+/// surviving snapshot ignore this — the snapshot's persisted config wins.
+fn recover_fallback_window(args: &Args, wal_dir: &std::path::Path) -> Result<WindowConfig, String> {
+    if let AuditMode::Streaming { window } = args.mode {
+        return Ok(window_config(window, args));
+    }
+    if let Some(meta) = workloads::WalMeta::load(wal_dir)? {
+        let mut window = meta.window;
+        window.sat = args.sat;
+        return Ok(window);
+    }
+    Ok(window_config(2_048, args))
+}
+
+/// Recover every incomplete round under `wal_dir`, emitting one
+/// `recovered-verdict` record each; returns whether any recovered verdict
+/// carries a definite violation.
+fn recover_rounds(
+    args: &Args,
+    wal_dir: &std::path::Path,
+    emitter: &ServeEmitter,
+    json_entries: &mut Vec<String>,
+) -> Result<bool, String> {
+    let fallback = recover_fallback_window(args, wal_dir)?;
+    let rounds =
+        workloads::incomplete_rounds(wal_dir).map_err(|e| format!("{}: {e}", wal_dir.display()))?;
+    let mut violated = false;
+    for (_, dir) in rounds {
+        let report = workloads::recover_round_report(&dir, fallback, args.sat)?;
+        violated |= tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
+        emitter.emit(&recovered_record(&report));
+        json_entries.push(report.to_json());
+    }
+    emitter.flush();
+    Ok(violated)
+}
+
+/// `--recover DIR` without `--serve`: finish auditing every crashed round
+/// under DIR and report the recovered verdicts like a live run would —
+/// stdout records, `--json` document, `--fail-on-violation` semantics.
+fn recover_cli(args: &Args) -> ExitCode {
+    let wal_dir = std::path::Path::new(args.recover.as_deref().expect("recover dispatch"));
+    let emitter = match ServeEmitter::open(args.sink.as_deref()) {
+        Ok(emitter) => emitter,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut json_entries = Vec::new();
+    let violated = match recover_rounds(args, wal_dir, &emitter, &mut json_entries) {
+        Ok(violated) => violated,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if json_entries.is_empty() {
+        println!("{}: no incomplete rounds; nothing to recover", wal_dir.display());
+    }
+    if let Some(path) = &args.json {
+        let doc = format!("{{\"recovered\":[{}]}}", json_entries.join(","));
+        if let Err(err) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {err}");
+            return ExitCode::from(3);
+        }
+        println!("machine-readable report written to {path}");
+    }
+    if args.fail_on_violation && violated {
+        eprintln!("audit found definite violations (--fail-on-violation)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--serve --wal DIR`: audited rounds back to back like [`serve`], but
+/// through the streaming (single-auditor) topology with every committed
+/// transaction logged to `DIR/round-NNNN/` before it reaches the auditor.
+/// Segments seal at window boundaries (flushing + fsyncing the `--sink`
+/// mirror first), each seal persists the auditor's frontier snapshot, and a
+/// finished round gets a `complete.json` marker.  With `--recover DIR` the
+/// endpoint first finishes auditing any rounds a previous process left
+/// behind, then resumes serving at the next free round index.
+fn serve_wal(args: &Args) -> ExitCode {
+    let window = match args.mode {
+        AuditMode::Streaming { window } => window,
+        _ => unreachable!("parse_args forces the streaming topology under --wal"),
+    };
+    let wal_dir = std::path::Path::new(args.wal.as_deref().expect("wal dispatch"));
+    let scenario = &args.scenarios[0];
+    let backend = args.backends[0];
+    let emitter = match ServeEmitter::open(args.sink.as_deref()) {
+        Ok(emitter) => emitter,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    install_stop_handlers();
+    let wc = window_config(window, args);
+    let meta = workloads::WalMeta {
+        scenario: scenario.name().to_string(),
+        backend: backend.to_string(),
+        threads: args.threads,
+        txns_per_thread: args.txns,
+        vars: args.vars,
+        seed: args.seed,
+        window: wc,
+    };
+    if let Err(err) = meta.store(wal_dir) {
+        eprintln!("error: --wal {}: {err}", wal_dir.display());
+        return ExitCode::from(2);
+    }
+    emitter.emit(&format!(
+        "{{\"type\":\"serve-start\",\"scenario\":\"{}\",\"backend\":\"{backend}\",\
+         \"shards\":1,\"window\":{window},\"threads\":{},\"txns_per_round\":{},\
+         \"wal\":\"{}\",\"pid\":{}}}",
+        scenario.name(),
+        args.threads,
+        args.threads * args.txns,
+        json_escape(&wal_dir.display().to_string()),
+        std::process::id()
+    ));
+    let mut violated = false;
+    if args.recover.is_some() {
+        let mut entries = Vec::new();
+        match recover_rounds(args, wal_dir, &emitter, &mut entries) {
+            Ok(v) => violated |= v,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut rounds = 0u64;
+    while !STOP.load(Ordering::SeqCst) {
+        if args.serve_rounds > 0 && rounds >= args.serve_rounds {
+            break;
+        }
+        let round_index = match workloads::next_round_index(wal_dir) {
+            Ok(index) => index,
+            Err(err) => {
+                eprintln!("error: --wal {}: {err}", wal_dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        let round_dir = wal_dir.join(workloads::round_dir_name(round_index));
+        let config = ScenarioConfig {
+            backend,
+            threads: args.threads,
+            txns_per_thread: args.txns,
+            vars: args.vars,
+            // Seeded by the durable round index, not the in-process counter,
+            // so a restarted endpoint continues the seed sequence where the
+            // killed one stopped.
+            seed: args.seed.wrapping_add(round_index),
+            policy: Arc::clone(&args.policy),
+        };
+        let report = match workloads::run_scenario_audited_walled(
+            scenario.as_ref(),
+            &config,
+            wc,
+            &round_dir,
+            || emitter.sync(),
+        ) {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        violated |= report.run.check.invariant == Some(false)
+            || tm_audit::Level::ALL.iter().any(|&l| report.stream.fails(l));
+        emitter.emit(&format!(
+            "{{\"type\":\"verdict\",\"round\":{round_index},\"summary\":\"{}\",\"commits\":{},\
+             \"throughput\":{:.0},\"drain_ms\":{:.3},\"wal\":{{\"dir\":\"{}\",\
+             \"logged_txns\":{},\"sealed_segments\":{}}},\"report\":{}}}",
+            json_escape(&report.stream.summary()),
+            report.run.commits,
+            report.run.throughput,
+            report.drain_elapsed.as_secs_f64() * 1e3,
+            json_escape(&round_dir.display().to_string()),
+            report.wal.logged_txns,
+            report.wal.sealed_segments,
+            report.stream.to_json()
+        ));
+        if args.metrics {
+            emitter.emit(&format!(
+                "{{\"type\":\"metrics\",\"round\":{round_index},\"snapshot\":{}}}",
+                tm_telemetry::global().snapshot().to_json()
+            ));
+        }
         emitter.flush();
         rounds += 1;
     }
@@ -1019,9 +1327,15 @@ fn main() -> ExitCode {
             tm_telemetry::set_trace_enabled(true);
         }
     }
+    if args.recover.is_some() && !args.serve {
+        return recover_cli(&args);
+    }
     if args.serve {
         if args.ingest.is_some() {
             return serve_ingest(&args);
+        }
+        if args.wal.is_some() {
+            return serve_wal(&args);
         }
         return serve(&args);
     }

@@ -39,20 +39,26 @@
 
 pub mod bank;
 pub mod glock;
+pub mod recovery;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
 pub mod zipf;
 
 pub use bank::{Bank, BankConfig};
+pub use recovery::{
+    incomplete_rounds, next_round_index, recover_round_auditor, recover_round_report,
+    round_dir_name, round_dirs, RecoveredRoundReport, WalMeta, WalRecovery, WalTee, WalTeeStats,
+};
 pub use runner::{
     run_audited, run_audited_streaming, run_audited_with, run_scenario, run_scenario_audited,
     run_scenario_audited_captured, run_scenario_audited_sharded,
     run_scenario_audited_sharded_captured, run_scenario_audited_streaming,
-    run_scenario_audited_streaming_captured, run_scenario_audited_with,
-    run_scenario_audited_with_captured, run_scenario_captured, run_threads,
-    stalled_writer_experiment, AuditedRunReport, AuditedScenarioReport, RunConfig, RunReport,
-    ScenarioRunReport, ShardedScenarioReport, StreamingAuditedReport, StreamingScenarioReport,
+    run_scenario_audited_streaming_captured, run_scenario_audited_walled,
+    run_scenario_audited_with, run_scenario_audited_with_captured, run_scenario_captured,
+    run_threads, stalled_writer_experiment, AuditedRunReport, AuditedScenarioReport, RunConfig,
+    RunReport, ScenarioRunReport, ShardedScenarioReport, StreamingAuditedReport,
+    StreamingScenarioReport, WalScenarioReport,
 };
 pub use scenario::{
     all_scenarios, scenario_by_name, Scenario, ScenarioCheck, ScenarioConfig, ScenarioState,

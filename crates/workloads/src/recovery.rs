@@ -1,0 +1,586 @@
+//! Crash-consistent commit logging and audited recovery.
+//!
+//! This module is the glue between the three layers the durability tier is
+//! built from:
+//!
+//! * [`stm_runtime::wal`] — the write-ahead sink ([`WalSink`]) that appends
+//!   committed transactions to per-round segment files in the `tm-history`
+//!   wire format, seals segments with length+CRC framing, and truncates torn
+//!   tails on recovery ([`stm_runtime::wal::recover_round`]);
+//! * [`tm_history::wire`] — the decoder, whose arrival-order API
+//!   (`Decoder::next_history_arrival`) replays the log in the exact order
+//!   the auditor originally ingested it;
+//! * [`tm_audit::recovery`] — the [`FrontierSnapshot`] persisted alongside
+//!   each sealed segment, from which
+//!   [`WindowedAuditor::resume_from_frontier`] rebuilds the auditor at the
+//!   last durable window boundary.
+//!
+//! [`WalTee`] is the [`TxnSink`] that runs during a round: every record is
+//! appended to the log *before* it reaches the auditor (write-ahead), and
+//! every closed window seals the current segment and snapshots the frontier.
+//! [`recover_round_auditor`] / [`recover_round_report`] are the other half:
+//! given a round directory left behind by a killed process, they truncate
+//! the torn tail, verify the surviving log legally extends the last
+//! snapshot (the continuation check), resume the auditor, and replay the
+//! suffix — producing the verdict the uninterrupted round would have
+//! reached over the same records.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use stm_runtime::wal::{recover_round, write_atomic, WalSink};
+use tm_audit::report::json_escape;
+use tm_audit::{
+    parse_json, AuditTxn, FrontierSnapshot, SatConfig, StreamReport, TxnSink, WindowConfig,
+    WindowedAuditor,
+};
+use tm_history::Decoder;
+
+/// File-name of the per-WAL-directory metadata blob (round shape, window
+/// config) written once at serve start.
+pub const WAL_META_FILE: &str = "wal-meta.json";
+
+/// A [`TxnSink`] that tees every committed transaction into a [`WalSink`]
+/// *before* handing it to the [`WindowedAuditor`] — the write-ahead
+/// ordering that makes the log an upper bound on what the auditor has
+/// seen.  Each time the auditor closes a window, the tee invokes
+/// `pre_seal` (the hook the serve loop uses to flush its buffered emitter
+/// records first), seals the current segment, and persists the auditor's
+/// boundary frontier next to the seal.
+///
+/// Log I/O errors do not panic the audit thread: the first error is
+/// stored, further WAL writes stop, the auditor keeps running, and
+/// [`WalTee::finish`] surfaces the error.
+pub struct WalTee<F: FnMut()> {
+    wal: WalSink,
+    auditor: WindowedAuditor,
+    seqs: Vec<u64>,
+    sealed_windows: usize,
+    sealed_segments: u64,
+    pre_seal: F,
+    io_error: Option<io::Error>,
+}
+
+/// What one WAL-logged round wrote, reported by [`WalTee::finish`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalTeeStats {
+    /// Committed transactions appended to the log.
+    pub logged_txns: u64,
+    /// Segments sealed (window-boundary seals plus the final tail seal).
+    pub sealed_segments: u64,
+}
+
+impl<F: FnMut()> WalTee<F> {
+    /// Open a WAL round at `dir` for `sessions` sessions over `vars`
+    /// variables (initial value 0, like every recorded run) feeding
+    /// `auditor`.
+    pub fn create(
+        dir: &Path,
+        sessions: usize,
+        vars: usize,
+        auditor: WindowedAuditor,
+        pre_seal: F,
+    ) -> io::Result<WalTee<F>> {
+        let wal = WalSink::create(dir, sessions, vars, 0)?;
+        let sealed_windows = auditor.windows_closed();
+        Ok(WalTee {
+            wal,
+            auditor,
+            seqs: vec![0; sessions],
+            sealed_windows,
+            sealed_segments: 0,
+            pre_seal,
+            io_error: None,
+        })
+    }
+
+    /// Seal the tail segment, write the round's `complete.json` marker and
+    /// hand the auditor back for [`WindowedAuditor::finish`].  Any log
+    /// I/O error swallowed during the round resurfaces here.
+    pub fn finish(mut self) -> io::Result<(WindowedAuditor, WalTeeStats)> {
+        if let Some(err) = self.io_error.take() {
+            return Err(err);
+        }
+        let logged_txns = self.wal.total_txns();
+        let tail = self.wal.segment_lines() > 0;
+        self.wal.finish()?;
+        let stats =
+            WalTeeStats { logged_txns, sealed_segments: self.sealed_segments + u64::from(tail) };
+        Ok((self.auditor, stats))
+    }
+
+    /// The round directory this tee logs into.
+    pub fn dir(&self) -> &Path {
+        self.wal.dir()
+    }
+
+    fn log(&mut self, session: usize, txn: &AuditTxn) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if session >= self.seqs.len() {
+            self.seqs.resize(session + 1, 0);
+        }
+        let seq = self.seqs[session];
+        self.seqs[session] += 1;
+        if let Err(err) = self.wal.append_txn(session, seq, txn.hint, &txn.reads, &txn.writes) {
+            self.io_error = Some(err);
+        }
+    }
+
+    fn seal_if_window_closed(&mut self) {
+        let closed = auditor_windows(&self.auditor);
+        if closed == self.sealed_windows || self.io_error.is_some() {
+            self.sealed_windows = closed;
+            return;
+        }
+        self.sealed_windows = closed;
+        // Anything the host buffered (serve records, sink mirrors) must be
+        // durable before the seal claims this prefix of the round is.
+        (self.pre_seal)();
+        let snapshot = self.auditor.boundary_snapshot();
+        let result = self.wal.seal_segment().and_then(|sealed| {
+            self.sealed_segments += 1;
+            self.wal.write_blob(&frontier_file(sealed), snapshot.to_json().as_bytes())
+        });
+        if let Err(err) = result {
+            self.io_error = Some(err);
+        }
+    }
+}
+
+impl<F: FnMut()> TxnSink for WalTee<F> {
+    fn push_txn(&mut self, session: usize, txn: AuditTxn) {
+        self.log(session, &txn);
+        self.auditor.push(session, txn);
+        self.seal_if_window_closed();
+    }
+}
+
+fn auditor_windows(auditor: &WindowedAuditor) -> usize {
+    auditor.windows_closed()
+}
+
+/// Name of the frontier snapshot persisted next to seal `segment`.
+pub fn frontier_file(segment: u64) -> String {
+    format!("frontier-{segment:06}.json")
+}
+
+/// The auditor and replay bookkeeping [`recover_round_auditor`] hands back,
+/// positioned exactly where the crashed round's audit left off.
+pub struct WalRecovery {
+    /// The resumed (or cold-started) auditor with the whole surviving log
+    /// already replayed; call [`WindowedAuditor::finish`] — or keep pushing
+    /// live traffic — to complete the round.
+    pub auditor: WindowedAuditor,
+    /// Transactions restored from the frontier snapshot without re-auditing
+    /// (0 on a cold replay).
+    pub snapshot_txns: u64,
+    /// Transactions replayed from the log into the resumed auditor.
+    pub replayed_txns: u64,
+    /// Bytes of torn (unsealed, truncated) tail discarded by recovery.
+    pub torn_bytes: u64,
+    /// Log segments found on disk.
+    pub segments: usize,
+    /// Whether the round had already finished cleanly (`complete.json`).
+    pub complete: bool,
+    /// The sealed segment whose frontier snapshot the auditor resumed from,
+    /// if any.
+    pub resumed_from_segment: Option<u64>,
+}
+
+/// Recover one round directory: truncate the torn tail, decode the
+/// surviving log, load the newest frontier snapshot, verify the log is a
+/// legal continuation of it, resume the auditor and replay the suffix.
+///
+/// `fallback` is the window shape used when no frontier snapshot survived
+/// (a crash before the first seal); when a snapshot exists its persisted
+/// config wins, so recovery always audits with the original round's
+/// windows.  `sat` re-arms the CDCL escalation stage (solver handles are
+/// not persisted).
+pub fn recover_round_auditor(
+    dir: &Path,
+    fallback: WindowConfig,
+    sat: Option<SatConfig>,
+) -> Result<WalRecovery, String> {
+    let round = recover_round(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if round.text.is_empty() {
+        return Err(format!("{}: nothing recoverable (empty or fully torn log)", dir.display()));
+    }
+    let mut decoder = Decoder::new(round.text.as_bytes());
+    let (history, arrival) = decoder
+        .next_history_arrival()
+        .map_err(|e| format!("{}: recovered log does not decode: {e}", dir.display()))?
+        .ok_or_else(|| format!("{}: recovered log holds no history document", dir.display()))?;
+
+    let snapshot = latest_frontier(dir, round.segments.iter().filter(|s| s.sealed).count())?;
+    let (mut auditor, replay_from, resumed_from_segment) = match snapshot {
+        Some((segment, snap)) => {
+            snap.check_continuation(&arrival).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let auditor = WindowedAuditor::resume_from_frontier(&snap, sat)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            (auditor, snap.replay_from as usize, Some(segment))
+        }
+        None => {
+            let mut config = fallback;
+            config.sat = sat;
+            (WindowedAuditor::new(history.n_vars, history.initial, config), 0, None)
+        }
+    };
+    for id in &arrival[replay_from..] {
+        let txn = history.txn(*id).ok_or_else(|| {
+            format!("{}: arrival id {id} missing from decoded log", dir.display())
+        })?;
+        auditor.push(id.session, txn.clone());
+    }
+    Ok(WalRecovery {
+        auditor,
+        snapshot_txns: replay_from as u64,
+        replayed_txns: (arrival.len() - replay_from) as u64,
+        torn_bytes: round.torn_bytes(),
+        segments: round.segments.len(),
+        complete: round.complete,
+        resumed_from_segment,
+    })
+}
+
+/// Find the newest parseable `frontier-NNNNNN.json` in `dir` whose segment
+/// is among the `sealed` verified segments.  Snapshots are written with
+/// tmp+rename, so a surviving file is complete — but a crash can land
+/// between sealing a segment and writing its snapshot, which is why the
+/// newest *present* snapshot is used rather than `sealed - 1` blindly.
+fn latest_frontier(dir: &Path, sealed: usize) -> Result<Option<(u64, FrontierSnapshot)>, String> {
+    for segment in (0..sealed as u64).rev() {
+        let path = dir.join(frontier_file(segment));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let snap =
+            FrontierSnapshot::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        return Ok(Some((segment, snap)));
+    }
+    Ok(None)
+}
+
+/// One recovered round's verdict, with the bookkeeping that distinguishes
+/// it from an uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct RecoveredRoundReport {
+    /// The round directory that was recovered.
+    pub dir: PathBuf,
+    /// Index parsed from the `round-NNNN` directory name, when it has one.
+    pub round: Option<u64>,
+    /// The finished verdict over every surviving logged transaction.
+    pub stream: StreamReport,
+    /// Transactions restored from the frontier snapshot.
+    pub snapshot_txns: u64,
+    /// Transactions replayed from the log.
+    pub replayed_txns: u64,
+    /// Torn tail bytes truncated.
+    pub torn_bytes: u64,
+    /// Log segments found.
+    pub segments: usize,
+    /// The sealed segment whose snapshot seeded the resume, if any.
+    pub resumed_from_segment: Option<u64>,
+}
+
+impl RecoveredRoundReport {
+    /// The machine-readable recovered verdict: the usual stream report,
+    /// plus `"recovered":true` and the snapshot/replay split.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"recovered\":true,\"round\":{},\"dir\":\"{}\",\"snapshot_txns\":{},\
+             \"replayed_txns\":{},\"total_txns\":{},\"torn_bytes\":{},\"segments\":{},\
+             \"resumed_from_segment\":{},\"report\":{}}}",
+            self.round.map_or("null".to_string(), |r| r.to_string()),
+            json_escape(&self.dir.display().to_string()),
+            self.snapshot_txns,
+            self.replayed_txns,
+            self.stream.total_txns,
+            self.torn_bytes,
+            self.segments,
+            self.resumed_from_segment.map_or("null".to_string(), |s| s.to_string()),
+            self.stream.to_json()
+        )
+    }
+}
+
+/// [`recover_round_auditor`], finished: recover, replay, close the audit
+/// and return the round's verdict.  On success the recovered verdict is
+/// persisted as `recovered.json` in the round directory and the round is
+/// marked `complete.json`, so a second recovery pass skips it instead of
+/// re-auditing.
+pub fn recover_round_report(
+    dir: &Path,
+    fallback: WindowConfig,
+    sat: Option<SatConfig>,
+) -> Result<RecoveredRoundReport, String> {
+    let recovery = recover_round_auditor(dir, fallback, sat)?;
+    if recovery.complete {
+        return Err(format!("{}: round already complete; nothing to recover", dir.display()));
+    }
+    let stream = recovery.auditor.finish();
+    let report = RecoveredRoundReport {
+        dir: dir.to_path_buf(),
+        round: round_index_of(dir),
+        stream,
+        snapshot_txns: recovery.snapshot_txns,
+        replayed_txns: recovery.replayed_txns,
+        torn_bytes: recovery.torn_bytes,
+        segments: recovery.segments,
+        resumed_from_segment: recovery.resumed_from_segment,
+    };
+    write_atomic(dir, "recovered.json", report.to_json().as_bytes())
+        .and_then(|()| {
+            write_atomic(dir, "complete.json", b"{\"wal-complete\":1,\"recovered\":true}\n")
+        })
+        .map_err(|e| format!("{}: persisting recovery marker: {e}", dir.display()))?;
+    Ok(report)
+}
+
+/// Name of the `round-NNNN` directory for round `index`.
+pub fn round_dir_name(index: u64) -> String {
+    format!("round-{index:04}")
+}
+
+fn round_index_of(dir: &Path) -> Option<u64> {
+    dir.file_name()?.to_str()?.strip_prefix("round-")?.parse().ok()
+}
+
+/// Every `round-NNNN` directory under the WAL root, sorted by index.
+pub fn round_dirs(wal_dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut rounds = Vec::new();
+    for entry in match std::fs::read_dir(wal_dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    } {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        if let Some(index) = round_index_of(&entry.path()) {
+            rounds.push((index, entry.path()));
+        }
+    }
+    rounds.sort();
+    Ok(rounds)
+}
+
+/// Round directories that never finished (no `complete.json`) — what a
+/// recovery pass works through.
+pub fn incomplete_rounds(wal_dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    Ok(round_dirs(wal_dir)?
+        .into_iter()
+        .filter(|(_, dir)| !dir.join("complete.json").exists())
+        .collect())
+}
+
+/// The first unused round index under the WAL root.
+pub fn next_round_index(wal_dir: &Path) -> io::Result<u64> {
+    Ok(round_dirs(wal_dir)?.last().map_or(0, |(index, _)| index + 1))
+}
+
+/// The WAL directory's metadata: the round shape and window config every
+/// round under it was produced with — what recovery falls back to when a
+/// crash landed before the first frontier snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalMeta {
+    /// Scenario name the serve loop runs.
+    pub scenario: String,
+    /// Backend name the serve loop runs on.
+    pub backend: String,
+    /// Worker threads (= audit sessions) per round.
+    pub threads: usize,
+    /// Committed transactions per thread per round.
+    pub txns_per_thread: usize,
+    /// Scenario variable pool size.
+    pub vars: usize,
+    /// Base workload seed (round `r` runs with `seed + r`).
+    pub seed: u64,
+    /// The window shape rounds are audited with (`sat` is a CLI concern and
+    /// not persisted).
+    pub window: WindowConfig,
+}
+
+impl WalMeta {
+    /// Serialize to the single-line JSON stored as [`WAL_META_FILE`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"wal-meta\":1,\"scenario\":\"{}\",\"backend\":\"{}\",\"threads\":{},\
+             \"txns_per_thread\":{},\"vars\":{},\"seed\":{},\"window\":{{\"size\":{},\
+             \"overlap\":{},\"budget\":{},\"retain_windows\":{},\"batch\":{}}}}}",
+            json_escape(&self.scenario),
+            json_escape(&self.backend),
+            self.threads,
+            self.txns_per_thread,
+            self.vars,
+            self.seed,
+            self.window.size,
+            self.window.overlap,
+            self.window.budget,
+            self.window.retain_windows,
+            self.window.batch,
+        )
+    }
+
+    /// Parse what [`WalMeta::to_json`] wrote.
+    pub fn parse(text: &str) -> Result<WalMeta, String> {
+        let doc = parse_json(text).map_err(|e| e.to_string())?;
+        let field = |key: &str| {
+            doc.get(key).and_then(|v| v.as_u64()).ok_or_else(|| format!("wal-meta: bad {key:?}"))
+        };
+        if field("wal-meta")? != 1 {
+            return Err("wal-meta: unsupported version".into());
+        }
+        let text_field = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("wal-meta: bad {key:?}"))
+        };
+        let window = doc.get("window").ok_or("wal-meta: missing window")?;
+        let wfield = |key: &str| {
+            window
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("wal-meta: bad window {key:?}"))
+        };
+        let mut config = WindowConfig::sized(wfield("size")? as usize);
+        config.overlap = wfield("overlap")? as usize;
+        config.budget = wfield("budget")?;
+        config.retain_windows = wfield("retain_windows")? as usize;
+        config.batch = wfield("batch")? as usize;
+        Ok(WalMeta {
+            scenario: text_field("scenario")?,
+            backend: text_field("backend")?,
+            threads: field("threads")? as usize,
+            txns_per_thread: field("txns_per_thread")? as usize,
+            vars: field("vars")? as usize,
+            seed: field("seed")?,
+            window: config,
+        })
+    }
+
+    /// Write the metadata blob at the WAL root (tmp+rename, idempotent).
+    pub fn store(&self, wal_dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(wal_dir)?;
+        write_atomic(wal_dir, WAL_META_FILE, self.to_json().as_bytes())
+    }
+
+    /// Load the metadata blob, if the WAL root has one.
+    pub fn load(wal_dir: &Path) -> Result<Option<WalMeta>, String> {
+        let path = wal_dir.join(WAL_META_FILE);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                WalMeta::parse(&text).map(Some).map_err(|e| format!("{}: {e}", path.display()))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_audit::audit_streamed;
+    use tm_history::{generate, GenConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("workloads-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_meta_round_trips() {
+        let mut window = WindowConfig::sized(512);
+        window.overlap = 64;
+        let meta = WalMeta {
+            scenario: "registers".into(),
+            backend: "ofree".into(),
+            threads: 4,
+            txns_per_thread: 1_000,
+            vars: 64,
+            seed: 2_024,
+            window,
+        };
+        assert_eq!(WalMeta::parse(&meta.to_json()).unwrap(), meta);
+        let dir = temp_dir("meta");
+        meta.store(&dir).unwrap();
+        assert_eq!(WalMeta::load(&dir).unwrap(), Some(meta));
+        assert_eq!(WalMeta::load(&dir.join("nope")).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_directories_enumerate_and_allocate() {
+        let dir = temp_dir("rounds");
+        assert_eq!(next_round_index(&dir).unwrap(), 0);
+        std::fs::create_dir(dir.join(round_dir_name(0))).unwrap();
+        std::fs::create_dir(dir.join(round_dir_name(3))).unwrap();
+        std::fs::write(dir.join(round_dir_name(0)).join("complete.json"), b"{}").unwrap();
+        assert_eq!(next_round_index(&dir).unwrap(), 4);
+        let incomplete = incomplete_rounds(&dir).unwrap();
+        assert_eq!(incomplete.len(), 1);
+        assert_eq!(incomplete[0].0, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A complete WAL round (tee ran to finish) recovers nothing — the
+    /// report path refuses it — but the auditor path replays it to the same
+    /// verdict as the in-memory stream.
+    #[test]
+    fn complete_rounds_replay_to_the_streamed_verdict() {
+        let generated = generate(&GenConfig {
+            sessions: 3,
+            vars: 8,
+            txns_per_session: 60,
+            lost_update_per_mille: 40,
+            seed: 7,
+            ..GenConfig::default()
+        });
+        let history = generated.history;
+        let mut window = WindowConfig::sized(32);
+        window.overlap = 4;
+        let baseline = audit_streamed(&history, window);
+
+        let dir = temp_dir("complete");
+        let round_dir = dir.join(round_dir_name(0));
+        let auditor = WindowedAuditor::new(history.n_vars, history.initial, window);
+        let mut tee =
+            WalTee::create(&round_dir, history.sessions.len(), history.n_vars, auditor, || {})
+                .unwrap();
+        let mut order: Vec<(u64, usize, &AuditTxn)> = history
+            .sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(s, session)| session.iter().map(move |t| (t.hint, s, t)))
+            .collect();
+        order.sort_by_key(|&(hint, s, _)| (hint, s));
+        for &(_, s, t) in &order {
+            tee.push_txn(s, t.clone());
+        }
+        let (auditor, stats) = tee.finish().unwrap();
+        assert_eq!(stats.logged_txns, history.txn_count() as u64);
+        assert!(stats.sealed_segments >= 2, "windows must have sealed segments");
+        let live = auditor.finish();
+        assert_eq!(live.merged, baseline.merged);
+
+        // The finished round refuses report-path recovery...
+        let err = recover_round_report(&round_dir, window, None).unwrap_err();
+        assert!(err.contains("already complete"), "{err}");
+        // ...but the auditor path replays it to the identical verdict.
+        let recovery = recover_round_auditor(&round_dir, window, None).unwrap();
+        assert!(recovery.complete);
+        assert_eq!(recovery.torn_bytes, 0);
+        let replayed = recovery.auditor.finish();
+        assert_eq!(replayed.merged, baseline.merged);
+        assert_eq!(replayed.total_txns, baseline.total_txns);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -484,6 +484,79 @@ fn run_scenario_streaming_inner(
     ))
 }
 
+/// A scenario run audited in streaming windows while every commit is logged
+/// to a crash-consistent WAL round directory.
+#[derive(Debug, Clone)]
+pub struct WalScenarioReport {
+    /// The workload-side measurements.
+    pub run: ScenarioRunReport,
+    /// The window shape the auditor used.
+    pub window: WindowConfig,
+    /// Time from workload end to the final merged verdict.
+    pub drain_elapsed: Duration,
+    /// The merged verdicts, per-window detail and pipeline statistics.
+    pub stream: StreamReport,
+    /// What the WAL round logged (txns appended, segments sealed).
+    pub wal: crate::recovery::WalTeeStats,
+}
+
+/// [`run_scenario_audited_streaming`] with a write-ahead log attached: the
+/// merged commit stream is appended to a [`stm_runtime::wal::WalSink`]
+/// round at `round_dir` *before* each record reaches the auditor, segments
+/// seal (and the auditor's frontier is snapshotted) at every window
+/// boundary, and the round ends with a `complete.json` marker.  A process
+/// killed mid-round leaves a directory
+/// [`crate::recovery::recover_round_report`] can finish auditing.
+///
+/// `pre_seal` runs right before every segment seal — the hook the serve
+/// loop uses to flush its own buffered output first, so the seal never
+/// claims durability the host's records don't have.
+///
+/// The WAL orders the *merged* stream, so this runner is the streaming
+/// (single-auditor) topology; the sharded pipeline consumes per-partition
+/// projections that have no single total order to log.
+pub fn run_scenario_audited_walled(
+    scenario: &dyn Scenario,
+    config: &ScenarioConfig,
+    window: WindowConfig,
+    round_dir: &std::path::Path,
+    pre_seal: impl FnMut() + Send,
+) -> Result<WalScenarioReport, String> {
+    require_recordable(scenario)?;
+    let recorder_arc = Arc::new(StreamingRecorder::new(config.threads, 256));
+    let consumer = recorder_arc.consumer();
+    let mut stm = Stm::with_recorder(config.backend, Arc::clone(&recorder_arc) as _)
+        .with_policy(Arc::clone(&config.policy));
+    let state = scenario.build(&stm, config);
+    let vars = state.words();
+    let start = Instant::now();
+    let (elapsed, tail) = std::thread::scope(|scope| {
+        let sessions = config.threads;
+        let auditor = scope.spawn(move || {
+            let auditor = WindowedAuditor::new(vars, 0, window);
+            let mut tee =
+                crate::recovery::WalTee::create(round_dir, sessions, vars, auditor, pre_seal)
+                    .map_err(|e| format!("wal {}: {e}", round_dir.display()))?;
+            let mut merger = StreamMerger::new(sessions);
+            while let Some(batch) = consumer.recv() {
+                merger.push_batch(&batch, &mut tee);
+            }
+            merger.finish(&mut tee);
+            let (auditor, wal) =
+                tee.finish().map_err(|e| format!("wal {}: {e}", round_dir.display()))?;
+            Ok::<_, String>((auditor.finish(), wal))
+        });
+        let elapsed = execute_scenario(&stm, state.as_ref(), config, true);
+        recorder_arc.finish();
+        (elapsed, auditor.join().expect("auditor thread panicked"))
+    });
+    let (stream, wal) = tail?;
+    let total = start.elapsed();
+    stm.take_recorder();
+    let run = finish_scenario_report(scenario, config, &stm, state.as_ref(), elapsed);
+    Ok(WalScenarioReport { run, window, drain_elapsed: total.saturating_sub(elapsed), stream, wal })
+}
+
 /// A scenario run audited concurrently by the sharded partition pipeline
 /// (`K` per-variable-partition windowed auditors + the escalation lane).
 #[derive(Debug, Clone)]

@@ -4,7 +4,7 @@
 //! window ids, per-partition lag), then SIGTERM it and require a clean
 //! shutdown with a `serve-stop` record.
 
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -155,4 +155,138 @@ fn serve_rounds_limit_stops_the_endpoint_cleanly() {
     // Round verdicts embed the full sharded report.
     assert!(stdout.contains("\"merged\":{"), "{stdout}");
     assert!(stdout.contains("\"escalation\":true"), "{stdout}");
+}
+
+/// Regression: the first SIGTERM requests a graceful stop at the round
+/// boundary, but a second one used to be swallowed (the handler just
+/// re-stored the already-set flag), leaving no way to interrupt a stuck
+/// round short of SIGKILL.  The handler now `_exit(130)`s on the second
+/// signal.
+#[test]
+fn second_sigterm_interrupts_a_long_round_with_exit_130() {
+    // A round far too large to finish: the only way out is the signal path.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args([
+            "--serve",
+            "--scenario",
+            "registers",
+            "--backend",
+            "obstruction-free",
+            "--threads",
+            "2",
+            "--txns",
+            "100000000",
+            "--vars",
+            "32",
+            "--audit=window:size=1024",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    // Drain stdout on a side thread (the round emits a window record every
+    // 1024 txns — an undrained pipe would wedge the endpoint, not the
+    // signal path under test) and keep the records for diagnostics.
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let (lines_tx, lines_rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if lines_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    // Wait for the first window record: it proves round 0 is actually
+    // mid-flight.  Signalling on serve-start alone races the round loop's
+    // admission check — a TERM that lands before `while !STOP` sees round 0
+    // is a *graceful* stop with zero rounds, not the stuck-round path under
+    // test.
+    let mut lines: Vec<String> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !lines.iter().any(|l| l.contains("\"type\":\"window\"")) {
+        assert!(Instant::now() < deadline, "no window record:\n{}", lines.join("\n"));
+        match lines_rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(line) => lines.push(line),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("stdout closed before the first window record:\n{}", lines.join("\n"))
+            }
+        }
+    }
+    let pid = child.id().to_string();
+    let term = || {
+        let status =
+            Command::new("kill").args(["-s", "TERM", &pid]).status().expect("running kill");
+        assert!(status.success(), "kill -TERM failed: {status}");
+    };
+    term();
+    std::thread::sleep(Duration::from_millis(300));
+    term();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(exit) = child.try_wait().expect("try_wait") {
+            break exit;
+        }
+        assert!(Instant::now() < deadline, "second SIGTERM did not interrupt the round");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    reader.join().expect("reader thread");
+    lines.extend(lines_rx.try_iter());
+    assert_eq!(
+        exit.code(),
+        Some(130),
+        "second signal must exit 130, got {exit:?}; records:\n{}",
+        lines.join("\n")
+    );
+}
+
+/// Pipe a wire document into `--serve --ingest -` and return (exit-success,
+/// stdout).
+fn ingest_stdin(input: &str) -> (bool, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_audit"))
+        .args(["--serve", "--ingest", "-", "--audit=window:size=16"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the audit binary");
+    child
+        .stdin
+        .take()
+        .expect("child stdin is piped")
+        .write_all(input.as_bytes())
+        .expect("writing the wire document");
+    let output = child.wait_with_output().expect("running --serve --ingest -");
+    (output.status.success(), String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+/// Decoder EOF handling through the serve endpoint: the final document of a
+/// stream that ends without a trailing newline still yields its verdict and
+/// a clean `reason:"eof"` stop.
+#[test]
+fn serve_ingest_audits_a_final_document_without_trailing_newline() {
+    let doc = "{\"tm-history\":1,\"sessions\":1,\"vars\":2,\"initial\":0}\n\
+               {\"s\":0,\"q\":0,\"h\":1,\"r\":[],\"w\":[[0,7]]}\n\
+               {\"s\":0,\"q\":1,\"h\":2,\"r\":[[0,7]],\"w\":[[1,7]]}";
+    let (ok, stdout) = ingest_stdin(doc);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"type\":\"ingest-verdict\""), "{stdout}");
+    assert!(stdout.contains("\"docs\":1"), "{stdout}");
+    assert!(stdout.contains("\"decode_errors\":0"), "{stdout}");
+    assert!(stdout.contains("\"reason\":\"eof\""), "{stdout}");
+}
+
+/// A document torn mid-record at EOF (a truncated upload) reports one
+/// positioned `ingest-error`, resynchronizes, and still stops cleanly with
+/// `reason:"eof"` instead of wedging or crashing.
+#[test]
+fn serve_ingest_resyncs_after_a_document_torn_at_eof() {
+    let doc = "{\"tm-history\":1,\"sessions\":1,\"vars\":2,\"initial\":0}\n\
+               {\"s\":0,\"q\":0,\"h\":1,\"r\":[],\"w\":[[0,";
+    let (ok, stdout) = ingest_stdin(doc);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"type\":\"ingest-error\""), "{stdout}");
+    assert!(stdout.contains("\"line\":"), "{stdout}");
+    assert!(stdout.contains("\"docs\":0"), "{stdout}");
+    assert!(stdout.contains("\"decode_errors\":1"), "{stdout}");
+    assert!(stdout.contains("\"reason\":\"eof\""), "{stdout}");
 }
